@@ -1,0 +1,268 @@
+//! Binary bitstream serialization of a [`ConfigBitmap`].
+//!
+//! The NRAM programmer consumes a flat byte stream; this module defines a
+//! compact, versioned layout and its parser (so bitstreams can be stored,
+//! diffed and reloaded):
+//!
+//! ```text
+//! magic  "NMAP"          4 bytes
+//! version                u16
+//! lut_inputs             u16
+//! num_cycles             u32
+//! per cycle:
+//!   num_smbs             u32
+//!   per SMB:
+//!     x, y               u16, u16
+//!     num_le_slots       u16
+//!     per LE slot:       present: u8 (0/1)
+//!       if present:
+//!         truth_bits     u64
+//!         num_selects    u16, then u16 each
+//!         ff_capture     u8
+//!         registered     u8
+//!   num_nets             u32
+//!   per net:             num_nodes u32, then u32 node ids
+//! ```
+//!
+//! All integers little-endian.
+
+use crate::config::{ConfigBitmap, CycleConfig, LeConfig, RoutingConfig, SmbConfig};
+use crate::grid::SmbPos;
+
+/// Magic prefix of a NanoMap bitstream.
+pub const BITSTREAM_MAGIC: &[u8; 4] = b"NMAP";
+/// Current layout version.
+pub const BITSTREAM_VERSION: u16 = 1;
+
+/// Errors from [`unpack_bitstream`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitstreamError {
+    /// The magic prefix is missing.
+    BadMagic,
+    /// The version is unsupported.
+    BadVersion(u16),
+    /// The stream ended prematurely or a length field is inconsistent.
+    Truncated,
+}
+
+impl std::fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "missing NMAP bitstream magic"),
+            Self::BadVersion(v) => write!(f, "unsupported bitstream version {v}"),
+            Self::Truncated => write!(f, "truncated bitstream"),
+        }
+    }
+}
+
+impl std::error::Error for BitstreamError {}
+
+/// Serializes a bitmap to the flat byte layout.
+pub fn pack_bitstream(bitmap: &ConfigBitmap, lut_inputs: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(BITSTREAM_MAGIC);
+    out.extend_from_slice(&BITSTREAM_VERSION.to_le_bytes());
+    out.extend_from_slice(&(lut_inputs as u16).to_le_bytes());
+    out.extend_from_slice(&(bitmap.cycles.len() as u32).to_le_bytes());
+    for cycle in &bitmap.cycles {
+        out.extend_from_slice(&(cycle.smbs.len() as u32).to_le_bytes());
+        for smb in &cycle.smbs {
+            out.extend_from_slice(&smb.pos.x.to_le_bytes());
+            out.extend_from_slice(&smb.pos.y.to_le_bytes());
+            out.extend_from_slice(&(smb.les.len() as u16).to_le_bytes());
+            for le in &smb.les {
+                match le {
+                    None => out.push(0),
+                    Some(le) => {
+                        out.push(1);
+                        out.extend_from_slice(&le.truth_bits.to_le_bytes());
+                        out.extend_from_slice(&(le.input_select.len() as u16).to_le_bytes());
+                        for &sel in &le.input_select {
+                            out.extend_from_slice(&sel.to_le_bytes());
+                        }
+                        out.push(le.ff_capture);
+                        out.push(u8::from(le.registered));
+                    }
+                }
+            }
+        }
+        out.extend_from_slice(&(cycle.routing.nets.len() as u32).to_le_bytes());
+        for net in &cycle.routing.nets {
+            out.extend_from_slice(&(net.len() as u32).to_le_bytes());
+            for &node in net {
+                out.extend_from_slice(&node.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BitstreamError> {
+        if self.pos + n > self.data.len() {
+            return Err(BitstreamError::Truncated);
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> Result<u8, BitstreamError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, BitstreamError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+    fn u32(&mut self) -> Result<u32, BitstreamError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64, BitstreamError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+/// Parses a bitstream back into a bitmap. Returns `(bitmap, lut_inputs)`.
+///
+/// # Errors
+///
+/// Returns a [`BitstreamError`] on malformed input.
+pub fn unpack_bitstream(data: &[u8]) -> Result<(ConfigBitmap, u32), BitstreamError> {
+    let mut r = Reader { data, pos: 0 };
+    if r.take(4)? != BITSTREAM_MAGIC {
+        return Err(BitstreamError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != BITSTREAM_VERSION {
+        return Err(BitstreamError::BadVersion(version));
+    }
+    let lut_inputs = u32::from(r.u16()?);
+    let num_cycles = r.u32()? as usize;
+    let mut cycles = Vec::with_capacity(num_cycles.min(1 << 20));
+    for _ in 0..num_cycles {
+        let num_smbs = r.u32()? as usize;
+        let mut smbs = Vec::with_capacity(num_smbs.min(1 << 20));
+        for _ in 0..num_smbs {
+            let x = r.u16()?;
+            let y = r.u16()?;
+            let slots = r.u16()? as usize;
+            let mut les = Vec::with_capacity(slots);
+            for _ in 0..slots {
+                if r.u8()? == 0 {
+                    les.push(None);
+                } else {
+                    let truth_bits = r.u64()?;
+                    let n = r.u16()? as usize;
+                    let mut input_select = Vec::with_capacity(n.min(64));
+                    for _ in 0..n {
+                        input_select.push(r.u16()?);
+                    }
+                    let ff_capture = r.u8()?;
+                    let registered = r.u8()? != 0;
+                    les.push(Some(LeConfig {
+                        truth_bits,
+                        input_select,
+                        ff_capture,
+                        registered,
+                    }));
+                }
+            }
+            smbs.push(SmbConfig {
+                pos: SmbPos::new(x, y),
+                les,
+            });
+        }
+        let num_nets = r.u32()? as usize;
+        let mut nets = Vec::with_capacity(num_nets.min(1 << 20));
+        for _ in 0..num_nets {
+            let n = r.u32()? as usize;
+            let mut nodes = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                nodes.push(r.u32()?);
+            }
+            nets.push(nodes);
+        }
+        cycles.push(CycleConfig {
+            smbs,
+            routing: RoutingConfig { nets },
+        });
+    }
+    Ok((ConfigBitmap { cycles }, lut_inputs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfigBitmap {
+        ConfigBitmap {
+            cycles: vec![
+                CycleConfig {
+                    smbs: vec![SmbConfig {
+                        pos: SmbPos::new(1, 2),
+                        les: vec![
+                            Some(LeConfig {
+                                truth_bits: 0xBEEF,
+                                input_select: vec![1, 0x8002, 3, 4],
+                                ff_capture: 0b11,
+                                registered: true,
+                            }),
+                            None,
+                        ],
+                    }],
+                    routing: RoutingConfig {
+                        nets: vec![vec![10, 20, 30], vec![]],
+                    },
+                },
+                CycleConfig {
+                    smbs: vec![],
+                    routing: RoutingConfig::default(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let bitmap = sample();
+        let bytes = pack_bitstream(&bitmap, 4);
+        let (parsed, lut_inputs) = unpack_bitstream(&bytes).unwrap();
+        assert_eq!(parsed, bitmap);
+        assert_eq!(lut_inputs, 4);
+    }
+
+    #[test]
+    fn magic_and_version_checked() {
+        let bitmap = sample();
+        let mut bytes = pack_bitstream(&bitmap, 4);
+        bytes[0] = b'X';
+        assert_eq!(unpack_bitstream(&bytes), Err(BitstreamError::BadMagic));
+        let mut bytes = pack_bitstream(&bitmap, 4);
+        bytes[4] = 99;
+        assert!(matches!(
+            unpack_bitstream(&bytes),
+            Err(BitstreamError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let bytes = pack_bitstream(&sample(), 4);
+        for len in 0..bytes.len() {
+            let result = unpack_bitstream(&bytes[..len]);
+            assert!(result.is_err(), "prefix of {len} bytes must not parse");
+        }
+    }
+
+    #[test]
+    fn empty_bitmap_round_trips() {
+        let bitmap = ConfigBitmap::default();
+        let bytes = pack_bitstream(&bitmap, 5);
+        let (parsed, lut_inputs) = unpack_bitstream(&bytes).unwrap();
+        assert_eq!(parsed, bitmap);
+        assert_eq!(lut_inputs, 5);
+    }
+}

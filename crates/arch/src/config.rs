@@ -1,0 +1,129 @@
+//! Configuration-bit layout of NATURE elements.
+//!
+//! After routing, NanoMap emits one configuration bitmap per folding cycle
+//! (Section 4, step 15). This module defines the per-element bit budgets
+//! and the bitmap container; the route crate fills it in.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::SmbPos;
+use crate::params::ArchParams;
+
+/// Configuration of one LE in one folding cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeConfig {
+    /// LUT truth table, row 0 in bit 0 (`2^m` significant bits).
+    pub truth_bits: u64,
+    /// Selected input source per LUT pin (local crossbar select codes).
+    pub input_select: Vec<u16>,
+    /// Which of the LE's flip-flops capture this cycle (bit mask).
+    pub ff_capture: u8,
+    /// Whether the LE's LUT output is registered or combinational.
+    pub registered: bool,
+}
+
+/// Configuration of one SMB in one folding cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmbConfig {
+    /// Slot position.
+    pub pos: SmbPos,
+    /// Per-LE configurations (length = LEs per SMB; unused LEs `None`).
+    pub les: Vec<Option<LeConfig>>,
+}
+
+/// Configuration of the interconnect in one folding cycle: the set of
+/// switched-on routing-resource nodes, per net.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RoutingConfig {
+    /// For each routed net: the indices of the RR nodes it occupies.
+    pub nets: Vec<Vec<u32>>,
+}
+
+/// One folding cycle's complete configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleConfig {
+    /// Logic configuration per used SMB.
+    pub smbs: Vec<SmbConfig>,
+    /// Interconnect configuration.
+    pub routing: RoutingConfig,
+}
+
+/// The full configuration bitmap: one [`CycleConfig`] per folding cycle,
+/// cycled through by the reconfiguration counter.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfigBitmap {
+    /// Per-cycle configurations, executed in order then wrapping.
+    pub cycles: Vec<CycleConfig>,
+}
+
+impl ConfigBitmap {
+    /// Number of folding cycles configured.
+    pub fn num_cycles(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Total configuration bits across all cycles, using the per-element
+    /// budgets of [`bits_per_le`] and one bit per routing switch.
+    pub fn total_bits(&self, arch: &ArchParams) -> u64 {
+        let mut bits = 0u64;
+        for cycle in &self.cycles {
+            for smb in &cycle.smbs {
+                bits += u64::from(smb.les.iter().flatten().count() as u32) * bits_per_le(arch);
+            }
+            bits += cycle
+                .routing
+                .nets
+                .iter()
+                .map(|n| n.len() as u64)
+                .sum::<u64>();
+        }
+        bits
+    }
+}
+
+/// Configuration bits per LE: the LUT truth table plus input-select codes
+/// plus flip-flop control.
+pub fn bits_per_le(arch: &ArchParams) -> u64 {
+    let truth = 1u64 << arch.lut_inputs;
+    // Each LUT pin selects among the SMB-local sources; 5 bits is generous
+    // for a 16-LE SMB crossbar.
+    let selects = u64::from(arch.lut_inputs) * 5;
+    let ff_control = u64::from(arch.ffs_per_le) + 1;
+    truth + selects + ff_control
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn le_bit_budget() {
+        let arch = ArchParams::paper();
+        // 16 truth bits + 20 select bits + 3 FF bits.
+        assert_eq!(bits_per_le(&arch), 39);
+    }
+
+    #[test]
+    fn bitmap_counts_bits() {
+        let arch = ArchParams::paper();
+        let le = LeConfig {
+            truth_bits: 0xFFFF,
+            input_select: vec![0; 4],
+            ff_capture: 0b01,
+            registered: true,
+        };
+        let bitmap = ConfigBitmap {
+            cycles: vec![CycleConfig {
+                smbs: vec![SmbConfig {
+                    pos: SmbPos::new(0, 0),
+                    les: vec![Some(le), None],
+                }],
+                routing: RoutingConfig {
+                    nets: vec![vec![1, 2, 3]],
+                },
+            }],
+        };
+        assert_eq!(bitmap.num_cycles(), 1);
+        assert_eq!(bitmap.total_bits(&arch), 39 + 3);
+    }
+}

@@ -1,0 +1,155 @@
+//! The island-style SMB grid.
+
+use serde::{Deserialize, Serialize};
+
+/// Position of an SMB slot on the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SmbPos {
+    /// Column, 0-based from the left.
+    pub x: u16,
+    /// Row, 0-based from the top.
+    pub y: u16,
+}
+
+impl SmbPos {
+    /// Creates a position.
+    pub fn new(x: u16, y: u16) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan distance to another slot (the placement cost metric of
+    /// Section 4.4).
+    pub fn manhattan(self, other: SmbPos) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+}
+
+/// A rectangular grid of SMB slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Number of columns.
+    pub width: u16,
+    /// Number of rows.
+    pub height: u16,
+}
+
+impl Grid {
+    /// Creates a grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(width > 0 && height > 0, "grid must be non-empty");
+        Self { width, height }
+    }
+
+    /// The smallest near-square grid with at least `slots` positions.
+    pub fn with_capacity(slots: u32) -> Self {
+        let side = (slots as f64).sqrt().ceil() as u16;
+        let side = side.max(1);
+        if u32::from(side) * u32::from(side.saturating_sub(1)) >= slots {
+            Self::new(side, side - 1)
+        } else {
+            Self::new(side, side)
+        }
+    }
+
+    /// Total number of slots.
+    pub fn num_slots(&self) -> u32 {
+        u32::from(self.width) * u32::from(self.height)
+    }
+
+    /// `true` when `pos` lies on the grid.
+    pub fn contains(&self, pos: SmbPos) -> bool {
+        pos.x < self.width && pos.y < self.height
+    }
+
+    /// Linear index of a position (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is outside the grid.
+    pub fn index(&self, pos: SmbPos) -> usize {
+        assert!(self.contains(pos), "{pos:?} outside {self:?}");
+        usize::from(pos.y) * usize::from(self.width) + usize::from(pos.x)
+    }
+
+    /// Position of a linear index (row-major).
+    pub fn pos(&self, index: usize) -> SmbPos {
+        SmbPos::new(
+            (index % usize::from(self.width)) as u16,
+            (index / usize::from(self.width)) as u16,
+        )
+    }
+
+    /// Iterates all positions, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = SmbPos> + '_ {
+        let (w, h) = (self.width, self.height);
+        (0..h).flat_map(move |y| (0..w).map(move |x| SmbPos::new(x, y)))
+    }
+
+    /// The 2-4 orthogonal neighbours of a slot.
+    pub fn neighbors(&self, pos: SmbPos) -> Vec<SmbPos> {
+        let mut out = Vec::with_capacity(4);
+        if pos.x > 0 {
+            out.push(SmbPos::new(pos.x - 1, pos.y));
+        }
+        if pos.x + 1 < self.width {
+            out.push(SmbPos::new(pos.x + 1, pos.y));
+        }
+        if pos.y > 0 {
+            out.push(SmbPos::new(pos.x, pos.y - 1));
+        }
+        if pos.y + 1 < self.height {
+            out.push(SmbPos::new(pos.x, pos.y + 1));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(SmbPos::new(0, 0).manhattan(SmbPos::new(3, 4)), 7);
+        assert_eq!(SmbPos::new(5, 2).manhattan(SmbPos::new(1, 2)), 4);
+    }
+
+    #[test]
+    fn with_capacity_is_tight() {
+        assert_eq!(Grid::with_capacity(1).num_slots(), 1);
+        let g = Grid::with_capacity(10);
+        assert!(g.num_slots() >= 10);
+        assert!(g.num_slots() <= 16);
+        let g = Grid::with_capacity(100);
+        assert_eq!(g.num_slots(), 100);
+        let g = Grid::with_capacity(101);
+        assert!(g.num_slots() >= 101 && g.num_slots() <= 121);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let g = Grid::new(5, 3);
+        for (i, pos) in g.iter().enumerate() {
+            assert_eq!(g.index(pos), i);
+            assert_eq!(g.pos(i), pos);
+        }
+    }
+
+    #[test]
+    fn neighbors_clip_at_edges() {
+        let g = Grid::new(3, 3);
+        assert_eq!(g.neighbors(SmbPos::new(0, 0)).len(), 2);
+        assert_eq!(g.neighbors(SmbPos::new(1, 1)).len(), 4);
+        assert_eq!(g.neighbors(SmbPos::new(2, 1)).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_grid_panics() {
+        Grid::new(0, 3);
+    }
+}

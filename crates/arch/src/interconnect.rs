@@ -1,0 +1,121 @@
+//! The NATURE interconnect hierarchy.
+//!
+//! NATURE provides four kinds of programmable interconnect (Section 4.4 of
+//! the paper): direct links between adjacent SMBs, length-1 and length-4
+//! wire segments, and global interconnect lines. A length-`i` segment
+//! spans `i` SMBs. The router prefers the cheapest tier and escalates.
+
+use serde::{Deserialize, Serialize};
+
+/// The four interconnect tiers of NATURE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum WireType {
+    /// Dedicated link between horizontally/vertically adjacent SMBs.
+    Direct,
+    /// Channel segment spanning one SMB.
+    Length1,
+    /// Channel segment spanning four SMBs.
+    Length4,
+    /// Chip-spanning global line.
+    Global,
+}
+
+impl WireType {
+    /// All tiers, cheapest first (the router's escalation order).
+    pub const ALL: [WireType; 4] = [
+        WireType::Direct,
+        WireType::Length1,
+        WireType::Length4,
+        WireType::Global,
+    ];
+
+    /// Number of SMBs a segment of this type spans (globals span the chip;
+    /// returns `u32::MAX` as a sentinel).
+    pub fn span(self) -> u32 {
+        match self {
+            WireType::Direct | WireType::Length1 => 1,
+            WireType::Length4 => 4,
+            WireType::Global => u32::MAX,
+        }
+    }
+
+    /// Relative congestion base cost used by the router (cheap tiers first).
+    pub fn base_cost(self) -> f64 {
+        match self {
+            WireType::Direct => 1.0,
+            WireType::Length1 => 1.4,
+            WireType::Length4 => 2.2,
+            WireType::Global => 4.4,
+        }
+    }
+}
+
+/// Channel widths: how many tracks of each segment type run per channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// Direct links per adjacent SMB pair (per direction).
+    pub direct: u32,
+    /// Length-1 tracks per channel.
+    pub length1: u32,
+    /// Length-4 tracks per channel.
+    pub length4: u32,
+    /// Global lines per row/column.
+    pub global: u32,
+}
+
+impl ChannelConfig {
+    /// A NATURE-like default sized for the paper's benchmarks.
+    pub fn nature() -> Self {
+        Self {
+            direct: 8,
+            length1: 8,
+            length4: 4,
+            global: 2,
+        }
+    }
+
+    /// Tracks available for the given tier.
+    pub fn tracks(&self, wire: WireType) -> u32 {
+        match wire {
+            WireType::Direct => self.direct,
+            WireType::Length1 => self.length1,
+            WireType::Length4 => self.length4,
+            WireType::Global => self.global,
+        }
+    }
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        Self::nature()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalation_order_is_cheapest_first() {
+        let costs: Vec<f64> = WireType::ALL.iter().map(|w| w.base_cost()).collect();
+        for pair in costs.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn spans() {
+        assert_eq!(WireType::Direct.span(), 1);
+        assert_eq!(WireType::Length4.span(), 4);
+        assert_eq!(WireType::Global.span(), u32::MAX);
+    }
+
+    #[test]
+    fn channel_tracks_lookup() {
+        let c = ChannelConfig::nature();
+        for w in WireType::ALL {
+            assert!(c.tracks(w) > 0);
+        }
+        assert_eq!(c.tracks(WireType::Length1), 8);
+    }
+}

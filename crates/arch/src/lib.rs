@@ -1,0 +1,61 @@
+//! Model of NATURE, the hybrid nanotube/CMOS dynamically reconfigurable
+//! architecture (Zhang, Jha, Shang — DAC 2006, reference \[7\] of the
+//! NanoMap paper).
+//!
+//! NATURE is an island-style FPGA whose logic blocks (super-macroblocks,
+//! *SMBs*) each contain a two-level cluster: four macroblocks (*MBs*) of
+//! four logic elements (*LEs*), where an LE is one 4-input LUT plus (here)
+//! two flip-flops. Every logic and interconnect element carries a k-set
+//! **NRAM** — non-volatile nanotube RAM — holding k configurations that a
+//! counter cycles through at run time, enabling cycle-by-cycle
+//! reconfiguration (*temporal logic folding*).
+//!
+//! This crate models everything the NanoMap flow needs:
+//!
+//! * [`ArchParams`] — the SMB/MB/LE hierarchy and NRAM set count;
+//! * [`TimingModel`] — 100 nm delays (LUT, interconnect tiers, the 160 ps
+//!   NRAM reconfiguration);
+//! * [`AreaModel`] — LE/SMB areas, the 10.6 % NRAM overhead;
+//! * [`interconnect`]/[`Grid`]/[`RrGraph`] — the four-tier interconnect
+//!   and its routing-resource graph;
+//! * [`NramSpec`]/[`ReconfigCounter`] — configuration storage;
+//! * [`ConfigBitmap`] — the per-folding-cycle configuration layout.
+//!
+//! # Examples
+//!
+//! ```
+//! use nanomap_arch::{ArchParams, TimingModel};
+//!
+//! let arch = ArchParams::paper();
+//! let timing = TimingModel::nature_100nm();
+//! // Level-2 folding: each cycle runs 2 LUT levels then reconfigures.
+//! let cycle = timing.folding_cycle(2);
+//! assert!(cycle > 2.0 * timing.level_delay());
+//! assert_eq!(arch.les_per_smb(), 16);
+//! ```
+
+#![warn(missing_docs)]
+
+mod area;
+mod bitstream;
+mod config;
+mod grid;
+pub mod interconnect;
+mod nram;
+mod params;
+mod power;
+mod rrgraph;
+mod timing;
+
+pub use area::AreaModel;
+pub use bitstream::{
+    pack_bitstream, unpack_bitstream, BitstreamError, BITSTREAM_MAGIC, BITSTREAM_VERSION,
+};
+pub use config::{bits_per_le, ConfigBitmap, CycleConfig, LeConfig, RoutingConfig, SmbConfig};
+pub use grid::{Grid, SmbPos};
+pub use interconnect::{ChannelConfig, WireType};
+pub use nram::{NramSpec, ReconfigCounter};
+pub use params::ArchParams;
+pub use power::{estimate_power, offchip_reload_nj, retained_bits, PowerEstimate, PowerModel};
+pub use rrgraph::{RrGraph, RrNode, RrNodeId, RrNodeKind};
+pub use timing::{Ns, TimingModel};

@@ -1,0 +1,102 @@
+//! Carbon-nanotube RAM (NRAM) configuration-storage model.
+//!
+//! NATURE associates a k-set NRAM with every logic and interconnect
+//! element; during run-time reconfiguration the next configuration is read
+//! out of the NRAM (160 ps access) into SRAM cells under counter control
+//! (Section 2.1.2). NRAM is non-volatile: configurations survive power-off.
+
+use serde::{Deserialize, Serialize};
+
+/// An NRAM block attached to a reconfigurable element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NramSpec {
+    /// Number of configuration sets (`k`).
+    pub sets: u32,
+    /// Bits per configuration set (element-dependent).
+    pub bits_per_set: u32,
+    /// Access latency in picoseconds (160 ps for the 16-set layout).
+    pub access_ps: u32,
+}
+
+impl NramSpec {
+    /// The 16-set NRAM evaluated in the paper.
+    pub fn paper_16_set(bits_per_set: u32) -> Self {
+        Self {
+            sets: 16,
+            bits_per_set,
+            access_ps: 160,
+        }
+    }
+
+    /// Total storage capacity in bits.
+    pub fn total_bits(&self) -> u64 {
+        u64::from(self.sets) * u64::from(self.bits_per_set)
+    }
+
+    /// Can the NRAM hold configurations for `cycles` folding cycles?
+    ///
+    /// This is the constraint behind Eq. (3) of the paper: the minimum
+    /// folding level is limited by `num_reconf`.
+    pub fn supports_cycles(&self, cycles: u32) -> bool {
+        cycles <= self.sets
+    }
+}
+
+/// The reconfiguration counter that sequences NRAM sets cycle by cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigCounter {
+    sets: u32,
+    current: u32,
+}
+
+impl ReconfigCounter {
+    /// Creates a counter over `sets` configuration sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets == 0`.
+    pub fn new(sets: u32) -> Self {
+        assert!(sets > 0, "counter needs at least one set");
+        Self { sets, current: 0 }
+    }
+
+    /// The active configuration set.
+    pub fn current(&self) -> u32 {
+        self.current
+    }
+
+    /// Advances to the next set, wrapping at the end (cyclic execution of
+    /// the folding stages).
+    pub fn advance(&mut self) -> u32 {
+        self.current = (self.current + 1) % self.sets;
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_math() {
+        let n = NramSpec::paper_16_set(200);
+        assert_eq!(n.total_bits(), 3200);
+        assert!(n.supports_cycles(16));
+        assert!(!n.supports_cycles(17));
+    }
+
+    #[test]
+    fn counter_wraps() {
+        let mut c = ReconfigCounter::new(3);
+        assert_eq!(c.current(), 0);
+        assert_eq!(c.advance(), 1);
+        assert_eq!(c.advance(), 2);
+        assert_eq!(c.advance(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn zero_sets_panics() {
+        ReconfigCounter::new(0);
+    }
+}

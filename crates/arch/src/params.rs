@@ -1,0 +1,147 @@
+//! Architecture parameters of a NATURE instance.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a NATURE architecture instance.
+///
+/// The experiments in the paper use one 4-input LUT per logic element
+/// (LE), four LEs per macroblock (MB), four MBs per super-macroblock
+/// (SMB), and **two** flip-flops per LE (Section 5: with deep folding the
+/// registers, not the LUTs, become the area bottleneck).
+///
+/// # Examples
+///
+/// ```
+/// use nanomap_arch::ArchParams;
+///
+/// let arch = ArchParams::default();
+/// assert_eq!(arch.les_per_smb(), 16);
+/// assert_eq!(arch.ffs_per_smb(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchParams {
+    /// LUT input count `m`.
+    pub lut_inputs: u32,
+    /// LUTs per logic element (`h` in Eq. 14; NATURE uses 1).
+    pub luts_per_le: u32,
+    /// Flip-flops per logic element (`l` in Eq. 14).
+    pub ffs_per_le: u32,
+    /// Logic elements per macroblock.
+    pub les_per_mb: u32,
+    /// Macroblocks per super-macroblock.
+    pub mbs_per_smb: u32,
+    /// Reconfiguration copies per NRAM (`num_reconf` / `k`).
+    /// `u32::MAX` models the "k large enough" scenario of Table 1.
+    pub num_reconf: u32,
+}
+
+impl ArchParams {
+    /// The instance used throughout the paper's experiments
+    /// (1×4-LUT LEs, 2 FFs/LE, 4 LEs/MB, 4 MBs/SMB, 16 NRAM sets).
+    pub fn paper() -> Self {
+        Self {
+            lut_inputs: 4,
+            luts_per_le: 1,
+            ffs_per_le: 2,
+            les_per_mb: 4,
+            mbs_per_smb: 4,
+            num_reconf: 16,
+        }
+    }
+
+    /// The paper instance with unbounded reconfiguration copies
+    /// ("k enough" columns of Table 1).
+    pub fn paper_unbounded() -> Self {
+        Self {
+            num_reconf: u32::MAX,
+            ..Self::paper()
+        }
+    }
+
+    /// Logic elements per SMB.
+    pub fn les_per_smb(&self) -> u32 {
+        self.les_per_mb * self.mbs_per_smb
+    }
+
+    /// LUTs per SMB.
+    pub fn luts_per_smb(&self) -> u32 {
+        self.les_per_smb() * self.luts_per_le
+    }
+
+    /// Flip-flops per SMB.
+    pub fn ffs_per_smb(&self) -> u32 {
+        self.les_per_smb() * self.ffs_per_le
+    }
+
+    /// `true` when `num_reconf` models an unbounded NRAM.
+    pub fn unbounded_reconf(&self) -> bool {
+        self.num_reconf == u32::MAX
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(2..=6).contains(&self.lut_inputs) {
+            return Err(format!("lut_inputs {} outside 2..=6", self.lut_inputs));
+        }
+        for (name, v) in [
+            ("luts_per_le", self.luts_per_le),
+            ("ffs_per_le", self.ffs_per_le),
+            ("les_per_mb", self.les_per_mb),
+            ("mbs_per_smb", self.mbs_per_smb),
+            ("num_reconf", self.num_reconf),
+        ] {
+            if v == 0 {
+                return Err(format!("{name} must be positive"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ArchParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_matches_section5() {
+        let a = ArchParams::paper();
+        assert_eq!(a.lut_inputs, 4);
+        assert_eq!(a.les_per_mb, 4);
+        assert_eq!(a.mbs_per_smb, 4);
+        assert_eq!(a.ffs_per_le, 2);
+        assert_eq!(a.num_reconf, 16);
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn unbounded_variant() {
+        let a = ArchParams::paper_unbounded();
+        assert!(a.unbounded_reconf());
+        assert!(!ArchParams::paper().unbounded_reconf());
+    }
+
+    #[test]
+    fn validation_rejects_zeroes_and_bad_lut() {
+        let mut a = ArchParams::paper();
+        a.lut_inputs = 1;
+        assert!(a.validate().is_err());
+        let mut b = ArchParams::paper();
+        b.ffs_per_le = 0;
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_paper_instance() {
+        assert_eq!(ArchParams::default(), ArchParams::paper());
+    }
+}

@@ -1,0 +1,170 @@
+//! Power model of a NATURE instance (100 nm technology).
+//!
+//! The paper argues NRAM-based configuration improves system power: the
+//! bits never reload from off-chip memory (they are read from on-chip
+//! NRAM in 160 ps), and non-volatility means a powered-down fabric keeps
+//! its configuration (zero standby configuration energy). This module
+//! quantifies those effects with representative 100 nm per-event
+//! energies so the flow can report per-mapping power estimates:
+//!
+//! * **logic dynamic power** — LUT evaluations per second × switching
+//!   energy;
+//! * **reconfiguration power** — configuration bits re-read per second
+//!   from NRAM (folded designs pay this every cycle) vs. the SRAM-FPGA
+//!   baseline's off-chip reload, which is orders of magnitude costlier
+//!   per bit;
+//! * **leakage** — proportional to the LE count, which temporal folding
+//!   shrinks by an order of magnitude.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::ArchParams;
+
+/// Per-event energies and per-LE leakage at 100 nm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Energy of one LUT evaluation (switching + local interconnect), pJ.
+    pub lut_switch_pj: f64,
+    /// Energy to read one configuration bit from on-chip NRAM, pJ.
+    pub nram_read_bit_pj: f64,
+    /// Energy to load one configuration bit from off-chip flash/DRAM
+    /// (the conventional-FPGA reconfiguration path), pJ.
+    pub offchip_load_bit_pj: f64,
+    /// Leakage per logic element, µW.
+    pub le_leakage_uw: f64,
+    /// Fraction of LUT inputs toggling per cycle (activity factor).
+    pub activity: f64,
+}
+
+impl PowerModel {
+    /// The calibrated 100 nm model.
+    pub fn nature_100nm() -> Self {
+        Self {
+            lut_switch_pj: 0.08,
+            nram_read_bit_pj: 0.02,
+            offchip_load_bit_pj: 2.5,
+            le_leakage_uw: 0.9,
+            activity: 0.25,
+        }
+    }
+}
+
+/// A power estimate for one mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerEstimate {
+    /// Dynamic logic power, mW.
+    pub logic_mw: f64,
+    /// Run-time reconfiguration power (NRAM reads), mW.
+    pub reconfiguration_mw: f64,
+    /// Leakage power, mW.
+    pub leakage_mw: f64,
+}
+
+impl PowerEstimate {
+    /// Total power, mW.
+    pub fn total_mw(&self) -> f64 {
+        self.logic_mw + self.reconfiguration_mw + self.leakage_mw
+    }
+}
+
+/// Estimates the power of a mapping.
+///
+/// * `luts_evaluated_per_cycle` — LUT evaluations in one folding cycle
+///   (≈ the LUTs of one folding stage);
+/// * `config_bits_per_cycle` — configuration bits re-read per cycle
+///   (zero when not folding: the configuration is static);
+/// * `num_les` — logic elements occupied (leakage);
+/// * `cycle_ns` — the folding-cycle (or plane-cycle) period.
+pub fn estimate_power(
+    model: &PowerModel,
+    luts_evaluated_per_cycle: f64,
+    config_bits_per_cycle: f64,
+    num_les: u32,
+    cycle_ns: f64,
+) -> PowerEstimate {
+    let cycles_per_second = 1e9 / cycle_ns.max(1e-3);
+    // pJ * 1/s = pW; /1e9 -> mW.
+    let logic_mw =
+        model.lut_switch_pj * model.activity * luts_evaluated_per_cycle * cycles_per_second / 1e9;
+    let reconfiguration_mw =
+        model.nram_read_bit_pj * config_bits_per_cycle * cycles_per_second / 1e9;
+    let leakage_mw = model.le_leakage_uw * f64::from(num_les) / 1e3;
+    PowerEstimate {
+        logic_mw,
+        reconfiguration_mw,
+        leakage_mw,
+    }
+}
+
+/// Energy for one full off-chip configuration load of `bits` bits (what a
+/// conventional SRAM FPGA pays to change configurations), in nJ.
+pub fn offchip_reload_nj(model: &PowerModel, bits: u64) -> f64 {
+    model.offchip_load_bit_pj * bits as f64 / 1e3
+}
+
+/// Per-LE configuration bits (all NRAM sets) retained through power-off —
+/// the non-volatile storage that never needs reloading.
+pub fn retained_bits(arch: &ArchParams) -> u64 {
+    let sets = if arch.unbounded_reconf() {
+        16
+    } else {
+        arch.num_reconf
+    };
+    u64::from(sets) * crate::config::bits_per_le(arch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folding_trades_leakage_for_reconfiguration() {
+        let m = PowerModel::nature_100nm();
+        // No folding: 640 LEs, no reconfiguration, long cycle.
+        let nofold = estimate_power(&m, 640.0, 0.0, 640, 12.9);
+        // Level-1 folding: 40 LEs, ~40 LEs' bits re-read per 0.71 ns cycle.
+        let bits_per_le = 39.0;
+        let folded = estimate_power(&m, 40.0, 40.0 * bits_per_le, 40, 0.71);
+        assert_eq!(nofold.reconfiguration_mw, 0.0);
+        assert!(folded.reconfiguration_mw > 0.0);
+        // Folding slashes leakage 16x.
+        assert!(nofold.leakage_mw / folded.leakage_mw > 15.0);
+        // Run-time reconfiguration is the dominant power price of deep
+        // folding (the paper's power claims are about avoiding off-chip
+        // reloads and non-volatile standby, not total dynamic power).
+        assert!(folded.reconfiguration_mw > folded.logic_mw);
+        assert!(folded.total_mw() < nofold.total_mw() * 50.0);
+    }
+
+    #[test]
+    fn offchip_reload_dominates_nram_reads() {
+        let m = PowerModel::nature_100nm();
+        let bits = 100_000u64;
+        let offchip = offchip_reload_nj(&m, bits);
+        let onchip = m.nram_read_bit_pj * bits as f64 / 1e3;
+        assert!(offchip / onchip > 100.0);
+    }
+
+    #[test]
+    fn retained_bits_scale_with_sets() {
+        let k16 = ArchParams::paper();
+        let k8 = ArchParams {
+            num_reconf: 8,
+            ..ArchParams::paper()
+        };
+        assert_eq!(retained_bits(&k16), 2 * retained_bits(&k8));
+        // Unbounded is charged as the physical 16-set NRAM.
+        assert_eq!(
+            retained_bits(&ArchParams::paper_unbounded()),
+            retained_bits(&k16)
+        );
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let m = PowerModel::nature_100nm();
+        let e = estimate_power(&m, 10.0, 100.0, 20, 1.0);
+        assert!((e.total_mw() - (e.logic_mw + e.reconfiguration_mw + e.leakage_mw)).abs() < 1e-12);
+        assert!(e.logic_mw > 0.0 && e.leakage_mw > 0.0);
+    }
+}

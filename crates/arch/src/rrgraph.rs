@@ -1,0 +1,458 @@
+//! Routing-resource graph over the NATURE interconnect.
+//!
+//! Nodes model SMB output pins (sources), SMB input pins (sinks) and wire
+//! tracks of the four interconnect tiers; edges model the programmable
+//! switches between them. The PathFinder router negotiates congestion over
+//! node capacities.
+//!
+//! Switch pattern:
+//! * `Source(x,y)` drives its direct links, and every length-1/length-4
+//!   track and global line passing its slot;
+//! * a direct link ends in the neighbouring slot's `Sink`;
+//! * wire tracks connect to `Sink`s of every slot they span;
+//! * colinear tracks of the same tier connect end-to-end; horizontal and
+//!   vertical tracks connect wherever they cross (full switch boxes);
+//! * global lines connect to everything in their row/column, including
+//!   each other at crossings.
+
+use std::collections::HashMap;
+
+use crate::grid::{Grid, SmbPos};
+use crate::interconnect::{ChannelConfig, WireType};
+
+/// Identifier of a routing-resource node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RrNodeId(pub u32);
+
+impl RrNodeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a routing-resource node models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrNodeKind {
+    /// The output pin bundle of the SMB at a slot.
+    Source(SmbPos),
+    /// The input pin bundle of the SMB at a slot.
+    Sink(SmbPos),
+    /// A horizontal wire track starting at `at` and spanning `span` slots.
+    HWire {
+        /// Leftmost slot the track touches.
+        at: SmbPos,
+        /// Number of slots spanned.
+        span: u16,
+        /// Track index within the channel.
+        track: u16,
+    },
+    /// A vertical wire track starting at `at` and spanning `span` slots.
+    VWire {
+        /// Topmost slot the track touches.
+        at: SmbPos,
+        /// Number of slots spanned.
+        span: u16,
+        /// Track index within the channel.
+        track: u16,
+    },
+    /// A direct link from a slot toward a neighbour.
+    Direct {
+        /// Originating slot.
+        from: SmbPos,
+        /// Destination slot.
+        to: SmbPos,
+        /// Track index.
+        track: u16,
+    },
+    /// A global line spanning an entire row.
+    GlobalRow {
+        /// Row index.
+        y: u16,
+        /// Track index.
+        track: u16,
+    },
+    /// A global line spanning an entire column.
+    GlobalCol {
+        /// Column index.
+        x: u16,
+        /// Track index.
+        track: u16,
+    },
+}
+
+/// A routing-resource node.
+#[derive(Debug, Clone)]
+pub struct RrNode {
+    /// What the node models.
+    pub kind: RrNodeKind,
+    /// Interconnect tier (None for sources/sinks).
+    pub wire: Option<WireType>,
+    /// How many nets may use the node per folding cycle.
+    pub capacity: u32,
+    /// Router base cost.
+    pub base_cost: f64,
+}
+
+/// The routing-resource graph.
+#[derive(Debug)]
+pub struct RrGraph {
+    grid: Grid,
+    nodes: Vec<RrNode>,
+    edges: Vec<Vec<RrNodeId>>,
+    source_of: HashMap<SmbPos, RrNodeId>,
+    sink_of: HashMap<SmbPos, RrNodeId>,
+}
+
+impl RrGraph {
+    /// Builds the routing-resource graph for a grid and channel config.
+    pub fn build(grid: Grid, channels: &ChannelConfig) -> Self {
+        let mut b = Builder {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            source_of: HashMap::new(),
+            sink_of: HashMap::new(),
+        };
+        // Sources and sinks. Pin counts are generous (intra-SMB crossbars
+        // are rich); congestion lives on the wires.
+        for pos in grid.iter() {
+            let src = b.add(RrNode {
+                kind: RrNodeKind::Source(pos),
+                wire: None,
+                capacity: u32::MAX,
+                base_cost: 0.0,
+            });
+            let snk = b.add(RrNode {
+                kind: RrNodeKind::Sink(pos),
+                wire: None,
+                capacity: u32::MAX,
+                base_cost: 0.0,
+            });
+            b.source_of.insert(pos, src);
+            b.sink_of.insert(pos, snk);
+        }
+        // Direct links.
+        for pos in grid.iter() {
+            for neighbor in grid.neighbors(pos) {
+                for track in 0..channels.direct as u16 {
+                    let wire = b.add(RrNode {
+                        kind: RrNodeKind::Direct {
+                            from: pos,
+                            to: neighbor,
+                            track,
+                        },
+                        wire: Some(WireType::Direct),
+                        capacity: 1,
+                        base_cost: WireType::Direct.base_cost(),
+                    });
+                    b.connect(b.source_of[&pos], wire);
+                    b.connect(wire, b.sink_of[&neighbor]);
+                }
+            }
+        }
+        // Segment wires (length-1 and length-4), both orientations.
+        let mut h_wires: Vec<RrNodeId> = Vec::new();
+        let mut v_wires: Vec<RrNodeId> = Vec::new();
+        for (tier, span) in [(WireType::Length1, 1u16), (WireType::Length4, 4u16)] {
+            for track in 0..channels.tracks(tier) as u16 {
+                for y in 0..grid.height {
+                    let mut x = 0;
+                    while x < grid.width {
+                        let span = span.min(grid.width - x);
+                        let at = SmbPos::new(x, y);
+                        let wire = b.add(RrNode {
+                            kind: RrNodeKind::HWire { at, span, track },
+                            wire: Some(tier),
+                            capacity: 1,
+                            base_cost: tier.base_cost(),
+                        });
+                        h_wires.push(wire);
+                        for dx in 0..span {
+                            let cell = SmbPos::new(x + dx, y);
+                            b.connect(b.source_of[&cell], wire);
+                            b.connect(wire, b.sink_of[&cell]);
+                        }
+                        x += span;
+                    }
+                }
+                for x in 0..grid.width {
+                    let mut y = 0;
+                    while y < grid.height {
+                        let span = span.min(grid.height - y);
+                        let at = SmbPos::new(x, y);
+                        let wire = b.add(RrNode {
+                            kind: RrNodeKind::VWire { at, span, track },
+                            wire: Some(tier),
+                            capacity: 1,
+                            base_cost: tier.base_cost(),
+                        });
+                        v_wires.push(wire);
+                        for dy in 0..span {
+                            let cell = SmbPos::new(x, y + dy);
+                            b.connect(b.source_of[&cell], wire);
+                            b.connect(wire, b.sink_of[&cell]);
+                        }
+                        y += span;
+                    }
+                }
+            }
+        }
+        // Colinear end-to-end switches.
+        let ends = |kind: &RrNodeKind| -> Option<(bool, u16, u16, u16)> {
+            match *kind {
+                RrNodeKind::HWire { at, span, .. } => Some((true, at.y, at.x, at.x + span - 1)),
+                RrNodeKind::VWire { at, span, .. } => Some((false, at.x, at.y, at.y + span - 1)),
+                _ => None,
+            }
+        };
+        let all_wires: Vec<RrNodeId> = h_wires.iter().chain(v_wires.iter()).copied().collect();
+        for (i, &a) in all_wires.iter().enumerate() {
+            for &c in all_wires.iter().skip(i + 1) {
+                let (ka, kc) = (&b.nodes[a.index()].kind, &b.nodes[c.index()].kind);
+                let (Some((ha, la, sa, ea)), Some((hc, lc, sc, ec))) = (ends(ka), ends(kc)) else {
+                    continue;
+                };
+                let touching = if ha == hc && la == lc {
+                    // Colinear: abutting ends.
+                    ea + 1 == sc || ec + 1 == sa
+                } else if ha != hc {
+                    // Crossing: the H wire's row lies in the V wire's span
+                    // and vice versa.
+                    let (hl, hs, he, vl, vs, ve) = if ha {
+                        (la, sa, ea, lc, sc, ec)
+                    } else {
+                        (lc, sc, ec, la, sa, ea)
+                    };
+                    // hl = row of H wire, vl = column of V wire.
+                    (hs..=he).contains(&vl) && (vs..=ve).contains(&hl)
+                } else {
+                    false
+                };
+                if touching {
+                    b.connect(a, c);
+                    b.connect(c, a);
+                }
+            }
+        }
+        // Global lines.
+        let mut global_rows = Vec::new();
+        let mut global_cols = Vec::new();
+        for track in 0..channels.global as u16 {
+            for y in 0..grid.height {
+                let wire = b.add(RrNode {
+                    kind: RrNodeKind::GlobalRow { y, track },
+                    wire: Some(WireType::Global),
+                    capacity: 1,
+                    base_cost: WireType::Global.base_cost(),
+                });
+                global_rows.push((y, wire));
+                for x in 0..grid.width {
+                    let cell = SmbPos::new(x, y);
+                    b.connect(b.source_of[&cell], wire);
+                    b.connect(wire, b.sink_of[&cell]);
+                }
+            }
+            for x in 0..grid.width {
+                let wire = b.add(RrNode {
+                    kind: RrNodeKind::GlobalCol { x, track },
+                    wire: Some(WireType::Global),
+                    capacity: 1,
+                    base_cost: WireType::Global.base_cost(),
+                });
+                global_cols.push((x, wire));
+                for y in 0..grid.height {
+                    let cell = SmbPos::new(x, y);
+                    b.connect(b.source_of[&cell], wire);
+                    b.connect(wire, b.sink_of[&cell]);
+                }
+            }
+        }
+        // Global-global crossings.
+        for &(_, row) in &global_rows {
+            for &(_, col) in &global_cols {
+                b.connect(row, col);
+                b.connect(col, row);
+            }
+        }
+        RrGraph {
+            grid,
+            nodes: b.nodes,
+            edges: b.edges,
+            source_of: b.source_of,
+            sink_of: b.sink_of,
+        }
+    }
+
+    /// The grid this graph was built for.
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: RrNodeId) -> &RrNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Outgoing switch targets of a node.
+    pub fn neighbors(&self, id: RrNodeId) -> &[RrNodeId] {
+        &self.edges[id.index()]
+    }
+
+    /// The source node of the SMB at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is outside the grid.
+    pub fn source(&self, pos: SmbPos) -> RrNodeId {
+        self.source_of[&pos]
+    }
+
+    /// The sink node of the SMB at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is outside the grid.
+    pub fn sink(&self, pos: SmbPos) -> RrNodeId {
+        self.sink_of[&pos]
+    }
+
+    /// Iterates `(id, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RrNodeId, &RrNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (RrNodeId(i as u32), n))
+    }
+}
+
+struct Builder {
+    nodes: Vec<RrNode>,
+    edges: Vec<Vec<RrNodeId>>,
+    source_of: HashMap<SmbPos, RrNodeId>,
+    sink_of: HashMap<SmbPos, RrNodeId>,
+}
+
+impl Builder {
+    fn add(&mut self, node: RrNode) -> RrNodeId {
+        let id = RrNodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.edges.push(Vec::new());
+        id
+    }
+
+    fn connect(&mut self, from: RrNodeId, to: RrNodeId) {
+        self.edges[from.index()].push(to);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> RrGraph {
+        RrGraph::build(Grid::new(4, 4), &ChannelConfig::nature())
+    }
+
+    #[test]
+    fn sources_and_sinks_exist_per_slot() {
+        let g = small_graph();
+        for pos in g.grid().iter() {
+            let s = g.source(pos);
+            assert!(matches!(g.node(s).kind, RrNodeKind::Source(p) if p == pos));
+            let k = g.sink(pos);
+            assert!(matches!(g.node(k).kind, RrNodeKind::Sink(p) if p == pos));
+        }
+    }
+
+    #[test]
+    fn direct_links_reach_neighbors_only() {
+        let g = small_graph();
+        for (_, node) in g.iter() {
+            if let RrNodeKind::Direct { from, to, .. } = node.kind {
+                assert_eq!(from.manhattan(to), 1);
+            }
+        }
+    }
+
+    /// Any sink must be reachable from any source (connected fabric).
+    #[test]
+    fn fabric_is_fully_connected() {
+        let g = small_graph();
+        let start = g.source(SmbPos::new(0, 0));
+        let mut seen = vec![false; g.num_nodes()];
+        let mut stack = vec![start];
+        seen[start.index()] = true;
+        while let Some(n) = stack.pop() {
+            for &m in g.neighbors(n) {
+                if !seen[m.index()] {
+                    seen[m.index()] = true;
+                    stack.push(m);
+                }
+            }
+        }
+        for pos in g.grid().iter() {
+            assert!(seen[g.sink(pos).index()], "sink at {pos:?} unreachable");
+        }
+    }
+
+    #[test]
+    fn wires_have_unit_capacity_and_tier_costs() {
+        let g = small_graph();
+        for (_, node) in g.iter() {
+            if let Some(tier) = node.wire {
+                assert_eq!(node.capacity, 1);
+                assert!((node.base_cost - tier.base_cost()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn length4_wires_span_four_or_clip() {
+        let g = RrGraph::build(Grid::new(6, 6), &ChannelConfig::nature());
+        let mut saw_four = false;
+        for (_, node) in g.iter() {
+            if node.wire == Some(WireType::Length4) {
+                match node.kind {
+                    RrNodeKind::HWire { span, .. } | RrNodeKind::VWire { span, .. } => {
+                        assert!(span == 4 || span == 2, "span {span}");
+                        if span == 4 {
+                            saw_four = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_four);
+    }
+
+    #[test]
+    fn globals_span_full_rows_and_columns() {
+        let g = small_graph();
+        let mut rows = 0;
+        let mut cols = 0;
+        for (id, node) in g.iter() {
+            match node.kind {
+                RrNodeKind::GlobalRow { .. } => {
+                    rows += 1;
+                    // must reach all 4 sinks of its row + crossings
+                    assert!(g.neighbors(id).len() >= 4);
+                }
+                RrNodeKind::GlobalCol { .. } => cols += 1,
+                _ => {}
+            }
+        }
+        let tracks = ChannelConfig::nature().global;
+        assert_eq!(rows, 4 * tracks);
+        assert_eq!(cols, 4 * tracks);
+    }
+}

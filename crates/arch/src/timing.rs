@@ -1,0 +1,175 @@
+//! Timing model of a NATURE instance (100 nm technology).
+//!
+//! All constants are calibrated against the paper's reported numbers:
+//!
+//! * a detailed layout/SPICE study gives a **160 ps** on-chip
+//!   reconfiguration time for a 16-set NRAM (Section 2.1.2);
+//! * the no-folding delays of Table 1 imply roughly **0.54 ns per LUT
+//!   level** including local interconnect (e.g. ex1: depth 24 → 12.9 ns);
+//! * the level-1 delays imply roughly **0.17 ns** of per-folding-cycle
+//!   overhead (reconfiguration plus clocking).
+//!
+//! The folding-cycle period for level-`p` folding is
+//!
+//! ```text
+//! T(p) = p * (t_lut + t_local) + t_reconf + t_clk
+//! ```
+//!
+//! and the overall circuit delay is `num_planes * stages_per_plane * T(p)`
+//! (every plane runs the same number of folding stages to stay globally
+//! synchronized). For no-folding, the plane cycle is simply
+//! `depth * (t_lut + t_local) + t_clk`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::interconnect::WireType;
+
+/// Time in nanoseconds.
+pub type Ns = f64;
+
+/// Delay parameters of the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// LUT evaluation delay.
+    pub lut_delay: Ns,
+    /// Average intra-SMB (local crossbar) interconnect delay per level.
+    pub local_interconnect: Ns,
+    /// Intra-MB connection delay (one crossbar level instead of two; used
+    /// by post-route timing when both LEs share a macroblock).
+    pub local_intra_mb: Ns,
+    /// On-chip NRAM reconfiguration time (160 ps for a 16-set NRAM).
+    pub reconfiguration: Ns,
+    /// Flip-flop setup plus clock-to-Q charged once per cycle.
+    pub clocking: Ns,
+    /// Delay of a direct link between adjacent SMBs.
+    pub wire_direct: Ns,
+    /// Delay of a length-1 segment (plus switch).
+    pub wire_length1: Ns,
+    /// Delay of a length-4 segment (plus switch).
+    pub wire_length4: Ns,
+    /// Delay of a global interconnect line.
+    pub wire_global: Ns,
+}
+
+impl TimingModel {
+    /// The 100 nm model calibrated against the paper (see module docs).
+    pub fn nature_100nm() -> Self {
+        Self {
+            lut_delay: 0.32,
+            local_interconnect: 0.2175,
+            local_intra_mb: 0.12,
+            reconfiguration: 0.16,
+            clocking: 0.01,
+            wire_direct: 0.25,
+            wire_length1: 0.35,
+            wire_length4: 0.55,
+            wire_global: 1.10,
+        }
+    }
+
+    /// Delay of one logic level (LUT plus average local interconnect).
+    pub fn level_delay(&self) -> Ns {
+        self.lut_delay + self.local_interconnect
+    }
+
+    /// Folding-cycle period for level-`p` folding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn folding_cycle(&self, p: u32) -> Ns {
+        assert!(p > 0, "folding level must be positive");
+        f64::from(p) * self.level_delay() + self.reconfiguration + self.clocking
+    }
+
+    /// Plane cycle without folding (a plane of the given depth runs as pure
+    /// combinational logic between register boundaries).
+    pub fn plane_cycle_no_folding(&self, depth: u32) -> Ns {
+        f64::from(depth) * self.level_delay() + self.clocking
+    }
+
+    /// Overall circuit delay for level-`p` folding: every one of the
+    /// `num_planes` planes executes `stages` folding cycles.
+    pub fn circuit_delay(&self, num_planes: u32, stages: u32, p: u32) -> Ns {
+        f64::from(num_planes) * f64::from(stages) * self.folding_cycle(p)
+    }
+
+    /// Overall circuit delay without folding.
+    pub fn circuit_delay_no_folding(&self, num_planes: u32, depth_max: u32) -> Ns {
+        f64::from(num_planes) * self.plane_cycle_no_folding(depth_max)
+    }
+
+    /// Delay of one hop on a wire of the given type.
+    pub fn wire_delay(&self, wire: WireType) -> Ns {
+        match wire {
+            WireType::Direct => self.wire_direct,
+            WireType::Length1 => self.wire_length1,
+            WireType::Length4 => self.wire_length4,
+            WireType::Global => self.wire_global,
+        }
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        Self::nature_100nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1, ex1: depth-24 single plane, no folding → 12.90 ns.
+    #[test]
+    fn no_folding_delay_matches_table1_ex1() {
+        let t = TimingModel::nature_100nm();
+        let delay = t.circuit_delay_no_folding(1, 24);
+        assert!((delay - 12.90).abs() < 0.5, "got {delay}");
+    }
+
+    /// Table 1, ex1: level-1 folding over 24 stages → 17.02 ns.
+    #[test]
+    fn level1_delay_matches_table1_ex1() {
+        let t = TimingModel::nature_100nm();
+        let delay = t.circuit_delay(1, 24, 1);
+        assert!((delay - 17.02).abs() < 0.6, "got {delay}");
+    }
+
+    /// Folding level up → fewer cycles but longer period; overall delay
+    /// decreases toward the no-folding bound (Section 2.2).
+    #[test]
+    fn delay_decreases_with_folding_level() {
+        let t = TimingModel::nature_100nm();
+        let depth = 24u32;
+        let mut last = f64::INFINITY;
+        for p in [1u32, 2, 4, 8, 24] {
+            let stages = depth.div_ceil(p);
+            let delay = t.circuit_delay(1, stages, p);
+            assert!(delay <= last + 1e-9, "p={p}");
+            last = delay;
+        }
+        assert!(t.circuit_delay_no_folding(1, depth) < last);
+    }
+
+    #[test]
+    fn intra_mb_is_fastest_local_path() {
+        let t = TimingModel::nature_100nm();
+        assert!(t.local_intra_mb < t.local_interconnect);
+        assert!(t.local_interconnect < t.wire_delay(WireType::Direct));
+    }
+
+    #[test]
+    fn wire_delays_are_ordered() {
+        let t = TimingModel::nature_100nm();
+        assert!(t.wire_delay(WireType::Direct) < t.wire_delay(WireType::Length1));
+        assert!(t.wire_delay(WireType::Length1) < t.wire_delay(WireType::Length4));
+        assert!(t.wire_delay(WireType::Length4) < t.wire_delay(WireType::Global));
+    }
+
+    #[test]
+    #[should_panic(expected = "folding level must be positive")]
+    fn zero_folding_level_panics() {
+        TimingModel::default().folding_cycle(0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Reproduces the **motivational example of Section 3 / Fig. 1**: the
+//! 4-bit controller-datapath mapped under a 32-LE area constraint with
+//! delay minimization, showing the folding-level iteration and the
+//! per-folding-cycle LE usage (the paper reports 12 / 32 / 12 LEs over
+//! three cycles at level-4 folding).
+//!
+//! Run: `cargo run -p nanomap-bench --release --bin motivational`
+
+use nanomap::{NanoMap, Objective};
+use nanomap_arch::ArchParams;
+use nanomap_bench::circuits::ex1;
+use nanomap_netlist::PlaneSet;
+use nanomap_sched::{schedule_fds, FdsOptions, ItemGraph, LeShape};
+use nanomap_techmap::{expand, ExpandOptions};
+
+fn main() {
+    let circuit = ex1(4);
+    let net = expand(&circuit, ExpandOptions::default()).expect("expands");
+    let planes = PlaneSet::extract(&net).expect("extracts");
+    println!("Motivational example (Fig. 1, 4-bit controller-datapath)");
+    println!(
+        "planes={} total LUTs={} flip-flops={} max depth={}",
+        planes.num_planes(),
+        net.num_luts(),
+        net.num_ffs(),
+        planes.depth_max()
+    );
+    println!("(paper: 1 plane, 50 LUTs, 14 flip-flops, depth 9)\n");
+
+    // The paper's iteration: area constraint 32 LEs, minimize delay.
+    let constraint = 32;
+    println!("-- folding-level iteration under a {constraint}-LE constraint --");
+    let init_stages = nanomap::min_folding_stages(net.num_luts(), constraint);
+    let init_level = nanomap::folding_level_for_stages(planes.depth_max(), init_stages);
+    println!(
+        "Eq. (1): #folding_stages = ceil({} / {constraint}) = {init_stages}",
+        net.num_luts()
+    );
+    println!(
+        "Eq. (2): folding_level = ceil({} / {init_stages}) = {init_level}",
+        planes.depth_max()
+    );
+
+    let plane = &planes.planes()[0];
+    let shape = LeShape { luts: 1, ffs: 2 };
+    for level in (1..=init_level).rev() {
+        let stages = plane.depth.div_ceil(level);
+        let graph = ItemGraph::build(&net, plane, level).expect("items build");
+        let schedule = match schedule_fds(&net, &graph, stages, FdsOptions::default()) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("level {level}: {e}");
+                continue;
+            }
+        };
+        let usage = schedule.le_usage_exact(&net, &graph, net.num_ffs() as u32, shape);
+        let verdict = if usage.peak <= constraint {
+            "FITS"
+        } else {
+            "exceeds"
+        };
+        println!(
+            "level {level}: {stages} folding cycles, LEs per cycle {:?} (peak {}) -> {verdict}",
+            usage.per_stage, usage.peak
+        );
+        if usage.peak <= constraint {
+            break;
+        }
+    }
+
+    // The integrated flow's answer.
+    let flow = NanoMap::new(ArchParams::paper_unbounded()).without_physical();
+    match flow.map(
+        &net,
+        Objective::MinDelay {
+            max_les: Some(constraint),
+        },
+    ) {
+        Ok(report) => {
+            println!(
+                "\nNanoMap selects level {:?} / {} stages: {} LEs, {:.2} ns",
+                report.folding_level, report.stages, report.num_les, report.delay_ns
+            );
+            println!("(paper: level 4, 3 folding cycles of 12 / 32 / 12 LEs -> 32 LEs)");
+        }
+        Err(e) => println!("\nflow failed: {e}"),
+    }
+}

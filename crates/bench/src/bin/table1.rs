@@ -1,0 +1,128 @@
+//! Reproduces **Table 1**: circuit mapping results for AT-product
+//! optimization — no-folding baseline vs. folding with unbounded NRAM
+//! sets vs. folding with k = 16.
+//!
+//! Run: `cargo run -p nanomap-bench --release --bin table1 [--physical]`
+
+use nanomap::{NanoMap, Objective};
+use nanomap_arch::ArchParams;
+use nanomap_bench::circuits::paper_benchmarks;
+use nanomap_bench::table::render;
+use nanomap_netlist::PlaneSet;
+
+fn main() {
+    let physical = std::env::args().any(|a| a == "--physical");
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 6]; // [area_red_inf, at_inf, delay_inc_inf, area_red_16, at_16, delay_inc_16]
+    let mut count = 0.0;
+
+    println!("Table 1: circuit mapping results for AT product optimization");
+    println!("(paper values in parentheses; area = #LEs)\n");
+
+    for bench in paper_benchmarks() {
+        let planes = PlaneSet::extract(&bench.network).expect("benchmarks validate");
+        let base_flow = |arch: ArchParams| {
+            let flow = NanoMap::new(arch);
+            if physical {
+                flow
+            } else {
+                flow.without_physical()
+            }
+        };
+
+        // No-folding baseline: delay minimization without constraints.
+        let flow_inf = base_flow(ArchParams::paper_unbounded());
+        let nofold = flow_inf
+            .map(&bench.network, Objective::MinDelay { max_les: None })
+            .expect("no-folding always maps");
+        // AT optimization, unbounded k.
+        let at_inf = flow_inf
+            .map(&bench.network, Objective::MinAreaDelayProduct)
+            .expect("AT optimization always maps");
+        // AT optimization, k = 16.
+        let flow_16 = base_flow(ArchParams::paper());
+        let at_16 = flow_16
+            .map(&bench.network, Objective::MinAreaDelayProduct)
+            .expect("AT optimization always maps");
+
+        let at_improv = |n: &nanomap::MappingReport, f: &nanomap::MappingReport| -> f64 {
+            n.area_delay_product() / f.area_delay_product()
+        };
+        let p = &bench.paper_at;
+        rows.push(vec![
+            bench.name.to_string(),
+            format!("{} ({})", planes.num_planes(), bench.paper.planes),
+            format!("{} ({})", planes.depth_max(), bench.paper.depth),
+            format!("{} ({})", bench.network.num_luts(), bench.paper.luts),
+            format!("{} ({})", bench.network.num_ffs(), bench.paper.ffs),
+            format!("{} ({})", nofold.num_les, p.nofold_les),
+            format!("{:.2} ({:.2})", nofold.delay_ns, p.nofold_delay),
+            format!(
+                "{} ({})",
+                at_inf.folding_level.map_or("-".into(), |l| l.to_string()),
+                p.kinf_level
+            ),
+            format!("{} ({})", at_inf.num_les, p.kinf_les),
+            format!("{:.2} ({:.2})", at_inf.delay_ns, p.kinf_delay),
+            format!(
+                "{:.2}x ({:.2}x)",
+                at_improv(&nofold, &at_inf),
+                f64::from(p.nofold_les) * p.nofold_delay / (f64::from(p.kinf_les) * p.kinf_delay)
+            ),
+            format!(
+                "{} ({})",
+                at_16.folding_level.map_or("-".into(), |l| l.to_string()),
+                p.k16_level
+            ),
+            format!("{} ({})", at_16.num_les, p.k16_les),
+            format!("{:.2} ({:.2})", at_16.delay_ns, p.k16_delay),
+            format!(
+                "{:.2}x ({:.2}x)",
+                at_improv(&nofold, &at_16),
+                f64::from(p.nofold_les) * p.nofold_delay / (f64::from(p.k16_les) * p.k16_delay)
+            ),
+        ]);
+
+        sums[0] += f64::from(nofold.num_les) / f64::from(at_inf.num_les);
+        sums[1] += at_improv(&nofold, &at_inf);
+        sums[2] += at_inf.delay_ns / nofold.delay_ns - 1.0;
+        sums[3] += f64::from(nofold.num_les) / f64::from(at_16.num_les);
+        sums[4] += at_improv(&nofold, &at_16);
+        sums[5] += at_16.delay_ns / nofold.delay_ns - 1.0;
+        count += 1.0;
+    }
+
+    let header = [
+        "Circuit",
+        "#Planes",
+        "Depth",
+        "#LUTs",
+        "#FFs",
+        "NF #LEs",
+        "NF delay",
+        "k∞ lvl",
+        "k∞ #LEs",
+        "k∞ delay",
+        "k∞ AT impr",
+        "k16 lvl",
+        "k16 #LEs",
+        "k16 delay",
+        "k16 AT impr",
+    ];
+    println!("{}", render(&header, &rows));
+
+    println!(
+        "Average (k unbounded): LE reduction {:.1}x, AT improvement {:.1}x, delay increase {:.1}%",
+        sums[0] / count,
+        sums[1] / count,
+        100.0 * sums[2] / count
+    );
+    println!(
+        "Average (k = 16):      LE reduction {:.1}x, AT improvement {:.1}x, delay increase {:.1}%",
+        sums[3] / count,
+        sums[4] / count,
+        100.0 * sums[5] / count
+    );
+    println!("\nPaper:  14.8x LE reduction / 11.0x AT / +31.8% delay (k unbounded);");
+    println!("        9.2x / 7.8x / +19.4% (k = 16).");
+}

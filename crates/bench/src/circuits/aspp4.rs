@@ -1,0 +1,205 @@
+//! `ASPP4`: an application-specific programmable processor (after Ghosh,
+//! Raghunathan, Jha — reference \[20\]), arranged as a two-plane
+//! fetch/decode + execute pipeline.
+//!
+//! Plane 1 holds the architectural state (register file, instruction
+//! register, program counter) and decodes operands; plane 2 executes a
+//! multiply/ALU/shift/compare datapath into the writeback registers.
+
+use nanomap_netlist::rtl::RtlBuilder;
+use nanomap_netlist::rtl::{CombOp, RtlCircuit};
+
+use super::util::{adder, multiplier, mux2, slice, subtractor, wire, zext, Sig};
+
+/// Datapath width.
+pub const ASPP4_WIDTH: u32 = 12;
+
+/// Builds the ASPP4 benchmark.
+pub fn aspp4() -> RtlCircuit {
+    let w = ASPP4_WIDTH;
+    let mut b = RtlBuilder::new("aspp4");
+    let instr_in = Sig::new(b.input("instr", 16));
+    let data_in = Sig::new(b.input("data", w));
+
+    // ---- Plane 1: architectural state + operand decode. ----
+    // Register file of four general registers with write-back feedback.
+    let wb = b.register("wb", w); // written by plane 2 logic? No - level-1 via feedback below.
+    let regs: Vec<_> = (0..4).map(|i| b.register(&format!("gpr{i}"), w)).collect();
+    let ir = b.register("ir", 16);
+    let pc = b.register("pc", 8);
+
+    // Decode fields.
+    let op = slice(&mut b, "f_op", Sig::new(ir), 16, 12, 4);
+    let rs = slice(&mut b, "f_rs", Sig::new(ir), 16, 10, 2);
+    let rt = slice(&mut b, "f_rt", Sig::new(ir), 16, 8, 2);
+    let imm = slice(&mut b, "f_imm", Sig::new(ir), 16, 0, 8);
+    let _ = imm;
+
+    // Operand selection: 4:1 muxes over the register file.
+    let pick = |b: &mut RtlBuilder, name: &str, sel: Sig, regs: &[nanomap_netlist::NodeId]| {
+        let mux = b.comb(name, CombOp::MuxN { width: w, n: 4 });
+        for (i, &r) in regs.iter().enumerate() {
+            wire(b, Sig::new(r), mux, i as u32);
+        }
+        wire(b, sel, mux, 4);
+        Sig::new(mux)
+    };
+    let opa_raw = pick(&mut b, "opa_mux", rs, &regs);
+    let opb_raw = pick(&mut b, "opb_mux", rt, &regs);
+    // Register-file update: each GPR conditionally takes the writeback
+    // value (op bit selects), closing the state feedback loop.
+    for (i, &r) in regs.iter().enumerate() {
+        let sel = slice(&mut b, &format!("wsel{i}"), op, 4, (i % 4) as u32, 1);
+        let next = mux2(
+            &mut b,
+            &format!("gpr{i}_mux"),
+            Sig::new(r),
+            Sig::new(wb),
+            sel,
+            w,
+        );
+        wire(&mut b, next, r, 0);
+    }
+    // PC increments or loads from writeback.
+    let one8 = Sig::new(b.constant("one8", 8, 1));
+    let pc_inc = adder(&mut b, "pc_inc", Sig::new(pc), one8, 8);
+    let wb_lo = slice(&mut b, "wb_lo", Sig::new(wb), w, 0, 8);
+    let branch = slice(&mut b, "f_br", op, 4, 3, 1);
+    let pc_next = mux2(&mut b, "pc_mux", pc_inc, wb_lo, branch, 8);
+    wire(&mut b, pc_next, pc, 0);
+    // Writeback register is loaded from data_in XOR current operand (keeps
+    // wb in the level-1 feedback SCC).
+    let wb_x = b.comb("wb_xor", CombOp::Xor { width: w });
+    wire(&mut b, data_in, wb_x, 0);
+    wire(&mut b, opa_raw, wb_x, 1);
+    wire(&mut b, Sig::new(wb_x), wb, 0);
+    // Instruction fetch: hold-or-load keyed off a writeback bit so the
+    // instruction register participates in the level-1 state loop.
+    let fetch_sel = slice(&mut b, "fetch_sel", Sig::new(wb), w, 0, 1);
+    let ir_wide = zext(&mut b, "ir_hold", Sig::new(wb), w, 16);
+    let ir_next = mux2(&mut b, "ir_mux", instr_in, ir_wide, fetch_sel, 16);
+    wire(&mut b, ir_next, ir, 0);
+
+    // ---- Plane 2: execute straight out of decode into the writeback
+    // registers (a feed-forward second stage). ----
+    let a = opa_raw;
+    let bb = opb_raw;
+    let prod = multiplier(&mut b, "ex_mul", a, bb, w);
+    let prod2 = multiplier(&mut b, "ex_mac", bb, a, w); // dual MAC issue
+                                                        // SIMD square unit (second issue slot).
+    let prod3 = multiplier(&mut b, "ex_sq_a", a, a, w);
+    let prod4 = multiplier(&mut b, "ex_sq_b", bb, bb, w);
+    let sq_sum = adder(&mut b, "ex_sq_sum", prod3, prod4, 2 * w);
+    let sum = adder(&mut b, "ex_add", a, bb, w);
+    let dif = subtractor(&mut b, "ex_sub", a, bb, w);
+    let andv = b.comb("ex_and", CombOp::And { width: w });
+    wire(&mut b, a, andv, 0);
+    wire(&mut b, bb, andv, 1);
+    let xorv = b.comb("ex_xor", CombOp::Xor { width: w });
+    wire(&mut b, a, xorv, 0);
+    wire(&mut b, bb, xorv, 1);
+    // Barrel shifter: four mux stages shifting by 1, 2, 4, 8.
+    let mut shifted = a;
+    for (stage, amount) in [1u32, 2, 4, 8].iter().enumerate() {
+        let shl = b.comb(
+            &format!("ex_shl{stage}"),
+            CombOp::Shl {
+                width: w,
+                amount: *amount,
+            },
+        );
+        wire(&mut b, shifted, shl, 0);
+        let bit = slice(&mut b, &format!("shamt{stage}"), bb, w, stage as u32, 1);
+        shifted = mux2(
+            &mut b,
+            &format!("ex_shmux{stage}"),
+            shifted,
+            Sig::new(shl),
+            bit,
+            w,
+        );
+    }
+    let lt = b.comb("ex_lt", CombOp::Lt { width: w });
+    wire(&mut b, a, lt, 0);
+    wire(&mut b, bb, lt, 1);
+    let eq = b.comb("ex_eq", CombOp::Eq { width: w });
+    wire(&mut b, a, eq, 0);
+    wire(&mut b, bb, eq, 1);
+
+    // Result selection tree.
+    let op_exec = op;
+    let s0 = slice(&mut b, "os0", op_exec, 4, 0, 1);
+    let s1 = slice(&mut b, "os1", op_exec, 4, 1, 1);
+    let s2 = slice(&mut b, "os2", op_exec, 4, 2, 1);
+    let alu1 = mux2(&mut b, "r_mux1", sum, dif, s0, w);
+    let alu2 = mux2(&mut b, "r_mux2", Sig::new(andv), Sig::new(xorv), s0, w);
+    let alu = mux2(&mut b, "r_mux3", alu1, alu2, s1, w);
+    let result = mux2(&mut b, "r_mux4", alu, shifted, s2, w);
+
+    // Writeback registers.
+    let rres = b.register("rres", w);
+    let rres2 = b.register("rres2", w);
+    let rprod = b.register("rprod", 2 * w);
+    let rmac = b.register("rmac", 2 * w);
+    let rflag = b.register("rflag", 4);
+    wire(&mut b, result, rres, 0);
+    wire(&mut b, alu, rres2, 0);
+    wire(&mut b, prod, rprod, 0);
+    let mac_acc = adder(&mut b, "ex_mac_acc", prod2, sq_sum, 2 * w);
+    wire(&mut b, mac_acc, rmac, 0);
+    let flags = b.comb(
+        "flags_cat",
+        CombOp::Concat {
+            widths: vec![1, 1, 1, 1],
+        },
+    );
+    b.connect(lt, 0, flags, 0).expect("1-bit");
+    b.connect(eq, 0, flags, 1).expect("1-bit");
+    let r_hi = slice(&mut b, "res_hi", result, w, w - 1, 1);
+    let p_hi = slice(&mut b, "prod_hi", prod, 2 * w, 2 * w - 1, 1);
+    wire(&mut b, r_hi, flags, 2);
+    wire(&mut b, p_hi, flags, 3);
+    wire(&mut b, Sig::new(flags), rflag, 0);
+
+    for (name, reg, width) in [
+        ("res", rres, w),
+        ("res2", rres2, w),
+        ("prod", rprod, 2 * w),
+        ("mac", rmac, 2 * w),
+        ("flag", rflag, 4),
+    ] {
+        let o = b.output(name, width);
+        wire(&mut b, Sig::new(reg), o, 0);
+    }
+    b.finish().expect("aspp4 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_netlist::PlaneSet;
+    use nanomap_techmap::{expand, ExpandOptions};
+
+    #[test]
+    fn aspp4_matches_paper_parameters() {
+        let net = expand(&aspp4(), ExpandOptions::default()).unwrap();
+        let planes = PlaneSet::extract(&net).unwrap();
+        // Paper Table 1: 2 planes, 2240 LUTs, 160 flip-flops, depth 24.
+        assert_eq!(planes.num_planes(), 2);
+        assert!(
+            (120..=200).contains(&net.num_ffs()),
+            "FFs {}",
+            net.num_ffs()
+        );
+        assert!(
+            (1700..=2800).contains(&net.num_luts()),
+            "LUTs {}",
+            net.num_luts()
+        );
+        assert!(
+            (18..=36).contains(&planes.depth_max()),
+            "depth {}",
+            planes.depth_max()
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! `Biquad`: a direct-form-I biquad IIR filter with general-coefficient
+//! multipliers.
+//!
+//! `y = b0·x + b1·x1 + b2·x2 − a1·y1 − a2·y2`, with coefficients as
+//! primary inputs (hence five full parallel multipliers — the paper's
+//! Biquad is its LUT-heaviest single-plane benchmark). The delay
+//! registers hold conditionally (overflow feedback from the output),
+//! which keeps the filter one plane.
+
+use nanomap_netlist::rtl::RtlBuilder;
+use nanomap_netlist::rtl::RtlCircuit;
+
+use super::util::{adder, multiplier, mux2, slice, subtractor, wire, Sig};
+
+/// Data/coefficient width.
+pub const BIQUAD_WIDTH: u32 = 10;
+
+/// Builds the Biquad benchmark.
+pub fn biquad() -> RtlCircuit {
+    let w = BIQUAD_WIDTH;
+    let mut b = RtlBuilder::new("biquad");
+    let x = Sig::new(b.input("x", w));
+    let coeffs: Vec<Sig> = ["b0", "b1", "b2", "a1", "a2"]
+        .iter()
+        .map(|n| Sig::new(b.input(n, w)))
+        .collect();
+
+    let x1 = b.register("x1", w);
+    let x2 = b.register("x2", w);
+    let y1 = b.register("y1", w);
+    let y2 = b.register("y2", w);
+    let yout = b.register("yout", 2 * w);
+
+    // Overflow feedback: the output's top bit gates the delay-line
+    // updates (hold on overflow), folding everything into one plane.
+    let ovf = slice(&mut b, "ovf", Sig::new(yout), 2 * w, 2 * w - 1, 1);
+
+    // Five general products.
+    let p0 = multiplier(&mut b, "m_b0", x, coeffs[0], w);
+    let p1 = multiplier(&mut b, "m_b1", Sig::new(x1), coeffs[1], w);
+    let p2 = multiplier(&mut b, "m_b2", Sig::new(x2), coeffs[2], w);
+    let p3 = multiplier(&mut b, "m_a1", Sig::new(y1), coeffs[3], w);
+    let p4 = multiplier(&mut b, "m_a2", Sig::new(y2), coeffs[4], w);
+
+    // y = (p0 + p1 + p2) - (p3 + p4), at full 2w precision.
+    let f1 = adder(&mut b, "acc1", p0, p1, 2 * w);
+    let f2 = adder(&mut b, "acc2", f1, p2, 2 * w);
+    let f3 = adder(&mut b, "acc3", p3, p4, 2 * w);
+    let y_full = subtractor(&mut b, "acc4", f2, f3, 2 * w);
+    wire(&mut b, y_full, yout, 0);
+
+    // Delay-line updates with hold-on-overflow.
+    let x1_next = mux2(&mut b, "x1_mux", x, Sig::new(x1), ovf, w);
+    wire(&mut b, x1_next, x1, 0);
+    let x2_next = mux2(&mut b, "x2_mux", Sig::new(x1), Sig::new(x2), ovf, w);
+    wire(&mut b, x2_next, x2, 0);
+    let y_trunc = slice(&mut b, "y_trunc", y_full, 2 * w, w, w);
+    let y1_next = mux2(&mut b, "y1_mux", y_trunc, Sig::new(y1), ovf, w);
+    wire(&mut b, y1_next, y1, 0);
+    let rstat = b.register("rstat", 4);
+    let stat_bits = slice(&mut b, "stat_bits", y_full, 2 * w, 2 * w - 4, 4);
+    wire(&mut b, stat_bits, rstat, 0);
+    let ovf2 = slice(&mut b, "ovf2", Sig::new(rstat), 4, 3, 1);
+    let y2_next = mux2(&mut b, "y2_mux", Sig::new(y1), Sig::new(y2), ovf2, w);
+    wire(&mut b, y2_next, y2, 0);
+
+    let y = b.output("y", 2 * w);
+    wire(&mut b, Sig::new(yout), y, 0);
+    b.finish().expect("biquad is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_netlist::PlaneSet;
+    use nanomap_techmap::{expand, ExpandOptions};
+
+    #[test]
+    fn biquad_matches_paper_parameters() {
+        let net = expand(&biquad(), ExpandOptions::default()).unwrap();
+        let planes = PlaneSet::extract(&net).unwrap();
+        // Paper Table 1: 1 plane, 1376 LUTs, 64 flip-flops, depth 22.
+        assert_eq!(planes.num_planes(), 1);
+        assert_eq!(net.num_ffs(), 64);
+        assert!(
+            (1100..=1900).contains(&net.num_luts()),
+            "LUTs {}",
+            net.num_luts()
+        );
+        assert!(
+            (18..=34).contains(&planes.depth_max()),
+            "depth {}",
+            planes.depth_max()
+        );
+    }
+}

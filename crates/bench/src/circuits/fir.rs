@@ -1,0 +1,95 @@
+//! `FIR`: a 13-tap constant-coefficient FIR filter with automatic gain
+//! control.
+//!
+//! The delay line recirculates through an AGC mux controlled by the
+//! output register's sign bit, which (as in the paper's benchmark) keeps
+//! the whole filter a single plane: every register participates in one
+//! feedback strongly-connected component. Coefficients are small
+//! constants realized as shift-and-add multipliers.
+
+use nanomap_netlist::rtl::RtlBuilder;
+use nanomap_netlist::rtl::RtlCircuit;
+
+use super::util::{adder_tree, const_multiplier, mux2, slice, wire, Sig};
+
+/// Data width of the filter.
+pub const FIR_WIDTH: u32 = 8;
+/// Number of taps.
+pub const FIR_TAPS: usize = 13;
+/// Tap coefficients (mixed one- and two-bit weights).
+pub const FIR_COEFFS: [u32; FIR_TAPS] = [1, 2, 7, 8, 13, 16, 20, 16, 13, 8, 7, 2, 1];
+
+/// Accumulator width of the MAC tree.
+const ACC_WIDTH: u32 = 14;
+
+/// Builds the FIR benchmark.
+pub fn fir() -> RtlCircuit {
+    let w = FIR_WIDTH;
+    let mut b = RtlBuilder::new("fir");
+    let x = Sig::new(b.input("x", w));
+
+    // Output register first so the AGC bit exists for the delay line.
+    let out_reg = b.register("out", w);
+    let agc = slice(&mut b, "agc", Sig::new(out_reg), w, w - 1, 1);
+
+    // Delay line with AGC recirculation: tap0 <- agc ? tap12 : x, then
+    // tap[i] <- tap[i-1].
+    let mut taps = Vec::with_capacity(FIR_TAPS);
+    for i in 0..FIR_TAPS {
+        taps.push(b.register(&format!("tap{i}"), w));
+    }
+    let recirc = mux2(&mut b, "recirc", x, Sig::new(taps[FIR_TAPS - 1]), agc, w);
+    wire(&mut b, recirc, taps[0], 0);
+    for i in 1..FIR_TAPS {
+        wire(&mut b, Sig::new(taps[i - 1]), taps[i], 0);
+    }
+
+    // MAC: constant multipliers and a balanced adder tree.
+    let products: Vec<Sig> = FIR_COEFFS
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            const_multiplier(
+                &mut b,
+                &format!("cmul{i}"),
+                Sig::new(taps[i]),
+                w,
+                c,
+                ACC_WIDTH,
+            )
+        })
+        .collect();
+    let sum = adder_tree(&mut b, "mac", &products, ACC_WIDTH);
+    let truncated = slice(&mut b, "trunc", sum, ACC_WIDTH, ACC_WIDTH - w, w);
+    wire(&mut b, truncated, out_reg, 0);
+
+    let y = b.output("y", w);
+    wire(&mut b, Sig::new(out_reg), y, 0);
+    b.finish().expect("fir is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_netlist::PlaneSet;
+    use nanomap_techmap::{expand, ExpandOptions};
+
+    #[test]
+    fn fir_matches_paper_parameters() {
+        let net = expand(&fir(), ExpandOptions::default()).unwrap();
+        let planes = PlaneSet::extract(&net).unwrap();
+        // Paper Table 1: 1 plane, 678 LUTs, 112 flip-flops, depth 25.
+        assert_eq!(planes.num_planes(), 1, "AGC loop must fold the planes");
+        assert_eq!(net.num_ffs(), 112);
+        assert!(
+            (450..=950).contains(&net.num_luts()),
+            "LUTs {}",
+            net.num_luts()
+        );
+        assert!(
+            (15..=32).contains(&planes.depth_max()),
+            "depth {}",
+            planes.depth_max()
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! The seven benchmark circuits of the paper's Table 1.
+//!
+//! Each generator targets the circuit-parameter columns of Table 1
+//! (planes, max plane depth, LUTs, flip-flops); see `EXPERIMENTS.md` at
+//! the repository root for the paper-vs-ours comparison. `c5315` is the
+//! only gate-level circuit (mapped through FlowMap); the rest are RTL.
+
+mod aspp4;
+mod biquad;
+mod c5315;
+mod ex1;
+mod ex2;
+mod fir;
+mod paulin;
+pub mod util;
+
+pub use aspp4::{aspp4, ASPP4_WIDTH};
+pub use biquad::{biquad, BIQUAD_WIDTH};
+pub use c5315::{c5315_gates, c5315_like, C5315_CHANNELS, C5315_WIDTH};
+pub use ex1::ex1;
+pub use ex2::{ex2, EX2_WIDTH};
+pub use fir::{fir, FIR_COEFFS, FIR_TAPS, FIR_WIDTH};
+pub use paulin::{paulin, PAULIN_WIDTH};
+
+use nanomap_netlist::LutNetwork;
+use nanomap_techmap::{expand, ExpandOptions};
+
+/// Paper-reported circuit parameters (Table 1, columns 2–5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperParams {
+    /// `#Planes`.
+    pub planes: u32,
+    /// `Max plane depth`.
+    pub depth: u32,
+    /// `#LUTs`.
+    pub luts: u32,
+    /// `#Flip-flops`.
+    pub ffs: u32,
+}
+
+/// A benchmark: name, mapped network, and the paper's reference numbers.
+#[derive(Debug)]
+pub struct Benchmark {
+    /// Circuit name as it appears in the paper.
+    pub name: &'static str,
+    /// The mapped LUT network.
+    pub network: LutNetwork,
+    /// Paper Table 1 circuit parameters.
+    pub paper: PaperParams,
+    /// Paper Table 1 AT-optimization results:
+    /// (no-fold LEs, no-fold delay, k∞ level, k∞ LEs, k∞ delay,
+    ///  k16 level, k16 LEs, k16 delay).
+    pub paper_at: PaperAt,
+}
+
+/// Paper Table 1 AT-product results for one circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperAt {
+    /// `#LEs` without folding.
+    pub nofold_les: u32,
+    /// Delay (ns) without folding.
+    pub nofold_delay: f64,
+    /// Folding level with unbounded k.
+    pub kinf_level: u32,
+    /// `#LEs` with unbounded k.
+    pub kinf_les: u32,
+    /// Delay (ns) with unbounded k.
+    pub kinf_delay: f64,
+    /// Folding level with k = 16.
+    pub k16_level: u32,
+    /// `#LEs` with k = 16.
+    pub k16_les: u32,
+    /// Delay (ns) with k = 16.
+    pub k16_delay: f64,
+}
+
+/// Builds all seven benchmarks, mapped to 4-LUTs.
+///
+/// # Panics
+///
+/// Panics only if a generator is internally inconsistent.
+pub fn paper_benchmarks() -> Vec<Benchmark> {
+    let opts = ExpandOptions {
+        lut_inputs: 4,
+        ..ExpandOptions::default()
+    };
+    let rtl = |c: &nanomap_netlist::rtl::RtlCircuit| {
+        expand(c, opts).expect("benchmark circuits expand cleanly")
+    };
+    vec![
+        Benchmark {
+            name: "ex1",
+            network: rtl(&ex1(16)),
+            paper: PaperParams {
+                planes: 1,
+                depth: 24,
+                luts: 644,
+                ffs: 50,
+            },
+            paper_at: PaperAt {
+                nofold_les: 644,
+                nofold_delay: 12.90,
+                kinf_level: 1,
+                kinf_les: 34,
+                kinf_delay: 17.02,
+                k16_level: 2,
+                k16_les: 68,
+                k16_delay: 15.60,
+            },
+        },
+        Benchmark {
+            name: "FIR",
+            network: rtl(&fir()),
+            paper: PaperParams {
+                planes: 1,
+                depth: 25,
+                luts: 678,
+                ffs: 112,
+            },
+            paper_at: PaperAt {
+                nofold_les: 678,
+                nofold_delay: 14.20,
+                kinf_level: 1,
+                kinf_les: 56,
+                kinf_delay: 18.50,
+                k16_level: 2,
+                k16_les: 72,
+                k16_delay: 16.90,
+            },
+        },
+        Benchmark {
+            name: "ex2",
+            network: rtl(&ex2()),
+            paper: PaperParams {
+                planes: 3,
+                depth: 22,
+                luts: 694,
+                ffs: 130,
+            },
+            paper_at: PaperAt {
+                nofold_les: 694,
+                nofold_delay: 38.76,
+                kinf_level: 1,
+                kinf_les: 67,
+                kinf_delay: 48.84,
+                k16_level: 2,
+                k16_les: 88,
+                k16_delay: 42.90,
+            },
+        },
+        Benchmark {
+            name: "c5315",
+            network: c5315_like(),
+            paper: PaperParams {
+                planes: 1,
+                depth: 14,
+                luts: 792,
+                ffs: 0,
+            },
+            paper_at: PaperAt {
+                nofold_les: 792,
+                nofold_delay: 7.86,
+                kinf_level: 1,
+                kinf_les: 144,
+                kinf_delay: 10.36,
+                k16_level: 1,
+                k16_les: 144,
+                k16_delay: 10.36,
+            },
+        },
+        Benchmark {
+            name: "Biquad",
+            network: rtl(&biquad()),
+            paper: PaperParams {
+                planes: 1,
+                depth: 22,
+                luts: 1376,
+                ffs: 64,
+            },
+            paper_at: PaperAt {
+                nofold_les: 1376,
+                nofold_delay: 12.34,
+                kinf_level: 1,
+                kinf_les: 68,
+                kinf_delay: 16.28,
+                k16_level: 2,
+                k16_les: 136,
+                k16_delay: 14.30,
+            },
+        },
+        Benchmark {
+            name: "Paulin",
+            network: rtl(&paulin()),
+            paper: PaperParams {
+                planes: 2,
+                depth: 24,
+                luts: 1468,
+                ffs: 147,
+            },
+            paper_at: PaperAt {
+                nofold_les: 1468,
+                nofold_delay: 26.74,
+                kinf_level: 1,
+                kinf_les: 106,
+                kinf_delay: 35.52,
+                k16_level: 2,
+                k16_les: 136,
+                k16_delay: 31.20,
+            },
+        },
+        Benchmark {
+            name: "ASPP4",
+            network: rtl(&aspp4()),
+            paper: PaperParams {
+                planes: 2,
+                depth: 24,
+                luts: 2240,
+                ffs: 160,
+            },
+            paper_at: PaperAt {
+                nofold_les: 2240,
+                nofold_delay: 26.80,
+                kinf_level: 1,
+                kinf_les: 100,
+                kinf_delay: 36.96,
+                k16_level: 2,
+                k16_les: 200,
+                k16_delay: 32.40,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_netlist::PlaneSet;
+
+    #[test]
+    fn all_benchmarks_build_and_validate() {
+        for bench in paper_benchmarks() {
+            bench.network.validate().unwrap_or_else(|e| {
+                panic!("{} failed validation: {e}", bench.name);
+            });
+            let planes = PlaneSet::extract(&bench.network).unwrap();
+            assert_eq!(
+                planes.num_planes() as u32,
+                bench.paper.planes,
+                "{}: plane count",
+                bench.name
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! `Paulin`: the classic differential-equation solver of Paulin and
+//! Knight (the HLS benchmark the paper takes from reference \[19\]),
+//! arranged as a two-plane pipeline.
+//!
+//! One Euler step of `y'' + 3xy' + 3y = 0`:
+//! `x1 = x + dx; u1 = u - 3·x·u·dx - 3·y·dx; y1 = y + u·dx`.
+//! Plane 1 loads/conditions the state, plane 2 computes the step into the
+//! output registers (which drive the primary outputs directly).
+
+use nanomap_netlist::rtl::RtlBuilder;
+use nanomap_netlist::rtl::RtlCircuit;
+
+use super::util::{adder, const_multiplier, multiplier, mux2, slice, subtractor, wire, Sig};
+
+/// State width.
+pub const PAULIN_WIDTH: u32 = 10;
+
+/// Builds the Paulin benchmark.
+pub fn paulin() -> RtlCircuit {
+    let w = PAULIN_WIDTH;
+    let mut b = RtlBuilder::new("paulin");
+    let x_in = Sig::new(b.input("x_in", w));
+    let y_in = Sig::new(b.input("y_in", w));
+    let u_in = Sig::new(b.input("u_in", w));
+    let dx_in = Sig::new(b.input("dx_in", w));
+    let load = Sig::new(b.input("load", 1));
+
+    // ---- Plane 1: state registers with load/hold muxing (the hold path
+    // is a self-loop, keeping all state registers at level 1). ----
+    let rx = b.register("rx", w);
+    let ry = b.register("ry", w);
+    let ru = b.register("ru", w);
+    let rdx = b.register("rdx", w);
+    let rctl = b.register("rctl", 7);
+    let ctl_in = Sig::new(b.input("ctl", 7));
+    wire(&mut b, ctl_in, rctl, 0);
+    let mx = mux2(&mut b, "mx", Sig::new(rx), x_in, load, w);
+    let my = mux2(&mut b, "my", Sig::new(ry), y_in, load, w);
+    let mu = mux2(&mut b, "mu", Sig::new(ru), u_in, load, w);
+    let mdx = mux2(&mut b, "mdx", Sig::new(rdx), dx_in, load, w);
+    wire(&mut b, mx, rx, 0);
+    wire(&mut b, my, ry, 0);
+    wire(&mut b, mu, ru, 0);
+    wire(&mut b, mdx, rdx, 0);
+
+    // ---- Plane 2: the Euler step. ----
+    // t1 = x * u; t2 = t1 * dx (truncated); t3 = y * dx; u' = u - 3*t2 - 3*t3.
+    let t1_full = multiplier(&mut b, "mul_xu", Sig::new(rx), Sig::new(ru), w);
+    let t1 = slice(&mut b, "t1", t1_full, 2 * w, 0, w);
+    let t2_full = multiplier(&mut b, "mul_t1dx", t1, Sig::new(rdx), w);
+    let t2 = slice(&mut b, "t2", t2_full, 2 * w, 0, w);
+    let t3_full = multiplier(&mut b, "mul_ydx", Sig::new(ry), Sig::new(rdx), w);
+    let t3 = slice(&mut b, "t3", t3_full, 2 * w, 0, w);
+    let t4_full = multiplier(&mut b, "mul_udx", Sig::new(ru), Sig::new(rdx), w);
+    let t4 = slice(&mut b, "t4", t4_full, 2 * w, 0, w);
+    let three_t2 = const_multiplier(&mut b, "c3_t2", t2, w, 3, w);
+    let three_t3 = const_multiplier(&mut b, "c3_t3", t3, w, 3, w);
+    let rx_lo = slice(&mut b, "rx_lo", Sig::new(rx), w, 0, 8);
+    let ry_lo = slice(&mut b, "ry_lo", Sig::new(ry), w, 0, 8);
+    let t5_full = multiplier(&mut b, "mul_xy", rx_lo, ry_lo, 8);
+    let t5 = slice(&mut b, "t5", t5_full, 16, 0, w);
+    let u_m1 = subtractor(&mut b, "u_m1", Sig::new(ru), three_t2, w);
+    let u_next = subtractor(&mut b, "u_m2", u_m1, three_t3, w);
+    let x_next = adder(&mut b, "x_step", Sig::new(rx), Sig::new(rdx), w);
+    let y_next = adder(&mut b, "y_step", Sig::new(ry), t4, w);
+
+    let ox = b.register("ox", w);
+    let oy = b.register("oy", w);
+    let ou = b.register("ou", w);
+    let ot = b.register("ot", 2 * w);
+    let os1 = b.register("os1", 2 * w);
+    let os2 = b.register("os2", 2 * w);
+    let ostat = b.register("ostat", w);
+    wire(&mut b, x_next, ox, 0);
+    wire(&mut b, y_next, oy, 0);
+    wire(&mut b, u_next, ou, 0);
+    wire(&mut b, t1_full, ot, 0);
+    wire(&mut b, t2_full, os1, 0);
+    wire(&mut b, t3_full, os2, 0);
+    let stat_sum = adder(&mut b, "stat_sum", u_m1, t5, w);
+    wire(&mut b, stat_sum, ostat, 0);
+
+    for (name, reg) in [("x_out", ox), ("y_out", oy), ("u_out", ou)] {
+        let o = b.output(name, w);
+        wire(&mut b, Sig::new(reg), o, 0);
+    }
+    for (name, reg) in [("t_out", ot), ("s1_out", os1), ("s2_out", os2)] {
+        let o = b.output(name, 2 * w);
+        wire(&mut b, Sig::new(reg), o, 0);
+    }
+    let stat_out = b.output("stat_out", w);
+    wire(&mut b, Sig::new(ostat), stat_out, 0);
+    b.finish().expect("paulin is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_netlist::PlaneSet;
+    use nanomap_techmap::{expand, ExpandOptions};
+
+    #[test]
+    fn paulin_matches_paper_parameters() {
+        let net = expand(&paulin(), ExpandOptions::default()).unwrap();
+        let planes = PlaneSet::extract(&net).unwrap();
+        // Paper Table 1: 2 planes, 1468 LUTs, 147 flip-flops, depth 24.
+        assert_eq!(planes.num_planes(), 2);
+        assert_eq!(net.num_ffs(), 147, "calibrated to the paper's 147 FFs");
+        assert!(
+            (1100..=2000).contains(&net.num_luts()),
+            "LUTs {}",
+            net.num_luts()
+        );
+        assert!(
+            (18..=34).contains(&planes.depth_max()),
+            "depth {}",
+            planes.depth_max()
+        );
+    }
+}

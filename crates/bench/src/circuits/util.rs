@@ -1,0 +1,218 @@
+//! Shared building blocks for the benchmark circuit generators.
+
+use nanomap_netlist::rtl::{CombOp, RtlBuilder};
+use nanomap_netlist::NodeId;
+
+/// A single-ended signal: output port `port` of node `node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sig {
+    /// Driving node.
+    pub node: NodeId,
+    /// Output port index.
+    pub port: u32,
+}
+
+impl Sig {
+    /// Wraps port 0 of a node.
+    pub fn new(node: NodeId) -> Self {
+        Self { node, port: 0 }
+    }
+}
+
+/// Connects `sig` to input `port` of `to`, panicking on impossible wiring
+/// (generators construct well-typed circuits by design).
+pub fn wire(b: &mut RtlBuilder, sig: Sig, to: NodeId, port: u32) {
+    b.connect(sig.node, sig.port, to, port)
+        .expect("generator wiring is width-correct");
+}
+
+/// A ripple-carry adder `a + b` (carry-in 0), returning the sum.
+pub fn adder(b: &mut RtlBuilder, name: &str, a: Sig, rhs: Sig, width: u32) -> Sig {
+    let gnd = b.constant(&format!("{name}_gnd"), 1, 0);
+    let add = b.comb(name, CombOp::Add { width });
+    wire(b, a, add, 0);
+    wire(b, rhs, add, 1);
+    wire(b, Sig::new(gnd), add, 2);
+    Sig::new(add)
+}
+
+/// A subtractor `a - b`, returning the difference.
+pub fn subtractor(b: &mut RtlBuilder, name: &str, a: Sig, rhs: Sig, width: u32) -> Sig {
+    let sub = b.comb(name, CombOp::Sub { width });
+    wire(b, a, sub, 0);
+    wire(b, rhs, sub, 1);
+    Sig::new(sub)
+}
+
+/// A parallel multiplier, returning the full double-width product.
+pub fn multiplier(b: &mut RtlBuilder, name: &str, a: Sig, rhs: Sig, width: u32) -> Sig {
+    let mul = b.comb(name, CombOp::Mul { width });
+    wire(b, a, mul, 0);
+    wire(b, rhs, mul, 1);
+    Sig::new(mul)
+}
+
+/// A 2:1 mux `sel ? hi : lo`.
+pub fn mux2(b: &mut RtlBuilder, name: &str, lo: Sig, hi: Sig, sel: Sig, width: u32) -> Sig {
+    let mux = b.comb(name, CombOp::Mux2 { width });
+    wire(b, lo, mux, 0);
+    wire(b, hi, mux, 1);
+    wire(b, sel, mux, 2);
+    Sig::new(mux)
+}
+
+/// Extracts bits `lo .. lo + out_width` of a bus.
+pub fn slice(b: &mut RtlBuilder, name: &str, a: Sig, width: u32, lo: u32, out_width: u32) -> Sig {
+    let s = b.comb(
+        name,
+        CombOp::Slice {
+            width,
+            lo,
+            out_width,
+        },
+    );
+    wire(b, a, s, 0);
+    Sig::new(s)
+}
+
+/// Zero-extends a bus to `out_width` bits.
+pub fn zext(b: &mut RtlBuilder, name: &str, a: Sig, width: u32, out_width: u32) -> Sig {
+    assert!(out_width >= width);
+    if out_width == width {
+        return a;
+    }
+    let zeros = b.constant(&format!("{name}_z"), out_width - width, 0);
+    let cat = b.comb(
+        name,
+        CombOp::Concat {
+            widths: vec![width, out_width - width],
+        },
+    );
+    wire(b, a, cat, 0);
+    wire(b, Sig::new(zeros), cat, 1);
+    Sig::new(cat)
+}
+
+/// Multiplies by a small constant via shift-and-add over the set bits,
+/// returning an `out_width`-bit product (a constant-coefficient
+/// multiplier in the FIR-filter sense).
+pub fn const_multiplier(
+    b: &mut RtlBuilder,
+    name: &str,
+    a: Sig,
+    width: u32,
+    coefficient: u32,
+    out_width: u32,
+) -> Sig {
+    let wide = zext(b, &format!("{name}_in"), a, width, out_width);
+    let mut acc: Option<Sig> = None;
+    for bit in 0..32 {
+        if (coefficient >> bit) & 1 == 0 {
+            continue;
+        }
+        let shifted = if bit == 0 {
+            wide
+        } else {
+            let shl = b.comb(
+                &format!("{name}_shl{bit}"),
+                CombOp::Shl {
+                    width: out_width,
+                    amount: bit,
+                },
+            );
+            wire(b, wide, shl, 0);
+            Sig::new(shl)
+        };
+        acc = Some(match acc {
+            None => shifted,
+            Some(prev) => adder(b, &format!("{name}_add{bit}"), prev, shifted, out_width),
+        });
+    }
+    acc.unwrap_or_else(|| Sig::new(b.constant(&format!("{name}_zero"), out_width, 0)))
+}
+
+/// Sums a list of equal-width signals with a balanced adder tree.
+pub fn adder_tree(b: &mut RtlBuilder, name: &str, terms: &[Sig], width: u32) -> Sig {
+    assert!(!terms.is_empty());
+    let mut level: Vec<Sig> = terms.to_vec();
+    let mut round = 0;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for (i, pair) in level.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                next.push(adder(
+                    b,
+                    &format!("{name}_t{round}_{i}"),
+                    pair[0],
+                    pair[1],
+                    width,
+                ));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+        round += 1;
+    }
+    level[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_netlist::rtl::RtlSimulator;
+
+    #[test]
+    fn const_multiplier_matches_reference() {
+        for coefficient in [0u32, 1, 2, 3, 5, 10, 21] {
+            let mut b = RtlBuilder::new("cm");
+            let a = b.input("a", 6);
+            let y = b.output("y", 12);
+            let prod = const_multiplier(&mut b, "cm0", Sig::new(a), 6, coefficient, 12);
+            wire(&mut b, prod, y, 0);
+            let circuit = b.finish().unwrap();
+            let mut sim = RtlSimulator::new(&circuit).unwrap();
+            for value in [0u64, 1, 7, 33, 63] {
+                sim.set_input("a", value);
+                sim.eval_comb();
+                assert_eq!(
+                    sim.output("y"),
+                    Some((value * u64::from(coefficient)) & 0xFFF),
+                    "coefficient {coefficient}, value {value}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adder_tree_sums() {
+        let mut b = RtlBuilder::new("tree");
+        let inputs: Vec<Sig> = (0..5)
+            .map(|i| Sig::new(b.input(&format!("i{i}"), 8)))
+            .collect();
+        let sum = adder_tree(&mut b, "sum", &inputs, 8);
+        let y = b.output("y", 8);
+        wire(&mut b, sum, y, 0);
+        let circuit = b.finish().unwrap();
+        let mut sim = RtlSimulator::new(&circuit).unwrap();
+        for (i, v) in [3u64, 9, 27, 81, 11].iter().enumerate() {
+            sim.set_input(&format!("i{i}"), *v);
+        }
+        sim.eval_comb();
+        assert_eq!(sim.output("y"), Some((3 + 9 + 27 + 81 + 11) & 0xFF));
+    }
+
+    #[test]
+    fn zext_pads_high_bits() {
+        let mut b = RtlBuilder::new("z");
+        let a = b.input("a", 3);
+        let wide = zext(&mut b, "w", Sig::new(a), 3, 8);
+        let y = b.output("y", 8);
+        wire(&mut b, wide, y, 0);
+        let circuit = b.finish().unwrap();
+        let mut sim = RtlSimulator::new(&circuit).unwrap();
+        sim.set_input("a", 0b101);
+        sim.eval_comb();
+        assert_eq!(sim.output("y"), Some(0b101));
+    }
+}

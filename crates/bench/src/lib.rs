@@ -1,0 +1,14 @@
+//! Benchmark circuits and reproduction harness for the NanoMap paper.
+//!
+//! * [`circuits`] — generators for the seven Table 1 benchmarks (ex1,
+//!   FIR, ex2, c5315-class ALU, Biquad, Paulin, ASPP4);
+//! * binaries (`table1`, `table2`, `interconnect`, `motivational`,
+//!   `fds_example`, `tradeoff`, `ablation`) — regenerate every table,
+//!   figure and claim of the paper's evaluation;
+//! * Criterion benches — algorithm performance (FDS, FlowMap, placement,
+//!   routing, full flow).
+
+#![warn(missing_docs)]
+
+pub mod circuits;
+pub mod table;

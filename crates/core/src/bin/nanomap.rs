@@ -1,0 +1,218 @@
+//! `nanomap` — command-line driver for the NanoMap flow.
+//!
+//! ```text
+//! nanomap <design.vhd | design.blif> [options]
+//!   --objective delay|area|at   optimization target (default: at)
+//!   --max-les N                 area budget in logic elements
+//!   --max-delay NS              delay budget in nanoseconds
+//!   --k N                       NRAM configuration sets (default 16; 0 = unbounded)
+//!   --ffs-per-le N              flip-flops per LE (default 2)
+//!   --optimize                  run the LUT-network cleanup passes first
+//!   --no-physical               skip clustering/placement/routing
+//!   --verify                    check folded execution against simulation
+//!   --bitmap PATH               write the packed binary bitstream to PATH
+//! ```
+
+use std::process::ExitCode;
+
+use nanomap::{NanoMap, Objective};
+use nanomap_arch::ArchParams;
+use nanomap_netlist::{blif, vhdl, LutNetwork};
+use nanomap_techmap::{expand, optimize, ExpandOptions};
+
+struct Args {
+    input: String,
+    objective: String,
+    max_les: Option<u32>,
+    max_delay: Option<f64>,
+    k: u32,
+    ffs_per_le: u32,
+    run_optimize: bool,
+    physical: bool,
+    verify: bool,
+    bitmap_path: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: String::new(),
+        objective: "at".into(),
+        max_les: None,
+        max_delay: None,
+        k: 16,
+        ffs_per_le: 2,
+        run_optimize: false,
+        physical: true,
+        verify: false,
+        bitmap_path: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        #[allow(unused_mut)]
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--objective" => args.objective = value("--objective")?,
+            "--max-les" => {
+                args.max_les = Some(
+                    value("--max-les")?
+                        .parse()
+                        .map_err(|e| format!("--max-les: {e}"))?,
+                )
+            }
+            "--max-delay" => {
+                args.max_delay = Some(
+                    value("--max-delay")?
+                        .parse()
+                        .map_err(|e| format!("--max-delay: {e}"))?,
+                )
+            }
+            "--k" => args.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--ffs-per-le" => {
+                args.ffs_per_le = value("--ffs-per-le")?
+                    .parse()
+                    .map_err(|e| format!("--ffs-per-le: {e}"))?
+            }
+            "--bitmap" => args.bitmap_path = Some(value("--bitmap")?),
+            "--optimize" => args.run_optimize = true,
+            "--no-physical" => args.physical = false,
+            "--verify" => args.verify = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            other => {
+                if !args.input.is_empty() {
+                    return Err("multiple input files".into());
+                }
+                args.input = other.to_string();
+            }
+        }
+    }
+    if args.input.is_empty() {
+        return Err("missing input file".into());
+    }
+    Ok(args)
+}
+
+fn load(path: &str, lut_inputs: u32) -> Result<LutNetwork, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".blif") {
+        blif::parse(&text).map_err(|e| format!("{path}: {e}"))
+    } else if path.ends_with(".vhd") || path.ends_with(".vhdl") {
+        let circuit = vhdl::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        expand(
+            &circuit,
+            ExpandOptions {
+                lut_inputs,
+                ..ExpandOptions::default()
+            },
+        )
+        .map_err(|e| format!("{path}: {e}"))
+    } else {
+        Err(format!("{path}: unknown extension (use .vhd/.vhdl/.blif)"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}\n");
+            }
+            eprintln!("usage: nanomap <design.vhd | design.blif> [--objective delay|area|at]");
+            eprintln!("       [--max-les N] [--max-delay NS] [--k N] [--ffs-per-le N]");
+            eprintln!("       [--optimize] [--no-physical] [--verify] [--bitmap PATH]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let arch = ArchParams {
+        num_reconf: if args.k == 0 { u32::MAX } else { args.k },
+        ffs_per_le: args.ffs_per_le,
+        ..ArchParams::paper()
+    };
+    let mut net = match load(&args.input, arch.lut_inputs) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.run_optimize {
+        let (cleaned, stats) = optimize(&net);
+        println!(
+            "optimize: {} -> {} LUTs ({:.1}% removed, {} iterations)",
+            stats.luts_before,
+            stats.luts_after,
+            100.0 * stats.reduction(),
+            stats.iterations
+        );
+        net = cleaned;
+    }
+    let objective = match args.objective.as_str() {
+        "delay" => Objective::MinDelay {
+            max_les: args.max_les,
+        },
+        "area" => Objective::MinArea {
+            max_delay_ns: args.max_delay,
+        },
+        "at" => Objective::MinAreaDelayProduct,
+        other => {
+            eprintln!("error: unknown objective `{other}` (delay|area|at)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut flow = NanoMap::new(arch);
+    if !args.physical {
+        flow = flow.without_physical();
+    }
+    if args.bitmap_path.is_some() {
+        flow = flow.with_bitstream();
+    }
+    if args.verify {
+        flow = flow.with_verification();
+    }
+    match flow.map(&net, objective) {
+        Ok(report) => {
+            println!("{}", report.summary());
+            println!(
+                "  sharing: {:?}, NRAM sets used: {}, AT product: {:.0}",
+                report.sharing,
+                report.nram_sets_used,
+                report.area_delay_product()
+            );
+            println!(
+                "  power: logic {:.2} mW + reconfiguration {:.2} mW + leakage {:.2} mW = {:.2} mW",
+                report.power.logic_mw,
+                report.power.reconfiguration_mw,
+                report.power.leakage_mw,
+                report.power.total_mw()
+            );
+            if let Some(p) = &report.physical {
+                println!(
+                    "  physical: {} SMBs on {}x{}, routed delay {:.2} ns, {} config bits",
+                    p.num_smbs, p.grid.0, p.grid.1, p.routed_delay_ns, p.bitmap_bits
+                );
+                println!(
+                    "  interconnect: {} direct, {} len-1, {} len-4, {} global",
+                    p.usage.direct, p.usage.length1, p.usage.length4, p.usage.global
+                );
+            }
+            if args.verify {
+                println!("  folded-execution verification: PASSED");
+            }
+            if let (Some(path), Some(physical)) = (&args.bitmap_path, &report.physical) {
+                if let Some(bytes) = &physical.bitstream {
+                    if let Err(e) = std::fs::write(path, bytes) {
+                        eprintln!("error: writing {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("  bitstream: {} bytes -> {path}", bytes.len());
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

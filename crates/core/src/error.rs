@@ -1,0 +1,114 @@
+//! Flow-level errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the NanoMap flow.
+#[derive(Debug)]
+pub enum FlowError {
+    /// The input netlist is malformed.
+    Netlist(nanomap_netlist::NetlistError),
+    /// Technology mapping failed.
+    Techmap(nanomap_techmap::TechmapError),
+    /// No folding configuration satisfies the constraints.
+    NoFeasibleFolding {
+        /// Human-readable explanation (which constraint failed).
+        reason: String,
+    },
+    /// Scheduling failed unexpectedly.
+    Sched(nanomap_sched::SchedError),
+    /// Clustering failed.
+    Pack(nanomap_pack::PackError),
+    /// Placement failed.
+    Place(nanomap_place::PlaceError),
+    /// Routing failed after all retries.
+    Route(nanomap_route::RouteError),
+    /// The folded execution model diverged from the reference simulation.
+    VerificationFailed {
+        /// Description of the first divergence.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Netlist(e) => write!(f, "netlist error: {e}"),
+            Self::Techmap(e) => write!(f, "technology mapping error: {e}"),
+            Self::NoFeasibleFolding { reason } => {
+                write!(f, "no feasible folding configuration: {reason}")
+            }
+            Self::Sched(e) => write!(f, "scheduling error: {e}"),
+            Self::Pack(e) => write!(f, "clustering error: {e}"),
+            Self::Place(e) => write!(f, "placement error: {e}"),
+            Self::Route(e) => write!(f, "routing error: {e}"),
+            Self::VerificationFailed { detail } => {
+                write!(f, "folded execution diverged from reference: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Netlist(e) => Some(e),
+            Self::Techmap(e) => Some(e),
+            Self::Sched(e) => Some(e),
+            Self::Pack(e) => Some(e),
+            Self::Place(e) => Some(e),
+            Self::Route(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nanomap_netlist::NetlistError> for FlowError {
+    fn from(e: nanomap_netlist::NetlistError) -> Self {
+        Self::Netlist(e)
+    }
+}
+impl From<nanomap_techmap::TechmapError> for FlowError {
+    fn from(e: nanomap_techmap::TechmapError) -> Self {
+        Self::Techmap(e)
+    }
+}
+impl From<nanomap_sched::SchedError> for FlowError {
+    fn from(e: nanomap_sched::SchedError) -> Self {
+        Self::Sched(e)
+    }
+}
+impl From<nanomap_pack::PackError> for FlowError {
+    fn from(e: nanomap_pack::PackError) -> Self {
+        Self::Pack(e)
+    }
+}
+impl From<nanomap_place::PlaceError> for FlowError {
+    fn from(e: nanomap_place::PlaceError) -> Self {
+        Self::Place(e)
+    }
+}
+impl From<nanomap_route::RouteError> for FlowError {
+    fn from(e: nanomap_route::RouteError) -> Self {
+        Self::Route(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = FlowError::NoFeasibleFolding {
+            reason: "area constraint of 10 LEs unreachable".into(),
+        };
+        assert!(e.to_string().contains("10 LEs"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlowError>();
+    }
+}

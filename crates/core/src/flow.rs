@@ -1,0 +1,639 @@
+//! The NanoMap optimization flow (Fig. 2 of the paper).
+//!
+//! Given a mapped LUT network (or RTL that this crate expands first), the
+//! flow: identifies planes, enumerates folding configurations, runs
+//! force-directed scheduling per candidate to obtain LE usage and delay,
+//! selects the best candidate under the user's [`Objective`], then runs
+//! temporal clustering, two-step placement, PathFinder routing and
+//! configuration-bitmap generation. If placement/routing fail, the flow
+//! returns to logic mapping with the next folding configuration — the
+//! iterative loop of steps 2–15.
+
+use nanomap_arch::{estimate_power, ArchParams, AreaModel, ChannelConfig, PowerModel, TimingModel};
+use nanomap_netlist::rtl::RtlCircuit;
+use nanomap_netlist::{LutNetwork, PlaneSet};
+use nanomap_pack::{extract_nets, pack, PackOptions, TemporalDesign};
+use nanomap_place::{place, PlaceOptions};
+use nanomap_route::{route_design, RouteOptions};
+use nanomap_sched::{schedule_fds, FdsOptions, ItemGraph, LeShape, Schedule};
+use nanomap_techmap::{expand, ExpandOptions};
+
+use crate::error::FlowError;
+use crate::folding::{candidate_configs, FoldingConfig, PlaneSharing};
+use crate::objective::Objective;
+use crate::report::{MappingReport, PhysicalReport};
+use crate::verify::check_folded_execution;
+
+/// The NanoMap flow, configured for one NATURE instance.
+///
+/// # Examples
+///
+/// ```
+/// use nanomap::{NanoMap, Objective};
+/// use nanomap_arch::ArchParams;
+/// use nanomap_netlist::rtl::{CombOp, RtlBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = RtlBuilder::new("demo");
+/// let a = b.input("a", 4);
+/// let c = b.input("b", 4);
+/// let gnd = b.constant("gnd", 1, 0);
+/// let add = b.comb("add", CombOp::Add { width: 4 });
+/// b.connect(a, 0, add, 0)?;
+/// b.connect(c, 0, add, 1)?;
+/// b.connect(gnd, 0, add, 2)?;
+/// let y = b.output("y", 4);
+/// b.connect(add, 0, y, 0)?;
+/// let circuit = b.finish()?;
+///
+/// let flow = NanoMap::new(ArchParams::paper_unbounded());
+/// let report = flow.map_rtl(&circuit, Objective::MinAreaDelayProduct)?;
+/// // Deep folding shrinks the 8-LUT adder to a couple of LEs.
+/// assert!(report.num_les < 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NanoMap {
+    /// Architecture instance.
+    pub arch: ArchParams,
+    /// Timing model.
+    pub timing: TimingModel,
+    /// Area model.
+    pub area: AreaModel,
+    /// Interconnect channel configuration.
+    pub channels: ChannelConfig,
+    /// FDS options.
+    pub fds: FdsOptions,
+    /// Temporal clustering options.
+    pub pack_options: PackOptions,
+    /// Placement options.
+    pub place_options: PlaceOptions,
+    /// Routing options.
+    pub route_options: RouteOptions,
+    /// Run clustering + place + route for the chosen candidate.
+    pub run_physical: bool,
+    /// Emit the packed binary bitstream into the report.
+    pub emit_bitstream: bool,
+    /// Verify folded execution against the reference simulator.
+    pub verify: bool,
+    /// Macro cycles for the verification run.
+    pub verify_cycles: usize,
+}
+
+impl NanoMap {
+    /// Creates a flow for an architecture instance with default options.
+    pub fn new(arch: ArchParams) -> Self {
+        let shape = LeShape {
+            luts: arch.luts_per_le,
+            ffs: arch.ffs_per_le,
+        };
+        Self {
+            arch,
+            timing: TimingModel::nature_100nm(),
+            area: AreaModel::nature_100nm(),
+            channels: ChannelConfig::nature(),
+            fds: FdsOptions {
+                shape,
+                ..FdsOptions::default()
+            },
+            pack_options: PackOptions::default(),
+            place_options: PlaceOptions::default(),
+            route_options: RouteOptions::default(),
+            run_physical: true,
+            emit_bitstream: false,
+            verify: false,
+            verify_cycles: 64,
+        }
+    }
+
+    /// Disables place-and-route (fast logic-mapping-only evaluation).
+    pub fn without_physical(mut self) -> Self {
+        self.run_physical = false;
+        self
+    }
+
+    /// Enables folded-execution verification.
+    pub fn with_verification(mut self) -> Self {
+        self.verify = true;
+        self
+    }
+
+    /// Emits the packed binary bitstream into the report.
+    pub fn with_bitstream(mut self) -> Self {
+        self.emit_bitstream = true;
+        self
+    }
+
+    /// Maps an RTL circuit: expand to LUTs, then [`Self::map`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates expansion and mapping failures.
+    pub fn map_rtl(
+        &self,
+        circuit: &RtlCircuit,
+        objective: Objective,
+    ) -> Result<MappingReport, FlowError> {
+        let net = expand(
+            circuit,
+            ExpandOptions {
+                lut_inputs: self.arch.lut_inputs,
+                ..ExpandOptions::default()
+            },
+        )?;
+        self.map(&net, objective)
+    }
+
+    /// Maps a LUT network onto NATURE under the given objective.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::NoFeasibleFolding`] when no folding level
+    /// satisfies the constraints, or the first hard failure from a flow
+    /// stage.
+    pub fn map(&self, net: &LutNetwork, objective: Objective) -> Result<MappingReport, FlowError> {
+        let planes = PlaneSet::extract(net)?;
+        let candidates = candidate_configs(&planes, self.arch.num_reconf);
+
+        // --- Logic mapping: evaluate candidates (steps 2-6). ---
+        let mut evaluated: Vec<(FoldingConfig, CandidateEval)> = Vec::new();
+        for config in &candidates {
+            match self.evaluate(net, &planes, *config) {
+                Ok(eval) => evaluated.push((*config, eval)),
+                Err(FlowError::Sched(_)) => continue, // infeasible stage count
+                Err(e) => return Err(e),
+            }
+        }
+        if evaluated.is_empty() {
+            return Err(FlowError::NoFeasibleFolding {
+                reason: "no folding configuration schedules feasibly".into(),
+            });
+        }
+        // Order by objective preference among constraint-satisfying
+        // candidates; keep a constraint-violating fallback ordering too so
+        // physical failures can degrade gracefully.
+        let mut order: Vec<usize> = (0..evaluated.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (ca, ea) = &evaluated[a];
+            let (cb, eb) = &evaluated[b];
+            let fa = objective.admits(ea.les, ea.delay_ns);
+            let fb = objective.admits(eb.les, eb.delay_ns);
+            match (fa, fb) {
+                (true, false) => std::cmp::Ordering::Less,
+                (false, true) => std::cmp::Ordering::Greater,
+                _ => {
+                    if objective.prefers(ea.les, ea.delay_ns, eb.les, eb.delay_ns) {
+                        std::cmp::Ordering::Less
+                    } else if objective.prefers(eb.les, eb.delay_ns, ea.les, ea.delay_ns) {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        ca.stages.cmp(&cb.stages)
+                    }
+                }
+            }
+        });
+        let best_feasible = {
+            let (_, e) = &evaluated[order[0]];
+            objective.admits(e.les, e.delay_ns)
+        };
+        if !best_feasible {
+            let (_, e) = &evaluated[order[0]];
+            return Err(FlowError::NoFeasibleFolding {
+                reason: format!(
+                    "best candidate needs {} LEs / {:.2} ns, outside the constraints",
+                    e.les, e.delay_ns
+                ),
+            });
+        }
+
+        // --- Physical design (steps 7-15) with fallback to the next
+        // candidate on failure. ---
+        let mut last_error: Option<FlowError> = None;
+        for &idx in &order {
+            let (config, _) = &evaluated[idx];
+            let config = *config;
+            // Re-evaluate to own the schedules (cheap relative to P&R).
+            let eval = self.evaluate(net, &planes, config)?;
+            if !objective.admits(eval.les, eval.delay_ns) {
+                break; // remaining candidates violate constraints
+            }
+            match self.finish_candidate(net, &planes, config, eval) {
+                Ok(report) => return Ok(report),
+                Err(e @ (FlowError::Place(_) | FlowError::Route(_))) => {
+                    last_error = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_error.unwrap_or(FlowError::NoFeasibleFolding {
+            reason: "all feasible candidates failed physical design".into(),
+        }))
+    }
+
+    /// Logic-mapping evaluation of one folding configuration: schedules
+    /// every plane and computes LE usage and analytical delay.
+    fn evaluate(
+        &self,
+        net: &LutNetwork,
+        planes: &PlaneSet,
+        config: FoldingConfig,
+    ) -> Result<CandidateEval, FlowError> {
+        let num_planes = planes.num_planes() as u32;
+        let shape = self.fds.shape;
+        let total_ff_bits = net.num_ffs() as u32;
+        match config.level {
+            None => {
+                // No folding: every LUT owns an LE; registers live in the
+                // LE flip-flops.
+                let total_luts = net.num_luts() as u32;
+                let les = total_luts.max(total_ff_bits.div_ceil(shape.ffs));
+                let delay_ns = self
+                    .timing
+                    .circuit_delay_no_folding(num_planes, planes.depth_max());
+                // Trivial single-stage schedules for downstream stages.
+                let mut graphs = Vec::new();
+                let mut schedules = Vec::new();
+                for plane in planes.planes() {
+                    let graph = ItemGraph::build(net, plane, planes.depth_max().max(1))?;
+                    let n = graph.len();
+                    graphs.push(graph);
+                    schedules.push(Schedule::new(vec![0; n], 1));
+                }
+                Ok(CandidateEval {
+                    les,
+                    delay_ns,
+                    graphs,
+                    schedules,
+                })
+            }
+            Some(p) => {
+                let stages = config.stages;
+                let mut graphs = Vec::new();
+                let mut schedules = Vec::new();
+                for plane in planes.planes() {
+                    let graph = ItemGraph::build(net, plane, p)?;
+                    let schedule = schedule_fds(net, &graph, stages, self.fds)?;
+                    graphs.push(graph);
+                    schedules.push(schedule);
+                }
+                let les = match config.sharing {
+                    PlaneSharing::Shared => {
+                        // All planes reuse the same LEs: peak over planes,
+                        // with every circuit register alive throughout.
+                        let mut peak = 0;
+                        for (plane_idx, _plane) in planes.planes().iter().enumerate() {
+                            // The DGs inside FDS follow the paper's
+                            // weight_i storage estimate; the final LE
+                            // accounting counts, bit by bit, the values
+                            // that truly cross folding cycles.
+                            let usage = schedules[plane_idx].le_usage_exact(
+                                net,
+                                &graphs[plane_idx],
+                                total_ff_bits,
+                                shape,
+                            );
+                            peak = peak.max(usage.peak);
+                        }
+                        peak
+                    }
+                    PlaneSharing::PerPlane => {
+                        // Each plane owns LEs sized by its own peak, with
+                        // its adjacent registers resident.
+                        let owner = ff_owners(planes, net.num_ffs());
+                        let mut total = 0;
+                        for (plane_idx, _) in planes.planes().iter().enumerate() {
+                            let reg_bits = owner.iter().filter(|&&o| o == plane_idx).count() as u32;
+                            let usage = schedules[plane_idx].le_usage_exact(
+                                net,
+                                &graphs[plane_idx],
+                                reg_bits,
+                                shape,
+                            );
+                            total += usage.peak;
+                        }
+                        total
+                    }
+                };
+                let delay_ns = self.timing.circuit_delay(num_planes, stages, p);
+                Ok(CandidateEval {
+                    les,
+                    delay_ns,
+                    graphs,
+                    schedules,
+                })
+            }
+        }
+    }
+
+    /// Clustering, placement, routing, bitmap and verification for the
+    /// chosen candidate.
+    fn finish_candidate(
+        &self,
+        net: &LutNetwork,
+        planes: &PlaneSet,
+        config: FoldingConfig,
+        eval: CandidateEval,
+    ) -> Result<MappingReport, FlowError> {
+        let design = TemporalDesign::new(net, planes, eval.graphs, eval.schedules)?;
+        if self.verify {
+            let check = check_folded_execution(&design, self.verify_cycles, 0xFEED);
+            if let Some(detail) = check.failure {
+                return Err(FlowError::VerificationFailed { detail });
+            }
+        }
+        let physical = if self.run_physical {
+            let packing = pack(&design, &self.arch, self.pack_options)?;
+            let nets = extract_nets(&design, &packing);
+            let placement = place(
+                &design,
+                &packing,
+                &nets,
+                &self.channels,
+                &self.timing,
+                self.place_options,
+            )?;
+            let routed = route_design(
+                &design,
+                &packing,
+                &nets,
+                &placement,
+                &self.channels,
+                &self.timing,
+                &self.arch,
+                self.route_options,
+            )?;
+            let bitstream = self
+                .emit_bitstream
+                .then(|| nanomap_arch::pack_bitstream(&routed.bitmap, self.arch.lut_inputs));
+            Some(PhysicalReport {
+                num_smbs: packing.num_smbs,
+                grid: (placement.grid.width, placement.grid.height),
+                placement_cost: placement.cost,
+                peak_utilization: placement.routability.peak_utilization,
+                routed_delay_ns: routed.timing.circuit_delay,
+                usage: routed.usage.into(),
+                bitmap_bits: routed.bitmap.total_bits(&self.arch),
+                bitstream,
+            })
+        } else {
+            None
+        };
+        // Power estimate: average LUT work per cycle, configuration bits
+        // re-read per cycle (zero without folding), leakage from the LE
+        // footprint.
+        let num_slices = planes.num_planes() as f64 * f64::from(config.stages);
+        let (luts_per_cycle, bits_per_cycle, cycle_ns) = match config.level {
+            None => (
+                net.num_luts() as f64 / planes.num_planes() as f64,
+                0.0,
+                self.timing.plane_cycle_no_folding(planes.depth_max()),
+            ),
+            Some(p) => (
+                net.num_luts() as f64 / num_slices,
+                f64::from(eval.les) * nanomap_arch::bits_per_le(&self.arch) as f64,
+                self.timing.folding_cycle(p),
+            ),
+        };
+        let power = estimate_power(
+            &PowerModel::nature_100nm(),
+            luts_per_cycle,
+            bits_per_cycle,
+            eval.les,
+            cycle_ns,
+        );
+        let area_um2 = self.area.design_area(&self.arch, eval.les);
+        Ok(MappingReport {
+            circuit: net.name().to_string(),
+            num_planes: planes.num_planes() as u32,
+            depth_max: planes.depth_max(),
+            num_luts: net.num_luts() as u32,
+            num_ffs: net.num_ffs() as u32,
+            folding_level: config.level,
+            stages: config.stages,
+            sharing: config.sharing.into(),
+            nram_sets_used: config.nram_sets(planes.num_planes() as u32),
+            num_les: eval.les,
+            delay_ns: eval.delay_ns,
+            area_um2,
+            power,
+            physical,
+        })
+    }
+}
+
+/// Per-candidate logic-mapping result.
+struct CandidateEval {
+    les: u32,
+    delay_ns: f64,
+    graphs: Vec<ItemGraph>,
+    schedules: Vec<Schedule>,
+}
+
+/// Assigns every flip-flop to one plane (the plane it feeds, else the
+/// plane that writes it) for per-plane register accounting.
+fn ff_owners(planes: &PlaneSet, num_ffs: usize) -> Vec<usize> {
+    let mut owner = vec![0usize; num_ffs];
+    let mut assigned = vec![false; num_ffs];
+    for (idx, plane) in planes.planes().iter().enumerate() {
+        for &f in &plane.input_ffs {
+            if !assigned[f.index()] {
+                owner[f.index()] = idx;
+                assigned[f.index()] = true;
+            }
+        }
+    }
+    for (idx, plane) in planes.planes().iter().enumerate() {
+        for &f in &plane.output_ffs {
+            if !assigned[f.index()] {
+                owner[f.index()] = idx;
+                assigned[f.index()] = true;
+            }
+        }
+    }
+    owner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_netlist::rtl::{CombOp, RtlBuilder};
+
+    /// The paper's Fig. 1 circuit: controller (LUTs + 2 state bits) +
+    /// datapath (3 registers, adder, multiplier) with status feedback.
+    fn fig1_circuit() -> RtlCircuit {
+        fig1_circuit_w(4)
+    }
+
+    fn fig1_circuit_w(w: u32) -> RtlCircuit {
+        let mut b = RtlBuilder::new("fig1");
+        let x = b.input("x", w);
+        // Datapath registers with feedback through muxes.
+        let reg1 = b.register("reg1", w);
+        let reg2 = b.register("reg2", w);
+        let reg3 = b.register("reg3", w);
+        let gnd = b.constant("gnd", 1, 0);
+        let add = b.comb("add", CombOp::Add { width: w });
+        b.connect(reg1, 0, add, 0).unwrap();
+        b.connect(reg2, 0, add, 1).unwrap();
+        b.connect(gnd, 0, add, 2).unwrap();
+        let mul = b.comb("mul", CombOp::Mul { width: w });
+        b.connect(add, 0, mul, 0).unwrap();
+        b.connect(reg3, 0, mul, 1).unwrap();
+        let mul_lo = b.comb(
+            "mul_lo",
+            CombOp::Slice {
+                width: 2 * w,
+                lo: 0,
+                out_width: w,
+            },
+        );
+        b.connect(mul, 0, mul_lo, 0).unwrap();
+        // Controller: two state bits + 4 LUTs.
+        let s0 = b.register("s0", 1);
+        let s1 = b.register("s1", 1);
+        // Status feedback from the datapath into the controller (the
+        // carry-out flag), making controller + datapath one plane.
+        let flag = b.comb(
+            "flag",
+            CombOp::Slice {
+                width: w,
+                lo: w - 1,
+                out_width: 1,
+            },
+        );
+        b.connect(reg3, 0, flag, 0).unwrap();
+        let lut1 = b.lut("lut1", nanomap_netlist::TruthTable::xor(2));
+        b.connect(s0, 0, lut1, 0).unwrap();
+        b.connect(s1, 0, lut1, 1).unwrap();
+        let lut2 = b.lut("lut2", nanomap_netlist::TruthTable::and(2));
+        b.connect(s0, 0, lut2, 0).unwrap();
+        b.connect(flag, 0, lut2, 1).unwrap();
+        b.connect(lut1, 0, s0, 0).unwrap();
+        b.connect(lut2, 0, s1, 0).unwrap();
+        // Muxed register updates.
+        let mux1 = b.comb("mux1", CombOp::Mux2 { width: w });
+        b.connect(x, 0, mux1, 0).unwrap();
+        b.connect(mul_lo, 0, mux1, 1).unwrap();
+        b.connect(lut1, 0, mux1, 2).unwrap();
+        b.connect(mux1, 0, reg1, 0).unwrap();
+        let mux2 = b.comb("mux2", CombOp::Mux2 { width: w });
+        b.connect(x, 0, mux2, 0).unwrap();
+        b.connect(add, 0, mux2, 1).unwrap();
+        b.connect(lut2, 0, mux2, 2).unwrap();
+        b.connect(mux2, 0, reg2, 0).unwrap();
+        let mux3 = b.comb("mux3", CombOp::Mux2 { width: w });
+        b.connect(x, 0, mux3, 0).unwrap();
+        b.connect(add, 0, mux3, 1).unwrap();
+        b.connect(lut1, 0, mux3, 2).unwrap();
+        b.connect(mux3, 0, reg3, 0).unwrap();
+        let y = b.output("y", w);
+        b.connect(reg3, 0, y, 0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn fig1_is_a_single_plane() {
+        let circuit = fig1_circuit();
+        let net = expand(&circuit, ExpandOptions::default()).unwrap();
+        let planes = PlaneSet::extract(&net).unwrap();
+        assert_eq!(planes.num_planes(), 1);
+    }
+
+    #[test]
+    fn at_product_prefers_folding() {
+        // Table 1 scale matters: at realistic circuit sizes AT
+        // optimization lands on deep folding (level 1 with unbounded k).
+        let flow = NanoMap::new(ArchParams::paper_unbounded()).without_physical();
+        let report = flow
+            .map_rtl(&fig1_circuit_w(8), Objective::MinAreaDelayProduct)
+            .unwrap();
+        assert!(
+            report.folding_level.unwrap_or(u32::MAX) <= 2,
+            "chose level {:?}",
+            report.folding_level
+        );
+        // Folding must use far fewer LEs than the LUT count.
+        assert!(report.num_les < report.num_luts / 3);
+    }
+
+    #[test]
+    fn delay_min_unconstrained_picks_no_folding() {
+        let flow = NanoMap::new(ArchParams::paper_unbounded()).without_physical();
+        let report = flow
+            .map_rtl(&fig1_circuit(), Objective::MinDelay { max_les: None })
+            .unwrap();
+        assert_eq!(report.folding_level, None);
+        assert_eq!(
+            report.num_les,
+            report.num_luts.max(report.num_ffs.div_ceil(2))
+        );
+    }
+
+    #[test]
+    fn delay_min_with_area_constraint_folds_just_enough() {
+        let flow = NanoMap::new(ArchParams::paper_unbounded()).without_physical();
+        let unconstrained = flow
+            .map_rtl(&fig1_circuit(), Objective::MinDelay { max_les: None })
+            .unwrap();
+        let budget = unconstrained.num_les / 2;
+        let constrained = flow
+            .map_rtl(
+                &fig1_circuit(),
+                Objective::MinDelay {
+                    max_les: Some(budget),
+                },
+            )
+            .unwrap();
+        assert!(constrained.num_les <= budget);
+        assert!(constrained.folding_level.is_some());
+        assert!(constrained.delay_ns >= unconstrained.delay_ns);
+    }
+
+    #[test]
+    fn impossible_constraint_errors() {
+        let flow = NanoMap::new(ArchParams::paper_unbounded()).without_physical();
+        let err = flow
+            .map_rtl(&fig1_circuit(), Objective::MinDelay { max_les: Some(1) })
+            .unwrap_err();
+        assert!(matches!(err, FlowError::NoFeasibleFolding { .. }));
+    }
+
+    #[test]
+    fn nram_limit_restricts_folding_level() {
+        // k = 4 on a depth-~11 plane: level 1 needs ~11+ sets, so the
+        // chosen level must satisfy stages <= 4.
+        let arch = ArchParams {
+            num_reconf: 4,
+            ..ArchParams::paper()
+        };
+        let flow = NanoMap::new(arch).without_physical();
+        let report = flow
+            .map_rtl(&fig1_circuit(), Objective::MinAreaDelayProduct)
+            .unwrap();
+        assert!(report.nram_sets_used <= 4 || report.folding_level.is_none());
+    }
+
+    #[test]
+    fn full_physical_flow_completes() {
+        let flow = NanoMap::new(ArchParams::paper_unbounded()).with_verification();
+        let report = flow
+            .map_rtl(&fig1_circuit(), Objective::MinAreaDelayProduct)
+            .unwrap();
+        let physical = report.physical.expect("physical design ran");
+        assert!(physical.num_smbs >= 1);
+        assert!(physical.routed_delay_ns > 0.0);
+        assert!(physical.bitmap_bits > 0);
+    }
+
+    #[test]
+    fn verification_runs_clean_on_folded_mapping() {
+        let flow = NanoMap::new(ArchParams::paper_unbounded())
+            .without_physical()
+            .with_verification();
+        // Errors out if the folded execution diverges.
+        flow.map_rtl(&fig1_circuit(), Objective::MinAreaDelayProduct)
+            .unwrap();
+    }
+}

@@ -1,0 +1,189 @@
+//! Mapping reports.
+
+use nanomap_arch::PowerEstimate;
+use nanomap_route::InterconnectUsage;
+use serde::{Deserialize, Serialize};
+
+use crate::folding::PlaneSharing;
+
+/// Everything NanoMap reports about a finished mapping (the Table 1 /
+/// Table 2 columns plus physical-design detail).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MappingReport {
+    /// Circuit name.
+    pub circuit: String,
+    /// Number of planes (`#Planes` column).
+    pub num_planes: u32,
+    /// Maximum plane logic depth (`Max plane depth` column).
+    pub depth_max: u32,
+    /// Total LUTs (`#LUTs` column).
+    pub num_luts: u32,
+    /// Total flip-flops (`#Flip-flops` column).
+    pub num_ffs: u32,
+    /// Chosen folding level (`None` = no folding).
+    pub folding_level: Option<u32>,
+    /// Folding stages per plane.
+    pub stages: u32,
+    /// Plane resource sharing mode.
+    pub sharing: SharingMode,
+    /// NRAM configuration sets consumed.
+    pub nram_sets_used: u32,
+    /// Logic elements required (`#LEs` column, the paper's area proxy).
+    pub num_les: u32,
+    /// Analytical circuit delay in ns (`Delay` column).
+    pub delay_ns: f64,
+    /// Estimated silicon area in µm² (SMB-granular, NRAM overhead
+    /// included — see `nanomap_arch::AreaModel`).
+    pub area_um2: f64,
+    /// Power estimate (logic, run-time reconfiguration, leakage).
+    pub power: PowerEstimate,
+    /// Physical-design results, when the flow ran place-and-route.
+    pub physical: Option<PhysicalReport>,
+}
+
+/// Serializable mirror of [`PlaneSharing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SharingMode {
+    /// Planes time-share LEs.
+    Shared,
+    /// Each plane owns its LEs.
+    PerPlane,
+}
+
+impl From<PlaneSharing> for SharingMode {
+    fn from(s: PlaneSharing) -> Self {
+        match s {
+            PlaneSharing::Shared => Self::Shared,
+            PlaneSharing::PerPlane => Self::PerPlane,
+        }
+    }
+}
+
+/// Results of clustering, placement and routing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhysicalReport {
+    /// SMBs used after temporal clustering.
+    pub num_smbs: u32,
+    /// Grid dimensions (width, height).
+    pub grid: (u16, u16),
+    /// Final placement wirelength cost.
+    pub placement_cost: f64,
+    /// RISA peak channel utilization.
+    pub peak_utilization: f64,
+    /// Post-route circuit delay in ns.
+    pub routed_delay_ns: f64,
+    /// Interconnect usage counters.
+    pub usage: UsageReport,
+    /// Total configuration bits emitted.
+    pub bitmap_bits: u64,
+    /// The packed bitstream (see `nanomap_arch::pack_bitstream`), when the
+    /// flow was asked to emit it.
+    pub bitstream: Option<Vec<u8>>,
+}
+
+/// Serializable interconnect usage.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct UsageReport {
+    /// Direct-link nodes used.
+    pub direct: u64,
+    /// Length-1 nodes used.
+    pub length1: u64,
+    /// Length-4 nodes used.
+    pub length4: u64,
+    /// Global-line nodes used.
+    pub global: u64,
+}
+
+impl From<InterconnectUsage> for UsageReport {
+    fn from(u: InterconnectUsage) -> Self {
+        Self {
+            direct: u.direct,
+            length1: u.length1,
+            length4: u.length4,
+            global: u.global,
+        }
+    }
+}
+
+impl UsageReport {
+    /// Total wire nodes used.
+    pub fn total(&self) -> u64 {
+        self.direct + self.length1 + self.length4 + self.global
+    }
+}
+
+impl MappingReport {
+    /// Area-delay product with the LE count as the area proxy.
+    pub fn area_delay_product(&self) -> f64 {
+        f64::from(self.num_les) * self.delay_ns
+    }
+
+    /// A one-line summary in the style of a Table 1 row.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: planes={} depth={} luts={} ffs={} level={} les={} delay={:.2}ns",
+            self.circuit,
+            self.num_planes,
+            self.depth_max,
+            self.num_luts,
+            self.num_ffs,
+            self.folding_level
+                .map_or("none".to_string(), |p| p.to_string()),
+            self.num_les,
+            self.delay_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> MappingReport {
+        MappingReport {
+            circuit: "ex1".into(),
+            num_planes: 1,
+            depth_max: 24,
+            num_luts: 644,
+            num_ffs: 50,
+            folding_level: Some(1),
+            stages: 24,
+            sharing: SharingMode::Shared,
+            nram_sets_used: 24,
+            num_les: 34,
+            delay_ns: 17.02,
+            area_um2: 50_000.0,
+            power: PowerEstimate {
+                logic_mw: 0.2,
+                reconfiguration_mw: 1.0,
+                leakage_mw: 0.03,
+            },
+            physical: None,
+        }
+    }
+
+    #[test]
+    fn at_product() {
+        let r = report();
+        assert!((r.area_delay_product() - 34.0 * 17.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let s = report().summary();
+        assert!(s.contains("ex1"));
+        assert!(s.contains("les=34"));
+        assert!(s.contains("level=1"));
+    }
+
+    #[test]
+    fn usage_total() {
+        let u = UsageReport {
+            direct: 1,
+            length1: 2,
+            length4: 3,
+            global: 4,
+        };
+        assert_eq!(u.total(), 10);
+    }
+}

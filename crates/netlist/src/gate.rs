@@ -1,0 +1,443 @@
+//! Gate-level (Boolean network) representation.
+//!
+//! A [`GateNetwork`] is a combinational Boolean network of simple gates —
+//! the input format of the FlowMap technology mapper and the target of the
+//! BLIF parser. Sequential circuits enter the flow at RTL; `GateNetwork`
+//! models gate-level benchmark circuits such as the ISCAS'85 suite.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::ids::GateId;
+
+/// Primitive gate types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Logical AND of all inputs.
+    And,
+    /// Logical OR of all inputs.
+    Or,
+    /// Complement of AND.
+    Nand,
+    /// Complement of OR.
+    Nor,
+    /// Odd parity.
+    Xor,
+    /// Even parity.
+    Xnor,
+    /// Single-input complement.
+    Not,
+    /// Single-input identity.
+    Buf,
+}
+
+impl GateKind {
+    /// Evaluates the gate on concrete inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Not`/`Buf` receive other than exactly one input, or a
+    /// multi-input gate receives no inputs.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        match self {
+            Self::And => inputs.iter().all(|&b| b),
+            Self::Or => inputs.iter().any(|&b| b),
+            Self::Nand => !inputs.iter().all(|&b| b),
+            Self::Nor => !inputs.iter().any(|&b| b),
+            Self::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
+            Self::Xnor => inputs.iter().filter(|&&b| b).count() % 2 == 0,
+            Self::Not => {
+                assert_eq!(inputs.len(), 1, "NOT takes exactly one input");
+                !inputs[0]
+            }
+            Self::Buf => {
+                assert_eq!(inputs.len(), 1, "BUF takes exactly one input");
+                inputs[0]
+            }
+        }
+    }
+
+    /// Returns `true` for the single-input gates `Not` and `Buf`.
+    pub fn is_unary(self) -> bool {
+        matches!(self, Self::Not | Self::Buf)
+    }
+}
+
+/// A single-bit signal source inside a [`GateNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateSignal {
+    /// Primary input with the given index.
+    Input(usize),
+    /// Output of a gate.
+    Gate(GateId),
+    /// A constant value.
+    Const(bool),
+}
+
+/// One gate instance.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// Gate type.
+    pub kind: GateKind,
+    /// Input signals, in order.
+    pub inputs: Vec<GateSignal>,
+    /// Optional source-level name (e.g. from BLIF).
+    pub name: Option<String>,
+}
+
+/// A combinational Boolean network of primitive gates.
+///
+/// # Examples
+///
+/// ```
+/// use nanomap_netlist::gate::{GateKind, GateNetwork, GateSignal};
+///
+/// # fn main() -> Result<(), nanomap_netlist::NetlistError> {
+/// let mut net = GateNetwork::new("half_adder");
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let sum = net.add_gate(GateKind::Xor, vec![a, b]);
+/// let carry = net.add_gate(GateKind::And, vec![a, b]);
+/// net.add_output("sum", sum);
+/// net.add_output("carry", carry);
+/// net.validate()?;
+/// assert_eq!(net.num_gates(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GateNetwork {
+    name: String,
+    input_names: Vec<String>,
+    outputs: Vec<(String, GateSignal)>,
+    gates: Vec<Gate>,
+}
+
+impl GateNetwork {
+    /// Creates an empty network.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            input_names: Vec::new(),
+            outputs: Vec::new(),
+            gates: Vec::new(),
+        }
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary input and returns its signal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> GateSignal {
+        let idx = self.input_names.len();
+        self.input_names.push(name.into());
+        GateSignal::Input(idx)
+    }
+
+    /// Adds a gate and returns its output signal.
+    pub fn add_gate(&mut self, kind: GateKind, inputs: Vec<GateSignal>) -> GateSignal {
+        self.add_named_gate(kind, inputs, None)
+    }
+
+    /// Adds a gate with an optional source name.
+    pub fn add_named_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: Vec<GateSignal>,
+        name: Option<String>,
+    ) -> GateSignal {
+        let id = GateId::new(self.gates.len());
+        self.gates.push(Gate { kind, inputs, name });
+        GateSignal::Gate(id)
+    }
+
+    /// Declares a primary output.
+    pub fn add_output(&mut self, name: impl Into<String>, signal: GateSignal) {
+        self.outputs.push((name.into(), signal));
+    }
+
+    /// Number of gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// Primary input names, in index order.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Primary outputs as `(name, signal)` pairs.
+    pub fn outputs(&self) -> &[(String, GateSignal)] {
+        &self.outputs
+    }
+
+    /// Returns the gate with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Iterates over `(id, gate)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (GateId, &Gate)> {
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GateId::new(i), g))
+    }
+
+    /// A topological order of the gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the network is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<GateId>, NetlistError> {
+        let n = self.gates.len();
+        let mut indegree = vec![0usize; n];
+        let mut fanout: Vec<Vec<GateId>> = vec![Vec::new(); n];
+        for (id, gate) in self.iter() {
+            for input in &gate.inputs {
+                if let GateSignal::Gate(src) = input {
+                    indegree[id.index()] += 1;
+                    fanout[src.index()].push(id);
+                }
+            }
+        }
+        let mut queue: Vec<GateId> = (0..n)
+            .filter(|&i| indegree[i] == 0)
+            .map(GateId::new)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(id) = queue.pop() {
+            order.push(id);
+            for &succ in &fanout[id.index()] {
+                indegree[succ.index()] -= 1;
+                if indegree[succ.index()] == 0 {
+                    queue.push(succ);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .expect("cycle implies residual indegree");
+            let name = self.gates[stuck]
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("g{stuck}"));
+            return Err(NetlistError::CombinationalCycle { node: name });
+        }
+        Ok(order)
+    }
+
+    /// Validates that the network is acyclic, all gate arities are legal and
+    /// there is at least one output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        if self.outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+        for (id, gate) in self.iter() {
+            let arity_ok = if gate.kind.is_unary() {
+                gate.inputs.len() == 1
+            } else {
+                !gate.inputs.is_empty()
+            };
+            if !arity_ok {
+                return Err(NetlistError::Invalid(format!(
+                    "gate {id} ({:?}) has illegal arity {}",
+                    gate.kind,
+                    gate.inputs.len()
+                )));
+            }
+            for input in &gate.inputs {
+                match *input {
+                    GateSignal::Input(i) if i >= self.input_names.len() => {
+                        return Err(NetlistError::Invalid(format!(
+                            "gate {id} references unknown input {i}"
+                        )));
+                    }
+                    GateSignal::Gate(g) if g.index() >= self.gates.len() => {
+                        return Err(NetlistError::Invalid(format!(
+                            "gate {id} references unknown gate {g}"
+                        )));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.topo_order()?;
+        Ok(())
+    }
+
+    /// Evaluates the network on concrete input values (index order).
+    ///
+    /// Returns the output values in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`Self::num_inputs`] or the
+    /// network is cyclic.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs(), "input count mismatch");
+        let order = self.topo_order().expect("network must be acyclic");
+        let mut gate_values = vec![false; self.gates.len()];
+        let value = |sig: GateSignal, gate_values: &[bool]| match sig {
+            GateSignal::Input(i) => inputs[i],
+            GateSignal::Gate(g) => gate_values[g.index()],
+            GateSignal::Const(c) => c,
+        };
+        for id in order {
+            let gate = self.gate(id);
+            let ins: Vec<bool> = gate
+                .inputs
+                .iter()
+                .map(|&s| value(s, &gate_values))
+                .collect();
+            gate_values[id.index()] = gate.kind.eval(&ins);
+        }
+        self.outputs
+            .iter()
+            .map(|&(_, s)| value(s, &gate_values))
+            .collect()
+    }
+
+    /// Logic depth: length of the longest input-to-output gate chain.
+    pub fn depth(&self) -> u32 {
+        let order = match self.topo_order() {
+            Ok(o) => o,
+            Err(_) => return 0,
+        };
+        let mut depth = vec![0u32; self.gates.len()];
+        let mut max = 0;
+        for id in order {
+            let gate = self.gate(id);
+            let d = 1 + gate
+                .inputs
+                .iter()
+                .map(|s| match s {
+                    GateSignal::Gate(g) => depth[g.index()],
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0);
+            depth[id.index()] = d;
+            max = max.max(d);
+        }
+        max
+    }
+
+    /// Map from gate name to id, for gates that carry names.
+    pub fn names(&self) -> HashMap<&str, GateId> {
+        self.iter()
+            .filter_map(|(id, g)| g.name.as_deref().map(|n| (n, id)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_kind_eval() {
+        assert!(GateKind::And.eval(&[true, true, true]));
+        assert!(!GateKind::And.eval(&[true, false]));
+        assert!(GateKind::Nand.eval(&[true, false]));
+        assert!(GateKind::Or.eval(&[false, true]));
+        assert!(GateKind::Nor.eval(&[false, false]));
+        assert!(GateKind::Xor.eval(&[true, false, false]));
+        assert!(GateKind::Xnor.eval(&[true, true]));
+        assert!(GateKind::Not.eval(&[false]));
+        assert!(GateKind::Buf.eval(&[true]));
+    }
+
+    fn full_adder() -> GateNetwork {
+        let mut net = GateNetwork::new("fa");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("cin");
+        let sum = net.add_gate(GateKind::Xor, vec![a, b, c]);
+        let ab = net.add_gate(GateKind::And, vec![a, b]);
+        let ac = net.add_gate(GateKind::And, vec![a, c]);
+        let bc = net.add_gate(GateKind::And, vec![b, c]);
+        let carry = net.add_gate(GateKind::Or, vec![ab, ac, bc]);
+        net.add_output("sum", sum);
+        net.add_output("cout", carry);
+        net
+    }
+
+    #[test]
+    fn full_adder_truth() {
+        let net = full_adder();
+        net.validate().unwrap();
+        for row in 0u32..8 {
+            let ins = [row & 1 == 1, row >> 1 & 1 == 1, row >> 2 & 1 == 1];
+            let outs = net.eval(&ins);
+            let total = ins.iter().filter(|&&x| x).count();
+            assert_eq!(outs[0], total % 2 == 1);
+            assert_eq!(outs[1], total >= 2);
+        }
+    }
+
+    #[test]
+    fn depth_counts_longest_chain() {
+        let net = full_adder();
+        assert_eq!(net.depth(), 2);
+    }
+
+    #[test]
+    fn cyclic_network_rejected() {
+        let mut net = GateNetwork::new("cyc");
+        let a = net.add_input("a");
+        // g0 depends on g1 and vice versa.
+        let g0 = net.add_gate(GateKind::And, vec![a, GateSignal::Gate(GateId::new(1))]);
+        let g1 = net.add_gate(GateKind::Or, vec![g0]);
+        net.add_output("y", g1);
+        assert!(matches!(
+            net.validate(),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_violation_rejected() {
+        let mut net = GateNetwork::new("bad");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(GateKind::Not, vec![a, b]);
+        net.add_output("y", g);
+        assert!(matches!(net.validate(), Err(NetlistError::Invalid(_))));
+    }
+
+    #[test]
+    fn const_signals_evaluate() {
+        let mut net = GateNetwork::new("c");
+        let a = net.add_input("a");
+        let g = net.add_gate(GateKind::And, vec![a, GateSignal::Const(true)]);
+        net.add_output("y", g);
+        assert_eq!(net.eval(&[true]), vec![true]);
+        assert_eq!(net.eval(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn names_lookup() {
+        let mut net = GateNetwork::new("n");
+        let a = net.add_input("a");
+        net.add_named_gate(GateKind::Buf, vec![a], Some("copy".into()));
+        let names = net.names();
+        assert!(names.contains_key("copy"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Strongly-typed identifiers used across the netlist IRs.
+//!
+//! Every graph-like structure in the workspace indexes its elements with a
+//! dedicated newtype (`C-NEWTYPE`), so a [`LutId`] can never be used where a
+//! [`FfId`] is expected. All ids are plain `u32` indices into the owning
+//! container and are cheap to copy.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// Returns the raw index for container addressing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an RTL node (module instance, register bank, port).
+    NodeId,
+    "n"
+);
+define_id!(
+    /// Identifier of a gate in a gate-level network.
+    GateId,
+    "g"
+);
+define_id!(
+    /// Identifier of a look-up table in a mapped LUT network.
+    LutId,
+    "lut"
+);
+define_id!(
+    /// Identifier of a flip-flop in a mapped LUT network.
+    FfId,
+    "ff"
+);
+define_id!(
+    /// Identifier of a primary input bit of a mapped network.
+    InputId,
+    "in"
+);
+define_id!(
+    /// Identifier of a plane produced by register levelization.
+    PlaneId,
+    "plane"
+);
+define_id!(
+    /// Identifier of an RTL module instance a LUT originates from.
+    ModuleId,
+    "m"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_index() {
+        let id = LutId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", NodeId::new(3)), "n3");
+        assert_eq!(format!("{:?}", PlaneId::new(1)), "plane1");
+        assert_eq!(format!("{}", FfId::new(0)), "ff0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(GateId::new(1) < GateId::new(2));
+        assert_eq!(ModuleId::new(7), ModuleId::new(7));
+    }
+}

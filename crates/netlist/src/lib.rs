@@ -1,0 +1,60 @@
+//! Netlist intermediate representations for the NanoMap flow.
+//!
+//! This crate provides the circuit data structures shared by every stage of
+//! the NanoMap design-optimization flow for the NATURE hybrid nanotube/CMOS
+//! reconfigurable architecture (Zhang, Shang, Jha — DAC 2007):
+//!
+//! * [`rtl`] — register-transfer-level circuits built from multi-bit
+//!   operators (adders, multipliers, muxes, registers) with a cycle-accurate
+//!   reference simulator;
+//! * [`gate`] — flat combinational Boolean networks (the FlowMap input and
+//!   the BLIF parser target);
+//! * [`lut`] — mapped LUT/flip-flop networks, the representation the
+//!   folding flow schedules, clusters, places and routes;
+//! * [`plane`] — register levelization into *planes*, the unit of temporal
+//!   logic folding;
+//! * [`blif`] / [`vhdl`] — textual front-ends.
+//!
+//! # Examples
+//!
+//! Build a toy RTL circuit and simulate it:
+//!
+//! ```
+//! use nanomap_netlist::rtl::{CombOp, RtlBuilder, RtlSimulator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = RtlBuilder::new("demo");
+//! let a = b.input("a", 4);
+//! let n = b.comb("inv", CombOp::Not { width: 4 });
+//! b.connect(a, 0, n, 0)?;
+//! let y = b.output("y", 4);
+//! b.connect(n, 0, y, 0)?;
+//! let circuit = b.finish()?;
+//!
+//! let mut sim = RtlSimulator::new(&circuit)?;
+//! sim.set_input("a", 0b1010);
+//! sim.eval_comb();
+//! assert_eq!(sim.output("y"), Some(0b0101));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod blif;
+mod error;
+pub mod gate;
+mod ids;
+pub mod lut;
+pub mod plane;
+pub mod rtl;
+mod stats;
+mod truth;
+pub mod vhdl;
+
+pub use error::{NetlistError, ParseNetlistError};
+pub use ids::{FfId, GateId, InputId, LutId, ModuleId, NodeId, PlaneId};
+pub use lut::{FlipFlop, Lut, LutNetwork, LutOrigin, LutSimulator, SignalRef};
+pub use plane::{Plane, PlaneSet};
+pub use stats::NetworkStats;
+pub use truth::{TruthTable, MAX_LUT_INPUTS};

@@ -1,0 +1,601 @@
+//! Register levelization and plane extraction (Section 3 of the paper).
+//!
+//! Given a mapped [`LutNetwork`], the registers are levelized: register
+//! feedback strongly-connected components collapse to a single level, and
+//! the *plane* of a LUT is the register level its output ultimately feeds.
+//! The logic between two consecutive register boundaries is a plane; the
+//! propagation cycle of a plane is the *plane cycle*, and temporal logic
+//! folding further partitions each plane into folding stages.
+
+use std::collections::BTreeSet;
+
+use crate::error::NetlistError;
+use crate::ids::{FfId, InputId, LutId, PlaneId};
+use crate::lut::{LutNetwork, SignalRef};
+
+/// One plane: the combinational logic between two register boundaries.
+#[derive(Debug, Clone)]
+pub struct Plane {
+    /// Plane id; planes are numbered `0 .. num_planes` in execution order.
+    pub id: PlaneId,
+    /// Member LUTs.
+    pub luts: Vec<LutId>,
+    /// Logic depth of each member LUT *within the plane* (1-based), aligned
+    /// with [`Plane::luts`].
+    pub lut_depths: Vec<u32>,
+    /// Maximum logic depth within the plane (`depth_i` in the paper).
+    pub depth: u32,
+    /// Flip-flops whose outputs feed this plane (the *plane registers*;
+    /// they must persist through every folding stage of the plane).
+    pub input_ffs: Vec<FfId>,
+    /// Flip-flops written by this plane's logic.
+    pub output_ffs: Vec<FfId>,
+    /// Primary inputs consumed by this plane.
+    pub uses_inputs: Vec<InputId>,
+}
+
+impl Plane {
+    /// Number of LUTs in the plane (`num_LUT_i` in the paper).
+    pub fn num_luts(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// Depth of a member LUT within the plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lut` is not a member of this plane.
+    pub fn depth_of(&self, lut: LutId) -> u32 {
+        let pos = self
+            .luts
+            .iter()
+            .position(|&l| l == lut)
+            .expect("lut not in plane");
+        self.lut_depths[pos]
+    }
+}
+
+/// The result of register levelization: all planes of a circuit.
+#[derive(Debug, Clone)]
+pub struct PlaneSet {
+    planes: Vec<Plane>,
+    /// Plane of every LUT.
+    lut_plane: Vec<PlaneId>,
+    /// Levelized register level of every flip-flop (1-based).
+    ff_level: Vec<u32>,
+    /// LUTs whose destination registers span multiple levels (multicycle
+    /// paths); these are assigned to the earliest destination plane.
+    irregular_luts: usize,
+}
+
+impl PlaneSet {
+    /// Levelizes registers and extracts the planes of `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the network fails validation.
+    pub fn extract(net: &LutNetwork) -> Result<Self, NetlistError> {
+        net.validate()?;
+        let topo = net.topo_order()?;
+        let num_ffs = net.num_ffs();
+        let num_luts = net.num_luts();
+
+        // --- 1. Sequential sources of every LUT (bitset over FFs). ---
+        let words = num_ffs.div_ceil(64);
+        let mut lut_sources: Vec<Vec<u64>> = vec![vec![0u64; words]; num_luts];
+        let source_of = |sig: SignalRef, sources: &mut Vec<u64>, luts: &[Vec<u64>]| match sig {
+            SignalRef::Ff(f) => sources[f.index() / 64] |= 1 << (f.index() % 64),
+            SignalRef::Lut(l) => {
+                let src = luts[l.index()].clone();
+                for (w, s) in sources.iter_mut().zip(src) {
+                    *w |= s;
+                }
+            }
+            _ => {}
+        };
+        for &id in &topo {
+            let mut acc = vec![0u64; words];
+            for &input in &net.lut(id).inputs {
+                source_of(input, &mut acc, &lut_sources);
+            }
+            lut_sources[id.index()] = acc;
+        }
+
+        // --- 2. FF dependency graph: edge g -> f if g reaches f.d. ---
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); num_ffs];
+        for (fid, ff) in net.ffs() {
+            let mut bits = vec![0u64; words];
+            source_of(ff.d, &mut bits, &lut_sources);
+            for g in iter_bits(&bits) {
+                preds[fid.index()].push(g);
+            }
+        }
+
+        // --- 2b. Register banks levelize as units (the paper levelizes
+        // word-level registers): make bank members mutually dependent so
+        // the SCC pass merges them. ---
+        let mut bank_members: std::collections::HashMap<u32, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (fid, ff) in net.ffs() {
+            if let Some(bank) = ff.bank {
+                bank_members.entry(bank).or_default().push(fid.index());
+            }
+        }
+        for members in bank_members.values() {
+            for pair in members.windows(2) {
+                preds[pair[0]].push(pair[1]);
+                preds[pair[1]].push(pair[0]);
+            }
+        }
+
+        // --- 3. SCC condensation + longest-path levels. ---
+        let scc = tarjan_scc(&preds, num_ffs);
+        let ff_level = scc_levels(&preds, &scc, num_ffs);
+
+        // --- 4. Destination level of every LUT (reverse propagation). ---
+        // dest_min/dest_max over reachable destination FF levels; POs are a
+        // virtual destination at level (max_level + 1).
+        let max_level = ff_level.iter().copied().max().unwrap_or(0);
+        const UNSET: u32 = u32::MAX;
+        let mut dest_min = vec![UNSET; num_luts];
+        let mut dest_max = vec![0u32; num_luts];
+        let fanouts = net.fanouts();
+        // Mark LUTs that feed primary outputs.
+        let mut feeds_po = vec![false; num_luts];
+        for (_, sig) in net.outputs() {
+            if let SignalRef::Lut(l) = sig {
+                feeds_po[l.index()] = true;
+            }
+        }
+        for &id in topo.iter().rev() {
+            let i = id.index();
+            let mut lo = UNSET;
+            let mut hi = 0u32;
+            if feeds_po[i] {
+                lo = lo.min(max_level + 1);
+                hi = hi.max(max_level + 1);
+            }
+            for &f in &fanouts.lut_to_ffs[i] {
+                lo = lo.min(ff_level[f.index()]);
+                hi = hi.max(ff_level[f.index()]);
+            }
+            for &v in &fanouts.lut_to_luts[i] {
+                if dest_min[v.index()] != UNSET {
+                    lo = lo.min(dest_min[v.index()]);
+                    hi = hi.max(dest_max[v.index()]);
+                }
+            }
+            dest_min[i] = lo;
+            dest_max[i] = hi;
+        }
+
+        // --- 5. Assign planes. ---
+        // Plane p (1-based) holds logic destined for level-p registers; logic
+        // destined only for POs belongs to the final plane. Dead LUTs
+        // (reaching nothing) are placed by their source level.
+        let mut has_po_plane = false;
+        for (i, &lo) in dest_min.iter().enumerate() {
+            if lo == max_level + 1 && !net.lut(LutId::new(i)).inputs.is_empty() {
+                has_po_plane = true;
+            }
+        }
+        // Does any PO-destined logic start from the deepest register level
+        // (or from PIs when there are no registers)? Then it needs its own
+        // plane after the last register boundary.
+        let num_planes_raw = if has_po_plane {
+            max_level + 1
+        } else {
+            max_level
+        };
+        let num_planes = num_planes_raw.max(1) as usize;
+
+        let mut lut_plane = vec![PlaneId::new(0); num_luts];
+        let mut irregular = 0usize;
+        for i in 0..num_luts {
+            let plane = if dest_min[i] == UNSET {
+                // Dead logic: place by source level.
+                let src = iter_bits(&lut_sources[i])
+                    .map(|g| ff_level[g])
+                    .max()
+                    .unwrap_or(0);
+                (src + 1).min(num_planes as u32)
+            } else {
+                dest_min[i].min(num_planes as u32)
+            };
+            if dest_min[i] != UNSET && dest_max[i] > dest_min[i] {
+                irregular += 1;
+            }
+            lut_plane[i] = PlaneId::new(plane as usize - 1);
+        }
+
+        // --- 6. Build per-plane structures. ---
+        let mut planes: Vec<Plane> = (0..num_planes)
+            .map(|p| Plane {
+                id: PlaneId::new(p),
+                luts: Vec::new(),
+                lut_depths: Vec::new(),
+                depth: 0,
+                input_ffs: Vec::new(),
+                output_ffs: Vec::new(),
+                uses_inputs: Vec::new(),
+            })
+            .collect();
+        // Depth within plane, recomputed over the plane-restricted DAG.
+        // ASAP depths give the plane's critical-path length; the stored
+        // per-LUT depths are ALAP (as late as possible), which staggers
+        // shallow side logic (e.g. a multiplier's partial-product AND
+        // plane) across the depth windows so the LUT clusters of any
+        // folding level stay balanced — matching the cluster sizes the
+        // paper reports for its multiplier partitions.
+        let mut asap = vec![0u32; num_luts];
+        for &id in &topo {
+            let i = id.index();
+            let p = lut_plane[i];
+            asap[i] = 1 + net
+                .lut(id)
+                .inputs
+                .iter()
+                .filter_map(|s| match s {
+                    SignalRef::Lut(l) if lut_plane[l.index()] == p => Some(asap[l.index()]),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+        }
+        // Longest path from each LUT to a plane sink, within the plane.
+        let mut height = vec![1u32; num_luts];
+        for &id in topo.iter().rev() {
+            let i = id.index();
+            let p = lut_plane[i];
+            let mut h = 1;
+            for &v in &fanouts.lut_to_luts[i] {
+                if lut_plane[v.index()] == p {
+                    h = h.max(1 + height[v.index()]);
+                }
+            }
+            height[i] = h;
+        }
+        // Per-plane critical path length.
+        let mut plane_cp = vec![0u32; num_planes];
+        for i in 0..num_luts {
+            let p = lut_plane[i].index();
+            plane_cp[p] = plane_cp[p].max(asap[i]);
+        }
+        let mut depth_in_plane = vec![0u32; num_luts];
+        for i in 0..num_luts {
+            let p = lut_plane[i].index();
+            depth_in_plane[i] = plane_cp[p] + 1 - height[i];
+        }
+        let mut input_ff_sets: Vec<BTreeSet<FfId>> = vec![BTreeSet::new(); num_planes];
+        let mut output_ff_sets: Vec<BTreeSet<FfId>> = vec![BTreeSet::new(); num_planes];
+        let mut input_pi_sets: Vec<BTreeSet<InputId>> = vec![BTreeSet::new(); num_planes];
+        for &id in &topo {
+            let i = id.index();
+            let p = lut_plane[i].index();
+            planes[p].luts.push(id);
+            planes[p].lut_depths.push(depth_in_plane[i]);
+            planes[p].depth = planes[p].depth.max(depth_in_plane[i]);
+            for &input in &net.lut(id).inputs {
+                match input {
+                    SignalRef::Ff(f) => {
+                        input_ff_sets[p].insert(f);
+                    }
+                    SignalRef::Input(pi) => {
+                        input_pi_sets[p].insert(pi);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (fid, ff) in net.ffs() {
+            match ff.d {
+                SignalRef::Lut(l) => {
+                    output_ff_sets[lut_plane[l.index()].index()].insert(fid);
+                }
+                SignalRef::Ff(_) | SignalRef::Input(_) => {
+                    // Shift-register / pass-through bit: written by the plane
+                    // preceding its own level.
+                    let level = ff_level[fid.index()] as usize;
+                    let plane = level.saturating_sub(1).min(num_planes - 1);
+                    output_ff_sets[plane].insert(fid);
+                }
+                SignalRef::Const(_) => {}
+            }
+        }
+        for p in 0..num_planes {
+            planes[p].input_ffs = input_ff_sets[p].iter().copied().collect();
+            planes[p].output_ffs = output_ff_sets[p].iter().copied().collect();
+            planes[p].uses_inputs = input_pi_sets[p].iter().copied().collect();
+        }
+
+        Ok(Self {
+            planes,
+            lut_plane,
+            ff_level,
+            irregular_luts: irregular,
+        })
+    }
+
+    /// The planes in execution order.
+    pub fn planes(&self) -> &[Plane] {
+        &self.planes
+    }
+
+    /// Number of planes (`num_plane` in the paper).
+    pub fn num_planes(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// The plane a LUT belongs to.
+    pub fn plane_of(&self, lut: LutId) -> PlaneId {
+        self.lut_plane[lut.index()]
+    }
+
+    /// Levelized register level of a flip-flop (1-based).
+    pub fn ff_level(&self, ff: FfId) -> u32 {
+        self.ff_level[ff.index()]
+    }
+
+    /// Maximum LUT count over all planes (`LUT_max` in the paper).
+    pub fn lut_max(&self) -> usize {
+        self.planes.iter().map(Plane::num_luts).max().unwrap_or(0)
+    }
+
+    /// Maximum logic depth over all planes (`depth_max` in the paper).
+    pub fn depth_max(&self) -> u32 {
+        self.planes.iter().map(|p| p.depth).max().unwrap_or(0)
+    }
+
+    /// Number of LUTs whose destination registers span multiple levels.
+    pub fn irregular_luts(&self) -> usize {
+        self.irregular_luts
+    }
+}
+
+fn iter_bits(bits: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    bits.iter().enumerate().flat_map(|(w, &word)| {
+        (0..64)
+            .filter(move |b| (word >> b) & 1 == 1)
+            .map(move |b| w * 64 + b)
+    })
+}
+
+/// Iterative Tarjan SCC over the FF predecessor graph. Returns the SCC index
+/// of every node.
+fn tarjan_scc(preds: &[Vec<usize>], n: usize) -> Vec<usize> {
+    // Build successor lists (Tarjan walks successors).
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (f, ps) in preds.iter().enumerate() {
+        for &g in ps {
+            succs[g].push(f);
+        }
+    }
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut scc_of = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut next_scc = 0usize;
+
+    // Explicit DFS stack: (node, child-iteration position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+            if *pos == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *pos < succs[v].len() {
+                let w = succs[v][*pos];
+                *pos += 1;
+                if index[w] == usize::MAX {
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc_of[w] = next_scc;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_scc += 1;
+                }
+            }
+        }
+    }
+    scc_of
+}
+
+/// Longest-path levels over the SCC condensation; every FF level is >= 1.
+fn scc_levels(preds: &[Vec<usize>], scc_of: &[usize], n: usize) -> Vec<u32> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let num_sccs = scc_of.iter().copied().max().map_or(0, |m| m + 1);
+    // Condensed edges: scc(g) -> scc(f) for g in preds(f), distinct SCCs.
+    let mut cpreds: Vec<Vec<usize>> = vec![Vec::new(); num_sccs];
+    for (f, ps) in preds.iter().enumerate() {
+        for &g in ps {
+            if scc_of[g] != scc_of[f] {
+                cpreds[scc_of[f]].push(scc_of[g]);
+            }
+        }
+    }
+    // Longest path via memoized DFS (the condensation is acyclic).
+    let mut level = vec![0u32; num_sccs];
+    let mut state = vec![0u8; num_sccs]; // 0 = unvisited, 1 = in progress, 2 = done
+    for s in 0..num_sccs {
+        if state[s] == 2 {
+            continue;
+        }
+        let mut dfs: Vec<(usize, usize)> = vec![(s, 0)];
+        while let Some(&mut (v, ref mut pos)) = dfs.last_mut() {
+            if *pos == 0 {
+                state[v] = 1;
+            }
+            if *pos < cpreds[v].len() {
+                let w = cpreds[v][*pos];
+                *pos += 1;
+                if state[w] != 2 {
+                    debug_assert_ne!(state[w], 1, "condensation must be acyclic");
+                    dfs.push((w, 0));
+                }
+            } else {
+                let max_pred = cpreds[v].iter().map(|&w| level[w]).max().unwrap_or(0);
+                level[v] = max_pred + 1;
+                state[v] = 2;
+                dfs.pop();
+            }
+        }
+    }
+    (0..n).map(|f| level[scc_of[f]]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::TruthTable;
+
+    /// PI -> lut -> FF1 -> lut -> FF2 -> lut -> PO: three planes.
+    fn pipeline3() -> LutNetwork {
+        let mut net = LutNetwork::new("pipe3");
+        let a = net.add_input("a");
+        let l1 = net.add_lut(TruthTable::buffer(), vec![a]);
+        let f1 = net.add_ff(l1, Some("f1".into()));
+        let l2 = net.add_lut(TruthTable::inverter(), vec![SignalRef::Ff(f1)]);
+        let f2 = net.add_ff(l2, Some("f2".into()));
+        let l3 = net.add_lut(TruthTable::buffer(), vec![SignalRef::Ff(f2)]);
+        net.add_output("y", l3);
+        net
+    }
+
+    #[test]
+    fn pipeline_has_three_planes() {
+        let net = pipeline3();
+        let ps = PlaneSet::extract(&net).unwrap();
+        assert_eq!(ps.num_planes(), 3);
+        assert_eq!(ps.ff_level(FfId::new(0)), 1);
+        assert_eq!(ps.ff_level(FfId::new(1)), 2);
+        for plane in ps.planes() {
+            assert_eq!(plane.num_luts(), 1);
+            assert_eq!(plane.depth, 1);
+        }
+        // Plane registers: plane 0 has none (PI-fed), plane 1 reads f1, plane 2 reads f2.
+        assert!(ps.planes()[0].input_ffs.is_empty());
+        assert_eq!(ps.planes()[1].input_ffs, vec![FfId::new(0)]);
+        assert_eq!(ps.planes()[2].input_ffs, vec![FfId::new(1)]);
+        assert_eq!(ps.planes()[0].output_ffs, vec![FfId::new(0)]);
+    }
+
+    /// Feedback datapath: FFs in an SCC collapse to one plane.
+    #[test]
+    fn feedback_loop_is_single_plane() {
+        let mut net = LutNetwork::new("fb");
+        let a = net.add_input("a");
+        let f1 = net.add_ff(SignalRef::Const(false), Some("f1".into()));
+        let f2 = net.add_ff(SignalRef::Const(false), Some("f2".into()));
+        // f1 <- lut(f2, a); f2 <- lut(f1)
+        let l1 = net.add_lut(TruthTable::and(2), vec![SignalRef::Ff(f2), a]);
+        let l2 = net.add_lut(TruthTable::inverter(), vec![SignalRef::Ff(f1)]);
+        net.set_ff_input(f1, l1);
+        net.set_ff_input(f2, l2);
+        net.add_output("y", SignalRef::Ff(f1));
+        let ps = PlaneSet::extract(&net).unwrap();
+        assert_eq!(ps.num_planes(), 1);
+        assert_eq!(ps.ff_level(f1), ps.ff_level(f2));
+        assert_eq!(ps.planes()[0].num_luts(), 2);
+    }
+
+    /// Pure combinational circuit: exactly one plane.
+    #[test]
+    fn combinational_circuit_single_plane() {
+        let mut net = LutNetwork::new("comb");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let l1 = net.add_lut(TruthTable::xor(2), vec![a, b]);
+        let l2 = net.add_lut(TruthTable::inverter(), vec![l1]);
+        net.add_output("y", l2);
+        let ps = PlaneSet::extract(&net).unwrap();
+        assert_eq!(ps.num_planes(), 1);
+        assert_eq!(ps.planes()[0].depth, 2);
+        assert_eq!(ps.lut_max(), 2);
+        assert_eq!(ps.depth_max(), 2);
+    }
+
+    /// Depth within a plane restarts at the register boundary.
+    #[test]
+    fn plane_depth_restarts_at_boundary() {
+        let mut net = LutNetwork::new("d");
+        let a = net.add_input("a");
+        let l1 = net.add_lut(TruthTable::buffer(), vec![a]);
+        let l2 = net.add_lut(TruthTable::buffer(), vec![l1]);
+        let f = net.add_ff(l2, None);
+        let l3 = net.add_lut(TruthTable::buffer(), vec![SignalRef::Ff(f)]);
+        net.add_output("y", l3);
+        let ps = PlaneSet::extract(&net).unwrap();
+        assert_eq!(ps.num_planes(), 2);
+        assert_eq!(ps.planes()[0].depth, 2);
+        assert_eq!(ps.planes()[1].depth, 1);
+    }
+
+    /// Shift register (FF -> FF direct) levelizes correctly.
+    #[test]
+    fn shift_register_levels() {
+        let mut net = LutNetwork::new("sr");
+        let a = net.add_input("a");
+        let l = net.add_lut(TruthTable::buffer(), vec![a]);
+        let f1 = net.add_ff(l, None);
+        let f2 = net.add_ff(SignalRef::Ff(f1), None);
+        let f3 = net.add_ff(SignalRef::Ff(f2), None);
+        let lo = net.add_lut(TruthTable::buffer(), vec![SignalRef::Ff(f3)]);
+        net.add_output("y", lo);
+        let ps = PlaneSet::extract(&net).unwrap();
+        assert_eq!(ps.ff_level(f1), 1);
+        assert_eq!(ps.ff_level(f2), 2);
+        assert_eq!(ps.ff_level(f3), 3);
+        assert_eq!(ps.num_planes(), 4);
+    }
+
+    #[test]
+    fn multicycle_paths_counted_irregular() {
+        let mut net = LutNetwork::new("mc");
+        let a = net.add_input("a");
+        let l1 = net.add_lut(TruthTable::buffer(), vec![a]);
+        let f1 = net.add_ff(l1, None);
+        // l2 feeds both a level-1 FF (via f1 path it *is* plane 1) and a level-2 FF.
+        let l2 = net.add_lut(TruthTable::inverter(), vec![a]);
+        let fx = net.add_ff(l2, None); // level 1
+        let l3 = net.add_lut(
+            TruthTable::and(2),
+            vec![SignalRef::Ff(f1), SignalRef::Ff(fx)],
+        );
+        let f2 = net.add_ff(l3, None); // level 2
+                                       // multicycle: l4 fed by PI feeds f2's cone AND fx
+        let l4 = net.add_lut(TruthTable::buffer(), vec![a]);
+        let f2b = net.add_ff(l4, None);
+        let _ = f2b;
+        net.add_output("y", SignalRef::Ff(f2));
+        let ps = PlaneSet::extract(&net).unwrap();
+        // Sanity: extraction succeeds and every LUT has a plane.
+        assert!(ps.num_planes() >= 2);
+        for (id, _) in net.luts() {
+            let p = ps.plane_of(id);
+            assert!(p.index() < ps.num_planes());
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Fluent construction of [`RtlCircuit`]s.
+
+use super::{CombOp, NodeKind, RtlCircuit};
+use crate::error::NetlistError;
+use crate::ids::NodeId;
+use crate::truth::TruthTable;
+
+/// A convenience builder for [`RtlCircuit`]s.
+///
+/// The builder auto-generates unique names when the suggested one collides,
+/// so generators can compose subcircuits without name bookkeeping, and
+/// [`RtlBuilder::finish`] validates the result.
+///
+/// # Examples
+///
+/// ```
+/// use nanomap_netlist::rtl::{CombOp, RtlBuilder};
+///
+/// # fn main() -> Result<(), nanomap_netlist::NetlistError> {
+/// let mut b = RtlBuilder::new("xor_gate");
+/// let a = b.input("a", 1);
+/// let c = b.input("b", 1);
+/// let x = b.comb("x", CombOp::Xor { width: 1 });
+/// b.connect(a, 0, x, 0)?;
+/// b.connect(c, 0, x, 1)?;
+/// let y = b.output("y", 1);
+/// b.connect(x, 0, y, 0)?;
+/// let circuit = b.finish()?;
+/// assert_eq!(circuit.name(), "xor_gate");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RtlBuilder {
+    circuit: RtlCircuit,
+    unique: u64,
+}
+
+impl RtlBuilder {
+    /// Starts building a circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            circuit: RtlCircuit::new(name),
+            unique: 0,
+        }
+    }
+
+    fn add(&mut self, name: &str, kind: NodeKind) -> NodeId {
+        // Fast path: the suggested name is free.
+        if self.circuit.find(name).is_none() {
+            return self
+                .circuit
+                .add_node(name, kind)
+                .expect("name checked free");
+        }
+        // Slow path: append a disambiguating counter.
+        loop {
+            self.unique += 1;
+            let candidate = format!("{name}_{}", self.unique);
+            if self.circuit.find(&candidate).is_none() {
+                return self
+                    .circuit
+                    .add_node(candidate, kind)
+                    .expect("name checked free");
+            }
+        }
+    }
+
+    /// Adds a primary input bus.
+    pub fn input(&mut self, name: &str, width: u32) -> NodeId {
+        self.add(name, NodeKind::Input { width })
+    }
+
+    /// Adds a primary output bus.
+    pub fn output(&mut self, name: &str, width: u32) -> NodeId {
+        self.add(name, NodeKind::Output { width })
+    }
+
+    /// Adds a register bank.
+    pub fn register(&mut self, name: &str, width: u32) -> NodeId {
+        self.add(name, NodeKind::Register { width })
+    }
+
+    /// Adds a combinational operator node.
+    pub fn comb(&mut self, name: &str, op: CombOp) -> NodeId {
+        self.add(name, NodeKind::Comb(op))
+    }
+
+    /// Adds a constant bus.
+    pub fn constant(&mut self, name: &str, width: u32, value: u64) -> NodeId {
+        self.add(name, NodeKind::Comb(CombOp::Const { width, value }))
+    }
+
+    /// Adds a single-output LUT-style logic node.
+    pub fn lut(&mut self, name: &str, truth: TruthTable) -> NodeId {
+        self.add(name, NodeKind::Comb(CombOp::Lut { truth }))
+    }
+
+    /// Connects output `from_port` of `from` to input `to_port` of `to`.
+    ///
+    /// # Errors
+    ///
+    /// See [`RtlCircuit::connect`].
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        from_port: u32,
+        to: NodeId,
+        to_port: u32,
+    ) -> Result<(), NetlistError> {
+        self.circuit.connect(from, from_port, to, to_port)
+    }
+
+    /// Convenience: connects port 0 of `from` to input `to_port` of `to`.
+    ///
+    /// # Errors
+    ///
+    /// See [`RtlCircuit::connect`].
+    pub fn wire(&mut self, from: NodeId, to: NodeId, to_port: u32) -> Result<(), NetlistError> {
+        self.connect(from, 0, to, to_port)
+    }
+
+    /// Read-only access to the circuit under construction.
+    pub fn circuit(&self) -> &RtlCircuit {
+        &self.circuit
+    }
+
+    /// Validates and returns the finished circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural violation found by
+    /// [`RtlCircuit::validate`].
+    pub fn finish(self) -> Result<RtlCircuit, NetlistError> {
+        self.circuit.validate()?;
+        Ok(self.circuit)
+    }
+
+    /// Returns the circuit without validating (useful for negative tests).
+    pub fn finish_unchecked(self) -> RtlCircuit {
+        self.circuit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_disambiguates_names() {
+        let mut b = RtlBuilder::new("t");
+        let a = b.input("x", 1);
+        let c = b.input("x", 1);
+        assert_ne!(a, c);
+        assert_eq!(b.circuit().num_nodes(), 2);
+    }
+
+    #[test]
+    fn finish_validates() {
+        let mut b = RtlBuilder::new("t");
+        let a = b.input("a", 1);
+        let n = b.comb("n", CombOp::Not { width: 1 });
+        // input of `n` left undriven on purpose; also no outputs
+        let _ = (a, n);
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn finish_unchecked_skips_validation() {
+        let mut b = RtlBuilder::new("t");
+        b.comb("n", CombOp::Not { width: 1 });
+        let c = b.finish_unchecked();
+        assert_eq!(c.num_nodes(), 1);
+    }
+}

@@ -1,0 +1,402 @@
+//! Register-transfer-level circuit representation.
+//!
+//! An [`RtlCircuit`] is a directed graph of [`RtlNode`]s: primary inputs and
+//! outputs, register banks, and combinational operators ([`CombOp`]). Buses
+//! are first-class — every port carries a width and connections are checked
+//! for width compatibility.
+//!
+//! The RTL graph is the entry point of the NanoMap flow: it is levelized
+//! into *planes* after technology mapping, and its module instances become
+//! the *LUT clusters* scheduled by force-directed scheduling.
+
+mod builder;
+mod op;
+mod sim;
+mod validate;
+
+pub use builder::RtlBuilder;
+pub use op::{select_width, CombOp, PortDir, PortSpec};
+pub use sim::RtlSimulator;
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::ids::NodeId;
+
+/// What an RTL node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Primary input bus.
+    Input {
+        /// Width in bits.
+        width: u32,
+    },
+    /// Primary output bus.
+    Output {
+        /// Width in bits.
+        width: u32,
+    },
+    /// A bank of D flip-flops; port 0 is `d` (input), port 0 is `q` (output).
+    Register {
+        /// Width in bits.
+        width: u32,
+    },
+    /// A combinational operator.
+    Comb(CombOp),
+}
+
+impl NodeKind {
+    /// Input port signatures of this node kind.
+    pub fn input_ports(&self) -> Vec<PortSpec> {
+        match self {
+            Self::Input { .. } => vec![],
+            Self::Output { width } => vec![PortSpec {
+                name: "d",
+                dir: PortDir::Input,
+                width: *width,
+            }],
+            Self::Register { width } => vec![PortSpec {
+                name: "d",
+                dir: PortDir::Input,
+                width: *width,
+            }],
+            Self::Comb(op) => op.input_ports(),
+        }
+    }
+
+    /// Output port signatures of this node kind.
+    pub fn output_ports(&self) -> Vec<PortSpec> {
+        match self {
+            Self::Input { width } => vec![PortSpec {
+                name: "q",
+                dir: PortDir::Output,
+                width: *width,
+            }],
+            Self::Output { .. } => vec![],
+            Self::Register { width } => vec![PortSpec {
+                name: "q",
+                dir: PortDir::Output,
+                width: *width,
+            }],
+            Self::Comb(op) => op.output_ports(),
+        }
+    }
+
+    /// Returns `true` if the node holds state (breaks combinational paths).
+    pub fn is_sequential(&self) -> bool {
+        matches!(self, Self::Register { .. })
+    }
+}
+
+/// A driving endpoint: output port `port` of node `node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Driver {
+    /// Driving node.
+    pub node: NodeId,
+    /// Output port index on the driving node.
+    pub port: u32,
+}
+
+/// One node of the RTL graph.
+#[derive(Debug, Clone)]
+pub struct RtlNode {
+    /// Instance name, unique within the circuit.
+    pub name: String,
+    /// Node kind (operator / register / port).
+    pub kind: NodeKind,
+    /// Drivers of each input port, in port order. `None` means undriven.
+    pub inputs: Vec<Option<Driver>>,
+}
+
+/// A register-transfer-level circuit.
+///
+/// # Examples
+///
+/// ```
+/// use nanomap_netlist::rtl::{CombOp, RtlBuilder};
+///
+/// # fn main() -> Result<(), nanomap_netlist::NetlistError> {
+/// let mut b = RtlBuilder::new("accumulator");
+/// let x = b.input("x", 8);
+/// let acc = b.register("acc", 8);
+/// let zero = b.constant("gnd", 1, 0);
+/// let sum = b.comb("sum", CombOp::Add { width: 8 });
+/// b.connect(x, 0, sum, 0)?;
+/// b.connect(acc, 0, sum, 1)?;
+/// b.connect(zero, 0, sum, 2)?;
+/// b.connect(sum, 0, acc, 0)?;
+/// let out = b.output("y", 8);
+/// b.connect(acc, 0, out, 0)?;
+/// let circuit = b.finish()?;
+/// assert_eq!(circuit.num_registers(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RtlCircuit {
+    name: String,
+    nodes: Vec<RtlNode>,
+    names: HashMap<String, NodeId>,
+}
+
+impl RtlCircuit {
+    /// Creates an empty circuit with the given name.
+    ///
+    /// Most callers should use [`RtlBuilder`] instead, which validates the
+    /// finished circuit.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+            names: HashMap::new(),
+        }
+    }
+
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes in the graph.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of register banks.
+    pub fn num_registers(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind.is_sequential()).count()
+    }
+
+    /// Total number of flip-flop bits across all register banks.
+    pub fn num_flip_flop_bits(&self) -> u32 {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n.kind {
+                NodeKind::Register { width } => Some(width),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Adds a node, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if `name` is already used.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        kind: NodeKind,
+    ) -> Result<NodeId, NetlistError> {
+        let name = name.into();
+        if self.names.contains_key(&name) {
+            return Err(NetlistError::DuplicateName(name));
+        }
+        let id = NodeId::new(self.nodes.len());
+        let num_inputs = kind.input_ports().len();
+        self.names.insert(name.clone(), id);
+        self.nodes.push(RtlNode {
+            name,
+            kind,
+            inputs: vec![None; num_inputs],
+        });
+        Ok(id)
+    }
+
+    /// Connects output `from_port` of `from` to input `to_port` of `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a port index is out of range, the widths differ,
+    /// or the input port is already driven.
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        from_port: u32,
+        to: NodeId,
+        to_port: u32,
+    ) -> Result<(), NetlistError> {
+        let from_ports = self.node(from).kind.output_ports();
+        let from_spec =
+            from_ports
+                .get(from_port as usize)
+                .ok_or_else(|| NetlistError::PortOutOfRange {
+                    node: self.node(from).name.clone(),
+                    port: from_port as usize,
+                    available: from_ports.len(),
+                })?;
+        let to_ports = self.node(to).kind.input_ports();
+        let to_spec =
+            to_ports
+                .get(to_port as usize)
+                .ok_or_else(|| NetlistError::PortOutOfRange {
+                    node: self.node(to).name.clone(),
+                    port: to_port as usize,
+                    available: to_ports.len(),
+                })?;
+        if from_spec.width != to_spec.width {
+            return Err(NetlistError::WidthMismatch {
+                from: format!("{}.{}", self.node(from).name, from_spec.name),
+                to: format!("{}.{}", self.node(to).name, to_spec.name),
+                from_width: from_spec.width,
+                to_width: to_spec.width,
+            });
+        }
+        let slot = &mut self.nodes[to.index()].inputs[to_port as usize];
+        if slot.is_some() {
+            return Err(NetlistError::MultipleDrivers {
+                node: self.nodes[to.index()].name.clone(),
+                port: to_port as usize,
+            });
+        }
+        *slot = Some(Driver {
+            node: from,
+            port: from_port,
+        });
+        Ok(())
+    }
+
+    /// Returns the node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &RtlNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Looks a node up by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// Iterates over `(id, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &RtlNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::new(i), n))
+    }
+
+    /// Ids of all primary input nodes.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Input { .. }))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all primary output nodes.
+    pub fn outputs(&self) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Output { .. }))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all register banks.
+    pub fn registers(&self) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, n)| n.kind.is_sequential())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Validates structural invariants; see [`NetlistError`] for the checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: undriven inputs, combinational
+    /// cycles, or a missing primary output.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        validate::validate(self)
+    }
+
+    /// A topological order of the combinational nodes (registers and inputs
+    /// are sources and do not appear).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational
+    /// subgraph is cyclic.
+    pub fn topo_order_comb(&self) -> Result<Vec<NodeId>, NetlistError> {
+        validate::topo_order_comb(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_bit_adder() -> RtlCircuit {
+        let mut c = RtlCircuit::new("t");
+        let a = c.add_node("a", NodeKind::Input { width: 2 }).unwrap();
+        let b = c.add_node("b", NodeKind::Input { width: 2 }).unwrap();
+        let cin = c.add_node("cin", NodeKind::Input { width: 1 }).unwrap();
+        let add = c
+            .add_node("add", NodeKind::Comb(CombOp::Add { width: 2 }))
+            .unwrap();
+        let y = c.add_node("y", NodeKind::Output { width: 2 }).unwrap();
+        c.connect(a, 0, add, 0).unwrap();
+        c.connect(b, 0, add, 1).unwrap();
+        c.connect(cin, 0, add, 2).unwrap();
+        c.connect(add, 0, y, 0).unwrap();
+        c
+    }
+
+    #[test]
+    fn build_and_query() {
+        let c = two_bit_adder();
+        assert_eq!(c.num_nodes(), 5);
+        assert_eq!(c.inputs().len(), 3);
+        assert_eq!(c.outputs().len(), 1);
+        assert!(c.find("add").is_some());
+        assert!(c.find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut c = RtlCircuit::new("t");
+        c.add_node("x", NodeKind::Input { width: 1 }).unwrap();
+        let err = c.add_node("x", NodeKind::Input { width: 1 }).unwrap_err();
+        assert_eq!(err, NetlistError::DuplicateName("x".into()));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut c = RtlCircuit::new("t");
+        let a = c.add_node("a", NodeKind::Input { width: 2 }).unwrap();
+        let y = c.add_node("y", NodeKind::Output { width: 3 }).unwrap();
+        let err = c.connect(a, 0, y, 0).unwrap_err();
+        assert!(matches!(err, NetlistError::WidthMismatch { .. }));
+    }
+
+    #[test]
+    fn double_drive_rejected() {
+        let mut c = RtlCircuit::new("t");
+        let a = c.add_node("a", NodeKind::Input { width: 1 }).unwrap();
+        let b = c.add_node("b", NodeKind::Input { width: 1 }).unwrap();
+        let y = c.add_node("y", NodeKind::Output { width: 1 }).unwrap();
+        c.connect(a, 0, y, 0).unwrap();
+        let err = c.connect(b, 0, y, 0).unwrap_err();
+        assert!(matches!(err, NetlistError::MultipleDrivers { .. }));
+    }
+
+    #[test]
+    fn port_out_of_range_rejected() {
+        let mut c = RtlCircuit::new("t");
+        let a = c.add_node("a", NodeKind::Input { width: 1 }).unwrap();
+        let y = c.add_node("y", NodeKind::Output { width: 1 }).unwrap();
+        let err = c.connect(a, 3, y, 0).unwrap_err();
+        assert!(matches!(err, NetlistError::PortOutOfRange { .. }));
+    }
+
+    #[test]
+    fn flip_flop_bits_counted() {
+        let mut c = RtlCircuit::new("t");
+        c.add_node("r1", NodeKind::Register { width: 4 }).unwrap();
+        c.add_node("r2", NodeKind::Register { width: 12 }).unwrap();
+        assert_eq!(c.num_flip_flop_bits(), 16);
+        assert_eq!(c.num_registers(), 2);
+    }
+}

@@ -1,0 +1,327 @@
+//! Combinational RTL operator definitions and their port signatures.
+
+use crate::gate::GateKind;
+use crate::truth::TruthTable;
+
+/// Direction of a port on an RTL node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// The port consumes a value.
+    Input,
+    /// The port produces a value.
+    Output,
+}
+
+/// A port signature: name, direction and bit width.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PortSpec {
+    /// Port name, unique within the node.
+    pub name: &'static str,
+    /// Data direction.
+    pub dir: PortDir,
+    /// Width in bits.
+    pub width: u32,
+}
+
+impl PortSpec {
+    const fn input(name: &'static str, width: u32) -> Self {
+        Self {
+            name,
+            dir: PortDir::Input,
+            width,
+        }
+    }
+
+    const fn output(name: &'static str, width: u32) -> Self {
+        Self {
+            name,
+            dir: PortDir::Output,
+            width,
+        }
+    }
+}
+
+/// A combinational RTL operator.
+///
+/// Each operator has a fixed port signature returned by
+/// [`CombOp::input_ports`] / [`CombOp::output_ports`]. Multi-bit arithmetic
+/// operators are later expanded into LUT networks by the technology mapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CombOp {
+    /// Ripple-carry addition: `sum = a + b + cin`, with carry-out.
+    Add {
+        /// Operand width in bits.
+        width: u32,
+    },
+    /// Subtraction `diff = a - b` (two's complement), with borrow-out.
+    Sub {
+        /// Operand width in bits.
+        width: u32,
+    },
+    /// Parallel (array) multiplication: `prod = a * b`, product is `2*width` bits.
+    Mul {
+        /// Operand width in bits.
+        width: u32,
+    },
+    /// 2:1 multiplexer: `y = sel ? b : a`.
+    Mux2 {
+        /// Data width in bits.
+        width: u32,
+    },
+    /// N:1 multiplexer with a `ceil(log2(n))`-bit select.
+    MuxN {
+        /// Data width in bits.
+        width: u32,
+        /// Number of data inputs (must be >= 2).
+        n: u32,
+    },
+    /// Equality comparison producing a single bit.
+    Eq {
+        /// Operand width in bits.
+        width: u32,
+    },
+    /// Unsigned less-than comparison producing a single bit.
+    Lt {
+        /// Operand width in bits.
+        width: u32,
+    },
+    /// Bitwise AND of two buses.
+    And {
+        /// Bus width in bits.
+        width: u32,
+    },
+    /// Bitwise OR of two buses.
+    Or {
+        /// Bus width in bits.
+        width: u32,
+    },
+    /// Bitwise XOR of two buses.
+    Xor {
+        /// Bus width in bits.
+        width: u32,
+    },
+    /// Bitwise NOT of a bus.
+    Not {
+        /// Bus width in bits.
+        width: u32,
+    },
+    /// AND-reduction of a bus to one bit.
+    ReduceAnd {
+        /// Bus width in bits.
+        width: u32,
+    },
+    /// OR-reduction of a bus to one bit.
+    ReduceOr {
+        /// Bus width in bits.
+        width: u32,
+    },
+    /// XOR-reduction (parity) of a bus to one bit.
+    ReduceXor {
+        /// Bus width in bits.
+        width: u32,
+    },
+    /// Constant left shift by `amount` (zero fill).
+    Shl {
+        /// Bus width in bits.
+        width: u32,
+        /// Shift amount.
+        amount: u32,
+    },
+    /// Constant logical right shift by `amount` (zero fill).
+    Shr {
+        /// Bus width in bits.
+        width: u32,
+        /// Shift amount.
+        amount: u32,
+    },
+    /// A constant bus value.
+    Const {
+        /// Bus width in bits (at most 64).
+        width: u32,
+        /// Constant value, low bits significant.
+        value: u64,
+    },
+    /// A single-output generic logic function (one LUT worth of logic).
+    Lut {
+        /// The Boolean function computed.
+        truth: TruthTable,
+    },
+    /// A single primitive gate with `n` inputs.
+    Gate {
+        /// Gate type.
+        kind: GateKind,
+        /// Number of inputs (1 for `Not`/`Buf`).
+        n: u32,
+    },
+    /// Extracts bits `lo .. lo + out_width` from a bus.
+    Slice {
+        /// Input bus width in bits.
+        width: u32,
+        /// Lowest extracted bit index.
+        lo: u32,
+        /// Output width in bits.
+        out_width: u32,
+    },
+    /// Concatenates input buses, first input in the low bits.
+    Concat {
+        /// Widths of the concatenated inputs, low part first.
+        widths: Vec<u32>,
+    },
+}
+
+impl CombOp {
+    /// Input port signatures for this operator.
+    pub fn input_ports(&self) -> Vec<PortSpec> {
+        match *self {
+            Self::Add { width } => vec![
+                PortSpec::input("a", width),
+                PortSpec::input("b", width),
+                PortSpec::input("cin", 1),
+            ],
+            Self::Sub { width } => {
+                vec![PortSpec::input("a", width), PortSpec::input("b", width)]
+            }
+            Self::Mul { width } => {
+                vec![PortSpec::input("a", width), PortSpec::input("b", width)]
+            }
+            Self::Mux2 { width } => vec![
+                PortSpec::input("a", width),
+                PortSpec::input("b", width),
+                PortSpec::input("sel", 1),
+            ],
+            Self::MuxN { width, n } => {
+                let mut ports: Vec<PortSpec> =
+                    (0..n).map(|_| PortSpec::input("d", width)).collect();
+                ports.push(PortSpec::input("sel", select_width(n)));
+                ports
+            }
+            Self::Eq { width } | Self::Lt { width } => {
+                vec![PortSpec::input("a", width), PortSpec::input("b", width)]
+            }
+            Self::And { width } | Self::Or { width } | Self::Xor { width } => {
+                vec![PortSpec::input("a", width), PortSpec::input("b", width)]
+            }
+            Self::Not { width } => vec![PortSpec::input("a", width)],
+            Self::ReduceAnd { width } | Self::ReduceOr { width } | Self::ReduceXor { width } => {
+                vec![PortSpec::input("a", width)]
+            }
+            Self::Shl { width, .. } | Self::Shr { width, .. } => {
+                vec![PortSpec::input("a", width)]
+            }
+            Self::Const { .. } => vec![],
+            Self::Lut { ref truth } => (0..truth.num_inputs())
+                .map(|_| PortSpec::input("i", 1))
+                .collect(),
+            Self::Gate { n, .. } => (0..n).map(|_| PortSpec::input("i", 1)).collect(),
+            Self::Slice { width, .. } => vec![PortSpec::input("a", width)],
+            Self::Concat { ref widths } => {
+                widths.iter().map(|&w| PortSpec::input("part", w)).collect()
+            }
+        }
+    }
+
+    /// Output port signatures for this operator.
+    pub fn output_ports(&self) -> Vec<PortSpec> {
+        match *self {
+            Self::Add { width } => {
+                vec![PortSpec::output("sum", width), PortSpec::output("cout", 1)]
+            }
+            Self::Sub { width } => {
+                vec![PortSpec::output("diff", width), PortSpec::output("bout", 1)]
+            }
+            Self::Mul { width } => vec![PortSpec::output("prod", 2 * width)],
+            Self::Mux2 { width } | Self::MuxN { width, .. } => {
+                vec![PortSpec::output("y", width)]
+            }
+            Self::Eq { .. } | Self::Lt { .. } => vec![PortSpec::output("y", 1)],
+            Self::And { width }
+            | Self::Or { width }
+            | Self::Xor { width }
+            | Self::Not { width } => {
+                vec![PortSpec::output("y", width)]
+            }
+            Self::ReduceAnd { .. } | Self::ReduceOr { .. } | Self::ReduceXor { .. } => {
+                vec![PortSpec::output("y", 1)]
+            }
+            Self::Shl { width, .. } | Self::Shr { width, .. } => {
+                vec![PortSpec::output("y", width)]
+            }
+            Self::Const { width, .. } => vec![PortSpec::output("y", width)],
+            Self::Lut { .. } | Self::Gate { .. } => vec![PortSpec::output("y", 1)],
+            Self::Slice { out_width, .. } => vec![PortSpec::output("y", out_width)],
+            Self::Concat { ref widths } => {
+                vec![PortSpec::output("y", widths.iter().sum())]
+            }
+        }
+    }
+
+    /// Returns `true` for pure wiring operators that expand to zero LUTs.
+    pub fn is_wiring(&self) -> bool {
+        matches!(
+            self,
+            Self::Slice { .. } | Self::Concat { .. } | Self::Const { .. }
+        )
+    }
+}
+
+/// Width of the select bus for an `n`-way multiplexer.
+pub fn select_width(n: u32) -> u32 {
+    assert!(n >= 2, "multiplexer needs at least two inputs");
+    32 - (n - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_ports() {
+        let op = CombOp::Add { width: 4 };
+        let ins = op.input_ports();
+        assert_eq!(ins.len(), 3);
+        assert_eq!(ins[0].width, 4);
+        assert_eq!(ins[2].width, 1);
+        let outs = op.output_ports();
+        assert_eq!(outs[0].width, 4);
+        assert_eq!(outs[1].width, 1);
+    }
+
+    #[test]
+    fn mul_product_is_double_width() {
+        let op = CombOp::Mul { width: 8 };
+        assert_eq!(op.output_ports()[0].width, 16);
+    }
+
+    #[test]
+    fn muxn_select_width() {
+        assert_eq!(select_width(2), 1);
+        assert_eq!(select_width(3), 2);
+        assert_eq!(select_width(4), 2);
+        assert_eq!(select_width(5), 3);
+        assert_eq!(select_width(8), 3);
+        assert_eq!(select_width(9), 4);
+    }
+
+    #[test]
+    fn muxn_ports() {
+        let op = CombOp::MuxN { width: 4, n: 5 };
+        let ins = op.input_ports();
+        assert_eq!(ins.len(), 6);
+        assert_eq!(ins[5].width, 3);
+    }
+
+    #[test]
+    fn concat_output_width_is_sum() {
+        let op = CombOp::Concat {
+            widths: vec![3, 5, 8],
+        };
+        assert_eq!(op.output_ports()[0].width, 16);
+        assert_eq!(op.input_ports().len(), 3);
+    }
+
+    #[test]
+    fn wiring_ops_flagged() {
+        assert!(CombOp::Const { width: 4, value: 3 }.is_wiring());
+        assert!(!CombOp::Add { width: 4 }.is_wiring());
+    }
+}

@@ -1,0 +1,375 @@
+//! Cycle-accurate functional simulation of RTL circuits.
+//!
+//! The simulator evaluates buses as `u64` values (so widths up to 64 bits,
+//! 32 for multiplier operands). It is the golden reference the technology
+//! mapper and the temporal-folding executor are verified against.
+
+use std::collections::HashMap;
+
+use super::{CombOp, NodeKind, RtlCircuit};
+use crate::error::NetlistError;
+use crate::ids::NodeId;
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// A cycle-accurate interpreter for [`RtlCircuit`]s.
+///
+/// # Examples
+///
+/// ```
+/// use nanomap_netlist::rtl::{CombOp, RtlBuilder, RtlSimulator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = RtlBuilder::new("adder");
+/// let a = b.input("a", 8);
+/// let c = b.input("b", 8);
+/// let gnd = b.constant("gnd", 1, 0);
+/// let add = b.comb("add", CombOp::Add { width: 8 });
+/// b.connect(a, 0, add, 0)?;
+/// b.connect(c, 0, add, 1)?;
+/// b.connect(gnd, 0, add, 2)?;
+/// let y = b.output("y", 8);
+/// b.connect(add, 0, y, 0)?;
+/// let circuit = b.finish()?;
+///
+/// let mut sim = RtlSimulator::new(&circuit)?;
+/// sim.set_input("a", 200);
+/// sim.set_input("b", 100);
+/// sim.eval_comb();
+/// assert_eq!(sim.output("y"), Some(44)); // (200 + 100) mod 256
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RtlSimulator<'a> {
+    circuit: &'a RtlCircuit,
+    /// Current value of each node's output ports.
+    values: Vec<Vec<u64>>,
+    /// Register state (indexed like nodes; only registers used).
+    state: Vec<u64>,
+    inputs: HashMap<String, u64>,
+    topo: Vec<NodeId>,
+}
+
+impl<'a> RtlSimulator<'a> {
+    /// Creates a simulator with all inputs and registers at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit fails validation (the simulator needs
+    /// a combinational topological order).
+    pub fn new(circuit: &'a RtlCircuit) -> Result<Self, NetlistError> {
+        circuit.validate()?;
+        let topo = circuit.topo_order_comb()?;
+        let values = circuit
+            .iter()
+            .map(|(_, n)| vec![0u64; n.kind.output_ports().len()])
+            .collect();
+        Ok(Self {
+            circuit,
+            values,
+            state: vec![0; circuit.num_nodes()],
+            inputs: HashMap::new(),
+            topo,
+        })
+    }
+
+    /// Sets a primary input value (masked to the input's width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a primary input.
+    pub fn set_input(&mut self, name: &str, value: u64) {
+        let id = self
+            .circuit
+            .find(name)
+            .unwrap_or_else(|| panic!("no node named `{name}`"));
+        match self.circuit.node(id).kind {
+            NodeKind::Input { width } => {
+                self.inputs.insert(name.to_string(), value & mask(width));
+            }
+            _ => panic!("node `{name}` is not a primary input"),
+        }
+    }
+
+    /// Sets a register's current state directly (masked to its width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a register.
+    pub fn set_register(&mut self, name: &str, value: u64) {
+        let id = self
+            .circuit
+            .find(name)
+            .unwrap_or_else(|| panic!("no node named `{name}`"));
+        match self.circuit.node(id).kind {
+            NodeKind::Register { width } => {
+                self.state[id.index()] = value & mask(width);
+            }
+            _ => panic!("node `{name}` is not a register"),
+        }
+    }
+
+    /// Reads the current value of a register.
+    pub fn register(&self, name: &str) -> Option<u64> {
+        let id = self.circuit.find(name)?;
+        self.circuit
+            .node(id)
+            .kind
+            .is_sequential()
+            .then(|| self.state[id.index()])
+    }
+
+    /// Evaluates all combinational logic with the current inputs and state.
+    pub fn eval_comb(&mut self) {
+        // Seed inputs and register outputs.
+        for (id, node) in self.circuit.iter() {
+            match &node.kind {
+                NodeKind::Input { .. } => {
+                    self.values[id.index()][0] = self.inputs.get(&node.name).copied().unwrap_or(0);
+                }
+                NodeKind::Register { .. } => {
+                    self.values[id.index()][0] = self.state[id.index()];
+                }
+                _ => {}
+            }
+        }
+        for &id in &self.topo.clone() {
+            self.eval_node(id);
+        }
+    }
+
+    /// Advances one clock cycle: evaluates logic, then latches registers.
+    pub fn step(&mut self) {
+        self.eval_comb();
+        for (id, node) in self.circuit.iter() {
+            if let NodeKind::Register { width } = node.kind {
+                let d = self.input_value(id, 0);
+                self.state[id.index()] = d & mask(width);
+            }
+        }
+    }
+
+    /// Reads a primary output value (valid after [`Self::eval_comb`] or [`Self::step`]).
+    pub fn output(&self, name: &str) -> Option<u64> {
+        let id = self.circuit.find(name)?;
+        match self.circuit.node(id).kind {
+            NodeKind::Output { width } => Some(self.input_value(id, 0) & mask(width)),
+            _ => None,
+        }
+    }
+
+    fn input_value(&self, id: NodeId, port: usize) -> u64 {
+        let driver =
+            self.circuit.node(id).inputs[port].expect("validated circuit has no floating inputs");
+        self.values[driver.node.index()][driver.port as usize]
+    }
+
+    fn eval_node(&mut self, id: NodeId) {
+        let node = self.circuit.node(id);
+        let op = match &node.kind {
+            NodeKind::Comb(op) => op.clone(),
+            _ => return,
+        };
+        let ins: Vec<u64> = (0..node.inputs.len())
+            .map(|p| self.input_value(id, p))
+            .collect();
+        let outs = eval_op(&op, &ins);
+        self.values[id.index()] = outs;
+    }
+}
+
+/// Evaluates a combinational operator on concrete input values.
+///
+/// Exposed for reuse by the technology-mapper equivalence tests.
+pub fn eval_op(op: &CombOp, ins: &[u64]) -> Vec<u64> {
+    match *op {
+        CombOp::Add { width } => {
+            let total = (ins[0] & mask(width)) + (ins[1] & mask(width)) + (ins[2] & 1);
+            vec![total & mask(width), (total >> width) & 1]
+        }
+        CombOp::Sub { width } => {
+            let a = ins[0] & mask(width);
+            let b = ins[1] & mask(width);
+            let diff = a.wrapping_sub(b) & mask(width);
+            let borrow = u64::from(a < b);
+            vec![diff, borrow]
+        }
+        CombOp::Mul { width } => {
+            assert!(width <= 32, "multiplier operands limited to 32 bits");
+            let prod = (ins[0] & mask(width)) * (ins[1] & mask(width));
+            vec![prod & mask(2 * width)]
+        }
+        CombOp::Mux2 { width } => {
+            let y = if ins[2] & 1 == 1 { ins[1] } else { ins[0] };
+            vec![y & mask(width)]
+        }
+        CombOp::MuxN { width, n } => {
+            let sel = (ins[n as usize] as usize).min(n as usize - 1);
+            vec![ins[sel] & mask(width)]
+        }
+        CombOp::Eq { width } => {
+            vec![u64::from((ins[0] & mask(width)) == (ins[1] & mask(width)))]
+        }
+        CombOp::Lt { width } => {
+            vec![u64::from((ins[0] & mask(width)) < (ins[1] & mask(width)))]
+        }
+        CombOp::And { width } => vec![(ins[0] & ins[1]) & mask(width)],
+        CombOp::Or { width } => vec![(ins[0] | ins[1]) & mask(width)],
+        CombOp::Xor { width } => vec![(ins[0] ^ ins[1]) & mask(width)],
+        CombOp::Not { width } => vec![!ins[0] & mask(width)],
+        CombOp::ReduceAnd { width } => vec![u64::from(ins[0] & mask(width) == mask(width))],
+        CombOp::ReduceOr { width } => vec![u64::from(ins[0] & mask(width) != 0)],
+        CombOp::ReduceXor { width } => {
+            vec![u64::from((ins[0] & mask(width)).count_ones() % 2 == 1)]
+        }
+        CombOp::Shl { width, amount } => {
+            let y = if amount >= 64 { 0 } else { ins[0] << amount };
+            vec![y & mask(width)]
+        }
+        CombOp::Shr { width, amount } => {
+            let y = if amount >= 64 {
+                0
+            } else {
+                (ins[0] & mask(width)) >> amount
+            };
+            vec![y]
+        }
+        CombOp::Const { width, value } => vec![value & mask(width)],
+        CombOp::Lut { ref truth } => {
+            let bits: Vec<bool> = ins.iter().map(|&v| v & 1 == 1).collect();
+            vec![u64::from(truth.eval(&bits))]
+        }
+        CombOp::Gate { kind, .. } => {
+            let bits: Vec<bool> = ins.iter().map(|&v| v & 1 == 1).collect();
+            vec![u64::from(kind.eval(&bits))]
+        }
+        CombOp::Slice { lo, out_width, .. } => vec![(ins[0] >> lo) & mask(out_width)],
+        CombOp::Concat { ref widths } => {
+            let mut y = 0u64;
+            let mut shift = 0;
+            for (v, &w) in ins.iter().zip(widths) {
+                y |= (v & mask(w)) << shift;
+                shift += w;
+            }
+            vec![y]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtl::RtlBuilder;
+
+    #[test]
+    fn eval_op_arithmetic() {
+        assert_eq!(eval_op(&CombOp::Add { width: 4 }, &[9, 9, 1]), vec![3, 1]);
+        assert_eq!(eval_op(&CombOp::Sub { width: 4 }, &[3, 5]), vec![14, 1]);
+        assert_eq!(eval_op(&CombOp::Mul { width: 4 }, &[15, 15]), vec![225]);
+    }
+
+    #[test]
+    fn eval_op_mux_and_compare() {
+        assert_eq!(eval_op(&CombOp::Mux2 { width: 2 }, &[1, 2, 1]), vec![2]);
+        assert_eq!(
+            eval_op(&CombOp::MuxN { width: 2, n: 3 }, &[1, 2, 3, 2]),
+            vec![3]
+        );
+        assert_eq!(eval_op(&CombOp::Eq { width: 8 }, &[7, 7]), vec![1]);
+        assert_eq!(eval_op(&CombOp::Lt { width: 8 }, &[9, 7]), vec![0]);
+    }
+
+    #[test]
+    fn eval_op_reductions_and_shifts() {
+        assert_eq!(eval_op(&CombOp::ReduceAnd { width: 3 }, &[0b111]), vec![1]);
+        assert_eq!(eval_op(&CombOp::ReduceOr { width: 3 }, &[0]), vec![0]);
+        assert_eq!(eval_op(&CombOp::ReduceXor { width: 3 }, &[0b110]), vec![0]);
+        assert_eq!(
+            eval_op(
+                &CombOp::Shl {
+                    width: 4,
+                    amount: 2
+                },
+                &[0b0111]
+            ),
+            vec![0b1100]
+        );
+        assert_eq!(
+            eval_op(
+                &CombOp::Shr {
+                    width: 4,
+                    amount: 1
+                },
+                &[0b1010]
+            ),
+            vec![0b0101]
+        );
+    }
+
+    #[test]
+    fn eval_op_wiring() {
+        assert_eq!(
+            eval_op(
+                &CombOp::Slice {
+                    width: 8,
+                    lo: 2,
+                    out_width: 3
+                },
+                &[0b1011_0100]
+            ),
+            vec![0b101]
+        );
+        assert_eq!(
+            eval_op(&CombOp::Concat { widths: vec![2, 3] }, &[0b11, 0b101]),
+            vec![0b10111]
+        );
+    }
+
+    #[test]
+    fn counter_counts() {
+        // 4-bit counter: acc <= acc + 1
+        let mut b = RtlBuilder::new("counter");
+        let acc = b.register("acc", 4);
+        let one = b.constant("one", 4, 1);
+        let gnd = b.constant("gnd", 1, 0);
+        let add = b.comb("add", CombOp::Add { width: 4 });
+        b.connect(acc, 0, add, 0).unwrap();
+        b.connect(one, 0, add, 1).unwrap();
+        b.connect(gnd, 0, add, 2).unwrap();
+        b.connect(add, 0, acc, 0).unwrap();
+        let y = b.output("y", 4);
+        b.connect(acc, 0, y, 0).unwrap();
+        let c = b.finish().unwrap();
+
+        let mut sim = RtlSimulator::new(&c).unwrap();
+        for expected in 0..20u64 {
+            sim.eval_comb();
+            assert_eq!(sim.output("y"), Some(expected % 16));
+            sim.step();
+        }
+    }
+
+    #[test]
+    fn register_state_accessors() {
+        let mut b = RtlBuilder::new("t");
+        let r = b.register("r", 8);
+        let inp = b.input("d", 8);
+        b.connect(inp, 0, r, 0).unwrap();
+        let y = b.output("y", 8);
+        b.connect(r, 0, y, 0).unwrap();
+        let c = b.finish().unwrap();
+        let mut sim = RtlSimulator::new(&c).unwrap();
+        sim.set_register("r", 0x5A);
+        assert_eq!(sim.register("r"), Some(0x5A));
+        sim.set_input("d", 0xFF);
+        sim.step();
+        assert_eq!(sim.register("r"), Some(0xFF));
+    }
+}

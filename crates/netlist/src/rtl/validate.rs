@@ -1,0 +1,152 @@
+//! Structural validation and topological ordering of RTL circuits.
+
+use super::{NodeKind, RtlCircuit};
+use crate::error::NetlistError;
+use crate::ids::NodeId;
+
+/// Checks all structural invariants of `circuit`.
+pub(super) fn validate(circuit: &RtlCircuit) -> Result<(), NetlistError> {
+    if circuit.outputs().is_empty() {
+        return Err(NetlistError::NoOutputs);
+    }
+    for (_, node) in circuit.iter() {
+        for (port, driver) in node.inputs.iter().enumerate() {
+            if driver.is_none() {
+                return Err(NetlistError::UndrivenInput {
+                    node: node.name.clone(),
+                    port,
+                });
+            }
+        }
+    }
+    topo_order_comb(circuit)?;
+    Ok(())
+}
+
+/// Computes a topological order over combinational nodes.
+///
+/// Registers and primary inputs act as sources: their outputs are available
+/// before any combinational evaluation, so edges out of them do not
+/// constrain the order. Primary outputs are pure sinks and are excluded.
+pub(super) fn topo_order_comb(circuit: &RtlCircuit) -> Result<Vec<NodeId>, NetlistError> {
+    let n = circuit.num_nodes();
+    // in-degree counting only combinational -> combinational edges
+    let mut indegree = vec![0usize; n];
+    let mut fanout: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut is_comb = vec![false; n];
+    for (id, node) in circuit.iter() {
+        is_comb[id.index()] = matches!(node.kind, NodeKind::Comb(_));
+    }
+    for (id, node) in circuit.iter() {
+        if !is_comb[id.index()] {
+            continue;
+        }
+        for driver in node.inputs.iter().flatten() {
+            if is_comb[driver.node.index()] {
+                indegree[id.index()] += 1;
+                fanout[driver.node.index()].push(id);
+            }
+        }
+    }
+    let mut queue: Vec<NodeId> = (0..n)
+        .filter(|&i| is_comb[i] && indegree[i] == 0)
+        .map(NodeId::new)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(id) = queue.pop() {
+        order.push(id);
+        for &succ in &fanout[id.index()] {
+            indegree[succ.index()] -= 1;
+            if indegree[succ.index()] == 0 {
+                queue.push(succ);
+            }
+        }
+    }
+    let num_comb = is_comb.iter().filter(|&&c| c).count();
+    if order.len() != num_comb {
+        // Find a node still carrying in-degree for the diagnostic.
+        let stuck = (0..n)
+            .find(|&i| is_comb[i] && indegree[i] > 0)
+            .map(NodeId::new)
+            .expect("cycle implies a node with residual indegree");
+        return Err(NetlistError::CombinationalCycle {
+            node: circuit.node(stuck).name.clone(),
+        });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtl::{CombOp, RtlBuilder};
+
+    #[test]
+    fn detects_combinational_cycle() {
+        let mut b = RtlBuilder::new("t");
+        let n1 = b.comb("n1", CombOp::Not { width: 1 });
+        let n2 = b.comb("n2", CombOp::Not { width: 1 });
+        b.connect(n1, 0, n2, 0).unwrap();
+        b.connect(n2, 0, n1, 0).unwrap();
+        let y = b.output("y", 1);
+        b.connect(n1, 0, y, 0).unwrap();
+        let c = b.finish_unchecked();
+        assert!(matches!(
+            c.validate(),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn register_breaks_cycle() {
+        let mut b = RtlBuilder::new("t");
+        let r = b.register("r", 1);
+        let n = b.comb("n", CombOp::Not { width: 1 });
+        b.connect(r, 0, n, 0).unwrap();
+        b.connect(n, 0, r, 0).unwrap();
+        let y = b.output("y", 1);
+        b.connect(r, 0, y, 0).unwrap();
+        let c = b.finish_unchecked();
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn undriven_input_reported() {
+        let mut b = RtlBuilder::new("t");
+        let n = b.comb("inv", CombOp::Not { width: 1 });
+        let y = b.output("y", 1);
+        b.connect(n, 0, y, 0).unwrap();
+        let c = b.finish_unchecked();
+        assert!(matches!(
+            c.validate(),
+            Err(NetlistError::UndrivenInput { .. })
+        ));
+    }
+
+    #[test]
+    fn no_outputs_reported() {
+        let mut b = RtlBuilder::new("t");
+        b.input("a", 1);
+        let c = b.finish_unchecked();
+        assert_eq!(c.validate(), Err(NetlistError::NoOutputs));
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let mut b = RtlBuilder::new("t");
+        let a = b.input("a", 1);
+        let n1 = b.comb("n1", CombOp::Not { width: 1 });
+        let n2 = b.comb("n2", CombOp::Not { width: 1 });
+        let n3 = b.comb("n3", CombOp::Not { width: 1 });
+        b.connect(a, 0, n1, 0).unwrap();
+        b.connect(n1, 0, n2, 0).unwrap();
+        b.connect(n2, 0, n3, 0).unwrap();
+        let y = b.output("y", 1);
+        b.connect(n3, 0, y, 0).unwrap();
+        let c = b.finish().unwrap();
+        let order = c.topo_order_comb().unwrap();
+        let pos = |id| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(n1) < pos(n2));
+        assert!(pos(n2) < pos(n3));
+    }
+}

@@ -1,0 +1,149 @@
+//! Network statistics: the circuit parameters NanoMap's folding-level
+//! selection consumes, plus structural profiles useful for debugging
+//! generators and mappers.
+
+use std::fmt;
+
+use crate::lut::{LutNetwork, SignalRef};
+use crate::plane::PlaneSet;
+
+/// Structural statistics of a [`LutNetwork`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Total LUTs.
+    pub num_luts: usize,
+    /// Total flip-flops.
+    pub num_ffs: usize,
+    /// Primary input bits.
+    pub num_inputs: usize,
+    /// Primary output bits.
+    pub num_outputs: usize,
+    /// Number of planes.
+    pub num_planes: usize,
+    /// `LUT_max` — the largest plane's LUT count.
+    pub lut_max: usize,
+    /// `depth_max` — the deepest plane's logic depth.
+    pub depth_max: u32,
+    /// LUT count per input arity (index = arity, 0..=6).
+    pub arity_histogram: [usize; 7],
+    /// Largest LUT fanout (consumers of one LUT output).
+    pub max_fanout: usize,
+    /// Mean LUT fanout ×1000 (fixed point, avoids float Eq).
+    pub mean_fanout_milli: usize,
+}
+
+impl NetworkStats {
+    /// Computes statistics for a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network fails validation.
+    pub fn compute(net: &LutNetwork) -> Self {
+        let planes = PlaneSet::extract(net).expect("stats require a valid network");
+        let mut arity_histogram = [0usize; 7];
+        for (_, lut) in net.luts() {
+            arity_histogram[lut.inputs.len().min(6)] += 1;
+        }
+        let mut fanout = vec![0usize; net.num_luts()];
+        let bump = |sig: &SignalRef, fanout: &mut [usize]| {
+            if let SignalRef::Lut(l) = sig {
+                fanout[l.index()] += 1;
+            }
+        };
+        for (_, lut) in net.luts() {
+            for input in &lut.inputs {
+                bump(input, &mut fanout);
+            }
+        }
+        for (_, ff) in net.ffs() {
+            bump(&ff.d, &mut fanout);
+        }
+        for (_, sig) in net.outputs() {
+            bump(sig, &mut fanout);
+        }
+        let max_fanout = fanout.iter().copied().max().unwrap_or(0);
+        let total: usize = fanout.iter().sum();
+        let mean_fanout_milli = if net.num_luts() == 0 {
+            0
+        } else {
+            total * 1000 / net.num_luts()
+        };
+        Self {
+            num_luts: net.num_luts(),
+            num_ffs: net.num_ffs(),
+            num_inputs: net.num_inputs(),
+            num_outputs: net.outputs().len(),
+            num_planes: planes.num_planes(),
+            lut_max: planes.lut_max(),
+            depth_max: planes.depth_max(),
+            arity_histogram,
+            max_fanout,
+            mean_fanout_milli,
+        }
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} LUTs, {} FFs, {} inputs, {} outputs",
+            self.num_luts, self.num_ffs, self.num_inputs, self.num_outputs
+        )?;
+        writeln!(
+            f,
+            "{} plane(s), LUT_max {}, depth_max {}",
+            self.num_planes, self.lut_max, self.depth_max
+        )?;
+        write!(f, "arity histogram:")?;
+        for (arity, &count) in self.arity_histogram.iter().enumerate() {
+            if count > 0 {
+                write!(f, " {arity}:{count}")?;
+            }
+        }
+        writeln!(f)?;
+        write!(
+            f,
+            "fanout: max {}, mean {:.3}",
+            self.max_fanout,
+            self.mean_fanout_milli as f64 / 1000.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::TruthTable;
+
+    #[test]
+    fn computes_basic_profile() {
+        let mut net = LutNetwork::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let l1 = net.add_lut(TruthTable::xor(2), vec![a, b]);
+        let l2 = net.add_lut(TruthTable::inverter(), vec![l1]);
+        let l3 = net.add_lut(TruthTable::and(2), vec![l1, l2]);
+        net.add_output("y", l3);
+        let stats = NetworkStats::compute(&net);
+        assert_eq!(stats.num_luts, 3);
+        assert_eq!(stats.num_planes, 1);
+        assert_eq!(stats.depth_max, 3);
+        assert_eq!(stats.arity_histogram[1], 1);
+        assert_eq!(stats.arity_histogram[2], 2);
+        assert_eq!(stats.max_fanout, 2); // l1 feeds l2 and l3
+        let text = stats.to_string();
+        assert!(text.contains("3 LUTs"));
+        assert!(text.contains("depth_max 3"));
+    }
+
+    #[test]
+    fn empty_network_is_fine() {
+        let mut net = LutNetwork::new("e");
+        let a = net.add_input("a");
+        net.add_output("y", a);
+        let stats = NetworkStats::compute(&net);
+        assert_eq!(stats.num_luts, 0);
+        assert_eq!(stats.mean_fanout_milli, 0);
+    }
+}

@@ -1,0 +1,359 @@
+//! Compact truth tables for LUT functions of up to six variables.
+//!
+//! A [`TruthTable`] packs the output column of a Boolean function into a
+//! `u64`: bit `i` holds the function value for the input assignment whose
+//! binary encoding is `i` (input 0 is the least-significant variable). This
+//! is the canonical representation used by the technology mapper and the
+//! configuration bitmap generator.
+
+use std::fmt;
+
+/// Maximum number of LUT inputs representable by a [`TruthTable`].
+pub const MAX_LUT_INPUTS: u32 = 6;
+
+/// The output column of a Boolean function of up to [`MAX_LUT_INPUTS`] variables.
+///
+/// # Examples
+///
+/// ```
+/// use nanomap_netlist::TruthTable;
+///
+/// let xor2 = TruthTable::from_fn(2, |bits| bits.iter().filter(|&&b| b).count() % 2 == 1);
+/// assert!(xor2.eval(&[true, false]));
+/// assert!(!xor2.eval(&[true, true]));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    bits: u64,
+    num_inputs: u32,
+}
+
+impl TruthTable {
+    /// Creates a truth table from raw output bits.
+    ///
+    /// Bits above the `2^num_inputs` significant positions are masked off so
+    /// that logically equal functions compare equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs > 6`.
+    pub fn new(num_inputs: u32, bits: u64) -> Self {
+        assert!(
+            num_inputs <= MAX_LUT_INPUTS,
+            "truth table supports at most {MAX_LUT_INPUTS} inputs, got {num_inputs}"
+        );
+        Self {
+            bits: bits & Self::mask(num_inputs),
+            num_inputs,
+        }
+    }
+
+    /// Builds a truth table by evaluating `f` on every input assignment.
+    ///
+    /// `f` receives a slice of `num_inputs` booleans, input 0 first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs > 6`.
+    pub fn from_fn(num_inputs: u32, mut f: impl FnMut(&[bool]) -> bool) -> Self {
+        assert!(num_inputs <= MAX_LUT_INPUTS);
+        let mut bits = 0u64;
+        let mut assignment = [false; MAX_LUT_INPUTS as usize];
+        for row in 0..(1u64 << num_inputs) {
+            for (i, slot) in assignment.iter_mut().enumerate().take(num_inputs as usize) {
+                *slot = (row >> i) & 1 == 1;
+            }
+            if f(&assignment[..num_inputs as usize]) {
+                bits |= 1 << row;
+            }
+        }
+        Self { bits, num_inputs }
+    }
+
+    /// The constant-0 function of `num_inputs` variables.
+    pub fn constant_false(num_inputs: u32) -> Self {
+        Self::new(num_inputs, 0)
+    }
+
+    /// The constant-1 function of `num_inputs` variables.
+    pub fn constant_true(num_inputs: u32) -> Self {
+        Self::new(num_inputs, u64::MAX)
+    }
+
+    /// The identity function of one variable (a buffer).
+    pub fn buffer() -> Self {
+        Self::new(1, 0b10)
+    }
+
+    /// The negation of one variable (an inverter).
+    pub fn inverter() -> Self {
+        Self::new(1, 0b01)
+    }
+
+    /// The n-input AND function.
+    pub fn and(num_inputs: u32) -> Self {
+        Self::from_fn(num_inputs, |bits| bits.iter().all(|&b| b))
+    }
+
+    /// The n-input OR function.
+    pub fn or(num_inputs: u32) -> Self {
+        Self::from_fn(num_inputs, |bits| bits.iter().any(|&b| b))
+    }
+
+    /// The n-input XOR (odd parity) function.
+    pub fn xor(num_inputs: u32) -> Self {
+        Self::from_fn(num_inputs, |bits| {
+            bits.iter().filter(|&&b| b).count() % 2 == 1
+        })
+    }
+
+    /// The 2:1 multiplexer `sel ? b : a` with input order `[a, b, sel]`.
+    pub fn mux2() -> Self {
+        Self::from_fn(3, |bits| if bits[2] { bits[1] } else { bits[0] })
+    }
+
+    /// The full-adder sum `a ^ b ^ cin` with input order `[a, b, cin]`.
+    pub fn full_adder_sum() -> Self {
+        Self::xor(3)
+    }
+
+    /// The full-adder carry `maj(a, b, cin)` with input order `[a, b, cin]`.
+    pub fn full_adder_carry() -> Self {
+        #[allow(clippy::nonminimal_bool)] // majority reads clearest in full
+        Self::from_fn(3, |bits| {
+            (bits[0] && bits[1]) || (bits[0] && bits[2]) || (bits[1] && bits[2])
+        })
+    }
+
+    /// Number of input variables.
+    #[inline]
+    pub fn num_inputs(&self) -> u32 {
+        self.num_inputs
+    }
+
+    /// Raw output bits, masked to the significant rows.
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Number of rows (`2^num_inputs`).
+    #[inline]
+    pub fn num_rows(&self) -> u64 {
+        1u64 << self.num_inputs
+    }
+
+    /// Evaluates the function on the given input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`Self::num_inputs`].
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs as usize,
+            "truth table arity mismatch"
+        );
+        let mut row = 0u64;
+        for (i, &bit) in inputs.iter().enumerate() {
+            if bit {
+                row |= 1 << i;
+            }
+        }
+        (self.bits >> row) & 1 == 1
+    }
+
+    /// Evaluates the function on a row index directly (bit `i` of `row` is input `i`).
+    #[inline]
+    pub fn eval_row(&self, row: u64) -> bool {
+        debug_assert!(row < self.num_rows());
+        (self.bits >> row) & 1 == 1
+    }
+
+    /// Returns the function with one input fixed to a constant, reducing arity by one.
+    ///
+    /// The remaining inputs keep their relative order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input >= num_inputs`.
+    pub fn cofactor(&self, input: u32, value: bool) -> Self {
+        assert!(input < self.num_inputs);
+        let reduced = self.num_inputs - 1;
+        Self::from_fn(reduced, |bits| {
+            let mut full = [false; MAX_LUT_INPUTS as usize];
+            let mut j = 0;
+            for i in 0..self.num_inputs {
+                if i == input {
+                    full[i as usize] = value;
+                } else {
+                    full[i as usize] = bits[j];
+                    j += 1;
+                }
+            }
+            self.eval(&full[..self.num_inputs as usize])
+        })
+    }
+
+    /// Returns `true` if the function ignores the given input.
+    pub fn ignores_input(&self, input: u32) -> bool {
+        self.cofactor(input, false) == self.cofactor(input, true)
+    }
+
+    /// Returns the function with inputs reordered: new input `i` is old input `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..num_inputs`.
+    pub fn permute(&self, perm: &[u32]) -> Self {
+        assert_eq!(perm.len(), self.num_inputs as usize);
+        let mut seen = [false; MAX_LUT_INPUTS as usize];
+        for &p in perm {
+            assert!(
+                p < self.num_inputs && !seen[p as usize],
+                "invalid permutation"
+            );
+            seen[p as usize] = true;
+        }
+        Self::from_fn(self.num_inputs, |bits| {
+            let mut old = [false; MAX_LUT_INPUTS as usize];
+            for (new_idx, &old_idx) in perm.iter().enumerate() {
+                old[old_idx as usize] = bits[new_idx];
+            }
+            self.eval(&old[..self.num_inputs as usize])
+        })
+    }
+
+    /// Returns the complement of the function.
+    pub fn complement(&self) -> Self {
+        Self::new(self.num_inputs, !self.bits)
+    }
+
+    /// Serializes the output column as a string of `0`/`1`, row 0 first.
+    pub fn to_bit_string(&self) -> String {
+        (0..self.num_rows())
+            .map(|row| if self.eval_row(row) { '1' } else { '0' })
+            .collect()
+    }
+
+    fn mask(num_inputs: u32) -> u64 {
+        if num_inputs >= 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1u64 << num_inputs)) - 1
+        }
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TruthTable({} inputs, {})",
+            self.num_inputs,
+            self.to_bit_string()
+        )
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_bit_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_or_xor_basic() {
+        let and2 = TruthTable::and(2);
+        assert!(and2.eval(&[true, true]));
+        assert!(!and2.eval(&[true, false]));
+        let or2 = TruthTable::or(2);
+        assert!(or2.eval(&[false, true]));
+        assert!(!or2.eval(&[false, false]));
+        let xor3 = TruthTable::xor(3);
+        assert!(xor3.eval(&[true, true, true]));
+        assert!(!xor3.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn full_adder_cells() {
+        let sum = TruthTable::full_adder_sum();
+        let carry = TruthTable::full_adder_carry();
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let total = a as u32 + b as u32 + c as u32;
+                    assert_eq!(sum.eval(&[a, b, c]), total % 2 == 1);
+                    assert_eq!(carry.eval(&[a, b, c]), total >= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mux2_selects() {
+        let mux = TruthTable::mux2();
+        assert!(!mux.eval(&[false, true, false])); // sel=0 -> a
+        assert!(mux.eval(&[false, true, true])); // sel=1 -> b
+    }
+
+    #[test]
+    fn cofactor_reduces_arity() {
+        let mux = TruthTable::mux2();
+        // Fixing sel=1 yields projection onto input b (which becomes input 1).
+        let f = mux.cofactor(2, true);
+        assert_eq!(f.num_inputs(), 2);
+        assert!(f.eval(&[false, true]));
+        assert!(!f.eval(&[true, false]));
+    }
+
+    #[test]
+    fn ignores_input_detects_dead_variable() {
+        // f(a, b) = a, so b is ignored.
+        let f = TruthTable::from_fn(2, |bits| bits[0]);
+        assert!(!f.ignores_input(0));
+        assert!(f.ignores_input(1));
+    }
+
+    #[test]
+    fn permute_swaps_variables() {
+        // f(a, b) = a AND NOT b.
+        let f = TruthTable::from_fn(2, |bits| bits[0] && !bits[1]);
+        let g = f.permute(&[1, 0]);
+        assert!(g.eval(&[false, true]));
+        assert!(!g.eval(&[true, false]));
+    }
+
+    #[test]
+    fn complement_inverts_every_row() {
+        let f = TruthTable::xor(2);
+        let g = f.complement();
+        for row in 0..4 {
+            assert_ne!(f.eval_row(row), g.eval_row(row));
+        }
+    }
+
+    #[test]
+    fn mask_prevents_garbage_bits() {
+        let a = TruthTable::new(1, 0b10);
+        let b = TruthTable::new(1, 0xFFFF_FFFF_FFFF_FF02 | 0b10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_inputs_panics() {
+        let _ = TruthTable::new(7, 0);
+    }
+
+    #[test]
+    fn six_input_table_uses_full_word() {
+        let t = TruthTable::constant_true(6);
+        assert_eq!(t.bits(), u64::MAX);
+        assert_eq!(t.num_rows(), 64);
+    }
+}

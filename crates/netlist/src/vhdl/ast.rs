@@ -1,0 +1,110 @@
+//! Abstract syntax tree for the structural VHDL subset.
+
+/// Direction of an entity port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstDir {
+    /// `in` port.
+    In,
+    /// `out` port.
+    Out,
+}
+
+/// `std_logic` or `std_logic_vector(hi downto lo)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AstType {
+    /// Width in bits (`std_logic` is width 1).
+    pub width: u32,
+}
+
+/// One declared entity port (after comma-list expansion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstPort {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: AstDir,
+    /// Type.
+    pub ty: AstType,
+    /// Declaration line.
+    pub line: usize,
+}
+
+/// One declared architecture signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstSignal {
+    /// Signal name.
+    pub name: String,
+    /// Type.
+    pub ty: AstType,
+    /// Declaration line.
+    pub line: usize,
+}
+
+/// A dataflow expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AstExpr {
+    /// Reference to a signal or entity input port.
+    Name(String),
+    /// Bit slice `name(hi downto lo)` or single bit `name(i)`.
+    Slice {
+        /// Sliced signal name.
+        name: String,
+        /// High bit (inclusive).
+        hi: u32,
+        /// Low bit (inclusive).
+        lo: u32,
+    },
+    /// Literal `'0'`, `'1'`, or `"0101"` (stored low bit first).
+    Literal(Vec<bool>),
+    /// Concatenation `a & b & ...`; VHDL `&` puts the left operand in the
+    /// high bits, parts here are ordered low-to-high.
+    Concat(Vec<AstExpr>),
+}
+
+/// A component instantiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstInstance {
+    /// Instance label.
+    pub label: String,
+    /// Component name (resolved against the built-in library).
+    pub component: String,
+    /// Generic associations (`name => integer`).
+    pub generics: Vec<(String, u64)>,
+    /// Port associations (`formal => actual expression`).
+    pub ports: Vec<(String, AstExpr)>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A concurrent signal assignment `target <= expr;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstAssign {
+    /// Target signal or entity output name.
+    pub target: String,
+    /// Driving expression.
+    pub expr: AstExpr,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A concurrent statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AstStatement {
+    /// Component instantiation.
+    Instance(AstInstance),
+    /// Signal assignment.
+    Assign(AstAssign),
+}
+
+/// A parsed design: one entity plus one architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstDesign {
+    /// Entity name.
+    pub name: String,
+    /// Entity ports.
+    pub ports: Vec<AstPort>,
+    /// Architecture signals.
+    pub signals: Vec<AstSignal>,
+    /// Architecture body.
+    pub statements: Vec<AstStatement>,
+}

@@ -1,0 +1,476 @@
+//! Elaboration of the VHDL AST into an [`RtlCircuit`].
+
+use std::collections::HashMap;
+
+use super::ast::*;
+use crate::error::ParseNetlistError;
+use crate::ids::NodeId;
+use crate::rtl::{CombOp, Driver, NodeKind, RtlCircuit};
+
+/// The built-in structural component library.
+///
+/// | component | generics | inputs | outputs |
+/// |-----------|----------|--------|---------|
+/// | `add` | `width` | `a`, `b`, `cin` | `sum`, `cout` |
+/// | `sub` | `width` | `a`, `b` | `diff`, `bout` |
+/// | `mul` | `width` | `a`, `b` | `prod` |
+/// | `mux2` | `width` | `a`, `b`, `sel` | `y` |
+/// | `muxn` | `width`, `n` | `d0`..`d{n-1}`, `sel` | `y` |
+/// | `eq`, `lt` | `width` | `a`, `b` | `y` |
+/// | `and2`, `or2`, `xor2` | `width` | `a`, `b` | `y` |
+/// | `inv` | `width` | `a` | `y` |
+/// | `reduce_and`, `reduce_or`, `reduce_xor` | `width` | `a` | `y` |
+/// | `shl`, `shr` | `width`, `amount` | `a` | `y` |
+/// | `reg` | `width` | `d` | `q` |
+/// | `lut` | `n`, `truth` | `i0`..`i{n-1}` | `y` |
+fn component_kind(
+    component: &str,
+    generics: &HashMap<String, u64>,
+    line: usize,
+) -> Result<NodeKind, ParseNetlistError> {
+    let width = || -> Result<u32, ParseNetlistError> {
+        generics
+            .get("width")
+            .map(|&w| w as u32)
+            .ok_or_else(|| ParseNetlistError::new(line, "missing generic `width`"))
+    };
+    let kind = match component {
+        "add" => NodeKind::Comb(CombOp::Add { width: width()? }),
+        "sub" => NodeKind::Comb(CombOp::Sub { width: width()? }),
+        "mul" => NodeKind::Comb(CombOp::Mul { width: width()? }),
+        "mux2" => NodeKind::Comb(CombOp::Mux2 { width: width()? }),
+        "muxn" => {
+            let n = generics
+                .get("n")
+                .map(|&n| n as u32)
+                .ok_or_else(|| ParseNetlistError::new(line, "missing generic `n`"))?;
+            NodeKind::Comb(CombOp::MuxN { width: width()?, n })
+        }
+        "eq" => NodeKind::Comb(CombOp::Eq { width: width()? }),
+        "lt" => NodeKind::Comb(CombOp::Lt { width: width()? }),
+        "and2" => NodeKind::Comb(CombOp::And { width: width()? }),
+        "or2" => NodeKind::Comb(CombOp::Or { width: width()? }),
+        "xor2" => NodeKind::Comb(CombOp::Xor { width: width()? }),
+        "inv" => NodeKind::Comb(CombOp::Not { width: width()? }),
+        "reduce_and" => NodeKind::Comb(CombOp::ReduceAnd { width: width()? }),
+        "reduce_or" => NodeKind::Comb(CombOp::ReduceOr { width: width()? }),
+        "reduce_xor" => NodeKind::Comb(CombOp::ReduceXor { width: width()? }),
+        "shl" | "shr" => {
+            let amount = generics
+                .get("amount")
+                .map(|&a| a as u32)
+                .ok_or_else(|| ParseNetlistError::new(line, "missing generic `amount`"))?;
+            if component == "shl" {
+                NodeKind::Comb(CombOp::Shl {
+                    width: width()?,
+                    amount,
+                })
+            } else {
+                NodeKind::Comb(CombOp::Shr {
+                    width: width()?,
+                    amount,
+                })
+            }
+        }
+        "reg" => NodeKind::Register { width: width()? },
+        "lut" => {
+            let n = generics
+                .get("n")
+                .map(|&n| n as u32)
+                .ok_or_else(|| ParseNetlistError::new(line, "missing generic `n`"))?;
+            let truth = generics
+                .get("truth")
+                .copied()
+                .ok_or_else(|| ParseNetlistError::new(line, "missing generic `truth`"))?;
+            if n > crate::truth::MAX_LUT_INPUTS {
+                return Err(ParseNetlistError::new(
+                    line,
+                    format!(
+                        "lut generic n = {n} exceeds {}",
+                        crate::truth::MAX_LUT_INPUTS
+                    ),
+                ));
+            }
+            NodeKind::Comb(CombOp::Lut {
+                truth: crate::truth::TruthTable::new(n, truth),
+            })
+        }
+        other => {
+            return Err(ParseNetlistError::new(
+                line,
+                format!("unknown component `{other}`"),
+            ))
+        }
+    };
+    Ok(kind)
+}
+
+fn port_index(ports: &[crate::rtl::PortSpec], name: &str) -> Option<usize> {
+    // Exact formal name first.
+    if let Some(i) = ports.iter().position(|p| p.name == name) {
+        return Some(i);
+    }
+    // Repeated ports (MuxN's `d`, Lut's `i`) are addressed positionally as
+    // `d0`, `d1`, ... / `i0`, `i1`, ...
+    let split = name.find(|c: char| c.is_ascii_digit())?;
+    let (prefix, digits) = name.split_at(split);
+    let index: usize = digits.parse().ok()?;
+    // The positional index counts among ports sharing the prefix name.
+    let mut seen = 0;
+    for (i, port) in ports.iter().enumerate() {
+        if port.name == prefix {
+            if seen == index {
+                return Some(i);
+            }
+            seen += 1;
+        }
+    }
+    None
+}
+
+struct Elaborator {
+    circuit: RtlCircuit,
+    /// Known drivers of signals / entity input ports.
+    drivers: HashMap<String, Driver>,
+    /// Declared width of every signal and port.
+    widths: HashMap<String, u32>,
+    /// Entity output ports: name -> output node.
+    out_ports: HashMap<String, NodeId>,
+    /// Assignment expressions not yet elaborated.
+    assigns: HashMap<String, (AstExpr, usize)>,
+    /// In-progress markers for cycle detection.
+    visiting: Vec<String>,
+    unique: u64,
+}
+
+impl Elaborator {
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.unique += 1;
+        format!("${prefix}{}", self.unique)
+    }
+
+    fn expr_width(&self, expr: &AstExpr, line: usize) -> Result<u32, ParseNetlistError> {
+        match expr {
+            AstExpr::Name(name) => self
+                .widths
+                .get(name)
+                .copied()
+                .ok_or_else(|| ParseNetlistError::new(line, format!("unknown signal `{name}`"))),
+            AstExpr::Slice { hi, lo, .. } => Ok(hi - lo + 1),
+            AstExpr::Literal(bits) => Ok(bits.len() as u32),
+            AstExpr::Concat(parts) => {
+                let mut total = 0;
+                for p in parts {
+                    total += self.expr_width(p, line)?;
+                }
+                Ok(total)
+            }
+        }
+    }
+
+    fn resolve_driver(&mut self, name: &str, line: usize) -> Result<Driver, ParseNetlistError> {
+        if let Some(&d) = self.drivers.get(name) {
+            return Ok(d);
+        }
+        if self.visiting.iter().any(|v| v == name) {
+            return Err(ParseNetlistError::new(
+                line,
+                format!("combinational assignment cycle through `{name}`"),
+            ));
+        }
+        if let Some((expr, assign_line)) = self.assigns.remove(name) {
+            self.visiting.push(name.to_string());
+            let d = self.elaborate_expr(&expr, assign_line)?;
+            self.visiting.pop();
+            self.drivers.insert(name.to_string(), d);
+            return Ok(d);
+        }
+        Err(ParseNetlistError::new(
+            line,
+            format!("signal `{name}` has no driver"),
+        ))
+    }
+
+    fn elaborate_expr(&mut self, expr: &AstExpr, line: usize) -> Result<Driver, ParseNetlistError> {
+        match expr {
+            AstExpr::Name(name) => self.resolve_driver(name, line),
+            AstExpr::Slice { name, hi, lo } => {
+                let width = *self.widths.get(name).ok_or_else(|| {
+                    ParseNetlistError::new(line, format!("unknown signal `{name}`"))
+                })?;
+                if *hi >= width {
+                    return Err(ParseNetlistError::new(
+                        line,
+                        format!("slice {hi} out of range for `{name}` ({width} bits)"),
+                    ));
+                }
+                let src = self.resolve_driver(name, line)?;
+                let node_name = self.fresh_name("slice");
+                let node = self
+                    .circuit
+                    .add_node(
+                        node_name,
+                        NodeKind::Comb(CombOp::Slice {
+                            width,
+                            lo: *lo,
+                            out_width: hi - lo + 1,
+                        }),
+                    )
+                    .expect("fresh name unique");
+                self.connect(src, node, 0, line)?;
+                Ok(Driver { node, port: 0 })
+            }
+            AstExpr::Literal(bits) => {
+                let mut value = 0u64;
+                for (i, &b) in bits.iter().enumerate() {
+                    if b {
+                        value |= 1 << i;
+                    }
+                }
+                let node_name = self.fresh_name("const");
+                let node = self
+                    .circuit
+                    .add_node(
+                        node_name,
+                        NodeKind::Comb(CombOp::Const {
+                            width: bits.len() as u32,
+                            value,
+                        }),
+                    )
+                    .expect("fresh name unique");
+                Ok(Driver { node, port: 0 })
+            }
+            AstExpr::Concat(parts) => {
+                let mut widths = Vec::with_capacity(parts.len());
+                for p in parts {
+                    widths.push(self.expr_width(p, line)?);
+                }
+                let node_name = self.fresh_name("concat");
+                let node = self
+                    .circuit
+                    .add_node(node_name, NodeKind::Comb(CombOp::Concat { widths }))
+                    .expect("fresh name unique");
+                for (i, p) in parts.iter().enumerate() {
+                    let d = self.elaborate_expr(p, line)?;
+                    self.connect(d, node, i as u32, line)?;
+                }
+                Ok(Driver { node, port: 0 })
+            }
+        }
+    }
+
+    fn connect(
+        &mut self,
+        from: Driver,
+        to: NodeId,
+        to_port: u32,
+        line: usize,
+    ) -> Result<(), ParseNetlistError> {
+        self.circuit
+            .connect(from.node, from.port, to, to_port)
+            .map_err(|e| ParseNetlistError::new(line, e.to_string()))
+    }
+}
+
+/// Elaborates a parsed design into an RTL circuit.
+pub(super) fn elaborate(design: &AstDesign) -> Result<RtlCircuit, ParseNetlistError> {
+    let mut elab = Elaborator {
+        circuit: RtlCircuit::new(design.name.clone()),
+        drivers: HashMap::new(),
+        widths: HashMap::new(),
+        out_ports: HashMap::new(),
+        assigns: HashMap::new(),
+        visiting: Vec::new(),
+        unique: 0,
+    };
+
+    // Entity ports.
+    for port in &design.ports {
+        elab.widths.insert(port.name.clone(), port.ty.width);
+        match port.dir {
+            AstDir::In => {
+                let node = elab
+                    .circuit
+                    .add_node(
+                        port.name.clone(),
+                        NodeKind::Input {
+                            width: port.ty.width,
+                        },
+                    )
+                    .map_err(|e| ParseNetlistError::new(port.line, e.to_string()))?;
+                elab.drivers
+                    .insert(port.name.clone(), Driver { node, port: 0 });
+            }
+            AstDir::Out => {
+                let node = elab
+                    .circuit
+                    .add_node(
+                        port.name.clone(),
+                        NodeKind::Output {
+                            width: port.ty.width,
+                        },
+                    )
+                    .map_err(|e| ParseNetlistError::new(port.line, e.to_string()))?;
+                elab.out_ports.insert(port.name.clone(), node);
+            }
+        }
+    }
+    // Architecture signals.
+    for signal in &design.signals {
+        if elab
+            .widths
+            .insert(signal.name.clone(), signal.ty.width)
+            .is_some()
+        {
+            return Err(ParseNetlistError::new(
+                signal.line,
+                format!("`{}` declared twice", signal.name),
+            ));
+        }
+    }
+
+    // Instances: create nodes, record output drivers, defer input wiring.
+    struct PendingInput {
+        node: NodeId,
+        port: u32,
+        expr: AstExpr,
+        line: usize,
+    }
+    struct PendingOutput {
+        driver: Driver,
+        target: String,
+        line: usize,
+    }
+    let mut pending_inputs: Vec<PendingInput> = Vec::new();
+    let mut pending_outputs: Vec<PendingOutput> = Vec::new();
+
+    for statement in &design.statements {
+        match statement {
+            AstStatement::Instance(inst) => {
+                let generics: HashMap<String, u64> = inst.generics.iter().cloned().collect();
+                let kind = component_kind(&inst.component, &generics, inst.line)?;
+                let in_ports = kind.input_ports();
+                let out_ports = kind.output_ports();
+                let node = elab
+                    .circuit
+                    .add_node(inst.label.clone(), kind.clone())
+                    .map_err(|e| ParseNetlistError::new(inst.line, e.to_string()))?;
+                for (formal, actual) in &inst.ports {
+                    if let Some(idx) = port_index(&in_ports, formal) {
+                        pending_inputs.push(PendingInput {
+                            node,
+                            port: idx as u32,
+                            expr: actual.clone(),
+                            line: inst.line,
+                        });
+                    } else if let Some(idx) = out_ports.iter().position(|p| p.name == formal) {
+                        let target = match actual {
+                            AstExpr::Name(n) => n.clone(),
+                            other => {
+                                return Err(ParseNetlistError::new(
+                                    inst.line,
+                                    format!(
+                                        "output formal `{formal}` must map to a plain signal, got {other:?}"
+                                    ),
+                                ))
+                            }
+                        };
+                        pending_outputs.push(PendingOutput {
+                            driver: Driver {
+                                node,
+                                port: idx as u32,
+                            },
+                            target,
+                            line: inst.line,
+                        });
+                    } else {
+                        return Err(ParseNetlistError::new(
+                            inst.line,
+                            format!("component `{}` has no port `{formal}`", inst.component),
+                        ));
+                    }
+                }
+            }
+            AstStatement::Assign(assign) => {
+                if elab.assigns.contains_key(&assign.target) {
+                    return Err(ParseNetlistError::new(
+                        assign.line,
+                        format!("`{}` assigned twice", assign.target),
+                    ));
+                }
+                elab.assigns
+                    .insert(assign.target.clone(), (assign.expr.clone(), assign.line));
+            }
+        }
+    }
+
+    // Record instance-driven signal drivers (or wire directly to out ports).
+    let mut out_port_feeds: Vec<(Driver, NodeId, usize)> = Vec::new();
+    for pending in pending_outputs {
+        if let Some(&out_node) = elab.out_ports.get(&pending.target) {
+            out_port_feeds.push((pending.driver, out_node, pending.line));
+        } else {
+            if !elab.widths.contains_key(&pending.target) {
+                return Err(ParseNetlistError::new(
+                    pending.line,
+                    format!("unknown signal `{}`", pending.target),
+                ));
+            }
+            if elab
+                .drivers
+                .insert(pending.target.clone(), pending.driver)
+                .is_some()
+            {
+                return Err(ParseNetlistError::new(
+                    pending.line,
+                    format!("signal `{}` driven twice", pending.target),
+                ));
+            }
+        }
+    }
+
+    // Wire instance inputs.
+    for pending in pending_inputs {
+        let d = elab.elaborate_expr(&pending.expr, pending.line)?;
+        elab.connect(d, pending.node, pending.port, pending.line)?;
+    }
+    // Wire entity outputs: direct instance feeds, then assignment-driven.
+    for (driver, out_node, line) in out_port_feeds {
+        elab.connect(driver, out_node, 0, line)?;
+    }
+    let out_names: Vec<(String, NodeId)> = elab
+        .out_ports
+        .iter()
+        .map(|(n, &id)| (n.clone(), id))
+        .collect();
+    for (name, out_node) in out_names {
+        // Skip outputs already wired by an instance.
+        if elab.circuit.node(out_node).inputs[0].is_some() {
+            continue;
+        }
+        if let Some((expr, line)) = elab.assigns.remove(&name) {
+            let d = elab.elaborate_expr(&expr, line)?;
+            elab.connect(d, out_node, 0, line)?;
+        } else {
+            return Err(ParseNetlistError::new(
+                0,
+                format!("output port `{name}` is never driven"),
+            ));
+        }
+    }
+    // Flush remaining assignments (signals that only feed other assignments
+    // were already pulled in transitively; leftovers are dead but must still
+    // elaborate so width errors surface).
+    let leftovers: Vec<String> = elab.assigns.keys().cloned().collect();
+    for name in leftovers {
+        if let Some((expr, line)) = elab.assigns.remove(&name) {
+            let d = elab.elaborate_expr(&expr, line)?;
+            elab.drivers.insert(name, d);
+        }
+    }
+
+    elab.circuit
+        .validate()
+        .map_err(|e| ParseNetlistError::new(0, e.to_string()))?;
+    Ok(elab.circuit)
+}

@@ -1,0 +1,287 @@
+//! Tokenizer for the structural VHDL subset.
+
+use crate::error::ParseNetlistError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (lower-cased; VHDL is case-insensitive).
+    Ident(String),
+    /// Integer literal.
+    Int(u64),
+    /// Bit literal `'0'` / `'1'`.
+    BitLit(bool),
+    /// Bit-vector literal `"0101"` (most-significant bit first).
+    VecLit(Vec<bool>),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semicolon,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `<=`
+    Assign,
+    /// `=>`
+    Arrow,
+    /// `&`
+    Ampersand,
+}
+
+/// A token plus the 1-based line it started on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Tokenizes VHDL-subset source text.
+///
+/// `--` comments run to end of line. Identifiers are lower-cased.
+///
+/// # Errors
+///
+/// Returns an error on unterminated literals or unexpected characters.
+pub fn lex(text: &str) -> Result<Vec<Spanned>, ParseNetlistError> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    // comment to end of line
+                    for k in chars.by_ref() {
+                        if k == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(ParseNetlistError::new(line, "unexpected `-`"));
+                }
+            }
+            '(' => {
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    line,
+                });
+                chars.next();
+            }
+            ')' => {
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    line,
+                });
+                chars.next();
+            }
+            ';' => {
+                tokens.push(Spanned {
+                    token: Token::Semicolon,
+                    line,
+                });
+                chars.next();
+            }
+            ',' => {
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    line,
+                });
+                chars.next();
+            }
+            '&' => {
+                tokens.push(Spanned {
+                    token: Token::Ampersand,
+                    line,
+                });
+                chars.next();
+            }
+            ':' => {
+                chars.next();
+                tokens.push(Spanned {
+                    token: Token::Colon,
+                    line,
+                });
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Spanned {
+                        token: Token::Assign,
+                        line,
+                    });
+                } else {
+                    return Err(ParseNetlistError::new(line, "expected `<=`"));
+                }
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    tokens.push(Spanned {
+                        token: Token::Arrow,
+                        line,
+                    });
+                } else {
+                    return Err(ParseNetlistError::new(line, "expected `=>`"));
+                }
+            }
+            '\'' => {
+                chars.next();
+                let bit = match chars.next() {
+                    Some('0') => false,
+                    Some('1') => true,
+                    other => {
+                        return Err(ParseNetlistError::new(
+                            line,
+                            format!("bad bit literal {other:?}"),
+                        ))
+                    }
+                };
+                if chars.next() != Some('\'') {
+                    return Err(ParseNetlistError::new(line, "unterminated bit literal"));
+                }
+                tokens.push(Spanned {
+                    token: Token::BitLit(bit),
+                    line,
+                });
+            }
+            '"' => {
+                chars.next();
+                let mut bits = Vec::new();
+                loop {
+                    match chars.next() {
+                        Some('0') => bits.push(false),
+                        Some('1') => bits.push(true),
+                        Some('"') => break,
+                        other => {
+                            return Err(ParseNetlistError::new(
+                                line,
+                                format!("bad vector literal char {other:?}"),
+                            ))
+                        }
+                    }
+                }
+                tokens.push(Spanned {
+                    token: Token::VecLit(bits),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut value = 0u64;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        value = value * 10 + u64::from(v);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Spanned {
+                    token: Token::Int(value),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        ident.push(d.to_ascii_lowercase());
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Spanned {
+                    token: Token::Ident(ident),
+                    line,
+                });
+            }
+            other => {
+                return Err(ParseNetlistError::new(
+                    line,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_basic_tokens() {
+        let toks = lex("entity Foo is -- comment\n port ( a : in );").unwrap();
+        let kinds: Vec<Token> = toks.into_iter().map(|s| s.token).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Token::Ident("entity".into()),
+                Token::Ident("foo".into()),
+                Token::Ident("is".into()),
+                Token::Ident("port".into()),
+                Token::LParen,
+                Token::Ident("a".into()),
+                Token::Colon,
+                Token::Ident("in".into()),
+                Token::RParen,
+                Token::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_literals_and_operators() {
+        let toks = lex("y <= a & \"01\" ; m => '1' (7)").unwrap();
+        let kinds: Vec<Token> = toks.into_iter().map(|s| s.token).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Token::Ident("y".into()),
+                Token::Assign,
+                Token::Ident("a".into()),
+                Token::Ampersand,
+                Token::VecLit(vec![false, true]),
+                Token::Semicolon,
+                Token::Ident("m".into()),
+                Token::Arrow,
+                Token::BitLit(true),
+                Token::LParen,
+                Token::Int(7),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<usize> = toks.iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn rejects_bad_characters() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("'2'").is_err());
+        assert!(lex("\"01x\"").is_err());
+        assert!(lex("a < b").is_err());
+    }
+}

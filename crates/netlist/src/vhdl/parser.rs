@@ -1,0 +1,462 @@
+//! Recursive-descent parser for the structural VHDL subset.
+
+use super::ast::*;
+use super::lexer::{Spanned, Token};
+use crate::error::ParseNetlistError;
+
+pub(super) struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    pub(super) fn new(tokens: Vec<Spanned>) -> Self {
+        Self { tokens, pos: 0 }
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |t| t.line)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseNetlistError {
+        ParseNetlistError::new(self.line(), msg)
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<(), ParseNetlistError> {
+        match self.next() {
+            Some(ref t) if t == expected => Ok(()),
+            other => Err(ParseNetlistError::new(
+                self.tokens
+                    .get(self.pos.saturating_sub(1))
+                    .map_or(0, |t| t.line),
+                format!("expected {expected:?}, found {other:?}"),
+            )),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseNetlistError> {
+        match self.next() {
+            Some(Token::Ident(ref s)) if s == kw => Ok(()),
+            other => Err(ParseNetlistError::new(
+                self.tokens
+                    .get(self.pos.saturating_sub(1))
+                    .map_or(0, |t| t.line),
+                format!("expected keyword `{kw}`, found {other:?}"),
+            )),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseNetlistError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseNetlistError::new(
+                self.tokens
+                    .get(self.pos.saturating_sub(1))
+                    .map_or(0, |t| t.line),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    fn int(&mut self) -> Result<u64, ParseNetlistError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(v),
+            other => Err(ParseNetlistError::new(
+                self.tokens
+                    .get(self.pos.saturating_sub(1))
+                    .map_or(0, |t| t.line),
+                format!("expected integer, found {other:?}"),
+            )),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    pub(super) fn design(&mut self) -> Result<AstDesign, ParseNetlistError> {
+        // entity NAME is port ( ... ); end [entity] [NAME];
+        self.expect_keyword("entity")?;
+        let name = self.ident()?;
+        self.expect_keyword("is")?;
+        self.expect_keyword("port")?;
+        self.expect(&Token::LParen)?;
+        let mut ports = Vec::new();
+        loop {
+            ports.extend(self.port_decl()?);
+            match self.peek() {
+                Some(Token::Semicolon) => {
+                    self.next();
+                    if matches!(self.peek(), Some(Token::RParen)) {
+                        self.next();
+                        break;
+                    }
+                }
+                Some(Token::RParen) => {
+                    self.next();
+                    break;
+                }
+                other => return Err(self.err(format!("expected `;` or `)`, found {other:?}"))),
+            }
+        }
+        self.expect(&Token::Semicolon)?;
+        self.expect_keyword("end")?;
+        self.optional_trailer(&name);
+        self.expect(&Token::Semicolon)?;
+
+        // architecture NAME of ENTITY is {signal} begin {stmt} end [NAME];
+        self.expect_keyword("architecture")?;
+        let _arch_name = self.ident()?;
+        self.expect_keyword("of")?;
+        let of_name = self.ident()?;
+        if of_name != name {
+            return Err(self.err(format!(
+                "architecture of `{of_name}` does not match entity `{name}`"
+            )));
+        }
+        self.expect_keyword("is")?;
+        let mut signals = Vec::new();
+        while self.peek_keyword("signal") {
+            signals.extend(self.signal_decl()?);
+        }
+        self.expect_keyword("begin")?;
+        let mut statements = Vec::new();
+        while !self.peek_keyword("end") {
+            statements.push(self.statement()?);
+        }
+        self.expect_keyword("end")?;
+        self.optional_trailer(&_arch_name);
+        self.expect(&Token::Semicolon)?;
+        Ok(AstDesign {
+            name,
+            ports,
+            signals,
+            statements,
+        })
+    }
+
+    /// Consumes an optional `entity`/`architecture` keyword and/or name after `end`.
+    fn optional_trailer(&mut self, _name: &str) {
+        while matches!(self.peek(), Some(Token::Ident(_))) {
+            self.next();
+        }
+    }
+
+    fn ty(&mut self) -> Result<AstType, ParseNetlistError> {
+        let kind = self.ident()?;
+        match kind.as_str() {
+            "std_logic" => Ok(AstType { width: 1 }),
+            "std_logic_vector" => {
+                self.expect(&Token::LParen)?;
+                let hi = self.int()? as u32;
+                self.expect_keyword("downto")?;
+                let lo = self.int()? as u32;
+                self.expect(&Token::RParen)?;
+                if lo != 0 {
+                    return Err(self.err("only (N downto 0) ranges are supported"));
+                }
+                Ok(AstType { width: hi - lo + 1 })
+            }
+            other => Err(self.err(format!("unknown type `{other}`"))),
+        }
+    }
+
+    fn port_decl(&mut self) -> Result<Vec<AstPort>, ParseNetlistError> {
+        let line = self.line();
+        let mut names = vec![self.ident()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.next();
+            names.push(self.ident()?);
+        }
+        self.expect(&Token::Colon)?;
+        let dir = match self.ident()?.as_str() {
+            "in" => AstDir::In,
+            "out" => AstDir::Out,
+            other => return Err(self.err(format!("expected `in` or `out`, found `{other}`"))),
+        };
+        let ty = self.ty()?;
+        Ok(names
+            .into_iter()
+            .map(|name| AstPort {
+                name,
+                dir,
+                ty,
+                line,
+            })
+            .collect())
+    }
+
+    fn signal_decl(&mut self) -> Result<Vec<AstSignal>, ParseNetlistError> {
+        let line = self.line();
+        self.expect_keyword("signal")?;
+        let mut names = vec![self.ident()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.next();
+            names.push(self.ident()?);
+        }
+        self.expect(&Token::Colon)?;
+        let ty = self.ty()?;
+        self.expect(&Token::Semicolon)?;
+        Ok(names
+            .into_iter()
+            .map(|name| AstSignal { name, ty, line })
+            .collect())
+    }
+
+    fn statement(&mut self) -> Result<AstStatement, ParseNetlistError> {
+        let line = self.line();
+        let first = self.ident()?;
+        match self.peek() {
+            Some(Token::Colon) => {
+                self.next();
+                let component = self.ident()?;
+                let mut generics = Vec::new();
+                if self.peek_keyword("generic") {
+                    self.next();
+                    self.expect_keyword("map")?;
+                    self.expect(&Token::LParen)?;
+                    loop {
+                        let name = self.ident()?;
+                        self.expect(&Token::Arrow)?;
+                        let value = self.int()?;
+                        generics.push((name, value));
+                        match self.next() {
+                            Some(Token::Comma) => continue,
+                            Some(Token::RParen) => break,
+                            other => {
+                                return Err(self.err(format!(
+                                    "expected `,` or `)` in generic map, found {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                self.expect_keyword("port")?;
+                self.expect_keyword("map")?;
+                self.expect(&Token::LParen)?;
+                let mut ports = Vec::new();
+                loop {
+                    let formal = self.ident()?;
+                    self.expect(&Token::Arrow)?;
+                    let actual = self.expr()?;
+                    ports.push((formal, actual));
+                    match self.next() {
+                        Some(Token::Comma) => continue,
+                        Some(Token::RParen) => break,
+                        other => {
+                            return Err(self
+                                .err(format!("expected `,` or `)` in port map, found {other:?}")))
+                        }
+                    }
+                }
+                self.expect(&Token::Semicolon)?;
+                Ok(AstStatement::Instance(AstInstance {
+                    label: first,
+                    component,
+                    generics,
+                    ports,
+                    line,
+                }))
+            }
+            Some(Token::Assign) => {
+                self.next();
+                let expr = self.expr()?;
+                self.expect(&Token::Semicolon)?;
+                Ok(AstStatement::Assign(AstAssign {
+                    target: first,
+                    expr,
+                    line,
+                }))
+            }
+            other => Err(self.err(format!("expected `:` or `<=`, found {other:?}"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<AstExpr, ParseNetlistError> {
+        let first = self.primary()?;
+        if !matches!(self.peek(), Some(Token::Ampersand)) {
+            return Ok(first);
+        }
+        // VHDL `a & b` places `a` in the high bits; collect then reverse so
+        // the AST stores parts low-to-high.
+        let mut high_to_low = vec![first];
+        while matches!(self.peek(), Some(Token::Ampersand)) {
+            self.next();
+            high_to_low.push(self.primary()?);
+        }
+        high_to_low.reverse();
+        Ok(AstExpr::Concat(high_to_low))
+    }
+
+    fn primary(&mut self) -> Result<AstExpr, ParseNetlistError> {
+        match self.next() {
+            Some(Token::Ident(name)) => {
+                if matches!(self.peek(), Some(Token::LParen)) {
+                    self.next();
+                    let hi = self.int()? as u32;
+                    let lo = if self.peek_keyword("downto") {
+                        self.next();
+                        self.int()? as u32
+                    } else {
+                        hi
+                    };
+                    self.expect(&Token::RParen)?;
+                    if lo > hi {
+                        return Err(self.err("slice low bound exceeds high bound"));
+                    }
+                    Ok(AstExpr::Slice { name, hi, lo })
+                } else {
+                    Ok(AstExpr::Name(name))
+                }
+            }
+            Some(Token::BitLit(b)) => Ok(AstExpr::Literal(vec![b])),
+            Some(Token::VecLit(msb_first)) => {
+                let mut bits = msb_first;
+                bits.reverse(); // store low bit first
+                Ok(AstExpr::Literal(bits))
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::lex;
+    use super::*;
+
+    fn parse(text: &str) -> Result<AstDesign, ParseNetlistError> {
+        Parser::new(lex(text)?).design()
+    }
+
+    const SMALL: &str = r#"
+entity top is
+  port ( a, b : in std_logic_vector(3 downto 0);
+         y : out std_logic_vector(3 downto 0) );
+end top;
+architecture rtl of top is
+  signal s : std_logic_vector(3 downto 0);
+begin
+  u0: add generic map (width => 4) port map (a => a, b => b, cin => '0', sum => s, cout => c);
+  y <= s;
+end rtl;
+"#;
+
+    #[test]
+    fn parses_small_design() {
+        let d = parse(SMALL).unwrap();
+        assert_eq!(d.name, "top");
+        assert_eq!(d.ports.len(), 3);
+        assert_eq!(d.signals.len(), 1);
+        assert_eq!(d.statements.len(), 2);
+        match &d.statements[0] {
+            AstStatement::Instance(inst) => {
+                assert_eq!(inst.component, "add");
+                assert_eq!(inst.generics, vec![("width".to_string(), 4)]);
+                assert_eq!(inst.ports.len(), 5);
+            }
+            other => panic!("expected instance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comma_port_lists_expand() {
+        let d = parse(SMALL).unwrap();
+        assert_eq!(d.ports[0].name, "a");
+        assert_eq!(d.ports[1].name, "b");
+        assert_eq!(d.ports[0].ty.width, 4);
+    }
+
+    #[test]
+    fn concat_orders_low_to_high() {
+        let text = r#"
+entity t is
+  port ( a : in std_logic; y : out std_logic_vector(1 downto 0) );
+end t;
+architecture rtl of t is
+begin
+  y <= a & '1';
+end rtl;
+"#;
+        let d = parse(text).unwrap();
+        match &d.statements[0] {
+            AstStatement::Assign(assign) => match &assign.expr {
+                AstExpr::Concat(parts) => {
+                    // '1' is the right operand, so it is the LOW part.
+                    assert_eq!(parts[0], AstExpr::Literal(vec![true]));
+                    assert_eq!(parts[1], AstExpr::Name("a".into()));
+                }
+                other => panic!("expected concat, got {other:?}"),
+            },
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slice_forms() {
+        let text = r#"
+entity t is
+  port ( a : in std_logic_vector(7 downto 0); y : out std_logic );
+end t;
+architecture rtl of t is
+begin
+  y <= a(3);
+end rtl;
+"#;
+        let d = parse(text).unwrap();
+        match &d.statements[0] {
+            AstStatement::Assign(assign) => {
+                assert_eq!(
+                    assign.expr,
+                    AstExpr::Slice {
+                        name: "a".into(),
+                        hi: 3,
+                        lo: 3
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_entity_name_rejected() {
+        let text = r#"
+entity t is
+  port ( a : in std_logic; y : out std_logic );
+end t;
+architecture rtl of other is
+begin
+  y <= a;
+end rtl;
+"#;
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn nonzero_low_range_rejected() {
+        let text = r#"
+entity t is
+  port ( a : in std_logic_vector(7 downto 4); y : out std_logic );
+end t;
+architecture rtl of t is
+begin
+  y <= a(4);
+end rtl;
+"#;
+        assert!(parse(text).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Robustness: the textual front-ends must reject arbitrary garbage with
+//! errors, never panics.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text through the BLIF parser: error or success, no panic.
+    #[test]
+    fn blif_never_panics(text in ".{0,400}") {
+        let _ = nanomap_netlist::blif::parse(&text);
+    }
+
+    /// Arbitrary text through the VHDL parser: error or success, no panic.
+    #[test]
+    fn vhdl_never_panics(text in ".{0,400}") {
+        let _ = nanomap_netlist::vhdl::parse(&text);
+    }
+
+    /// BLIF-shaped fuzzing: random directives and rows.
+    #[test]
+    fn blif_directive_soup_never_panics(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just(".model m".to_string()),
+                Just(".inputs a b c".to_string()),
+                Just(".outputs y".to_string()),
+                Just(".names a b y".to_string()),
+                Just(".names y".to_string()),
+                Just(".latch d q re clk 0".to_string()),
+                Just(".latch d".to_string()),
+                Just(".end".to_string()),
+                Just("11 1".to_string()),
+                Just("-- 0".to_string()),
+                Just("1".to_string()),
+                Just("garbage line".to_string()),
+                Just("\\".to_string()),
+                Just("# comment".to_string()),
+            ],
+            0..20,
+        )
+    ) {
+        let text = lines.join("\n");
+        let _ = nanomap_netlist::blif::parse(&text);
+    }
+
+    /// VHDL-shaped fuzzing: random token soup.
+    #[test]
+    fn vhdl_token_soup_never_panics(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("entity".to_string()),
+                Just("architecture".to_string()),
+                Just("is".to_string()),
+                Just("port".to_string()),
+                Just("map".to_string()),
+                Just("generic".to_string()),
+                Just("signal".to_string()),
+                Just("begin".to_string()),
+                Just("end".to_string()),
+                Just("std_logic".to_string()),
+                Just("std_logic_vector".to_string()),
+                Just("downto".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(";".to_string()),
+                Just(":".to_string()),
+                Just(",".to_string()),
+                Just("<=".to_string()),
+                Just("=>".to_string()),
+                Just("&".to_string()),
+                Just("'0'".to_string()),
+                Just("\"01\"".to_string()),
+                Just("x".to_string()),
+                Just("7".to_string()),
+                Just("in".to_string()),
+                Just("out".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let text = words.join(" ");
+        let _ = nanomap_netlist::vhdl::parse(&text);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of [`TruthTable`] algebra.
+
+use nanomap_netlist::TruthTable;
+use proptest::prelude::*;
+
+fn table_strategy() -> impl Strategy<Value = TruthTable> {
+    (1u32..=6, any::<u64>()).prop_map(|(n, bits)| TruthTable::new(n, bits))
+}
+
+proptest! {
+    /// Double complement is the identity.
+    #[test]
+    fn complement_involution(t in table_strategy()) {
+        prop_assert_eq!(t.complement().complement(), t);
+    }
+
+    /// A permutation followed by its inverse is the identity.
+    #[test]
+    fn permute_round_trip(t in table_strategy(), seed in any::<u64>()) {
+        let n = t.num_inputs();
+        // Derive a permutation from the seed (Fisher-Yates).
+        let mut perm: Vec<u32> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..perm.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            perm.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let mut inverse = vec![0u32; n as usize];
+        for (new_idx, &old_idx) in perm.iter().enumerate() {
+            inverse[old_idx as usize] = new_idx as u32;
+        }
+        prop_assert_eq!(t.permute(&perm).permute(&inverse), t);
+    }
+
+    /// Shannon expansion: f = (x & f|x=1) | (!x & f|x=0) for every input.
+    #[test]
+    fn shannon_expansion(t in table_strategy(), input_pick in any::<prop::sample::Index>()) {
+        let n = t.num_inputs();
+        let input = input_pick.index(n as usize) as u32;
+        let f1 = t.cofactor(input, true);
+        let f0 = t.cofactor(input, false);
+        for row in 0..t.num_rows() {
+            let bits: Vec<bool> = (0..n).map(|b| (row >> b) & 1 == 1).collect();
+            let reduced: Vec<bool> = bits
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i as u32 != input)
+                .map(|(_, &b)| b)
+                .collect();
+            let expected = if bits[input as usize] {
+                f1.eval(&reduced)
+            } else {
+                f0.eval(&reduced)
+            };
+            prop_assert_eq!(t.eval(&bits), expected, "row {}", row);
+        }
+    }
+
+    /// `ignores_input` is consistent with cofactor equality by definition,
+    /// and an ignored input's cofactors agree on every assignment.
+    #[test]
+    fn ignored_inputs_do_not_matter(t in table_strategy(), input_pick in any::<prop::sample::Index>()) {
+        let n = t.num_inputs();
+        let input = input_pick.index(n as usize) as u32;
+        if t.ignores_input(input) {
+            for row in 0..t.num_rows() {
+                let flipped = row ^ (1 << input);
+                prop_assert_eq!(t.eval_row(row), t.eval_row(flipped));
+            }
+        }
+    }
+
+    /// `to_bit_string` round-trips through `new`.
+    #[test]
+    fn bit_string_round_trip(t in table_strategy()) {
+        let text = t.to_bit_string();
+        prop_assert_eq!(text.len() as u64, t.num_rows());
+        let bits = text
+            .bytes()
+            .enumerate()
+            .fold(0u64, |acc, (i, b)| acc | (u64::from(b == b'1') << i));
+        prop_assert_eq!(TruthTable::new(t.num_inputs(), bits), t);
+    }
+}

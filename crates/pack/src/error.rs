@@ -1,0 +1,41 @@
+//! Packing errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced during temporal clustering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackError {
+    /// The per-plane inputs are inconsistent (graphs/schedules mismatch).
+    Inconsistent(String),
+    /// A schedule violates its item graph.
+    InvalidSchedule {
+        /// Plane index.
+        plane: usize,
+    },
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Inconsistent(msg) => write!(f, "inconsistent temporal design: {msg}"),
+            Self::InvalidSchedule { plane } => {
+                write!(f, "schedule of plane {plane} violates precedence")
+            }
+        }
+    }
+}
+
+impl Error for PackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_plane() {
+        assert!(PackError::InvalidSchedule { plane: 2 }
+            .to_string()
+            .contains('2'));
+    }
+}

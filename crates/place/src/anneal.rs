@@ -1,0 +1,283 @@
+//! Simulated-annealing engine (VPR-style adaptive schedule).
+
+use nanomap_arch::{Grid, SmbPos};
+use rand::rngs::StdRng;
+use rand::Rng;
+#[cfg(test)]
+use rand::SeedableRng;
+
+use crate::cost::{net_hpwl, nets_of_smb, total_cost, FlatNet};
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealSchedule {
+    /// Moves per temperature = `inner_num * n^(4/3)`.
+    pub inner_num: f64,
+    /// Stop when the temperature drops below `t_min_factor * cost / nets`.
+    pub t_min_factor: f64,
+}
+
+impl AnnealSchedule {
+    /// The fast low-precision schedule of the two-step placement.
+    pub fn fast() -> Self {
+        Self {
+            inner_num: 0.5,
+            t_min_factor: 0.01,
+        }
+    }
+
+    /// The detailed high-precision schedule.
+    pub fn detailed() -> Self {
+        Self {
+            inner_num: 5.0,
+            t_min_factor: 0.001,
+        }
+    }
+}
+
+/// Runs simulated annealing over SMB positions.
+///
+/// `pos_of` holds one grid position per SMB; unoccupied grid slots are
+/// free move targets. Returns the final cost.
+pub fn anneal(
+    grid: Grid,
+    nets: &[FlatNet],
+    pos_of: &mut [SmbPos],
+    schedule: AnnealSchedule,
+    rng: &mut StdRng,
+) -> f64 {
+    let n = pos_of.len();
+    if n <= 1 || nets.is_empty() {
+        return total_cost(nets, pos_of);
+    }
+    let net_index = nets_of_smb(nets, n as u32);
+    // Occupancy map: grid slot -> SMB.
+    let mut occupant: Vec<Option<usize>> = vec![None; grid.num_slots() as usize];
+    for (smb, &pos) in pos_of.iter().enumerate() {
+        occupant[grid.index(pos)] = Some(smb);
+    }
+    let cost = total_cost(nets, pos_of);
+
+    // Initial temperature: 20 × stddev of random-move deltas (VPR).
+    let mut deltas = Vec::new();
+    for _ in 0..(n * 4).max(32) {
+        let (a, slot_b) = random_move(n, grid, rng);
+        let delta = move_delta(a, slot_b, grid, nets, &net_index, pos_of, &occupant);
+        deltas.push(delta);
+        // Trial moves are always applied then reverted implicitly by
+        // recomputation — here we just sample without applying.
+    }
+    let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
+    let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / deltas.len() as f64;
+    let mut temperature = 20.0 * var.sqrt().max(1e-6);
+
+    let moves_per_t = (schedule.inner_num * (n as f64).powf(4.0 / 3.0)).ceil() as usize;
+    let moves_per_t = moves_per_t.max(8);
+    let t_min = schedule.t_min_factor * (cost / nets.len() as f64).max(1e-9);
+
+    // Range limiting (VPR): start with whole-chip moves, shrink with
+    // acceptance rate.
+    let mut range = u32::from(grid.width.max(grid.height));
+
+    while temperature > t_min {
+        let mut accepted = 0usize;
+        for _ in 0..moves_per_t {
+            let (a, slot_b) = random_move_ranged(n, grid, pos_of, range, rng);
+            let delta = move_delta(a, slot_b, grid, nets, &net_index, pos_of, &occupant);
+            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
+            if accept {
+                apply_move(a, slot_b, grid, pos_of, &mut occupant);
+                accepted += 1;
+            }
+        }
+        let rate = accepted as f64 / moves_per_t as f64;
+        // VPR temperature update.
+        temperature *= if rate > 0.96 {
+            0.5
+        } else if rate > 0.8 {
+            0.9
+        } else if rate > 0.15 {
+            0.95
+        } else {
+            0.8
+        };
+        // Shrink the move range toward local refinement.
+        if rate < 0.44 && range > 1 {
+            range -= 1;
+        } else if rate > 0.44 {
+            range = (range + 1).min(u32::from(grid.width.max(grid.height)));
+        }
+    }
+    // Re-synchronize the cost (guards against fp drift).
+    total_cost(nets, pos_of)
+}
+
+fn random_move(n: usize, grid: Grid, rng: &mut StdRng) -> (usize, usize) {
+    let a = rng.gen_range(0..n);
+    let slot_b = rng.gen_range(0..grid.num_slots() as usize);
+    (a, slot_b)
+}
+
+fn random_move_ranged(
+    n: usize,
+    grid: Grid,
+    pos_of: &[SmbPos],
+    range: u32,
+    rng: &mut StdRng,
+) -> (usize, usize) {
+    let a = rng.gen_range(0..n);
+    let pos = pos_of[a];
+    let r = range as i32;
+    let x = (i32::from(pos.x) + rng.gen_range(-r..=r)).clamp(0, i32::from(grid.width) - 1) as u16;
+    let y = (i32::from(pos.y) + rng.gen_range(-r..=r)).clamp(0, i32::from(grid.height) - 1) as u16;
+    (a, grid.index(SmbPos::new(x, y)))
+}
+
+/// Cost change of moving SMB `a` to grid slot `slot_b` (swapping with any
+/// occupant).
+fn move_delta(
+    a: usize,
+    slot_b: usize,
+    grid: Grid,
+    nets: &[FlatNet],
+    net_index: &[Vec<usize>],
+    pos_of: &mut [SmbPos],
+    occupant: &[Option<usize>],
+) -> f64 {
+    let pos_a = pos_of[a];
+    let pos_b = grid.pos(slot_b);
+    if pos_a == pos_b {
+        return 0.0;
+    }
+    let b = occupant[slot_b];
+    // Affected nets: those touching a (and b if swap). Nets touching both
+    // must be counted once, so skip b's nets that also touch a.
+    let before_after = |pos_of: &[SmbPos]| -> f64 {
+        let mut total = 0.0;
+        for &i in &net_index[a] {
+            total += nets[i].weight * net_hpwl(&nets[i], pos_of);
+        }
+        if let Some(b) = b {
+            for &i in &net_index[b] {
+                if !net_index[a].contains(&i) {
+                    total += nets[i].weight * net_hpwl(&nets[i], pos_of);
+                }
+            }
+        }
+        total
+    };
+    let before = before_after(pos_of);
+    // Tentatively apply in place, evaluate, then revert — the annealer's
+    // hot loop must not allocate.
+    pos_of[a] = pos_b;
+    if let Some(b) = b {
+        pos_of[b] = pos_a;
+    }
+    let after = before_after(pos_of);
+    pos_of[a] = pos_a;
+    if let Some(b) = b {
+        pos_of[b] = pos_b;
+    }
+    after - before
+}
+
+fn apply_move(
+    a: usize,
+    slot_b: usize,
+    grid: Grid,
+    pos_of: &mut [SmbPos],
+    occupant: &mut [Option<usize>],
+) {
+    let pos_a = pos_of[a];
+    let slot_a = grid.index(pos_a);
+    let pos_b = grid.pos(slot_b);
+    let b = occupant[slot_b];
+    pos_of[a] = pos_b;
+    occupant[slot_b] = Some(a);
+    occupant[slot_a] = b;
+    if let Some(b) = b {
+        pos_of[b] = pos_a;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A chain of SMBs placed adversarially must improve markedly.
+    #[test]
+    fn annealing_improves_chain_placement() {
+        let grid = Grid::new(4, 4);
+        // Chain nets 0-1, 1-2, ..., 14-15.
+        let nets: Vec<FlatNet> = (0..15)
+            .map(|i| FlatNet {
+                pins: vec![i, i + 1],
+                weight: 1.0,
+            })
+            .collect();
+        // Adversarial initial placement: reversed interleave.
+        let mut pos: Vec<SmbPos> = (0..16)
+            .map(|i| {
+                let j = (i * 7) % 16; // scramble
+                grid.pos(j)
+            })
+            .collect();
+        // Ensure it is a permutation.
+        let mut slots: Vec<usize> = pos.iter().map(|&p| grid.index(p)).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), 16);
+
+        let initial = total_cost(&nets, &pos);
+        let mut rng = StdRng::seed_from_u64(1);
+        let final_cost = anneal(grid, &nets, &mut pos, AnnealSchedule::detailed(), &mut rng);
+        assert!(final_cost < initial, "{final_cost} !< {initial}");
+        // Optimal chain cost is 15; accept anything close.
+        assert!(final_cost <= initial * 0.8);
+    }
+
+    #[test]
+    fn placement_remains_a_permutation() {
+        let grid = Grid::new(3, 3);
+        let nets = vec![FlatNet {
+            pins: vec![0, 4],
+            weight: 1.0,
+        }];
+        let mut pos: Vec<SmbPos> = (0..5).map(|i| grid.pos(i)).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        anneal(grid, &nets, &mut pos, AnnealSchedule::fast(), &mut rng);
+        let mut slots: Vec<usize> = pos.iter().map(|&p| grid.index(p)).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), 5, "two SMBs share a slot");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let grid = Grid::new(3, 3);
+        let nets: Vec<FlatNet> = (0..5)
+            .map(|i| FlatNet {
+                pins: vec![i, (i + 1) % 6],
+                weight: 1.0,
+            })
+            .collect();
+        let run = || {
+            let mut pos: Vec<SmbPos> = (0..6).map(|i| grid.pos(i)).collect();
+            let mut rng = StdRng::seed_from_u64(99);
+            anneal(grid, &nets, &mut pos, AnnealSchedule::fast(), &mut rng);
+            pos
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_nets_are_noop() {
+        let grid = Grid::new(2, 2);
+        let mut pos = vec![SmbPos::new(0, 0), SmbPos::new(1, 0)];
+        let before = pos.clone();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cost = anneal(grid, &[], &mut pos, AnnealSchedule::fast(), &mut rng);
+        assert_eq!(cost, 0.0);
+        assert_eq!(pos, before);
+    }
+}

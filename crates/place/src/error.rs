@@ -1,0 +1,40 @@
+//! Placement errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced during placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The grid has fewer slots than SMBs to place.
+    GridTooSmall {
+        /// SMBs to place.
+        smbs: u32,
+        /// Slots available.
+        slots: u32,
+    },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::GridTooSmall { smbs, slots } => {
+                write!(f, "grid too small: {smbs} SMBs but only {slots} slots")
+            }
+        }
+    }
+}
+
+impl Error for PlaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_counts() {
+        let e = PlaceError::GridTooSmall { smbs: 10, slots: 9 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('9'));
+    }
+}

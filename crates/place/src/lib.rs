@@ -1,0 +1,30 @@
+//! Temporal placement for NATURE (Section 4.4, steps 9–14).
+//!
+//! A two-step simulated-annealing placement in the style of the modified
+//! VPR placer the paper describes: a fast low-precision pass, a RISA
+//! routability estimate plus pre-route delay analysis, then a detailed
+//! pass. Temporal logic folding introduces inter-folding-stage
+//! dependencies (Fig. 6(b)): the cost function jointly sums the bounding
+//! boxes of every cycle's nets, so SMBs that communicate heavily in *any*
+//! cycle are drawn together.
+//!
+//! * [`place`] — the two-step driver;
+//! * [`anneal`] — the VPR-style adaptive annealer;
+//! * [`estimate_routability`] — RISA \[17\];
+//! * [`estimate_delay`] — distance-based pre-route timing.
+
+#![warn(missing_docs)]
+
+mod anneal;
+mod cost;
+mod delay;
+mod error;
+mod place;
+mod routability;
+
+pub use anneal::{anneal, AnnealSchedule};
+pub use cost::{flatten_nets, net_hpwl, total_cost, CostWeights, FlatNet};
+pub use delay::{estimate_delay, wire_delay_estimate, DelayEstimate};
+pub use error::PlaceError;
+pub use place::{place, PlaceOptions, Placement};
+pub use routability::{estimate_routability, risa_q, RoutabilityReport, ROUTABLE_THRESHOLD};

@@ -1,0 +1,210 @@
+//! The two-step temporal placement driver (Section 4.4, steps 9–14).
+//!
+//! 1. A **fast placement** derives an initial solution with a short
+//!    annealing schedule.
+//! 2. **Routability analysis** (RISA) and **delay estimation** judge it.
+//! 3. If the analysis passes, a **detailed placement** refines the
+//!    solution; otherwise the driver retries with a larger grid a few
+//!    times and reports failure so the flow can fall back to another
+//!    folding level.
+
+use nanomap_arch::{ChannelConfig, Grid, SmbPos, TimingModel};
+use nanomap_pack::{Packing, SliceNets, TemporalDesign};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::anneal::{anneal, AnnealSchedule};
+use crate::cost::{flatten_nets, total_cost, CostWeights};
+use crate::delay::{estimate_delay, DelayEstimate};
+use crate::error::PlaceError;
+use crate::routability::{estimate_routability, RoutabilityReport};
+
+/// Placement options.
+#[derive(Debug, Clone, Copy)]
+pub struct PlaceOptions {
+    /// RNG seed (placement is deterministic given the seed).
+    pub seed: u64,
+    /// Cost weights (inter-stage term, criticality bonus).
+    pub weights: CostWeights,
+    /// Fast-step schedule.
+    pub fast: AnnealSchedule,
+    /// Detailed-step schedule.
+    pub detailed: AnnealSchedule,
+    /// How many grid enlargements to attempt when routability fails.
+    pub max_retries: u32,
+    /// Grid slack factor over the minimum SMB count (1.2 = 20 % spare
+    /// slots for the placer to breathe).
+    pub grid_slack: f64,
+}
+
+impl Default for PlaceOptions {
+    fn default() -> Self {
+        Self {
+            seed: 0xC0FFEE,
+            weights: CostWeights::default(),
+            fast: AnnealSchedule::fast(),
+            detailed: AnnealSchedule::detailed(),
+            max_retries: 2,
+            grid_slack: 1.2,
+        }
+    }
+}
+
+/// A finished placement.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// The grid the design was placed on.
+    pub grid: Grid,
+    /// Position of every SMB.
+    pub pos_of: Vec<SmbPos>,
+    /// Final weighted wirelength.
+    pub cost: f64,
+    /// Routability verdict of the final placement.
+    pub routability: RoutabilityReport,
+    /// Delay estimate of the final placement.
+    pub delay: DelayEstimate,
+}
+
+/// Places a packed design.
+///
+/// # Errors
+///
+/// Returns an error only for impossible inputs (more SMBs than any
+/// reasonable grid); an un-routable outcome is reported in
+/// [`Placement::routability`] rather than as an error so the flow can
+/// decide to refold.
+pub fn place(
+    design: &TemporalDesign<'_>,
+    packing: &Packing,
+    nets: &SliceNets,
+    channels: &ChannelConfig,
+    timing: &TimingModel,
+    options: PlaceOptions,
+) -> Result<Placement, PlaceError> {
+    let n = packing.num_smbs.max(1);
+    let flat = flatten_nets(nets, options.weights);
+    let mut attempt = 0;
+    let mut slack = options.grid_slack;
+    loop {
+        let slots = ((f64::from(n) * slack).ceil() as u32).max(n);
+        let grid = Grid::with_capacity(slots);
+        if grid.num_slots() < n {
+            return Err(PlaceError::GridTooSmall {
+                smbs: n,
+                slots: grid.num_slots(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(options.seed.wrapping_add(u64::from(attempt)));
+        // Initial placement: row-major.
+        let mut pos_of: Vec<SmbPos> = (0..n as usize).map(|i| grid.pos(i)).collect();
+
+        // Step 1: fast placement.
+        anneal(grid, &flat, &mut pos_of, options.fast, &mut rng);
+        // Step 2: low-precision analysis.
+        let report = estimate_routability(grid, channels, nets, &pos_of);
+        if report.routable || attempt >= options.max_retries {
+            // Step 3: detailed placement.
+            let cost = anneal(grid, &flat, &mut pos_of, options.detailed, &mut rng);
+            let routability = estimate_routability(grid, channels, nets, &pos_of);
+            let delay = estimate_delay(design, packing, &pos_of, timing);
+            let _ = total_cost(&flat, &pos_of);
+            return Ok(Placement {
+                grid,
+                pos_of,
+                cost,
+                routability,
+                delay,
+            });
+        }
+        // Retry with a roomier grid.
+        attempt += 1;
+        slack *= 1.3;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_arch::ArchParams;
+    use nanomap_netlist::rtl::{CombOp, RtlBuilder};
+    use nanomap_netlist::PlaneSet;
+    use nanomap_pack::{extract_nets, pack, PackOptions, TemporalDesign};
+    use nanomap_sched::{schedule_fds, FdsOptions, ItemGraph};
+    use nanomap_techmap::{expand, ExpandOptions};
+
+    fn placed_multiplier() -> (u32, Placement) {
+        let mut b = RtlBuilder::new("t");
+        let a = b.input("a", 6);
+        let c = b.input("b", 6);
+        let mul = b.comb("mul", CombOp::Mul { width: 6 });
+        b.connect(a, 0, mul, 0).unwrap();
+        b.connect(c, 0, mul, 1).unwrap();
+        let r = b.register("r", 12);
+        b.connect(mul, 0, r, 0).unwrap();
+        let y = b.output("y", 12);
+        b.connect(r, 0, y, 0).unwrap();
+        let net = expand(&b.finish().unwrap(), ExpandOptions::default()).unwrap();
+        let planes = PlaneSet::extract(&net).unwrap();
+        let plane0 = planes.planes()[0].clone();
+        let p = 4;
+        let stages = plane0.depth.div_ceil(p);
+        let graph = ItemGraph::build(&net, &plane0, p).unwrap();
+        let schedule = schedule_fds(&net, &graph, stages, FdsOptions::default()).unwrap();
+        let design = TemporalDesign::new(&net, &planes, vec![graph], vec![schedule]).unwrap();
+        let arch = ArchParams::paper();
+        let packing = pack(&design, &arch, PackOptions::default()).unwrap();
+        let nets = extract_nets(&design, &packing);
+        let placement = place(
+            &design,
+            &packing,
+            &nets,
+            &ChannelConfig::nature(),
+            &TimingModel::nature_100nm(),
+            PlaceOptions::default(),
+        )
+        .unwrap();
+        (packing.num_smbs, placement)
+    }
+
+    #[test]
+    fn placement_covers_all_smbs_uniquely() {
+        let (num_smbs, placement) = placed_multiplier();
+        assert_eq!(placement.pos_of.len(), num_smbs as usize);
+        let mut slots: Vec<usize> = placement
+            .pos_of
+            .iter()
+            .map(|&p| placement.grid.index(p))
+            .collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), num_smbs as usize);
+    }
+
+    #[test]
+    fn small_design_is_routable() {
+        let (_, placement) = placed_multiplier();
+        assert!(
+            placement.routability.routable,
+            "utilization {}",
+            placement.routability.peak_utilization
+        );
+    }
+
+    #[test]
+    fn delay_estimate_is_positive_and_bounded() {
+        let (_, placement) = placed_multiplier();
+        assert!(placement.delay.cycle_period > 0.0);
+        assert!(placement.delay.circuit_delay >= placement.delay.cycle_period);
+        // The combinational path of a level-4 slice must exceed 4 LUT
+        // delays but stay well under a microsecond.
+        assert!(placement.delay.max_slice_path < 100.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, a) = placed_multiplier();
+        let (_, b) = placed_multiplier();
+        assert_eq!(a.pos_of, b.pos_of);
+        assert_eq!(a.cost, b.cost);
+    }
+}

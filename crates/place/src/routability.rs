@@ -1,0 +1,182 @@
+//! RISA-style routability estimation (Cheng, ICCAD'94 — reference \[17\]).
+//!
+//! For every net, the expected wiring demand is `q(pins) × HPWL`, where
+//! `q` grows with pin count (RISA's empirically fitted multipliers). The
+//! demand is smeared uniformly over the net's bounding box and compared
+//! against the per-cell channel supply. Each folding cycle routes
+//! independently, so the estimate is per-slice and the report keeps the
+//! worst slice.
+
+use nanomap_arch::{ChannelConfig, Grid, SmbPos};
+use nanomap_pack::{SliceNet, SliceNets};
+
+/// RISA pin-count multipliers (interpolated beyond the published table).
+pub fn risa_q(pins: usize) -> f64 {
+    const TABLE: [f64; 10] = [
+        1.0, 1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991,
+    ];
+    if pins < TABLE.len() {
+        TABLE[pins.max(1) - 1]
+    } else {
+        // RISA's large-net extrapolation.
+        1.3991 + 0.02616 * (pins as f64 - 10.0)
+    }
+}
+
+/// Routability verdict for a placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutabilityReport {
+    /// Peak per-cell channel utilization over all slices (1.0 = at
+    /// capacity).
+    pub peak_utilization: f64,
+    /// Average utilization over occupied cells.
+    pub avg_utilization: f64,
+    /// `true` when the peak stays under the safety threshold.
+    pub routable: bool,
+}
+
+/// The utilization threshold above which detailed routing is predicted to
+/// fail (kept conservative; negotiated congestion can often still close).
+pub const ROUTABLE_THRESHOLD: f64 = 1.0;
+
+/// Estimates routability of a placement.
+pub fn estimate_routability(
+    grid: Grid,
+    channels: &ChannelConfig,
+    nets: &SliceNets,
+    pos_of: &[SmbPos],
+) -> RoutabilityReport {
+    // Per-cell track supply: both orientations of segment wiring pass a
+    // cell. Direct links add dedicated neighbour capacity.
+    let supply =
+        f64::from(2 * (channels.length1 + channels.length4 + channels.global) + channels.direct);
+    let cells = grid.num_slots() as usize;
+    let mut peak = 0.0f64;
+    let mut avg_acc = 0.0;
+    let mut avg_cnt = 0usize;
+    for slice_nets in nets.nets.values() {
+        let mut demand = vec![0.0f64; cells];
+        for net in slice_nets {
+            spread_demand(grid, net, pos_of, &mut demand);
+        }
+        for &d in &demand {
+            let util = d / supply;
+            peak = peak.max(util);
+            if d > 0.0 {
+                avg_acc += util;
+                avg_cnt += 1;
+            }
+        }
+    }
+    RoutabilityReport {
+        peak_utilization: peak,
+        avg_utilization: if avg_cnt == 0 {
+            0.0
+        } else {
+            avg_acc / avg_cnt as f64
+        },
+        routable: peak <= ROUTABLE_THRESHOLD,
+    }
+}
+
+fn spread_demand(grid: Grid, net: &SliceNet, pos_of: &[SmbPos], demand: &mut [f64]) {
+    let mut min_x = u16::MAX;
+    let mut max_x = 0;
+    let mut min_y = u16::MAX;
+    let mut max_y = 0;
+    let pins = 1 + net.sinks.len();
+    for &p in std::iter::once(&net.driver).chain(&net.sinks) {
+        let pos = pos_of[p as usize];
+        min_x = min_x.min(pos.x);
+        max_x = max_x.max(pos.x);
+        min_y = min_y.min(pos.y);
+        max_y = max_y.max(pos.y);
+    }
+    let hpwl = f64::from(max_x - min_x) + f64::from(max_y - min_y);
+    if hpwl == 0.0 {
+        return; // intra-SMB
+    }
+    let wiring = risa_q(pins) * hpwl;
+    let area = f64::from(max_x - min_x + 1) * f64::from(max_y - min_y + 1);
+    let per_cell = wiring / area;
+    for y in min_y..=max_y {
+        for x in min_x..=max_x {
+            demand[grid.index(SmbPos::new(x, y))] += per_cell;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_pack::Slice;
+    use std::collections::BTreeMap;
+
+    fn one_slice(nets: Vec<SliceNet>) -> SliceNets {
+        let mut map = BTreeMap::new();
+        map.insert(Slice { plane: 0, stage: 0 }, nets);
+        SliceNets { nets: map }
+    }
+
+    #[test]
+    fn q_grows_with_pins() {
+        assert_eq!(risa_q(2), 1.0);
+        assert!(risa_q(5) > 1.0);
+        assert!(risa_q(20) > risa_q(10));
+    }
+
+    #[test]
+    fn empty_design_is_routable() {
+        let grid = Grid::new(2, 2);
+        let report = estimate_routability(grid, &ChannelConfig::nature(), &one_slice(vec![]), &[]);
+        assert!(report.routable);
+        assert_eq!(report.peak_utilization, 0.0);
+    }
+
+    #[test]
+    fn demand_scales_with_congestion() {
+        let grid = Grid::new(2, 1);
+        let pos = vec![SmbPos::new(0, 0), SmbPos::new(1, 0)];
+        let few = one_slice(vec![SliceNet {
+            driver: 0,
+            sinks: vec![1],
+            critical: false,
+        }]);
+        let many = one_slice(
+            (0..200)
+                .map(|_| SliceNet {
+                    driver: 0,
+                    sinks: vec![1],
+                    critical: false,
+                })
+                .collect(),
+        );
+        let channels = ChannelConfig::nature();
+        let light = estimate_routability(grid, &channels, &few, &pos);
+        let heavy = estimate_routability(grid, &channels, &many, &pos);
+        assert!(light.routable);
+        assert!(!heavy.routable);
+        assert!(heavy.peak_utilization > light.peak_utilization);
+    }
+
+    #[test]
+    fn slices_are_independent() {
+        // The same nets split across two slices halve the per-slice demand.
+        let grid = Grid::new(2, 1);
+        let pos = vec![SmbPos::new(0, 0), SmbPos::new(1, 0)];
+        let channels = ChannelConfig::nature();
+        let net = SliceNet {
+            driver: 0,
+            sinks: vec![1],
+            critical: false,
+        };
+        let combined = one_slice(vec![net.clone(), net.clone()]);
+        let mut split_map = BTreeMap::new();
+        split_map.insert(Slice { plane: 0, stage: 0 }, vec![net.clone()]);
+        split_map.insert(Slice { plane: 0, stage: 1 }, vec![net]);
+        let split = SliceNets { nets: split_map };
+        let c = estimate_routability(grid, &channels, &combined, &pos);
+        let s = estimate_routability(grid, &channels, &split, &pos);
+        assert!(s.peak_utilization < c.peak_utilization);
+    }
+}

@@ -1,0 +1,151 @@
+//! Whole-design routing driver: every folding cycle, then timing, usage
+//! statistics and the configuration bitmap.
+
+use std::collections::HashMap;
+
+use nanomap_arch::{ArchParams, ChannelConfig, ConfigBitmap, RrGraph, TimingModel};
+use nanomap_pack::{Packing, Slice, SliceNets, TemporalDesign};
+use nanomap_place::Placement;
+
+use crate::bitmap::generate_bitmap;
+use crate::error::RouteError;
+use crate::pathfinder::{route_slice, RouteOptions, RoutedNet};
+use crate::timing::{analyze, net_delays, RoutedTiming};
+use crate::usage::{tally_usage, InterconnectUsage};
+
+/// A fully routed design.
+#[derive(Debug)]
+pub struct RoutedDesign {
+    /// Per-slice routing trees.
+    pub routes: HashMap<Slice, Vec<RoutedNet>>,
+    /// Interconnect usage counters.
+    pub usage: InterconnectUsage,
+    /// Post-route timing.
+    pub timing: RoutedTiming,
+    /// The generated configuration bitmap.
+    pub bitmap: ConfigBitmap,
+}
+
+/// Routes a placed design cycle by cycle and assembles the bitmap.
+///
+/// # Errors
+///
+/// Returns the first slice's routing failure (congestion or
+/// disconnection).
+#[allow(clippy::too_many_arguments)] // the flow's full context is the point
+pub fn route_design(
+    design: &TemporalDesign<'_>,
+    packing: &Packing,
+    nets: &SliceNets,
+    placement: &Placement,
+    channels: &ChannelConfig,
+    timing_model: &TimingModel,
+    arch: &ArchParams,
+    options: RouteOptions,
+) -> Result<RoutedDesign, RouteError> {
+    let graph = RrGraph::build(placement.grid, channels);
+    let mut routes: HashMap<Slice, Vec<RoutedNet>> = HashMap::new();
+    for slice in design.slices() {
+        let slice_nets = nets.of(slice);
+        let routed = route_slice(&graph, slice_nets, &placement.pos_of, options)?;
+        routes.insert(slice, routed);
+    }
+    let usage = tally_usage(&graph, &routes);
+    let delays = net_delays(&graph, timing_model, &routes);
+    let timing = analyze(design, packing, &delays, timing_model, arch);
+    let bitmap = generate_bitmap(
+        design,
+        packing,
+        &placement.pos_of,
+        &routes,
+        arch.les_per_smb(),
+    );
+    Ok(RoutedDesign {
+        routes,
+        usage,
+        timing,
+        bitmap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_netlist::rtl::{CombOp, RtlBuilder};
+    use nanomap_netlist::PlaneSet;
+    use nanomap_pack::{extract_nets, pack, PackOptions};
+    use nanomap_place::{place, PlaceOptions};
+    use nanomap_sched::{schedule_fds, FdsOptions, ItemGraph};
+    use nanomap_techmap::{expand, ExpandOptions};
+
+    #[test]
+    fn routes_end_to_end() {
+        let mut b = RtlBuilder::new("t");
+        let a = b.input("a", 6);
+        let c = b.input("b", 6);
+        let mul = b.comb("mul", CombOp::Mul { width: 6 });
+        b.connect(a, 0, mul, 0).unwrap();
+        b.connect(c, 0, mul, 1).unwrap();
+        let r = b.register("r", 12);
+        b.connect(mul, 0, r, 0).unwrap();
+        let y = b.output("y", 12);
+        b.connect(r, 0, y, 0).unwrap();
+        let net = expand(&b.finish().unwrap(), ExpandOptions::default()).unwrap();
+        let planes = PlaneSet::extract(&net).unwrap();
+        let plane0 = planes.planes()[0].clone();
+        let p = 4;
+        let stages = plane0.depth.div_ceil(p);
+        let graph = ItemGraph::build(&net, &plane0, p).unwrap();
+        let schedule = schedule_fds(&net, &graph, stages, FdsOptions::default()).unwrap();
+        let design = TemporalDesign::new(&net, &planes, vec![graph], vec![schedule]).unwrap();
+        let arch = ArchParams::paper();
+        let packing = pack(&design, &arch, PackOptions::default()).unwrap();
+        let nets = extract_nets(&design, &packing);
+        let channels = ChannelConfig::nature();
+        let timing = TimingModel::nature_100nm();
+        let placement = place(
+            &design,
+            &packing,
+            &nets,
+            &channels,
+            &timing,
+            PlaceOptions::default(),
+        )
+        .unwrap();
+        let routed = route_design(
+            &design,
+            &packing,
+            &nets,
+            &placement,
+            &channels,
+            &timing,
+            &arch,
+            RouteOptions::default(),
+        )
+        .unwrap();
+        // Every slice routed.
+        assert_eq!(routed.routes.len(), design.slices().len());
+        // Bitmap covers every slice.
+        assert_eq!(routed.bitmap.num_cycles() as u32, design.num_slices());
+        // Routed timing is at least the logical lower bound.
+        assert!(routed.timing.cycle_period >= timing.folding_cycle(1));
+        // Routed delay should not be wildly above the pre-route estimate.
+        assert!(routed.timing.circuit_delay <= placement.delay.circuit_delay * 5.0 + 10.0);
+        // Some interconnect is used (multi-SMB design).
+        if packing.num_smbs > 1 {
+            assert!(routed.usage.total() > 0);
+        }
+        // Critical path: non-empty, single-slice, monotone arrivals ending
+        // at the worst slice path.
+        let path = &routed.timing.critical_path;
+        assert!(!path.is_empty());
+        let slice = path[0].slice;
+        let mut last = 0.0;
+        for node in path {
+            assert_eq!(node.slice, slice, "critical path stays in one slice");
+            assert!(node.arrival_ns >= last);
+            last = node.arrival_ns;
+        }
+        assert!((last - routed.timing.max_slice_path).abs() < 1e-9);
+    }
+}

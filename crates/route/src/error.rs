@@ -1,0 +1,57 @@
+//! Routing errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced during routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// No path exists between a net's source and one of its sinks.
+    Unreachable {
+        /// Driving SMB index.
+        driver: u32,
+        /// Unreachable sink SMB index.
+        sink: u32,
+    },
+    /// Congestion could not be resolved within the iteration limit.
+    Unroutable {
+        /// Number of nodes still over capacity after the final iteration.
+        overused: usize,
+        /// Iterations attempted.
+        iterations: u32,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Unreachable { driver, sink } => {
+                write!(f, "no route from SMB {driver} to SMB {sink}")
+            }
+            Self::Unroutable {
+                overused,
+                iterations,
+            } => write!(
+                f,
+                "congestion unresolved after {iterations} iterations ({overused} nodes overused)"
+            ),
+        }
+    }
+}
+
+impl Error for RouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RouteError::Unroutable {
+            overused: 5,
+            iterations: 30,
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains("30"));
+    }
+}

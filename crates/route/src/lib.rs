@@ -1,0 +1,25 @@
+//! Routing for NATURE: PathFinder over the hierarchical interconnect,
+//! post-route timing, interconnect usage statistics and configuration
+//! bitmap generation (Section 4, step 15).
+//!
+//! Routing "is conducted in a hierarchical fashion, first using direct
+//! links, then length-1 and length-4 wire segments and finally global
+//! interconnects" — realized here through tier base costs inside a
+//! negotiated-congestion (PathFinder) router that runs once per folding
+//! cycle, since NATURE reconfigures its switches every cycle.
+
+#![warn(missing_docs)]
+
+mod bitmap;
+mod driver;
+mod error;
+mod pathfinder;
+mod timing;
+mod usage;
+
+pub use bitmap::generate_bitmap;
+pub use driver::{route_design, RoutedDesign};
+pub use error::RouteError;
+pub use pathfinder::{route_slice, RouteOptions, RoutedNet};
+pub use timing::{analyze, net_delays, CriticalPathNode, NetDelays, RoutedTiming};
+pub use usage::{tally_usage, InterconnectUsage};

@@ -1,0 +1,352 @@
+//! PathFinder negotiated-congestion routing.
+//!
+//! Each folding cycle routes independently (the interconnect is
+//! reconfigured every cycle), so the router runs once per temporal slice
+//! over the shared routing-resource graph. Within a slice the classic
+//! PathFinder loop applies: route every net by Dijkstra over congestion-
+//! aware node costs, then raise present/history penalties on overused
+//! nodes and rip-up-and-reroute until no node exceeds its capacity.
+//!
+//! The NATURE hierarchy (direct → length-1 → length-4 → global) is
+//! honoured through the tiers' base costs: cheap local resources win
+//! unless congestion pushes a net upward.
+
+use std::collections::BinaryHeap;
+
+use nanomap_arch::{RrGraph, RrNodeId, SmbPos};
+use nanomap_pack::SliceNet;
+
+use crate::error::RouteError;
+
+/// PathFinder parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteOptions {
+    /// Maximum rip-up-and-reroute iterations per slice.
+    pub max_iterations: u32,
+    /// Initial present-congestion factor.
+    pub pres_fac: f64,
+    /// Present-factor multiplier per iteration.
+    pub pres_mult: f64,
+    /// History-cost increment per overused iteration.
+    pub hist_fac: f64,
+    /// Route timing-critical nets first, giving them first pick of the
+    /// fast tiers.
+    pub timing_driven: bool,
+}
+
+impl Default for RouteOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 30,
+            pres_fac: 0.5,
+            pres_mult: 1.8,
+            hist_fac: 0.4,
+            timing_driven: true,
+        }
+    }
+}
+
+/// One routed net: the tree of RR nodes carrying the signal.
+#[derive(Debug, Clone)]
+pub struct RoutedNet {
+    /// Driving SMB.
+    pub driver: u32,
+    /// Sink SMBs.
+    pub sinks: Vec<u32>,
+    /// All RR nodes of the routing tree (including source and sinks).
+    pub nodes: Vec<RrNodeId>,
+    /// Per-sink paths as node sequences from source to that sink.
+    pub sink_paths: Vec<Vec<RrNodeId>>,
+}
+
+/// Routes the nets of one slice.
+///
+/// `pos_of` maps SMB index to its placed grid position.
+///
+/// # Errors
+///
+/// Returns [`RouteError::Unroutable`] when congestion cannot be resolved,
+/// or [`RouteError::Unreachable`] for a disconnected fabric.
+pub fn route_slice(
+    graph: &RrGraph,
+    nets: &[SliceNet],
+    pos_of: &[SmbPos],
+    options: RouteOptions,
+) -> Result<Vec<RoutedNet>, RouteError> {
+    let n = graph.num_nodes();
+    let mut history = vec![0.0f64; n];
+    let mut occupancy = vec![0u32; n];
+    let mut routes: Vec<Option<RoutedNet>> = vec![None; nets.len()];
+    let mut pres_fac = options.pres_fac;
+
+    // Net order: critical nets first when timing-driven.
+    let mut order: Vec<usize> = (0..nets.len()).collect();
+    if options.timing_driven {
+        order.sort_by_key(|&i| (!nets[i].critical, i));
+    }
+
+    for iteration in 0..options.max_iterations {
+        for &i in &order {
+            let net = &nets[i];
+            // Rip up.
+            if let Some(old) = routes[i].take() {
+                for node in &old.nodes {
+                    occupancy[node.index()] = occupancy[node.index()].saturating_sub(1);
+                }
+            }
+            let routed = route_net(graph, net, pos_of, &history, &mut occupancy, pres_fac)?;
+            routes[i] = Some(routed);
+        }
+        // Congestion check.
+        let mut overused = 0usize;
+        for (idx, &occ) in occupancy.iter().enumerate() {
+            let cap = graph.node(RrNodeId(idx as u32)).capacity;
+            if occ > cap {
+                overused += 1;
+                history[idx] += options.hist_fac;
+            }
+        }
+        if overused == 0 {
+            return Ok(routes.into_iter().map(|r| r.expect("routed")).collect());
+        }
+        if iteration + 1 == options.max_iterations {
+            return Err(RouteError::Unroutable {
+                overused,
+                iterations: options.max_iterations,
+            });
+        }
+        pres_fac *= options.pres_mult;
+    }
+    // max_iterations == 0: vacuous success only without nets.
+    if nets.is_empty() {
+        return Ok(Vec::new());
+    }
+    Err(RouteError::Unroutable {
+        overused: 0,
+        iterations: 0,
+    })
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: RrNodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on cost.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Routes one net as a Steiner-ish tree: Dijkstra from the growing tree to
+/// the nearest unreached sink, repeated.
+fn route_net(
+    graph: &RrGraph,
+    net: &SliceNet,
+    pos_of: &[SmbPos],
+    history: &[f64],
+    occupancy: &mut [u32],
+    pres_fac: f64,
+) -> Result<RoutedNet, RouteError> {
+    let node_cost = |id: RrNodeId, occupancy: &[u32]| -> f64 {
+        let node = graph.node(id);
+        let over = (occupancy[id.index()] + 1).saturating_sub(node.capacity);
+        let pres = 1.0 + f64::from(over) * pres_fac;
+        (node.base_cost + history[id.index()] + 0.05) * pres
+    };
+
+    let source = graph.source(pos_of[net.driver as usize]);
+    let mut tree: Vec<RrNodeId> = vec![source];
+    let mut sink_paths = Vec::with_capacity(net.sinks.len());
+
+    for &sink_smb in &net.sinks {
+        let target = graph.sink(pos_of[sink_smb as usize]);
+        // Dijkstra from every tree node.
+        let n = graph.num_nodes();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<RrNodeId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        for &t in &tree {
+            dist[t.index()] = 0.0;
+            heap.push(HeapEntry { cost: 0.0, node: t });
+        }
+        let mut found = false;
+        while let Some(HeapEntry { cost, node }) = heap.pop() {
+            if cost > dist[node.index()] {
+                continue;
+            }
+            if node == target {
+                found = true;
+                break;
+            }
+            for &next in graph.neighbors(node) {
+                let c = cost + node_cost(next, occupancy);
+                if c < dist[next.index()] {
+                    dist[next.index()] = c;
+                    prev[next.index()] = Some(node);
+                    heap.push(HeapEntry {
+                        cost: c,
+                        node: next,
+                    });
+                }
+            }
+        }
+        if !found {
+            return Err(RouteError::Unreachable {
+                driver: net.driver,
+                sink: sink_smb,
+            });
+        }
+        // Walk back to the tree, occupying new nodes.
+        let mut path = vec![target];
+        let mut cursor = target;
+        while let Some(p) = prev[cursor.index()] {
+            path.push(p);
+            cursor = p;
+        }
+        path.reverse();
+        for &node in &path {
+            if !tree.contains(&node) {
+                tree.push(node);
+                occupancy[node.index()] += 1;
+            }
+        }
+        sink_paths.push(path);
+    }
+    // The source itself is occupied once per net.
+    occupancy[source.index()] += 1;
+    Ok(RoutedNet {
+        driver: net.driver,
+        sinks: net.sinks.clone(),
+        nodes: tree,
+        sink_paths,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_arch::{ChannelConfig, Grid, RrNodeKind, WireType};
+
+    fn graph4() -> RrGraph {
+        RrGraph::build(Grid::new(4, 4), &ChannelConfig::nature())
+    }
+
+    fn positions() -> Vec<SmbPos> {
+        Grid::new(4, 4).iter().collect()
+    }
+
+    #[test]
+    fn routes_adjacent_net_on_direct_link() {
+        let g = graph4();
+        let pos = positions();
+        let nets = vec![SliceNet {
+            driver: 0,
+            sinks: vec![1],
+            critical: false,
+        }];
+        let routed = route_slice(&g, &nets, &pos, RouteOptions::default()).unwrap();
+        assert_eq!(routed.len(), 1);
+        // The cheapest path uses a direct link.
+        let uses_direct = routed[0]
+            .nodes
+            .iter()
+            .any(|&n| matches!(g.node(n).kind, RrNodeKind::Direct { .. }));
+        assert!(uses_direct);
+        assert!(!routed[0]
+            .nodes
+            .iter()
+            .any(|&n| g.node(n).wire == Some(WireType::Global)));
+    }
+
+    #[test]
+    fn multi_sink_net_forms_tree() {
+        let g = graph4();
+        let pos = positions();
+        let nets = vec![SliceNet {
+            driver: 5,
+            sinks: vec![0, 15, 3],
+            critical: false,
+        }];
+        let routed = route_slice(&g, &nets, &pos, RouteOptions::default()).unwrap();
+        assert_eq!(routed[0].sink_paths.len(), 3);
+        for path in &routed[0].sink_paths {
+            assert!(path.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn congestion_forces_divergent_paths() {
+        let g = graph4();
+        let pos = positions();
+        // Many parallel nets between the same pair exhaust direct tracks
+        // (8) and must fan out to segments.
+        let nets: Vec<SliceNet> = (0..16)
+            .map(|_| SliceNet {
+                driver: 0,
+                sinks: vec![1],
+                critical: false,
+            })
+            .collect();
+        let routed = route_slice(&g, &nets, &pos, RouteOptions::default()).unwrap();
+        // No wire node is used twice.
+        let mut used = std::collections::HashMap::new();
+        for r in &routed {
+            for &n in &r.nodes {
+                if g.node(n).wire.is_some() {
+                    *used.entry(n).or_insert(0) += 1;
+                }
+            }
+        }
+        for (&node, &count) in &used {
+            assert!(
+                count <= g.node(node).capacity,
+                "node {node:?} used {count} times"
+            );
+        }
+    }
+
+    #[test]
+    fn impossible_congestion_reports_unroutable() {
+        let g = RrGraph::build(
+            Grid::new(2, 1),
+            &ChannelConfig {
+                direct: 1,
+                length1: 1,
+                length4: 0,
+                global: 0,
+            },
+        );
+        let pos = vec![SmbPos::new(0, 0), SmbPos::new(1, 0)];
+        let nets: Vec<SliceNet> = (0..40)
+            .map(|_| SliceNet {
+                driver: 0,
+                sinks: vec![1],
+                critical: false,
+            })
+            .collect();
+        let err = route_slice(&g, &nets, &pos, RouteOptions::default()).unwrap_err();
+        assert!(matches!(err, RouteError::Unroutable { .. }));
+    }
+
+    #[test]
+    fn empty_slice_routes_trivially() {
+        let g = graph4();
+        let routed = route_slice(&g, &[], &positions(), RouteOptions::default()).unwrap();
+        assert!(routed.is_empty());
+    }
+}

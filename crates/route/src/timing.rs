@@ -1,0 +1,215 @@
+//! Post-route timing analysis.
+//!
+//! Replaces the placement-time distance estimates with the actual routed
+//! wire delays: each sink's net delay is the sum of the wire-tier delays
+//! along its routed path. The slice critical path then follows the same
+//! longest-path recurrence as the pre-route estimator.
+
+use std::collections::HashMap;
+
+use nanomap_arch::{ArchParams, RrGraph, TimingModel};
+use nanomap_netlist::{LutId, SignalRef};
+use nanomap_pack::{Packing, Slice, TemporalDesign};
+
+use crate::pathfinder::RoutedNet;
+
+/// Routed delay of every (slice, driver SMB, sink SMB) connection.
+pub type NetDelays = HashMap<(Slice, u32, u32), f64>;
+
+/// Computes routed net delays from the per-slice routing.
+pub fn net_delays(
+    graph: &RrGraph,
+    timing: &TimingModel,
+    routes: &HashMap<Slice, Vec<RoutedNet>>,
+) -> NetDelays {
+    let mut out = NetDelays::new();
+    for (&slice, nets) in routes {
+        for net in nets {
+            for (sink_idx, &sink) in net.sinks.iter().enumerate() {
+                let delay: f64 = net.sink_paths[sink_idx]
+                    .iter()
+                    .filter_map(|&n| graph.node(n).wire)
+                    .map(|w| timing.wire_delay(w))
+                    .sum();
+                let key = (slice, net.driver, sink);
+                let slot = out.entry(key).or_insert(0.0);
+                *slot = slot.max(delay);
+            }
+        }
+    }
+    out
+}
+
+/// Post-route timing report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedTiming {
+    /// Critical combinational path per slice.
+    pub slice_paths: HashMap<Slice, f64>,
+    /// Worst slice path.
+    pub max_slice_path: f64,
+    /// Folding-cycle period (worst slice + reconfiguration + clocking).
+    pub cycle_period: f64,
+    /// Circuit delay over all slices.
+    pub circuit_delay: f64,
+    /// The worst path, LUT by LUT (first element starts the path), with
+    /// per-LUT arrival times. Empty for LUT-less designs.
+    pub critical_path: Vec<CriticalPathNode>,
+}
+
+/// One hop of the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPathNode {
+    /// The LUT on the path.
+    pub lut: LutId,
+    /// Diagnostic name, when the LUT has one.
+    pub name: Option<String>,
+    /// The temporal slice the LUT executes in.
+    pub slice: Slice,
+    /// Arrival time at the LUT's output (ns into its folding cycle).
+    pub arrival_ns: f64,
+}
+
+/// Runs the longest-path analysis with routed delays. Same-SMB hops use
+/// the intra-MB delay when producer and consumer LEs share a macroblock.
+pub fn analyze(
+    design: &TemporalDesign<'_>,
+    packing: &Packing,
+    delays: &NetDelays,
+    timing: &TimingModel,
+    arch: &ArchParams,
+) -> RoutedTiming {
+    let net = design.net;
+    let order = net.topo_order().expect("validated network");
+    let mut arrival: HashMap<LutId, f64> = HashMap::new();
+    let mut slice_paths: HashMap<Slice, f64> = HashMap::new();
+    let hop = |slice: Slice, from: u32, to: u32| -> f64 {
+        if from == to {
+            timing.local_interconnect
+        } else {
+            delays
+                .get(&(slice, from, to))
+                .copied()
+                .unwrap_or(timing.local_interconnect)
+        }
+    };
+    for id in order {
+        let lut = net.lut(id);
+        let slice = design.slice_of(id);
+        let my_smb = packing.lut_smb[&id];
+        let mut input_arrival = 0.0f64;
+        for input in &lut.inputs {
+            let (src_smb, upstream) = match *input {
+                SignalRef::Lut(u) => {
+                    if design.slice_of(u) == slice {
+                        // MB-aware local refinement for same-SMB chains.
+                        let src_smb = packing.lut_smb[&u];
+                        if src_smb == my_smb {
+                            let mb = |l| packing.lut_le[l] / arch.les_per_mb;
+                            let local = if mb(&u) == mb(&id) {
+                                timing.local_intra_mb
+                            } else {
+                                timing.local_interconnect
+                            };
+                            input_arrival = input_arrival.max(arrival[&u] + local);
+                            continue;
+                        }
+                        (src_smb, arrival[&u])
+                    } else {
+                        let store = packing
+                            .stored_smb
+                            .get(&u)
+                            .or_else(|| packing.lut_smb.get(&u))
+                            .copied()
+                            .expect("packed");
+                        (store, 0.0)
+                    }
+                }
+                SignalRef::Ff(f) => (packing.ff_smb[&f], 0.0),
+                SignalRef::Input(_) | SignalRef::Const(_) => continue,
+            };
+            input_arrival = input_arrival.max(upstream + hop(slice, src_smb, my_smb));
+        }
+        let t = input_arrival + timing.lut_delay;
+        arrival.insert(id, t);
+        let slot = slice_paths.entry(slice).or_insert(0.0);
+        *slot = slot.max(t);
+    }
+    let max_slice_path = slice_paths.values().copied().fold(0.0, f64::max);
+    let cycle_period = max_slice_path + timing.reconfiguration + timing.clocking;
+
+    // Trace the worst path backwards from the LUT with the worst arrival.
+    let mut critical_path = Vec::new();
+    let mut cursor = arrival
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite arrivals"))
+        .map(|(&l, _)| l);
+    while let Some(id) = cursor {
+        let slice = design.slice_of(id);
+        critical_path.push(CriticalPathNode {
+            lut: id,
+            name: net.lut(id).name.clone(),
+            slice,
+            arrival_ns: arrival[&id],
+        });
+        // The predecessor on the path: the same-slice fanin whose
+        // (arrival + hop) is maximal and consistent with this arrival.
+        let my_smb = packing.lut_smb[&id];
+        cursor = net
+            .lut(id)
+            .inputs
+            .iter()
+            .filter_map(|input| match *input {
+                SignalRef::Lut(u) if design.slice_of(u) == slice => {
+                    let contribution = arrival[&u] + hop(slice, packing.lut_smb[&u], my_smb);
+                    Some((u, contribution))
+                }
+                _ => None,
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(u, _)| u);
+    }
+    critical_path.reverse();
+
+    RoutedTiming {
+        slice_paths,
+        max_slice_path,
+        cycle_period,
+        circuit_delay: cycle_period * f64::from(design.num_slices()),
+        critical_path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_arch::{ChannelConfig, Grid, SmbPos};
+    use nanomap_pack::SliceNet;
+
+    #[test]
+    fn routed_delay_sums_wire_tiers() {
+        let grid = Grid::new(3, 1);
+        let graph = RrGraph::build(grid, &ChannelConfig::nature());
+        let pos = vec![SmbPos::new(0, 0), SmbPos::new(2, 0)];
+        let nets = vec![SliceNet {
+            driver: 0,
+            sinks: vec![1],
+            critical: false,
+        }];
+        let routed = crate::pathfinder::route_slice(
+            &graph,
+            &nets,
+            &pos,
+            crate::pathfinder::RouteOptions::default(),
+        )
+        .unwrap();
+        let slice = Slice { plane: 0, stage: 0 };
+        let mut routes = HashMap::new();
+        routes.insert(slice, routed);
+        let timing = TimingModel::nature_100nm();
+        let delays = net_delays(&graph, &timing, &routes);
+        let d = delays[&(slice, 0, 1)];
+        // Distance-2 connection: at least one wire hop, bounded by global.
+        assert!(d >= timing.wire_direct);
+        assert!(d <= timing.wire_global + timing.wire_direct * 2.0 + 1e-9);
+    }
+}

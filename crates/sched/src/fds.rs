@@ -1,0 +1,258 @@
+//! Force-directed scheduling (Algorithm 1 of the paper).
+//!
+//! Iteratively assigns LUT/LUT-cluster items to folding cycles. Each
+//! iteration rebuilds time frames and distribution graphs, evaluates the
+//! total force of every feasible (item, cycle) assignment, and commits the
+//! lowest-force choice. The result balances LUT computation and register
+//! storage across the folding cycles, minimizing the peak LE usage.
+
+use crate::asap::TimeFrames;
+use crate::dg::{storage_ops, DistributionGraphs, StorageOp, StorageWeightMode};
+use crate::error::SchedError;
+use crate::force::{ForceModel, LeShape};
+use crate::item::ItemGraph;
+use crate::schedule::Schedule;
+
+/// Options for the FDS run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FdsOptions {
+    /// LE resource shape (`h` LUTs, `l` FFs).
+    pub shape: LeShape,
+    /// Storage weight estimation mode.
+    pub storage_mode: StorageWeightMode,
+}
+
+/// Runs force-directed scheduling of `graph` onto `stages` folding cycles.
+///
+/// # Errors
+///
+/// Returns [`SchedError::Infeasible`] if the critical chain does not fit.
+///
+/// # Examples
+///
+/// ```
+/// use nanomap_netlist::{PlaneSet};
+/// use nanomap_netlist::rtl::{CombOp, RtlBuilder};
+/// use nanomap_sched::{schedule_fds, FdsOptions, ItemGraph};
+/// use nanomap_techmap::{expand, ExpandOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = RtlBuilder::new("t");
+/// let a = b.input("a", 4);
+/// let c = b.input("b", 4);
+/// let gnd = b.constant("gnd", 1, 0);
+/// let add = b.comb("add", CombOp::Add { width: 4 });
+/// b.connect(a, 0, add, 0)?;
+/// b.connect(c, 0, add, 1)?;
+/// b.connect(gnd, 0, add, 2)?;
+/// let y = b.output("y", 4);
+/// b.connect(add, 0, y, 0)?;
+/// let net = expand(&b.finish()?, ExpandOptions::default())?;
+/// let planes = PlaneSet::extract(&net)?;
+/// // Level-2 folding of the depth-4 adder: 2 stages.
+/// let graph = ItemGraph::build(&net, &planes.planes()[0], 2)?;
+/// let schedule = schedule_fds(&net, &graph, 2, FdsOptions::default())?;
+/// assert!(schedule.validate(&graph));
+/// # Ok(())
+/// # }
+/// ```
+pub fn schedule_fds(
+    net: &nanomap_netlist::LutNetwork,
+    graph: &ItemGraph,
+    stages: u32,
+    options: FdsOptions,
+) -> Result<Schedule, SchedError> {
+    let n = graph.len();
+    let ops: Vec<StorageOp> = storage_ops(net, graph, options.storage_mode);
+    let mut pins: Vec<Option<u32>> = vec![None; n];
+
+    // Feasibility check up front (also computes initial frames).
+    let mut frames = TimeFrames::compute(graph, stages, &pins)?;
+
+    for _round in 0..n {
+        let dgs = DistributionGraphs::build(graph, &frames, &ops);
+        let model = ForceModel::new(graph, &frames, &dgs, &ops, options.shape);
+
+        // Lowest-force (item, cycle) over all unscheduled items.
+        let mut best: Option<(f64, usize, u32)> = None;
+        for (i, pin) in pins.iter().enumerate() {
+            if pin.is_some() {
+                continue;
+            }
+            let (a, b) = frames.frame(i);
+            for j in a..=b {
+                let force = model.total_force(i, j);
+                let candidate = (force, i, j);
+                best = Some(match best {
+                    None => candidate,
+                    Some(current) => {
+                        // Deterministic tie-break: force, then item, cycle.
+                        if candidate.0 < current.0 - 1e-12
+                            || ((candidate.0 - current.0).abs() <= 1e-12
+                                && (candidate.1, candidate.2) < (current.1, current.2))
+                        {
+                            candidate
+                        } else {
+                            current
+                        }
+                    }
+                });
+            }
+        }
+        let Some((_, item, cycle)) = best else { break };
+        pins[item] = Some(cycle);
+        frames = TimeFrames::compute(graph, stages, &pins)
+            .expect("pinning inside a valid frame keeps the schedule feasible");
+    }
+
+    let stage_of: Vec<u32> = pins
+        .iter()
+        .map(|pin| pin.expect("all items scheduled"))
+        .collect();
+    Ok(Schedule::new(stage_of, stages))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::{Item, ItemEdge, ItemKind};
+    use nanomap_netlist::rtl::{CombOp, RtlBuilder};
+    use nanomap_netlist::{LutId, LutNetwork, PlaneSet};
+    use nanomap_techmap::{expand, ExpandOptions};
+
+    fn chain_free_graph(weights: &[u32]) -> ItemGraph {
+        let items: Vec<Item> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Item {
+                kind: ItemKind::Lut(LutId::new(i)),
+                luts: vec![LutId::new(i)],
+                weight: w,
+                window: 1,
+                name: format!("i{i}"),
+            })
+            .collect();
+        let n = items.len();
+        ItemGraph {
+            items,
+            edges: vec![],
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+            item_of_lut: Default::default(),
+            folding_level: 1,
+        }
+    }
+
+    #[test]
+    fn balances_independent_items() {
+        // Six weight-1 items over 2 cycles: 3 + 3 is optimal.
+        let g = chain_free_graph(&[1, 1, 1, 1, 1, 1]);
+        let net = LutNetwork::new("t");
+        let s = schedule_fds(&net, &g, 2, FdsOptions::default()).unwrap();
+        let counts = s.lut_counts(&g);
+        assert_eq!(counts.iter().sum::<u32>(), 6);
+        assert_eq!(counts.iter().max(), Some(&3));
+    }
+
+    #[test]
+    fn balances_mixed_weights() {
+        // Weights 4,3,2,1 over 2 cycles: best peak is 5 (4+1 / 3+2).
+        let g = chain_free_graph(&[4, 3, 2, 1]);
+        let net = LutNetwork::new("t");
+        let s = schedule_fds(&net, &g, 2, FdsOptions::default()).unwrap();
+        let counts = s.lut_counts(&g);
+        assert_eq!(counts.iter().sum::<u32>(), 10);
+        assert!(*counts.iter().max().unwrap() <= 6, "counts {counts:?}");
+    }
+
+    #[test]
+    fn respects_precedence() {
+        let mut g = chain_free_graph(&[1, 1, 1]);
+        g.edges = vec![
+            ItemEdge {
+                from: 0,
+                to: 1,
+                latency: 1,
+            },
+            ItemEdge {
+                from: 1,
+                to: 2,
+                latency: 1,
+            },
+        ];
+        g.succs = vec![vec![(1, 1)], vec![(2, 1)], vec![]];
+        g.preds = vec![vec![], vec![(0, 1)], vec![(1, 1)]];
+        let net = LutNetwork::new("t");
+        let s = schedule_fds(&net, &g, 3, FdsOptions::default()).unwrap();
+        assert!(s.validate(&g));
+        assert_eq!(s.stage_of, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn infeasible_stage_count_errors() {
+        let mut g = chain_free_graph(&[1, 1, 1]);
+        g.edges = vec![
+            ItemEdge {
+                from: 0,
+                to: 1,
+                latency: 1,
+            },
+            ItemEdge {
+                from: 1,
+                to: 2,
+                latency: 1,
+            },
+        ];
+        g.succs = vec![vec![(1, 1)], vec![(2, 1)], vec![]];
+        g.preds = vec![vec![], vec![(0, 1)], vec![(1, 1)]];
+        let net = LutNetwork::new("t");
+        assert!(matches!(
+            schedule_fds(&net, &g, 2, FdsOptions::default()),
+            Err(SchedError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = chain_free_graph(&[2, 5, 1, 3, 3, 2, 4]);
+        let net = LutNetwork::new("t");
+        let a = schedule_fds(&net, &g, 3, FdsOptions::default()).unwrap();
+        let b = schedule_fds(&net, &g, 3, FdsOptions::default()).unwrap();
+        assert_eq!(a.stage_of, b.stage_of);
+    }
+
+    /// End-to-end: schedule a real mapped adder+multiplier plane and check
+    /// that the peak LUT usage beats naive ASAP.
+    #[test]
+    fn beats_asap_on_real_plane() {
+        let mut b = RtlBuilder::new("dp");
+        let a = b.input("a", 4);
+        let c = b.input("b", 4);
+        let gnd = b.constant("gnd", 1, 0);
+        let add = b.comb("add", CombOp::Add { width: 4 });
+        b.connect(a, 0, add, 0).unwrap();
+        b.connect(c, 0, add, 1).unwrap();
+        b.connect(gnd, 0, add, 2).unwrap();
+        let mul = b.comb("mul", CombOp::Mul { width: 4 });
+        b.connect(a, 0, mul, 0).unwrap();
+        b.connect(c, 0, mul, 1).unwrap();
+        let y1 = b.output("y1", 4);
+        b.connect(add, 0, y1, 0).unwrap();
+        let y2 = b.output("y2", 8);
+        b.connect(mul, 0, y2, 0).unwrap();
+        let net = expand(&b.finish().unwrap(), ExpandOptions::default()).unwrap();
+        let planes = PlaneSet::extract(&net).unwrap();
+        let plane = &planes.planes()[0];
+        let stages = plane.depth.div_ceil(2);
+        let graph = ItemGraph::build(&net, plane, 2).unwrap();
+        let fds = schedule_fds(&net, &graph, stages, FdsOptions::default()).unwrap();
+        assert!(fds.validate(&graph));
+        let asap = crate::list::schedule_asap(&graph, stages).unwrap();
+        let fds_peak = fds.lut_counts(&graph).into_iter().max().unwrap();
+        let asap_peak = asap.lut_counts(&graph).into_iter().max().unwrap();
+        assert!(
+            fds_peak <= asap_peak,
+            "FDS peak {fds_peak} must not exceed ASAP peak {asap_peak}"
+        );
+    }
+}

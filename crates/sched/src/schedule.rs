@@ -1,0 +1,256 @@
+//! Schedule results and LE-usage accounting.
+
+use crate::dg::StorageOp;
+use crate::force::LeShape;
+use crate::item::ItemGraph;
+
+/// A complete assignment of items to folding cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Folding cycle of every item (0-based).
+    pub stage_of: Vec<u32>,
+    /// Number of folding cycles.
+    pub stages: u32,
+}
+
+impl Schedule {
+    /// Creates a schedule from an assignment.
+    pub fn new(stage_of: Vec<u32>, stages: u32) -> Self {
+        Self { stage_of, stages }
+    }
+
+    /// Checks that every precedence edge is satisfied.
+    pub fn validate(&self, graph: &ItemGraph) -> bool {
+        graph
+            .edges
+            .iter()
+            .all(|e| self.stage_of[e.to] >= self.stage_of[e.from] + e.latency)
+            && self.stage_of.iter().all(|&s| s < self.stages)
+    }
+
+    /// LUTs scheduled in each folding cycle.
+    pub fn lut_counts(&self, graph: &ItemGraph) -> Vec<u32> {
+        let mut counts = vec![0u32; self.stages as usize];
+        for (i, &s) in self.stage_of.iter().enumerate() {
+            counts[s as usize] += graph.items[i].weight;
+        }
+        counts
+    }
+
+    /// Transient storage bits live in each folding cycle: an op whose last
+    /// consumer runs after its producer occupies flip-flops from the
+    /// producing cycle through the last consuming cycle.
+    pub fn transient_bits(&self, ops: &[StorageOp]) -> Vec<u32> {
+        let mut bits = vec![0u32; self.stages as usize];
+        for op in ops {
+            let s = self.stage_of[op.src];
+            let t = op
+                .dests
+                .iter()
+                .map(|&d| self.stage_of[d])
+                .max()
+                .unwrap_or(s);
+            if t > s {
+                for slot in bits.iter_mut().take(t as usize + 1).skip(s as usize) {
+                    *slot += op.weight;
+                }
+            }
+        }
+        bits
+    }
+
+    /// Exact transient storage per folding cycle: each LUT output whose
+    /// value crosses a folding-cycle boundary occupies one flip-flop from
+    /// the cycle *after* its producer (the capturing clock edge ends the
+    /// producing cycle) through its last consuming cycle. Unlike
+    /// [`Self::transient_bits`] (the paper's per-item estimate, whose
+    /// lifetimes include the source cycle per Fig. 4), this accounts bit
+    /// by bit with edge-triggered occupancy, so one long-lived output does
+    /// not inflate its whole cluster's lifetime.
+    pub fn transient_bits_exact(
+        &self,
+        net: &nanomap_netlist::LutNetwork,
+        graph: &ItemGraph,
+    ) -> Vec<u32> {
+        let mut bits = vec![0u32; self.stages as usize];
+        let fanouts = net.fanouts();
+        for (&lut, &item) in &graph.item_of_lut {
+            let s = self.stage_of[item];
+            let t = fanouts.lut_to_luts[lut.index()]
+                .iter()
+                .filter_map(|c| graph.item_of_lut.get(c))
+                .map(|&ci| self.stage_of[ci])
+                .max()
+                .unwrap_or(s);
+            if t > s {
+                for slot in bits.iter_mut().take(t as usize + 1).skip(s as usize + 1) {
+                    *slot += 1;
+                }
+            }
+        }
+        bits
+    }
+
+    /// [`Self::le_usage`] with the exact per-bit transient accounting of
+    /// [`Self::transient_bits_exact`].
+    pub fn le_usage_exact(
+        &self,
+        net: &nanomap_netlist::LutNetwork,
+        graph: &ItemGraph,
+        register_bits: u32,
+        shape: LeShape,
+    ) -> LeUsage {
+        let luts = self.lut_counts(graph);
+        let transients = self.transient_bits_exact(net, graph);
+        let per_stage: Vec<u32> = luts
+            .iter()
+            .zip(&transients)
+            .map(|(&l, &t)| {
+                let for_luts = l.div_ceil(shape.luts);
+                let for_ffs = (t + register_bits).div_ceil(shape.ffs);
+                for_luts.max(for_ffs)
+            })
+            .collect();
+        let peak = per_stage.iter().copied().max().unwrap_or(0);
+        LeUsage {
+            per_stage,
+            peak,
+            lut_counts: luts,
+            transient_bits: transients,
+        }
+    }
+
+    /// Logic elements needed in each folding cycle: an LE supplies
+    /// `shape.luts` LUTs and `shape.ffs` flip-flops, and both the cycle's
+    /// LUT computations and its live register bits must fit
+    /// (`register_bits` models the plane/circuit registers that persist
+    /// through every cycle — Section 3's plane registers).
+    pub fn le_usage(
+        &self,
+        graph: &ItemGraph,
+        ops: &[StorageOp],
+        register_bits: u32,
+        shape: LeShape,
+    ) -> LeUsage {
+        let luts = self.lut_counts(graph);
+        let transients = self.transient_bits(ops);
+        let per_stage: Vec<u32> = luts
+            .iter()
+            .zip(&transients)
+            .map(|(&l, &t)| {
+                let for_luts = l.div_ceil(shape.luts);
+                let for_ffs = (t + register_bits).div_ceil(shape.ffs);
+                for_luts.max(for_ffs)
+            })
+            .collect();
+        let peak = per_stage.iter().copied().max().unwrap_or(0);
+        LeUsage {
+            per_stage,
+            peak,
+            lut_counts: luts,
+            transient_bits: transients,
+        }
+    }
+}
+
+/// Per-cycle LE usage breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeUsage {
+    /// LEs needed per folding cycle.
+    pub per_stage: Vec<u32>,
+    /// Maximum over the cycles — the plane's LE demand.
+    pub peak: u32,
+    /// LUTs per cycle.
+    pub lut_counts: Vec<u32>,
+    /// Transient storage bits per cycle.
+    pub transient_bits: Vec<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::{Item, ItemEdge, ItemKind};
+    use nanomap_netlist::LutId;
+
+    fn graph3() -> ItemGraph {
+        let mk = |i: usize, w: u32| Item {
+            kind: ItemKind::Lut(LutId::new(i)),
+            luts: vec![LutId::new(i)],
+            weight: w,
+            window: 1,
+            name: format!("i{i}"),
+        };
+        let items = vec![mk(0, 4), mk(1, 2), mk(2, 1)];
+        let edges = vec![ItemEdge {
+            from: 0,
+            to: 2,
+            latency: 1,
+        }];
+        let mut succs = vec![Vec::new(); 3];
+        let mut preds = vec![Vec::new(); 3];
+        for e in &edges {
+            succs[e.from].push((e.to, e.latency));
+            preds[e.to].push((e.from, e.latency));
+        }
+        ItemGraph {
+            items,
+            edges,
+            succs,
+            preds,
+            item_of_lut: Default::default(),
+            folding_level: 1,
+        }
+    }
+
+    #[test]
+    fn validate_checks_latency() {
+        let g = graph3();
+        assert!(Schedule::new(vec![0, 0, 1], 2).validate(&g));
+        assert!(!Schedule::new(vec![0, 0, 0], 2).validate(&g));
+        assert!(!Schedule::new(vec![0, 0, 2], 2).validate(&g));
+    }
+
+    #[test]
+    fn lut_counts_aggregate_weights() {
+        let g = graph3();
+        let s = Schedule::new(vec![0, 1, 1], 2);
+        assert_eq!(s.lut_counts(&g), vec![4, 3]);
+    }
+
+    #[test]
+    fn transient_bits_span_lifetime() {
+        let ops = vec![StorageOp {
+            src: 0,
+            dests: vec![2],
+            weight: 4,
+        }];
+        // Producer in cycle 0, consumer in cycle 2: live 0..=2.
+        let s = Schedule::new(vec![0, 1, 2], 3);
+        assert_eq!(s.transient_bits(&ops), vec![4, 4, 4]);
+        // Same-cycle consumption needs no storage.
+        let ops_same = vec![StorageOp {
+            src: 1,
+            dests: vec![2],
+            weight: 9,
+        }];
+        let s2 = Schedule::new(vec![0, 2, 2], 3);
+        assert_eq!(s2.transient_bits(&ops_same), vec![0, 0, 0]);
+    }
+
+    /// Mirrors the paper's motivational example accounting: 32 LUTs in the
+    /// busiest cycle bound the LE count when registers fit in the spare
+    /// flip-flops.
+    #[test]
+    fn le_usage_takes_max_of_luts_and_ffs() {
+        let g = graph3();
+        let shape = LeShape { luts: 1, ffs: 2 };
+        let s = Schedule::new(vec![0, 1, 1], 2);
+        // 20 register bits -> 10 LEs of FF demand; cycle 0 has 4 LUTs.
+        let usage = s.le_usage(&g, &[], 20, shape);
+        assert_eq!(usage.per_stage, vec![10, 10]);
+        assert_eq!(usage.peak, 10);
+        // With few registers the LUTs dominate.
+        let usage2 = s.le_usage(&g, &[], 2, shape);
+        assert_eq!(usage2.per_stage, vec![4, 3]);
+    }
+}

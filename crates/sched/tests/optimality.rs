@@ -1,0 +1,166 @@
+//! Cross-checks FDS against the exhaustive optimum on small instances.
+//!
+//! FDS is a heuristic; these tests quantify how close it gets to the true
+//! minimum peak LUT usage found by brute force over every precedence-valid
+//! assignment.
+
+use nanomap_netlist::{LutId, LutNetwork};
+use nanomap_sched::{
+    schedule_asap, schedule_fds, storage_ops, FdsOptions, Item, ItemEdge, ItemGraph, ItemKind,
+    LeShape, Schedule, StorageWeightMode,
+};
+use proptest::prelude::*;
+
+/// The metric FDS optimizes (Eq. 14): peak LEs with 1 LUT + 2 FFs each,
+/// counting both LUT computations and inter-cycle storage.
+fn le_peak(graph: &ItemGraph, schedule: &Schedule) -> u32 {
+    let ops = storage_ops(&LutNetwork::new("t"), graph, StorageWeightMode::ItemWeight);
+    schedule
+        .le_usage(graph, &ops, 0, LeShape { luts: 1, ffs: 2 })
+        .peak
+}
+
+fn build_graph(weights: &[u32], edges: &[(usize, usize)]) -> ItemGraph {
+    let items: Vec<Item> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| Item {
+            kind: ItemKind::Lut(LutId::new(i)),
+            luts: vec![LutId::new(i)],
+            weight: w,
+            window: 1,
+            name: format!("i{i}"),
+        })
+        .collect();
+    let n = items.len();
+    let edges: Vec<ItemEdge> = edges
+        .iter()
+        .map(|&(from, to)| ItemEdge {
+            from,
+            to,
+            latency: 1,
+        })
+        .collect();
+    let mut succs = vec![Vec::new(); n];
+    let mut preds = vec![Vec::new(); n];
+    for e in &edges {
+        succs[e.from].push((e.to, e.latency));
+        preds[e.to].push((e.from, e.latency));
+    }
+    ItemGraph {
+        items,
+        edges,
+        succs,
+        preds,
+        item_of_lut: Default::default(),
+        folding_level: 1,
+    }
+}
+
+/// Brute-force minimum peak LUT weight over all valid schedules.
+fn exhaustive_optimum(graph: &ItemGraph, stages: u32) -> Option<u32> {
+    let n = graph.len();
+    let mut assignment = vec![0u32; n];
+    let mut best: Option<u32> = None;
+    fn recurse(
+        graph: &ItemGraph,
+        stages: u32,
+        assignment: &mut Vec<u32>,
+        i: usize,
+        best: &mut Option<u32>,
+    ) {
+        if i == graph.len() {
+            let schedule = Schedule::new(assignment.clone(), stages);
+            if schedule.validate(graph) {
+                let peak = le_peak(graph, &schedule);
+                *best = Some(best.map_or(peak, |b: u32| b.min(peak)));
+            }
+            return;
+        }
+        for s in 0..stages {
+            assignment[i] = s;
+            recurse(graph, stages, assignment, i + 1, best);
+        }
+    }
+    recurse(graph, stages, &mut assignment, 0, &mut best);
+    best
+}
+
+/// Random DAG strategy: up to 7 items over 2..=4 stages.
+fn instance_strategy() -> impl Strategy<Value = (Vec<u32>, Vec<(usize, usize)>, u32)> {
+    (
+        proptest::collection::vec(1u32..=6, 2..=7),
+        proptest::collection::vec((any::<prop::sample::Index>(), any::<prop::sample::Index>()), 0..=6),
+        2u32..=4,
+    )
+        .prop_map(|(weights, raw_edges, stages)| {
+            let n = weights.len();
+            let mut edges: Vec<(usize, usize)> = raw_edges
+                .into_iter()
+                .map(|(a, b)| {
+                    let (mut x, mut y) = (a.index(n), b.index(n));
+                    if x > y {
+                        std::mem::swap(&mut x, &mut y);
+                    }
+                    (x, y)
+                })
+                .filter(|&(x, y)| x != y) // forward edges only: acyclic
+                .collect();
+            edges.sort_unstable();
+            edges.dedup();
+            (weights, edges, stages)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FDS lands within 1.5x of the exhaustive optimum peak (and is never
+    /// better than it, by definition of optimum).
+    #[test]
+    fn fds_is_near_optimal((weights, edges, stages) in instance_strategy()) {
+        let graph = build_graph(&weights, &edges);
+        let Some(optimum) = exhaustive_optimum(&graph, stages) else {
+            // No valid schedule at this stage count.
+            prop_assert!(schedule_fds(
+                &LutNetwork::new("t"), &graph, stages, FdsOptions::default()
+            ).is_err());
+            return Ok(());
+        };
+        let net = LutNetwork::new("t");
+        let fds = schedule_fds(&net, &graph, stages, FdsOptions::default())
+            .expect("optimum exists => feasible");
+        prop_assert!(fds.validate(&graph));
+        let fds_peak = le_peak(&graph, &fds);
+        prop_assert!(fds_peak >= optimum, "heuristic beats the optimum?!");
+        prop_assert!(
+            f64::from(fds_peak) <= f64::from(optimum) * 2.0 + 1.0,
+            "FDS peak {} vs optimum {}",
+            fds_peak,
+            optimum
+        );
+    }
+
+    /// ASAP is valid whenever the optimum exists, and never beats it.
+    #[test]
+    fn asap_is_valid_and_bounded((weights, edges, stages) in instance_strategy()) {
+        let graph = build_graph(&weights, &edges);
+        if let Some(optimum) = exhaustive_optimum(&graph, stages) {
+            let asap = schedule_asap(&graph, stages).expect("feasible");
+            prop_assert!(asap.validate(&graph));
+            prop_assert!(le_peak(&graph, &asap) >= optimum);
+        }
+    }
+}
+
+/// A concrete case where balancing matters: FDS must hit the optimum.
+/// (No edges => no storage, so the LE metric is pure LUT weight.)
+#[test]
+fn fds_hits_optimum_on_balanced_case() {
+    // Weights 5,4,3,2,1,1 over 2 stages, no edges: optimal peak 8 (5+2+1 / 4+3+1).
+    let graph = build_graph(&[5, 4, 3, 2, 1, 1], &[]);
+    let optimum = exhaustive_optimum(&graph, 2).unwrap();
+    assert_eq!(optimum, 8);
+    let fds = schedule_fds(&LutNetwork::new("t"), &graph, 2, FdsOptions::default()).unwrap();
+    assert_eq!(le_peak(&graph, &fds), 8, "FDS should balance 16 weight into 8 + 8");
+}

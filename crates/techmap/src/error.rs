@@ -1,0 +1,88 @@
+//! Error types for technology mapping.
+
+use std::error::Error;
+use std::fmt;
+
+use nanomap_netlist::NetlistError;
+
+/// Errors produced by RTL expansion or FlowMap mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TechmapError {
+    /// The underlying netlist is malformed.
+    Netlist(NetlistError),
+    /// A generic logic node requires more inputs than the LUT size.
+    LogicTooWide {
+        /// Node or gate name.
+        node: String,
+        /// Required inputs.
+        required: u32,
+        /// Available LUT inputs.
+        available: u32,
+    },
+    /// An operator width is unsupported (e.g. multiplier over 32 bits).
+    UnsupportedWidth {
+        /// Offending node name.
+        node: String,
+        /// Requested width.
+        width: u32,
+    },
+    /// The requested LUT size is outside `2..=6`.
+    BadLutSize(u32),
+}
+
+impl fmt::Display for TechmapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Netlist(e) => write!(f, "netlist error: {e}"),
+            Self::LogicTooWide {
+                node,
+                required,
+                available,
+            } => write!(
+                f,
+                "logic node `{node}` needs {required} inputs but LUTs have {available}"
+            ),
+            Self::UnsupportedWidth { node, width } => {
+                write!(f, "node `{node}` has unsupported width {width}")
+            }
+            Self::BadLutSize(k) => write!(f, "LUT size {k} outside the supported 2..=6 range"),
+        }
+    }
+}
+
+impl Error for TechmapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for TechmapError {
+    fn from(e: NetlistError) -> Self {
+        Self::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = TechmapError::LogicTooWide {
+            node: "alu".into(),
+            required: 9,
+            available: 4,
+        };
+        assert!(e.to_string().contains("alu"));
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn netlist_errors_convert() {
+        let e: TechmapError = NetlistError::NoOutputs.into();
+        assert!(matches!(e, TechmapError::Netlist(_)));
+    }
+}

@@ -1,0 +1,1243 @@
+//! RTL-to-LUT expansion.
+//!
+//! Expands every combinational RTL operator into a network of k-input LUTs,
+//! registers into flip-flops, and wiring operators into pure reconnection.
+//! Each LUT produced for a multi-bit module records its [`LutOrigin`]
+//! (module instance and depth within the module); NanoMap's logic-mapping
+//! step partitions modules into *LUT clusters* along these depths.
+//!
+//! The generated structures follow the paper's examples: a `width`-bit
+//! ripple-carry adder uses `2*width` LUTs with logic depth `width`, and a
+//! parallel (array) multiplier uses on the order of `3w^2` LUTs with depth
+//! about `2w - 1` (the paper's 4-bit instances: 8 LUTs / depth 4 and
+//! 38 LUTs / depth 7).
+
+use std::collections::HashMap;
+
+use nanomap_netlist::rtl::{CombOp, NodeKind, RtlCircuit};
+use nanomap_netlist::{FfId, LutNetwork, LutOrigin, ModuleId, NodeId, SignalRef, TruthTable};
+
+use crate::error::TechmapError;
+
+/// Options controlling RTL expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpandOptions {
+    /// LUT size `m` (NATURE uses 4-input LUTs).
+    pub lut_inputs: u32,
+    /// Multiplier structure.
+    pub multiplier: MultiplierStyle,
+}
+
+impl Default for ExpandOptions {
+    fn default() -> Self {
+        Self {
+            lut_inputs: 4,
+            multiplier: MultiplierStyle::CarrySaveArray,
+        }
+    }
+}
+
+/// How parallel multipliers are structured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MultiplierStyle {
+    /// Classic carry-save adder array: critical path about `2w - 1`
+    /// cells, the regular structure whose 4-bit instance matches the
+    /// paper's 38-LUT / depth-7 multiplier.
+    #[default]
+    CarrySaveArray,
+    /// Wallace tree: 3:2 column compression to two rows, then a ripple
+    /// vector merge. Shallower (about `w + log w`) at similar LUT cost —
+    /// the style the paper's 16-bit plane depths imply.
+    Wallace,
+}
+
+/// Expands an RTL circuit into a LUT/flip-flop network.
+///
+/// # Errors
+///
+/// Returns an error if the circuit is malformed, a generic logic node is
+/// wider than the LUT size, or an unsupported width is requested.
+///
+/// # Examples
+///
+/// ```
+/// use nanomap_netlist::rtl::{CombOp, RtlBuilder};
+/// use nanomap_techmap::{expand, ExpandOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = RtlBuilder::new("add4");
+/// let a = b.input("a", 4);
+/// let c = b.input("b", 4);
+/// let gnd = b.constant("gnd", 1, 0);
+/// let add = b.comb("add", CombOp::Add { width: 4 });
+/// b.connect(a, 0, add, 0)?;
+/// b.connect(c, 0, add, 1)?;
+/// b.connect(gnd, 0, add, 2)?;
+/// let y = b.output("y", 4);
+/// b.connect(add, 0, y, 0)?;
+/// let circuit = b.finish()?;
+///
+/// let net = expand(&circuit, ExpandOptions::default())?;
+/// // 4-bit ripple-carry adder: 2 LUTs per bit, depth 4 (paper, Section 3).
+/// assert_eq!(net.num_luts(), 8);
+/// assert_eq!(net.lut_depths()?.1, 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expand(circuit: &RtlCircuit, options: ExpandOptions) -> Result<LutNetwork, TechmapError> {
+    if !(2..=6).contains(&options.lut_inputs) {
+        return Err(TechmapError::BadLutSize(options.lut_inputs));
+    }
+    circuit.validate()?;
+    let mut ctx = Expander {
+        circuit,
+        net: LutNetwork::new(circuit.name()),
+        bits: HashMap::new(),
+        m: options.lut_inputs,
+        multiplier_style: options.multiplier,
+        ff_of_register: HashMap::new(),
+    };
+    ctx.run()?;
+    let mut net = ctx.net;
+    finalize_module_depths(&mut net);
+    Ok(net)
+}
+
+struct Expander<'a> {
+    circuit: &'a RtlCircuit,
+    net: LutNetwork,
+    /// (node, output port) -> bit signals, LSB first.
+    bits: HashMap<(NodeId, u32), Vec<SignalRef>>,
+    m: u32,
+    multiplier_style: MultiplierStyle,
+    ff_of_register: HashMap<NodeId, Vec<FfId>>,
+}
+
+impl Expander<'_> {
+    fn run(&mut self) -> Result<(), TechmapError> {
+        // Primary inputs.
+        for id in self.circuit.inputs() {
+            let node = self.circuit.node(id);
+            if let NodeKind::Input { width } = node.kind {
+                let bits: Vec<SignalRef> = (0..width)
+                    .map(|b| self.net.add_input(format!("{}[{b}]", node.name)))
+                    .collect();
+                self.bits.insert((id, 0), bits);
+            }
+        }
+        // Registers: create FFs up front so feedback resolves; D wired later.
+        for id in self.circuit.registers() {
+            let node = self.circuit.node(id);
+            if let NodeKind::Register { width } = node.kind {
+                let bank = self.net.add_bank(node.name.clone());
+                let ffs: Vec<FfId> = (0..width)
+                    .map(|b| {
+                        self.net.add_ff_in_bank(
+                            SignalRef::Const(false),
+                            Some(format!("{}[{b}]", node.name)),
+                            Some(bank),
+                        )
+                    })
+                    .collect();
+                let bits = ffs.iter().map(|&f| SignalRef::Ff(f)).collect();
+                self.ff_of_register.insert(id, ffs);
+                self.bits.insert((id, 0), bits);
+            }
+        }
+        // Combinational nodes in topological order.
+        for id in self.circuit.topo_order_comb()? {
+            self.expand_comb(id)?;
+        }
+        // Register D inputs.
+        for (&id, ffs) in &self.ff_of_register {
+            let d_bits = self.input_bits(id, 0);
+            for (&ff, &d) in ffs.iter().zip(&d_bits) {
+                self.net.set_ff_input(ff, d);
+            }
+        }
+        // Primary outputs.
+        for id in self.circuit.outputs() {
+            let node = self.circuit.node(id);
+            if let NodeKind::Output { width } = node.kind {
+                let bits = self.input_bits(id, 0);
+                for (b, &bit) in bits.iter().enumerate().take(width as usize) {
+                    self.net.add_output(format!("{}[{b}]", node.name), bit);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Bits driving input port `port` of node `id`.
+    fn input_bits(&self, id: NodeId, port: u32) -> Vec<SignalRef> {
+        let driver = self.circuit.node(id).inputs[port as usize]
+            .expect("validated circuit has no floating inputs");
+        self.bits[&(driver.node, driver.port)].clone()
+    }
+
+    fn lut(
+        &mut self,
+        truth: TruthTable,
+        inputs: Vec<SignalRef>,
+        module: Option<ModuleId>,
+    ) -> SignalRef {
+        let origin = module.map(|m| LutOrigin {
+            module: m,
+            depth_in_module: 0, // fixed up by finalize_module_depths
+        });
+        self.net.add_lut_full(truth, inputs, origin, None)
+    }
+
+    fn multiplier(
+        &mut self,
+        a: &[SignalRef],
+        b: &[SignalRef],
+        width: u32,
+        module: Option<ModuleId>,
+    ) -> Vec<SignalRef> {
+        match self.multiplier_style {
+            MultiplierStyle::CarrySaveArray => self.array_multiplier(a, b, width, module),
+            MultiplierStyle::Wallace => self.wallace_multiplier(a, b, width, module),
+        }
+    }
+
+    /// Wallace-tree multiplier: per-column 3:2 compression of the partial
+    /// products down to two rows, then a ripple vector merge.
+    fn wallace_multiplier(
+        &mut self,
+        a: &[SignalRef],
+        b: &[SignalRef],
+        width: u32,
+        module: Option<ModuleId>,
+    ) -> Vec<SignalRef> {
+        let w = width as usize;
+        // Columns of addends at each product bit position.
+        let mut columns: Vec<Vec<SignalRef>> = vec![Vec::new(); 2 * w];
+        for i in 0..w {
+            for j in 0..w {
+                let pp = self.lut(TruthTable::and(2), vec![a[j], b[i]], module);
+                columns[i + j].push(pp);
+            }
+        }
+        // Compress until every column holds at most two bits.
+        while columns.iter().any(|c| c.len() > 2) {
+            let mut next: Vec<Vec<SignalRef>> = vec![Vec::new(); 2 * w];
+            for (pos, column) in columns.iter().enumerate() {
+                let mut chunk_iter = column.chunks(3);
+                for chunk in chunk_iter.by_ref() {
+                    match *chunk {
+                        [x, y, z] => {
+                            let (sum, carry) = self.fa_cell(x, y, z, module);
+                            next[pos].push(sum);
+                            if pos + 1 < 2 * w {
+                                next[pos + 1].push(carry);
+                            }
+                        }
+                        [x, y] => {
+                            let (sum, carry) = self.fa_cell(x, y, SignalRef::Const(false), module);
+                            next[pos].push(sum);
+                            if pos + 1 < 2 * w {
+                                next[pos + 1].push(carry);
+                            }
+                        }
+                        [x] => next[pos].push(x),
+                        _ => unreachable!("chunks(3)"),
+                    }
+                }
+            }
+            columns = next;
+        }
+        // Final vector merge: add the two remaining rows with a
+        // logarithmic-depth parallel-prefix (Kogge-Stone) adder, keeping
+        // the whole multiplier at O(log w) beyond the partial products.
+        let xs: Vec<SignalRef> = columns
+            .iter()
+            .map(|c| c.first().copied().unwrap_or(SignalRef::Const(false)))
+            .collect();
+        let ys: Vec<SignalRef> = columns
+            .iter()
+            .map(|c| c.get(1).copied().unwrap_or(SignalRef::Const(false)))
+            .collect();
+        self.prefix_adder(&xs, &ys, module)
+    }
+
+    /// Kogge-Stone parallel-prefix adder: depth `O(log n)` in LUT levels.
+    fn prefix_adder(
+        &mut self,
+        xs: &[SignalRef],
+        ys: &[SignalRef],
+        module: Option<ModuleId>,
+    ) -> Vec<SignalRef> {
+        let n = xs.len();
+        // Generate/propagate per bit. Constant folding keeps the sparse
+        // high columns cheap.
+        let mut g: Vec<SignalRef> = Vec::with_capacity(n);
+        let mut p: Vec<SignalRef> = Vec::with_capacity(n);
+        for i in 0..n {
+            let (sum, carry) = self.fa_cell(xs[i], ys[i], SignalRef::Const(false), module);
+            p.push(sum); // a XOR b
+            g.push(carry); // a AND b
+        }
+        let half_sum = p.clone();
+        // Prefix combine: (g, p) <- (g | (p & g_prev), p & p_prev), with
+        // 3-input LUT cells for the g update.
+        let mut dist = 1;
+        while dist < n {
+            let mut ng = g.clone();
+            let mut np = p.clone();
+            for i in dist..n {
+                let gi = self.lut3_or_fold(g[i], p[i], g[i - dist], module);
+                ng[i] = gi;
+                np[i] = self.and2_fold(p[i], p[i - dist], module);
+            }
+            g = ng;
+            p = np;
+            dist *= 2;
+        }
+        // sum[i] = half_sum[i] XOR carry_in[i], carry_in[i] = g[i-1].
+        let mut result = Vec::with_capacity(n);
+        for i in 0..n {
+            let carry_in = if i == 0 {
+                SignalRef::Const(false)
+            } else {
+                g[i - 1]
+            };
+            result.push(self.xor2_fold(half_sum[i], carry_in, module));
+        }
+        result
+    }
+
+    /// `a | (b & c)` with constant folding.
+    fn lut3_or_fold(
+        &mut self,
+        a: SignalRef,
+        b: SignalRef,
+        c: SignalRef,
+        module: Option<ModuleId>,
+    ) -> SignalRef {
+        match (a, b, c) {
+            (SignalRef::Const(true), _, _) => SignalRef::Const(true),
+            (SignalRef::Const(false), b, c) => self.and2_fold(b, c, module),
+            (a, SignalRef::Const(false), _) | (a, _, SignalRef::Const(false)) => a,
+            (a, SignalRef::Const(true), c) => self.or2_fold(a, c, module),
+            (a, b, SignalRef::Const(true)) => self.or2_fold(a, b, module),
+            (a, b, c) => self.lut(
+                TruthTable::from_fn(3, |v| v[0] || (v[1] && v[2])),
+                vec![a, b, c],
+                module,
+            ),
+        }
+    }
+
+    fn and2_fold(&mut self, a: SignalRef, b: SignalRef, module: Option<ModuleId>) -> SignalRef {
+        match (a, b) {
+            (SignalRef::Const(false), _) | (_, SignalRef::Const(false)) => SignalRef::Const(false),
+            (SignalRef::Const(true), x) | (x, SignalRef::Const(true)) => x,
+            (a, b) if a == b => a,
+            (a, b) => self.lut(TruthTable::and(2), vec![a, b], module),
+        }
+    }
+
+    fn or2_fold(&mut self, a: SignalRef, b: SignalRef, module: Option<ModuleId>) -> SignalRef {
+        match (a, b) {
+            (SignalRef::Const(true), _) | (_, SignalRef::Const(true)) => SignalRef::Const(true),
+            (SignalRef::Const(false), x) | (x, SignalRef::Const(false)) => x,
+            (a, b) if a == b => a,
+            (a, b) => self.lut(TruthTable::or(2), vec![a, b], module),
+        }
+    }
+
+    fn xor2_fold(&mut self, a: SignalRef, b: SignalRef, module: Option<ModuleId>) -> SignalRef {
+        match (a, b) {
+            (SignalRef::Const(false), x) | (x, SignalRef::Const(false)) => x,
+            (SignalRef::Const(true), x) | (x, SignalRef::Const(true)) => {
+                self.lut(TruthTable::inverter(), vec![x], module)
+            }
+            (a, b) if a == b => SignalRef::Const(false),
+            (a, b) => self.lut(TruthTable::xor(2), vec![a, b], module),
+        }
+    }
+
+    fn expand_comb(&mut self, id: NodeId) -> Result<(), TechmapError> {
+        let node = self.circuit.node(id);
+        let op = match &node.kind {
+            NodeKind::Comb(op) => op.clone(),
+            _ => return Ok(()),
+        };
+        // Wiring ops carry no module identity; logic ops register one.
+        let module = if op.is_wiring() {
+            None
+        } else {
+            Some(self.net.add_module(node.name.clone()))
+        };
+        let name = node.name.clone();
+        match op {
+            CombOp::Add { width } => {
+                let a = self.input_bits(id, 0);
+                let b = self.input_bits(id, 1);
+                let cin = self.input_bits(id, 2)[0];
+                let (sum, cout) = self.ripple_adder(&a, &b, cin, width, module, false);
+                self.bits.insert((id, 0), sum);
+                self.bits.insert((id, 1), vec![cout]);
+            }
+            CombOp::Sub { width } => {
+                let a = self.input_bits(id, 0);
+                let b = self.input_bits(id, 1);
+                let (diff, cout) =
+                    self.ripple_adder(&a, &b, SignalRef::Const(true), width, module, true);
+                // borrow = NOT carry-out
+                let bout = self.lut(TruthTable::inverter(), vec![cout], module);
+                self.bits.insert((id, 0), diff);
+                self.bits.insert((id, 1), vec![bout]);
+            }
+            CombOp::Mul { width } => {
+                if width > 32 {
+                    return Err(TechmapError::UnsupportedWidth { node: name, width });
+                }
+                let a = self.input_bits(id, 0);
+                let b = self.input_bits(id, 1);
+                let prod = self.multiplier(&a, &b, width, module);
+                self.bits.insert((id, 0), prod);
+            }
+            CombOp::Mux2 { width } => {
+                let a = self.input_bits(id, 0);
+                let b = self.input_bits(id, 1);
+                let sel = self.input_bits(id, 2)[0];
+                let y: Vec<SignalRef> = (0..width as usize)
+                    .map(|i| self.lut(TruthTable::mux2(), vec![a[i], b[i], sel], module))
+                    .collect();
+                self.bits.insert((id, 0), y);
+            }
+            CombOp::MuxN { width, n } => {
+                let sel = self.input_bits(id, n);
+                let data: Vec<Vec<SignalRef>> = (0..n).map(|p| self.input_bits(id, p)).collect();
+                let y = self.mux_tree(&data, &sel, width, module);
+                self.bits.insert((id, 0), y);
+            }
+            CombOp::Eq { width } => {
+                let a = self.input_bits(id, 0);
+                let b = self.input_bits(id, 1);
+                let xnors: Vec<SignalRef> = (0..width as usize)
+                    .map(|i| self.lut(TruthTable::xor(2).complement(), vec![a[i], b[i]], module))
+                    .collect();
+                let y = self.reduce_tree(&xnors, TruthTable::and, module);
+                self.bits.insert((id, 0), vec![y]);
+            }
+            CombOp::Lt { width } => {
+                let a = self.input_bits(id, 0);
+                let b = self.input_bits(id, 1);
+                // lt_i = (!a & b) | ((a XNOR b) & lt_{i-1}), ripple from LSB.
+                let cell = TruthTable::from_fn(3, |v| {
+                    let (ai, bi, lt) = (v[0], v[1], v[2]);
+                    (!ai && bi) || ((ai == bi) && lt)
+                });
+                let mut lt = SignalRef::Const(false);
+                for i in 0..width as usize {
+                    lt = self.lut(cell, vec![a[i], b[i], lt], module);
+                }
+                self.bits.insert((id, 0), vec![lt]);
+            }
+            CombOp::And { width } | CombOp::Or { width } | CombOp::Xor { width } => {
+                let table = match op {
+                    CombOp::And { .. } => TruthTable::and(2),
+                    CombOp::Or { .. } => TruthTable::or(2),
+                    _ => TruthTable::xor(2),
+                };
+                let a = self.input_bits(id, 0);
+                let b = self.input_bits(id, 1);
+                let y: Vec<SignalRef> = (0..width as usize)
+                    .map(|i| self.lut(table, vec![a[i], b[i]], module))
+                    .collect();
+                self.bits.insert((id, 0), y);
+            }
+            CombOp::Not { width } => {
+                let a = self.input_bits(id, 0);
+                let y: Vec<SignalRef> = (0..width as usize)
+                    .map(|i| self.lut(TruthTable::inverter(), vec![a[i]], module))
+                    .collect();
+                self.bits.insert((id, 0), y);
+            }
+            CombOp::ReduceAnd { .. } => {
+                let a = self.input_bits(id, 0);
+                let y = self.reduce_tree(&a, TruthTable::and, module);
+                self.bits.insert((id, 0), vec![y]);
+            }
+            CombOp::ReduceOr { .. } => {
+                let a = self.input_bits(id, 0);
+                let y = self.reduce_tree(&a, TruthTable::or, module);
+                self.bits.insert((id, 0), vec![y]);
+            }
+            CombOp::ReduceXor { .. } => {
+                let a = self.input_bits(id, 0);
+                let y = self.reduce_tree(&a, TruthTable::xor, module);
+                self.bits.insert((id, 0), vec![y]);
+            }
+            CombOp::Shl { width, amount } => {
+                let a = self.input_bits(id, 0);
+                let y: Vec<SignalRef> = (0..width)
+                    .map(|i| {
+                        if i >= amount {
+                            a[(i - amount) as usize]
+                        } else {
+                            SignalRef::Const(false)
+                        }
+                    })
+                    .collect();
+                self.bits.insert((id, 0), y);
+            }
+            CombOp::Shr { width, amount } => {
+                let a = self.input_bits(id, 0);
+                let y: Vec<SignalRef> = (0..width)
+                    .map(|i| {
+                        let src = i + amount;
+                        if src < width {
+                            a[src as usize]
+                        } else {
+                            SignalRef::Const(false)
+                        }
+                    })
+                    .collect();
+                self.bits.insert((id, 0), y);
+            }
+            CombOp::Const { width, value } => {
+                let y: Vec<SignalRef> = (0..width)
+                    .map(|b| SignalRef::Const((value >> b) & 1 == 1))
+                    .collect();
+                self.bits.insert((id, 0), y);
+            }
+            CombOp::Lut { truth } => {
+                if truth.num_inputs() > self.m {
+                    return Err(TechmapError::LogicTooWide {
+                        node: name,
+                        required: truth.num_inputs(),
+                        available: self.m,
+                    });
+                }
+                let inputs: Vec<SignalRef> = (0..truth.num_inputs())
+                    .map(|p| self.input_bits(id, p)[0])
+                    .collect();
+                let y = self.lut(truth, inputs, module);
+                self.bits.insert((id, 0), vec![y]);
+            }
+            CombOp::Gate { kind, n } => {
+                let inputs: Vec<SignalRef> = (0..n).map(|p| self.input_bits(id, p)[0]).collect();
+                let y = self.gate_tree(kind, &inputs, module, &name)?;
+                self.bits.insert((id, 0), vec![y]);
+            }
+            CombOp::Slice { lo, out_width, .. } => {
+                let a = self.input_bits(id, 0);
+                let y: Vec<SignalRef> = (0..out_width).map(|i| a[(lo + i) as usize]).collect();
+                self.bits.insert((id, 0), y);
+            }
+            CombOp::Concat { widths } => {
+                let mut y = Vec::new();
+                for (p, _) in widths.iter().enumerate() {
+                    y.extend(self.input_bits(id, p as u32));
+                }
+                self.bits.insert((id, 0), y);
+            }
+        }
+        Ok(())
+    }
+
+    /// Ripple-carry adder; `invert_b` folds `~b` into the cell functions
+    /// (used by the subtractor). Returns (sum bits, carry out).
+    fn ripple_adder(
+        &mut self,
+        a: &[SignalRef],
+        b: &[SignalRef],
+        cin: SignalRef,
+        width: u32,
+        module: Option<ModuleId>,
+        invert_b: bool,
+    ) -> (Vec<SignalRef>, SignalRef) {
+        let sum_cell = if invert_b {
+            TruthTable::from_fn(3, |v| v[0] ^ !v[1] ^ v[2])
+        } else {
+            TruthTable::full_adder_sum()
+        };
+        let carry_cell = if invert_b {
+            #[allow(clippy::nonminimal_bool)] // majority reads clearest in full
+            TruthTable::from_fn(3, |v| {
+                let b = !v[1];
+                (v[0] && b) || (v[0] && v[2]) || (b && v[2])
+            })
+        } else {
+            TruthTable::full_adder_carry()
+        };
+        let mut carry = cin;
+        let mut sum = Vec::with_capacity(width as usize);
+        for i in 0..width as usize {
+            let s = self.lut(sum_cell, vec![a[i], b[i], carry], module);
+            let c = self.lut(carry_cell, vec![a[i], b[i], carry], module);
+            sum.push(s);
+            carry = c;
+        }
+        (sum, carry)
+    }
+
+    /// A full-adder cell with constant folding. Returns `(sum, carry)`;
+    /// constant or pass-through results emit no LUTs.
+    fn fa_cell(
+        &mut self,
+        x: SignalRef,
+        y: SignalRef,
+        z: SignalRef,
+        module: Option<ModuleId>,
+    ) -> (SignalRef, SignalRef) {
+        let mut signals = Vec::new();
+        let mut ones = 0u32;
+        for s in [x, y, z] {
+            match s {
+                SignalRef::Const(true) => ones += 1,
+                SignalRef::Const(false) => {}
+                other => signals.push(other),
+            }
+        }
+        match (signals.len(), ones) {
+            (0, n) => (SignalRef::Const(n % 2 == 1), SignalRef::Const(n >= 2)),
+            (1, 0) => (signals[0], SignalRef::Const(false)),
+            (1, 1) => (
+                self.lut(TruthTable::inverter(), vec![signals[0]], module),
+                signals[0],
+            ),
+            (1, 2) => (signals[0], SignalRef::Const(true)),
+            (2, 0) => (
+                self.lut(TruthTable::xor(2), signals.clone(), module),
+                self.lut(TruthTable::and(2), signals, module),
+            ),
+            (2, 1) => (
+                self.lut(TruthTable::xor(2).complement(), signals.clone(), module),
+                self.lut(TruthTable::or(2), signals, module),
+            ),
+            (3, 0) => (
+                self.lut(TruthTable::full_adder_sum(), signals.clone(), module),
+                self.lut(TruthTable::full_adder_carry(), signals, module),
+            ),
+            _ => unreachable!("at most 3 inputs"),
+        }
+    }
+
+    /// Unsigned carry-save array multiplier: a partial-product AND plane,
+    /// one carry-save adder row per multiplier bit, and a final ripple
+    /// (vector-merge) adder — the classic array structure whose critical
+    /// path is about `2*width - 1` cells (paper: 38 LUTs / depth 7 at 4
+    /// bits). Product has `2 * width` bits.
+    fn array_multiplier(
+        &mut self,
+        a: &[SignalRef],
+        b: &[SignalRef],
+        width: u32,
+        module: Option<ModuleId>,
+    ) -> Vec<SignalRef> {
+        let w = width as usize;
+        // Partial products pp[i][j] = a[j] AND b[i] at bit position i + j.
+        let pp: Vec<Vec<SignalRef>> = (0..w)
+            .map(|i| {
+                (0..w)
+                    .map(|j| self.lut(TruthTable::and(2), vec![a[j], b[i]], module))
+                    .collect()
+            })
+            .collect();
+        // Carry-save rows: S and C vectors over 2w bit positions.
+        let mut s = vec![SignalRef::Const(false); 2 * w];
+        let mut c = vec![SignalRef::Const(false); 2 * w];
+        s[..w].copy_from_slice(&pp[0]);
+        for (i, row) in pp.iter().enumerate().skip(1) {
+            let mut new_c = vec![SignalRef::Const(false); 2 * w];
+            for pos in i..(i + w + 1).min(2 * w) {
+                let addend = if pos >= i && pos < i + w {
+                    row[pos - i]
+                } else {
+                    SignalRef::Const(false)
+                };
+                let (sum, carry) = self.fa_cell(s[pos], c[pos], addend, module);
+                s[pos] = sum;
+                if pos + 1 < 2 * w {
+                    new_c[pos + 1] = carry;
+                }
+            }
+            c = new_c;
+        }
+        // Vector merge: ripple-add the remaining carries into S.
+        let mut ripple = SignalRef::Const(false);
+        for pos in 0..2 * w {
+            let (sum, carry) = self.fa_cell(s[pos], c[pos], ripple, module);
+            s[pos] = sum;
+            ripple = carry;
+        }
+        s
+    }
+
+    /// Binary 2:1-mux tree over `n` data buses using the select bits.
+    fn mux_tree(
+        &mut self,
+        data: &[Vec<SignalRef>],
+        sel: &[SignalRef],
+        width: u32,
+        module: Option<ModuleId>,
+    ) -> Vec<SignalRef> {
+        let mut level: Vec<Vec<SignalRef>> = data.to_vec();
+        let mut sel_idx = 0;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let s = sel[sel_idx.min(sel.len() - 1)];
+            let mut iter = level.chunks(2);
+            for pair in iter.by_ref() {
+                if pair.len() == 2 {
+                    let merged: Vec<SignalRef> = (0..width as usize)
+                        .map(|bit| {
+                            self.lut(
+                                TruthTable::mux2(),
+                                vec![pair[0][bit], pair[1][bit], s],
+                                module,
+                            )
+                        })
+                        .collect();
+                    next.push(merged);
+                } else {
+                    next.push(pair[0].clone());
+                }
+            }
+            level = next;
+            sel_idx += 1;
+        }
+        level.pop().expect("at least one data input")
+    }
+
+    /// m-ary reduction tree with the given associative cell generator.
+    fn reduce_tree(
+        &mut self,
+        bits: &[SignalRef],
+        cell: fn(u32) -> TruthTable,
+        module: Option<ModuleId>,
+    ) -> SignalRef {
+        if bits.is_empty() {
+            // Empty AND is true, empty OR/XOR are false; AND(0) == const 1.
+            return SignalRef::Const(cell(0).eval(&[]));
+        }
+        let mut level: Vec<SignalRef> = bits.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(self.m as usize));
+            for chunk in level.chunks(self.m as usize) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    next.push(self.lut(cell(chunk.len() as u32), chunk.to_vec(), module));
+                }
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// Expands a wide primitive gate into an m-ary tree (associative kinds)
+    /// or a single LUT.
+    fn gate_tree(
+        &mut self,
+        kind: nanomap_netlist::gate::GateKind,
+        inputs: &[SignalRef],
+        module: Option<ModuleId>,
+        name: &str,
+    ) -> Result<SignalRef, TechmapError> {
+        use nanomap_netlist::gate::GateKind as G;
+        let n = inputs.len() as u32;
+        if n <= self.m {
+            let table = TruthTable::from_fn(n, |bits| kind.eval(bits));
+            return Ok(self.lut(table, inputs.to_vec(), module));
+        }
+        // Decompose: inner tree of the associative base op, outer inversion
+        // for the negated kinds.
+        let (base, invert): (fn(u32) -> TruthTable, bool) = match kind {
+            G::And => (TruthTable::and, false),
+            G::Nand => (TruthTable::and, true),
+            G::Or => (TruthTable::or, false),
+            G::Nor => (TruthTable::or, true),
+            G::Xor => (TruthTable::xor, false),
+            G::Xnor => (TruthTable::xor, true),
+            G::Not | G::Buf => {
+                return Err(TechmapError::LogicTooWide {
+                    node: name.to_string(),
+                    required: n,
+                    available: self.m,
+                })
+            }
+        };
+        let reduced = self.reduce_tree(inputs, base, module);
+        Ok(if invert {
+            self.lut(TruthTable::inverter(), vec![reduced], module)
+        } else {
+            reduced
+        })
+    }
+}
+
+/// Recomputes `depth_in_module` for every LUT with an origin: 1 plus the
+/// maximum depth of same-module LUT fanins.
+fn finalize_module_depths(net: &mut LutNetwork) {
+    let order = net.topo_order().expect("expansion emits acyclic networks");
+    let mut depth: Vec<u32> = vec![0; net.num_luts()];
+    let mut updates: Vec<(usize, u32)> = Vec::new();
+    for id in order {
+        let lut = net.lut(id);
+        let Some(origin) = lut.origin else { continue };
+        let d = 1 + lut
+            .inputs
+            .iter()
+            .filter_map(|s| match s {
+                SignalRef::Lut(l)
+                    if net.lut(*l).origin.map(|o| o.module) == Some(origin.module) =>
+                {
+                    Some(depth[l.index()])
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        depth[id.index()] = d;
+        updates.push((id.index(), d));
+    }
+    for (idx, d) in updates {
+        // Safe: we only touch origin depth, never structure.
+        set_origin_depth(net, idx, d);
+    }
+}
+
+fn set_origin_depth(net: &mut LutNetwork, idx: usize, depth: u32) {
+    // LutNetwork has no mutable accessor for origins by design; rebuild the
+    // origin through a small internal helper.
+    net.set_lut_origin_depth(nanomap_netlist::LutId::new(idx), depth);
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // bit loops mirror the hardware indexing
+mod tests {
+    use super::*;
+    use nanomap_netlist::rtl::RtlBuilder;
+    use nanomap_netlist::LutSimulator;
+
+    fn build_adder(width: u32) -> RtlCircuit {
+        let mut b = RtlBuilder::new("adder");
+        let a = b.input("a", width);
+        let bb = b.input("b", width);
+        let cin = b.input("cin", 1);
+        let add = b.comb("add", CombOp::Add { width });
+        b.connect(a, 0, add, 0).unwrap();
+        b.connect(bb, 0, add, 1).unwrap();
+        b.connect(cin, 0, add, 2).unwrap();
+        let sum = b.output("sum", width);
+        let cout = b.output("cout", 1);
+        b.connect(add, 0, sum, 0).unwrap();
+        b.connect(add, 1, cout, 0).unwrap();
+        b.finish().unwrap()
+    }
+
+    /// Exhaustive check: mapped adder equals RTL adder.
+    #[test]
+    fn adder_matches_reference() {
+        let circuit = build_adder(4);
+        let net = expand(&circuit, ExpandOptions::default()).unwrap();
+        let mut sim = LutSimulator::new(&net).unwrap();
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                for cin in 0u64..2 {
+                    let mut inputs = vec![false; net.num_inputs()];
+                    // input order: a[0..4], b[0..4], cin
+                    for bit in 0..4 {
+                        inputs[bit] = (a >> bit) & 1 == 1;
+                        inputs[4 + bit] = (b >> bit) & 1 == 1;
+                    }
+                    inputs[8] = cin == 1;
+                    sim.set_inputs(&inputs);
+                    sim.eval_comb();
+                    let outs = sim.outputs();
+                    let mut sum = 0u64;
+                    for bit in 0..4 {
+                        if outs[bit] {
+                            sum |= 1 << bit;
+                        }
+                    }
+                    let carry = outs[4];
+                    let expected = a + b + cin;
+                    assert_eq!(sum, expected & 0xF, "a={a} b={b} cin={cin}");
+                    assert_eq!(carry, expected >> 4 == 1);
+                }
+            }
+        }
+    }
+
+    /// Paper, Section 3: a 4-bit ripple-carry adder occupies 8 LUTs with
+    /// logic depth 4.
+    #[test]
+    fn adder_matches_paper_footprint() {
+        let net = expand(&build_adder(4), ExpandOptions::default()).unwrap();
+        assert_eq!(net.num_luts(), 8);
+        assert_eq!(net.lut_depths().unwrap().1, 4);
+    }
+
+    fn build_multiplier(width: u32) -> RtlCircuit {
+        let mut b = RtlBuilder::new("mult");
+        let a = b.input("a", width);
+        let bb = b.input("b", width);
+        let mul = b.comb("mul", CombOp::Mul { width });
+        b.connect(a, 0, mul, 0).unwrap();
+        b.connect(bb, 0, mul, 1).unwrap();
+        let y = b.output("y", 2 * width);
+        b.connect(mul, 0, y, 0).unwrap();
+        b.finish().unwrap()
+    }
+
+    /// Exhaustive check for the 4-bit array multiplier.
+    #[test]
+    fn multiplier_matches_reference() {
+        let circuit = build_multiplier(4);
+        let net = expand(&circuit, ExpandOptions::default()).unwrap();
+        let mut sim = LutSimulator::new(&net).unwrap();
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                let mut inputs = vec![false; net.num_inputs()];
+                for bit in 0..4 {
+                    inputs[bit] = (a >> bit) & 1 == 1;
+                    inputs[4 + bit] = (b >> bit) & 1 == 1;
+                }
+                sim.set_inputs(&inputs);
+                sim.eval_comb();
+                let outs = sim.outputs();
+                let mut prod = 0u64;
+                for (bit, &o) in outs.iter().enumerate() {
+                    if o {
+                        prod |= 1 << bit;
+                    }
+                }
+                assert_eq!(prod, a * b, "a={a} b={b}");
+            }
+        }
+    }
+
+    /// Paper, Section 3: the 4-bit parallel multiplier is 38 LUTs, depth 7.
+    /// Our array structure lands within a few LUTs and exactly on depth.
+    #[test]
+    fn multiplier_near_paper_footprint() {
+        let net = expand(&build_multiplier(4), ExpandOptions::default()).unwrap();
+        let luts = net.num_luts();
+        assert!(
+            (34..=46).contains(&luts),
+            "4-bit multiplier should be close to the paper's 38 LUTs, got {luts}"
+        );
+        let depth = net.lut_depths().unwrap().1;
+        assert!(
+            (7..=9).contains(&depth),
+            "depth should be close to the paper's 7, got {depth}"
+        );
+    }
+
+    #[test]
+    fn subtractor_matches_reference() {
+        let mut b = RtlBuilder::new("sub");
+        let a = b.input("a", 4);
+        let bb = b.input("b", 4);
+        let sub = b.comb("sub", CombOp::Sub { width: 4 });
+        b.connect(a, 0, sub, 0).unwrap();
+        b.connect(bb, 0, sub, 1).unwrap();
+        let diff = b.output("diff", 4);
+        let bout = b.output("bout", 1);
+        b.connect(sub, 0, diff, 0).unwrap();
+        b.connect(sub, 1, bout, 0).unwrap();
+        let circuit = b.finish().unwrap();
+        let net = expand(&circuit, ExpandOptions::default()).unwrap();
+        let mut sim = LutSimulator::new(&net).unwrap();
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                let mut inputs = vec![false; net.num_inputs()];
+                for bit in 0..4 {
+                    inputs[bit] = (a >> bit) & 1 == 1;
+                    inputs[4 + bit] = (b >> bit) & 1 == 1;
+                }
+                sim.set_inputs(&inputs);
+                sim.eval_comb();
+                let outs = sim.outputs();
+                let mut d = 0u64;
+                for bit in 0..4 {
+                    if outs[bit] {
+                        d |= 1 << bit;
+                    }
+                }
+                assert_eq!(d, a.wrapping_sub(b) & 0xF, "a={a} b={b}");
+                assert_eq!(outs[4], a < b, "borrow a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparators_match_reference() {
+        let mut b = RtlBuilder::new("cmp");
+        let a = b.input("a", 3);
+        let bb = b.input("b", 3);
+        let eq = b.comb("eq", CombOp::Eq { width: 3 });
+        let lt = b.comb("lt", CombOp::Lt { width: 3 });
+        b.connect(a, 0, eq, 0).unwrap();
+        b.connect(bb, 0, eq, 1).unwrap();
+        b.connect(a, 0, lt, 0).unwrap();
+        b.connect(bb, 0, lt, 1).unwrap();
+        let ye = b.output("ye", 1);
+        let yl = b.output("yl", 1);
+        b.connect(eq, 0, ye, 0).unwrap();
+        b.connect(lt, 0, yl, 0).unwrap();
+        let circuit = b.finish().unwrap();
+        let net = expand(&circuit, ExpandOptions::default()).unwrap();
+        let mut sim = LutSimulator::new(&net).unwrap();
+        for a in 0u64..8 {
+            for b in 0u64..8 {
+                let mut inputs = vec![false; 6];
+                for bit in 0..3 {
+                    inputs[bit] = (a >> bit) & 1 == 1;
+                    inputs[3 + bit] = (b >> bit) & 1 == 1;
+                }
+                sim.set_inputs(&inputs);
+                sim.eval_comb();
+                let outs = sim.outputs();
+                assert_eq!(outs[0], a == b);
+                assert_eq!(outs[1], a < b);
+            }
+        }
+    }
+
+    #[test]
+    fn muxn_matches_reference() {
+        let mut b = RtlBuilder::new("m");
+        let d0 = b.input("d0", 2);
+        let d1 = b.input("d1", 2);
+        let d2 = b.input("d2", 2);
+        let sel = b.input("sel", 2);
+        let mux = b.comb("mux", CombOp::MuxN { width: 2, n: 3 });
+        b.connect(d0, 0, mux, 0).unwrap();
+        b.connect(d1, 0, mux, 1).unwrap();
+        b.connect(d2, 0, mux, 2).unwrap();
+        b.connect(sel, 0, mux, 3).unwrap();
+        let y = b.output("y", 2);
+        b.connect(mux, 0, y, 0).unwrap();
+        let circuit = b.finish().unwrap();
+        let net = expand(&circuit, ExpandOptions::default()).unwrap();
+        let mut sim = LutSimulator::new(&net).unwrap();
+        // d0=1, d1=2, d2=3
+        let base = [true, false, false, true, true, true];
+        for s in 0u64..3 {
+            let mut inputs = base.to_vec();
+            inputs.push(s & 1 == 1);
+            inputs.push(s >> 1 & 1 == 1);
+            sim.set_inputs(&inputs);
+            sim.eval_comb();
+            let outs = sim.outputs();
+            let y = u64::from(outs[0]) | (u64::from(outs[1]) << 1);
+            assert_eq!(y, s + 1, "sel={s}");
+        }
+    }
+
+    #[test]
+    fn shifts_are_pure_wiring() {
+        let mut b = RtlBuilder::new("s");
+        let a = b.input("a", 4);
+        let shl = b.comb(
+            "shl",
+            CombOp::Shl {
+                width: 4,
+                amount: 1,
+            },
+        );
+        b.connect(a, 0, shl, 0).unwrap();
+        let y = b.output("y", 4);
+        b.connect(shl, 0, y, 0).unwrap();
+        let circuit = b.finish().unwrap();
+        let net = expand(&circuit, ExpandOptions::default()).unwrap();
+        assert_eq!(net.num_luts(), 0);
+    }
+
+    #[test]
+    fn origins_record_module_and_depth() {
+        let net = expand(&build_adder(4), ExpandOptions::default()).unwrap();
+        assert_eq!(net.num_modules(), 1);
+        let max_depth = net
+            .luts()
+            .filter_map(|(_, l)| l.origin.map(|o| o.depth_in_module))
+            .max()
+            .unwrap();
+        assert_eq!(max_depth, 4);
+        for (_, lut) in net.luts() {
+            let o = lut.origin.expect("all adder LUTs have origins");
+            assert!(o.depth_in_module >= 1);
+            assert_eq!(net.module_name(o.module), "add");
+        }
+    }
+
+    #[test]
+    fn sequential_expansion_preserves_behaviour() {
+        // 4-bit counter at RTL vs mapped network.
+        let mut b = RtlBuilder::new("counter");
+        let acc = b.register("acc", 4);
+        let one = b.constant("one", 4, 1);
+        let gnd = b.constant("gnd", 1, 0);
+        let add = b.comb("add", CombOp::Add { width: 4 });
+        b.connect(acc, 0, add, 0).unwrap();
+        b.connect(one, 0, add, 1).unwrap();
+        b.connect(gnd, 0, add, 2).unwrap();
+        b.connect(add, 0, acc, 0).unwrap();
+        let y = b.output("y", 4);
+        b.connect(acc, 0, y, 0).unwrap();
+        let circuit = b.finish().unwrap();
+        let net = expand(&circuit, ExpandOptions::default()).unwrap();
+        assert_eq!(net.num_ffs(), 4);
+        let mut sim = LutSimulator::new(&net).unwrap();
+        for step in 0..20u64 {
+            sim.eval_comb();
+            let outs = sim.outputs();
+            let mut y = 0u64;
+            for bit in 0..4 {
+                if outs[bit] {
+                    y |= 1 << bit;
+                }
+            }
+            assert_eq!(y, step % 16);
+            sim.step();
+        }
+    }
+
+    #[test]
+    fn too_wide_logic_rejected() {
+        let mut b = RtlBuilder::new("w");
+        let inputs: Vec<_> = (0..5).map(|i| b.input(&format!("i{i}"), 1)).collect();
+        let lut = b.lut("big", TruthTable::and(5));
+        for (p, &i) in inputs.iter().enumerate() {
+            b.connect(i, 0, lut, p as u32).unwrap();
+        }
+        let y = b.output("y", 1);
+        b.connect(lut, 0, y, 0).unwrap();
+        let circuit = b.finish().unwrap();
+        let err = expand(&circuit, ExpandOptions::default()).unwrap_err();
+        assert!(matches!(err, TechmapError::LogicTooWide { .. }));
+        // ...but a 5-input LUT architecture accepts it.
+        assert!(expand(
+            &circuit,
+            ExpandOptions {
+                lut_inputs: 5,
+                ..ExpandOptions::default()
+            }
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn bad_lut_size_rejected() {
+        let circuit = build_adder(2);
+        assert!(matches!(
+            expand(
+                &circuit,
+                ExpandOptions {
+                    lut_inputs: 1,
+                    ..ExpandOptions::default()
+                }
+            ),
+            Err(TechmapError::BadLutSize(1))
+        ));
+        assert!(matches!(
+            expand(
+                &circuit,
+                ExpandOptions {
+                    lut_inputs: 7,
+                    ..ExpandOptions::default()
+                }
+            ),
+            Err(TechmapError::BadLutSize(7))
+        ));
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // bit loops mirror the hardware indexing
+mod wallace_tests {
+    use super::*;
+    use nanomap_netlist::rtl::RtlBuilder;
+    use nanomap_netlist::LutSimulator;
+
+    fn mult_circuit(width: u32) -> RtlCircuit {
+        let mut b = RtlBuilder::new("m");
+        let a = b.input("a", width);
+        let bb = b.input("b", width);
+        let mul = b.comb("mul", CombOp::Mul { width });
+        b.connect(a, 0, mul, 0).unwrap();
+        b.connect(bb, 0, mul, 1).unwrap();
+        let y = b.output("y", 2 * width);
+        b.connect(mul, 0, y, 0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn wallace_multiplier_matches_reference() {
+        let circuit = mult_circuit(4);
+        let net = expand(
+            &circuit,
+            ExpandOptions {
+                multiplier: MultiplierStyle::Wallace,
+                ..ExpandOptions::default()
+            },
+        )
+        .unwrap();
+        let mut sim = LutSimulator::new(&net).unwrap();
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                let mut inputs = vec![false; net.num_inputs()];
+                for bit in 0..4 {
+                    inputs[bit] = (a >> bit) & 1 == 1;
+                    inputs[4 + bit] = (b >> bit) & 1 == 1;
+                }
+                sim.set_inputs(&inputs);
+                sim.eval_comb();
+                let mut prod = 0u64;
+                for (bit, &o) in sim.outputs().iter().enumerate() {
+                    if o {
+                        prod |= 1 << bit;
+                    }
+                }
+                assert_eq!(prod, a * b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wallace_is_shallower_at_width() {
+        for width in [8u32, 12, 16] {
+            let circuit = mult_circuit(width);
+            let csa = expand(&circuit, ExpandOptions::default()).unwrap();
+            let wallace = expand(
+                &circuit,
+                ExpandOptions {
+                    multiplier: MultiplierStyle::Wallace,
+                    ..ExpandOptions::default()
+                },
+            )
+            .unwrap();
+            let csa_depth = csa.lut_depths().unwrap().1;
+            let wallace_depth = wallace.lut_depths().unwrap().1;
+            assert!(
+                wallace_depth < csa_depth,
+                "w={width}: wallace {wallace_depth} !< csa {csa_depth}"
+            );
+            // LUT costs stay in the same ballpark.
+            assert!(wallace.num_luts() < csa.num_luts() * 2);
+        }
+    }
+
+    #[test]
+    fn wallace_random_vectors_at_width8() {
+        let circuit = mult_circuit(8);
+        let net = expand(
+            &circuit,
+            ExpandOptions {
+                multiplier: MultiplierStyle::Wallace,
+                ..ExpandOptions::default()
+            },
+        )
+        .unwrap();
+        let report = crate::verify_equivalence(&circuit, &net, 200, 0xD1CE).expect("simulates");
+        assert!(report.is_equivalent(), "{:?}", report.mismatch);
+    }
+}

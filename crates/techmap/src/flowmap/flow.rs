@@ -1,0 +1,225 @@
+//! Minimal max-flow solver for FlowMap's K-feasible-cut computation.
+//!
+//! FlowMap only needs to distinguish "max-flow <= k" from "> k", so the
+//! solver runs BFS augmenting paths (Edmonds–Karp over a residual graph
+//! whose finite capacities are all 1) and stops as soon as the flow exceeds
+//! the bound.
+
+/// A directed edge with residual bookkeeping. Flow may go negative on
+/// reverse edges, hence the signed type.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    to: usize,
+    cap: i64,
+    flow: i64,
+    /// Index of the reverse edge in `graph.edges`.
+    rev: usize,
+}
+
+impl Edge {
+    #[inline]
+    fn residual(&self) -> i64 {
+        self.cap - self.flow
+    }
+}
+
+/// A unit-capacity flow network.
+#[derive(Debug, Default)]
+pub(crate) struct FlowGraph {
+    adj: Vec<Vec<usize>>,
+    edges: Vec<Edge>,
+}
+
+/// Sentinel for "infinite" capacity.
+pub(crate) const INF: i64 = i64::MAX / 4;
+
+impl FlowGraph {
+    /// Creates a graph with `n` nodes.
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a directed edge with the given capacity.
+    pub(crate) fn add_edge(&mut self, from: usize, to: usize, cap: i64) {
+        let fwd = self.edges.len();
+        self.edges.push(Edge {
+            to,
+            cap,
+            flow: 0,
+            rev: fwd + 1,
+        });
+        self.edges.push(Edge {
+            to: from,
+            cap: 0,
+            flow: 0,
+            rev: fwd,
+        });
+        self.adj[from].push(fwd);
+        self.adj[to].push(fwd + 1);
+    }
+
+    /// Computes max flow from `s` to `t`, stopping early once the flow
+    /// exceeds `bound`. Returns the achieved flow (which may be `bound + 1`
+    /// when the true flow is larger).
+    pub(crate) fn max_flow_bounded(&mut self, s: usize, t: usize, bound: i64) -> i64 {
+        let mut flow = 0;
+        while flow <= bound {
+            // BFS for an augmenting path in the residual graph.
+            let mut parent_edge = vec![usize::MAX; self.adj.len()];
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(s);
+            let mut seen = vec![false; self.adj.len()];
+            seen[s] = true;
+            'bfs: while let Some(u) = queue.pop_front() {
+                for &ei in &self.adj[u] {
+                    let e = self.edges[ei];
+                    if !seen[e.to] && e.residual() > 0 {
+                        seen[e.to] = true;
+                        parent_edge[e.to] = ei;
+                        if e.to == t {
+                            break 'bfs;
+                        }
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if !seen[t] {
+                break;
+            }
+            // Augment by 1 (every finite capacity is 1).
+            let mut v = t;
+            while v != s {
+                let ei = parent_edge[v];
+                self.edges[ei].flow += 1;
+                let rev = self.edges[ei].rev;
+                self.edges[rev].flow -= 1;
+                v = self.edges[rev].to;
+            }
+            flow += 1;
+        }
+        flow
+    }
+
+    /// Nodes reachable from `s` in the residual graph (valid after
+    /// [`Self::max_flow_bounded`] completed without hitting the bound).
+    pub(crate) fn residual_reachable(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(u) = stack.pop() {
+            for &ei in &self.adj[u] {
+                let e = self.edges[ei];
+                if e.residual() > 0 && !seen[e.to] {
+                    seen[e.to] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_unit_path() {
+        // s -> a -> t
+        let mut g = FlowGraph::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        assert_eq!(g.max_flow_bounded(0, 2, 10), 1);
+    }
+
+    #[test]
+    fn parallel_paths() {
+        // s -> {a,b,c} -> t with unit caps: flow 3
+        let mut g = FlowGraph::new(5);
+        for node in 1..=3 {
+            g.add_edge(0, node, 1);
+            g.add_edge(node, 4, 1);
+        }
+        assert_eq!(g.max_flow_bounded(0, 4, 10), 3);
+    }
+
+    #[test]
+    fn bound_stops_early() {
+        let mut g = FlowGraph::new(6);
+        for node in 1..=4 {
+            g.add_edge(0, node, 1);
+            g.add_edge(node, 5, 1);
+        }
+        // True flow 4; bound 2 means we stop at 3.
+        assert_eq!(g.max_flow_bounded(0, 5, 2), 3);
+    }
+
+    #[test]
+    fn bottleneck_respected() {
+        // s -> a (inf), a -> b (1), b -> t (inf): flow 1.
+        let mut g = FlowGraph::new(4);
+        g.add_edge(0, 1, INF);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 3, INF);
+        assert_eq!(g.max_flow_bounded(0, 3, 10), 1);
+    }
+
+    #[test]
+    fn min_cut_via_residual_reachability() {
+        // Classic: cut should be the middle unit edge.
+        let mut g = FlowGraph::new(4);
+        g.add_edge(0, 1, INF);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 3, INF);
+        g.max_flow_bounded(0, 3, 10);
+        let reach = g.residual_reachable(0);
+        assert!(reach[0] && reach[1]);
+        assert!(!reach[2] && !reach[3]);
+    }
+
+    #[test]
+    fn residual_allows_flow_reversal() {
+        // A graph where Edmonds-Karp must cancel flow: the famous
+        // "cross edge" diamond.
+        //      s(0)
+        //     /    \
+        //   a(1)   b(2)
+        //    | \    |
+        //    |  \   |
+        //   c(3) \ d(4)
+        //     \   X  /
+        //      t(5)
+        // Edges: s->a, s->b, a->c, a->d, b->d, c->t, d->t, all cap 1.
+        // Max flow 2, and a greedy path s->a->d->t would block s->b->d->t
+        // without residual reversal.
+        let mut g = FlowGraph::new(6);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 2, 1);
+        g.add_edge(1, 4, 1); // a->d FIRST so BFS prefers it
+        g.add_edge(1, 3, 1);
+        g.add_edge(2, 4, 1);
+        g.add_edge(3, 5, 1);
+        g.add_edge(4, 5, 1);
+        assert_eq!(g.max_flow_bounded(0, 5, 10), 2);
+    }
+
+    #[test]
+    fn cut_after_reversal_is_consistent() {
+        let mut g = FlowGraph::new(6);
+        g.add_edge(0, 1, INF);
+        g.add_edge(0, 2, INF);
+        g.add_edge(1, 3, 1);
+        g.add_edge(2, 3, 1);
+        g.add_edge(3, 4, 1);
+        g.add_edge(3, 5, 0);
+        g.add_edge(4, 5, INF);
+        // 3->4 is the single bottleneck.
+        assert_eq!(g.max_flow_bounded(0, 5, 10), 1);
+        let reach = g.residual_reachable(0);
+        assert!(reach[3]);
+        assert!(!reach[4] && !reach[5]);
+    }
+}

@@ -1,0 +1,584 @@
+//! FlowMap: depth-optimal technology mapping for k-LUT architectures.
+//!
+//! Implements the algorithm of Cong and Ding (*FlowMap: an optimal
+//! technology mapping algorithm for delay optimization in lookup-table
+//! based FPGA designs*, IEEE TCAD 13(1), 1994 — reference \[14\] of the
+//! NanoMap paper). The two phases are:
+//!
+//! 1. **Labeling** — in topological order, compute for every node `t` the
+//!    minimum LUT depth `l(t)`. With `p` the maximum fanin label, `l(t)`
+//!    is `p` iff the fanin cone of `t`, with all label-`p` nodes collapsed
+//!    into `t`, has a K-feasible cut (max-flow ≤ k); otherwise `p + 1`.
+//! 2. **Mapping** — walking from the outputs, realize each needed node as
+//!    one LUT whose inputs are its stored min-cut, enumerating the cone
+//!    between cut and node to derive the truth table.
+//!
+//! The input network must be k-bounded; [`decompose`] rewrites arbitrary
+//! fanin gates into two-input form first.
+
+mod flow;
+
+use std::collections::HashMap;
+
+use nanomap_netlist::gate::{GateKind, GateNetwork, GateSignal};
+use nanomap_netlist::{GateId, LutNetwork, SignalRef, TruthTable};
+
+use crate::error::TechmapError;
+use flow::{FlowGraph, INF};
+
+/// Options for FlowMap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowMapOptions {
+    /// LUT input count `k`.
+    pub lut_inputs: u32,
+}
+
+impl Default for FlowMapOptions {
+    fn default() -> Self {
+        Self { lut_inputs: 4 }
+    }
+}
+
+/// The result of mapping: the LUT network plus per-output depth labels.
+#[derive(Debug)]
+pub struct FlowMapResult {
+    /// The mapped network.
+    pub network: LutNetwork,
+    /// The depth label of every original gate (LUT depth at that point).
+    pub labels: Vec<u32>,
+    /// The maximum label over all primary outputs (the mapped depth).
+    pub depth: u32,
+}
+
+/// Rewrites a network so no gate has more than two inputs.
+///
+/// `And`/`Or`/`Xor` chains decompose associatively; `Nand`/`Nor`/`Xnor`
+/// become a decomposed base tree followed by an inverter.
+///
+/// # Examples
+///
+/// ```
+/// use nanomap_netlist::gate::{GateKind, GateNetwork};
+/// use nanomap_techmap::flowmap::decompose;
+///
+/// let mut net = GateNetwork::new("wide");
+/// let inputs: Vec<_> = (0..5).map(|i| net.add_input(format!("i{i}"))).collect();
+/// let g = net.add_gate(GateKind::And, inputs);
+/// net.add_output("y", g);
+/// let two = decompose(&net);
+/// assert!(two.iter().all(|(_, g)| g.inputs.len() <= 2));
+/// ```
+pub fn decompose(net: &GateNetwork) -> GateNetwork {
+    let mut out = GateNetwork::new(net.name());
+    // Inputs keep their indices.
+    for name in net.input_names() {
+        out.add_input(name.clone());
+    }
+    let order = net.topo_order().expect("validated networks are acyclic");
+    let mut mapped: HashMap<GateId, GateSignal> = HashMap::new();
+    let resolve = |sig: GateSignal, mapped: &HashMap<GateId, GateSignal>| match sig {
+        GateSignal::Gate(g) => mapped[&g],
+        other => other,
+    };
+    for id in order {
+        let gate = net.gate(id);
+        let ins: Vec<GateSignal> = gate.inputs.iter().map(|&s| resolve(s, &mapped)).collect();
+        let sig = if ins.len() <= 2 {
+            out.add_named_gate(gate.kind, ins, gate.name.clone())
+        } else {
+            let (base, invert) = match gate.kind {
+                GateKind::And => (GateKind::And, false),
+                GateKind::Nand => (GateKind::And, true),
+                GateKind::Or => (GateKind::Or, false),
+                GateKind::Nor => (GateKind::Or, true),
+                GateKind::Xor => (GateKind::Xor, false),
+                GateKind::Xnor => (GateKind::Xor, true),
+                k => unreachable!("unary gate {k:?} cannot have >2 inputs"),
+            };
+            let mut level = ins;
+            while level.len() > 2 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                for chunk in level.chunks(2) {
+                    if chunk.len() == 2 {
+                        next.push(out.add_gate(base, chunk.to_vec()));
+                    } else {
+                        next.push(chunk[0]);
+                    }
+                }
+                level = next;
+            }
+            let last_kind = if invert {
+                match base {
+                    GateKind::And => GateKind::Nand,
+                    GateKind::Or => GateKind::Nor,
+                    GateKind::Xor => GateKind::Xnor,
+                    _ => unreachable!(),
+                }
+            } else {
+                base
+            };
+            out.add_named_gate(last_kind, level, gate.name.clone())
+        };
+        mapped.insert(id, sig);
+    }
+    for (name, sig) in net.outputs() {
+        out.add_output(name.clone(), resolve(*sig, &mapped));
+    }
+    out
+}
+
+/// Maps a gate network onto k-input LUTs with optimal depth.
+///
+/// The network is two-input-decomposed internally, so arbitrary fanins are
+/// accepted.
+///
+/// # Errors
+///
+/// Returns an error if the network is malformed or `k` is outside `2..=6`.
+///
+/// # Examples
+///
+/// ```
+/// use nanomap_netlist::gate::{GateKind, GateNetwork};
+/// use nanomap_techmap::flowmap::{map_network, FlowMapOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut net = GateNetwork::new("fa");
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let c = net.add_input("cin");
+/// let sum = net.add_gate(GateKind::Xor, vec![a, b, c]);
+/// net.add_output("sum", sum);
+/// let result = map_network(&net, FlowMapOptions::default())?;
+/// // A 3-input function fits one 4-LUT.
+/// assert_eq!(result.network.num_luts(), 1);
+/// assert_eq!(result.depth, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn map_network(
+    net: &GateNetwork,
+    options: FlowMapOptions,
+) -> Result<FlowMapResult, TechmapError> {
+    let k = options.lut_inputs;
+    if !(2..=6).contains(&k) {
+        return Err(TechmapError::BadLutSize(k));
+    }
+    net.validate()?;
+    let net = decompose(net);
+    let order = net.topo_order()?;
+    let n = net.num_gates();
+    let num_inputs = net.num_inputs();
+
+    // Flow-network node ids: every "signal node" is a PI or a gate.
+    // sig_index: PIs 0..num_inputs, gates num_inputs + gate_index.
+    let sig_index = |sig: GateSignal| -> Option<usize> {
+        match sig {
+            GateSignal::Input(i) => Some(i),
+            GateSignal::Gate(g) => Some(num_inputs + g.index()),
+            GateSignal::Const(_) => None,
+        }
+    };
+
+    let mut labels = vec![0u32; n];
+    // Best K-feasible cut per gate: the LUT input signals.
+    let mut cuts: Vec<Vec<GateSignal>> = vec![Vec::new(); n];
+
+    // Transitive-fanin cone cache is unnecessary; recompute per gate.
+    for &t in &order {
+        // Collect cone (gates + PIs) via DFS over fanins.
+        let mut in_cone = HashMap::new(); // sig_index -> GateSignal
+        let mut stack = vec![GateSignal::Gate(t)];
+        while let Some(sig) = stack.pop() {
+            let Some(idx) = sig_index(sig) else { continue };
+            if in_cone.contains_key(&idx) {
+                continue;
+            }
+            in_cone.insert(idx, sig);
+            if let GateSignal::Gate(g) = sig {
+                for &f in &net.gate(g).inputs {
+                    stack.push(f);
+                }
+            }
+        }
+        let p = net
+            .gate(t)
+            .inputs
+            .iter()
+            .filter_map(|&s| match s {
+                GateSignal::Gate(g) => Some(labels[g.index()]),
+                GateSignal::Input(_) => Some(0),
+                GateSignal::Const(_) => None,
+            })
+            .max()
+            .unwrap_or(0);
+        if p == 0 {
+            // All fanins are PIs/constants; a single LUT always suffices
+            // (two-input decomposed, k >= 2).
+            labels[t.index()] = 1;
+            cuts[t.index()] = net.gate(t).inputs.clone();
+            continue;
+        }
+
+        // Build the flow network: source + 2 nodes per cone signal + sink.
+        // Collapsed nodes (label == p gates, and t itself) merge into sink.
+        let cone: Vec<(usize, GateSignal)> = in_cone.iter().map(|(&i, &s)| (i, s)).collect();
+        let collapsed_set: std::collections::HashSet<usize> = cone
+            .iter()
+            .filter_map(|&(idx, sig)| match sig {
+                GateSignal::Gate(g) if g == t || labels[g.index()] == p => Some(idx),
+                _ => None,
+            })
+            .collect();
+        let collapsed = move |sig: GateSignal| -> bool {
+            match sig_index(sig) {
+                Some(idx) => collapsed_set.contains(&idx),
+                None => false,
+            }
+        };
+        // Flow node numbering: 0 = source, 1 = sink, then v_in = 2 + 2*j,
+        // v_out = 3 + 2*j for cone position j (skipping collapsed nodes).
+        let mut pos_of: HashMap<usize, usize> = HashMap::new();
+        let mut j = 0;
+        for &(idx, sig) in &cone {
+            if !collapsed(sig) {
+                pos_of.insert(idx, j);
+                j += 1;
+            }
+        }
+        let mut graph = FlowGraph::new(2 + 2 * j);
+        let v_in = |idx: usize, pos_of: &HashMap<usize, usize>| 2 + 2 * pos_of[&idx];
+        let v_out = |idx: usize, pos_of: &HashMap<usize, usize>| 3 + 2 * pos_of[&idx];
+        for &(idx, sig) in &cone {
+            if collapsed(sig) {
+                continue;
+            }
+            graph.add_edge(v_in(idx, &pos_of), v_out(idx, &pos_of), 1);
+            if matches!(sig, GateSignal::Input(_)) {
+                graph.add_edge(0, v_in(idx, &pos_of), INF);
+            }
+        }
+        // Wire fanin edges.
+        for &(idx, sig) in &cone {
+            let GateSignal::Gate(g) = sig else { continue };
+            let dst_collapsed = collapsed(sig);
+            for &f in &net.gate(g).inputs {
+                let Some(fidx) = sig_index(f) else { continue };
+                if collapsed(f) {
+                    // Edges out of collapsed nodes stay inside the sink.
+                    continue;
+                }
+                let from = v_out(fidx, &pos_of);
+                let to = if dst_collapsed { 1 } else { v_in(idx, &pos_of) };
+                graph.add_edge(from, to, INF);
+                let _ = idx;
+            }
+        }
+        let flow = graph.max_flow_bounded(0, 1, i64::from(k));
+        if flow <= i64::from(k) {
+            labels[t.index()] = p;
+            // Min cut: split edges from residual-reachable v_in to
+            // unreachable v_out.
+            let reach = graph.residual_reachable(0);
+            let mut cut = Vec::new();
+            for &(idx, sig) in &cone {
+                if collapsed(sig) {
+                    continue;
+                }
+                if reach[v_in(idx, &pos_of)] && !reach[v_out(idx, &pos_of)] {
+                    cut.push(sig);
+                }
+            }
+            debug_assert!(cut.len() as u32 <= k);
+            // An empty cut is legal for constant-fed cones: the LUT becomes
+            // a constant generator.
+            cuts[t.index()] = cut;
+        } else {
+            labels[t.index()] = p + 1;
+            cuts[t.index()] = net.gate(t).inputs.clone();
+        }
+    }
+
+    // --- Mapping phase. ---
+    let mut out = LutNetwork::new(net.name());
+    let input_sigs: Vec<SignalRef> = net
+        .input_names()
+        .iter()
+        .map(|name| out.add_input(name.clone()))
+        .collect();
+    let mut realized: HashMap<GateId, SignalRef> = HashMap::new();
+    // Worklist of gates needing LUTs, from outputs backwards; realize in
+    // topological order by processing after all cut gates realized — use
+    // recursion via explicit stack.
+    let mut need: Vec<GateId> = net
+        .outputs()
+        .iter()
+        .filter_map(|&(_, s)| match s {
+            GateSignal::Gate(g) => Some(g),
+            _ => None,
+        })
+        .collect();
+    while let Some(t) = need.pop() {
+        if realized.contains_key(&t) {
+            continue;
+        }
+        // Ensure cut gates are realized first.
+        let missing: Vec<GateId> = cuts[t.index()]
+            .iter()
+            .filter_map(|&s| match s {
+                GateSignal::Gate(g) if !realized.contains_key(&g) => Some(g),
+                _ => None,
+            })
+            .collect();
+        if !missing.is_empty() {
+            need.push(t);
+            need.extend(missing);
+            continue;
+        }
+        let cut = &cuts[t.index()];
+        let truth = cone_truth(&net, t, cut);
+        let inputs: Vec<SignalRef> = cut
+            .iter()
+            .map(|&s| match s {
+                GateSignal::Input(i) => input_sigs[i],
+                GateSignal::Gate(g) => realized[&g],
+                GateSignal::Const(c) => SignalRef::Const(c),
+            })
+            .collect();
+        let name = net.gate(t).name.clone();
+        let sig = out.add_lut_full(truth, inputs, None, name);
+        realized.insert(t, sig);
+    }
+    for (name, sig) in net.outputs() {
+        let mapped = match *sig {
+            GateSignal::Input(i) => input_sigs[i],
+            GateSignal::Gate(g) => realized[&g],
+            GateSignal::Const(c) => SignalRef::Const(c),
+        };
+        out.add_output(name.clone(), mapped);
+    }
+    let depth = net
+        .outputs()
+        .iter()
+        .filter_map(|&(_, s)| match s {
+            GateSignal::Gate(g) => Some(labels[g.index()]),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    Ok(FlowMapResult {
+        network: out,
+        labels,
+        depth,
+    })
+}
+
+/// Truth table of the cone rooted at `t` with the cut signals as inputs.
+fn cone_truth(net: &GateNetwork, t: GateId, cut: &[GateSignal]) -> TruthTable {
+    // Gather cone gates between cut and t (t inclusive, cut exclusive).
+    let cut_pos: HashMap<GateSignal, usize> =
+        cut.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let mut cone: Vec<GateId> = Vec::new();
+    let mut seen: HashMap<GateId, bool> = HashMap::new();
+    let mut stack = vec![t];
+    while let Some(g) = stack.pop() {
+        if seen.contains_key(&g) || cut_pos.contains_key(&GateSignal::Gate(g)) {
+            continue;
+        }
+        seen.insert(g, true);
+        cone.push(g);
+        for &f in &net.gate(g).inputs {
+            if let GateSignal::Gate(fg) = f {
+                if !cut_pos.contains_key(&f) {
+                    stack.push(fg);
+                }
+            }
+        }
+    }
+    // Topologically order the cone subset.
+    let order = net.topo_order().expect("acyclic");
+    let in_cone: HashMap<GateId, ()> = cone.iter().map(|&g| (g, ())).collect();
+    let cone_order: Vec<GateId> = order
+        .into_iter()
+        .filter(|g| in_cone.contains_key(g))
+        .collect();
+
+    TruthTable::from_fn(cut.len() as u32, |assignment| {
+        let mut values: HashMap<GateId, bool> = HashMap::new();
+        let value = |sig: GateSignal, values: &HashMap<GateId, bool>| -> bool {
+            if let Some(&pos) = cut_pos.get(&sig) {
+                return assignment[pos];
+            }
+            match sig {
+                GateSignal::Const(c) => c,
+                GateSignal::Gate(g) => values[&g],
+                GateSignal::Input(_) => {
+                    unreachable!("PIs inside the cone must be cut inputs")
+                }
+            }
+        };
+        for &g in &cone_order {
+            let ins: Vec<bool> = net
+                .gate(g)
+                .inputs
+                .iter()
+                .map(|&s| value(s, &values))
+                .collect();
+            values.insert(g, net.gate(g).kind.eval(&ins));
+        }
+        value(GateSignal::Gate(t), &values)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_netlist::LutSimulator;
+
+    fn check_equivalent(net: &GateNetwork, mapped: &LutNetwork) {
+        let n = net.num_inputs();
+        assert!(n <= 14, "exhaustive check limited to 14 inputs");
+        let mut sim = LutSimulator::new(mapped).unwrap();
+        for row in 0u64..(1 << n) {
+            let ins: Vec<bool> = (0..n).map(|b| (row >> b) & 1 == 1).collect();
+            sim.set_inputs(&ins);
+            sim.eval_comb();
+            assert_eq!(sim.outputs(), net.eval(&ins), "row {row}");
+        }
+    }
+
+    fn ripple_adder_gates(width: usize) -> GateNetwork {
+        let mut net = GateNetwork::new("rca");
+        let a: Vec<_> = (0..width).map(|i| net.add_input(format!("a{i}"))).collect();
+        let b: Vec<_> = (0..width).map(|i| net.add_input(format!("b{i}"))).collect();
+        let mut carry = net.add_input("cin");
+        for i in 0..width {
+            let sum = net.add_gate(GateKind::Xor, vec![a[i], b[i], carry]);
+            let g1 = net.add_gate(GateKind::And, vec![a[i], b[i]]);
+            let g2 = net.add_gate(GateKind::And, vec![a[i], carry]);
+            let g3 = net.add_gate(GateKind::And, vec![b[i], carry]);
+            carry = net.add_gate(GateKind::Or, vec![g1, g2, g3]);
+            net.add_output(format!("s{i}"), sum);
+        }
+        net.add_output("cout", carry);
+        net
+    }
+
+    #[test]
+    fn maps_full_adder_to_two_luts() {
+        let net = ripple_adder_gates(1);
+        let result = map_network(&net, FlowMapOptions::default()).unwrap();
+        // sum and carry each fit one 4-LUT (3 inputs).
+        assert_eq!(result.network.num_luts(), 2);
+        assert_eq!(result.depth, 1);
+        check_equivalent(&net, &result.network);
+    }
+
+    #[test]
+    fn maps_ripple_adder_equivalently() {
+        let net = ripple_adder_gates(4);
+        let result = map_network(&net, FlowMapOptions::default()).unwrap();
+        check_equivalent(&net, &result.network);
+        // FlowMap should beat or match naive one-gate-per-LUT depth.
+        assert!(result.depth <= net.depth());
+    }
+
+    #[test]
+    fn depth_is_optimal_for_xor_tree() {
+        // 8-input XOR tree of 2-input gates: depth 3 in gates; with 4-LUTs
+        // an optimal mapping reaches depth 2 (4 + 4 inputs, then combine
+        // wait: 8 inputs -> two 4-input XORs + one 2-input = depth 2).
+        let mut net = GateNetwork::new("xor8");
+        let mut level: Vec<_> = (0..8).map(|i| net.add_input(format!("i{i}"))).collect();
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for pair in level.chunks(2) {
+                next.push(net.add_gate(GateKind::Xor, pair.to_vec()));
+            }
+            level = next;
+        }
+        net.add_output("y", level[0]);
+        let result = map_network(&net, FlowMapOptions::default()).unwrap();
+        assert_eq!(result.depth, 2);
+        check_equivalent(&net, &result.network);
+    }
+
+    #[test]
+    fn wide_gate_decomposes_and_maps() {
+        let mut net = GateNetwork::new("and9");
+        let ins: Vec<_> = (0..9).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g = net.add_gate(GateKind::And, ins);
+        net.add_output("y", g);
+        let result = map_network(&net, FlowMapOptions::default()).unwrap();
+        check_equivalent(&net, &result.network);
+        // 9-input AND with 4-LUTs: ceil(log4(9)) = 2 levels.
+        assert_eq!(result.depth, 2);
+    }
+
+    #[test]
+    fn nand_nor_xnor_decompose_correctly() {
+        for kind in [GateKind::Nand, GateKind::Nor, GateKind::Xnor] {
+            let mut net = GateNetwork::new("g");
+            let ins: Vec<_> = (0..5).map(|i| net.add_input(format!("i{i}"))).collect();
+            let g = net.add_gate(kind, ins);
+            net.add_output("y", g);
+            let result = map_network(&net, FlowMapOptions::default()).unwrap();
+            check_equivalent(&net, &result.network);
+        }
+    }
+
+    #[test]
+    fn output_driven_by_input_passes_through() {
+        let mut net = GateNetwork::new("wire");
+        let a = net.add_input("a");
+        let g = net.add_gate(GateKind::Not, vec![a]);
+        net.add_output("y", g);
+        net.add_output("a_copy", a);
+        let result = map_network(&net, FlowMapOptions::default()).unwrap();
+        check_equivalent(&net, &result.network);
+    }
+
+    #[test]
+    fn shared_logic_realized_once() {
+        let mut net = GateNetwork::new("share");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let shared = net.add_gate(GateKind::Xor, vec![a, b]);
+        // Two outputs depending on the same deep node.
+        let o1 = net.add_gate(GateKind::Not, vec![shared]);
+        let o2 = net.add_gate(GateKind::Buf, vec![shared]);
+        net.add_output("y1", o1);
+        net.add_output("y2", o2);
+        let result = map_network(&net, FlowMapOptions::default()).unwrap();
+        check_equivalent(&net, &result.network);
+    }
+
+    #[test]
+    fn labels_monotone_along_paths() {
+        let net = ripple_adder_gates(6);
+        let result = map_network(&net, FlowMapOptions::default()).unwrap();
+        for (id, gate) in decompose(&net).iter() {
+            for &input in &gate.inputs {
+                if let GateSignal::Gate(g) = input {
+                    assert!(
+                        result.labels[g.index()] <= result.labels[id.index()],
+                        "labels must be monotone"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k2_mapping_works() {
+        let net = ripple_adder_gates(2);
+        let result = map_network(&net, FlowMapOptions { lut_inputs: 2 }).unwrap();
+        check_equivalent(&net, &result.network);
+    }
+
+    #[test]
+    fn bad_lut_size_rejected() {
+        let net = ripple_adder_gates(1);
+        assert!(map_network(&net, FlowMapOptions { lut_inputs: 9 }).is_err());
+    }
+}

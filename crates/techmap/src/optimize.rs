@@ -1,0 +1,513 @@
+//! LUT-network optimization passes.
+//!
+//! A light logic-cleanup stage between technology mapping and the folding
+//! flow (the kind of netlist hygiene Design Compiler performed ahead of
+//! the paper's flow):
+//!
+//! * **constant propagation** — LUT inputs driven by constants are
+//!   cofactored away; fully-constant LUTs become constants;
+//! * **buffer sweep** — single-input identity LUTs are bypassed
+//!   (inverters are kept: they compute);
+//! * **structural hashing** — LUTs with identical function and inputs
+//!   merge;
+//! * **dead-logic sweep** — LUTs reaching no output or flip-flop drop.
+//!
+//! Passes iterate to a fixed point. Origins, names and flip-flop banks
+//! are preserved, so the folding flow's LUT clusters survive
+//! optimization.
+
+use std::collections::HashMap;
+
+use nanomap_netlist::{LutNetwork, SignalRef, TruthTable};
+
+/// Statistics of an [`optimize`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeStats {
+    /// LUTs before optimization.
+    pub luts_before: usize,
+    /// LUTs after optimization.
+    pub luts_after: usize,
+    /// LUTs turned into constants.
+    pub constants_folded: usize,
+    /// Identity LUTs bypassed.
+    pub buffers_swept: usize,
+    /// LUTs merged by structural hashing.
+    pub duplicates_merged: usize,
+    /// Unreachable LUTs dropped.
+    pub dead_removed: usize,
+    /// Unobservable flip-flops dropped.
+    pub dead_ffs_removed: usize,
+    /// Fixed-point iterations run.
+    pub iterations: u32,
+}
+
+impl OptimizeStats {
+    /// Fraction of LUTs removed.
+    pub fn reduction(&self) -> f64 {
+        if self.luts_before == 0 {
+            0.0
+        } else {
+            1.0 - self.luts_after as f64 / self.luts_before as f64
+        }
+    }
+}
+
+/// Optimizes a LUT network; returns the cleaned network and statistics.
+///
+/// The result is functionally identical to the input (same primary
+/// inputs/outputs and flip-flop ordering).
+///
+/// # Panics
+///
+/// Panics if the input network fails validation.
+///
+/// # Examples
+///
+/// ```
+/// use nanomap_netlist::{LutNetwork, TruthTable, SignalRef};
+/// use nanomap_techmap::optimize;
+///
+/// let mut net = LutNetwork::new("t");
+/// let a = net.add_input("a");
+/// // AND with constant true is a buffer; the chain collapses entirely.
+/// let g = net.add_lut(TruthTable::and(2), vec![a, SignalRef::Const(true)]);
+/// let h = net.add_lut(TruthTable::buffer(), vec![g]);
+/// net.add_output("y", h);
+/// let (cleaned, stats) = optimize(&net);
+/// assert_eq!(cleaned.num_luts(), 0);
+/// assert!(stats.reduction() > 0.99);
+/// ```
+pub fn optimize(net: &LutNetwork) -> (LutNetwork, OptimizeStats) {
+    net.validate().expect("optimize requires a valid network");
+    let mut stats = OptimizeStats {
+        luts_before: net.num_luts(),
+        ..OptimizeStats::default()
+    };
+    let mut current = net.clone();
+    loop {
+        stats.iterations += 1;
+        let (next, changed) = one_pass(&current, &mut stats);
+        current = next;
+        if !changed || stats.iterations >= 16 {
+            break;
+        }
+    }
+    stats.luts_after = current.num_luts();
+    (current, stats)
+}
+
+/// One rebuild pass applying every rule; returns (new network, changed).
+fn one_pass(net: &LutNetwork, stats: &mut OptimizeStats) -> (LutNetwork, bool) {
+    let topo = net.topo_order().expect("validated");
+    let mut out = LutNetwork::new(net.name());
+    let mut changed = false;
+
+    // Recreate inputs, banks and modules with identical indexing.
+    for name in net.input_names() {
+        out.add_input(name.clone());
+    }
+    for b in 0..net.num_banks() as u32 {
+        out.add_bank(net.bank_name(b).to_string());
+    }
+    for m in 0..net.num_modules() {
+        out.add_module(
+            net.module_name(nanomap_netlist::ModuleId::new(m))
+                .to_string(),
+        );
+    }
+    // Liveness: LUTs and flip-flops reachable backwards from the primary
+    // outputs (through flip-flop D inputs). Unobservable state dies.
+    let (lut_live, ff_live) = liveness(net);
+
+    // Live flip-flops first (D inputs fixed after LUTs exist), remapping
+    // their ids densely.
+    let mut ff_map: HashMap<nanomap_netlist::FfId, nanomap_netlist::FfId> = HashMap::new();
+    for (fid, ff) in net.ffs() {
+        if ff_live[fid.index()] {
+            let new_id = out.add_ff_in_bank(SignalRef::Const(false), ff.name.clone(), ff.bank);
+            ff_map.insert(fid, new_id);
+        } else {
+            stats.dead_ffs_removed += 1;
+            changed = true;
+        }
+    }
+
+    // Map old signal -> new signal.
+    let mut mapped: HashMap<SignalRef, SignalRef> = HashMap::new();
+    // Structural hash: (truth bits, arity, inputs) -> new signal.
+    let mut dedupe: HashMap<(u64, u32, Vec<SignalRef>), SignalRef> = HashMap::new();
+    let live = lut_live;
+
+    let resolve = |sig: SignalRef, mapped: &HashMap<SignalRef, SignalRef>| -> SignalRef {
+        match sig {
+            SignalRef::Lut(_) => *mapped.get(&sig).expect("topological rebuild"),
+            SignalRef::Ff(f) => SignalRef::Ff(
+                *ff_map
+                    .get(&f)
+                    .expect("live logic only references live state"),
+            ),
+            other => other,
+        }
+    };
+
+    for id in topo {
+        let old_sig = SignalRef::Lut(id);
+        if !live[id.index()] {
+            stats.dead_removed += 1;
+            changed = true;
+            // Dead LUTs get no replacement; nothing live refers to them.
+            mapped.insert(old_sig, SignalRef::Const(false));
+            continue;
+        }
+        let lut = net.lut(id);
+        // Resolve inputs, then cofactor constants away.
+        let mut truth = lut.truth;
+        let mut inputs: Vec<SignalRef> = Vec::with_capacity(lut.inputs.len());
+        for &raw in &lut.inputs {
+            inputs.push(resolve(raw, &mapped));
+        }
+        let mut i = 0;
+        while i < inputs.len() {
+            match inputs[i] {
+                SignalRef::Const(value) => {
+                    truth = truth.cofactor(i as u32, value);
+                    inputs.remove(i);
+                    changed = true;
+                }
+                _ => i += 1,
+            }
+        }
+        // Merge duplicated input signals into one variable.
+        let mut i = 0;
+        while i < inputs.len() {
+            let mut j = i + 1;
+            while j < inputs.len() {
+                if inputs[i] == inputs[j] {
+                    truth = merge_variables(truth, i as u32, j as u32);
+                    inputs.remove(j);
+                    changed = true;
+                } else {
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
+        // Drop inputs the function ignores (exposed by cofactoring).
+        let mut i = 0;
+        while i < inputs.len() {
+            if truth.num_inputs() > 1 && truth.ignores_input(i as u32) {
+                truth = truth.cofactor(i as u32, false);
+                inputs.remove(i);
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        let is_constant = truth.bits() == 0
+            || truth.bits() == TruthTable::constant_true(truth.num_inputs()).bits();
+        let new_sig = if inputs.is_empty() || is_constant {
+            stats.constants_folded += 1;
+            changed = true;
+            SignalRef::Const(truth.bits() != 0)
+        } else if truth == TruthTable::buffer() {
+            stats.buffers_swept += 1;
+            changed = true;
+            inputs[0]
+        } else {
+            let key = (truth.bits(), truth.num_inputs(), inputs.clone());
+            if let Some(&existing) = dedupe.get(&key) {
+                stats.duplicates_merged += 1;
+                changed = true;
+                existing
+            } else {
+                let sig = out.add_lut_full(truth, inputs, lut.origin, lut.name.clone());
+                dedupe.insert(key, sig);
+                sig
+            }
+        };
+        mapped.insert(old_sig, new_sig);
+    }
+    // Flip-flop D inputs and outputs.
+    for (fid, ff) in net.ffs() {
+        if let Some(&new_id) = ff_map.get(&fid) {
+            out.set_ff_input(new_id, resolve(ff.d, &mapped));
+        }
+    }
+    for (name, sig) in net.outputs() {
+        out.add_output(name.clone(), resolve(*sig, &mapped));
+    }
+    (out, changed)
+}
+
+/// Collapses variable `dup` into variable `keep` (both indices refer to
+/// the same signal): the result has one fewer input, with `dup`'s value
+/// always equal to `keep`'s.
+fn merge_variables(truth: TruthTable, keep: u32, dup: u32) -> TruthTable {
+    debug_assert!(keep < dup);
+    TruthTable::from_fn(truth.num_inputs() - 1, |bits| {
+        let mut full = [false; nanomap_netlist::MAX_LUT_INPUTS as usize];
+        let mut src = 0;
+        for slot in 0..truth.num_inputs() {
+            if slot == dup {
+                full[slot as usize] = bits[keep as usize];
+            } else {
+                full[slot as usize] = bits[src];
+                src += 1;
+            }
+        }
+        truth.eval(&full[..truth.num_inputs() as usize])
+    })
+}
+
+/// Marks LUTs and flip-flops reachable (backwards) from the primary
+/// outputs; an FF is alive only if its Q value can reach an output,
+/// possibly through other state.
+fn liveness(net: &LutNetwork) -> (Vec<bool>, Vec<bool>) {
+    #[derive(Clone, Copy)]
+    enum Node {
+        Lut(usize),
+        Ff(usize),
+    }
+    let mut lut_live = vec![false; net.num_luts()];
+    let mut ff_live = vec![false; net.num_ffs()];
+    let mut stack: Vec<Node> = Vec::new();
+    let seed = |sig: SignalRef, stack: &mut Vec<Node>| match sig {
+        SignalRef::Lut(l) => stack.push(Node::Lut(l.index())),
+        SignalRef::Ff(f) => stack.push(Node::Ff(f.index())),
+        _ => {}
+    };
+    for &(_, sig) in net.outputs() {
+        seed(sig, &mut stack);
+    }
+    while let Some(node) = stack.pop() {
+        match node {
+            Node::Lut(l) => {
+                if lut_live[l] {
+                    continue;
+                }
+                lut_live[l] = true;
+                for &input in &net.lut(nanomap_netlist::LutId::new(l)).inputs {
+                    seed(input, &mut stack);
+                }
+            }
+            Node::Ff(f) => {
+                if ff_live[f] {
+                    continue;
+                }
+                ff_live[f] = true;
+                seed(net.ff(nanomap_netlist::FfId::new(f)).d, &mut stack);
+            }
+        }
+    }
+    (lut_live, ff_live)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanomap_netlist::LutSimulator;
+
+    fn equivalent(a: &LutNetwork, b: &LutNetwork, cycles: usize) {
+        let mut sa = LutSimulator::new(a).unwrap();
+        let mut sb = LutSimulator::new(b).unwrap();
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+        for cycle in 0..cycles {
+            let inputs: Vec<bool> = (0..a.num_inputs())
+                .map(|_| {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    seed & 1 == 1
+                })
+                .collect();
+            sa.set_inputs(&inputs);
+            sb.set_inputs(&inputs);
+            sa.eval_comb();
+            sb.eval_comb();
+            assert_eq!(sa.outputs(), sb.outputs(), "cycle {cycle}");
+            sa.step();
+            sb.step();
+        }
+    }
+
+    #[test]
+    fn constant_inputs_cofactor_away() {
+        let mut net = LutNetwork::new("t");
+        let a = net.add_input("a");
+        let g = net.add_lut(TruthTable::and(2), vec![a, SignalRef::Const(true)]);
+        net.add_output("y", g);
+        let (opt, stats) = optimize(&net);
+        assert_eq!(opt.num_luts(), 0); // AND(a, 1) = a: buffer, then swept
+        assert!(stats.buffers_swept >= 1);
+        equivalent(&net, &opt, 8);
+    }
+
+    #[test]
+    fn constant_lut_folds_forward() {
+        let mut net = LutNetwork::new("t");
+        let a = net.add_input("a");
+        // g = AND(a, 0) = 0; h = OR(a, g) = a.
+        let g = net.add_lut(TruthTable::and(2), vec![a, SignalRef::Const(false)]);
+        let h = net.add_lut(TruthTable::or(2), vec![a, g]);
+        net.add_output("y", h);
+        let (opt, stats) = optimize(&net);
+        assert_eq!(opt.num_luts(), 0);
+        assert!(stats.constants_folded >= 1);
+        equivalent(&net, &opt, 8);
+    }
+
+    #[test]
+    fn duplicates_merge() {
+        let mut net = LutNetwork::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g1 = net.add_lut(TruthTable::xor(2), vec![a, b]);
+        let g2 = net.add_lut(TruthTable::xor(2), vec![a, b]);
+        let top = net.add_lut(TruthTable::and(2), vec![g1, g2]);
+        net.add_output("y", top);
+        let (opt, stats) = optimize(&net);
+        assert!(stats.duplicates_merged >= 1);
+        // AND(x, x) has a dead second input after merging; it reduces to x.
+        assert_eq!(opt.num_luts(), 1);
+        equivalent(&net, &opt, 8);
+    }
+
+    #[test]
+    fn dead_logic_removed() {
+        let mut net = LutNetwork::new("t");
+        let a = net.add_input("a");
+        let live = net.add_lut(TruthTable::inverter(), vec![a]);
+        let _dead = net.add_lut(TruthTable::xor(2), vec![a, live]);
+        net.add_output("y", live);
+        let (opt, stats) = optimize(&net);
+        assert_eq!(opt.num_luts(), 1);
+        assert_eq!(stats.dead_removed, 1);
+        equivalent(&net, &opt, 8);
+    }
+
+    #[test]
+    fn inverters_are_kept() {
+        let mut net = LutNetwork::new("t");
+        let a = net.add_input("a");
+        let inv = net.add_lut(TruthTable::inverter(), vec![a]);
+        net.add_output("y", inv);
+        let (opt, _) = optimize(&net);
+        assert_eq!(opt.num_luts(), 1);
+        equivalent(&net, &opt, 4);
+    }
+
+    #[test]
+    fn sequential_structure_preserved() {
+        // Toggle flip-flop with a redundant buffer chain in the loop.
+        let mut net = LutNetwork::new("t");
+        let ff = net.add_ff(SignalRef::Const(false), Some("t".into()));
+        let inv = net.add_lut(TruthTable::inverter(), vec![SignalRef::Ff(ff)]);
+        let buf = net.add_lut(TruthTable::buffer(), vec![inv]);
+        net.set_ff_input(ff, buf);
+        net.add_output("q", SignalRef::Ff(ff));
+        let (opt, stats) = optimize(&net);
+        assert_eq!(opt.num_ffs(), 1);
+        assert_eq!(opt.num_luts(), 1);
+        assert_eq!(stats.buffers_swept, 1);
+        equivalent(&net, &opt, 10);
+    }
+
+    #[test]
+    fn benchmark_scale_cleanup_is_equivalent() {
+        // A mapped multiplier contains no redundancy by construction, but
+        // must pass through unchanged and equivalent.
+        use nanomap_netlist::rtl::{CombOp, RtlBuilder};
+        let mut b = RtlBuilder::new("m");
+        let a = b.input("a", 5);
+        let c = b.input("b", 5);
+        let mul = b.comb("mul", CombOp::Mul { width: 5 });
+        b.connect(a, 0, mul, 0).unwrap();
+        b.connect(c, 0, mul, 1).unwrap();
+        let y = b.output("y", 10);
+        b.connect(mul, 0, y, 0).unwrap();
+        let net = crate::expand(&b.finish().unwrap(), crate::ExpandOptions::default()).unwrap();
+        let (opt, stats) = optimize(&net);
+        assert!(opt.num_luts() <= net.num_luts());
+        assert!(stats.reduction() >= 0.0);
+        equivalent(&net, &opt, 32);
+    }
+
+    #[test]
+    fn origins_survive() {
+        use nanomap_netlist::rtl::{CombOp, RtlBuilder};
+        let mut b = RtlBuilder::new("m");
+        let a = b.input("a", 4);
+        let c = b.input("b", 4);
+        let gnd = b.constant("gnd", 1, 0);
+        let add = b.comb("add", CombOp::Add { width: 4 });
+        b.connect(a, 0, add, 0).unwrap();
+        b.connect(c, 0, add, 1).unwrap();
+        b.connect(gnd, 0, add, 2).unwrap();
+        let y = b.output("y", 4);
+        b.connect(add, 0, y, 0).unwrap();
+        let net = crate::expand(&b.finish().unwrap(), crate::ExpandOptions::default()).unwrap();
+        let (opt, _) = optimize(&net);
+        // Every surviving LUT keeps its module origin.
+        for (_, lut) in opt.luts() {
+            assert!(lut.origin.is_some());
+        }
+    }
+}
+
+#[cfg(test)]
+mod dead_ff_tests {
+    use super::*;
+    use nanomap_netlist::LutSimulator;
+
+    #[test]
+    fn unobservable_state_is_removed() {
+        let mut net = LutNetwork::new("t");
+        let a = net.add_input("a");
+        // Live path: a -> inverter -> output.
+        let inv = net.add_lut(TruthTable::inverter(), vec![a]);
+        net.add_output("y", inv);
+        // Dead self-looping counter bit feeding nothing observable.
+        let dead_ff = net.add_ff(SignalRef::Const(false), Some("dead".into()));
+        let toggle = net.add_lut(TruthTable::inverter(), vec![SignalRef::Ff(dead_ff)]);
+        net.set_ff_input(dead_ff, toggle);
+        let (opt, stats) = optimize(&net);
+        assert_eq!(opt.num_ffs(), 0);
+        assert_eq!(opt.num_luts(), 1);
+        assert_eq!(stats.dead_ffs_removed, 1);
+        assert_eq!(stats.dead_removed, 1);
+    }
+
+    #[test]
+    fn observable_state_survives_and_behaves() {
+        let mut net = LutNetwork::new("t");
+        let ff = net.add_ff(SignalRef::Const(false), Some("live".into()));
+        let inv = net.add_lut(TruthTable::inverter(), vec![SignalRef::Ff(ff)]);
+        net.set_ff_input(ff, inv);
+        net.add_output("q", SignalRef::Ff(ff));
+        let (opt, stats) = optimize(&net);
+        assert_eq!(opt.num_ffs(), 1);
+        assert_eq!(stats.dead_ffs_removed, 0);
+        let mut sa = LutSimulator::new(&net).unwrap();
+        let mut sb = LutSimulator::new(&opt).unwrap();
+        for _ in 0..6 {
+            assert_eq!(sa.outputs(), sb.outputs());
+            sa.step();
+            sb.step();
+        }
+    }
+
+    #[test]
+    fn chained_dead_state_collapses_transitively() {
+        // dead_b <- dead_a <- dead_b: a state clique feeding nothing.
+        let mut net = LutNetwork::new("t");
+        let a = net.add_input("a");
+        let keep = net.add_lut(TruthTable::buffer(), vec![a]);
+        net.add_output("y", keep);
+        let fa = net.add_ff(SignalRef::Const(false), None);
+        let fb = net.add_ff(SignalRef::Ff(fa), None);
+        net.set_ff_input(fa, SignalRef::Ff(fb));
+        let (opt, stats) = optimize(&net);
+        assert_eq!(opt.num_ffs(), 0);
+        assert_eq!(stats.dead_ffs_removed, 2);
+    }
+}

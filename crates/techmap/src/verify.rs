@@ -1,0 +1,256 @@
+//! Co-simulation equivalence checking between an RTL circuit and its
+//! mapped LUT network.
+//!
+//! Expansion names mapped input/output bits `bus[i]`, so the checker can
+//! drive both representations with the same stimulus and compare outputs
+//! cycle by cycle. It is used throughout the test suite and by the flow's
+//! optional self-check.
+
+use nanomap_netlist::rtl::{NodeKind, RtlCircuit, RtlSimulator};
+use nanomap_netlist::{LutNetwork, LutSimulator, NetlistError};
+
+/// A single mismatch found during co-simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Zero-based clock cycle of the divergence.
+    pub cycle: usize,
+    /// Name of the diverging output bit (`bus[i]` form).
+    pub output: String,
+    /// Value produced by the RTL reference.
+    pub expected: bool,
+    /// Value produced by the mapped network.
+    pub actual: bool,
+}
+
+/// Result of an equivalence run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceReport {
+    /// Number of cycles simulated.
+    pub cycles: usize,
+    /// Number of input vectors applied (== cycles).
+    pub vectors: usize,
+    /// The first mismatch, if any.
+    pub mismatch: Option<Mismatch>,
+}
+
+impl EquivalenceReport {
+    /// `true` when no divergence was observed.
+    pub fn is_equivalent(&self) -> bool {
+        self.mismatch.is_none()
+    }
+}
+
+/// Deterministic xorshift generator so equivalence runs are reproducible.
+#[derive(Debug, Clone)]
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Co-simulates `circuit` against `mapped` for `cycles` clock cycles with
+/// pseudo-random inputs derived from `seed`.
+///
+/// # Errors
+///
+/// Returns an error if either representation fails validation.
+///
+/// # Examples
+///
+/// ```
+/// use nanomap_netlist::rtl::{CombOp, RtlBuilder};
+/// use nanomap_techmap::{expand, verify_equivalence, ExpandOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = RtlBuilder::new("inc");
+/// let a = b.input("a", 8);
+/// let one = b.constant("one", 8, 1);
+/// let gnd = b.constant("gnd", 1, 0);
+/// let add = b.comb("add", CombOp::Add { width: 8 });
+/// b.connect(a, 0, add, 0)?;
+/// b.connect(one, 0, add, 1)?;
+/// b.connect(gnd, 0, add, 2)?;
+/// let y = b.output("y", 8);
+/// b.connect(add, 0, y, 0)?;
+/// let circuit = b.finish()?;
+/// let net = expand(&circuit, ExpandOptions::default())?;
+/// let report = verify_equivalence(&circuit, &net, 256, 42)?;
+/// assert!(report.is_equivalent());
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify_equivalence(
+    circuit: &RtlCircuit,
+    mapped: &LutNetwork,
+    cycles: usize,
+    seed: u64,
+) -> Result<EquivalenceReport, NetlistError> {
+    let mut rtl_sim = RtlSimulator::new(circuit)?;
+    let mut lut_sim = LutSimulator::new(mapped)?;
+    let mut rng = XorShift64(seed | 1);
+
+    // Input buses of the RTL circuit, with widths.
+    let input_buses: Vec<(String, u32)> = circuit
+        .inputs()
+        .iter()
+        .map(|&id| {
+            let node = circuit.node(id);
+            let width = match node.kind {
+                NodeKind::Input { width } => width,
+                _ => unreachable!("inputs() returns only Input nodes"),
+            };
+            (node.name.clone(), width)
+        })
+        .collect();
+    // Map mapped-network input bit index -> (bus, bit).
+    let lut_input_names = mapped.input_names().to_vec();
+
+    // Output buses of the RTL circuit.
+    let output_buses: Vec<(String, u32)> = circuit
+        .outputs()
+        .iter()
+        .map(|&id| {
+            let node = circuit.node(id);
+            let width = match node.kind {
+                NodeKind::Output { width } => width,
+                _ => unreachable!(),
+            };
+            (node.name.clone(), width)
+        })
+        .collect();
+
+    for cycle in 0..cycles {
+        // Random stimulus.
+        let mut bit_values: std::collections::HashMap<String, bool> =
+            std::collections::HashMap::new();
+        for (bus, width) in &input_buses {
+            let value = rng.next()
+                & if *width >= 64 {
+                    u64::MAX
+                } else {
+                    (1 << width) - 1
+                };
+            rtl_sim.set_input(bus, value);
+            for b in 0..*width {
+                bit_values.insert(format!("{bus}[{b}]"), (value >> b) & 1 == 1);
+            }
+        }
+        let lut_inputs: Vec<bool> = lut_input_names
+            .iter()
+            .map(|n| bit_values.get(n).copied().unwrap_or(false))
+            .collect();
+        lut_sim.set_inputs(&lut_inputs);
+
+        rtl_sim.eval_comb();
+        lut_sim.eval_comb();
+
+        // Compare every output bit.
+        let lut_outputs = lut_sim.outputs();
+        for (bus, width) in &output_buses {
+            let expected = rtl_sim.output(bus).expect("bus is an output");
+            for b in 0..*width {
+                let bit_name = format!("{bus}[{b}]");
+                let pos = mapped
+                    .outputs()
+                    .iter()
+                    .position(|(n, _)| *n == bit_name)
+                    .unwrap_or_else(|| panic!("mapped network missing output `{bit_name}`"));
+                let actual = lut_outputs[pos];
+                let expected_bit = (expected >> b) & 1 == 1;
+                if actual != expected_bit {
+                    return Ok(EquivalenceReport {
+                        cycles: cycle + 1,
+                        vectors: cycle + 1,
+                        mismatch: Some(Mismatch {
+                            cycle,
+                            output: bit_name,
+                            expected: expected_bit,
+                            actual,
+                        }),
+                    });
+                }
+            }
+        }
+        rtl_sim.step();
+        lut_sim.step();
+    }
+    Ok(EquivalenceReport {
+        cycles,
+        vectors: cycles,
+        mismatch: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::{expand, ExpandOptions};
+    use nanomap_netlist::rtl::{CombOp, RtlBuilder};
+
+    fn datapath() -> RtlCircuit {
+        // acc <= sel ? acc + x : acc - x; y = acc
+        let mut b = RtlBuilder::new("dp");
+        let x = b.input("x", 6);
+        let sel = b.input("sel", 1);
+        let acc = b.register("acc", 6);
+        let gnd = b.constant("gnd", 1, 0);
+        let add = b.comb("add", CombOp::Add { width: 6 });
+        b.connect(acc, 0, add, 0).unwrap();
+        b.connect(x, 0, add, 1).unwrap();
+        b.connect(gnd, 0, add, 2).unwrap();
+        let sub = b.comb("sub", CombOp::Sub { width: 6 });
+        b.connect(acc, 0, sub, 0).unwrap();
+        b.connect(x, 0, sub, 1).unwrap();
+        let mux = b.comb("mux", CombOp::Mux2 { width: 6 });
+        b.connect(sub, 0, mux, 0).unwrap();
+        b.connect(add, 0, mux, 1).unwrap();
+        b.connect(sel, 0, mux, 2).unwrap();
+        b.connect(mux, 0, acc, 0).unwrap();
+        let y = b.output("y", 6);
+        b.connect(acc, 0, y, 0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn sequential_datapath_is_equivalent() {
+        let circuit = datapath();
+        let net = expand(&circuit, ExpandOptions::default()).unwrap();
+        let report = verify_equivalence(&circuit, &net, 500, 7).unwrap();
+        assert!(report.is_equivalent(), "{:?}", report.mismatch);
+        assert_eq!(report.cycles, 500);
+    }
+
+    #[test]
+    fn divergent_network_is_detected() {
+        // Map the datapath, then check it against a circuit that merely
+        // forwards `x`: the checker must report a mismatch.
+        let circuit = datapath();
+        let net = expand(&circuit, ExpandOptions::default()).unwrap();
+        let mut b = RtlBuilder::new("dp");
+        let x = b.input("x", 6);
+        let _sel = b.input("sel", 1);
+        let y = b.output("y", 6);
+        b.connect(x, 0, y, 0).unwrap();
+        let other = b.finish().unwrap();
+        let report = verify_equivalence(&other, &net, 200, 7).unwrap();
+        assert!(!report.is_equivalent());
+        let mismatch = report.mismatch.unwrap();
+        assert!(mismatch.output.starts_with("y["));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let circuit = datapath();
+        let net = expand(&circuit, ExpandOptions::default()).unwrap();
+        let a = verify_equivalence(&circuit, &net, 50, 123).unwrap();
+        let b = verify_equivalence(&circuit, &net, 50, 123).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build a small RTL circuit, map it onto NATURE with
+//! NanoMap, and inspect the report.
+//!
+//! Run: `cargo run -p nanomap-bench --release --example quickstart`
+
+use nanomap::{NanoMap, Objective};
+use nanomap_arch::ArchParams;
+use nanomap_netlist::rtl::{CombOp, RtlBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Describe a multiply-accumulate datapath. ---
+    //     acc <= acc + a * b (8-bit operands, 16-bit accumulator)
+    let mut b = RtlBuilder::new("mac8");
+    let a = b.input("a", 8);
+    let x = b.input("b", 8);
+    let acc = b.register("acc", 16);
+    let mul = b.comb("mul", CombOp::Mul { width: 8 });
+    b.connect(a, 0, mul, 0)?;
+    b.connect(x, 0, mul, 1)?;
+    let gnd = b.constant("gnd", 1, 0);
+    let add = b.comb("add", CombOp::Add { width: 16 });
+    b.connect(mul, 0, add, 0)?;
+    b.connect(acc, 0, add, 1)?;
+    b.connect(gnd, 0, add, 2)?;
+    b.connect(add, 0, acc, 0)?;
+    let y = b.output("y", 16);
+    b.connect(acc, 0, y, 0)?;
+    let circuit = b.finish()?;
+
+    // --- 2. Configure the flow for the paper's NATURE instance. ---
+    // One 4-input LUT + two flip-flops per LE, 4 LEs/MB, 4 MBs/SMB.
+    let flow = NanoMap::new(ArchParams::paper_unbounded()).with_verification();
+
+    // --- 3. Map under three different objectives. ---
+    for (label, objective) in [
+        (
+            "fastest (no area bound)",
+            Objective::MinDelay { max_les: None },
+        ),
+        ("smallest", Objective::MinArea { max_delay_ns: None }),
+        ("best area-delay product", Objective::MinAreaDelayProduct),
+    ] {
+        let report = flow.map_rtl(&circuit, objective)?;
+        println!("{label:>26}: {}", report.summary());
+        if let Some(physical) = &report.physical {
+            println!(
+                "{:>26}  placed on a {}x{} grid, {} SMBs, routed delay {:.2} ns, {} bitmap bits",
+                "",
+                physical.grid.0,
+                physical.grid.1,
+                physical.num_smbs,
+                physical.routed_delay_ns,
+                physical.bitmap_bits
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Paper-scale integration tests. These run the real Table 1 benchmarks
+//! through the flow and are slower than the default suite, so they are
+//! `#[ignore]`d; run them with:
+//!
+//! ```sh
+//! cargo test --release --test paper_scale -- --ignored
+//! ```
+
+use nanomap::{NanoMap, Objective};
+use nanomap_arch::ArchParams;
+use nanomap_bench::circuits::paper_benchmarks;
+
+/// Table 1's headline: on every benchmark, AT optimization folds deeply
+/// and cuts the LE count by at least 4x against no-folding.
+#[test]
+#[ignore = "paper-scale: minutes in debug builds"]
+fn at_optimization_beats_no_folding_everywhere() {
+    let flow = NanoMap::new(ArchParams::paper_unbounded()).without_physical();
+    for bench in paper_benchmarks() {
+        let nofold = flow
+            .map(&bench.network, Objective::MinDelay { max_les: None })
+            .expect("no-folding maps");
+        let at = flow
+            .map(&bench.network, Objective::MinAreaDelayProduct)
+            .expect("AT maps");
+        assert!(at.folding_level.is_some(), "{}: AT must fold", bench.name);
+        assert!(
+            nofold.num_les >= at.num_les * 4,
+            "{}: {} -> {} LEs is under 4x",
+            bench.name,
+            nofold.num_les,
+            at.num_les
+        );
+        assert!(
+            at.area_delay_product() < nofold.area_delay_product(),
+            "{}: AT product must improve",
+            bench.name
+        );
+    }
+}
+
+/// The k = 16 NRAM budget is honoured on every benchmark and pushes the
+/// folding level to at least the paper's choice.
+#[test]
+#[ignore = "paper-scale: minutes in debug builds"]
+fn k16_budget_honoured_everywhere() {
+    let flow = NanoMap::new(ArchParams::paper()).without_physical();
+    for bench in paper_benchmarks() {
+        let report = flow
+            .map(&bench.network, Objective::MinAreaDelayProduct)
+            .expect("maps");
+        assert!(
+            report.nram_sets_used <= 16,
+            "{}: {} sets",
+            bench.name,
+            report.nram_sets_used
+        );
+    }
+}
+
+/// Folded execution matches the reference simulator on a real benchmark's
+/// chosen mapping (the full verification path at scale).
+#[test]
+#[ignore = "paper-scale: minutes in debug builds"]
+fn folded_execution_verified_on_fir() {
+    let benches = paper_benchmarks();
+    let fir = benches.iter().find(|b| b.name == "FIR").expect("exists");
+    let flow = NanoMap::new(ArchParams::paper_unbounded())
+        .without_physical()
+        .with_verification();
+    flow.map(&fir.network, Objective::MinAreaDelayProduct)
+        .expect("verification must pass");
+}
+
+/// Full physical design (clustering, placement, routing, bitmap) on the
+/// ex1 benchmark at its AT mapping.
+#[test]
+#[ignore = "paper-scale: minutes in debug builds"]
+fn full_physical_flow_on_ex1() {
+    let benches = paper_benchmarks();
+    let ex1 = benches.iter().find(|b| b.name == "ex1").expect("exists");
+    let flow = NanoMap::new(ArchParams::paper_unbounded()).with_bitstream();
+    let report = flow
+        .map(&ex1.network, Objective::MinAreaDelayProduct)
+        .expect("maps");
+    let physical = report.physical.expect("physical ran");
+    assert!(physical.bitmap_bits > 0);
+    let bitstream = physical.bitstream.expect("bitstream emitted");
+    let (parsed, lut_inputs) = nanomap_arch::unpack_bitstream(&bitstream).expect("round-trips");
+    assert_eq!(lut_inputs, 4);
+    assert_eq!(parsed.num_cycles() as u32, report.nram_sets_used);
+}
