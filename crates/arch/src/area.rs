@@ -10,12 +10,10 @@
 //! Absolute µm² values are representative 100 nm numbers; every comparison
 //! in the experiments is relative, so only the ratios above matter.
 
-use serde::{Deserialize, Serialize};
-
 use crate::params::ArchParams;
 
 /// Area model in µm² at 100 nm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaModel {
     /// Area of one LE with a single flip-flop (LUT + FF + local muxes).
     pub le_base_um2: f64,

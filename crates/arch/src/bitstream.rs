@@ -94,6 +94,7 @@ pub fn pack_bitstream(bitmap: &ConfigBitmap, lut_inputs: u32) -> Vec<u8> {
             }
         }
     }
+    nanomap_observe::incr("bitstream.bytes_emitted", out.len() as u64);
     out
 }
 

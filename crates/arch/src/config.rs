@@ -4,13 +4,11 @@
 //! (Section 4, step 15). This module defines the per-element bit budgets
 //! and the bitmap container; the route crate fills it in.
 
-use serde::{Deserialize, Serialize};
-
 use crate::grid::SmbPos;
 use crate::params::ArchParams;
 
 /// Configuration of one LE in one folding cycle.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LeConfig {
     /// LUT truth table, row 0 in bit 0 (`2^m` significant bits).
     pub truth_bits: u64,
@@ -23,7 +21,7 @@ pub struct LeConfig {
 }
 
 /// Configuration of one SMB in one folding cycle.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SmbConfig {
     /// Slot position.
     pub pos: SmbPos,
@@ -33,14 +31,14 @@ pub struct SmbConfig {
 
 /// Configuration of the interconnect in one folding cycle: the set of
 /// switched-on routing-resource nodes, per net.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RoutingConfig {
     /// For each routed net: the indices of the RR nodes it occupies.
     pub nets: Vec<Vec<u32>>,
 }
 
 /// One folding cycle's complete configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CycleConfig {
     /// Logic configuration per used SMB.
     pub smbs: Vec<SmbConfig>,
@@ -50,7 +48,7 @@ pub struct CycleConfig {
 
 /// The full configuration bitmap: one [`CycleConfig`] per folding cycle,
 /// cycled through by the reconfiguration counter.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ConfigBitmap {
     /// Per-cycle configurations, executed in order then wrapping.
     pub cycles: Vec<CycleConfig>,

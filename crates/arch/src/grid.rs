@@ -1,9 +1,7 @@
 //! The island-style SMB grid.
 
-use serde::{Deserialize, Serialize};
-
 /// Position of an SMB slot on the grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SmbPos {
     /// Column, 0-based from the left.
     pub x: u16,
@@ -25,7 +23,7 @@ impl SmbPos {
 }
 
 /// A rectangular grid of SMB slots.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Grid {
     /// Number of columns.
     pub width: u16,

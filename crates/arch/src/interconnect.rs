@@ -5,10 +5,8 @@
 //! wire segments, and global interconnect lines. A length-`i` segment
 //! spans `i` SMBs. The router prefers the cheapest tier and escalates.
 
-use serde::{Deserialize, Serialize};
-
 /// The four interconnect tiers of NATURE.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum WireType {
     /// Dedicated link between horizontally/vertically adjacent SMBs.
     Direct,
@@ -51,7 +49,7 @@ impl WireType {
 }
 
 /// Channel widths: how many tracks of each segment type run per channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChannelConfig {
     /// Direct links per adjacent SMB pair (per direction).
     pub direct: u32,

@@ -5,10 +5,8 @@
 //! out of the NRAM (160 ps access) into SRAM cells under counter control
 //! (Section 2.1.2). NRAM is non-volatile: configurations survive power-off.
 
-use serde::{Deserialize, Serialize};
-
 /// An NRAM block attached to a reconfigurable element.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NramSpec {
     /// Number of configuration sets (`k`).
     pub sets: u32,
@@ -43,7 +41,7 @@ impl NramSpec {
 }
 
 /// The reconfiguration counter that sequences NRAM sets cycle by cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReconfigCounter {
     sets: u32,
     current: u32,

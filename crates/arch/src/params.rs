@@ -1,7 +1,5 @@
 //! Architecture parameters of a NATURE instance.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of a NATURE architecture instance.
 ///
 /// The experiments in the paper use one 4-input LUT per logic element
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(arch.les_per_smb(), 16);
 /// assert_eq!(arch.ffs_per_smb(), 32);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArchParams {
     /// LUT input count `m`.
     pub lut_inputs: u32,

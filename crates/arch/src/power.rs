@@ -16,12 +16,10 @@
 //! * **leakage** — proportional to the LE count, which temporal folding
 //!   shrinks by an order of magnitude.
 
-use serde::{Deserialize, Serialize};
-
 use crate::params::ArchParams;
 
 /// Per-event energies and per-LE leakage at 100 nm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// Energy of one LUT evaluation (switching + local interconnect), pJ.
     pub lut_switch_pj: f64,
@@ -50,7 +48,7 @@ impl PowerModel {
 }
 
 /// A power estimate for one mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerEstimate {
     /// Dynamic logic power, mW.
     pub logic_mw: f64,

@@ -20,15 +20,13 @@
 //! synchronized). For no-folding, the plane cycle is simply
 //! `depth * (t_lut + t_local) + t_clk`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::interconnect::WireType;
 
 /// Time in nanoseconds.
 pub type Ns = f64;
 
 /// Delay parameters of the fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingModel {
     /// LUT evaluation delay.
     pub lut_delay: Ns,

@@ -1,25 +1,54 @@
-//! Criterion benches for the flow's algorithmic kernels, backing the
-//! paper's complexity discussion (Section 4.5: FDS is O(n²), placement
-//! O(n^4/3), the whole flow O(mn²)) and its "CPU times were less than a
-//! minute for all the benchmarks" claim.
+//! Benches for the flow's algorithmic kernels, backing the paper's
+//! complexity discussion (Section 4.5: FDS is O(n²), placement O(n^4/3),
+//! the whole flow O(mn²)) and its "CPU times were less than a minute for
+//! all the benchmarks" claim.
+//!
+//! Zero-dependency harness: each bench runs a warmup pass then `SAMPLES`
+//! timed iterations and reports min/median/max wall-clock per iteration.
+//! Run with `cargo bench -p nanomap-bench`; pass a substring argument to
+//! filter benches by name.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use nanomap::{NanoMap, Objective};
 use nanomap_arch::{ArchParams, ChannelConfig, Grid, RrGraph, SmbPos, TimingModel};
 use nanomap_bench::circuits::{c5315_gates, ex1};
 use nanomap_netlist::PlaneSet;
+use nanomap_observe::rng::XorShift64Star;
 use nanomap_pack::{extract_nets, pack, PackOptions, SliceNet, TemporalDesign};
 use nanomap_place::{anneal, flatten_nets, AnnealSchedule, CostWeights};
 use nanomap_route::{route_slice, RouteOptions};
 use nanomap_sched::{schedule_fds, FdsOptions, ItemGraph};
 use nanomap_techmap::{expand, map_network, ExpandOptions, FlowMapOptions};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+const SAMPLES: usize = 10;
+
+/// Times `f` over `SAMPLES` iterations (after one warmup) and prints a
+/// `name: min/median/max` line. A `black_box`-style sink keeps the result
+/// alive so the optimizer cannot elide the work.
+fn bench<T>(filter: &str, name: &str, mut f: impl FnMut() -> T) {
+    if !name.contains(filter) {
+        return;
+    }
+    std::hint::black_box(f()); // warmup
+    let mut samples_us: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    println!(
+        "{name:<40} min {:>10.1} us  median {:>10.1} us  max {:>10.1} us",
+        samples_us[0],
+        samples_us[SAMPLES / 2],
+        samples_us[SAMPLES - 1]
+    );
+}
 
 /// FDS runtime scaling with circuit size (Section 4.5: O(n²)).
-fn bench_fds(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fds");
-    group.sample_size(10);
+fn bench_fds(filter: &str) {
     for width in [4u32, 8, 12] {
         let net = expand(&ex1(width), ExpandOptions::default()).expect("expands");
         let planes = PlaneSet::extract(&net).expect("extracts");
@@ -27,34 +56,24 @@ fn bench_fds(c: &mut Criterion) {
         let level = 2;
         let stages = plane.depth.div_ceil(level);
         let graph = ItemGraph::build(&net, &plane, level).expect("builds");
-        group.bench_with_input(
-            BenchmarkId::new("ex1_level2", net.num_luts()),
-            &graph,
-            |b, graph| {
-                b.iter(|| {
-                    schedule_fds(&net, graph, stages, FdsOptions::default()).expect("schedules")
-                })
-            },
-        );
+        let name = format!("fds/ex1_level2/{}", net.num_luts());
+        bench(filter, &name, || {
+            schedule_fds(&net, &graph, stages, FdsOptions::default()).expect("schedules")
+        });
     }
-    group.finish();
 }
 
 /// FlowMap on the c5315-class gate network.
-fn bench_flowmap(c: &mut Criterion) {
+fn bench_flowmap(filter: &str) {
     let gates = c5315_gates();
-    let mut group = c.benchmark_group("flowmap");
-    group.sample_size(10);
-    group.bench_function(BenchmarkId::new("c5315_like", gates.num_gates()), |b| {
-        b.iter(|| map_network(&gates, FlowMapOptions::default()).expect("maps"))
+    let name = format!("flowmap/c5315_like/{}", gates.num_gates());
+    bench(filter, &name, || {
+        map_network(&gates, FlowMapOptions::default()).expect("maps")
     });
-    group.finish();
 }
 
 /// Simulated-annealing placement scaling (Section 4.5: O(n^4/3)).
-fn bench_placement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("placement");
-    group.sample_size(10);
+fn bench_placement(filter: &str) {
     for n in [16usize, 36, 64] {
         let side = (n as f64).sqrt() as u16;
         let grid = Grid::new(side, side);
@@ -64,19 +83,17 @@ fn bench_placement(c: &mut Criterion) {
                 weight: 1.0,
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("anneal", n), &nets, |b, nets| {
-            b.iter(|| {
-                let mut pos: Vec<SmbPos> = (0..n).map(|i| grid.pos(i)).collect();
-                let mut rng = StdRng::seed_from_u64(7);
-                anneal(grid, nets, &mut pos, AnnealSchedule::fast(), &mut rng)
-            })
+        let name = format!("placement/anneal/{n}");
+        bench(filter, &name, || {
+            let mut pos: Vec<SmbPos> = (0..n).map(|i| grid.pos(i)).collect();
+            let mut rng = XorShift64Star::new(7);
+            anneal(grid, &nets, &mut pos, AnnealSchedule::fast(), &mut rng)
         });
     }
-    group.finish();
 }
 
 /// PathFinder routing one congested slice.
-fn bench_routing(c: &mut Criterion) {
+fn bench_routing(filter: &str) {
     let grid = Grid::new(6, 6);
     let graph = RrGraph::build(grid, &ChannelConfig::nature());
     let pos: Vec<SmbPos> = grid.iter().collect();
@@ -91,16 +108,13 @@ fn bench_routing(c: &mut Criterion) {
             n
         })
         .collect();
-    let mut group = c.benchmark_group("routing");
-    group.sample_size(10);
-    group.bench_function("pathfinder_6x6_48nets", |b| {
-        b.iter(|| route_slice(&graph, &nets, &pos, RouteOptions::default()).expect("routes"))
+    bench(filter, "routing/pathfinder_6x6_48nets", || {
+        route_slice(&graph, &nets, &pos, RouteOptions::default()).expect("routes")
     });
-    group.finish();
 }
 
 /// Temporal clustering.
-fn bench_packing(c: &mut Criterion) {
+fn bench_packing(filter: &str) {
     let net = expand(&ex1(8), ExpandOptions::default()).expect("expands");
     let planes = PlaneSet::extract(&net).expect("extracts");
     let plane = planes.planes()[0].clone();
@@ -109,52 +123,46 @@ fn bench_packing(c: &mut Criterion) {
     let graph = ItemGraph::build(&net, &plane, level).expect("builds");
     let schedule = schedule_fds(&net, &graph, stages, FdsOptions::default()).expect("schedules");
     let arch = ArchParams::paper_unbounded();
-    let mut group = c.benchmark_group("packing");
-    group.sample_size(10);
-    group.bench_function("ex1_8bit_level2", |b| {
-        b.iter(|| {
-            let design =
-                TemporalDesign::new(&net, &planes, vec![graph.clone()], vec![schedule.clone()])
-                    .expect("valid");
-            let packing = pack(&design, &arch, PackOptions::default()).expect("packs");
-            let nets = extract_nets(&design, &packing);
-            flatten_nets(&nets, CostWeights::default()).len()
-        })
+    bench(filter, "packing/ex1_8bit_level2", || {
+        let design =
+            TemporalDesign::new(&net, &planes, vec![graph.clone()], vec![schedule.clone()])
+                .expect("valid");
+        let packing = pack(&design, &arch, PackOptions::default()).expect("packs");
+        let nets = extract_nets(&design, &packing);
+        flatten_nets(&nets, CostWeights::default()).len()
     });
-    group.finish();
 }
 
 /// The whole flow (logic mapping only, and with physical design), backing
 /// the paper's "< 1 minute" CPU-time claim.
-fn bench_full_flow(c: &mut Criterion) {
+fn bench_full_flow(filter: &str) {
     let net = expand(&ex1(8), ExpandOptions::default()).expect("expands");
-    let mut group = c.benchmark_group("full_flow");
-    group.sample_size(10);
-    group.bench_function("ex1_8bit_logic_only", |b| {
-        let flow = NanoMap::new(ArchParams::paper_unbounded()).without_physical();
-        b.iter(|| {
-            flow.map(&net, Objective::MinAreaDelayProduct)
-                .expect("maps")
-        })
+    let logic_only = NanoMap::new(ArchParams::paper_unbounded()).without_physical();
+    bench(filter, "full_flow/ex1_8bit_logic_only", || {
+        logic_only
+            .map(&net, Objective::MinAreaDelayProduct)
+            .expect("maps")
     });
-    group.bench_function("ex1_8bit_with_physical", |b| {
-        let flow = NanoMap::new(ArchParams::paper_unbounded());
-        b.iter(|| {
-            flow.map(&net, Objective::MinAreaDelayProduct)
-                .expect("maps")
-        })
+    let physical = NanoMap::new(ArchParams::paper_unbounded());
+    bench(filter, "full_flow/ex1_8bit_with_physical", || {
+        physical
+            .map(&net, Objective::MinAreaDelayProduct)
+            .expect("maps")
     });
     let _ = TimingModel::nature_100nm();
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fds,
-    bench_flowmap,
-    bench_placement,
-    bench_routing,
-    bench_packing,
-    bench_full_flow
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench -- <filter>` narrows to benches whose name contains
+    // the substring; `--bench` style flags from cargo are ignored.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_default();
+    bench_fds(&filter);
+    bench_flowmap(&filter);
+    bench_placement(&filter);
+    bench_routing(&filter);
+    bench_packing(&filter);
+    bench_full_flow(&filter);
+}

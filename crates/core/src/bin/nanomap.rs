@@ -11,6 +11,9 @@
 //!   --no-physical               skip clustering/placement/routing
 //!   --verify                    check folded execution against simulation
 //!   --bitmap PATH               write the packed binary bitstream to PATH
+//!   --metrics PATH              write spans/counters/report as JSON to PATH
+//!   --progress                  echo top-level phase timings to stderr
+//!   --trace                     echo every span to stderr as it closes
 //! ```
 
 use std::process::ExitCode;
@@ -18,6 +21,7 @@ use std::process::ExitCode;
 use nanomap::{NanoMap, Objective};
 use nanomap_arch::ArchParams;
 use nanomap_netlist::{blif, vhdl, LutNetwork};
+use nanomap_observe::{Echo, JsonValue};
 use nanomap_techmap::{expand, optimize, ExpandOptions};
 
 struct Args {
@@ -31,6 +35,14 @@ struct Args {
     physical: bool,
     verify: bool,
     bitmap_path: Option<String>,
+    metrics_path: Option<String>,
+    progress: bool,
+    trace: bool,
+}
+
+/// Pulls the value following a `--flag VALUE` option off the iterator.
+fn value(iter: &mut impl Iterator<Item = String>, name: &str) -> Result<String, String> {
+    iter.next().ok_or_else(|| format!("{name} needs a value"))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,39 +57,49 @@ fn parse_args() -> Result<Args, String> {
         physical: true,
         verify: false,
         bitmap_path: None,
+        metrics_path: None,
+        progress: false,
+        trace: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
-        #[allow(unused_mut)]
-        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
-            "--objective" => args.objective = value("--objective")?,
+            "--objective" => args.objective = value(&mut iter, "--objective")?,
             "--max-les" => {
                 args.max_les = Some(
-                    value("--max-les")?
+                    value(&mut iter, "--max-les")?
                         .parse()
                         .map_err(|e| format!("--max-les: {e}"))?,
                 )
             }
             "--max-delay" => {
                 args.max_delay = Some(
-                    value("--max-delay")?
+                    value(&mut iter, "--max-delay")?
                         .parse()
                         .map_err(|e| format!("--max-delay: {e}"))?,
                 )
             }
-            "--k" => args.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--k" => {
+                args.k = value(&mut iter, "--k")?
+                    .parse()
+                    .map_err(|e| format!("--k: {e}"))?
+            }
             "--ffs-per-le" => {
-                args.ffs_per_le = value("--ffs-per-le")?
+                args.ffs_per_le = value(&mut iter, "--ffs-per-le")?
                     .parse()
                     .map_err(|e| format!("--ffs-per-le: {e}"))?
             }
-            "--bitmap" => args.bitmap_path = Some(value("--bitmap")?),
+            "--bitmap" => args.bitmap_path = Some(value(&mut iter, "--bitmap")?),
+            "--metrics" => args.metrics_path = Some(value(&mut iter, "--metrics")?),
             "--optimize" => args.run_optimize = true,
             "--no-physical" => args.physical = false,
             "--verify" => args.verify = true,
+            "--progress" => args.progress = true,
+            "--trace" => args.trace = true,
             "--help" | "-h" => return Err(String::new()),
-            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}` (see --help)"))
+            }
             other => {
                 if !args.input.is_empty() {
                     return Err("multiple input files".into());
@@ -121,9 +143,20 @@ fn main() -> ExitCode {
             eprintln!("usage: nanomap <design.vhd | design.blif> [--objective delay|area|at]");
             eprintln!("       [--max-les N] [--max-delay NS] [--k N] [--ffs-per-le N]");
             eprintln!("       [--optimize] [--no-physical] [--verify] [--bitmap PATH]");
+            eprintln!("       [--metrics PATH] [--progress] [--trace]");
             return ExitCode::FAILURE;
         }
     };
+    // Observability: --metrics needs the collector recording; --progress and
+    // --trace additionally echo spans to stderr as they close.
+    if args.metrics_path.is_some() || args.progress || args.trace {
+        nanomap_observe::set_enabled(true);
+    }
+    if args.trace {
+        nanomap_observe::set_echo(Echo::Trace);
+    } else if args.progress {
+        nanomap_observe::set_echo(Echo::Progress);
+    }
     let arch = ArchParams {
         num_reconf: if args.k == 0 { u32::MAX } else { args.k },
         ffs_per_le: args.ffs_per_le,
@@ -199,6 +232,18 @@ fn main() -> ExitCode {
             if args.verify {
                 println!("  folded-execution verification: PASSED");
             }
+            let t = &report.phase_times;
+            println!(
+                "  time: total {:.1} ms (select {:.1}, fds {:.1}, pack {:.1}, place {:.1}, route {:.1}, bitmap {:.1}, verify {:.1})",
+                t.total_ms,
+                t.folding_select_ms,
+                t.fds_ms,
+                t.pack_ms,
+                t.place_ms,
+                t.route_ms,
+                t.bitmap_ms,
+                t.verify_ms
+            );
             if let (Some(path), Some(physical)) = (&args.bitmap_path, &report.physical) {
                 if let Some(bytes) = &physical.bitstream {
                     if let Err(e) = std::fs::write(path, bytes) {
@@ -207,6 +252,21 @@ fn main() -> ExitCode {
                     }
                     println!("  bitstream: {} bytes -> {path}", bytes.len());
                 }
+            }
+            if args.progress || args.trace {
+                let snap = nanomap_observe::snapshot();
+                eprint!("{}", snap.render_tree());
+            }
+            if let Some(path) = &args.metrics_path {
+                let snap = nanomap_observe::snapshot();
+                let doc = JsonValue::object()
+                    .with("report", report.to_json())
+                    .with("metrics", snap.to_json());
+                if let Err(e) = std::fs::write(path, doc.to_pretty_string()) {
+                    eprintln!("error: writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("  metrics: -> {path}");
             }
             ExitCode::SUCCESS
         }

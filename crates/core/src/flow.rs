@@ -18,10 +18,14 @@ use nanomap_route::{route_design, RouteOptions};
 use nanomap_sched::{schedule_fds, FdsOptions, ItemGraph, LeShape, Schedule};
 use nanomap_techmap::{expand, ExpandOptions};
 
+use std::time::Instant;
+
+use nanomap_observe::span;
+
 use crate::error::FlowError;
 use crate::folding::{candidate_configs, FoldingConfig, PlaneSharing};
 use crate::objective::Objective;
-use crate::report::{MappingReport, PhysicalReport};
+use crate::report::{MappingReport, PhaseTimes, PhysicalReport};
 use crate::verify::check_folded_execution;
 
 /// The NanoMap flow, configured for one NATURE instance.
@@ -153,18 +157,33 @@ impl NanoMap {
     /// satisfies the constraints, or the first hard failure from a flow
     /// stage.
     pub fn map(&self, net: &LutNetwork, objective: Objective) -> Result<MappingReport, FlowError> {
+        let total_start = Instant::now();
+        let mut flow_span = span!("flow", circuit = net.name());
+        let mut times = PhaseTimes::default();
         let planes = PlaneSet::extract(net)?;
         let candidates = candidate_configs(&planes, self.arch.num_reconf);
 
         // --- Logic mapping: evaluate candidates (steps 2-6). ---
+        let select_start = Instant::now();
         let mut evaluated: Vec<(FoldingConfig, CandidateEval)> = Vec::new();
-        for config in &candidates {
-            match self.evaluate(net, &planes, *config) {
-                Ok(eval) => evaluated.push((*config, eval)),
-                Err(FlowError::Sched(_)) => continue, // infeasible stage count
-                Err(e) => return Err(e),
+        {
+            let _select_span = span!("folding-select", candidates = candidates.len());
+            for config in &candidates {
+                let mut cand_span = span!("candidate", stages = config.stages);
+                cand_span.attr("level", config.level);
+                nanomap_observe::incr("flow.candidates_evaluated", 1);
+                match self.evaluate(net, &planes, *config) {
+                    Ok(eval) => evaluated.push((*config, eval)),
+                    Err(FlowError::Sched(_)) => {
+                        // Infeasible stage count.
+                        nanomap_observe::incr("flow.candidates_rejected_sched", 1);
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
         }
+        times.folding_select_ms = select_start.elapsed().as_secs_f64() * 1e3;
         if evaluated.is_empty() {
             return Err(FlowError::NoFeasibleFolding {
                 reason: "no folding configuration schedules feasibly".into(),
@@ -214,13 +233,21 @@ impl NanoMap {
             let (config, _) = &evaluated[idx];
             let config = *config;
             // Re-evaluate to own the schedules (cheap relative to P&R).
+            let fds_start = Instant::now();
             let eval = self.evaluate(net, &planes, config)?;
+            times.fds_ms = fds_start.elapsed().as_secs_f64() * 1e3;
             if !objective.admits(eval.les, eval.delay_ns) {
                 break; // remaining candidates violate constraints
             }
-            match self.finish_candidate(net, &planes, config, eval) {
-                Ok(report) => return Ok(report),
+            match self.finish_candidate(net, &planes, config, eval, times) {
+                Ok(mut report) => {
+                    flow_span.attr("folding_level", config.level);
+                    flow_span.attr("num_les", report.num_les);
+                    report.phase_times.total_ms = total_start.elapsed().as_secs_f64() * 1e3;
+                    return Ok(report);
+                }
                 Err(e @ (FlowError::Place(_) | FlowError::Route(_))) => {
+                    nanomap_observe::incr("flow.candidates_rejected_physical", 1);
                     last_error = Some(e);
                     continue;
                 }
@@ -335,35 +362,63 @@ impl NanoMap {
         planes: &PlaneSet,
         config: FoldingConfig,
         eval: CandidateEval,
+        mut times: PhaseTimes,
     ) -> Result<MappingReport, FlowError> {
         let design = TemporalDesign::new(net, planes, eval.graphs, eval.schedules)?;
-        if self.verify {
-            let check = check_folded_execution(&design, self.verify_cycles, 0xFEED);
-            if let Some(detail) = check.failure {
-                return Err(FlowError::VerificationFailed { detail });
+        {
+            // The verify span is always emitted so the phase set is
+            // complete; the attribute records whether it actually ran.
+            let mut verify_span = span!("verify", skipped = !self.verify);
+            if self.verify {
+                let verify_start = Instant::now();
+                let check = check_folded_execution(&design, self.verify_cycles, 0xFEED);
+                times.verify_ms = verify_start.elapsed().as_secs_f64() * 1e3;
+                verify_span.attr("cycles", self.verify_cycles as u64);
+                if let Some(detail) = check.failure {
+                    return Err(FlowError::VerificationFailed { detail });
+                }
             }
         }
         let physical = if self.run_physical {
-            let packing = pack(&design, &self.arch, self.pack_options)?;
+            let pack_start = Instant::now();
+            let packing = {
+                let _span = span!("pack", slices = design.num_slices());
+                pack(&design, &self.arch, self.pack_options)?
+            };
             let nets = extract_nets(&design, &packing);
-            let placement = place(
-                &design,
-                &packing,
-                &nets,
-                &self.channels,
-                &self.timing,
-                self.place_options,
-            )?;
-            let routed = route_design(
-                &design,
-                &packing,
-                &nets,
-                &placement,
-                &self.channels,
-                &self.timing,
-                &self.arch,
-                self.route_options,
-            )?;
+            times.pack_ms = pack_start.elapsed().as_secs_f64() * 1e3;
+            let place_start = Instant::now();
+            let placement = {
+                let mut place_span = span!("place", smbs = packing.num_smbs);
+                place_span.attr("seed", self.place_options.seed);
+                place(
+                    &design,
+                    &packing,
+                    &nets,
+                    &self.channels,
+                    &self.timing,
+                    self.place_options,
+                )?
+            };
+            times.place_ms = place_start.elapsed().as_secs_f64() * 1e3;
+            let route_start = Instant::now();
+            let routed = {
+                let mut route_span = span!("route", slices = design.num_slices());
+                route_span.attr("seed", self.route_options.seed);
+                route_design(
+                    &design,
+                    &packing,
+                    &nets,
+                    &placement,
+                    &self.channels,
+                    &self.timing,
+                    &self.arch,
+                    self.route_options,
+                )?
+            };
+            times.bitmap_ms = routed.bitmap_ms;
+            times.route_ms =
+                (route_start.elapsed().as_secs_f64() * 1e3 - routed.bitmap_ms).max(0.0);
             let bitstream = self
                 .emit_bitstream
                 .then(|| nanomap_arch::pack_bitstream(&routed.bitmap, self.arch.lut_inputs));
@@ -419,6 +474,7 @@ impl NanoMap {
             area_um2,
             power,
             physical,
+            phase_times: times,
         })
     }
 }

@@ -1,14 +1,14 @@
 //! Mapping reports.
 
 use nanomap_arch::PowerEstimate;
+use nanomap_observe::JsonValue;
 use nanomap_route::InterconnectUsage;
-use serde::{Deserialize, Serialize};
 
 use crate::folding::PlaneSharing;
 
 /// Everything NanoMap reports about a finished mapping (the Table 1 /
 /// Table 2 columns plus physical-design detail).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MappingReport {
     /// Circuit name.
     pub circuit: String,
@@ -39,10 +39,50 @@ pub struct MappingReport {
     pub power: PowerEstimate,
     /// Physical-design results, when the flow ran place-and-route.
     pub physical: Option<PhysicalReport>,
+    /// Wall-clock time spent in each flow phase. Always populated — the
+    /// flow measures these with plain `Instant`s, independent of whether
+    /// the observability collector is enabled.
+    pub phase_times: PhaseTimes,
+}
+
+/// Wall-clock milliseconds per flow phase (zero when a phase did not run).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Candidate enumeration + FDS evaluation of every folding config.
+    pub folding_select_ms: f64,
+    /// Re-scheduling (FDS) of the winning candidate.
+    pub fds_ms: f64,
+    /// Temporal clustering.
+    pub pack_ms: f64,
+    /// Two-step simulated-annealing placement.
+    pub place_ms: f64,
+    /// PathFinder routing (excluding bitmap generation).
+    pub route_ms: f64,
+    /// Configuration-bitmap generation.
+    pub bitmap_ms: f64,
+    /// Folded-execution verification.
+    pub verify_ms: f64,
+    /// End-to-end mapping time.
+    pub total_ms: f64,
+}
+
+impl PhaseTimes {
+    /// JSON object with one entry per phase.
+    pub fn to_json(self) -> JsonValue {
+        JsonValue::object()
+            .with("folding_select_ms", self.folding_select_ms)
+            .with("fds_ms", self.fds_ms)
+            .with("pack_ms", self.pack_ms)
+            .with("place_ms", self.place_ms)
+            .with("route_ms", self.route_ms)
+            .with("bitmap_ms", self.bitmap_ms)
+            .with("verify_ms", self.verify_ms)
+            .with("total_ms", self.total_ms)
+    }
 }
 
 /// Serializable mirror of [`PlaneSharing`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SharingMode {
     /// Planes time-share LEs.
     Shared,
@@ -60,7 +100,7 @@ impl From<PlaneSharing> for SharingMode {
 }
 
 /// Results of clustering, placement and routing.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PhysicalReport {
     /// SMBs used after temporal clustering.
     pub num_smbs: u32,
@@ -82,7 +122,7 @@ pub struct PhysicalReport {
 }
 
 /// Serializable interconnect usage.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct UsageReport {
     /// Direct-link nodes used.
     pub direct: u64,
@@ -112,10 +152,84 @@ impl UsageReport {
     }
 }
 
+impl SharingMode {
+    /// Stable lowercase name for serialization.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Shared => "shared",
+            Self::PerPlane => "per-plane",
+        }
+    }
+}
+
+impl UsageReport {
+    /// JSON object with per-tier counts.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .with("direct", self.direct)
+            .with("length1", self.length1)
+            .with("length4", self.length4)
+            .with("global", self.global)
+            .with("total", self.total())
+    }
+}
+
+impl PhysicalReport {
+    /// JSON object mirroring the struct (the bitstream is reported by
+    /// length, not content).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .with("num_smbs", self.num_smbs)
+            .with("grid_width", self.grid.0)
+            .with("grid_height", self.grid.1)
+            .with("placement_cost", self.placement_cost)
+            .with("peak_utilization", self.peak_utilization)
+            .with("routed_delay_ns", self.routed_delay_ns)
+            .with("usage", self.usage.to_json())
+            .with("bitmap_bits", self.bitmap_bits)
+            .with(
+                "bitstream_bytes",
+                self.bitstream.as_ref().map(|b| b.len() as u64),
+            )
+    }
+}
+
 impl MappingReport {
     /// Area-delay product with the LE count as the area proxy.
     pub fn area_delay_product(&self) -> f64 {
         f64::from(self.num_les) * self.delay_ns
+    }
+
+    /// Serializes the full report as a JSON object (serde-free, via the
+    /// observe crate's emitter).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .with("circuit", self.circuit.as_str())
+            .with("num_planes", self.num_planes)
+            .with("depth_max", self.depth_max)
+            .with("num_luts", self.num_luts)
+            .with("num_ffs", self.num_ffs)
+            .with("folding_level", self.folding_level)
+            .with("stages", self.stages)
+            .with("sharing", self.sharing.as_str())
+            .with("nram_sets_used", self.nram_sets_used)
+            .with("num_les", self.num_les)
+            .with("delay_ns", self.delay_ns)
+            .with("area_delay_product", self.area_delay_product())
+            .with("area_um2", self.area_um2)
+            .with(
+                "power_mw",
+                JsonValue::object()
+                    .with("logic", self.power.logic_mw)
+                    .with("reconfiguration", self.power.reconfiguration_mw)
+                    .with("leakage", self.power.leakage_mw)
+                    .with("total", self.power.total_mw()),
+            )
+            .with(
+                "physical",
+                self.physical.as_ref().map(PhysicalReport::to_json),
+            )
+            .with("phase_times", self.phase_times.to_json())
     }
 
     /// A one-line summary in the style of a Table 1 row.
@@ -159,6 +273,7 @@ mod tests {
                 leakage_mw: 0.03,
             },
             physical: None,
+            phase_times: PhaseTimes::default(),
         }
     }
 

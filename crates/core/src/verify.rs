@@ -29,20 +29,6 @@ impl FoldedCheck {
     }
 }
 
-#[derive(Debug, Clone)]
-struct XorShift64(u64);
-
-impl XorShift64 {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x
-    }
-}
-
 /// Runs the folded machine against the reference simulator for `cycles`
 /// macro cycles with pseudo-random inputs.
 ///
@@ -57,7 +43,7 @@ pub fn check_folded_execution(
 ) -> FoldedCheck {
     let net = design.net;
     let mut reference = LutSimulator::new(net).expect("validated network");
-    let mut rng = XorShift64(seed | 1);
+    let mut rng = nanomap_observe::rng::XorShift64Star::new(seed);
 
     // Folded machine state.
     let mut ff_state = vec![false; net.num_ffs()];
@@ -67,7 +53,7 @@ pub fn check_folded_execution(
 
     for cycle in 0..cycles {
         // Draw one input vector.
-        let inputs: Vec<bool> = (0..net.num_inputs()).map(|_| rng.next() & 1 == 1).collect();
+        let inputs: Vec<bool> = (0..net.num_inputs()).map(|_| rng.next_bool()).collect();
 
         // --- Folded execution of one macro cycle. ---
         let mut lut_value: HashMap<LutId, bool> = HashMap::new();

@@ -75,6 +75,7 @@ impl PlaneSet {
     ///
     /// Returns an error if the network fails validation.
     pub fn extract(net: &LutNetwork) -> Result<Self, NetlistError> {
+        let _span = nanomap_observe::span!("plane-extract", luts = net.num_luts() as u64);
         net.validate()?;
         let topo = net.topo_order()?;
         let num_ffs = net.num_ffs();

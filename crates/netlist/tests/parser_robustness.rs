@@ -1,86 +1,108 @@
 //! Robustness: the textual front-ends must reject arbitrary garbage with
-//! errors, never panics.
+//! errors, never panics. Inputs come from a seeded PRNG so every run
+//! fuzzes the same deterministic corpus.
 
-use proptest::prelude::*;
+use nanomap_observe::rng::XorShift64Star;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Random printable-ish text of up to `max_len` bytes, salted with
+/// newlines, dots and punctuation the parsers treat specially.
+fn random_text(rng: &mut XorShift64Star, max_len: usize) -> String {
+    const ALPHABET: &[u8] =
+        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 \t\n.#\\-_()<>=;:,'\"&";
+    let len = rng.index(max_len + 1);
+    (0..len)
+        .map(|_| ALPHABET[rng.index(ALPHABET.len())] as char)
+        .collect()
+}
 
-    /// Arbitrary text through the BLIF parser: error or success, no panic.
-    #[test]
-    fn blif_never_panics(text in ".{0,400}") {
+/// Arbitrary text through the BLIF parser: error or success, no panic.
+#[test]
+fn blif_never_panics() {
+    let mut rng = XorShift64Star::new(0xB11F_0001);
+    for _ in 0..256 {
+        let text = random_text(&mut rng, 400);
         let _ = nanomap_netlist::blif::parse(&text);
     }
+}
 
-    /// Arbitrary text through the VHDL parser: error or success, no panic.
-    #[test]
-    fn vhdl_never_panics(text in ".{0,400}") {
+/// Arbitrary text through the VHDL parser: error or success, no panic.
+#[test]
+fn vhdl_never_panics() {
+    let mut rng = XorShift64Star::new(0xB11F_0002);
+    for _ in 0..256 {
+        let text = random_text(&mut rng, 400);
         let _ = nanomap_netlist::vhdl::parse(&text);
     }
+}
 
-    /// BLIF-shaped fuzzing: random directives and rows.
-    #[test]
-    fn blif_directive_soup_never_panics(
-        lines in proptest::collection::vec(
-            prop_oneof![
-                Just(".model m".to_string()),
-                Just(".inputs a b c".to_string()),
-                Just(".outputs y".to_string()),
-                Just(".names a b y".to_string()),
-                Just(".names y".to_string()),
-                Just(".latch d q re clk 0".to_string()),
-                Just(".latch d".to_string()),
-                Just(".end".to_string()),
-                Just("11 1".to_string()),
-                Just("-- 0".to_string()),
-                Just("1".to_string()),
-                Just("garbage line".to_string()),
-                Just("\\".to_string()),
-                Just("# comment".to_string()),
-            ],
-            0..20,
-        )
-    ) {
-        let text = lines.join("\n");
+/// BLIF-shaped fuzzing: random directives and rows.
+#[test]
+fn blif_directive_soup_never_panics() {
+    const LINES: &[&str] = &[
+        ".model m",
+        ".inputs a b c",
+        ".outputs y",
+        ".names a b y",
+        ".names y",
+        ".latch d q re clk 0",
+        ".latch d",
+        ".end",
+        "11 1",
+        "-- 0",
+        "1",
+        "garbage line",
+        "\\",
+        "# comment",
+    ];
+    let mut rng = XorShift64Star::new(0xB11F_0003);
+    for _ in 0..256 {
+        let n = rng.index(20);
+        let text = (0..n)
+            .map(|_| LINES[rng.index(LINES.len())])
+            .collect::<Vec<_>>()
+            .join("\n");
         let _ = nanomap_netlist::blif::parse(&text);
     }
+}
 
-    /// VHDL-shaped fuzzing: random token soup.
-    #[test]
-    fn vhdl_token_soup_never_panics(
-        words in proptest::collection::vec(
-            prop_oneof![
-                Just("entity".to_string()),
-                Just("architecture".to_string()),
-                Just("is".to_string()),
-                Just("port".to_string()),
-                Just("map".to_string()),
-                Just("generic".to_string()),
-                Just("signal".to_string()),
-                Just("begin".to_string()),
-                Just("end".to_string()),
-                Just("std_logic".to_string()),
-                Just("std_logic_vector".to_string()),
-                Just("downto".to_string()),
-                Just("(".to_string()),
-                Just(")".to_string()),
-                Just(";".to_string()),
-                Just(":".to_string()),
-                Just(",".to_string()),
-                Just("<=".to_string()),
-                Just("=>".to_string()),
-                Just("&".to_string()),
-                Just("'0'".to_string()),
-                Just("\"01\"".to_string()),
-                Just("x".to_string()),
-                Just("7".to_string()),
-                Just("in".to_string()),
-                Just("out".to_string()),
-            ],
-            0..40,
-        )
-    ) {
-        let text = words.join(" ");
+/// VHDL-shaped fuzzing: random token soup.
+#[test]
+fn vhdl_token_soup_never_panics() {
+    const WORDS: &[&str] = &[
+        "entity",
+        "architecture",
+        "is",
+        "port",
+        "map",
+        "generic",
+        "signal",
+        "begin",
+        "end",
+        "std_logic",
+        "std_logic_vector",
+        "downto",
+        "(",
+        ")",
+        ";",
+        ":",
+        ",",
+        "<=",
+        "=>",
+        "&",
+        "'0'",
+        "\"01\"",
+        "x",
+        "7",
+        "in",
+        "out",
+    ];
+    let mut rng = XorShift64Star::new(0xB11F_0004);
+    for _ in 0..256 {
+        let n = rng.index(40);
+        let text = (0..n)
+            .map(|_| WORDS[rng.index(WORDS.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = nanomap_netlist::vhdl::parse(&text);
     }
 }

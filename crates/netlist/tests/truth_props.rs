@@ -1,44 +1,51 @@
-//! Property-based tests of [`TruthTable`] algebra.
+//! Property-style tests of [`TruthTable`] algebra over seeded random
+//! tables (deterministic: the same cases run every time).
 
 use nanomap_netlist::TruthTable;
-use proptest::prelude::*;
+use nanomap_observe::rng::XorShift64Star;
 
-fn table_strategy() -> impl Strategy<Value = TruthTable> {
-    (1u32..=6, any::<u64>()).prop_map(|(n, bits)| TruthTable::new(n, bits))
+const CASES: usize = 128;
+
+fn random_table(rng: &mut XorShift64Star) -> TruthTable {
+    let n = 1 + rng.below(6) as u32; // 1..=6 inputs
+    TruthTable::new(n, rng.next_u64())
 }
 
-proptest! {
-    /// Double complement is the identity.
-    #[test]
-    fn complement_involution(t in table_strategy()) {
-        prop_assert_eq!(t.complement().complement(), t);
+/// Double complement is the identity.
+#[test]
+fn complement_involution() {
+    let mut rng = XorShift64Star::new(0x77_0001);
+    for _ in 0..CASES {
+        let t = random_table(&mut rng);
+        assert_eq!(t.complement().complement(), t);
     }
+}
 
-    /// A permutation followed by its inverse is the identity.
-    #[test]
-    fn permute_round_trip(t in table_strategy(), seed in any::<u64>()) {
+/// A permutation followed by its inverse is the identity.
+#[test]
+fn permute_round_trip() {
+    let mut rng = XorShift64Star::new(0x77_0002);
+    for _ in 0..CASES {
+        let t = random_table(&mut rng);
         let n = t.num_inputs();
-        // Derive a permutation from the seed (Fisher-Yates).
         let mut perm: Vec<u32> = (0..n).collect();
-        let mut state = seed | 1;
-        for i in (1..perm.len()).rev() {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            perm.swap(i, (state % (i as u64 + 1)) as usize);
-        }
+        rng.shuffle(&mut perm);
         let mut inverse = vec![0u32; n as usize];
         for (new_idx, &old_idx) in perm.iter().enumerate() {
             inverse[old_idx as usize] = new_idx as u32;
         }
-        prop_assert_eq!(t.permute(&perm).permute(&inverse), t);
+        assert_eq!(t.permute(&perm).permute(&inverse), t);
     }
+}
 
-    /// Shannon expansion: f = (x & f|x=1) | (!x & f|x=0) for every input.
-    #[test]
-    fn shannon_expansion(t in table_strategy(), input_pick in any::<prop::sample::Index>()) {
+/// Shannon expansion: f = (x & f|x=1) | (!x & f|x=0) for every input.
+#[test]
+fn shannon_expansion() {
+    let mut rng = XorShift64Star::new(0x77_0003);
+    for _ in 0..CASES {
+        let t = random_table(&mut rng);
         let n = t.num_inputs();
-        let input = input_pick.index(n as usize) as u32;
+        let input = rng.index(n as usize) as u32;
         let f1 = t.cofactor(input, true);
         let f0 = t.cofactor(input, false);
         for row in 0..t.num_rows() {
@@ -54,33 +61,40 @@ proptest! {
             } else {
                 f0.eval(&reduced)
             };
-            prop_assert_eq!(t.eval(&bits), expected, "row {}", row);
+            assert_eq!(t.eval(&bits), expected, "row {row}");
         }
     }
+}
 
-    /// `ignores_input` is consistent with cofactor equality by definition,
-    /// and an ignored input's cofactors agree on every assignment.
-    #[test]
-    fn ignored_inputs_do_not_matter(t in table_strategy(), input_pick in any::<prop::sample::Index>()) {
+/// An ignored input's cofactors agree on every assignment.
+#[test]
+fn ignored_inputs_do_not_matter() {
+    let mut rng = XorShift64Star::new(0x77_0004);
+    for _ in 0..CASES {
+        let t = random_table(&mut rng);
         let n = t.num_inputs();
-        let input = input_pick.index(n as usize) as u32;
+        let input = rng.index(n as usize) as u32;
         if t.ignores_input(input) {
             for row in 0..t.num_rows() {
                 let flipped = row ^ (1 << input);
-                prop_assert_eq!(t.eval_row(row), t.eval_row(flipped));
+                assert_eq!(t.eval_row(row), t.eval_row(flipped));
             }
         }
     }
+}
 
-    /// `to_bit_string` round-trips through `new`.
-    #[test]
-    fn bit_string_round_trip(t in table_strategy()) {
+/// `to_bit_string` round-trips through `new`.
+#[test]
+fn bit_string_round_trip() {
+    let mut rng = XorShift64Star::new(0x77_0005);
+    for _ in 0..CASES {
+        let t = random_table(&mut rng);
         let text = t.to_bit_string();
-        prop_assert_eq!(text.len() as u64, t.num_rows());
+        assert_eq!(text.len() as u64, t.num_rows());
         let bits = text
             .bytes()
             .enumerate()
             .fold(0u64, |acc, (i, b)| acc | (u64::from(b == b'1') << i));
-        prop_assert_eq!(TruthTable::new(t.num_inputs(), bits), t);
+        assert_eq!(TruthTable::new(t.num_inputs(), bits), t);
     }
 }

@@ -1,0 +1,49 @@
+//! # nanomap-observe
+//!
+//! Zero-dependency observability for the NanoMap flow: hierarchical
+//! wall-clock [spans](span!), monotonic [counters](counter) and
+//! [gauges](gauge), log-scale [histograms](histogram) with percentile
+//! readout, a thread-safe global [collector](snapshot), and two sinks —
+//! a human-readable per-phase tree ([`MetricsSnapshot::render_tree`]) and
+//! a hand-rolled JSON emitter ([`MetricsSnapshot::to_json`], serde-free).
+//!
+//! Everything is **off by default** and costs one relaxed atomic load per
+//! instrumentation site until [`set_enabled`]`(true)` — the flow's hot
+//! paths stay hot with observability compiled in.
+//!
+//! The crate also hosts the workspace's determinism substrate:
+//! [`rng::XorShift64Star`], the seeded PRNG that replaced the `rand`
+//! crate so annealing and routing runs reproduce from one logged seed.
+//!
+//! ```
+//! use nanomap_observe as observe;
+//!
+//! observe::set_enabled(true);
+//! {
+//!     let _phase = observe::span!("fds", items = 12usize);
+//!     observe::counter("fds.force_evals").add(144);
+//!     observe::histogram("fds.round_us").record(250);
+//! }
+//! let snap = observe::snapshot();
+//! assert_eq!(snap.counter("fds.force_evals"), 144);
+//! assert!(!snap.spans_named("fds").is_empty());
+//! let json = snap.to_json().to_pretty_string();
+//! assert!(json.contains("\"fds.force_evals\""));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod rng;
+
+mod collector;
+mod metrics;
+mod span;
+
+pub use collector::{
+    counter, enabled, gauge, histogram, incr, reset, set_echo, set_enabled, snapshot, Echo,
+    MetricsSnapshot,
+};
+pub use json::JsonValue;
+pub use metrics::{Counter, Gauge, HistogramHandle, HistogramSnapshot};
+pub use span::{SpanAttr, SpanGuard, SpanRecord};

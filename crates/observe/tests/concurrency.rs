@@ -1,0 +1,60 @@
+//! Counter atomicity and span collection under threads (own process).
+
+use nanomap_observe as observe;
+use nanomap_observe::span;
+
+#[test]
+fn counters_are_atomic_under_threads() {
+    observe::set_enabled(true);
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(|| {
+                let counter = observe::counter("test.concurrent");
+                let histogram = observe::histogram("test.concurrent_hist");
+                for i in 0..PER_THREAD {
+                    counter.incr();
+                    histogram.record(i % 1024);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker");
+    }
+    let snap = observe::snapshot();
+    assert_eq!(snap.counter("test.concurrent"), THREADS as u64 * PER_THREAD);
+    let hist = &snap.histograms["test.concurrent_hist"];
+    assert_eq!(hist.count, THREADS as u64 * PER_THREAD);
+    assert_eq!(hist.max, 1023);
+}
+
+#[test]
+fn span_stacks_are_per_thread() {
+    observe::set_enabled(true);
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let _outer = span!("thread_outer", thread = t as u32);
+                let _inner = span!("thread_inner");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker");
+    }
+    let snap = observe::snapshot();
+    let outers = snap.spans_named("thread_outer");
+    let inners = snap.spans_named("thread_inner");
+    assert_eq!(outers.len(), 4);
+    assert_eq!(inners.len(), 4);
+    // Every inner's parent is an outer from the same thread, never a
+    // sibling thread's span.
+    let outer_ids: std::collections::HashSet<u64> = outers.iter().map(|s| s.id).collect();
+    for inner in inners {
+        let parent = inner.parent.expect("nested");
+        assert!(outer_ids.contains(&parent));
+        assert_eq!(inner.depth, 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Span nesting, timing monotonicity and sink output (own process, so
+//! enabling the global collector cannot disturb other test binaries).
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use nanomap_observe as observe;
+use nanomap_observe::span;
+
+/// The collector is process-global, so tests that reset + snapshot it
+/// must not interleave.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn setup() -> MutexGuard<'static, ()> {
+    let guard = TEST_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    observe::set_enabled(true);
+    observe::reset();
+    guard
+}
+
+#[test]
+fn nesting_and_timing_monotonicity() {
+    let _guard = setup();
+    {
+        let _outer = span!("outer", circuit = "ex1");
+        std::thread::sleep(Duration::from_millis(2));
+        {
+            let _inner = span!("inner", stage = 1u32);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        {
+            let _inner = span!("inner", stage = 2u32);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    let snap = observe::snapshot();
+    let outer = snap.spans_named("outer");
+    let inners = snap.spans_named("inner");
+    assert_eq!(outer.len(), 1);
+    assert_eq!(inners.len(), 2);
+
+    // Parent/depth bookkeeping.
+    assert_eq!(outer[0].parent, None);
+    assert_eq!(outer[0].depth, 0);
+    for inner in &inners {
+        assert_eq!(inner.parent, Some(outer[0].id));
+        assert_eq!(inner.depth, 1);
+    }
+
+    // Timing monotonicity: children start at or after the parent, fit
+    // inside it, and the parent covers their sum.
+    let children_us: u64 = inners.iter().map(|s| s.duration_us).sum();
+    assert!(
+        outer[0].duration_us >= children_us,
+        "parent covers children"
+    );
+    for inner in &inners {
+        assert!(inner.start_us >= outer[0].start_us);
+        assert!(inner.start_us + inner.duration_us <= outer[0].start_us + outer[0].duration_us + 1);
+        assert!(inner.duration_us >= 1_000, "2 ms sleep measured >= 1 ms");
+    }
+    // The two inner spans do not overlap and close in order.
+    assert!(inners[0].start_us + inners[0].duration_us <= inners[1].start_us + 1);
+}
+
+#[test]
+fn sequential_spans_have_increasing_starts() {
+    let _guard = setup();
+    for _ in 0..3 {
+        let _s = span!("step");
+    }
+    let snap = observe::snapshot();
+    let steps = snap.spans_named("step");
+    assert_eq!(steps.len(), 3);
+    assert!(steps.windows(2).all(|w| w[0].start_us <= w[1].start_us));
+    // Ids are unique.
+    let mut ids: Vec<u64> = steps.iter().map(|s| s.id).collect();
+    ids.dedup();
+    assert_eq!(ids.len(), 3);
+}
+
+#[test]
+fn tree_and_json_sinks_agree() {
+    let _guard = setup();
+    {
+        let _root = span!("flow", circuit = "t");
+        let _child = span!("pack");
+    }
+    observe::counter("pack.lut_assigned").add(5);
+    let snap = observe::snapshot();
+
+    let tree = snap.render_tree();
+    assert!(tree.contains("flow"), "{tree}");
+    // Child indented under parent.
+    assert!(
+        tree.contains("\n  pack") || tree.contains("  pack "),
+        "{tree}"
+    );
+    assert!(tree.contains("counter pack.lut_assigned = 5"), "{tree}");
+
+    let json = snap.to_json().to_pretty_string();
+    let parsed = observe::json::parse(&json).expect("valid JSON");
+    let spans = parsed.get("spans").and_then(|s| s.as_array()).unwrap();
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name")?.as_str())
+        .collect();
+    assert!(names.contains(&"flow") && names.contains(&"pack"));
+    assert_eq!(
+        parsed
+            .get("counters")
+            .and_then(|c| c.get("pack.lut_assigned"))
+            .and_then(observe::JsonValue::as_int),
+        Some(5)
+    );
+}
+
+#[test]
+fn attrs_added_after_open_are_recorded() {
+    let _guard = setup();
+    {
+        let mut s = span!("route");
+        s.attr("overused", 3u32);
+    }
+    let snap = observe::snapshot();
+    let route = snap.spans_named("route");
+    assert_eq!(route[0].attrs.len(), 1);
+    assert_eq!(route[0].attrs[0].0, "overused");
+}

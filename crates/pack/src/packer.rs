@@ -99,6 +99,9 @@ pub fn pack(
     arch: &ArchParams,
     options: PackOptions,
 ) -> Result<Packing, PackError> {
+    let attraction_ctr = nanomap_observe::counter("pack.attraction_evals");
+    let smb_fill_hist = nanomap_observe::histogram("pack.smb_lut_fill");
+
     let cap_luts = arch.luts_per_smb();
     let cap_ffs = arch.ffs_per_smb();
     let net = design.net;
@@ -211,6 +214,7 @@ pub fn pack(
                 && !unassigned.is_empty()
             {
                 let mut best: Option<(f64, usize)> = None;
+                attraction_ctr.add(unassigned.len() as u64);
                 for (pos, &cand) in unassigned.iter().enumerate() {
                     let a = attraction(
                         &packing,
@@ -236,6 +240,14 @@ pub fn pack(
                 assign_lut(&mut packing, cand, smb, slice);
             }
         }
+    }
+
+    // Per-(SMB, slice) LUT fill levels feed the packing-density histogram.
+    if nanomap_observe::enabled() {
+        for &occ in packing.lut_occupancy.values() {
+            smb_fill_hist.record(u64::from(occ));
+        }
+        nanomap_observe::incr("pack.smbs_opened", u64::from(packing.num_smbs));
     }
 
     // ---- Phase 2: stored LUT outputs. ----

@@ -1,10 +1,7 @@
 //! Simulated-annealing engine (VPR-style adaptive schedule).
 
 use nanomap_arch::{Grid, SmbPos};
-use rand::rngs::StdRng;
-use rand::Rng;
-#[cfg(test)]
-use rand::SeedableRng;
+use nanomap_observe::rng::XorShift64Star;
 
 use crate::cost::{net_hpwl, nets_of_smb, total_cost, FlatNet};
 
@@ -44,7 +41,7 @@ pub fn anneal(
     nets: &[FlatNet],
     pos_of: &mut [SmbPos],
     schedule: AnnealSchedule,
-    rng: &mut StdRng,
+    rng: &mut XorShift64Star,
 ) -> f64 {
     let n = pos_of.len();
     if n <= 1 || nets.is_empty() {
@@ -79,17 +76,26 @@ pub fn anneal(
     // acceptance rate.
     let mut range = u32::from(grid.width.max(grid.height));
 
+    let proposed_ctr = nanomap_observe::counter("place.moves_proposed");
+    let accepted_ctr = nanomap_observe::counter("place.moves_accepted");
+    let steps_ctr = nanomap_observe::counter("place.temp_steps");
+    let delta_hist = nanomap_observe::histogram("place.cost_delta_milli");
+
     while temperature > t_min {
         let mut accepted = 0usize;
         for _ in 0..moves_per_t {
             let (a, slot_b) = random_move_ranged(n, grid, pos_of, range, rng);
             let delta = move_delta(a, slot_b, grid, nets, &net_index, pos_of, &occupant);
-            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
+            let accept = delta <= 0.0 || rng.next_f64() < (-delta / temperature).exp();
             if accept {
                 apply_move(a, slot_b, grid, pos_of, &mut occupant);
                 accepted += 1;
+                delta_hist.record_scaled(delta, 1000.0);
             }
         }
+        proposed_ctr.add(moves_per_t as u64);
+        accepted_ctr.add(accepted as u64);
+        steps_ctr.incr();
         let rate = accepted as f64 / moves_per_t as f64;
         // VPR temperature update.
         temperature *= if rate > 0.96 {
@@ -112,9 +118,9 @@ pub fn anneal(
     total_cost(nets, pos_of)
 }
 
-fn random_move(n: usize, grid: Grid, rng: &mut StdRng) -> (usize, usize) {
-    let a = rng.gen_range(0..n);
-    let slot_b = rng.gen_range(0..grid.num_slots() as usize);
+fn random_move(n: usize, grid: Grid, rng: &mut XorShift64Star) -> (usize, usize) {
+    let a = rng.index(n);
+    let slot_b = rng.index(grid.num_slots() as usize);
     (a, slot_b)
 }
 
@@ -123,13 +129,15 @@ fn random_move_ranged(
     grid: Grid,
     pos_of: &[SmbPos],
     range: u32,
-    rng: &mut StdRng,
+    rng: &mut XorShift64Star,
 ) -> (usize, usize) {
-    let a = rng.gen_range(0..n);
+    let a = rng.index(n);
     let pos = pos_of[a];
-    let r = range as i32;
-    let x = (i32::from(pos.x) + rng.gen_range(-r..=r)).clamp(0, i32::from(grid.width) - 1) as u16;
-    let y = (i32::from(pos.y) + rng.gen_range(-r..=r)).clamp(0, i32::from(grid.height) - 1) as u16;
+    let r = i64::from(range);
+    let dx = rng.range_i64(-r, r) as i32;
+    let dy = rng.range_i64(-r, r) as i32;
+    let x = (i32::from(pos.x) + dx).clamp(0, i32::from(grid.width) - 1) as u16;
+    let y = (i32::from(pos.y) + dy).clamp(0, i32::from(grid.height) - 1) as u16;
     (a, grid.index(SmbPos::new(x, y)))
 }
 
@@ -229,7 +237,7 @@ mod tests {
         assert_eq!(slots.len(), 16);
 
         let initial = total_cost(&nets, &pos);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = XorShift64Star::new(1);
         let final_cost = anneal(grid, &nets, &mut pos, AnnealSchedule::detailed(), &mut rng);
         assert!(final_cost < initial, "{final_cost} !< {initial}");
         // Optimal chain cost is 15; accept anything close.
@@ -244,7 +252,7 @@ mod tests {
             weight: 1.0,
         }];
         let mut pos: Vec<SmbPos> = (0..5).map(|i| grid.pos(i)).collect();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = XorShift64Star::new(7);
         anneal(grid, &nets, &mut pos, AnnealSchedule::fast(), &mut rng);
         let mut slots: Vec<usize> = pos.iter().map(|&p| grid.index(p)).collect();
         slots.sort_unstable();
@@ -263,7 +271,7 @@ mod tests {
             .collect();
         let run = || {
             let mut pos: Vec<SmbPos> = (0..6).map(|i| grid.pos(i)).collect();
-            let mut rng = StdRng::seed_from_u64(99);
+            let mut rng = XorShift64Star::new(99);
             anneal(grid, &nets, &mut pos, AnnealSchedule::fast(), &mut rng);
             pos
         };
@@ -275,7 +283,7 @@ mod tests {
         let grid = Grid::new(2, 2);
         let mut pos = vec![SmbPos::new(0, 0), SmbPos::new(1, 0)];
         let before = pos.clone();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = XorShift64Star::new(0);
         let cost = anneal(grid, &[], &mut pos, AnnealSchedule::fast(), &mut rng);
         assert_eq!(cost, 0.0);
         assert_eq!(pos, before);

@@ -9,9 +9,9 @@
 //!    folding level.
 
 use nanomap_arch::{ChannelConfig, Grid, SmbPos, TimingModel};
+use nanomap_observe::rng::XorShift64Star;
+use nanomap_observe::span;
 use nanomap_pack::{Packing, SliceNets, TemporalDesign};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::anneal::{anneal, AnnealSchedule};
 use crate::cost::{flatten_nets, total_cost, CostWeights};
@@ -94,16 +94,24 @@ pub fn place(
                 slots: grid.num_slots(),
             });
         }
-        let mut rng = StdRng::seed_from_u64(options.seed.wrapping_add(u64::from(attempt)));
+        let seed = options.seed.wrapping_add(u64::from(attempt));
+        let mut rng = XorShift64Star::new(seed);
         // Initial placement: row-major.
         let mut pos_of: Vec<SmbPos> = (0..n as usize).map(|i| grid.pos(i)).collect();
 
         // Step 1: fast placement.
-        anneal(grid, &flat, &mut pos_of, options.fast, &mut rng);
+        {
+            let _span = span!("anneal", step = "fast", seed = seed, attempt = attempt);
+            anneal(grid, &flat, &mut pos_of, options.fast, &mut rng);
+        }
         // Step 2: low-precision analysis.
         let report = estimate_routability(grid, channels, nets, &pos_of);
+        if !report.routable && attempt < options.max_retries {
+            nanomap_observe::incr("place.grid_retries", 1);
+        }
         if report.routable || attempt >= options.max_retries {
             // Step 3: detailed placement.
+            let _span = span!("anneal", step = "detailed", seed = seed, attempt = attempt);
             let cost = anneal(grid, &flat, &mut pos_of, options.detailed, &mut rng);
             let routability = estimate_routability(grid, channels, nets, &pos_of);
             let delay = estimate_delay(design, packing, &pos_of, timing);

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use nanomap_arch::{ArchParams, ChannelConfig, ConfigBitmap, RrGraph, TimingModel};
+use nanomap_observe::span;
 use nanomap_pack::{Packing, Slice, SliceNets, TemporalDesign};
 use nanomap_place::Placement;
 
@@ -24,6 +25,9 @@ pub struct RoutedDesign {
     pub timing: RoutedTiming,
     /// The generated configuration bitmap.
     pub bitmap: ConfigBitmap,
+    /// Wall-clock milliseconds spent generating the bitmap (the flow
+    /// reports it as its own phase).
+    pub bitmap_ms: f64,
 }
 
 /// Routes a placed design cycle by cycle and assembles the bitmap.
@@ -47,24 +51,32 @@ pub fn route_design(
     let mut routes: HashMap<Slice, Vec<RoutedNet>> = HashMap::new();
     for slice in design.slices() {
         let slice_nets = nets.of(slice);
+        let mut slice_span = span!("route-slice", seed = options.seed);
+        slice_span.attr("nets", slice_nets.len() as u64);
         let routed = route_slice(&graph, slice_nets, &placement.pos_of, options)?;
         routes.insert(slice, routed);
     }
     let usage = tally_usage(&graph, &routes);
     let delays = net_delays(&graph, timing_model, &routes);
     let timing = analyze(design, packing, &delays, timing_model, arch);
-    let bitmap = generate_bitmap(
-        design,
-        packing,
-        &placement.pos_of,
-        &routes,
-        arch.les_per_smb(),
-    );
+    let bitmap_start = std::time::Instant::now();
+    let bitmap = {
+        let _span = span!("bitmap", slices = design.num_slices());
+        generate_bitmap(
+            design,
+            packing,
+            &placement.pos_of,
+            &routes,
+            arch.les_per_smb(),
+        )
+    };
+    let bitmap_ms = bitmap_start.elapsed().as_secs_f64() * 1e3;
     Ok(RoutedDesign {
         routes,
         usage,
         timing,
         bitmap,
+        bitmap_ms,
     })
 }
 

@@ -14,6 +14,7 @@
 use std::collections::BinaryHeap;
 
 use nanomap_arch::{RrGraph, RrNodeId, SmbPos};
+use nanomap_observe::rng::XorShift64Star;
 use nanomap_pack::SliceNet;
 
 use crate::error::RouteError;
@@ -32,6 +33,9 @@ pub struct RouteOptions {
     /// Route timing-critical nets first, giving them first pick of the
     /// fast tiers.
     pub timing_driven: bool,
+    /// Seed for the net-order tiebreak shuffle (routing is deterministic
+    /// given the seed).
+    pub seed: u64,
 }
 
 impl Default for RouteOptions {
@@ -42,6 +46,7 @@ impl Default for RouteOptions {
             pres_mult: 1.8,
             hist_fac: 0.4,
             timing_driven: true,
+            seed: 0x5EED_0001,
         }
     }
 }
@@ -79,17 +84,27 @@ pub fn route_slice(
     let mut routes: Vec<Option<RoutedNet>> = vec![None; nets.len()];
     let mut pres_fac = options.pres_fac;
 
-    // Net order: critical nets first when timing-driven.
+    // Net order: a seeded shuffle breaks index ties, then critical nets
+    // move to the front when timing-driven (stable sort keeps the shuffled
+    // order within each criticality class).
+    let mut rng = XorShift64Star::new(options.seed);
     let mut order: Vec<usize> = (0..nets.len()).collect();
+    rng.shuffle(&mut order);
     if options.timing_driven {
-        order.sort_by_key(|&i| (!nets[i].critical, i));
+        order.sort_by_key(|&i| !nets[i].critical);
     }
 
+    let iter_ctr = nanomap_observe::counter("route.iterations");
+    let ripup_ctr = nanomap_observe::counter("route.ripups");
+    let overflow_hist = nanomap_observe::histogram("route.overused_nodes");
+
     for iteration in 0..options.max_iterations {
+        let mut ripups = 0u64;
         for &i in &order {
             let net = &nets[i];
             // Rip up.
             if let Some(old) = routes[i].take() {
+                ripups += 1;
                 for node in &old.nodes {
                     occupancy[node.index()] = occupancy[node.index()].saturating_sub(1);
                 }
@@ -97,6 +112,8 @@ pub fn route_slice(
             let routed = route_net(graph, net, pos_of, &history, &mut occupancy, pres_fac)?;
             routes[i] = Some(routed);
         }
+        iter_ctr.incr();
+        ripup_ctr.add(ripups);
         // Congestion check.
         let mut overused = 0usize;
         for (idx, &occ) in occupancy.iter().enumerate() {
@@ -106,6 +123,7 @@ pub fn route_slice(
                 history[idx] += options.hist_fac;
             }
         }
+        overflow_hist.record(overused as u64);
         if overused == 0 {
             return Ok(routes.into_iter().map(|r| r.expect("routed")).collect());
         }

@@ -62,6 +62,11 @@ pub fn schedule_fds(
     stages: u32,
     options: FdsOptions,
 ) -> Result<Schedule, SchedError> {
+    let mut fds_span = nanomap_observe::span!("fds", items = graph.len(), stages = stages);
+    let rounds_ctr = nanomap_observe::counter("fds.rounds");
+    let force_ctr = nanomap_observe::counter("fds.force_evals");
+    let dg_ctr = nanomap_observe::counter("fds.dg_rebuilds");
+
     let n = graph.len();
     let ops: Vec<StorageOp> = storage_ops(net, graph, options.storage_mode);
     let mut pins: Vec<Option<u32>> = vec![None; n];
@@ -69,8 +74,11 @@ pub fn schedule_fds(
     // Feasibility check up front (also computes initial frames).
     let mut frames = TimeFrames::compute(graph, stages, &pins)?;
 
+    let mut force_evals = 0u64;
     for _round in 0..n {
+        rounds_ctr.incr();
         let dgs = DistributionGraphs::build(graph, &frames, &ops);
+        dg_ctr.incr();
         let model = ForceModel::new(graph, &frames, &dgs, &ops, options.shape);
 
         // Lowest-force (item, cycle) over all unscheduled items.
@@ -81,6 +89,7 @@ pub fn schedule_fds(
             }
             let (a, b) = frames.frame(i);
             for j in a..=b {
+                force_evals += 1;
                 let force = model.total_force(i, j);
                 let candidate = (force, i, j);
                 best = Some(match best {
@@ -104,6 +113,8 @@ pub fn schedule_fds(
         frames = TimeFrames::compute(graph, stages, &pins)
             .expect("pinning inside a valid frame keeps the schedule feasible");
     }
+    force_ctr.add(force_evals);
+    fds_span.attr("force_evals", force_evals);
 
     let stage_of: Vec<u32> = pins
         .iter()

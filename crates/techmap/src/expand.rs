@@ -85,6 +85,7 @@ pub enum MultiplierStyle {
 /// # }
 /// ```
 pub fn expand(circuit: &RtlCircuit, options: ExpandOptions) -> Result<LutNetwork, TechmapError> {
+    let mut span = nanomap_observe::span!("techmap-expand", lut_inputs = options.lut_inputs);
     if !(2..=6).contains(&options.lut_inputs) {
         return Err(TechmapError::BadLutSize(options.lut_inputs));
     }
@@ -100,6 +101,8 @@ pub fn expand(circuit: &RtlCircuit, options: ExpandOptions) -> Result<LutNetwork
     ctx.run()?;
     let mut net = ctx.net;
     finalize_module_depths(&mut net);
+    span.attr("luts", net.num_luts() as u64);
+    span.attr("ffs", net.num_ffs() as u64);
     Ok(net)
 }
 

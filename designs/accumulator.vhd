@@ -1,0 +1,19 @@
+-- 8-bit accumulator: a small but complete sequential design for driving
+-- the `nanomap` CLI end to end, e.g.
+--
+--   nanomap designs/accumulator.vhd --verify --metrics out.json
+--
+entity accumulator is
+  port ( step : in std_logic_vector(7 downto 0);
+         q    : out std_logic_vector(7 downto 0) );
+end accumulator;
+architecture rtl of accumulator is
+  signal state : std_logic_vector(7 downto 0);
+  signal nxt   : std_logic_vector(7 downto 0);
+  signal c     : std_logic;
+begin
+  u_add: add generic map (width => 8)
+         port map (a => state, b => step, cin => '0', sum => nxt, cout => c);
+  u_reg: reg generic map (width => 8) port map (d => nxt, q => state);
+  q <= state;
+end rtl;

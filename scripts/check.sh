@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the offline tier-1 suite.
+# Mirrors .github/workflows/ci.yml — run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: release build + tests (offline)"
+cargo build --release --workspace --offline
+cargo test --workspace --offline -q
+
+echo "All checks passed."

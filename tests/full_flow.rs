@@ -180,6 +180,85 @@ fn flow_is_deterministic() {
     assert_eq!(pa.bitmap_bits, pb.bitmap_bits);
 }
 
+/// A full physical run records a span for every flow phase in the
+/// observability collector, and the JSON sink round-trips through the
+/// crate's own parser.
+///
+/// Note: the collector is global and other tests in this binary run
+/// concurrently, so this test only makes presence/shape assertions (no
+/// `reset()`, no exact counts).
+#[test]
+fn flow_records_phase_spans_and_metrics_json() {
+    nanomap_observe::set_enabled(true);
+    let circuit = ex1(4);
+    let flow = NanoMap::new(ArchParams::paper_unbounded()).with_verification();
+    let report = flow
+        .map_rtl(&circuit, Objective::MinAreaDelayProduct)
+        .expect("maps");
+
+    let snap = nanomap_observe::snapshot();
+    for phase in [
+        "flow",
+        "folding-select",
+        "fds",
+        "pack",
+        "place",
+        "route",
+        "bitmap",
+        "verify",
+    ] {
+        assert!(
+            !snap.spans_named(phase).is_empty(),
+            "expected at least one `{phase}` span, got spans: {:?}",
+            snap.spans.iter().map(|s| s.name).collect::<Vec<_>>()
+        );
+    }
+    // Nesting: bitmap generation happens inside routing.
+    let bitmap = snap.spans_named("bitmap")[0];
+    let parent_id = bitmap.parent.expect("bitmap has a parent span");
+    let parent = snap
+        .spans
+        .iter()
+        .find(|s| s.id == parent_id)
+        .expect("parent span recorded");
+    assert_eq!(parent.name, "route");
+    // The flow's instrumented kernels counted work.
+    assert!(snap.counter("fds.force_evals") > 0);
+    assert!(snap.counter("flow.candidates_evaluated") > 0);
+
+    // Wall-clock phase times are populated independently of the collector.
+    let t = report.phase_times;
+    assert!(t.total_ms > 0.0);
+    assert!(t.folding_select_ms > 0.0);
+    assert!(t.verify_ms > 0.0);
+
+    // The JSON sink emits a document our own parser accepts, containing
+    // the report and every phase name.
+    let doc = nanomap_observe::JsonValue::object()
+        .with("report", report.to_json())
+        .with("metrics", snap.to_json());
+    let text = doc.to_pretty_string();
+    let parsed = nanomap_observe::json::parse(&text).expect("valid JSON");
+    assert_eq!(
+        parsed
+            .get("report")
+            .and_then(|r| r.get("circuit"))
+            .and_then(|c| c.as_str()),
+        Some("fig1")
+    );
+    for phase in [
+        "folding-select",
+        "fds",
+        "pack",
+        "place",
+        "route",
+        "bitmap",
+        "verify",
+    ] {
+        assert!(text.contains(&format!("\"{phase}\"")), "JSON names {phase}");
+    }
+}
+
 /// Under extreme congestion the router escalates to the global tier (the
 /// hierarchical escalation of Section 4.4).
 #[test]

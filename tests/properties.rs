@@ -1,4 +1,5 @@
-//! Property-based tests over the core invariants:
+//! Property-style tests over the core invariants, driven by a seeded PRNG
+//! (the same deterministic case set runs every time):
 //!
 //! * FlowMap preserves Boolean function for arbitrary gate networks;
 //! * RTL expansion preserves cycle-accurate behaviour for arbitrary
@@ -11,10 +12,10 @@ use nanomap::check_folded_execution;
 use nanomap_netlist::gate::{GateKind, GateNetwork, GateSignal};
 use nanomap_netlist::rtl::{CombOp, RtlBuilder};
 use nanomap_netlist::{LutSimulator, PlaneSet};
+use nanomap_observe::rng::XorShift64Star;
 use nanomap_pack::TemporalDesign;
 use nanomap_sched::{schedule_fds, schedule_list, FdsOptions, ItemGraph};
 use nanomap_techmap::{expand, map_network, verify_equivalence, ExpandOptions, FlowMapOptions};
-use proptest::prelude::*;
 
 // ---------- random gate networks ----------
 
@@ -24,40 +25,32 @@ struct GateSpec {
     inputs: Vec<usize>, // indices into previously available signals
 }
 
-fn gate_kind_strategy() -> impl Strategy<Value = GateKind> {
-    prop_oneof![
-        Just(GateKind::And),
-        Just(GateKind::Or),
-        Just(GateKind::Nand),
-        Just(GateKind::Nor),
-        Just(GateKind::Xor),
-        Just(GateKind::Xnor),
-        Just(GateKind::Not),
-        Just(GateKind::Buf),
-    ]
-}
+const GATE_KINDS: &[GateKind] = &[
+    GateKind::And,
+    GateKind::Or,
+    GateKind::Nand,
+    GateKind::Nor,
+    GateKind::Xor,
+    GateKind::Xnor,
+    GateKind::Not,
+    GateKind::Buf,
+];
 
-fn gate_network_strategy(
+fn random_gate_specs(
+    rng: &mut XorShift64Star,
     num_inputs: usize,
     max_gates: usize,
-) -> impl Strategy<Value = Vec<GateSpec>> {
-    let spec = (
-        gate_kind_strategy(),
-        proptest::collection::vec(any::<prop::sample::Index>(), 1..=4),
-    );
-    proptest::collection::vec(spec, 1..=max_gates).prop_map(move |raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(position, (kind, picks))| {
-                let available = num_inputs + position;
-                let mut inputs: Vec<usize> = picks.iter().map(|ix| ix.index(available)).collect();
-                if kind.is_unary() {
-                    inputs.truncate(1);
-                }
-                GateSpec { kind, inputs }
-            })
-            .collect()
-    })
+) -> Vec<GateSpec> {
+    let n = 1 + rng.index(max_gates);
+    (0..n)
+        .map(|position| {
+            let kind = GATE_KINDS[rng.index(GATE_KINDS.len())];
+            let available = num_inputs + position;
+            let arity = if kind.is_unary() { 1 } else { 1 + rng.index(4) };
+            let inputs: Vec<usize> = (0..arity).map(|_| rng.index(available)).collect();
+            GateSpec { kind, inputs }
+        })
+        .collect()
 }
 
 fn build_gate_network(num_inputs: usize, specs: &[GateSpec]) -> GateNetwork {
@@ -77,30 +70,32 @@ fn build_gate_network(num_inputs: usize, specs: &[GateSpec]) -> GateNetwork {
     net
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// FlowMap output is functionally identical to the gate network.
-    #[test]
-    fn flowmap_preserves_function(specs in gate_network_strategy(6, 24)) {
+/// FlowMap output is functionally identical to the gate network.
+#[test]
+fn flowmap_preserves_function() {
+    let mut rng = XorShift64Star::new(0x9A7E_0001);
+    for case in 0..48 {
+        let specs = random_gate_specs(&mut rng, 6, 24);
         let gates = build_gate_network(6, &specs);
-        prop_assume!(gates.validate().is_ok());
+        if gates.validate().is_err() {
+            continue;
+        }
         let mapped = map_network(&gates, FlowMapOptions::default()).expect("maps");
         let mut sim = LutSimulator::new(&mapped.network).expect("simulates");
         for row in 0u64..64 {
             let inputs: Vec<bool> = (0..6).map(|b| (row >> b) & 1 == 1).collect();
             sim.set_inputs(&inputs);
             sim.eval_comb();
-            prop_assert_eq!(sim.outputs(), gates.eval(&inputs), "row {}", row);
+            assert_eq!(sim.outputs(), gates.eval(&inputs), "case {case} row {row}");
         }
         // Depth optimality vs the trivial one-LUT-per-gate bound.
-        prop_assert!(mapped.depth <= gates.depth());
+        assert!(mapped.depth <= gates.depth(), "case {case}");
     }
 }
 
 // ---------- random RTL datapaths ----------
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum OpSpec {
     Add,
     Sub,
@@ -110,16 +105,20 @@ enum OpSpec {
     Lt,
 }
 
-fn rtl_strategy() -> impl Strategy<Value = (u32, Vec<OpSpec>)> {
-    let op = prop_oneof![
-        Just(OpSpec::Add),
-        Just(OpSpec::Sub),
-        Just(OpSpec::Mul),
-        Just(OpSpec::Xor),
-        Just(OpSpec::Mux),
-        Just(OpSpec::Lt),
-    ];
-    ((2u32..=6), proptest::collection::vec(op, 1..=5))
+const OPS: &[OpSpec] = &[
+    OpSpec::Add,
+    OpSpec::Sub,
+    OpSpec::Mul,
+    OpSpec::Xor,
+    OpSpec::Mux,
+    OpSpec::Lt,
+];
+
+fn random_rtl(rng: &mut XorShift64Star) -> (u32, Vec<OpSpec>) {
+    let width = 2 + rng.below(5) as u32; // 2..=6
+    let n = 1 + rng.index(5); // 1..=5 ops
+    let ops = (0..n).map(|_| OPS[rng.index(OPS.len())]).collect();
+    (width, ops)
 }
 
 fn build_rtl(width: u32, ops: &[OpSpec]) -> nanomap_netlist::rtl::RtlCircuit {
@@ -206,28 +205,32 @@ fn build_rtl(width: u32, ops: &[OpSpec]) -> nanomap_netlist::rtl::RtlCircuit {
     b.finish().expect("generated circuits are well-formed")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// RTL expansion is cycle-accurate for arbitrary datapaths.
-    #[test]
-    fn expansion_preserves_behaviour((width, ops) in rtl_strategy()) {
+/// RTL expansion is cycle-accurate for arbitrary datapaths.
+#[test]
+fn expansion_preserves_behaviour() {
+    let mut rng = XorShift64Star::new(0x97_0001);
+    for case in 0..32 {
+        let (width, ops) = random_rtl(&mut rng);
         let circuit = build_rtl(width, &ops);
         let net = expand(&circuit, ExpandOptions::default()).expect("expands");
         let report = verify_equivalence(&circuit, &net, 64, 0xABCD).expect("runs");
-        prop_assert!(report.is_equivalent(), "{:?}", report.mismatch);
+        assert!(report.is_equivalent(), "case {case}: {:?}", report.mismatch);
     }
+}
 
-    /// Temporal folding preserves behaviour at every feasible folding
-    /// level: the folded executor equals the reference simulation.
-    #[test]
-    fn folding_preserves_behaviour(
-        (width, ops) in rtl_strategy(),
-        level in 1u32..=6,
-    ) {
+/// Temporal folding preserves behaviour at every feasible folding level:
+/// the folded executor equals the reference simulation.
+#[test]
+fn folding_preserves_behaviour() {
+    let mut rng = XorShift64Star::new(0x97_0002);
+    for case in 0..32 {
+        let (width, ops) = random_rtl(&mut rng);
+        let level = 1 + rng.below(6) as u32;
         let circuit = build_rtl(width, &ops);
         let net = expand(&circuit, ExpandOptions::default()).expect("expands");
-        prop_assume!(net.num_luts() > 0);
+        if net.num_luts() == 0 {
+            continue;
+        }
         let planes = PlaneSet::extract(&net).expect("extracts");
         let stages = planes.depth_max().max(1).div_ceil(level);
         let mut graphs = Vec::new();
@@ -241,74 +244,86 @@ proptest! {
         }
         let design = TemporalDesign::new(&net, &planes, graphs, schedules).expect("valid");
         let check = check_folded_execution(&design, 24, 0x5EED);
-        prop_assert!(check.passed(), "{:?}", check.failure);
+        assert!(check.passed(), "case {case}: {:?}", check.failure);
     }
+}
 
-    /// FDS and list schedules are always precedence-valid, schedule every
-    /// item exactly once, and FDS's peak never exceeds the trivial bound.
-    #[test]
-    fn schedulers_emit_valid_schedules(
-        (width, ops) in rtl_strategy(),
-        level in 1u32..=4,
-    ) {
+/// FDS and list schedules are always precedence-valid, schedule every
+/// item exactly once, and FDS's peak never exceeds the trivial bound.
+#[test]
+fn schedulers_emit_valid_schedules() {
+    let mut rng = XorShift64Star::new(0x97_0003);
+    for case in 0..32 {
+        let (width, ops) = random_rtl(&mut rng);
+        let level = 1 + rng.below(4) as u32;
         let circuit = build_rtl(width, &ops);
         let net = expand(&circuit, ExpandOptions::default()).expect("expands");
-        prop_assume!(net.num_luts() > 0);
+        if net.num_luts() == 0 {
+            continue;
+        }
         let planes = PlaneSet::extract(&net).expect("extracts");
         for plane in planes.planes() {
             let stages = planes.depth_max().max(1).div_ceil(level);
             let graph = ItemGraph::build(&net, plane, level).expect("builds");
-            let fds = schedule_fds(&net, &graph, stages, FdsOptions::default())
-                .expect("feasible");
-            prop_assert!(fds.validate(&graph));
-            prop_assert_eq!(fds.stage_of.len(), graph.len());
+            let fds = schedule_fds(&net, &graph, stages, FdsOptions::default()).expect("feasible");
+            assert!(fds.validate(&graph), "case {case}");
+            assert_eq!(fds.stage_of.len(), graph.len(), "case {case}");
             let list = schedule_list(&graph, stages).expect("feasible");
-            prop_assert!(list.validate(&graph));
+            assert!(list.validate(&graph), "case {case}");
             let peak = fds.lut_counts(&graph).into_iter().max().unwrap_or(0);
-            prop_assert!(peak <= graph.total_weight());
+            assert!(peak <= graph.total_weight(), "case {case}");
         }
     }
 }
 
 // ---------- plane, packing, routing and optimizer invariants ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Plane extraction is a partition: every LUT in exactly one plane,
-    /// per-plane depths positive and bounded by the plane's depth, and
-    /// depth_max equals the deepest plane.
-    #[test]
-    fn plane_extraction_is_a_partition((width, ops) in rtl_strategy()) {
+/// Plane extraction is a partition: every LUT in exactly one plane,
+/// per-plane depths positive and bounded by the plane's depth, and
+/// depth_max equals the deepest plane.
+#[test]
+fn plane_extraction_is_a_partition() {
+    let mut rng = XorShift64Star::new(0x97_0004);
+    for case in 0..24 {
+        let (width, ops) = random_rtl(&mut rng);
         let circuit = build_rtl(width, &ops);
         let net = expand(&circuit, ExpandOptions::default()).expect("expands");
-        prop_assume!(net.num_luts() > 0);
+        if net.num_luts() == 0 {
+            continue;
+        }
         let planes = PlaneSet::extract(&net).expect("extracts");
         let mut seen = vec![false; net.num_luts()];
         for plane in planes.planes() {
-            prop_assert_eq!(plane.luts.len(), plane.lut_depths.len());
+            assert_eq!(plane.luts.len(), plane.lut_depths.len(), "case {case}");
             for (&lut, &depth) in plane.luts.iter().zip(&plane.lut_depths) {
-                prop_assert!(!seen[lut.index()], "lut in two planes");
+                assert!(!seen[lut.index()], "case {case}: lut in two planes");
                 seen[lut.index()] = true;
-                prop_assert!(depth >= 1 && depth <= plane.depth);
-                prop_assert_eq!(planes.plane_of(lut), plane.id);
+                assert!(depth >= 1 && depth <= plane.depth, "case {case}");
+                assert_eq!(planes.plane_of(lut), plane.id, "case {case}");
             }
         }
-        prop_assert!(seen.into_iter().all(|s| s), "unassigned lut");
-        prop_assert_eq!(
+        assert!(seen.into_iter().all(|s| s), "case {case}: unassigned lut");
+        assert_eq!(
             planes.depth_max(),
-            planes.planes().iter().map(|p| p.depth).max().unwrap_or(0)
+            planes.planes().iter().map(|p| p.depth).max().unwrap_or(0),
+            "case {case}"
         );
     }
+}
 
-    /// ALAP plane depths strictly increase along combinational edges
-    /// inside a plane (the property the cluster windows rely on).
-    #[test]
-    fn plane_depths_increase_along_edges((width, ops) in rtl_strategy()) {
-        use nanomap_netlist::SignalRef;
+/// ALAP plane depths strictly increase along combinational edges inside a
+/// plane (the property the cluster windows rely on).
+#[test]
+fn plane_depths_increase_along_edges() {
+    use nanomap_netlist::SignalRef;
+    let mut rng = XorShift64Star::new(0x97_0005);
+    for case in 0..24 {
+        let (width, ops) = random_rtl(&mut rng);
         let circuit = build_rtl(width, &ops);
         let net = expand(&circuit, ExpandOptions::default()).expect("expands");
-        prop_assume!(net.num_luts() > 0);
+        if net.num_luts() == 0 {
+            continue;
+        }
         let planes = PlaneSet::extract(&net).expect("extracts");
         for plane in planes.planes() {
             for (pos, &lut) in plane.luts.iter().enumerate() {
@@ -316,9 +331,9 @@ proptest! {
                     if let SignalRef::Lut(src) = input {
                         if planes.plane_of(*src) == plane.id {
                             let src_depth = plane.depth_of(*src);
-                            prop_assert!(
+                            assert!(
                                 src_depth < plane.lut_depths[pos],
-                                "depth must increase along edges"
+                                "case {case}: depth must increase along edges"
                             );
                         }
                     }
@@ -326,111 +341,109 @@ proptest! {
             }
         }
     }
+}
 
-    /// The optimizer preserves sequential behaviour on arbitrary circuits.
-    #[test]
-    fn optimizer_preserves_behaviour((width, ops) in rtl_strategy()) {
-        use nanomap_netlist::LutSimulator;
+/// The optimizer preserves sequential behaviour on arbitrary circuits.
+#[test]
+fn optimizer_preserves_behaviour() {
+    let mut rng = XorShift64Star::new(0x97_0006);
+    for case in 0..24 {
+        let (width, ops) = random_rtl(&mut rng);
         let circuit = build_rtl(width, &ops);
         let net = expand(&circuit, ExpandOptions::default()).expect("expands");
         let (opt, stats) = nanomap_techmap::optimize(&net);
-        prop_assert!(opt.num_luts() <= net.num_luts());
-        prop_assert_eq!(stats.luts_after, opt.num_luts());
+        assert!(opt.num_luts() <= net.num_luts(), "case {case}");
+        assert_eq!(stats.luts_after, opt.num_luts(), "case {case}");
         let mut sa = LutSimulator::new(&net).expect("simulates");
         let mut sb = LutSimulator::new(&opt).expect("simulates");
-        let mut seed = 0xC0FFEEu64;
+        let mut input_rng = XorShift64Star::new(0xC0FFEE);
         for cycle in 0..32 {
             let inputs: Vec<bool> = (0..net.num_inputs())
-                .map(|_| {
-                    seed ^= seed << 13;
-                    seed ^= seed >> 7;
-                    seed ^= seed << 17;
-                    seed & 1 == 1
-                })
+                .map(|_| input_rng.next_bool())
                 .collect();
             sa.set_inputs(&inputs);
             sb.set_inputs(&inputs);
             sa.eval_comb();
             sb.eval_comb();
-            prop_assert_eq!(sa.outputs(), sb.outputs(), "cycle {}", cycle);
+            assert_eq!(sa.outputs(), sb.outputs(), "case {case} cycle {cycle}");
             sa.step();
             sb.step();
         }
     }
+}
 
-    /// Temporal clustering never overfills an SMB and assigns every LUT.
-    #[test]
-    fn packing_respects_capacity(
-        (width, ops) in rtl_strategy(),
-        level in 1u32..=4,
-    ) {
-        use nanomap_arch::ArchParams;
-        use nanomap_pack::{pack, PackOptions};
+/// Temporal clustering never overfills an SMB and assigns every LUT.
+#[test]
+fn packing_respects_capacity() {
+    use nanomap_arch::ArchParams;
+    use nanomap_pack::{pack, PackOptions};
+    let mut rng = XorShift64Star::new(0x97_0007);
+    for case in 0..24 {
+        let (width, ops) = random_rtl(&mut rng);
+        let level = 1 + rng.below(4) as u32;
         let circuit = build_rtl(width, &ops);
         let net = expand(&circuit, ExpandOptions::default()).expect("expands");
-        prop_assume!(net.num_luts() > 0);
+        if net.num_luts() == 0 {
+            continue;
+        }
         let planes = PlaneSet::extract(&net).expect("extracts");
         let stages = planes.depth_max().max(1).div_ceil(level);
         let mut graphs = Vec::new();
         let mut schedules = Vec::new();
         for plane in planes.planes() {
             let graph = ItemGraph::build(&net, plane, level).expect("builds");
-            let schedule = schedule_fds(&net, &graph, stages, FdsOptions::default())
-                .expect("feasible");
+            let schedule =
+                schedule_fds(&net, &graph, stages, FdsOptions::default()).expect("feasible");
             graphs.push(graph);
             schedules.push(schedule);
         }
         let design = TemporalDesign::new(&net, &planes, graphs, schedules).expect("valid");
         let arch = ArchParams::paper_unbounded();
         let packing = pack(&design, &arch, PackOptions::default()).expect("packs");
-        prop_assert_eq!(packing.lut_smb.len(), net.num_luts());
+        assert_eq!(packing.lut_smb.len(), net.num_luts(), "case {case}");
         for (&(smb, _), &occ) in &packing.lut_occupancy {
-            prop_assert!(smb < packing.num_smbs);
-            prop_assert!(occ <= arch.luts_per_smb());
+            assert!(smb < packing.num_smbs, "case {case}");
+            assert!(occ <= arch.luts_per_smb(), "case {case}");
         }
         for (&(smb, _), &occ) in &packing.ff_occupancy {
-            prop_assert!(smb < packing.num_smbs);
-            prop_assert!(occ <= arch.ffs_per_smb());
+            assert!(smb < packing.num_smbs, "case {case}");
+            assert!(occ <= arch.ffs_per_smb(), "case {case}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// PathFinder routes random net sets within node capacities, and every
-    /// sink path starts at the net's source and ends at its sink.
-    #[test]
-    fn router_respects_capacities(
-        seed in 0u64..1000,
-        num_nets in 1usize..24,
-    ) {
-        use nanomap_arch::{ChannelConfig, Grid, RrGraph, RrNodeKind};
-        use nanomap_pack::SliceNet;
-        use nanomap_route::{route_slice, RouteOptions};
-        let grid = Grid::new(4, 4);
-        let graph = RrGraph::build(grid, &ChannelConfig::nature());
-        let pos: Vec<_> = grid.iter().collect();
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1) | 1;
-        let mut next = || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
+/// PathFinder routes random net sets within node capacities, and every
+/// sink path starts at the net's source and ends at its sink.
+#[test]
+fn router_respects_capacities() {
+    use nanomap_arch::{ChannelConfig, Grid, RrGraph, RrNodeKind};
+    use nanomap_pack::SliceNet;
+    use nanomap_route::{route_slice, RouteOptions};
+    let grid = Grid::new(4, 4);
+    let graph = RrGraph::build(grid, &ChannelConfig::nature());
+    let pos: Vec<_> = grid.iter().collect();
+    let mut rng = XorShift64Star::new(0x97_0008);
+    for case in 0..12 {
+        let num_nets = 1 + rng.index(23);
         let nets: Vec<SliceNet> = (0..num_nets)
             .map(|_| {
-                let driver = (next() % 16) as u32;
-                let mut sinks: Vec<u32> = (0..(1 + next() % 3))
-                    .map(|_| (next() % 16) as u32)
+                let driver = rng.below(16) as u32;
+                let mut sinks: Vec<u32> = (0..(1 + rng.below(3)))
+                    .map(|_| rng.below(16) as u32)
                     .filter(|&s| s != driver)
                     .collect();
                 sinks.dedup();
-                SliceNet { driver, sinks, critical: false }
+                SliceNet {
+                    driver,
+                    sinks,
+                    critical: false,
+                }
             })
             .filter(|n| !n.sinks.is_empty())
             .collect();
-        prop_assume!(!nets.is_empty());
+        if nets.is_empty() {
+            continue;
+        }
         let routed = route_slice(&graph, &nets, &pos, RouteOptions::default())
             .expect("4x4 nature fabric routes two dozen nets");
         // Capacity check over wire nodes.
@@ -446,15 +459,15 @@ proptest! {
                 let last = *path.last().expect("non-empty path");
                 // Paths start somewhere on the net's tree (source or an
                 // earlier branch) and end at the sink's SMB.
-                prop_assert!(r.nodes.contains(&first));
+                assert!(r.nodes.contains(&first), "case {case}");
                 match graph.node(last).kind {
-                    RrNodeKind::Sink(p) => prop_assert_eq!(p, pos[sink as usize]),
-                    ref other => prop_assert!(false, "path ends at {:?}", other),
+                    RrNodeKind::Sink(p) => assert_eq!(p, pos[sink as usize], "case {case}"),
+                    ref other => panic!("case {case}: path ends at {other:?}"),
                 }
             }
         }
         for (&node, &count) in &used {
-            prop_assert!(count <= graph.node(node).capacity);
+            assert!(count <= graph.node(node).capacity, "case {case}");
         }
     }
 }
