@@ -13,8 +13,10 @@
 
 use nanomap_arch::{ArchParams, ChannelConfig, TimingModel};
 use nanomap_bench::circuits::paper_benchmarks;
+use nanomap_bench::results::write_results_json;
 use nanomap_bench::table::render;
 use nanomap_netlist::PlaneSet;
+use nanomap_observe::JsonValue;
 use nanomap_pack::{extract_nets, pack, PackOptions, TemporalDesign};
 use nanomap_place::{place, CostWeights, PlaceOptions};
 use nanomap_sched::{
@@ -24,6 +26,9 @@ use nanomap_sched::{
 fn main() {
     let benches = paper_benchmarks();
     let level = 2u32;
+    let mut json_schedulers = Vec::new();
+    let mut json_ffs = Vec::new();
+    let mut json_inter_stage = Vec::new();
 
     // ---- 1 & 2: scheduler and storage-mode comparison. ----
     println!("Ablation 1/2: peak LE usage per scheduler (level-{level} folding)\n");
@@ -91,6 +96,14 @@ fn main() {
             peaks[3].to_string(),
             format!("{:.2}x", f64::from(peaks[0]) / f64::from(peaks[2])),
         ]);
+        json_schedulers.push(
+            JsonValue::object()
+                .with("circuit", bench.name)
+                .with("asap_peak_les", peaks[0])
+                .with("list_peak_les", peaks[1])
+                .with("fds_paper_peak_les", peaks[2])
+                .with("fds_boundary_peak_les", peaks[3]),
+        );
     }
     println!(
         "{}",
@@ -153,6 +166,12 @@ fn main() {
             peaks[1].to_string(),
             format!("{:.2}x", f64::from(peaks[0]) / f64::from(peaks[1].max(1))),
         ]);
+        json_ffs.push(
+            JsonValue::object()
+                .with("circuit", bench.name)
+                .with("one_ff_peak_les", peaks[0])
+                .with("two_ff_peak_les", peaks[1]),
+        );
     }
     println!(
         "{}",
@@ -213,6 +232,12 @@ fn main() {
             format!("{without:.0}"),
             format!("{:.1}%", 100.0 * (without - with) / without.max(1.0)),
         ]);
+        json_inter_stage.push(
+            JsonValue::object()
+                .with("circuit", bench.name)
+                .with("joint_cost_on", with)
+                .with("joint_cost_off", without),
+        );
     }
     println!(
         "{}",
@@ -226,4 +251,12 @@ fn main() {
             &rows
         )
     );
+
+    let body = JsonValue::object()
+        .with("folding_level", level)
+        .with("schedulers", JsonValue::Array(json_schedulers))
+        .with("ffs_per_le", JsonValue::Array(json_ffs))
+        .with("inter_stage_cost", JsonValue::Array(json_inter_stage));
+    write_results_json("ablation", body);
+    println!("\njson: -> results/ablation.json");
 }

@@ -1,0 +1,62 @@
+//! QoR snapshot generator: runs the full physical flow (AT-product
+//! optimization, k = 16) over every paper benchmark and emits one
+//! `nanomap-qor-v1` document for the regression gate.
+//!
+//! Run: `cargo run -p nanomap-bench --release --bin qor -- [--out PATH]`
+//!
+//! Compare against the committed baseline with
+//! `nanomap qor-diff results/qor/bench.json <PATH>` (see `scripts/qor.sh`).
+
+use nanomap::qor::{QorDocument, QorReport};
+use nanomap::{NanoMap, Objective};
+use nanomap_arch::ArchParams;
+use nanomap_bench::circuits::paper_benchmarks;
+
+fn main() {
+    let mut out = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => out = iter.next(),
+            other => {
+                eprintln!("usage: qor [--out PATH]  (unexpected `{other}`)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let flow = NanoMap::new(ArchParams::paper());
+    let mut reports = Vec::new();
+    for bench in paper_benchmarks() {
+        // Each circuit gets its own collector epoch so series and spans
+        // don't bleed across benchmarks.
+        nanomap_observe::reset();
+        nanomap_observe::set_enabled(true);
+        let report = flow
+            .map(&bench.network, Objective::MinAreaDelayProduct)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let snapshot = nanomap_observe::snapshot();
+        let mut qor = QorReport::from_mapping(&report, &flow.channels, &snapshot);
+        // Key by the paper's circuit name, not the generator's netlist name.
+        qor.circuit = bench.name.to_string();
+        eprintln!(
+            "{}: {} LEs, {} SMBs, {:.2} ns routed",
+            bench.name,
+            report.num_les,
+            report.physical.as_ref().map_or(0, |p| p.num_smbs),
+            report
+                .physical
+                .as_ref()
+                .map_or(f64::NAN, |p| p.routed_delay_ns),
+        );
+        reports.push(qor);
+    }
+    let text = QorDocument::new(reports).to_json().to_pretty_string();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, text + "\n").unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("qor document -> {path}");
+        }
+        None => println!("{text}"),
+    }
+}

@@ -4,15 +4,27 @@
 //!
 //! Run: `cargo run -p nanomap-bench --release --bin table1 [--physical]`
 
-use nanomap::{NanoMap, Objective};
+use nanomap::{MappingReport, NanoMap, Objective};
 use nanomap_arch::ArchParams;
 use nanomap_bench::circuits::paper_benchmarks;
+use nanomap_bench::results::write_results_json;
 use nanomap_bench::table::render;
 use nanomap_netlist::PlaneSet;
+use nanomap_observe::JsonValue;
+
+/// The numeric core of one mapping variant, for the JSON artifact.
+fn variant_json(r: &MappingReport) -> JsonValue {
+    JsonValue::object()
+        .with("folding_level", r.folding_level)
+        .with("num_les", r.num_les)
+        .with("delay_ns", r.delay_ns)
+        .with("at_product", r.area_delay_product())
+}
 
 fn main() {
     let physical = std::env::args().any(|a| a == "--physical");
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     let mut sums = [0.0f64; 6]; // [area_red_inf, at_inf, delay_inc_inf, area_red_16, at_16, delay_inc_16]
     let mut count = 0.0;
 
@@ -83,6 +95,18 @@ fn main() {
             ),
         ]);
 
+        json_rows.push(
+            JsonValue::object()
+                .with("circuit", bench.name)
+                .with("num_planes", planes.num_planes() as u64)
+                .with("depth_max", planes.depth_max())
+                .with("num_luts", bench.network.num_luts() as u64)
+                .with("num_ffs", bench.network.num_ffs() as u64)
+                .with("no_folding", variant_json(&nofold))
+                .with("k_unbounded", variant_json(&at_inf))
+                .with("k16", variant_json(&at_16)),
+        );
+
         sums[0] += f64::from(nofold.num_les) / f64::from(at_inf.num_les);
         sums[1] += at_improv(&nofold, &at_inf);
         sums[2] += at_inf.delay_ns / nofold.delay_ns - 1.0;
@@ -125,4 +149,19 @@ fn main() {
     );
     println!("\nPaper:  14.8x LE reduction / 11.0x AT / +31.8% delay (k unbounded);");
     println!("        9.2x / 7.8x / +19.4% (k = 16).");
+
+    let body = JsonValue::object()
+        .with("circuits", JsonValue::Array(json_rows))
+        .with(
+            "averages",
+            JsonValue::object()
+                .with("kinf_le_reduction", sums[0] / count)
+                .with("kinf_at_improvement", sums[1] / count)
+                .with("kinf_delay_increase", sums[2] / count)
+                .with("k16_le_reduction", sums[3] / count)
+                .with("k16_at_improvement", sums[4] / count)
+                .with("k16_delay_increase", sums[5] / count),
+        );
+    write_results_json("table1", body);
+    println!("\njson: -> results/table1.json");
 }

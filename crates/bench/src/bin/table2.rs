@@ -13,7 +13,9 @@
 use nanomap::{FlowError, MappingReport, NanoMap, Objective};
 use nanomap_arch::ArchParams;
 use nanomap_bench::circuits::paper_benchmarks;
+use nanomap_bench::results::write_results_json;
 use nanomap_bench::table::render;
+use nanomap_observe::JsonValue;
 
 struct Row {
     circuit: &'static str,
@@ -96,6 +98,7 @@ fn main() {
     let benches = paper_benchmarks();
     let flow = NanoMap::new(ArchParams::paper_unbounded()).without_physical();
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     println!("Table 2: circuit mapping results for typical optimizations");
     println!("(paper values in parentheses; delay constraints scaled by the");
     println!(" per-circuit no-folding delay ratio, see EXPERIMENTS.md)\n");
@@ -131,6 +134,20 @@ fn main() {
             other => unreachable!("bad spec {other:?}"),
         };
         let result: Result<MappingReport, FlowError> = flow.map(&bench.network, objective);
+        json_rows.push(match &result {
+            Ok(r) => JsonValue::object()
+                .with("circuit", row.circuit)
+                .with("objective", row.objective)
+                .with("area_budget", area_budget)
+                .with("delay_budget_ns", delay_budget)
+                .with("folding_level", r.folding_level)
+                .with("num_les", r.num_les)
+                .with("delay_ns", r.delay_ns),
+            Err(e) => JsonValue::object()
+                .with("circuit", row.circuit)
+                .with("objective", row.objective)
+                .with("error", e.to_string().as_str()),
+        });
         let (level, les, delay) = match &result {
             Ok(r) => (
                 r.folding_level.map_or("-".to_string(), |l| l.to_string()),
@@ -167,4 +184,10 @@ fn main() {
     println!("Note: the paper's ex1 'Delay' row reports level-1 folding; an");
     println!("unconstrained delay minimization picks no-folding (the fastest");
     println!("mapping), which is what this flow reports.");
+
+    write_results_json(
+        "table2",
+        JsonValue::object().with("rows", JsonValue::Array(json_rows)),
+    );
+    println!("\njson: -> results/table2.json");
 }

@@ -8,8 +8,10 @@
 
 use nanomap_arch::{estimate_power, PowerModel, TimingModel};
 use nanomap_bench::circuits::paper_benchmarks;
+use nanomap_bench::results::write_results_json;
 use nanomap_bench::table::render;
 use nanomap_netlist::PlaneSet;
+use nanomap_observe::JsonValue;
 use nanomap_sched::{schedule_fds, FdsOptions, ItemGraph, LeShape};
 
 fn main() {
@@ -35,6 +37,7 @@ fn main() {
 
     let depth = planes.depth_max().max(1);
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     let mut seen = std::collections::HashSet::new();
     for stages in 1..=depth {
         let level = depth.div_ceil(stages);
@@ -86,6 +89,16 @@ fn main() {
             format!("{:.0}", f64::from(peak) * delay),
             format!("{:.1}", power.total_mw()),
         ]);
+        json_rows.push(
+            JsonValue::object()
+                .with("folding_level", level)
+                .with("cycles_per_plane", stages)
+                .with("cycle_ns", cycle)
+                .with("delay_ns", delay)
+                .with("num_les", peak)
+                .with("at_product", f64::from(peak) * delay)
+                .with("power_mw", power.total_mw()),
+        );
     }
     // The no-folding end of the curve.
     let nf_delay = timing.circuit_delay_no_folding(planes.num_planes() as u32, depth);
@@ -106,6 +119,16 @@ fn main() {
         format!("{:.0}", f64::from(nf_les) * nf_delay),
         format!("{:.1}", nf_power.total_mw()),
     ]);
+    json_rows.push(
+        JsonValue::object()
+            .with("folding_level", JsonValue::Null)
+            .with("cycles_per_plane", 1u32)
+            .with("cycle_ns", timing.plane_cycle_no_folding(depth))
+            .with("delay_ns", nf_delay)
+            .with("num_les", nf_les)
+            .with("at_product", f64::from(nf_les) * nf_delay)
+            .with("power_mw", nf_power.total_mw()),
+    );
 
     println!(
         "{}",
@@ -124,4 +147,12 @@ fn main() {
     );
     println!("Expected shape: delay falls and #LEs rises as the folding level");
     println!("increases; the AT product is minimized at deep folding.");
+
+    write_results_json(
+        "tradeoff",
+        JsonValue::object()
+            .with("circuit", bench.name)
+            .with("levels", JsonValue::Array(json_rows)),
+    );
+    println!("\njson: -> results/tradeoff.json");
 }

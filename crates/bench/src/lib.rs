@@ -11,4 +11,5 @@
 #![warn(missing_docs)]
 
 pub mod circuits;
+pub mod results;
 pub mod table;

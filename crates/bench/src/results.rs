@@ -1,0 +1,64 @@
+//! Machine-readable companions to the `results/*.txt` artifacts.
+//!
+//! Every reproduction binary renders a plain-text table for humans and,
+//! via [`write_results_json`], a JSON document with the same numbers for
+//! tooling (plotting, regression diffing, the CI QoR gate). Documents are
+//! emitted with the observe crate's serde-free emitter and carry a
+//! `generator` tag naming the binary that produced them.
+
+use std::path::{Path, PathBuf};
+
+use nanomap_observe::JsonValue;
+
+/// The repository's `results/` directory (resolved relative to this
+/// crate, so it works from any working directory).
+pub fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Wraps `body` with the generator tag and writes it to
+/// `results/<name>.json`, returning the path written.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written — the reproduction binaries
+/// treat their artifacts as mandatory output.
+pub fn write_results_json(name: &str, body: JsonValue) -> PathBuf {
+    let doc = JsonValue::object()
+        .with("generator", name)
+        .with("data", body);
+    let path = results_dir().join(format!("{name}.json"));
+    std::fs::write(&path, doc.to_pretty_string() + "\n")
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_in_repo() {
+        assert!(results_dir().is_dir());
+    }
+
+    #[test]
+    fn write_and_parse_round_trip() {
+        let body = JsonValue::object().with("answer", 42u32);
+        let path = write_results_json("test_artifact", body);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = nanomap_observe::json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("generator").and_then(JsonValue::as_str),
+            Some("test_artifact")
+        );
+        assert_eq!(
+            parsed
+                .get("data")
+                .and_then(|d| d.get("answer"))
+                .and_then(JsonValue::as_int),
+            Some(42)
+        );
+        std::fs::remove_file(path).unwrap();
+    }
+}

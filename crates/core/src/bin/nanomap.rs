@@ -12,12 +12,22 @@
 //!   --verify                    check folded execution against simulation
 //!   --bitmap PATH               write the packed binary bitstream to PATH
 //!   --metrics PATH              write spans/counters/report as JSON to PATH
+//!   --chrome-trace PATH         write a Perfetto-loadable trace to PATH
+//!   --qor PATH                  write a QoR document to PATH
 //!   --progress                  echo top-level phase timings to stderr
 //!   --trace                     echo every span to stderr as it closes
+//!
+//! PATH may be `-` for stdout (at most one of --metrics/--chrome-trace/--qor;
+//! the human-readable report then moves to stderr).
+//!
+//! nanomap qor-diff <baseline.json> <new.json>
+//!   Compares two QoR documents metric-by-metric with per-metric
+//!   tolerances; exits non-zero when any gated metric regresses.
 //! ```
 
 use std::process::ExitCode;
 
+use nanomap::qor::{diff_documents, has_regression, DiffStatus, QorDocument, QorReport};
 use nanomap::{NanoMap, Objective};
 use nanomap_arch::ArchParams;
 use nanomap_netlist::{blif, vhdl, LutNetwork};
@@ -36,8 +46,25 @@ struct Args {
     verify: bool,
     bitmap_path: Option<String>,
     metrics_path: Option<String>,
+    chrome_trace_path: Option<String>,
+    qor_path: Option<String>,
     progress: bool,
     trace: bool,
+}
+
+impl Args {
+    /// The JSON sinks that may claim stdout via `-`, as (flag, path) pairs.
+    fn stdout_sinks(&self) -> Vec<&'static str> {
+        [
+            ("--metrics", &self.metrics_path),
+            ("--chrome-trace", &self.chrome_trace_path),
+            ("--qor", &self.qor_path),
+        ]
+        .into_iter()
+        .filter(|(_, path)| path.as_deref() == Some("-"))
+        .map(|(flag, _)| flag)
+        .collect()
+    }
 }
 
 /// Pulls the value following a `--flag VALUE` option off the iterator.
@@ -45,7 +72,7 @@ fn value(iter: &mut impl Iterator<Item = String>, name: &str) -> Result<String, 
     iter.next().ok_or_else(|| format!("{name} needs a value"))
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(cli: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         input: String::new(),
         objective: "at".into(),
@@ -58,10 +85,12 @@ fn parse_args() -> Result<Args, String> {
         verify: false,
         bitmap_path: None,
         metrics_path: None,
+        chrome_trace_path: None,
+        qor_path: None,
         progress: false,
         trace: false,
     };
-    let mut iter = std::env::args().skip(1);
+    let mut iter = cli;
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--objective" => args.objective = value(&mut iter, "--objective")?,
@@ -91,6 +120,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--bitmap" => args.bitmap_path = Some(value(&mut iter, "--bitmap")?),
             "--metrics" => args.metrics_path = Some(value(&mut iter, "--metrics")?),
+            "--chrome-trace" => args.chrome_trace_path = Some(value(&mut iter, "--chrome-trace")?),
+            "--qor" => args.qor_path = Some(value(&mut iter, "--qor")?),
             "--optimize" => args.run_optimize = true,
             "--no-physical" => args.physical = false,
             "--verify" => args.verify = true,
@@ -110,6 +141,13 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.input.is_empty() {
         return Err("missing input file".into());
+    }
+    let claimed = args.stdout_sinks();
+    if claimed.len() > 1 {
+        return Err(format!(
+            "only one output may write to stdout: {} all say `-`",
+            claimed.join(" and ")
+        ));
     }
     Ok(args)
 }
@@ -133,8 +171,86 @@ fn load(path: &str, lut_inputs: u32) -> Result<LutNetwork, String> {
     }
 }
 
+/// Writes `text` to `path`, or to stdout when `path` is `-`.
+fn write_sink(path: &str, text: &str) -> Result<(), String> {
+    if path == "-" {
+        println!("{text}");
+        Ok(())
+    } else {
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
+    }
+}
+
+/// `nanomap qor-diff <baseline.json> <new.json>`: the regression gate.
+fn qor_diff_main(args: &[String]) -> ExitCode {
+    let [baseline_path, new_path] = args else {
+        eprintln!("usage: nanomap qor-diff <baseline.json> <new.json>");
+        return ExitCode::FAILURE;
+    };
+    let read_doc = |path: &String| -> Result<QorDocument, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        QorDocument::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, new) = match (read_doc(baseline_path), read_doc(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries = diff_documents(&baseline, &new);
+    let mut failures = 0usize;
+    println!(
+        "{:<14} {:<28} {:>14} {:>14} {:>9}  status",
+        "circuit", "metric", "baseline", "new", "change"
+    );
+    for e in &entries {
+        // Keep the table focused: silent on in-tolerance info metrics.
+        let interesting = e.status.fails()
+            || matches!(e.status, DiffStatus::MissingInBaseline)
+            || e.tolerance.is_some();
+        if !interesting {
+            continue;
+        }
+        if e.status.fails() {
+            failures += 1;
+        }
+        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.3}"));
+        let change = e
+            .relative_change()
+            .map_or("-".to_string(), |c| format!("{:+.2}%", c * 100.0));
+        let status = match e.status {
+            DiffStatus::Ok => "ok",
+            DiffStatus::Regression => "REGRESSION",
+            DiffStatus::MissingInNew => "MISSING",
+            DiffStatus::MissingInBaseline => "new metric",
+            DiffStatus::Info => "info",
+        };
+        println!(
+            "{:<14} {:<28} {:>14} {:>14} {:>9}  {}",
+            e.circuit,
+            e.metric,
+            fmt(e.baseline),
+            fmt(e.new),
+            change,
+            status
+        );
+    }
+    if has_regression(&entries) {
+        println!("QoR gate: FAIL ({failures} regressed metrics)");
+        ExitCode::FAILURE
+    } else {
+        println!("QoR gate: PASS ({} metrics compared)", entries.len());
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut cli: Vec<String> = std::env::args().skip(1).collect();
+    if cli.first().map(String::as_str) == Some("qor-diff") {
+        return qor_diff_main(&cli.split_off(1));
+    }
+    let args = match parse_args(cli.into_iter()) {
         Ok(a) => a,
         Err(message) => {
             if !message.is_empty() {
@@ -143,13 +259,31 @@ fn main() -> ExitCode {
             eprintln!("usage: nanomap <design.vhd | design.blif> [--objective delay|area|at]");
             eprintln!("       [--max-les N] [--max-delay NS] [--k N] [--ffs-per-le N]");
             eprintln!("       [--optimize] [--no-physical] [--verify] [--bitmap PATH]");
-            eprintln!("       [--metrics PATH] [--progress] [--trace]");
+            eprintln!("       [--metrics PATH] [--chrome-trace PATH] [--qor PATH]");
+            eprintln!("       [--progress] [--trace]");
+            eprintln!("       nanomap qor-diff <baseline.json> <new.json>");
             return ExitCode::FAILURE;
         }
     };
-    // Observability: --metrics needs the collector recording; --progress and
-    // --trace additionally echo spans to stderr as they close.
-    if args.metrics_path.is_some() || args.progress || args.trace {
+    // The human-readable report moves to stderr when a JSON sink owns stdout.
+    let stdout_claimed = !args.stdout_sinks().is_empty();
+    macro_rules! report {
+        ($($t:tt)*) => {
+            if stdout_claimed {
+                eprintln!($($t)*);
+            } else {
+                println!($($t)*);
+            }
+        };
+    }
+    // Observability: the JSON sinks need the collector recording; --progress
+    // and --trace additionally echo spans to stderr as they close.
+    if args.metrics_path.is_some()
+        || args.chrome_trace_path.is_some()
+        || args.qor_path.is_some()
+        || args.progress
+        || args.trace
+    {
         nanomap_observe::set_enabled(true);
     }
     if args.trace {
@@ -171,7 +305,7 @@ fn main() -> ExitCode {
     };
     if args.run_optimize {
         let (cleaned, stats) = optimize(&net);
-        println!(
+        report!(
             "optimize: {} -> {} LUTs ({:.1}% removed, {} iterations)",
             stats.luts_before,
             stats.luts_after,
@@ -203,16 +337,17 @@ fn main() -> ExitCode {
     if args.verify {
         flow = flow.with_verification();
     }
+    let channels = flow.channels;
     match flow.map(&net, objective) {
         Ok(report) => {
-            println!("{}", report.summary());
-            println!(
+            report!("{}", report.summary());
+            report!(
                 "  sharing: {:?}, NRAM sets used: {}, AT product: {:.0}",
                 report.sharing,
                 report.nram_sets_used,
                 report.area_delay_product()
             );
-            println!(
+            report!(
                 "  power: logic {:.2} mW + reconfiguration {:.2} mW + leakage {:.2} mW = {:.2} mW",
                 report.power.logic_mw,
                 report.power.reconfiguration_mw,
@@ -220,20 +355,27 @@ fn main() -> ExitCode {
                 report.power.total_mw()
             );
             if let Some(p) = &report.physical {
-                println!(
+                report!(
                     "  physical: {} SMBs on {}x{}, routed delay {:.2} ns, {} config bits",
-                    p.num_smbs, p.grid.0, p.grid.1, p.routed_delay_ns, p.bitmap_bits
+                    p.num_smbs,
+                    p.grid.0,
+                    p.grid.1,
+                    p.routed_delay_ns,
+                    p.bitmap_bits
                 );
-                println!(
+                report!(
                     "  interconnect: {} direct, {} len-1, {} len-4, {} global",
-                    p.usage.direct, p.usage.length1, p.usage.length4, p.usage.global
+                    p.usage.direct,
+                    p.usage.length1,
+                    p.usage.length4,
+                    p.usage.global
                 );
             }
             if args.verify {
-                println!("  folded-execution verification: PASSED");
+                report!("  folded-execution verification: PASSED");
             }
             let t = &report.phase_times;
-            println!(
+            report!(
                 "  time: total {:.1} ms (select {:.1}, fds {:.1}, pack {:.1}, place {:.1}, route {:.1}, bitmap {:.1}, verify {:.1})",
                 t.total_ms,
                 t.folding_select_ms,
@@ -250,23 +392,41 @@ fn main() -> ExitCode {
                         eprintln!("error: writing {path}: {e}");
                         return ExitCode::FAILURE;
                     }
-                    println!("  bitstream: {} bytes -> {path}", bytes.len());
+                    report!("  bitstream: {} bytes -> {path}", bytes.len());
                 }
             }
             if args.progress || args.trace {
                 let snap = nanomap_observe::snapshot();
                 eprint!("{}", snap.render_tree());
             }
+            // All JSON sinks render from one snapshot of the finished flow.
+            let snap = nanomap_observe::snapshot();
             if let Some(path) = &args.metrics_path {
-                let snap = nanomap_observe::snapshot();
                 let doc = JsonValue::object()
                     .with("report", report.to_json())
                     .with("metrics", snap.to_json());
-                if let Err(e) = std::fs::write(path, doc.to_pretty_string()) {
-                    eprintln!("error: writing {path}: {e}");
+                if let Err(e) = write_sink(path, &doc.to_pretty_string()) {
+                    eprintln!("error: {e}");
                     return ExitCode::FAILURE;
                 }
-                println!("  metrics: -> {path}");
+                report!("  metrics: -> {path}");
+            }
+            if let Some(path) = &args.chrome_trace_path {
+                let doc = snap.to_chrome_trace();
+                if let Err(e) = write_sink(path, &doc.to_pretty_string()) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                report!("  chrome trace: -> {path} (load at ui.perfetto.dev)");
+            }
+            if let Some(path) = &args.qor_path {
+                let qor = QorReport::from_mapping(&report, &channels, &snap);
+                let doc = QorDocument::new(vec![qor]).to_json();
+                if let Err(e) = write_sink(path, &doc.to_pretty_string()) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                report!("  qor: -> {path}");
             }
             ExitCode::SUCCESS
         }

@@ -55,6 +55,7 @@ mod error;
 mod flow;
 mod folding;
 mod objective;
+pub mod qor;
 mod report;
 mod verify;
 
@@ -65,7 +66,8 @@ pub use folding::{
     min_level_shared, FoldingConfig, PlaneSharing,
 };
 pub use objective::Objective;
-pub use report::{MappingReport, PhysicalReport, SharingMode, UsageReport};
+pub use qor::{QorDocument, QorReport};
+pub use report::{MappingReport, PhaseTimes, PhysicalReport, SharingMode, UsageReport};
 pub use verify::{check_folded_execution, FoldedCheck};
 
 pub use nanomap_arch as arch;

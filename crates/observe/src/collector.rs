@@ -6,17 +6,29 @@
 //! sink) and a JSON emitter (machine sink).
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::json::JsonValue;
 use crate::metrics::{Counter, Gauge, Histogram, HistogramHandle, HistogramSnapshot};
+use crate::series::{SeriesData, SeriesHandle, SeriesSnapshot};
 use crate::span::SpanRecord;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static ECHO: AtomicU8 = AtomicU8::new(0);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Stable per-process ordinal of the calling thread (0 = first thread
+/// that touched the collector). Used as the Chrome-trace track id.
+pub fn thread_ordinal() -> u32 {
+    TID.with(|t| *t)
+}
 
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -39,6 +51,7 @@ struct Registry {
     counters: BTreeMap<&'static str, Arc<AtomicU64>>,
     gauges: BTreeMap<&'static str, Arc<AtomicU64>>,
     histograms: BTreeMap<&'static str, Arc<Histogram>>,
+    series: BTreeMap<&'static str, Arc<Mutex<SeriesData>>>,
 }
 
 fn registry() -> &'static Mutex<Registry> {
@@ -136,6 +149,11 @@ pub fn histogram(name: &'static str) -> HistogramHandle {
     HistogramHandle(Arc::clone(lock().histograms.entry(name).or_default()))
 }
 
+/// Resolves (registering on first use) the time series `name`.
+pub fn series(name: &'static str) -> SeriesHandle {
+    SeriesHandle(Arc::clone(lock().series.entry(name).or_default()))
+}
+
 /// Convenience one-shot counter increment (registry lookup per call —
 /// fine off the hot path).
 pub fn incr(name: &'static str, n: u64) {
@@ -162,6 +180,11 @@ pub fn reset() {
         hist.sum.store(0, Ordering::Relaxed);
         hist.max.store(0, Ordering::Relaxed);
     }
+    for cell in reg.series.values() {
+        cell.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .reset();
+    }
 }
 
 /// Everything the collector knows, frozen at one instant.
@@ -175,6 +198,8 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<&'static str, f64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+    /// Time-series snapshots by name.
+    pub series: BTreeMap<&'static str, SeriesSnapshot>,
 }
 
 /// Takes a consistent snapshot of spans, counters, gauges and histograms.
@@ -197,6 +222,18 @@ pub fn snapshot() -> MetricsSnapshot {
             .iter()
             .map(|(&name, hist)| (name, HistogramSnapshot::from(&**hist)))
             .collect(),
+        series: reg
+            .series
+            .iter()
+            .map(|(&name, cell)| {
+                (
+                    name,
+                    cell.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .snapshot(),
+                )
+            })
+            .collect(),
     }
 }
 
@@ -209,6 +246,11 @@ impl MetricsSnapshot {
     /// Value of a counter (0 when never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of a series, if it was ever registered.
+    pub fn series(&self, name: &str) -> Option<&SeriesSnapshot> {
+        self.series.get(name)
     }
 
     /// The machine sink: spans, counters, gauges and histograms as one
@@ -227,6 +269,7 @@ impl MetricsSnapshot {
                     .with("parent", s.parent)
                     .with("name", s.name)
                     .with("depth", s.depth)
+                    .with("tid", s.tid)
                     .with("start_us", s.start_us)
                     .with("duration_us", s.duration_us)
                     .with("attrs", attrs)
@@ -260,11 +303,30 @@ impl MetricsSnapshot {
                     .with("buckets", JsonValue::Array(buckets)),
             );
         }
+        let mut series = JsonValue::object();
+        for (&name, snap) in &self.series {
+            let points: Vec<JsonValue> = snap
+                .points
+                .iter()
+                .map(|p| JsonValue::Array(vec![JsonValue::from(p.x), JsonValue::from(p.y)]))
+                .collect();
+            series.set(
+                name,
+                JsonValue::object()
+                    .with("count", snap.count)
+                    .with("stride", snap.stride)
+                    .with("min", snap.min_y)
+                    .with("max", snap.max_y)
+                    .with("last", snap.last_y())
+                    .with("points", JsonValue::Array(points)),
+            );
+        }
         JsonValue::object()
             .with("spans", JsonValue::Array(spans))
             .with("counters", counters)
             .with("gauges", gauges)
             .with("histograms", histograms)
+            .with("series", series)
     }
 
     /// The human sink: an aggregated per-phase tree. Sibling spans with
@@ -300,6 +362,19 @@ impl MetricsSnapshot {
                     snap.percentile(50.0),
                     snap.percentile(90.0),
                     snap.max
+                ));
+            }
+        }
+        for (name, snap) in &self.series {
+            if snap.count > 0 {
+                out.push_str(&format!(
+                    "series {name}: n={} last={:.3} min={:.3} max={:.3} (kept {}, stride {})\n",
+                    snap.count,
+                    snap.last_y(),
+                    snap.min_y,
+                    snap.max_y,
+                    snap.points.len(),
+                    snap.stride
                 ));
             }
         }

@@ -3,9 +3,12 @@
 //! Zero-dependency observability for the NanoMap flow: hierarchical
 //! wall-clock [spans](span!), monotonic [counters](counter) and
 //! [gauges](gauge), log-scale [histograms](histogram) with percentile
-//! readout, a thread-safe global [collector](snapshot), and two sinks —
-//! a human-readable per-phase tree ([`MetricsSnapshot::render_tree`]) and
-//! a hand-rolled JSON emitter ([`MetricsSnapshot::to_json`], serde-free).
+//! readout, bounded time [series](series) for convergence trajectories,
+//! a thread-safe global [collector](snapshot), and three sinks —
+//! a human-readable per-phase tree ([`MetricsSnapshot::render_tree`]),
+//! a hand-rolled JSON emitter ([`MetricsSnapshot::to_json`], serde-free),
+//! and a Chrome trace-event exporter
+//! ([`MetricsSnapshot::to_chrome_trace`], loadable in Perfetto).
 //!
 //! Everything is **off by default** and costs one relaxed atomic load per
 //! instrumentation site until [`set_enabled`]`(true)` — the flow's hot
@@ -23,10 +26,12 @@
 //!     let _phase = observe::span!("fds", items = 12usize);
 //!     observe::counter("fds.force_evals").add(144);
 //!     observe::histogram("fds.round_us").record(250);
+//!     observe::series("fds.best_force").record(0, 3.5);
 //! }
 //! let snap = observe::snapshot();
 //! assert_eq!(snap.counter("fds.force_evals"), 144);
 //! assert!(!snap.spans_named("fds").is_empty());
+//! assert_eq!(snap.series("fds.best_force").unwrap().last_y(), 3.5);
 //! let json = snap.to_json().to_pretty_string();
 //! assert!(json.contains("\"fds.force_evals\""));
 //! ```
@@ -38,12 +43,15 @@ pub mod rng;
 
 mod collector;
 mod metrics;
+mod series;
 mod span;
+mod trace;
 
 pub use collector::{
-    counter, enabled, gauge, histogram, incr, reset, set_echo, set_enabled, snapshot, Echo,
-    MetricsSnapshot,
+    counter, enabled, gauge, histogram, incr, reset, series, set_echo, set_enabled, snapshot,
+    thread_ordinal, Echo, MetricsSnapshot,
 };
 pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, HistogramHandle, HistogramSnapshot};
+pub use series::{SeriesHandle, SeriesPoint, SeriesSnapshot, SERIES_CAPACITY};
 pub use span::{SpanAttr, SpanGuard, SpanRecord};

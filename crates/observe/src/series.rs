@@ -1,0 +1,245 @@
+//! Bounded time-series telemetry for convergence loops.
+//!
+//! The flow's optimization phases are iterative searches; their
+//! *trajectories* (annealing cost per temperature step, PathFinder
+//! overuse per iteration, FDS force per round) say far more about
+//! solution quality than the end result alone. A [`SeriesHandle`]
+//! records `(iteration, value)` points into a bounded reservoir:
+//! whenever the buffer fills, every other kept point is dropped and the
+//! keep-stride doubles, so an arbitrarily long run costs a fixed amount
+//! of memory while preserving the overall shape of the curve.
+//!
+//! Which points survive depends only on the *sequence* of records, never
+//! on wall-clock time, so downsampled series are deterministic for a
+//! deterministic run. Each point also carries a microsecond timestamp
+//! relative to the collector epoch, which the Chrome-trace exporter uses
+//! to place counter samples on the trace timeline.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::collector::{enabled, since_epoch_us};
+
+/// Maximum points kept per series before the reservoir decimates.
+pub const SERIES_CAPACITY: usize = 512;
+
+/// One retained sample of a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Caller-supplied iteration index.
+    pub x: u64,
+    /// Microseconds since the collector epoch when recorded.
+    pub t_us: u64,
+    /// The sample value.
+    pub y: f64,
+}
+
+/// Mutable series state behind the registry mutex.
+#[derive(Debug)]
+pub(crate) struct SeriesData {
+    points: Vec<SeriesPoint>,
+    /// Keep one sample in `stride` (doubles on each decimation).
+    stride: u64,
+    /// Total samples offered via `record`.
+    seen: u64,
+    first: Option<SeriesPoint>,
+    last: Option<SeriesPoint>,
+    min_y: f64,
+    max_y: f64,
+}
+
+impl Default for SeriesData {
+    fn default() -> Self {
+        Self {
+            points: Vec::new(),
+            stride: 1,
+            seen: 0,
+            first: None,
+            last: None,
+            min_y: f64::INFINITY,
+            max_y: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl SeriesData {
+    pub(crate) fn record(&mut self, x: u64, y: f64) {
+        let point = SeriesPoint {
+            x,
+            t_us: since_epoch_us(Instant::now()),
+            y,
+        };
+        if self.first.is_none() {
+            self.first = Some(point);
+        }
+        self.last = Some(point);
+        self.min_y = self.min_y.min(y);
+        self.max_y = self.max_y.max(y);
+        // Reservoir: admit every stride-th offered sample; halve the kept
+        // set and double the stride when the buffer fills.
+        if self.seen.is_multiple_of(self.stride) {
+            if self.points.len() == SERIES_CAPACITY {
+                let mut keep = 0;
+                self.points.retain(|_| {
+                    keep += 1;
+                    (keep - 1) % 2 == 0
+                });
+                self.stride *= 2;
+            }
+            // Re-test after the stride change so admission stays aligned.
+            if self.seen.is_multiple_of(self.stride) {
+                self.points.push(point);
+            }
+        }
+        self.seen += 1;
+    }
+
+    pub(crate) fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    pub(crate) fn snapshot(&self) -> SeriesSnapshot {
+        SeriesSnapshot {
+            count: self.seen,
+            stride: self.stride,
+            first: self.first,
+            last: self.last,
+            min_y: if self.seen == 0 { 0.0 } else { self.min_y },
+            max_y: if self.seen == 0 { 0.0 } else { self.max_y },
+            points: self.points.clone(),
+        }
+    }
+}
+
+/// A series handle resolved from the registry via [`crate::series`].
+/// Cheap to clone; resolve once outside the loop being instrumented.
+#[derive(Debug, Clone)]
+pub struct SeriesHandle(pub(crate) Arc<Mutex<SeriesData>>);
+
+impl SeriesHandle {
+    /// Records one `(iteration, value)` sample (no-op while observability
+    /// is disabled).
+    #[inline]
+    pub fn record(&self, iter: u64, value: f64) {
+        if enabled() {
+            let mut data = self
+                .0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            data.record(iter, value);
+        }
+    }
+
+    /// An immutable snapshot for readout.
+    pub fn snapshot(&self) -> SeriesSnapshot {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .snapshot()
+    }
+}
+
+/// Immutable view of a series for export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Total samples offered (including downsampled-away ones).
+    pub count: u64,
+    /// Current keep-stride (1 until the first decimation).
+    pub stride: u64,
+    /// First sample ever recorded.
+    pub first: Option<SeriesPoint>,
+    /// Most recent sample.
+    pub last: Option<SeriesPoint>,
+    /// Smallest value over *all* samples (0 when empty).
+    pub min_y: f64,
+    /// Largest value over *all* samples (0 when empty) — the "peak" the
+    /// QoR layer snapshots.
+    pub max_y: f64,
+    /// Retained points in record order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl SeriesSnapshot {
+    /// The peak (largest) value the series ever saw.
+    pub fn peak(&self) -> f64 {
+        self.max_y
+    }
+
+    /// Value of the most recent sample (0 when empty).
+    pub fn last_y(&self) -> f64 {
+        self.last.map_or(0.0, |p| p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorded(n: u64) -> SeriesData {
+        let mut data = SeriesData::default();
+        for i in 0..n {
+            data.record(i, i as f64);
+        }
+        data
+    }
+
+    #[test]
+    fn short_series_keeps_every_point() {
+        let snap = recorded(100).snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.stride, 1);
+        assert_eq!(snap.points.len(), 100);
+        assert_eq!(snap.first.unwrap().x, 0);
+        assert_eq!(snap.last.unwrap().x, 99);
+    }
+
+    #[test]
+    fn long_series_stays_bounded_and_doubles_stride() {
+        let snap = recorded(100_000).snapshot();
+        assert_eq!(snap.count, 100_000);
+        assert!(snap.points.len() <= SERIES_CAPACITY);
+        assert!(snap.points.len() >= SERIES_CAPACITY / 4, "over-decimated");
+        assert!(snap.stride >= 2);
+        // Kept points are exactly the stride-aligned samples.
+        for p in &snap.points {
+            assert_eq!(p.x % snap.stride, 0, "off-stride point {p:?}");
+        }
+        // Extremes survive downsampling in the summary fields.
+        assert_eq!(snap.min_y, 0.0);
+        assert_eq!(snap.max_y, 99_999.0);
+        assert_eq!(snap.last.unwrap().x, 99_999);
+    }
+
+    #[test]
+    fn downsampling_is_deterministic() {
+        let a = recorded(12_345).snapshot();
+        let b = recorded(12_345).snapshot();
+        assert_eq!(a.points.len(), b.points.len());
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!((pa.x, pa.y), (pb.x, pb.y));
+        }
+    }
+
+    #[test]
+    fn empty_series_reads_zero() {
+        let snap = SeriesData::default().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.peak(), 0.0);
+        assert_eq!(snap.min_y, 0.0);
+        assert_eq!(snap.last_y(), 0.0);
+        assert!(snap.points.is_empty());
+    }
+
+    #[test]
+    fn min_max_track_all_samples_not_just_kept_ones() {
+        let mut data = SeriesData::default();
+        // A spike at an index the reservoir may drop.
+        for i in 0..10_000u64 {
+            let y = if i == 7_001 { 1e9 } else { 1.0 };
+            data.record(i, y);
+        }
+        let snap = data.snapshot();
+        assert_eq!(snap.max_y, 1e9);
+        assert_eq!(snap.min_y, 1.0);
+    }
+}

@@ -26,6 +26,9 @@ pub struct SpanRecord {
     pub attrs: Vec<SpanAttr>,
     /// Nesting depth (roots are 0).
     pub depth: u32,
+    /// Ordinal of the thread the span ran on (0 = first instrumented
+    /// thread). The Chrome-trace exporter maps this to a track.
+    pub tid: u32,
     /// Microseconds since the collector epoch at open.
     pub start_us: u64,
     /// Wall-clock duration in microseconds.
@@ -118,6 +121,7 @@ impl Drop for SpanGuard {
             name: open.name,
             attrs: open.attrs,
             depth: open.depth,
+            tid: collector::thread_ordinal(),
             start_us,
             duration_us: duration.as_micros().min(u128::from(u64::MAX)) as u64,
         });

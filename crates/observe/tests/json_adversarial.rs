@@ -1,0 +1,202 @@
+//! Adversarial inputs for the hand-rolled JSON emitter/parser and the
+//! histogram percentile readout — the places a serde-free substrate can
+//! quietly rot.
+
+use nanomap_observe::json::{parse, JsonValue};
+use nanomap_observe::{histogram, set_enabled};
+
+// ---------------------------------------------------------------------
+// Emitter/parser round-trips.
+// ---------------------------------------------------------------------
+
+#[test]
+fn escaped_strings_round_trip_through_both_modes() {
+    let cases = [
+        "quote \" backslash \\ slash / done",
+        "\\\\\\\" nested escapes \\\"",
+        "controls: \u{00}\u{01}\u{1f} end",
+        "\u{08}\u{0C}\n\r\t",
+        "json-in-json: {\"a\": [1, 2]}",
+    ];
+    for s in cases {
+        let v = JsonValue::object().with("k", s);
+        for text in [v.to_compact_string(), v.to_pretty_string()] {
+            let parsed = parse(&text).unwrap_or_else(|e| panic!("{s:?}: {e}"));
+            assert_eq!(parsed.get("k").and_then(JsonValue::as_str), Some(s));
+        }
+    }
+}
+
+#[test]
+fn unicode_keys_and_values_round_trip() {
+    let v = JsonValue::object()
+        .with("métrique", "café ☕")
+        .with("図表", "日本語のテキスト")
+        .with("emoji \u{1F600}", "\u{1F680} rocket");
+    let parsed = parse(&v.to_pretty_string()).expect("valid JSON");
+    assert_eq!(parsed, v);
+    assert_eq!(
+        parsed.get("métrique").and_then(JsonValue::as_str),
+        Some("café ☕")
+    );
+}
+
+#[test]
+fn unicode_escapes_parse() {
+    let parsed = parse(r#""café ☕""#).expect("valid");
+    assert_eq!(parsed.as_str(), Some("café ☕"));
+    // Lone surrogates decode to the replacement character, not a panic.
+    let lone = parse(r#""\ud800""#).expect("valid");
+    assert_eq!(lone.as_str(), Some("\u{FFFD}"));
+    assert!(parse(r#""\uZZZZ""#).is_err());
+    assert!(parse(r#""\u00""#).is_err());
+}
+
+#[test]
+fn deep_nesting_round_trips() {
+    // 200 levels of arrays wrapping one object — deep enough to catch an
+    // accidental depth limit, shallow enough to stay off stack-overflow
+    // territory in debug builds.
+    let mut v = JsonValue::object().with("leaf", true);
+    for _ in 0..200 {
+        v = JsonValue::Array(vec![v]);
+    }
+    let text = v.to_compact_string();
+    assert!(text.starts_with("[[[["));
+    let parsed = parse(&text).expect("valid JSON");
+    assert_eq!(parsed, v);
+}
+
+#[test]
+fn extreme_numbers_round_trip() {
+    let v = JsonValue::object()
+        .with("max_i64", i64::MAX)
+        .with("min_i64", i64::MIN)
+        .with("neg", -123_456i64)
+        .with("tiny", 5e-324f64)
+        .with("huge", 1.7976931348623157e308f64)
+        .with("frac", 0.1f64 + 0.2f64)
+        .with("neg_frac", -123.456e-7f64);
+    let parsed = parse(&v.to_compact_string()).expect("valid JSON");
+    assert_eq!(
+        parsed.get("max_i64").and_then(JsonValue::as_int),
+        Some(i64::MAX)
+    );
+    assert_eq!(
+        parsed.get("min_i64").and_then(JsonValue::as_int),
+        Some(i64::MIN)
+    );
+    let float = |k: &str| match parsed.get(k) {
+        Some(JsonValue::Float(f)) => *f,
+        other => panic!("{k}: {other:?}"),
+    };
+    assert_eq!(float("tiny"), 5e-324);
+    assert_eq!(float("huge"), 1.7976931348623157e308);
+    assert_eq!(float("frac"), 0.1 + 0.2);
+    assert_eq!(float("neg_frac"), -123.456e-7);
+}
+
+#[test]
+fn nonfinite_floats_emit_null_and_parse_back() {
+    let v = JsonValue::object()
+        .with("nan", f64::NAN)
+        .with("inf", f64::INFINITY)
+        .with("ninf", f64::NEG_INFINITY);
+    let text = v.to_compact_string();
+    assert_eq!(text, r#"{"nan":null,"inf":null,"ninf":null}"#);
+    let parsed = parse(&text).expect("valid JSON");
+    assert_eq!(parsed.get("nan"), Some(&JsonValue::Null));
+}
+
+#[test]
+fn duplicate_keys_parse_and_get_returns_first() {
+    let parsed = parse(r#"{"k": 1, "k": 2, "other": 3}"#).expect("valid JSON");
+    // The parser preserves both entries; lookup resolves to the first, and
+    // re-serialization keeps the document intact.
+    assert_eq!(parsed.get("k").and_then(JsonValue::as_int), Some(1));
+    assert_eq!(parsed.to_compact_string(), r#"{"k":1,"k":2,"other":3}"#);
+}
+
+#[test]
+fn malformed_documents_are_rejected_not_mangled() {
+    for bad in [
+        "",
+        "{",
+        "[1, 2",
+        r#"{"k": }"#,
+        r#"{"k": 1,}"#,
+        "[1 2]",
+        r#"{"k" 1}"#,
+        "nul",
+        "truefalse",
+        "1 2",
+        r#""unterminated"#,
+        r#""bad escape \q""#,
+        "{\"k\": 1} trailing",
+    ] {
+        assert!(parse(bad).is_err(), "accepted {bad:?}");
+    }
+}
+
+#[test]
+fn number_formats_accepted_and_rejected() {
+    assert_eq!(parse("-0").unwrap().as_int(), Some(0));
+    assert!(matches!(parse("1e3").unwrap(), JsonValue::Float(f) if f == 1000.0));
+    assert!(matches!(parse("2.5E-1").unwrap(), JsonValue::Float(f) if f == 0.25));
+    assert!(parse("1.2.3").is_err());
+    assert!(parse("--1").is_err());
+    assert!(parse("1e").is_err());
+}
+
+// ---------------------------------------------------------------------
+// Histogram percentile edge cases.
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_histogram_percentiles_are_zero() {
+    // Unique metric names keep these tests independent without touching
+    // the global registry (tests run in parallel).
+    set_enabled(true);
+    let h = histogram("adversarial.empty");
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 0);
+    for p in [0.0, 50.0, 99.9, 100.0] {
+        assert_eq!(snap.percentile(p), 0);
+    }
+}
+
+#[test]
+fn single_sample_dominates_every_percentile() {
+    // Unique metric names keep these tests independent without touching
+    // the global registry (tests run in parallel).
+    set_enabled(true);
+    let h = histogram("adversarial.single");
+    h.record(37);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 1);
+    for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+        // The single sample is both the bucket content and the maximum, so
+        // every percentile reads back exactly 37.
+        assert_eq!(snap.percentile(p), 37, "p{p}");
+    }
+}
+
+#[test]
+fn all_equal_samples_yield_flat_percentiles() {
+    // Unique metric names keep these tests independent without touching
+    // the global registry (tests run in parallel).
+    set_enabled(true);
+    let h = histogram("adversarial.flat");
+    for _ in 0..1000 {
+        h.record(64);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 1000);
+    let p50 = snap.percentile(50.0);
+    let p999 = snap.percentile(99.9);
+    assert_eq!(p50, p999, "flat distribution must have flat percentiles");
+    assert_eq!(snap.percentile(100.0), 64);
+    // Out-of-range p clamps instead of panicking.
+    assert_eq!(snap.percentile(-5.0), snap.percentile(0.0));
+    assert_eq!(snap.percentile(250.0), snap.percentile(100.0));
+}

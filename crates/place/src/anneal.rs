@@ -44,8 +44,12 @@ pub fn anneal(
     rng: &mut XorShift64Star,
 ) -> f64 {
     let n = pos_of.len();
+    let cost_series = nanomap_observe::series("place.cost");
     if n <= 1 || nets.is_empty() {
-        return total_cost(nets, pos_of);
+        // Nothing to move: the cost trajectory is a single point.
+        let cost = total_cost(nets, pos_of);
+        cost_series.record(0, cost);
+        return cost;
     }
     let net_index = nets_of_smb(nets, n as u32);
     // Occupancy map: grid slot -> SMB.
@@ -53,7 +57,7 @@ pub fn anneal(
     for (smb, &pos) in pos_of.iter().enumerate() {
         occupant[grid.index(pos)] = Some(smb);
     }
-    let cost = total_cost(nets, pos_of);
+    let mut cost = total_cost(nets, pos_of);
 
     // Initial temperature: 20 × stddev of random-move deltas (VPR).
     let mut deltas = Vec::new();
@@ -80,7 +84,10 @@ pub fn anneal(
     let accepted_ctr = nanomap_observe::counter("place.moves_accepted");
     let steps_ctr = nanomap_observe::counter("place.temp_steps");
     let delta_hist = nanomap_observe::histogram("place.cost_delta_milli");
+    let temp_series = nanomap_observe::series("place.temperature");
+    let rate_series = nanomap_observe::series("place.accept_rate");
 
+    let mut step = 0u64;
     while temperature > t_min {
         let mut accepted = 0usize;
         for _ in 0..moves_per_t {
@@ -90,6 +97,7 @@ pub fn anneal(
             if accept {
                 apply_move(a, slot_b, grid, pos_of, &mut occupant);
                 accepted += 1;
+                cost += delta;
                 delta_hist.record_scaled(delta, 1000.0);
             }
         }
@@ -97,6 +105,11 @@ pub fn anneal(
         accepted_ctr.add(accepted as u64);
         steps_ctr.incr();
         let rate = accepted as f64 / moves_per_t as f64;
+        // Convergence trajectory: one sample per temperature step.
+        cost_series.record(step, cost);
+        temp_series.record(step, temperature);
+        rate_series.record(step, rate);
+        step += 1;
         // VPR temperature update.
         temperature *= if rate > 0.96 {
             0.5

@@ -97,6 +97,8 @@ pub fn route_slice(
     let iter_ctr = nanomap_observe::counter("route.iterations");
     let ripup_ctr = nanomap_observe::counter("route.ripups");
     let overflow_hist = nanomap_observe::histogram("route.overused_nodes");
+    let overuse_series = nanomap_observe::series("route.overuse");
+    let pres_series = nanomap_observe::series("route.present_cost");
 
     for iteration in 0..options.max_iterations {
         let mut ripups = 0u64;
@@ -124,6 +126,9 @@ pub fn route_slice(
             }
         }
         overflow_hist.record(overused as u64);
+        // Negotiation trajectory: one sample per rip-up iteration.
+        overuse_series.record(u64::from(iteration), overused as f64);
+        pres_series.record(u64::from(iteration), pres_fac);
         if overused == 0 {
             return Ok(routes.into_iter().map(|r| r.expect("routed")).collect());
         }

@@ -66,6 +66,7 @@ pub fn schedule_fds(
     let rounds_ctr = nanomap_observe::counter("fds.rounds");
     let force_ctr = nanomap_observe::counter("fds.force_evals");
     let dg_ctr = nanomap_observe::counter("fds.dg_rebuilds");
+    let force_series = nanomap_observe::series("fds.best_force");
 
     let n = graph.len();
     let ops: Vec<StorageOp> = storage_ops(net, graph, options.storage_mode);
@@ -75,7 +76,7 @@ pub fn schedule_fds(
     let mut frames = TimeFrames::compute(graph, stages, &pins)?;
 
     let mut force_evals = 0u64;
-    for _round in 0..n {
+    for round in 0..n {
         rounds_ctr.incr();
         let dgs = DistributionGraphs::build(graph, &frames, &ops);
         dg_ctr.incr();
@@ -108,13 +109,27 @@ pub fn schedule_fds(
                 });
             }
         }
-        let Some((_, item, cycle)) = best else { break };
+        let Some((force, item, cycle)) = best else {
+            break;
+        };
+        // Convergence trajectory: the committed (lowest) force per round.
+        force_series.record(round as u64, force);
         pins[item] = Some(cycle);
         frames = TimeFrames::compute(graph, stages, &pins)
             .expect("pinning inside a valid frame keeps the schedule feasible");
     }
     force_ctr.add(force_evals);
     fds_span.attr("force_evals", force_evals);
+
+    // Final balance readout: the total expected LUT+storage load of every
+    // folding cycle under the committed schedule (x = cycle index).
+    if nanomap_observe::enabled() {
+        let cycle_series = nanomap_observe::series("fds.cycle_load");
+        let dgs = DistributionGraphs::build(graph, &frames, &ops);
+        for (j, (lut, storage)) in dgs.lut.iter().zip(&dgs.storage).enumerate() {
+            cycle_series.record(j as u64, lut + storage);
+        }
+    }
 
     let stage_of: Vec<u32> = pins
         .iter()

@@ -222,7 +222,11 @@ pub fn map_network(
 
         // Build the flow network: source + 2 nodes per cone signal + sink.
         // Collapsed nodes (label == p gates, and t itself) merge into sink.
-        let cone: Vec<(usize, GateSignal)> = in_cone.iter().map(|(&i, &s)| (i, s)).collect();
+        // Sort by signal index: the flow-network node numbering (and with
+        // it, which of several min-cuts max-flow finds) must not depend on
+        // HashMap iteration order, or mapping results change run to run.
+        let mut cone: Vec<(usize, GateSignal)> = in_cone.iter().map(|(&i, &s)| (i, s)).collect();
+        cone.sort_unstable_by_key(|&(i, _)| i);
         let collapsed_set: std::collections::HashSet<usize> = cone
             .iter()
             .filter_map(|&(idx, sig)| match sig {

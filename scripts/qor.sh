@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# QoR regression gate: regenerate quality-of-results snapshots for the
+# paper benchmarks (full physical flow) and the accumulator CLI design,
+# then diff them against the committed baselines in results/qor/.
+#
+#   scripts/qor.sh            run the gate (non-zero exit on regression)
+#   scripts/qor.sh --rebase   regenerate and commit-ready the baselines
+#
+# Fresh snapshots land at the repo root (BENCH_qor.json, ACCUM_qor.json;
+# both gitignored) so a failing run leaves the evidence behind.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REBASE=0
+if [[ "${1:-}" == "--rebase" ]]; then
+  REBASE=1
+fi
+
+echo "==> build (release)"
+cargo build --release -p nanomap -p nanomap-bench
+
+echo "==> bench QoR: full physical flow over the Table 1 circuits"
+./target/release/qor --out BENCH_qor.json
+
+echo "==> accumulator QoR via the nanomap CLI"
+./target/release/nanomap designs/accumulator.vhd --qor ACCUM_qor.json >/dev/null
+
+if [[ $REBASE -eq 1 ]]; then
+  mkdir -p results/qor
+  cp BENCH_qor.json results/qor/bench.json
+  cp ACCUM_qor.json results/qor/accumulator.json
+  echo "baselines rebased -> results/qor/{bench,accumulator}.json"
+  echo "review the diff and commit them with the change that moved the numbers"
+else
+  echo "==> gate: bench circuits"
+  ./target/release/nanomap qor-diff results/qor/bench.json BENCH_qor.json
+  echo "==> gate: accumulator"
+  ./target/release/nanomap qor-diff results/qor/accumulator.json ACCUM_qor.json
+  echo "QoR gate passed."
+fi
