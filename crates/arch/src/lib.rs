@@ -39,6 +39,7 @@
 mod area;
 mod bitstream;
 mod config;
+pub mod defects;
 mod grid;
 pub mod interconnect;
 mod nram;
@@ -52,6 +53,7 @@ pub use bitstream::{
     pack_bitstream, unpack_bitstream, BitstreamError, BITSTREAM_MAGIC, BITSTREAM_VERSION,
 };
 pub use config::{bits_per_le, ConfigBitmap, CycleConfig, LeConfig, RoutingConfig, SmbConfig};
+pub use defects::{DefectCounts, DefectMap, DefectParseError};
 pub use grid::{Grid, SmbPos};
 pub use interconnect::{ChannelConfig, WireType};
 pub use nram::{NramSpec, ReconfigCounter};

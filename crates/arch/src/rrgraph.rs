@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 
+use crate::defects::DefectMap;
 use crate::grid::{Grid, SmbPos};
 use crate::interconnect::{ChannelConfig, WireType};
 
@@ -105,8 +106,18 @@ pub struct RrGraph {
 }
 
 impl RrGraph {
-    /// Builds the routing-resource graph for a grid and channel config.
+    /// Builds the routing-resource graph for a grid and channel config,
+    /// assuming a perfect (defect-free) fabric.
     pub fn build(grid: Grid, channels: &ChannelConfig) -> Self {
+        Self::build_with_defects(grid, channels, &DefectMap::none())
+    }
+
+    /// Builds the routing-resource graph, pruning defective resources:
+    /// broken wires (direct links, segment tracks, global lines) are not
+    /// created, and stuck-open switches between surviving wires are not
+    /// connected. Sources and sinks always exist — a dead *slot* is a
+    /// placement concern, not a routing one.
+    pub fn build_with_defects(grid: Grid, channels: &ChannelConfig, defects: &DefectMap) -> Self {
         let mut b = Builder {
             nodes: Vec::new(),
             edges: Vec::new(),
@@ -135,12 +146,16 @@ impl RrGraph {
         for pos in grid.iter() {
             for neighbor in grid.neighbors(pos) {
                 for track in 0..channels.direct as u16 {
+                    let kind = RrNodeKind::Direct {
+                        from: pos,
+                        to: neighbor,
+                        track,
+                    };
+                    if defects.wire_defective(&kind) {
+                        continue;
+                    }
                     let wire = b.add(RrNode {
-                        kind: RrNodeKind::Direct {
-                            from: pos,
-                            to: neighbor,
-                            track,
-                        },
+                        kind,
                         wire: Some(WireType::Direct),
                         capacity: 1,
                         base_cost: WireType::Direct.base_cost(),
@@ -160,8 +175,13 @@ impl RrGraph {
                     while x < grid.width {
                         let span = span.min(grid.width - x);
                         let at = SmbPos::new(x, y);
+                        let kind = RrNodeKind::HWire { at, span, track };
+                        if defects.wire_defective(&kind) {
+                            x += span;
+                            continue;
+                        }
                         let wire = b.add(RrNode {
-                            kind: RrNodeKind::HWire { at, span, track },
+                            kind,
                             wire: Some(tier),
                             capacity: 1,
                             base_cost: tier.base_cost(),
@@ -180,8 +200,13 @@ impl RrGraph {
                     while y < grid.height {
                         let span = span.min(grid.height - y);
                         let at = SmbPos::new(x, y);
+                        let kind = RrNodeKind::VWire { at, span, track };
+                        if defects.wire_defective(&kind) {
+                            y += span;
+                            continue;
+                        }
                         let wire = b.add(RrNode {
-                            kind: RrNodeKind::VWire { at, span, track },
+                            kind,
                             wire: Some(tier),
                             capacity: 1,
                             base_cost: tier.base_cost(),
@@ -208,8 +233,9 @@ impl RrGraph {
         let all_wires: Vec<RrNodeId> = h_wires.iter().chain(v_wires.iter()).copied().collect();
         for (i, &a) in all_wires.iter().enumerate() {
             for &c in all_wires.iter().skip(i + 1) {
-                let (ka, kc) = (&b.nodes[a.index()].kind, &b.nodes[c.index()].kind);
-                let (Some((ha, la, sa, ea)), Some((hc, lc, sc, ec))) = (ends(ka), ends(kc)) else {
+                let (ka, kc) = (b.nodes[a.index()].kind, b.nodes[c.index()].kind);
+                let (Some((ha, la, sa, ea)), Some((hc, lc, sc, ec))) = (ends(&ka), ends(&kc))
+                else {
                     continue;
                 };
                 let touching = if ha == hc && la == lc {
@@ -228,7 +254,7 @@ impl RrGraph {
                 } else {
                     false
                 };
-                if touching {
+                if touching && !defects.switch_defective(&ka, &kc) {
                     b.connect(a, c);
                     b.connect(c, a);
                 }
@@ -239,13 +265,17 @@ impl RrGraph {
         let mut global_cols = Vec::new();
         for track in 0..channels.global as u16 {
             for y in 0..grid.height {
+                let kind = RrNodeKind::GlobalRow { y, track };
+                if defects.wire_defective(&kind) {
+                    continue;
+                }
                 let wire = b.add(RrNode {
-                    kind: RrNodeKind::GlobalRow { y, track },
+                    kind,
                     wire: Some(WireType::Global),
                     capacity: 1,
                     base_cost: WireType::Global.base_cost(),
                 });
-                global_rows.push((y, wire));
+                global_rows.push((kind, wire));
                 for x in 0..grid.width {
                     let cell = SmbPos::new(x, y);
                     b.connect(b.source_of[&cell], wire);
@@ -253,13 +283,17 @@ impl RrGraph {
                 }
             }
             for x in 0..grid.width {
+                let kind = RrNodeKind::GlobalCol { x, track };
+                if defects.wire_defective(&kind) {
+                    continue;
+                }
                 let wire = b.add(RrNode {
-                    kind: RrNodeKind::GlobalCol { x, track },
+                    kind,
                     wire: Some(WireType::Global),
                     capacity: 1,
                     base_cost: WireType::Global.base_cost(),
                 });
-                global_cols.push((x, wire));
+                global_cols.push((kind, wire));
                 for y in 0..grid.height {
                     let cell = SmbPos::new(x, y);
                     b.connect(b.source_of[&cell], wire);
@@ -268,8 +302,11 @@ impl RrGraph {
             }
         }
         // Global-global crossings.
-        for &(_, row) in &global_rows {
-            for &(_, col) in &global_cols {
+        for &(rk, row) in &global_rows {
+            for &(ck, col) in &global_cols {
+                if defects.switch_defective(&rk, &ck) {
+                    continue;
+                }
                 b.connect(row, col);
                 b.connect(col, row);
             }
@@ -433,6 +470,70 @@ mod tests {
             }
         }
         assert!(saw_four);
+    }
+
+    #[test]
+    fn zero_rate_defect_map_builds_identical_graph() {
+        let clean = small_graph();
+        let defective = RrGraph::build_with_defects(
+            Grid::new(4, 4),
+            &ChannelConfig::nature(),
+            &DefectMap::none(),
+        );
+        assert_eq!(clean.num_nodes(), defective.num_nodes());
+        for ((_, a), (_, b)) in clean.iter().zip(defective.iter()) {
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn explicit_wire_defect_prunes_node() {
+        let map = DefectMap::parse("hwire 0 0 0\n").unwrap();
+        let g = RrGraph::build_with_defects(Grid::new(4, 4), &ChannelConfig::nature(), &map);
+        for (_, node) in g.iter() {
+            if let RrNodeKind::HWire { at, span, track } = node.kind {
+                assert!(
+                    !(at == SmbPos::new(0, 0) && span == 1 && track == 0),
+                    "defective wire survived pruning"
+                );
+            }
+        }
+        let clean = small_graph();
+        // Exactly one length-1 H wire is gone (the length-4 track indices
+        // are an independent channel, so only tier Length1 track 0 dies...
+        // unless the length-4 channel also has a track-0 wire at (0,0),
+        // which shares the key. The key encodes position+track only, so
+        // both tiers' track-0 wires at (0,0) are pruned.)
+        let missing = clean.num_nodes() - g.num_nodes();
+        assert!((1..=2).contains(&missing), "pruned {missing}");
+    }
+
+    #[test]
+    fn random_defects_prune_but_keep_sources_and_sinks() {
+        let map = DefectMap::uniform(0.3, 1234);
+        let grid = Grid::new(5, 5);
+        let g = RrGraph::build_with_defects(grid, &ChannelConfig::nature(), &map);
+        let clean = RrGraph::build(grid, &ChannelConfig::nature());
+        assert!(g.num_nodes() < clean.num_nodes());
+        for pos in grid.iter() {
+            // Lookups must not panic: every slot keeps its pins.
+            let _ = g.source(pos);
+            let _ = g.sink(pos);
+        }
+    }
+
+    #[test]
+    fn defective_builds_are_deterministic() {
+        let map = DefectMap::uniform(0.15, 77);
+        let grid = Grid::new(4, 4);
+        let a = RrGraph::build_with_defects(grid, &ChannelConfig::nature(), &map);
+        let b = RrGraph::build_with_defects(grid, &ChannelConfig::nature(), &map);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        for ((ia, na), (ib, nb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ia, ib);
+            assert_eq!(na.kind, nb.kind);
+            assert_eq!(a.neighbors(ia), b.neighbors(ib));
+        }
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Fault-injection **yield sweep**: maps every paper benchmark across a
+//! range of uniform fabric-defect rates and reports, per (circuit, rate),
+//! whether the mapping succeeded, how hard the recovery ladder had to
+//! work (failed attempts, rung escalations, candidate fallbacks, the
+//! winning remedy) and the QoR price paid relative to the defect-free
+//! run. The aggregate per-rate yield — fraction of benchmarks that still
+//! map — lands in `results/yield.json` alongside the per-run detail.
+//!
+//! Run: `cargo run -p nanomap-bench --release --bin yield`
+//!      `[-- --rates 0,0.02,0.05,0.1] [--seed 1] [--circuit NAME]`
+
+use nanomap::{MappingReport, NanoMap, Objective};
+use nanomap_arch::{ArchParams, DefectMap};
+use nanomap_bench::circuits::paper_benchmarks;
+use nanomap_bench::results::write_results_json;
+use nanomap_bench::table::render;
+use nanomap_observe::JsonValue;
+
+const DEFAULT_RATES: [f64; 4] = [0.0, 0.02, 0.05, 0.10];
+
+struct Cli {
+    rates: Vec<f64>,
+    seed: u64,
+    circuit: Option<String>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        rates: DEFAULT_RATES.to_vec(),
+        seed: 1,
+        circuit: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--rates" => {
+                cli.rates = value("--rates")?
+                    .split(',')
+                    .map(|r| r.trim().parse::<f64>().map_err(|e| format!("--rates: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if cli.rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+                    return Err("--rates: every rate must be in 0..1".into());
+                }
+            }
+            "--seed" => {
+                cli.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--circuit" => cli.circuit = Some(value("--circuit")?),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(cli)
+}
+
+/// One benchmark mapped at one defect rate.
+fn map_at_rate(network: &nanomap_netlist::LutNetwork, rate: f64, seed: u64) -> MappingResult {
+    let mut flow = NanoMap::new(ArchParams::paper());
+    if rate > 0.0 {
+        flow = flow.with_defects(DefectMap::uniform(rate, seed));
+    }
+    match flow.map(network, Objective::MinAreaDelayProduct) {
+        Ok(report) => MappingResult::Mapped(Box::new(report)),
+        Err(e) => {
+            let attempts = e.recovery_log().map_or(0, |l| l.total_attempts());
+            MappingResult::Failed {
+                attempts,
+                error: e.to_string(),
+            }
+        }
+    }
+}
+
+enum MappingResult {
+    Mapped(Box<MappingReport>),
+    Failed { attempts: u32, error: String },
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: yield [--rates 0,0.02,0.05,0.1] [--seed N] [--circuit NAME]");
+            std::process::exit(1);
+        }
+    };
+    let benches: Vec<_> = paper_benchmarks()
+        .into_iter()
+        .filter(|b| cli.circuit.as_deref().is_none_or(|c| c == b.name))
+        .collect();
+    if benches.is_empty() {
+        eprintln!("error: no benchmark matches --circuit");
+        std::process::exit(1);
+    }
+
+    println!(
+        "Yield sweep: {} benchmark(s) x defect rates {:?} (seed {})\n",
+        benches.len(),
+        cli.rates,
+        cli.seed
+    );
+
+    let mut rows = Vec::new();
+    let mut json_runs = Vec::new();
+    // mapped/total per rate, in rate order.
+    let mut per_rate: Vec<(f64, u32, u32)> = cli.rates.iter().map(|&r| (r, 0, 0)).collect();
+
+    for bench in &benches {
+        // The defect-free run anchors the QoR deltas.
+        let clean = match map_at_rate(&bench.network, 0.0, cli.seed) {
+            MappingResult::Mapped(r) => r,
+            MappingResult::Failed { error, .. } => {
+                panic!(
+                    "{name} fails on a defect-free fabric: {error}",
+                    name = bench.name
+                )
+            }
+        };
+        let clean_delay = clean.physical.as_ref().map_or(0.0, |p| p.routed_delay_ns);
+        for (slot, &rate) in cli.rates.iter().enumerate() {
+            per_rate[slot].2 += 1;
+            let result = map_at_rate(&bench.network, rate, cli.seed);
+            let mut json = JsonValue::object()
+                .with("circuit", bench.name)
+                .with("rate", rate)
+                .with("seed", cli.seed);
+            match result {
+                MappingResult::Mapped(r) => {
+                    per_rate[slot].1 += 1;
+                    let delay = r.physical.as_ref().map_or(0.0, |p| p.routed_delay_ns);
+                    let delay_overhead = if clean_delay > 0.0 {
+                        delay / clean_delay - 1.0
+                    } else {
+                        0.0
+                    };
+                    let les_overhead = f64::from(r.num_les) / f64::from(clean.num_les.max(1)) - 1.0;
+                    let remedy = r.recovery.succeeded_with.map_or("baseline", |m| m.as_str());
+                    json = json
+                        .with("success", true)
+                        .with("attempts", r.recovery.total_attempts())
+                        .with("escalations", r.recovery.escalations)
+                        .with("candidate_fallbacks", r.recovery.candidate_fallbacks)
+                        .with("succeeded_with", remedy)
+                        .with("num_les", r.num_les)
+                        .with("routed_delay_ns", delay)
+                        .with("delay_overhead", delay_overhead)
+                        .with("les_overhead", les_overhead);
+                    rows.push(vec![
+                        bench.name.to_string(),
+                        format!("{:.0}%", rate * 100.0),
+                        "ok".into(),
+                        r.recovery.total_attempts().to_string(),
+                        r.recovery.escalations.to_string(),
+                        r.recovery.candidate_fallbacks.to_string(),
+                        remedy.to_string(),
+                        r.num_les.to_string(),
+                        format!("{delay:.2}"),
+                        format!("{:+.1}%", delay_overhead * 100.0),
+                    ]);
+                }
+                MappingResult::Failed { attempts, error } => {
+                    json = json
+                        .with("success", false)
+                        .with("attempts", attempts)
+                        .with("error", error.as_str());
+                    rows.push(vec![
+                        bench.name.to_string(),
+                        format!("{:.0}%", rate * 100.0),
+                        "FAIL".into(),
+                        attempts.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                }
+            }
+            json_runs.push(json);
+        }
+    }
+
+    let header = [
+        "Circuit",
+        "Defects",
+        "Result",
+        "Attempts",
+        "Escal.",
+        "Fallbacks",
+        "Remedy",
+        "#LEs",
+        "Delay (ns)",
+        "dDelay",
+    ];
+    println!("{}", render(&header, &rows));
+
+    println!("Yield per defect rate:");
+    let json_rates: Vec<JsonValue> = per_rate
+        .iter()
+        .map(|&(rate, mapped, total)| {
+            let y = f64::from(mapped) / f64::from(total.max(1));
+            println!(
+                "  {:>5.1}%: {mapped}/{total} mapped ({:.0}% yield)",
+                rate * 100.0,
+                y * 100.0
+            );
+            JsonValue::object()
+                .with("rate", rate)
+                .with("mapped", mapped)
+                .with("total", total)
+                .with("yield", y)
+        })
+        .collect();
+
+    write_results_json(
+        "yield",
+        JsonValue::object()
+            .with("seed", cli.seed)
+            .with("rates", JsonValue::Array(json_rates))
+            .with("runs", JsonValue::Array(json_runs)),
+    );
+    println!("\njson: -> results/yield.json");
+}

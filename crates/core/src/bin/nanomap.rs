@@ -14,22 +14,29 @@
 //!   --metrics PATH              write spans/counters/report as JSON to PATH
 //!   --chrome-trace PATH         write a Perfetto-loadable trace to PATH
 //!   --qor PATH                  write a QoR document to PATH
+//!   --defect-rate F             inject uniform fabric defects at rate F (0..1)
+//!   --defect-seed N             seed for the defect injection (default 1)
+//!   --defect-map PATH           load an explicit defect map instead
 //!   --progress                  echo top-level phase timings to stderr
 //!   --trace                     echo every span to stderr as it closes
 //!
 //! PATH may be `-` for stdout (at most one of --metrics/--chrome-trace/--qor;
 //! the human-readable report then moves to stderr).
 //!
-//! nanomap qor-diff <baseline.json> <new.json>
+//! nanomap qor-diff [--exact] <baseline.json> <new.json>
 //!   Compares two QoR documents metric-by-metric with per-metric
 //!   tolerances; exits non-zero when any gated metric regresses.
+//!   With --exact every gated metric must match bit for bit (the
+//!   determinism gate for defect-free reruns).
 //! ```
 
 use std::process::ExitCode;
 
-use nanomap::qor::{diff_documents, has_regression, DiffStatus, QorDocument, QorReport};
+use nanomap::qor::{
+    diff_documents, diff_documents_exact, has_regression, DiffStatus, QorDocument, QorReport,
+};
 use nanomap::{NanoMap, Objective};
-use nanomap_arch::ArchParams;
+use nanomap_arch::{ArchParams, DefectMap};
 use nanomap_netlist::{blif, vhdl, LutNetwork};
 use nanomap_observe::{Echo, JsonValue};
 use nanomap_techmap::{expand, optimize, ExpandOptions};
@@ -48,6 +55,9 @@ struct Args {
     metrics_path: Option<String>,
     chrome_trace_path: Option<String>,
     qor_path: Option<String>,
+    defect_rate: Option<f64>,
+    defect_seed: u64,
+    defect_map_path: Option<String>,
     progress: bool,
     trace: bool,
 }
@@ -87,6 +97,9 @@ fn parse_args(cli: impl Iterator<Item = String>) -> Result<Args, String> {
         metrics_path: None,
         chrome_trace_path: None,
         qor_path: None,
+        defect_rate: None,
+        defect_seed: 1,
+        defect_map_path: None,
         progress: false,
         trace: false,
     };
@@ -122,6 +135,21 @@ fn parse_args(cli: impl Iterator<Item = String>) -> Result<Args, String> {
             "--metrics" => args.metrics_path = Some(value(&mut iter, "--metrics")?),
             "--chrome-trace" => args.chrome_trace_path = Some(value(&mut iter, "--chrome-trace")?),
             "--qor" => args.qor_path = Some(value(&mut iter, "--qor")?),
+            "--defect-rate" => {
+                let rate: f64 = value(&mut iter, "--defect-rate")?
+                    .parse()
+                    .map_err(|e| format!("--defect-rate: {e}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("--defect-rate: {rate} is outside 0..1"));
+                }
+                args.defect_rate = Some(rate);
+            }
+            "--defect-seed" => {
+                args.defect_seed = value(&mut iter, "--defect-seed")?
+                    .parse()
+                    .map_err(|e| format!("--defect-seed: {e}"))?
+            }
+            "--defect-map" => args.defect_map_path = Some(value(&mut iter, "--defect-map")?),
             "--optimize" => args.run_optimize = true,
             "--no-physical" => args.physical = false,
             "--verify" => args.verify = true,
@@ -141,6 +169,9 @@ fn parse_args(cli: impl Iterator<Item = String>) -> Result<Args, String> {
     }
     if args.input.is_empty() {
         return Err("missing input file".into());
+    }
+    if args.defect_rate.is_some() && args.defect_map_path.is_some() {
+        return Err("--defect-rate and --defect-map are mutually exclusive".into());
     }
     let claimed = args.stdout_sinks();
     if claimed.len() > 1 {
@@ -181,10 +212,13 @@ fn write_sink(path: &str, text: &str) -> Result<(), String> {
     }
 }
 
-/// `nanomap qor-diff <baseline.json> <new.json>`: the regression gate.
+/// `nanomap qor-diff [--exact] <baseline.json> <new.json>`: the
+/// regression gate (with `--exact`, the determinism gate).
 fn qor_diff_main(args: &[String]) -> ExitCode {
-    let [baseline_path, new_path] = args else {
-        eprintln!("usage: nanomap qor-diff <baseline.json> <new.json>");
+    let exact = args.iter().any(|a| a == "--exact");
+    let paths: Vec<&String> = args.iter().filter(|a| *a != "--exact").collect();
+    let [baseline_path, new_path] = paths[..] else {
+        eprintln!("usage: nanomap qor-diff [--exact] <baseline.json> <new.json>");
         return ExitCode::FAILURE;
     };
     let read_doc = |path: &String| -> Result<QorDocument, String> {
@@ -198,7 +232,11 @@ fn qor_diff_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let entries = diff_documents(&baseline, &new);
+    let entries = if exact {
+        diff_documents_exact(&baseline, &new)
+    } else {
+        diff_documents(&baseline, &new)
+    };
     let mut failures = 0usize;
     println!(
         "{:<14} {:<28} {:>14} {:>14} {:>9}  status",
@@ -236,11 +274,12 @@ fn qor_diff_main(args: &[String]) -> ExitCode {
             status
         );
     }
+    let mode = if exact { " (exact)" } else { "" };
     if has_regression(&entries) {
-        println!("QoR gate: FAIL ({failures} regressed metrics)");
+        println!("QoR gate{mode}: FAIL ({failures} regressed metrics)");
         ExitCode::FAILURE
     } else {
-        println!("QoR gate: PASS ({} metrics compared)", entries.len());
+        println!("QoR gate{mode}: PASS ({} metrics compared)", entries.len());
         ExitCode::SUCCESS
     }
 }
@@ -260,8 +299,9 @@ fn main() -> ExitCode {
             eprintln!("       [--max-les N] [--max-delay NS] [--k N] [--ffs-per-le N]");
             eprintln!("       [--optimize] [--no-physical] [--verify] [--bitmap PATH]");
             eprintln!("       [--metrics PATH] [--chrome-trace PATH] [--qor PATH]");
+            eprintln!("       [--defect-rate F] [--defect-seed N] [--defect-map PATH]");
             eprintln!("       [--progress] [--trace]");
-            eprintln!("       nanomap qor-diff <baseline.json> <new.json>");
+            eprintln!("       nanomap qor-diff [--exact] <baseline.json> <new.json>");
             return ExitCode::FAILURE;
         }
     };
@@ -328,6 +368,22 @@ fn main() -> ExitCode {
         }
     };
     let mut flow = NanoMap::new(arch);
+    if let Some(path) = &args.defect_map_path {
+        let defects = std::fs::read_to_string(path)
+            .map_err(|e| format!("{path}: {e}"))
+            .and_then(|text| DefectMap::parse(&text).map_err(|e| format!("{path}: {e}")));
+        match defects {
+            Ok(map) => flow = flow.with_defects(map),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if let Some(rate) = args.defect_rate {
+        if rate > 0.0 {
+            flow = flow.with_defects(DefectMap::uniform(rate, args.defect_seed));
+        }
+    }
     if !args.physical {
         flow = flow.without_physical();
     }
@@ -370,6 +426,9 @@ fn main() -> ExitCode {
                     p.usage.length4,
                     p.usage.global
                 );
+            }
+            if !report.recovery.attempts.is_empty() {
+                report!("  recovery: {}", report.recovery.summary());
             }
             if args.verify {
                 report!("  folded-execution verification: PASSED");
@@ -432,6 +491,20 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
+            // A recovery-ladder failure carries its full attempt history;
+            // spell it out so the user can see what was tried.
+            if let Some(log) = e.recovery_log() {
+                for a in &log.attempts {
+                    eprintln!(
+                        "  attempt {} [candidate {}, {}] {} failed: {}",
+                        a.attempt,
+                        a.candidate,
+                        a.remedy.as_str(),
+                        a.phase,
+                        a.error
+                    );
+                }
+            }
             ExitCode::FAILURE
         }
     }

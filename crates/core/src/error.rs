@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::recovery::RecoveryLog;
+
 /// Errors produced by the NanoMap flow.
 #[derive(Debug)]
 pub enum FlowError {
@@ -28,6 +30,23 @@ pub enum FlowError {
         /// Description of the first divergence.
         detail: String,
     },
+    /// Physical design failed on every rung of the recovery ladder, for
+    /// every feasible folding candidate. The log holds the full attempt
+    /// history (remedy, phase and error of each try).
+    RecoveryExhausted {
+        /// Every attempt the ladder made before giving up.
+        log: RecoveryLog,
+    },
+}
+
+impl FlowError {
+    /// The recovery-ladder history, for errors that carry one.
+    pub fn recovery_log(&self) -> Option<&RecoveryLog> {
+        match self {
+            Self::RecoveryExhausted { log } => Some(log),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for FlowError {
@@ -44,6 +63,13 @@ impl fmt::Display for FlowError {
             Self::Route(e) => write!(f, "routing error: {e}"),
             Self::VerificationFailed { detail } => {
                 write!(f, "folded execution diverged from reference: {detail}")
+            }
+            Self::RecoveryExhausted { log } => {
+                write!(f, "physical design failed after {}", log.summary())?;
+                if let Some(last) = log.attempts.last() {
+                    write!(f, "; last failure ({}): {}", last.phase, last.error)?;
+                }
+                Ok(())
             }
         }
     }

@@ -9,12 +9,18 @@
 //! returns to logic mapping with the next folding configuration — the
 //! iterative loop of steps 2–15.
 
-use nanomap_arch::{estimate_power, ArchParams, AreaModel, ChannelConfig, PowerModel, TimingModel};
+// The flow sits directly behind the CLI: every failure on user input
+// must surface as a `FlowError`, never a panic.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use nanomap_arch::{
+    estimate_power, ArchParams, AreaModel, ChannelConfig, DefectMap, PowerModel, TimingModel,
+};
 use nanomap_netlist::rtl::RtlCircuit;
 use nanomap_netlist::{LutNetwork, PlaneSet};
 use nanomap_pack::{extract_nets, pack, PackOptions, TemporalDesign};
-use nanomap_place::{place, PlaceOptions};
-use nanomap_route::{route_design, RouteOptions};
+use nanomap_place::{place_with_defects, PlaceOptions};
+use nanomap_route::{route_design_with_defects, RouteOptions};
 use nanomap_sched::{schedule_fds, FdsOptions, ItemGraph, LeShape, Schedule};
 use nanomap_techmap::{expand, ExpandOptions};
 
@@ -25,6 +31,9 @@ use nanomap_observe::span;
 use crate::error::FlowError;
 use crate::folding::{candidate_configs, FoldingConfig, PlaneSharing};
 use crate::objective::Objective;
+use crate::recovery::{
+    PhysicalOverrides, RecoveryAttempt, RecoveryLog, LADDER, MAX_TOTAL_ATTEMPTS,
+};
 use crate::report::{MappingReport, PhaseTimes, PhysicalReport};
 use crate::verify::check_folded_execution;
 
@@ -75,6 +84,10 @@ pub struct NanoMap {
     pub place_options: PlaceOptions,
     /// Routing options.
     pub route_options: RouteOptions,
+    /// Fabric defect map: dead slots, broken wires/switches, dead NRAM
+    /// sets. Placement and routing work around these; the recovery
+    /// ladder escalates when they cannot.
+    pub defects: DefectMap,
     /// Run clustering + place + route for the chosen candidate.
     pub run_physical: bool,
     /// Emit the packed binary bitstream into the report.
@@ -104,6 +117,7 @@ impl NanoMap {
             pack_options: PackOptions::default(),
             place_options: PlaceOptions::default(),
             route_options: RouteOptions::default(),
+            defects: DefectMap::none(),
             run_physical: true,
             emit_bitstream: false,
             verify: false,
@@ -126,6 +140,12 @@ impl NanoMap {
     /// Emits the packed binary bitstream into the report.
     pub fn with_bitstream(mut self) -> Self {
         self.emit_bitstream = true;
+        self
+    }
+
+    /// Maps onto a defective fabric described by `defects`.
+    pub fn with_defects(mut self, defects: DefectMap) -> Self {
+        self.defects = defects;
         self
     }
 
@@ -226,37 +246,62 @@ impl NanoMap {
             });
         }
 
-        // --- Physical design (steps 7-15) with fallback to the next
-        // candidate on failure. ---
-        let mut last_error: Option<FlowError> = None;
-        for &idx in &order {
-            let (config, _) = &evaluated[idx];
+        // --- Physical design (steps 7-15) under the recovery ladder:
+        // per candidate escalate baseline → reseed → widen grid → widen
+        // channels, then fall back to the next folding configuration.
+        // Every failed attempt lands in the RecoveryLog. ---
+        let mut recovery = RecoveryLog::new();
+        'candidates: for (cand_rank, &idx) in order.iter().enumerate() {
+            let (config, cached) = &evaluated[idx];
             let config = *config;
-            // Re-evaluate to own the schedules (cheap relative to P&R).
-            let fds_start = Instant::now();
-            let eval = self.evaluate(net, &planes, config)?;
-            times.fds_ms = fds_start.elapsed().as_secs_f64() * 1e3;
-            if !objective.admits(eval.les, eval.delay_ns) {
+            if !objective.admits(cached.les, cached.delay_ns) {
                 break; // remaining candidates violate constraints
             }
-            match self.finish_candidate(net, &planes, config, eval, times) {
-                Ok(mut report) => {
-                    flow_span.attr("folding_level", config.level);
-                    flow_span.attr("num_les", report.num_les);
-                    report.phase_times.total_ms = total_start.elapsed().as_secs_f64() * 1e3;
-                    return Ok(report);
-                }
-                Err(e @ (FlowError::Place(_) | FlowError::Route(_))) => {
-                    nanomap_observe::incr("flow.candidates_rejected_physical", 1);
-                    last_error = Some(e);
-                    continue;
-                }
-                Err(e) => return Err(e),
+            if cand_rank > 0 {
+                recovery.record_candidate_fallback();
             }
+            for &remedy in &LADDER {
+                if recovery.total_attempts() >= MAX_TOTAL_ATTEMPTS {
+                    break 'candidates;
+                }
+                // Re-evaluate to own the schedules (cheap relative to
+                // P&R; finish_candidate consumes them).
+                let fds_start = Instant::now();
+                let eval = self.evaluate(net, &planes, config)?;
+                times.fds_ms = fds_start.elapsed().as_secs_f64() * 1e3;
+                let overrides = remedy.apply(self.place_options, self.route_options, self.channels);
+                match self.finish_candidate(net, &planes, config, eval, times, &overrides) {
+                    Ok(mut report) => {
+                        flow_span.attr("folding_level", config.level);
+                        flow_span.attr("num_les", report.num_les);
+                        recovery.succeeded_with = Some(remedy);
+                        report.recovery = recovery;
+                        report.phase_times.total_ms = total_start.elapsed().as_secs_f64() * 1e3;
+                        return Ok(report);
+                    }
+                    Err(e @ (FlowError::Place(_) | FlowError::Route(_))) => {
+                        let phase = match &e {
+                            FlowError::Place(_) => "place",
+                            _ => "route",
+                        };
+                        recovery.record(RecoveryAttempt {
+                            attempt: recovery.total_attempts(),
+                            candidate: cand_rank,
+                            folding_level: config.level,
+                            stages: config.stages,
+                            remedy,
+                            phase,
+                            error: e.to_string(),
+                        });
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            // The whole ladder failed for this candidate.
+            nanomap_observe::incr("flow.candidates_rejected_physical", 1);
         }
-        Err(last_error.unwrap_or(FlowError::NoFeasibleFolding {
-            reason: "all feasible candidates failed physical design".into(),
-        }))
+        Err(FlowError::RecoveryExhausted { log: recovery })
     }
 
     /// Logic-mapping evaluation of one folding configuration: schedules
@@ -355,7 +400,8 @@ impl NanoMap {
     }
 
     /// Clustering, placement, routing, bitmap and verification for the
-    /// chosen candidate.
+    /// chosen candidate, with the physical-design options of one
+    /// recovery-ladder rung.
     fn finish_candidate(
         &self,
         net: &LutNetwork,
@@ -363,6 +409,7 @@ impl NanoMap {
         config: FoldingConfig,
         eval: CandidateEval,
         mut times: PhaseTimes,
+        overrides: &PhysicalOverrides,
     ) -> Result<MappingReport, FlowError> {
         let design = TemporalDesign::new(net, planes, eval.graphs, eval.schedules)?;
         {
@@ -390,30 +437,32 @@ impl NanoMap {
             let place_start = Instant::now();
             let placement = {
                 let mut place_span = span!("place", smbs = packing.num_smbs);
-                place_span.attr("seed", self.place_options.seed);
-                place(
+                place_span.attr("seed", overrides.place.seed);
+                place_with_defects(
                     &design,
                     &packing,
                     &nets,
-                    &self.channels,
+                    &overrides.channels,
                     &self.timing,
-                    self.place_options,
+                    overrides.place,
+                    &self.defects,
                 )?
             };
             times.place_ms = place_start.elapsed().as_secs_f64() * 1e3;
             let route_start = Instant::now();
             let routed = {
                 let mut route_span = span!("route", slices = design.num_slices());
-                route_span.attr("seed", self.route_options.seed);
-                route_design(
+                route_span.attr("seed", overrides.route.seed);
+                route_design_with_defects(
                     &design,
                     &packing,
                     &nets,
                     &placement,
-                    &self.channels,
+                    &overrides.channels,
                     &self.timing,
                     &self.arch,
-                    self.route_options,
+                    overrides.route,
+                    &self.defects,
                 )?
             };
             times.bitmap_ms = routed.bitmap_ms;
@@ -474,6 +523,7 @@ impl NanoMap {
             area_um2,
             power,
             physical,
+            recovery: RecoveryLog::default(),
             phase_times: times,
         })
     }
@@ -681,6 +731,59 @@ mod tests {
         assert!(physical.num_smbs >= 1);
         assert!(physical.routed_delay_ns > 0.0);
         assert!(physical.bitmap_bits > 0);
+    }
+
+    #[test]
+    fn clean_fabric_mapping_needs_no_recovery() {
+        let flow = NanoMap::new(ArchParams::paper_unbounded());
+        let report = flow
+            .map_rtl(&fig1_circuit(), Objective::MinAreaDelayProduct)
+            .unwrap();
+        assert!(report.recovery.attempts.is_empty());
+        assert_eq!(report.recovery.escalations, 0);
+        assert!(!report.recovery.recovered());
+        assert_eq!(
+            report.recovery.succeeded_with,
+            Some(crate::Remedy::Baseline)
+        );
+    }
+
+    #[test]
+    fn moderate_defects_map_via_the_ladder() {
+        let flow = NanoMap::new(ArchParams::paper_unbounded())
+            .with_defects(nanomap_arch::DefectMap::uniform(0.05, 42));
+        let report = flow
+            .map_rtl(&fig1_circuit(), Objective::MinAreaDelayProduct)
+            .unwrap();
+        // Succeeded — possibly after climbing rungs; whatever happened,
+        // the log must be internally consistent.
+        assert!(report.recovery.succeeded_with.is_some());
+        assert!(report.recovery.total_attempts() <= MAX_TOTAL_ATTEMPTS);
+        let physical = report.physical.expect("physical design ran");
+        assert!(physical.num_smbs >= 1);
+        assert!(physical.routed_delay_ns > 0.0);
+    }
+
+    #[test]
+    fn dead_fabric_fails_cleanly_with_attempt_history() {
+        let flow = NanoMap::new(ArchParams::paper_unbounded())
+            .with_defects(nanomap_arch::DefectMap::uniform(1.0, 7));
+        let err = flow
+            .map_rtl(&fig1_circuit(), Objective::MinAreaDelayProduct)
+            .unwrap_err();
+        let log = err.recovery_log().expect("structured recovery history");
+        assert!(!log.attempts.is_empty());
+        assert!(log.escalations > 0, "ladder never escalated");
+        assert!(log.total_attempts() <= MAX_TOTAL_ATTEMPTS);
+        // Every attempt names its phase, remedy and error.
+        for a in &log.attempts {
+            assert!(a.phase == "place" || a.phase == "route");
+            assert!(!a.error.is_empty());
+        }
+        // Display includes the history summary and the last failure.
+        let msg = err.to_string();
+        assert!(msg.contains("failed attempt"), "{msg}");
+        assert!(msg.contains("last failure"), "{msg}");
     }
 
     #[test]

@@ -56,6 +56,7 @@ mod flow;
 mod folding;
 mod objective;
 pub mod qor;
+pub mod recovery;
 mod report;
 mod verify;
 
@@ -67,6 +68,7 @@ pub use folding::{
 };
 pub use objective::Objective;
 pub use qor::{QorDocument, QorReport};
+pub use recovery::{RecoveryAttempt, RecoveryLog, Remedy};
 pub use report::{MappingReport, PhaseTimes, PhysicalReport, SharingMode, UsageReport};
 pub use verify::{check_folded_execution, FoldedCheck};
 

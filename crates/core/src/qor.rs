@@ -281,6 +281,20 @@ impl DiffEntry {
 /// present in the baseline but missing from the new document yields one
 /// failing entry named `<circuit>` itself.
 pub fn diff_documents(baseline: &QorDocument, new: &QorDocument) -> Vec<DiffEntry> {
+    diff_documents_with(baseline, new, false)
+}
+
+/// Zero-tolerance variant of [`diff_documents`]: every gated metric must
+/// be *exactly* equal (the per-metric tolerance bands collapse to zero).
+///
+/// This is the determinism gate — the flow is a pure function of its
+/// inputs, so a defect-free rerun must reproduce the committed baseline
+/// bit for bit. Wall-clock phase times remain informational.
+pub fn diff_documents_exact(baseline: &QorDocument, new: &QorDocument) -> Vec<DiffEntry> {
+    diff_documents_with(baseline, new, true)
+}
+
+fn diff_documents_with(baseline: &QorDocument, new: &QorDocument, exact: bool) -> Vec<DiffEntry> {
     let mut entries = Vec::new();
     for base in &baseline.reports {
         let Some(fresh) = new.circuit(&base.circuit) else {
@@ -294,7 +308,7 @@ pub fn diff_documents(baseline: &QorDocument, new: &QorDocument) -> Vec<DiffEntr
             });
             continue;
         };
-        entries.extend(diff_reports(base, fresh));
+        entries.extend(diff_reports(base, fresh, exact));
     }
     for fresh in &new.reports {
         if baseline.circuit(&fresh.circuit).is_none() {
@@ -311,22 +325,27 @@ pub fn diff_documents(baseline: &QorDocument, new: &QorDocument) -> Vec<DiffEntr
     entries
 }
 
-fn diff_reports(base: &QorReport, fresh: &QorReport) -> Vec<DiffEntry> {
+fn diff_reports(base: &QorReport, fresh: &QorReport, exact: bool) -> Vec<DiffEntry> {
     let mut entries = Vec::new();
     let names: std::collections::BTreeSet<&String> =
         base.metrics.keys().chain(fresh.metrics.keys()).collect();
     for name in names {
         let b = base.metrics.get(name).copied();
         let n = fresh.metrics.get(name).copied();
-        let tolerance = tolerance_for(name);
+        let tolerance = if exact {
+            tolerance_for(name).map(|_| 0.0)
+        } else {
+            tolerance_for(name)
+        };
         let status = match (b, n, tolerance) {
             (Some(_), None, Some(_)) => DiffStatus::MissingInNew,
             (None, Some(_), _) => DiffStatus::MissingInBaseline,
             (Some(_), None, None) => DiffStatus::Info,
             (Some(b), Some(n), Some(tol)) => {
                 // Symmetric band: improvements beyond tolerance also fail,
-                // forcing the baseline to stay honest.
-                let allowed = tol * b.abs() + 1e-9;
+                // forcing the baseline to stay honest. Exact mode demands
+                // bit-for-bit equality.
+                let allowed = if exact { 0.0 } else { tol * b.abs() + 1e-9 };
                 if (n - b).abs() <= allowed {
                     DiffStatus::Ok
                 } else {
@@ -442,6 +461,27 @@ mod tests {
         // New metric appeared: informational only.
         let grown = QorDocument::new(vec![report("ex1", &[("num_les", 34.0), ("num_smbs", 3.0)])]);
         assert!(!has_regression(&diff_documents(&base, &grown)));
+    }
+
+    #[test]
+    fn exact_mode_rejects_any_drift_in_gated_metrics() {
+        let base = QorDocument::new(vec![report(
+            "ex1",
+            &[("routed_wirelength", 100.0), ("delay_ns", 17.02)],
+        )]);
+        // Drift well inside the normal tolerance band still fails exactly.
+        let drifted = QorDocument::new(vec![report(
+            "ex1",
+            &[("routed_wirelength", 101.0), ("delay_ns", 17.02)],
+        )]);
+        assert!(!has_regression(&diff_documents(&base, &drifted)));
+        assert!(has_regression(&diff_documents_exact(&base, &drifted)));
+        // A perfect reproduction passes both modes.
+        assert!(!has_regression(&diff_documents_exact(&base, &base.clone())));
+        // Unknown (report-only) metrics stay informational in exact mode.
+        let exotic_a = QorDocument::new(vec![report("ex1", &[("exotic_metric", 1.0)])]);
+        let exotic_b = QorDocument::new(vec![report("ex1", &[("exotic_metric", 2.0)])]);
+        assert!(!has_regression(&diff_documents_exact(&exotic_a, &exotic_b)));
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! The structured recovery ladder.
+//!
+//! When physical design fails — placement cannot find room, or PathFinder
+//! cannot untangle congestion (both far more likely on a defective
+//! fabric) — the flow does not give up, and no longer just skips to the
+//! next folding configuration. It climbs an explicit, bounded ladder of
+//! remedies, cheapest first:
+//!
+//! 1. **Baseline** — the user's options exactly as configured (this rung
+//!    is what a defect-free run executes, unchanged);
+//! 2. **Reseed** — re-run annealing and routing with derived seeds: a
+//!    different random trajectory often sidesteps a local minimum;
+//! 3. **Widen grid** — give placement more spare slots (grid slack
+//!    ×1.35), spreading congestion and defect clusters apart;
+//! 4. **Widen channels** — add interconnect tracks (segment and global
+//!    channels ×1.5), the classic FPGA answer to unroutability;
+//! 5. **Next folding configuration** — fall back to the next-best
+//!    candidate and restart the ladder (the paper's step 2–15 loop).
+//!
+//! Remedies are *cumulative*: rung 3 keeps the reseed of rung 2, rung 4
+//! keeps both. Every failed attempt is recorded in a [`RecoveryLog`]
+//! carried on the final `MappingReport` (or inside the terminal
+//! `FlowError::RecoveryExhausted`), so a failure is always accompanied by
+//! the full history of what was tried and why each attempt failed.
+
+use nanomap_arch::ChannelConfig;
+use nanomap_observe::JsonValue;
+use nanomap_place::PlaceOptions;
+use nanomap_route::RouteOptions;
+
+/// Hard cap on physical-design attempts across the whole ladder (all
+/// rungs of all candidates). Keeps pathological inputs bounded.
+pub const MAX_TOTAL_ATTEMPTS: u32 = 24;
+
+/// The escalation rungs tried per folding candidate, in order.
+pub const LADDER: [Remedy; 4] = [
+    Remedy::Baseline,
+    Remedy::Reseed,
+    Remedy::WidenGrid,
+    Remedy::WidenChannels,
+];
+
+/// One rung of the recovery ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Remedy {
+    /// The user's options, unchanged.
+    Baseline,
+    /// Derived placement/routing seeds.
+    Reseed,
+    /// Reseed + 35 % more grid slack.
+    WidenGrid,
+    /// Reseed + wider grid + 50 % more segment/global tracks.
+    WidenChannels,
+    /// The ladder moved on to the next folding configuration.
+    NextCandidate,
+}
+
+impl Remedy {
+    /// Stable lowercase name for logs and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Baseline => "baseline",
+            Self::Reseed => "reseed",
+            Self::WidenGrid => "widen-grid",
+            Self::WidenChannels => "widen-channels",
+            Self::NextCandidate => "next-candidate",
+        }
+    }
+
+    /// The physical-design options this rung runs with, derived from the
+    /// flow's configured baseline. Remedies accumulate down the ladder.
+    pub fn apply(
+        self,
+        place: PlaceOptions,
+        route: RouteOptions,
+        channels: ChannelConfig,
+    ) -> PhysicalOverrides {
+        let mut o = PhysicalOverrides {
+            place,
+            route,
+            channels,
+        };
+        if self == Remedy::Baseline {
+            return o;
+        }
+        // Reseed (rungs 2+): decorrelate, deterministically.
+        o.place.seed = place.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        o.route.seed = route.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        if self == Remedy::Reseed {
+            return o;
+        }
+        // Widen grid (rungs 3+).
+        o.place.grid_slack = place.grid_slack * 1.35;
+        if self == Remedy::WidenGrid {
+            return o;
+        }
+        // Widen channels (rung 4): half again as many segment tracks and
+        // global lines. Direct links are fixed point-to-point wiring.
+        o.channels.length1 = (channels.length1 * 3).div_ceil(2);
+        o.channels.length4 = (channels.length4 * 3).div_ceil(2);
+        o.channels.global = (channels.global * 3).div_ceil(2);
+        o
+    }
+}
+
+/// The concrete options one ladder attempt runs with.
+#[derive(Debug, Clone, Copy)]
+pub struct PhysicalOverrides {
+    /// Placement options (possibly reseeded / slackened).
+    pub place: PlaceOptions,
+    /// Routing options (possibly reseeded).
+    pub route: RouteOptions,
+    /// Channel widths (possibly widened).
+    pub channels: ChannelConfig,
+}
+
+/// One failed physical-design attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryAttempt {
+    /// Global attempt index (0-based, across all candidates).
+    pub attempt: u32,
+    /// Index of the folding candidate in preference order.
+    pub candidate: usize,
+    /// Folding level of that candidate (`None` = no folding).
+    pub folding_level: Option<u32>,
+    /// Folding stages of that candidate.
+    pub stages: u32,
+    /// The rung that was being tried.
+    pub remedy: Remedy,
+    /// The flow phase that failed (`place` or `route`).
+    pub phase: &'static str,
+    /// Display of the failure.
+    pub error: String,
+}
+
+/// The full history of the recovery ladder for one mapping run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryLog {
+    /// Every failed attempt, in order.
+    pub attempts: Vec<RecoveryAttempt>,
+    /// Rung escalations performed (baseline attempts excluded).
+    pub escalations: u32,
+    /// Candidate fallbacks performed (`next-candidate` escalations).
+    pub candidate_fallbacks: u32,
+    /// The remedy that finally succeeded, when the mapping succeeded
+    /// after at least one failure. `Baseline` with empty `attempts`
+    /// means the flow succeeded first try.
+    pub succeeded_with: Option<Remedy>,
+}
+
+impl RecoveryLog {
+    /// A fresh, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total physical-design attempts so far (failed ones; the in-flight
+    /// attempt is not counted until it fails).
+    pub fn total_attempts(&self) -> u32 {
+        self.attempts.len() as u32
+    }
+
+    /// `true` when the mapping needed any remedy beyond the baseline.
+    pub fn recovered(&self) -> bool {
+        self.succeeded_with.is_some_and(|r| r != Remedy::Baseline)
+            || (!self.attempts.is_empty() && self.succeeded_with.is_some())
+    }
+
+    /// Records a failed attempt and bumps the observe counters.
+    pub fn record(&mut self, attempt: RecoveryAttempt) {
+        nanomap_observe::incr("flow.recovery.attempts", 1);
+        if attempt.remedy != Remedy::Baseline {
+            self.escalations += 1;
+        }
+        let series = nanomap_observe::series("flow.recovery.ladder");
+        series.record(
+            u64::from(attempt.attempt),
+            ladder_height(attempt.remedy) as f64,
+        );
+        self.attempts.push(attempt);
+    }
+
+    /// Records falling back to the next folding candidate.
+    pub fn record_candidate_fallback(&mut self) {
+        nanomap_observe::incr("flow.recovery.escalations", 1);
+        self.candidate_fallbacks += 1;
+    }
+
+    /// One-line human summary (`3 attempts, 2 escalations, recovered via
+    /// widen-grid`).
+    pub fn summary(&self) -> String {
+        let outcome = match self.succeeded_with {
+            Some(r) => format!("recovered via {}", r.as_str()),
+            None => "exhausted".to_string(),
+        };
+        format!(
+            "{} failed attempt(s), {} escalation(s), {} candidate fallback(s), {}",
+            self.attempts.len(),
+            self.escalations,
+            self.candidate_fallbacks,
+            outcome
+        )
+    }
+
+    /// JSON object mirroring the log.
+    pub fn to_json(&self) -> JsonValue {
+        let attempts: Vec<JsonValue> = self
+            .attempts
+            .iter()
+            .map(|a| {
+                JsonValue::object()
+                    .with("attempt", a.attempt)
+                    .with("candidate", a.candidate as u64)
+                    .with("folding_level", a.folding_level)
+                    .with("stages", a.stages)
+                    .with("remedy", a.remedy.as_str())
+                    .with("phase", a.phase)
+                    .with("error", a.error.as_str())
+            })
+            .collect();
+        JsonValue::object()
+            .with("attempts", attempts)
+            .with("escalations", self.escalations)
+            .with("candidate_fallbacks", self.candidate_fallbacks)
+            .with("succeeded_with", self.succeeded_with.map(Remedy::as_str))
+    }
+}
+
+/// Ladder height of a remedy (for the telemetry series).
+fn ladder_height(remedy: Remedy) -> u32 {
+    match remedy {
+        Remedy::Baseline => 0,
+        Remedy::Reseed => 1,
+        Remedy::WidenGrid => 2,
+        Remedy::WidenChannels => 3,
+        Remedy::NextCandidate => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_rung_changes_nothing() {
+        let place = PlaceOptions::default();
+        let route = RouteOptions::default();
+        let channels = ChannelConfig::nature();
+        let o = Remedy::Baseline.apply(place, route, channels);
+        assert_eq!(o.place.seed, place.seed);
+        assert_eq!(o.place.grid_slack, place.grid_slack);
+        assert_eq!(o.route.seed, route.seed);
+        assert_eq!(o.channels, channels);
+    }
+
+    #[test]
+    fn remedies_accumulate_down_the_ladder() {
+        let place = PlaceOptions::default();
+        let route = RouteOptions::default();
+        let channels = ChannelConfig::nature();
+
+        let reseed = Remedy::Reseed.apply(place, route, channels);
+        assert_ne!(reseed.place.seed, place.seed);
+        assert_ne!(reseed.route.seed, route.seed);
+        assert_eq!(reseed.place.grid_slack, place.grid_slack);
+        assert_eq!(reseed.channels, channels);
+
+        let grid = Remedy::WidenGrid.apply(place, route, channels);
+        assert_eq!(grid.place.seed, reseed.place.seed);
+        assert!(grid.place.grid_slack > place.grid_slack);
+        assert_eq!(grid.channels, channels);
+
+        let wide = Remedy::WidenChannels.apply(place, route, channels);
+        assert_eq!(wide.place.seed, reseed.place.seed);
+        assert_eq!(wide.place.grid_slack, grid.place.grid_slack);
+        assert!(wide.channels.length1 > channels.length1);
+        assert!(wide.channels.length4 > channels.length4);
+        assert!(wide.channels.global > channels.global);
+        assert_eq!(wide.channels.direct, channels.direct);
+    }
+
+    #[test]
+    fn ladder_is_deterministic() {
+        let a = Remedy::WidenChannels.apply(
+            PlaceOptions::default(),
+            RouteOptions::default(),
+            ChannelConfig::nature(),
+        );
+        let b = Remedy::WidenChannels.apply(
+            PlaceOptions::default(),
+            RouteOptions::default(),
+            ChannelConfig::nature(),
+        );
+        assert_eq!(a.place.seed, b.place.seed);
+        assert_eq!(a.channels, b.channels);
+    }
+
+    #[test]
+    fn log_records_and_summarizes() {
+        let mut log = RecoveryLog::new();
+        assert!(!log.recovered());
+        log.record(RecoveryAttempt {
+            attempt: 0,
+            candidate: 0,
+            folding_level: Some(1),
+            stages: 12,
+            remedy: Remedy::Baseline,
+            phase: "place",
+            error: "too many defects".into(),
+        });
+        log.record(RecoveryAttempt {
+            attempt: 1,
+            candidate: 0,
+            folding_level: Some(1),
+            stages: 12,
+            remedy: Remedy::Reseed,
+            phase: "route",
+            error: "congestion".into(),
+        });
+        log.succeeded_with = Some(Remedy::WidenGrid);
+        assert_eq!(log.total_attempts(), 2);
+        assert_eq!(log.escalations, 1);
+        assert!(log.recovered());
+        let s = log.summary();
+        assert!(s.contains("2 failed attempt(s)"), "{s}");
+        assert!(s.contains("widen-grid"), "{s}");
+        let json = log.to_json().to_compact_string();
+        assert!(json.contains("\"remedy\":\"reseed\""), "{json}");
+        assert!(json.contains("congestion"), "{json}");
+    }
+
+    #[test]
+    fn remedy_names_are_stable() {
+        for (r, name) in [
+            (Remedy::Baseline, "baseline"),
+            (Remedy::Reseed, "reseed"),
+            (Remedy::WidenGrid, "widen-grid"),
+            (Remedy::WidenChannels, "widen-channels"),
+            (Remedy::NextCandidate, "next-candidate"),
+        ] {
+            assert_eq!(r.as_str(), name);
+        }
+    }
+}

@@ -5,6 +5,7 @@ use nanomap_observe::JsonValue;
 use nanomap_route::InterconnectUsage;
 
 use crate::folding::PlaneSharing;
+use crate::recovery::RecoveryLog;
 
 /// Everything NanoMap reports about a finished mapping (the Table 1 /
 /// Table 2 columns plus physical-design detail).
@@ -39,6 +40,9 @@ pub struct MappingReport {
     pub power: PowerEstimate,
     /// Physical-design results, when the flow ran place-and-route.
     pub physical: Option<PhysicalReport>,
+    /// Recovery-ladder history: every failed physical-design attempt and
+    /// the remedy that finally succeeded. Empty on a clean first-try run.
+    pub recovery: RecoveryLog,
     /// Wall-clock time spent in each flow phase. Always populated — the
     /// flow measures these with plain `Instant`s, independent of whether
     /// the observability collector is enabled.
@@ -229,6 +233,7 @@ impl MappingReport {
                 "physical",
                 self.physical.as_ref().map(PhysicalReport::to_json),
             )
+            .with("recovery", self.recovery.to_json())
             .with("phase_times", self.phase_times.to_json())
     }
 
@@ -273,6 +278,7 @@ mod tests {
                 leakage_mw: 0.03,
             },
             physical: None,
+            recovery: RecoveryLog::default(),
             phase_times: PhaseTimes::default(),
         }
     }

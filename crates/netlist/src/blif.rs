@@ -25,6 +25,10 @@
 //! # Ok::<(), nanomap_netlist::ParseNetlistError>(())
 //! ```
 
+// This module faces untrusted input: every malformed file must surface
+// as a `ParseNetlistError`, never a panic.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 use std::collections::HashMap;
 
 use crate::error::ParseNetlistError;
@@ -140,13 +144,17 @@ pub fn parse(text: &str) -> Result<LutNetwork, ParseNetlistError> {
                             ))
                         }
                     };
-                    if value.len() != 1 || !"01".contains(value) {
-                        return Err(ParseNetlistError::new(
-                            *row_line,
-                            format!("cover output must be 0 or 1, got `{value}`"),
-                        ));
-                    }
-                    cover.push((pattern, value.chars().next().expect("length checked")));
+                    let bit = match value {
+                        "0" => '0',
+                        "1" => '1',
+                        _ => {
+                            return Err(ParseNetlistError::new(
+                                *row_line,
+                                format!("cover output must be 0 or 1, got `{value}`"),
+                            ))
+                        }
+                    };
+                    cover.push((pattern, bit));
                     idx += 1;
                 }
                 names_blocks.push(NamesBlock {
@@ -220,7 +228,9 @@ pub fn parse(text: &str) -> Result<LutNetwork, ParseNetlistError> {
     // simpler approach — topologically sort names blocks by signal deps.
     let mut defined: HashMap<&str, usize> = HashMap::new();
     for (i, block) in names_blocks.iter().enumerate() {
-        let output = block.signals.last().expect("non-empty checked");
+        let Some(output) = block.signals.last() else {
+            return Err(ParseNetlistError::new(block.line, ".names needs an output"));
+        };
         if symbols.contains_key(output) || defined.contains_key(output.as_str()) {
             return Err(ParseNetlistError::new(
                 block.line,
@@ -258,7 +268,7 @@ pub fn parse(text: &str) -> Result<LutNetwork, ParseNetlistError> {
         }
     }
     if order.len() != n {
-        let stuck = (0..n).find(|&i| indeg[i] > 0).expect("cycle");
+        let stuck = (0..n).find(|&i| indeg[i] > 0).unwrap_or(0);
         return Err(ParseNetlistError::new(
             names_blocks[stuck].line,
             "combinational cycle between .names blocks",
@@ -278,8 +288,12 @@ pub fn parse(text: &str) -> Result<LutNetwork, ParseNetlistError> {
         let truth = cover_to_truth(num_inputs as u32, &block.cover, block.line)?;
         let input_sigs: Vec<SignalRef> = block.signals[..num_inputs]
             .iter()
-            .map(|name| symbols[name.as_str()])
-            .collect();
+            .map(|name| {
+                symbols.get(name.as_str()).copied().ok_or_else(|| {
+                    ParseNetlistError::new(block.line, format!("unknown signal `{name}`"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let output = block.signals[num_inputs].clone();
         let sig = net.add_lut_full(truth, input_sigs, None, Some(output.clone()));
         symbols.insert(output, sig);

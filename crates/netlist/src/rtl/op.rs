@@ -264,10 +264,14 @@ impl CombOp {
     }
 }
 
-/// Width of the select bus for an `n`-way multiplexer.
+/// Width of the select bus for an `n`-way multiplexer. Degenerate muxes
+/// (`n < 2`) still declare a 1-bit select so their port list stays
+/// well-formed; expansion rejects them with a structured error.
 pub fn select_width(n: u32) -> u32 {
-    assert!(n >= 2, "multiplexer needs at least two inputs");
-    32 - (n - 1).leading_zeros()
+    match n {
+        0 | 1 => 1,
+        _ => 32 - (n - 1).leading_zeros(),
+    }
 }
 
 #[cfg(test)]

@@ -216,7 +216,7 @@ impl Elaborator {
                             out_width: hi - lo + 1,
                         }),
                     )
-                    .expect("fresh name unique");
+                    .map_err(|e| ParseNetlistError::new(line, format!("elaboration error: {e}")))?;
                 self.connect(src, node, 0, line)?;
                 Ok(Driver { node, port: 0 })
             }
@@ -237,7 +237,7 @@ impl Elaborator {
                             value,
                         }),
                     )
-                    .expect("fresh name unique");
+                    .map_err(|e| ParseNetlistError::new(line, format!("elaboration error: {e}")))?;
                 Ok(Driver { node, port: 0 })
             }
             AstExpr::Concat(parts) => {
@@ -249,7 +249,7 @@ impl Elaborator {
                 let node = self
                     .circuit
                     .add_node(node_name, NodeKind::Comb(CombOp::Concat { widths }))
-                    .expect("fresh name unique");
+                    .map_err(|e| ParseNetlistError::new(line, format!("elaboration error: {e}")))?;
                 for (i, p) in parts.iter().enumerate() {
                     let d = self.elaborate_expr(p, line)?;
                     self.connect(d, node, i as u32, line)?;

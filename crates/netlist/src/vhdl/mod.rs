@@ -45,6 +45,11 @@
 //! # Ok::<(), nanomap_netlist::ParseNetlistError>(())
 //! ```
 
+// This front-end faces untrusted input: every malformed file must
+// surface as a `ParseNetlistError`, never a panic. (Applies to the
+// whole module tree — lexer, parser, elaborator.)
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 mod ast;
 mod elab;
 mod lexer;

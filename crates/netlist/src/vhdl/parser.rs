@@ -4,6 +4,10 @@ use super::ast::*;
 use super::lexer::{Spanned, Token};
 use crate::error::ParseNetlistError;
 
+/// Largest accepted `std_logic_vector` width. Generous for real designs,
+/// small enough that width arithmetic can never overflow `u32`.
+const MAX_VECTOR_WIDTH: u64 = 1 << 20;
+
 pub(super) struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
@@ -161,14 +165,24 @@ impl Parser {
             "std_logic" => Ok(AstType { width: 1 }),
             "std_logic_vector" => {
                 self.expect(&Token::LParen)?;
-                let hi = self.int()? as u32;
+                let hi = self.int()?;
                 self.expect_keyword("downto")?;
-                let lo = self.int()? as u32;
+                let lo = self.int()?;
                 self.expect(&Token::RParen)?;
                 if lo != 0 {
                     return Err(self.err("only (N downto 0) ranges are supported"));
                 }
-                Ok(AstType { width: hi - lo + 1 })
+                // Bound widths before they overflow u32 arithmetic or ask
+                // for absurd allocations downstream.
+                if hi >= MAX_VECTOR_WIDTH {
+                    return Err(self.err(format!(
+                        "vector width {} exceeds the {MAX_VECTOR_WIDTH}-bit limit",
+                        hi.saturating_add(1)
+                    )));
+                }
+                Ok(AstType {
+                    width: hi as u32 + 1,
+                })
             }
             other => Err(self.err(format!("unknown type `{other}`"))),
         }

@@ -1,0 +1,217 @@
+//! Adversarial input corpus for the VHDL and BLIF front-ends.
+//!
+//! Parsers sit on the trust boundary: whatever bytes arrive, the answer
+//! must be `Ok` or a structured `ParseNetlistError` — never a panic.
+//! Every case here runs under `catch_unwind` so that an `unwrap`, an
+//! out-of-bounds index or an arithmetic overflow anywhere in the parsing
+//! path fails the test instead of aborting the harness.
+
+use std::panic::catch_unwind;
+
+use nanomap_netlist::{blif, vhdl, ParseNetlistError};
+
+/// A structural VHDL design exercising every supported construct.
+const GOOD_VHDL: &str = r#"
+entity acc is
+  port ( x : in std_logic_vector(7 downto 0);
+         y : out std_logic_vector(7 downto 0);
+         f : out std_logic );
+end acc;
+architecture rtl of acc is
+  signal state, next_state : std_logic_vector(7 downto 0);
+  signal ovf : std_logic;
+begin
+  u_add: add generic map (width => 8)
+         port map (a => x, b => state, cin => '0', sum => next_state, cout => ovf);
+  u_reg: reg generic map (width => 8) port map (d => next_state, q => state);
+  y <= state(3 downto 0) & "1010";
+  f <= ovf;
+end rtl;
+"#;
+
+/// A LUT-mapped BLIF netlist with logic and a latch.
+const GOOD_BLIF: &str = "\
+.model toggler
+.inputs en
+.outputs q
+.names en state next
+01 1
+10 1
+.latch next state
+.names state q
+1 1
+.end
+";
+
+type VhdlResult = Result<nanomap_netlist::rtl::RtlCircuit, ParseNetlistError>;
+type BlifResult = Result<nanomap_netlist::LutNetwork, ParseNetlistError>;
+
+fn vhdl_no_panic(text: &str) -> VhdlResult {
+    let owned = text.to_string();
+    catch_unwind(move || vhdl::parse(&owned))
+        .unwrap_or_else(|_| panic!("VHDL parser panicked on: {text:?}"))
+}
+
+fn blif_no_panic(text: &str) -> BlifResult {
+    let owned = text.to_string();
+    catch_unwind(move || blif::parse(&owned))
+        .unwrap_or_else(|_| panic!("BLIF parser panicked on: {text:?}"))
+}
+
+/// The reference inputs actually parse — otherwise the truncation sweeps
+/// below would be vacuous.
+#[test]
+fn reference_inputs_parse() {
+    vhdl_no_panic(GOOD_VHDL).expect("reference VHDL parses");
+    blif_no_panic(GOOD_BLIF).expect("reference BLIF parses");
+}
+
+/// Every byte-prefix of a valid file is handled without panicking: the
+/// lexer, parser and elaborator all survive mid-token, mid-statement and
+/// mid-block truncation.
+#[test]
+fn every_truncation_is_handled() {
+    for end in 0..GOOD_VHDL.len() {
+        if GOOD_VHDL.is_char_boundary(end) {
+            let _ = vhdl_no_panic(&GOOD_VHDL[..end]);
+        }
+    }
+    for end in 0..GOOD_BLIF.len() {
+        if GOOD_BLIF.is_char_boundary(end) {
+            let _ = blif_no_panic(&GOOD_BLIF[..end]);
+        }
+    }
+}
+
+/// Empty and whitespace-only inputs are rejected, not crashed on.
+#[test]
+fn empty_inputs_error() {
+    assert!(vhdl_no_panic("").is_err());
+    assert!(vhdl_no_panic(" \n\t\n").is_err());
+    assert!(vhdl_no_panic("-- only a comment\n").is_err());
+    // An empty BLIF has no model and no outputs; whatever the verdict,
+    // it must come back as a value.
+    let _ = blif_no_panic("");
+    let _ = blif_no_panic("# only a comment\n");
+}
+
+/// Combinational cycles are reported with a line number.
+#[test]
+fn cyclic_definitions_error() {
+    // s drives itself through the assignment.
+    let vhdl_cycle = "\
+entity c is port ( y : out std_logic );
+end c;
+architecture rtl of c is
+  signal s : std_logic;
+begin
+  s <= s;
+  y <= s;
+end rtl;
+";
+    assert!(vhdl_no_panic(vhdl_cycle).is_err());
+    // a and b feed each other through .names blocks.
+    let blif_cycle = "\
+.model loop
+.inputs x
+.outputs y
+.names b a
+1 1
+.names a b
+1 1
+.names a y
+1 1
+.end
+";
+    let err = blif_no_panic(blif_cycle).expect_err("cycle detected");
+    assert!(err.to_string().contains("cycle"), "{err}");
+}
+
+/// Absurd widths and counts must be rejected or handled, never overflow.
+#[test]
+fn absurd_widths_error() {
+    // A 4-billion-bit port.
+    let wide_port = "\
+entity w is port ( x : in std_logic_vector(4294967295 downto 0);
+                   y : out std_logic );
+end w;
+architecture rtl of w is begin
+  y <= x(0);
+end rtl;
+";
+    let _ = vhdl_no_panic(wide_port);
+    // A generic far beyond any supported operator width.
+    let wide_generic = "\
+entity g is port ( y : out std_logic_vector(7 downto 0) );
+end g;
+architecture rtl of g is
+  signal a : std_logic_vector(7 downto 0);
+begin
+  u: add generic map (width => 4000000000)
+     port map (a => a, b => a, cin => '0', sum => y, cout => open);
+  a <= \"00000000\";
+end rtl;
+";
+    let _ = vhdl_no_panic(wide_generic);
+    // A mux with zero data inputs.
+    let zero_mux = "\
+entity z is port ( s : in std_logic; y : out std_logic );
+end z;
+architecture rtl of z is begin
+  u: muxn generic map (width => 1, n => 0) port map (sel => s, y => y);
+end rtl;
+";
+    let _ = vhdl_no_panic(zero_mux);
+    // A .names block beyond the LUT input limit.
+    let wide_names = format!(
+        ".model wide\n.inputs {inputs}\n.outputs y\n.names {inputs} y\n{ones} 1\n.end\n",
+        inputs = (0..40)
+            .map(|i| format!("i{i}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+        ones = "1".repeat(40),
+    );
+    assert!(blif_no_panic(&wide_names).is_err());
+}
+
+/// Arbitrary bytes (run through lossy UTF-8 conversion, as a forgiving
+/// caller might) never panic either parser.
+#[test]
+fn mangled_bytes_never_panic() {
+    let mut corrupted: Vec<u8> = GOOD_VHDL.as_bytes().to_vec();
+    for (i, b) in corrupted.iter_mut().enumerate() {
+        if i % 7 == 3 {
+            *b = 0xFF ^ (i as u8);
+        }
+    }
+    let text = String::from_utf8_lossy(&corrupted).into_owned();
+    let _ = vhdl_no_panic(&text);
+    let _ = blif_no_panic(&text);
+    // Control characters, NULs, lone surrogates' replacement chars.
+    let noise = "\u{0}\u{1}\u{FFFD}\u{202E}entity \u{0} is\nport(;\n";
+    let _ = vhdl_no_panic(noise);
+    let _ = blif_no_panic(noise);
+}
+
+/// Malformed structure around valid keywords: the error paths name a
+/// line, and none of them panic.
+#[test]
+fn structurally_broken_files_error_with_context() {
+    for bad in [
+        "entity e is port ( x : in std_logic );", // no end, no architecture
+        "architecture rtl of ghost is begin end rtl;", // architecture without entity
+        "entity e is port ( x : in std_logic ); end e;\narchitecture a of e is begin\n  y <= x;\nend a;", // unknown target
+        "entity e is port ( y : out std_logic ); end e;\narchitecture a of e is begin\n  y <= z;\nend a;", // unknown source
+    ] {
+        assert!(vhdl_no_panic(bad).is_err(), "must reject: {bad:?}");
+    }
+    for bad in [
+        ".model m\n.names\n.end\n", // .names with no signals
+        ".model m\n.inputs a\n.outputs y\n.names a y\n10 1\n.end\n", // wrong cover width is caught downstream or errors
+        ".model m\n.latch\n.end\n",                                  // .latch with no operands
+        ".model m\n.unknown directive\n.end\n",                      // unsupported directive
+        ".model m\n.inputs a a\n.outputs y\n.names a y\n1 1\n.end\n", // duplicate input
+    ] {
+        let _ = blif_no_panic(bad);
+    }
+}

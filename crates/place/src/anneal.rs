@@ -32,7 +32,7 @@ impl AnnealSchedule {
     }
 }
 
-/// Runs simulated annealing over SMB positions.
+/// Runs simulated annealing over SMB positions on a perfect fabric.
 ///
 /// `pos_of` holds one grid position per SMB; unoccupied grid slots are
 /// free move targets. Returns the final cost.
@@ -42,6 +42,27 @@ pub fn anneal(
     pos_of: &mut [SmbPos],
     schedule: AnnealSchedule,
     rng: &mut XorShift64Star,
+) -> f64 {
+    anneal_with_legality(grid, nets, pos_of, schedule, rng, None)
+}
+
+/// Runs simulated annealing with an optional slot legality mask.
+///
+/// `legal`, when present, marks which grid slots (row-major index) may
+/// host an SMB: moves targeting an illegal slot are rejected outright.
+/// Passing `None` is byte-for-byte identical to [`anneal`] — no extra RNG
+/// draws, same trajectory.
+///
+/// # Panics
+///
+/// Panics if a `legal` mask is shorter than the grid's slot count.
+pub fn anneal_with_legality(
+    grid: Grid,
+    nets: &[FlatNet],
+    pos_of: &mut [SmbPos],
+    schedule: AnnealSchedule,
+    rng: &mut XorShift64Star,
+    legal: Option<&[bool]>,
 ) -> f64 {
     let n = pos_of.len();
     let cost_series = nanomap_observe::series("place.cost");
@@ -92,6 +113,11 @@ pub fn anneal(
         let mut accepted = 0usize;
         for _ in 0..moves_per_t {
             let (a, slot_b) = random_move_ranged(n, grid, pos_of, range, rng);
+            if let Some(legal) = legal {
+                if !legal[slot_b] {
+                    continue;
+                }
+            }
             let delta = move_delta(a, slot_b, grid, nets, &net_index, pos_of, &occupant);
             let accept = delta <= 0.0 || rng.next_f64() < (-delta / temperature).exp();
             if accept {
@@ -289,6 +315,65 @@ mod tests {
             pos
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn legality_mask_confines_moves() {
+        let grid = Grid::new(4, 4);
+        // Only the left two columns are legal.
+        let legal: Vec<bool> = (0..16).map(|i| i % 4 < 2).collect();
+        let nets: Vec<FlatNet> = (0..7)
+            .map(|i| FlatNet {
+                pins: vec![i, i + 1],
+                weight: 1.0,
+            })
+            .collect();
+        let mut pos: Vec<SmbPos> = (0..16)
+            .enumerate()
+            .filter(|&(i, _)| legal[i])
+            .map(|(i, _)| grid.pos(i))
+            .collect();
+        let mut rng = XorShift64Star::new(5);
+        anneal_with_legality(
+            grid,
+            &nets,
+            &mut pos,
+            AnnealSchedule::detailed(),
+            &mut rng,
+            Some(&legal),
+        );
+        for &p in &pos {
+            assert!(legal[grid.index(p)], "SMB escaped to illegal slot {p:?}");
+        }
+    }
+
+    #[test]
+    fn no_mask_is_identical_to_plain_anneal() {
+        let grid = Grid::new(3, 3);
+        let nets: Vec<FlatNet> = (0..5)
+            .map(|i| FlatNet {
+                pins: vec![i, (i + 1) % 6],
+                weight: 1.0,
+            })
+            .collect();
+        let run = |masked: bool| {
+            let mut pos: Vec<SmbPos> = (0..6).map(|i| grid.pos(i)).collect();
+            let mut rng = XorShift64Star::new(42);
+            let cost = if masked {
+                anneal_with_legality(
+                    grid,
+                    &nets,
+                    &mut pos,
+                    AnnealSchedule::fast(),
+                    &mut rng,
+                    None,
+                )
+            } else {
+                anneal(grid, &nets, &mut pos, AnnealSchedule::fast(), &mut rng)
+            };
+            (pos, cost)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -13,6 +13,17 @@ pub enum PlaceError {
         /// Slots available.
         slots: u32,
     },
+    /// Too many grid slots are defective to host the design, even after
+    /// every grid enlargement the options allow.
+    InsufficientUsableSlots {
+        /// SMBs to place.
+        smbs: u32,
+        /// Usable (non-defective, NRAM-sufficient) slots on the largest
+        /// grid attempted.
+        usable: u32,
+        /// Total slots on that grid.
+        slots: u32,
+    },
 }
 
 impl fmt::Display for PlaceError {
@@ -20,6 +31,17 @@ impl fmt::Display for PlaceError {
         match self {
             Self::GridTooSmall { smbs, slots } => {
                 write!(f, "grid too small: {smbs} SMBs but only {slots} slots")
+            }
+            Self::InsufficientUsableSlots {
+                smbs,
+                usable,
+                slots,
+            } => {
+                write!(
+                    f,
+                    "too many defects: {smbs} SMBs but only {usable} of {slots} \
+                     slots are usable"
+                )
             }
         }
     }

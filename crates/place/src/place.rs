@@ -8,12 +8,12 @@
 //!    times and reports failure so the flow can fall back to another
 //!    folding level.
 
-use nanomap_arch::{ChannelConfig, Grid, SmbPos, TimingModel};
+use nanomap_arch::{ChannelConfig, DefectMap, Grid, SmbPos, TimingModel};
 use nanomap_observe::rng::XorShift64Star;
 use nanomap_observe::span;
 use nanomap_pack::{Packing, SliceNets, TemporalDesign};
 
-use crate::anneal::{anneal, AnnealSchedule};
+use crate::anneal::{anneal_with_legality, AnnealSchedule};
 use crate::cost::{flatten_nets, total_cost, CostWeights};
 use crate::delay::{estimate_delay, DelayEstimate};
 use crate::error::PlaceError;
@@ -81,7 +81,40 @@ pub fn place(
     timing: &TimingModel,
     options: PlaceOptions,
 ) -> Result<Placement, PlaceError> {
+    place_with_defects(
+        design,
+        packing,
+        nets,
+        channels,
+        timing,
+        options,
+        &DefectMap::none(),
+    )
+}
+
+/// Places a packed design on a defective fabric.
+///
+/// Slots that are dead — or whose NRAM cannot store the
+/// `design.num_slices()` configuration sets temporal folding needs — are
+/// illegal: the initial placement skips them and annealing moves reject
+/// them. With [`DefectMap::none`] this is byte-for-byte identical to
+/// [`place`].
+///
+/// # Errors
+///
+/// [`PlaceError::InsufficientUsableSlots`] when, even on the largest grid
+/// the retry policy allows, fewer usable slots remain than SMBs to place.
+pub fn place_with_defects(
+    design: &TemporalDesign<'_>,
+    packing: &Packing,
+    nets: &SliceNets,
+    channels: &ChannelConfig,
+    timing: &TimingModel,
+    options: PlaceOptions,
+    defects: &DefectMap,
+) -> Result<Placement, PlaceError> {
     let n = packing.num_smbs.max(1);
+    let required_sets = design.num_slices();
     let flat = flatten_nets(nets, options.weights);
     let mut attempt = 0;
     let mut slack = options.grid_slack;
@@ -94,15 +127,58 @@ pub fn place(
                 slots: grid.num_slots(),
             });
         }
+        // Slot legality under the defect map. The mask is only consulted
+        // when defects exist, keeping the defect-free path identical.
+        let legal: Option<Vec<bool>> = if defects.is_empty() {
+            None
+        } else {
+            Some(
+                (0..grid.num_slots() as usize)
+                    .map(|i| defects.slot_usable(grid.pos(i), required_sets))
+                    .collect(),
+            )
+        };
+        if let Some(legal) = &legal {
+            let usable = legal.iter().filter(|&&ok| ok).count() as u32;
+            if usable < n {
+                if attempt >= options.max_retries {
+                    return Err(PlaceError::InsufficientUsableSlots {
+                        smbs: n,
+                        usable,
+                        slots: grid.num_slots(),
+                    });
+                }
+                nanomap_observe::incr("place.grid_retries", 1);
+                attempt += 1;
+                slack *= 1.3;
+                continue;
+            }
+        }
         let seed = options.seed.wrapping_add(u64::from(attempt));
         let mut rng = XorShift64Star::new(seed);
-        // Initial placement: row-major.
-        let mut pos_of: Vec<SmbPos> = (0..n as usize).map(|i| grid.pos(i)).collect();
+        // Initial placement: row-major over usable slots.
+        let mut pos_of: Vec<SmbPos> = match &legal {
+            None => (0..n as usize).map(|i| grid.pos(i)).collect(),
+            Some(legal) => legal
+                .iter()
+                .enumerate()
+                .filter(|&(_, &ok)| ok)
+                .map(|(i, _)| grid.pos(i))
+                .take(n as usize)
+                .collect(),
+        };
 
         // Step 1: fast placement.
         {
             let _span = span!("anneal", step = "fast", seed = seed, attempt = attempt);
-            anneal(grid, &flat, &mut pos_of, options.fast, &mut rng);
+            anneal_with_legality(
+                grid,
+                &flat,
+                &mut pos_of,
+                options.fast,
+                &mut rng,
+                legal.as_deref(),
+            );
         }
         // Step 2: low-precision analysis.
         let report = estimate_routability(grid, channels, nets, &pos_of);
@@ -112,7 +188,14 @@ pub fn place(
         if report.routable || attempt >= options.max_retries {
             // Step 3: detailed placement.
             let _span = span!("anneal", step = "detailed", seed = seed, attempt = attempt);
-            let cost = anneal(grid, &flat, &mut pos_of, options.detailed, &mut rng);
+            let cost = anneal_with_legality(
+                grid,
+                &flat,
+                &mut pos_of,
+                options.detailed,
+                &mut rng,
+                legal.as_deref(),
+            );
             let routability = estimate_routability(grid, channels, nets, &pos_of);
             let delay = estimate_delay(design, packing, &pos_of, timing);
             let _ = total_cost(&flat, &pos_of);
@@ -214,5 +297,95 @@ mod tests {
         let (_, b) = placed_multiplier();
         assert_eq!(a.pos_of, b.pos_of);
         assert_eq!(a.cost, b.cost);
+    }
+
+    /// Everything `placed_multiplier` builds, for the defect-aware tests.
+    fn multiplier_inputs() -> (
+        nanomap_netlist::LutNetwork,
+        nanomap_netlist::PlaneSet,
+        Vec<nanomap_sched::ItemGraph>,
+        Vec<nanomap_sched::Schedule>,
+    ) {
+        let mut b = RtlBuilder::new("t");
+        let a = b.input("a", 6);
+        let c = b.input("b", 6);
+        let mul = b.comb("mul", CombOp::Mul { width: 6 });
+        b.connect(a, 0, mul, 0).unwrap();
+        b.connect(c, 0, mul, 1).unwrap();
+        let r = b.register("r", 12);
+        b.connect(mul, 0, r, 0).unwrap();
+        let y = b.output("y", 12);
+        b.connect(r, 0, y, 0).unwrap();
+        let net = expand(&b.finish().unwrap(), ExpandOptions::default()).unwrap();
+        let planes = PlaneSet::extract(&net).unwrap();
+        let plane0 = planes.planes()[0].clone();
+        let p = 4;
+        let stages = plane0.depth.div_ceil(p);
+        let graph = ItemGraph::build(&net, &plane0, p).unwrap();
+        let schedule = schedule_fds(&net, &graph, stages, FdsOptions::default()).unwrap();
+        (net, planes, vec![graph], vec![schedule])
+    }
+
+    fn place_with(defects: &nanomap_arch::DefectMap) -> Result<Placement, PlaceError> {
+        let (net, planes, graphs, schedules) = multiplier_inputs();
+        let design = TemporalDesign::new(&net, &planes, graphs, schedules).unwrap();
+        let arch = ArchParams::paper();
+        let packing = pack(&design, &arch, PackOptions::default()).unwrap();
+        let nets = extract_nets(&design, &packing);
+        place_with_defects(
+            &design,
+            &packing,
+            &nets,
+            &ChannelConfig::nature(),
+            &TimingModel::nature_100nm(),
+            PlaceOptions::default(),
+            defects,
+        )
+    }
+
+    #[test]
+    fn empty_defect_map_matches_defect_free_placement() {
+        let (_, baseline) = placed_multiplier();
+        let defective = place_with(&nanomap_arch::DefectMap::none()).unwrap();
+        assert_eq!(baseline.pos_of, defective.pos_of);
+        assert_eq!(baseline.cost, defective.cost);
+    }
+
+    #[test]
+    fn placement_avoids_defective_slots() {
+        let mut defects = nanomap_arch::DefectMap::none();
+        // Kill the first two row-major slots of any plausible grid.
+        defects.kill_slot(SmbPos::new(0, 0));
+        defects.kill_slot(SmbPos::new(1, 0));
+        let placement = place_with(&defects).unwrap();
+        for &pos in &placement.pos_of {
+            assert!(
+                !defects.slot_defective(pos),
+                "SMB placed on defective slot {pos:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn placement_respects_nram_degradation() {
+        let mut defects = nanomap_arch::DefectMap::none();
+        // Kill NRAM set 0 of slot (0,0): unusable for any folded design.
+        defects.kill_nram_set(SmbPos::new(0, 0), 0);
+        let placement = place_with(&defects).unwrap();
+        for &pos in &placement.pos_of {
+            assert_ne!(pos, SmbPos::new(0, 0), "SMB placed on degraded slot");
+        }
+    }
+
+    #[test]
+    fn hopeless_defect_density_reports_insufficient_slots() {
+        // Everything is dead.
+        let defects = nanomap_arch::DefectMap::uniform(1.0, 3);
+        let err = place_with(&defects).unwrap_err();
+        assert!(matches!(
+            err,
+            PlaceError::InsufficientUsableSlots { usable: 0, .. }
+        ));
+        assert!(err.to_string().contains("defect"));
     }
 }

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use nanomap_arch::{ArchParams, ChannelConfig, ConfigBitmap, RrGraph, TimingModel};
+use nanomap_arch::{ArchParams, ChannelConfig, ConfigBitmap, DefectMap, RrGraph, TimingModel};
 use nanomap_observe::span;
 use nanomap_pack::{Packing, Slice, SliceNets, TemporalDesign};
 use nanomap_place::Placement;
@@ -35,7 +35,7 @@ pub struct RoutedDesign {
 /// # Errors
 ///
 /// Returns the first slice's routing failure (congestion or
-/// disconnection).
+/// disconnection), naming the failing slice and net.
 #[allow(clippy::too_many_arguments)] // the flow's full context is the point
 pub fn route_design(
     design: &TemporalDesign<'_>,
@@ -47,13 +47,49 @@ pub fn route_design(
     arch: &ArchParams,
     options: RouteOptions,
 ) -> Result<RoutedDesign, RouteError> {
-    let graph = RrGraph::build(placement.grid, channels);
+    route_design_with_defects(
+        design,
+        packing,
+        nets,
+        placement,
+        channels,
+        timing_model,
+        arch,
+        options,
+        &DefectMap::none(),
+    )
+}
+
+/// Routes a placed design over a defective fabric: the routing-resource
+/// graph is built with broken wires and stuck-open switches pruned, so
+/// PathFinder negotiates around them (or fails with the failing slice and
+/// net named). With [`DefectMap::none`] this is identical to
+/// [`route_design`].
+///
+/// # Errors
+///
+/// Returns the first slice's routing failure, with slice and net context
+/// attached.
+#[allow(clippy::too_many_arguments)] // the flow's full context is the point
+pub fn route_design_with_defects(
+    design: &TemporalDesign<'_>,
+    packing: &Packing,
+    nets: &SliceNets,
+    placement: &Placement,
+    channels: &ChannelConfig,
+    timing_model: &TimingModel,
+    arch: &ArchParams,
+    options: RouteOptions,
+    defects: &DefectMap,
+) -> Result<RoutedDesign, RouteError> {
+    let graph = RrGraph::build_with_defects(placement.grid, channels, defects);
     let mut routes: HashMap<Slice, Vec<RoutedNet>> = HashMap::new();
     for slice in design.slices() {
         let slice_nets = nets.of(slice);
         let mut slice_span = span!("route-slice", seed = options.seed);
         slice_span.attr("nets", slice_nets.len() as u64);
-        let routed = route_slice(&graph, slice_nets, &placement.pos_of, options)?;
+        let routed = route_slice(&graph, slice_nets, &placement.pos_of, options)
+            .map_err(|e| e.in_slice(slice))?;
         routes.insert(slice, routed);
     }
     let usage = tally_usage(&graph, &routes);

@@ -1,11 +1,18 @@
 //! Routing errors.
+//!
+//! A [`RouteError`] names not just the failure mode but *where* it
+//! happened: the temporal slice being routed and a human-readable
+//! description of the offending net, so a flow-level recovery policy (or
+//! a human) can act on it.
 
 use std::error::Error;
 use std::fmt;
 
-/// Errors produced during routing.
+use nanomap_pack::{Slice, SliceNet};
+
+/// What went wrong during routing.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RouteError {
+pub enum RouteErrorKind {
     /// No path exists between a net's source and one of its sinks.
     Unreachable {
         /// Driving SMB index.
@@ -22,13 +29,87 @@ pub enum RouteError {
     },
 }
 
+/// A routing failure with its context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteError {
+    /// The failure mode.
+    pub kind: RouteErrorKind,
+    /// The temporal slice being routed when the failure occurred.
+    pub slice: Option<Slice>,
+    /// Description of the offending net (`smb3->smb5,smb7`). For
+    /// congestion failures this is the net crossing the most overused
+    /// nodes — the best single culprit PathFinder can name.
+    pub net: Option<String>,
+}
+
+impl RouteError {
+    /// A disconnection failure, context to be attached by the caller.
+    pub fn unreachable(driver: u32, sink: u32) -> Self {
+        Self {
+            kind: RouteErrorKind::Unreachable { driver, sink },
+            slice: None,
+            net: None,
+        }
+    }
+
+    /// A congestion failure, context to be attached by the caller.
+    pub fn unroutable(overused: usize, iterations: u32) -> Self {
+        Self {
+            kind: RouteErrorKind::Unroutable {
+                overused,
+                iterations,
+            },
+            slice: None,
+            net: None,
+        }
+    }
+
+    /// Attaches the offending net's description.
+    pub fn with_net(mut self, net: String) -> Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// Attaches the slice being routed.
+    pub fn in_slice(mut self, slice: Slice) -> Self {
+        self.slice = Some(slice);
+        self
+    }
+}
+
+/// Human-readable description of a slice net: `smb3->smb5,smb7` (long
+/// sink lists are elided).
+pub fn describe_net(net: &SliceNet) -> String {
+    let mut out = format!("smb{}->", net.driver);
+    for (i, sink) in net.sinks.iter().enumerate() {
+        if i == 4 {
+            out.push_str(&format!("+{} more", net.sinks.len() - i));
+            break;
+        }
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("smb{sink}"));
+    }
+    if net.sinks.is_empty() {
+        out.push_str("(no sinks)");
+    }
+    out
+}
+
 impl fmt::Display for RouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::Unreachable { driver, sink } => {
+        if let Some(slice) = &self.slice {
+            write!(f, "slice plane {} stage {}: ", slice.plane, slice.stage)?;
+        }
+        if let Some(net) = &self.net {
+            write!(f, "net {net}: ")?;
+        }
+        match &self.kind {
+            RouteErrorKind::Unreachable { driver, sink } => {
                 write!(f, "no route from SMB {driver} to SMB {sink}")
             }
-            Self::Unroutable {
+            RouteErrorKind::Unroutable {
                 overused,
                 iterations,
             } => write!(
@@ -47,11 +128,38 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = RouteError::Unroutable {
-            overused: 5,
-            iterations: 30,
-        };
+        let e = RouteError::unroutable(5, 30);
         assert!(e.to_string().contains('5'));
         assert!(e.to_string().contains("30"));
+    }
+
+    #[test]
+    fn display_includes_slice_and_net_context() {
+        let e = RouteError::unreachable(3, 9)
+            .with_net("smb3->smb9".into())
+            .in_slice(Slice { plane: 1, stage: 2 });
+        let s = e.to_string();
+        assert!(s.contains("plane 1"), "{s}");
+        assert!(s.contains("stage 2"), "{s}");
+        assert!(s.contains("smb3->smb9"), "{s}");
+        assert!(s.contains("SMB 3"), "{s}");
+    }
+
+    #[test]
+    fn net_descriptions_elide_long_sink_lists() {
+        let net = SliceNet {
+            driver: 0,
+            sinks: (1..=9).collect(),
+            critical: false,
+        };
+        let s = describe_net(&net);
+        assert!(s.starts_with("smb0->smb1,"), "{s}");
+        assert!(s.contains("+5 more"), "{s}");
+        let empty = SliceNet {
+            driver: 2,
+            sinks: vec![],
+            critical: false,
+        };
+        assert!(describe_net(&empty).contains("no sinks"));
     }
 }

@@ -18,8 +18,8 @@ mod timing;
 mod usage;
 
 pub use bitmap::generate_bitmap;
-pub use driver::{route_design, RoutedDesign};
-pub use error::RouteError;
+pub use driver::{route_design, route_design_with_defects, RoutedDesign};
+pub use error::{describe_net, RouteError, RouteErrorKind};
 pub use pathfinder::{route_slice, RouteOptions, RoutedNet};
 pub use timing::{analyze, net_delays, CriticalPathNode, NetDelays, RoutedTiming};
 pub use usage::{tally_usage, InterconnectUsage};

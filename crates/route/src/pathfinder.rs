@@ -17,7 +17,7 @@ use nanomap_arch::{RrGraph, RrNodeId, SmbPos};
 use nanomap_observe::rng::XorShift64Star;
 use nanomap_pack::SliceNet;
 
-use crate::error::RouteError;
+use crate::error::{describe_net, RouteError};
 
 /// PathFinder parameters.
 #[derive(Debug, Clone, Copy)]
@@ -133,10 +133,23 @@ pub fn route_slice(
             return Ok(routes.into_iter().map(|r| r.expect("routed")).collect());
         }
         if iteration + 1 == options.max_iterations {
-            return Err(RouteError::Unroutable {
-                overused,
-                iterations: options.max_iterations,
-            });
+            let mut err = RouteError::unroutable(overused, options.max_iterations);
+            // Name the best single culprit: the net crossing the most
+            // overused nodes.
+            let overused_node = |id: &RrNodeId| occupancy[id.index()] > graph.node(*id).capacity;
+            let culprit = routes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| {
+                    let r = r.as_ref()?;
+                    let hits = r.nodes.iter().filter(|id| overused_node(id)).count();
+                    (hits > 0).then_some((hits, i))
+                })
+                .max_by_key(|&(hits, _)| hits);
+            if let Some((_, i)) = culprit {
+                err = err.with_net(describe_net(&nets[i]));
+            }
+            return Err(err);
         }
         pres_fac *= options.pres_mult;
     }
@@ -144,10 +157,7 @@ pub fn route_slice(
     if nets.is_empty() {
         return Ok(Vec::new());
     }
-    Err(RouteError::Unroutable {
-        overused: 0,
-        iterations: 0,
-    })
+    Err(RouteError::unroutable(0, 0))
 }
 
 #[derive(PartialEq)]
@@ -229,10 +239,7 @@ fn route_net(
             }
         }
         if !found {
-            return Err(RouteError::Unreachable {
-                driver: net.driver,
-                sink: sink_smb,
-            });
+            return Err(RouteError::unreachable(net.driver, sink_smb).with_net(describe_net(net)));
         }
         // Walk back to the tree, occupying new nodes.
         let mut path = vec![target];
@@ -363,7 +370,12 @@ mod tests {
             })
             .collect();
         let err = route_slice(&g, &nets, &pos, RouteOptions::default()).unwrap_err();
-        assert!(matches!(err, RouteError::Unroutable { .. }));
+        assert!(matches!(
+            err.kind,
+            crate::error::RouteErrorKind::Unroutable { .. }
+        ));
+        // Congestion failures name a culprit net.
+        assert_eq!(err.net.as_deref(), Some("smb0->smb1"));
     }
 
     #[test]

@@ -28,6 +28,14 @@ pub enum TechmapError {
     },
     /// The requested LUT size is outside `2..=6`.
     BadLutSize(u32),
+    /// A node is structurally degenerate (e.g. a mux with zero data
+    /// inputs) and has no LUT expansion.
+    DegenerateNode {
+        /// Offending node name.
+        node: String,
+        /// What makes it degenerate.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for TechmapError {
@@ -46,6 +54,9 @@ impl fmt::Display for TechmapError {
                 write!(f, "node `{node}` has unsupported width {width}")
             }
             Self::BadLutSize(k) => write!(f, "LUT size {k} outside the supported 2..=6 range"),
+            Self::DegenerateNode { node, detail } => {
+                write!(f, "node `{node}` is degenerate: {detail}")
+            }
         }
     }
 }

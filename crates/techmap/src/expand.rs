@@ -12,6 +12,12 @@
 //! about `2w - 1` (the paper's 4-bit instances: 8 LUTs / depth 4 and
 //! 38 LUTs / depth 7).
 
+// Expansion runs on user-supplied circuits: failures must surface as
+// `TechmapError`, never a panic. The few remaining `expect`s below are
+// invariants established by `RtlCircuit::validate` (which `expand` runs
+// first) and carry individual justifications.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 use std::collections::HashMap;
 
 use nanomap_netlist::rtl::{CombOp, NodeKind, RtlCircuit};
@@ -172,6 +178,9 @@ impl Expander<'_> {
     }
 
     /// Bits driving input port `port` of node `id`.
+    // `expand` validates the circuit before running, which rejects
+    // floating inputs; drivers precede their readers in topo order.
+    #[cfg_attr(not(test), allow(clippy::expect_used))]
     fn input_bits(&self, id: NodeId, port: u32) -> Vec<SignalRef> {
         let driver = self.circuit.node(id).inputs[port as usize]
             .expect("validated circuit has no floating inputs");
@@ -412,6 +421,12 @@ impl Expander<'_> {
                 self.bits.insert((id, 0), y);
             }
             CombOp::MuxN { width, n } => {
+                if n == 0 {
+                    return Err(TechmapError::DegenerateNode {
+                        node: self.circuit.node(id).name.clone(),
+                        detail: "mux with zero data inputs",
+                    });
+                }
                 let sel = self.input_bits(id, n);
                 let data: Vec<Vec<SignalRef>> = (0..n).map(|p| self.input_bits(id, p)).collect();
                 let y = self.mux_tree(&data, &sel, width, module);
@@ -673,6 +688,9 @@ impl Expander<'_> {
     }
 
     /// Binary 2:1-mux tree over `n` data buses using the select bits.
+    // The `MuxN` expansion rejects `n == 0` before calling this, so
+    // `data` (and thus the final level) is never empty.
+    #[cfg_attr(not(test), allow(clippy::expect_used))]
     fn mux_tree(
         &mut self,
         data: &[Vec<SignalRef>],
@@ -777,6 +795,9 @@ impl Expander<'_> {
 
 /// Recomputes `depth_in_module` for every LUT with an origin: 1 plus the
 /// maximum depth of same-module LUT fanins.
+// The expander only ever wires LUT inputs to already-emitted signals, so
+// the network it produces cannot contain a combinational cycle.
+#[cfg_attr(not(test), allow(clippy::expect_used))]
 fn finalize_module_depths(net: &mut LutNetwork) {
     let order = net.topo_order().expect("expansion emits acyclic networks");
     let mut depth: Vec<u32> = vec![0; net.num_luts()];
@@ -818,6 +839,20 @@ mod tests {
     use super::*;
     use nanomap_netlist::rtl::RtlBuilder;
     use nanomap_netlist::LutSimulator;
+
+    #[test]
+    fn zero_input_mux_is_rejected_not_panicked() {
+        let mut b = RtlBuilder::new("degenerate");
+        let s = b.input("s", 1);
+        let mux = b.comb("m", CombOp::MuxN { width: 1, n: 0 });
+        b.connect(s, 0, mux, 0).unwrap();
+        let y = b.output("y", 1);
+        b.connect(mux, 0, y, 0).unwrap();
+        let circuit = b.finish().unwrap();
+        let err = expand(&circuit, ExpandOptions::default()).unwrap_err();
+        assert!(matches!(err, TechmapError::DegenerateNode { .. }), "{err}");
+        assert!(err.to_string().contains("zero data inputs"), "{err}");
+    }
 
     fn build_adder(width: u32) -> RtlCircuit {
         let mut b = RtlBuilder::new("adder");

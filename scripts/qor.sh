@@ -6,8 +6,11 @@
 #   scripts/qor.sh            run the gate (non-zero exit on regression)
 #   scripts/qor.sh --rebase   regenerate and commit-ready the baselines
 #
-# Fresh snapshots land at the repo root (BENCH_qor.json, ACCUM_qor.json;
-# both gitignored) so a failing run leaves the evidence behind.
+# Fresh snapshots land at the repo root (BENCH_qor.json, ACCUM_qor.json,
+# ACCUM_qor0.json; all gitignored) so a failing run leaves the evidence
+# behind. The final leg re-runs the accumulator with an explicit
+# `--defect-rate 0` and diffs with `--exact`: the defect layer must be a
+# strict no-op on a clean fabric, bit for bit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,5 +39,9 @@ else
   ./target/release/nanomap qor-diff results/qor/bench.json BENCH_qor.json
   echo "==> gate: accumulator"
   ./target/release/nanomap qor-diff results/qor/accumulator.json ACCUM_qor.json
+  echo "==> gate: determinism (explicit --defect-rate 0 is bit-identical)"
+  ./target/release/nanomap designs/accumulator.vhd --defect-rate 0 \
+    --qor ACCUM_qor0.json >/dev/null
+  ./target/release/nanomap qor-diff --exact results/qor/accumulator.json ACCUM_qor0.json
   echo "QoR gate passed."
 fi

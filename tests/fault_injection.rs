@@ -1,0 +1,117 @@
+//! Fault-injection harness: the flow on defective fabrics.
+//!
+//! Low defect rates must still map (possibly climbing the recovery
+//! ladder); hopeless ones must fail *cleanly* — a structured
+//! `FlowError::RecoveryExhausted` carrying the full attempt history,
+//! never a panic. Every mapping here runs inside `catch_unwind` so a
+//! panic anywhere on the defective path is a test failure, not an abort.
+
+use std::panic::catch_unwind;
+
+use nanomap::recovery::MAX_TOTAL_ATTEMPTS;
+use nanomap::{FlowError, MappingReport, NanoMap, Objective};
+use nanomap_arch::{ArchParams, DefectMap};
+use nanomap_bench::circuits::ex1;
+use nanomap_netlist::LutNetwork;
+use nanomap_techmap::{expand, ExpandOptions};
+
+fn network() -> LutNetwork {
+    expand(&ex1(6), ExpandOptions::default()).expect("fig1 expands")
+}
+
+/// Maps the Fig. 1 circuit on a fabric with the given uniform defect
+/// rate, trapping panics.
+fn map_at(rate: f64, seed: u64) -> Result<MappingReport, FlowError> {
+    let net = network();
+    catch_unwind(move || {
+        let mut flow = NanoMap::new(ArchParams::paper_unbounded());
+        if rate > 0.0 {
+            flow = flow.with_defects(DefectMap::uniform(rate, seed));
+        }
+        flow.map(&net, Objective::MinAreaDelayProduct)
+    })
+    .expect("the flow must never panic on a defective fabric")
+}
+
+/// Low defect rates map successfully; the recovery log tells a coherent
+/// story either way (clean first try, or a recorded climb).
+#[test]
+fn low_defect_rates_still_map() {
+    for rate in [0.01, 0.05] {
+        let report = map_at(rate, 42).unwrap_or_else(|e| panic!("rate {rate} fails: {e}"));
+        let physical = report.physical.expect("physical design runs");
+        assert!(physical.routed_delay_ns > 0.0);
+        let log = &report.recovery;
+        assert!(log.succeeded_with.is_some(), "winner recorded");
+        if log.attempts.is_empty() {
+            assert!(!log.recovered(), "no failures means no recovery");
+        } else {
+            assert!(log.recovered(), "failures followed by success = recovery");
+        }
+    }
+}
+
+/// Same circuit, same rate, same seed: identical outcome. The defect
+/// model must not inject nondeterminism into the flow.
+#[test]
+fn defect_injection_is_deterministic() {
+    let a = map_at(0.05, 7).expect("maps");
+    let b = map_at(0.05, 7).expect("maps");
+    assert_eq!(a.folding_level, b.folding_level);
+    assert_eq!(a.num_les, b.num_les);
+    assert_eq!(a.recovery, b.recovery);
+    let (pa, pb) = (a.physical.unwrap(), b.physical.unwrap());
+    assert_eq!(pa.placement_cost, pb.placement_cost);
+    assert_eq!(pa.routed_delay_ns, pb.routed_delay_ns);
+}
+
+/// A fully dead fabric exhausts the ladder and reports the whole
+/// history: every attempt names its remedy, phase and error, the attempt
+/// count respects the global cap, and the display is informative.
+#[test]
+fn dead_fabric_fails_cleanly_with_history() {
+    let err = map_at(1.0, 3).expect_err("nothing maps on a dead fabric");
+    let FlowError::RecoveryExhausted { ref log } = err else {
+        panic!("expected RecoveryExhausted, got: {err}");
+    };
+    assert!(!log.attempts.is_empty());
+    assert!(log.total_attempts() <= MAX_TOTAL_ATTEMPTS);
+    assert!(log.succeeded_with.is_none());
+    assert!(log.escalations > 0, "the ladder climbed before giving up");
+    for attempt in &log.attempts {
+        assert!(matches!(attempt.phase, "place" | "route"));
+        assert!(!attempt.error.is_empty());
+    }
+    let display = err.to_string();
+    assert!(display.contains("failed attempt"), "{display}");
+    assert!(display.contains("last failure"), "{display}");
+}
+
+/// No defect rate anywhere on the scale panics — each run either maps or
+/// returns a structured error.
+#[test]
+fn every_defect_rate_fails_cleanly_or_maps() {
+    for rate in [0.0, 0.2, 0.5, 0.8, 1.0] {
+        match map_at(rate, 11) {
+            Ok(report) => assert!(report.physical.is_some()),
+            Err(e) => assert!(
+                e.recovery_log().is_some(),
+                "rate {rate}: structured error expected, got: {e}"
+            ),
+        }
+    }
+}
+
+/// An explicit defect map (the text format) drives the flow the same way
+/// a generated one does.
+#[test]
+fn explicit_defect_map_round_trips_into_the_flow() {
+    let text = "# one dead slot, one degraded slot\nslot 0 0\nnram 1 0 0\n";
+    let map = DefectMap::parse(text).expect("parses");
+    let net = network();
+    let report = NanoMap::new(ArchParams::paper_unbounded())
+        .with_defects(map)
+        .map(&net, Objective::MinAreaDelayProduct)
+        .expect("two defects cannot kill the fabric");
+    assert!(report.physical.is_some());
+}
