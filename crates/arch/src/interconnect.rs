@@ -37,6 +37,16 @@ impl WireType {
         }
     }
 
+    /// Stable lowercase tier name for reports and serialization.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WireType::Direct => "direct",
+            WireType::Length1 => "length1",
+            WireType::Length4 => "length4",
+            WireType::Global => "global",
+        }
+    }
+
     /// Relative congestion base cost used by the router (cheap tiers first).
     pub fn base_cost(self) -> f64 {
         match self {

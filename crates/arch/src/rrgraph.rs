@@ -82,6 +82,24 @@ pub enum RrNodeKind {
     },
 }
 
+impl RrNodeKind {
+    /// The single grid cell a node is attributed to in per-cell usage
+    /// accounting (heatmaps): pins and direct links belong to their
+    /// originating slot, segment wires to their anchor slot, and global
+    /// lines to the first slot of their row/column. Attributing each node
+    /// to exactly one cell keeps heatmap totals reconcilable with the
+    /// per-tier usage counters.
+    pub fn anchor(&self) -> SmbPos {
+        match *self {
+            RrNodeKind::Source(p) | RrNodeKind::Sink(p) => p,
+            RrNodeKind::Direct { from, .. } => from,
+            RrNodeKind::HWire { at, .. } | RrNodeKind::VWire { at, .. } => at,
+            RrNodeKind::GlobalRow { y, .. } => SmbPos::new(0, y),
+            RrNodeKind::GlobalCol { x, .. } => SmbPos::new(x, 0),
+        }
+    }
+}
+
 /// A routing-resource node.
 #[derive(Debug, Clone)]
 pub struct RrNode {

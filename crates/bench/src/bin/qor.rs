@@ -2,7 +2,12 @@
 //! optimization, k = 16) over every paper benchmark and emits one
 //! `nanomap-qor-v1` document for the regression gate.
 //!
-//! Run: `cargo run -p nanomap-bench --release --bin qor -- [--out PATH]`
+//! Run: `cargo run -p nanomap-bench --release --bin qor -- [--out PATH]
+//! [--explain-dir DIR]`
+//!
+//! With `--explain-dir`, one `nanomap-explain-v1` attribution artifact
+//! per benchmark lands in DIR as `<circuit>.explain.json`, next to the
+//! QoR numbers it explains.
 //!
 //! Compare against the committed baseline with
 //! `nanomap qor-diff results/qor/bench.json <PATH>` (see `scripts/qor.sh`).
@@ -14,18 +19,26 @@ use nanomap_bench::circuits::paper_benchmarks;
 
 fn main() {
     let mut out = None;
+    let mut explain_dir: Option<String> = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--out" => out = iter.next(),
+            "--explain-dir" => explain_dir = iter.next(),
             other => {
-                eprintln!("usage: qor [--out PATH]  (unexpected `{other}`)");
+                eprintln!("usage: qor [--out PATH] [--explain-dir DIR]  (unexpected `{other}`)");
                 std::process::exit(2);
             }
         }
     }
+    if let Some(dir) = &explain_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {dir}: {e}"));
+    }
 
-    let flow = NanoMap::new(ArchParams::paper());
+    let mut flow = NanoMap::new(ArchParams::paper());
+    if explain_dir.is_some() {
+        flow = flow.with_explain();
+    }
     let mut reports = Vec::new();
     for bench in paper_benchmarks() {
         // Each circuit gets its own collector epoch so series and spans
@@ -35,6 +48,14 @@ fn main() {
         let report = flow
             .map(&bench.network, Objective::MinAreaDelayProduct)
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        if let (Some(dir), Some(explain)) = (&explain_dir, &report.explain) {
+            explain
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: explain invariant violated: {e}", bench.name));
+            let path = format!("{dir}/{}.explain.json", bench.name);
+            std::fs::write(&path, explain.to_json().to_pretty_string())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        }
         let snapshot = nanomap_observe::snapshot();
         let mut qor = QorReport::from_mapping(&report, &flow.channels, &snapshot);
         // Key by the paper's circuit name, not the generator's netlist name.

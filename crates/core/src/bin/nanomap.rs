@@ -14,14 +14,28 @@
 //!   --metrics PATH              write spans/counters/report as JSON to PATH
 //!   --chrome-trace PATH         write a Perfetto-loadable trace to PATH
 //!   --qor PATH                  write a QoR document to PATH
+//!   --explain PATH              write the QoR attribution artifact to PATH
 //!   --defect-rate F             inject uniform fabric defects at rate F (0..1)
 //!   --defect-seed N             seed for the defect injection (default 1)
 //!   --defect-map PATH           load an explicit defect map instead
 //!   --progress                  echo top-level phase timings to stderr
 //!   --trace                     echo every span to stderr as it closes
 //!
-//! PATH may be `-` for stdout (at most one of --metrics/--chrome-trace/--qor;
-//! the human-readable report then moves to stderr).
+//! PATH may be `-` for stdout (at most one of
+//! --metrics/--chrome-trace/--qor/--explain; the human-readable report
+//! then moves to stderr).
+//!
+//! nanomap explain <design.vhd | design.blif> [flow options]
+//!                 [--out PATH] [--top-k N]
+//!   Runs the flow and prints the QoR attribution report: congestion and
+//!   placement heatmaps, per-stage NRAM occupancy, and the top-K routed
+//!   critical paths hop by hop. --out additionally writes the JSON
+//!   artifact (deterministic: same seed, same bytes).
+//!
+//! nanomap explain --check <artifact.json>
+//!   Re-validates an emitted artifact's internal invariants: the per-hop
+//!   delay sums, the delay identity, and the congestion/usage
+//!   reconciliation.
 //!
 //! nanomap qor-diff [--exact] <baseline.json> <new.json>
 //!   Compares two QoR documents metric-by-metric with per-metric
@@ -35,10 +49,10 @@ use std::process::ExitCode;
 use nanomap::qor::{
     diff_documents, diff_documents_exact, has_regression, DiffStatus, QorDocument, QorReport,
 };
-use nanomap::{NanoMap, Objective};
+use nanomap::{check_artifact, ExplainReport, NanoMap, Objective, DEFAULT_TOP_K};
 use nanomap_arch::{ArchParams, DefectMap};
 use nanomap_netlist::{blif, vhdl, LutNetwork};
-use nanomap_observe::{Echo, JsonValue};
+use nanomap_observe::{json, Echo, JsonValue};
 use nanomap_techmap::{expand, optimize, ExpandOptions};
 
 struct Args {
@@ -55,6 +69,9 @@ struct Args {
     metrics_path: Option<String>,
     chrome_trace_path: Option<String>,
     qor_path: Option<String>,
+    explain_path: Option<String>,
+    explain_out: Option<String>,
+    explain_top_k: Option<usize>,
     defect_rate: Option<f64>,
     defect_seed: u64,
     defect_map_path: Option<String>,
@@ -69,6 +86,7 @@ impl Args {
             ("--metrics", &self.metrics_path),
             ("--chrome-trace", &self.chrome_trace_path),
             ("--qor", &self.qor_path),
+            ("--explain", &self.explain_path),
         ]
         .into_iter()
         .filter(|(_, path)| path.as_deref() == Some("-"))
@@ -97,6 +115,9 @@ fn parse_args(cli: impl Iterator<Item = String>) -> Result<Args, String> {
         metrics_path: None,
         chrome_trace_path: None,
         qor_path: None,
+        explain_path: None,
+        explain_out: None,
+        explain_top_k: None,
         defect_rate: None,
         defect_seed: 1,
         defect_map_path: None,
@@ -135,6 +156,15 @@ fn parse_args(cli: impl Iterator<Item = String>) -> Result<Args, String> {
             "--metrics" => args.metrics_path = Some(value(&mut iter, "--metrics")?),
             "--chrome-trace" => args.chrome_trace_path = Some(value(&mut iter, "--chrome-trace")?),
             "--qor" => args.qor_path = Some(value(&mut iter, "--qor")?),
+            "--explain" => args.explain_path = Some(value(&mut iter, "--explain")?),
+            "--out" => args.explain_out = Some(value(&mut iter, "--out")?),
+            "--top-k" => {
+                args.explain_top_k = Some(
+                    value(&mut iter, "--top-k")?
+                        .parse()
+                        .map_err(|e| format!("--top-k: {e}"))?,
+                )
+            }
             "--defect-rate" => {
                 let rate: f64 = value(&mut iter, "--defect-rate")?
                     .parse()
@@ -173,6 +203,9 @@ fn parse_args(cli: impl Iterator<Item = String>) -> Result<Args, String> {
     if args.defect_rate.is_some() && args.defect_map_path.is_some() {
         return Err("--defect-rate and --defect-map are mutually exclusive".into());
     }
+    if args.explain_path.is_some() && !args.physical {
+        return Err("--explain needs the physical flow (drop --no-physical)".into());
+    }
     let claimed = args.stdout_sinks();
     if claimed.len() > 1 {
         return Err(format!(
@@ -210,6 +243,128 @@ fn write_sink(path: &str, text: &str) -> Result<(), String> {
     } else {
         std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
     }
+}
+
+/// Resolves the `--objective` string into a flow [`Objective`].
+fn parse_objective(args: &Args) -> Result<Objective, String> {
+    match args.objective.as_str() {
+        "delay" => Ok(Objective::MinDelay {
+            max_les: args.max_les,
+        }),
+        "area" => Ok(Objective::MinArea {
+            max_delay_ns: args.max_delay,
+        }),
+        "at" => Ok(Objective::MinAreaDelayProduct),
+        other => Err(format!("unknown objective `{other}` (delay|area|at)")),
+    }
+}
+
+/// Applies the `--defect-rate`/`--defect-map` options to a flow.
+fn apply_defects(mut flow: NanoMap, args: &Args) -> Result<NanoMap, String> {
+    if let Some(path) = &args.defect_map_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let map = DefectMap::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        flow = flow.with_defects(map);
+    } else if let Some(rate) = args.defect_rate {
+        if rate > 0.0 {
+            flow = flow.with_defects(DefectMap::uniform(rate, args.defect_seed));
+        }
+    }
+    Ok(flow)
+}
+
+/// `nanomap explain ...`: run the flow with QoR attribution enabled and
+/// print the heatmaps plus top-K critical paths; `--check FILE` instead
+/// re-validates an already-emitted artifact.
+fn explain_main(cli: Vec<String>) -> ExitCode {
+    if cli.first().map(String::as_str) == Some("--check") {
+        let [_, path] = &cli[..] else {
+            eprintln!("usage: nanomap explain --check <artifact.json>");
+            return ExitCode::FAILURE;
+        };
+        let checked = std::fs::read_to_string(path)
+            .map_err(|e| format!("{path}: {e}"))
+            .and_then(|text| json::parse(&text).map_err(|e| format!("{path}: {e}")))
+            .and_then(|doc| check_artifact(&doc).map_err(|e| format!("{path}: {e}")));
+        return match checked {
+            Ok(()) => {
+                println!("{path}: OK");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let args = match parse_args(cli.into_iter()) {
+        Ok(a) => a,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}\n");
+            }
+            eprintln!("usage: nanomap explain <design.vhd | design.blif> [flow options]");
+            eprintln!("       [--out PATH] [--top-k N]");
+            eprintln!("       nanomap explain --check <artifact.json>");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.explain_path.is_some() {
+        eprintln!("error: the explain subcommand always builds the artifact; use --out PATH");
+        return ExitCode::FAILURE;
+    }
+    if !args.physical {
+        eprintln!("error: explain needs the physical flow (drop --no-physical)");
+        return ExitCode::FAILURE;
+    }
+    let arch = ArchParams {
+        num_reconf: if args.k == 0 { u32::MAX } else { args.k },
+        ffs_per_le: args.ffs_per_le,
+        ..ArchParams::paper()
+    };
+    let top_k = args.explain_top_k.unwrap_or(DEFAULT_TOP_K);
+    let run = || -> Result<ExplainReport, String> {
+        let mut net = load(&args.input, arch.lut_inputs)?;
+        if args.run_optimize {
+            net = optimize(&net).0;
+        }
+        let objective = parse_objective(&args)?;
+        let mut flow = apply_defects(NanoMap::new(arch).with_explain(), &args)?;
+        flow.explain_top_k = top_k;
+        let report = flow.map(&net, objective).map_err(|e| e.to_string())?;
+        report
+            .explain
+            .ok_or_else(|| "flow finished without attribution data".to_string())
+    };
+    let explain = match run() {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = explain.validate() {
+        eprintln!("error: artifact invariant violated: {e}");
+        return ExitCode::FAILURE;
+    }
+    // When `--out -` claims stdout for the JSON, the text report moves to
+    // stderr (mirroring the main flow's sink convention).
+    let text = explain.render_text(top_k);
+    if args.explain_out.as_deref() == Some("-") {
+        eprint!("{text}");
+    } else {
+        print!("{text}");
+    }
+    if let Some(path) = &args.explain_out {
+        if let Err(e) = write_sink(path, &explain.to_json().to_pretty_string()) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        if path != "-" {
+            println!("\nartifact: -> {path}");
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// `nanomap qor-diff [--exact] <baseline.json> <new.json>`: the
@@ -264,6 +419,13 @@ fn qor_diff_main(args: &[String]) -> ExitCode {
             DiffStatus::MissingInBaseline => "new metric",
             DiffStatus::Info => "info",
         };
+        // Failures spell out the absolute and relative delta so the CI
+        // log alone says how far out of tolerance the run landed.
+        let status = if e.status.fails() {
+            format!("{status} [{}]", e.failure_detail())
+        } else {
+            status.to_string()
+        };
         println!(
             "{:<14} {:<28} {:>14} {:>14} {:>9}  {}",
             e.circuit,
@@ -289,6 +451,9 @@ fn main() -> ExitCode {
     if cli.first().map(String::as_str) == Some("qor-diff") {
         return qor_diff_main(&cli.split_off(1));
     }
+    if cli.first().map(String::as_str) == Some("explain") {
+        return explain_main(cli.split_off(1));
+    }
     let args = match parse_args(cli.into_iter()) {
         Ok(a) => a,
         Err(message) => {
@@ -299,12 +464,18 @@ fn main() -> ExitCode {
             eprintln!("       [--max-les N] [--max-delay NS] [--k N] [--ffs-per-le N]");
             eprintln!("       [--optimize] [--no-physical] [--verify] [--bitmap PATH]");
             eprintln!("       [--metrics PATH] [--chrome-trace PATH] [--qor PATH]");
-            eprintln!("       [--defect-rate F] [--defect-seed N] [--defect-map PATH]");
-            eprintln!("       [--progress] [--trace]");
+            eprintln!("       [--explain PATH] [--defect-rate F] [--defect-seed N]");
+            eprintln!("       [--defect-map PATH] [--progress] [--trace]");
+            eprintln!("       nanomap explain <design> [--out PATH] [--top-k N]");
+            eprintln!("       nanomap explain --check <artifact.json>");
             eprintln!("       nanomap qor-diff [--exact] <baseline.json> <new.json>");
             return ExitCode::FAILURE;
         }
     };
+    if args.explain_out.is_some() || args.explain_top_k.is_some() {
+        eprintln!("error: --out/--top-k belong to the explain subcommand");
+        return ExitCode::FAILURE;
+    }
     // The human-readable report moves to stderr when a JSON sink owns stdout.
     let stdout_claimed = !args.stdout_sinks().is_empty();
     macro_rules! report {
@@ -354,35 +525,22 @@ fn main() -> ExitCode {
         );
         net = cleaned;
     }
-    let objective = match args.objective.as_str() {
-        "delay" => Objective::MinDelay {
-            max_les: args.max_les,
-        },
-        "area" => Objective::MinArea {
-            max_delay_ns: args.max_delay,
-        },
-        "at" => Objective::MinAreaDelayProduct,
-        other => {
-            eprintln!("error: unknown objective `{other}` (delay|area|at)");
+    let objective = match parse_objective(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let mut flow = NanoMap::new(arch);
-    if let Some(path) = &args.defect_map_path {
-        let defects = std::fs::read_to_string(path)
-            .map_err(|e| format!("{path}: {e}"))
-            .and_then(|text| DefectMap::parse(&text).map_err(|e| format!("{path}: {e}")));
-        match defects {
-            Ok(map) => flow = flow.with_defects(map),
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
+    let mut flow = match apply_defects(NanoMap::new(arch), &args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
-    } else if let Some(rate) = args.defect_rate {
-        if rate > 0.0 {
-            flow = flow.with_defects(DefectMap::uniform(rate, args.defect_seed));
-        }
+    };
+    if args.explain_path.is_some() {
+        flow = flow.with_explain();
     }
     if !args.physical {
         flow = flow.without_physical();
@@ -435,7 +593,7 @@ fn main() -> ExitCode {
             }
             let t = &report.phase_times;
             report!(
-                "  time: total {:.1} ms (select {:.1}, fds {:.1}, pack {:.1}, place {:.1}, route {:.1}, bitmap {:.1}, verify {:.1})",
+                "  time: total {:.1} ms (select {:.1}, fds {:.1}, pack {:.1}, place {:.1}, route {:.1}, bitmap {:.1}, verify {:.1}, explain {:.1})",
                 t.total_ms,
                 t.folding_select_ms,
                 t.fds_ms,
@@ -443,7 +601,8 @@ fn main() -> ExitCode {
                 t.place_ms,
                 t.route_ms,
                 t.bitmap_ms,
-                t.verify_ms
+                t.verify_ms,
+                t.explain_ms
             );
             if let (Some(path), Some(physical)) = (&args.bitmap_path, &report.physical) {
                 if let Some(bytes) = &physical.bitstream {
@@ -471,7 +630,14 @@ fn main() -> ExitCode {
                 report!("  metrics: -> {path}");
             }
             if let Some(path) = &args.chrome_trace_path {
-                let doc = snap.to_chrome_trace();
+                // With --explain active the worst routed path rides along
+                // as flow ("s"/"t"/"f") arrows on the trace.
+                let flows = report
+                    .explain
+                    .as_ref()
+                    .map(ExplainReport::chrome_flow_events)
+                    .unwrap_or_default();
+                let doc = snap.to_chrome_trace_with_events(flows);
                 if let Err(e) = write_sink(path, &doc.to_pretty_string()) {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;
@@ -486,6 +652,21 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 report!("  qor: -> {path}");
+            }
+            if let Some(path) = &args.explain_path {
+                let Some(explain) = &report.explain else {
+                    eprintln!("error: flow finished without attribution data");
+                    return ExitCode::FAILURE;
+                };
+                if let Err(e) = explain.validate() {
+                    eprintln!("error: artifact invariant violated: {e}");
+                    return ExitCode::FAILURE;
+                }
+                if let Err(e) = write_sink(path, &explain.to_json().to_pretty_string()) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                report!("  explain: -> {path}");
             }
             ExitCode::SUCCESS
         }

@@ -96,6 +96,11 @@ pub struct NanoMap {
     pub verify: bool,
     /// Macro cycles for the verification run.
     pub verify_cycles: usize,
+    /// Build the QoR attribution artifact (critical paths, congestion,
+    /// occupancy) into the report.
+    pub explain: bool,
+    /// Paths traced per folding cycle when `explain` is on.
+    pub explain_top_k: usize,
 }
 
 impl NanoMap {
@@ -122,6 +127,8 @@ impl NanoMap {
             emit_bitstream: false,
             verify: false,
             verify_cycles: 64,
+            explain: false,
+            explain_top_k: crate::explain::DEFAULT_TOP_K,
         }
     }
 
@@ -146,6 +153,12 @@ impl NanoMap {
     /// Maps onto a defective fabric described by `defects`.
     pub fn with_defects(mut self, defects: DefectMap) -> Self {
         self.defects = defects;
+        self
+    }
+
+    /// Builds the QoR attribution artifact into the report.
+    pub fn with_explain(mut self) -> Self {
+        self.explain = true;
         self
     }
 
@@ -426,6 +439,7 @@ impl NanoMap {
                 }
             }
         }
+        let mut explain = None;
         let physical = if self.run_physical {
             let pack_start = Instant::now();
             let packing = {
@@ -468,6 +482,26 @@ impl NanoMap {
             times.bitmap_ms = routed.bitmap_ms;
             times.route_ms =
                 (route_start.elapsed().as_secs_f64() * 1e3 - routed.bitmap_ms).max(0.0);
+            if self.explain {
+                let explain_start = Instant::now();
+                let report = {
+                    let _span = span!("explain", top_k = self.explain_top_k as u64);
+                    crate::explain::ExplainReport::build(
+                        net.name(),
+                        &design,
+                        &packing,
+                        &nets,
+                        &placement,
+                        &routed,
+                        &overrides.channels,
+                        &self.timing,
+                        &self.arch,
+                        self.explain_top_k,
+                    )
+                };
+                times.explain_ms = explain_start.elapsed().as_secs_f64() * 1e3;
+                explain = Some(report);
+            }
             let bitstream = self
                 .emit_bitstream
                 .then(|| nanomap_arch::pack_bitstream(&routed.bitmap, self.arch.lut_inputs));
@@ -523,6 +557,7 @@ impl NanoMap {
             area_um2,
             power,
             physical,
+            explain,
             recovery: RecoveryLog::default(),
             phase_times: times,
         })

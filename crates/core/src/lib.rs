@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod explain;
 mod flow;
 mod folding;
 mod objective;
@@ -61,6 +62,7 @@ mod report;
 mod verify;
 
 pub use error::FlowError;
+pub use explain::{check_artifact, ExplainReport, DEFAULT_TOP_K, EXPLAIN_SCHEMA};
 pub use flow::NanoMap;
 pub use folding::{
     candidate_configs, folding_level_for_stages, folding_level_per_plane, min_folding_stages,

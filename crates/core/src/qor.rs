@@ -86,6 +86,7 @@ impl QorReport {
             ("route_ms", t.route_ms),
             ("bitmap_ms", t.bitmap_ms),
             ("verify_ms", t.verify_ms),
+            ("explain_ms", t.explain_ms),
             ("total_ms", t.total_ms),
         ]
         .into_iter()
@@ -270,6 +271,24 @@ impl DiffEntry {
         match (self.baseline, self.new) {
             (Some(b), Some(n)) if b.abs() > 1e-12 => Some(n / b - 1.0),
             _ => None,
+        }
+    }
+
+    /// Human-readable delta for a failure line: the absolute change and,
+    /// when the baseline is non-zero, the relative change too —
+    /// `"Δ +0.0300 (+0.18%)"`. Missing sides are named explicitly.
+    pub fn failure_detail(&self) -> String {
+        match (self.baseline, self.new) {
+            (Some(b), Some(n)) => {
+                let abs = n - b;
+                match self.relative_change() {
+                    Some(rel) => format!("Δ {abs:+.6} ({:+.4}%)", rel * 100.0),
+                    None => format!("Δ {abs:+.6}"),
+                }
+            }
+            (Some(b), None) => format!("baseline {b} has no new value"),
+            (None, Some(n)) => format!("new value {n} has no baseline"),
+            (None, None) => "absent on both sides".to_string(),
         }
     }
 }
@@ -482,6 +501,23 @@ mod tests {
         let exotic_a = QorDocument::new(vec![report("ex1", &[("exotic_metric", 1.0)])]);
         let exotic_b = QorDocument::new(vec![report("ex1", &[("exotic_metric", 2.0)])]);
         assert!(!has_regression(&diff_documents_exact(&exotic_a, &exotic_b)));
+    }
+
+    #[test]
+    fn failure_detail_reports_absolute_and_relative_delta() {
+        let base = QorDocument::new(vec![report("ex1", &[("num_les", 34.0)])]);
+        let new = QorDocument::new(vec![report("ex1", &[("num_les", 35.0)])]);
+        let entries = diff_documents_exact(&base, &new);
+        let e = entries.iter().find(|e| e.metric == "num_les").unwrap();
+        assert!(e.status.fails());
+        let detail = e.failure_detail();
+        assert!(detail.contains("+1.000000"), "{detail}");
+        assert!(detail.contains("+2.9412%"), "{detail}");
+        // Missing sides are named, not silently blank.
+        let gone = QorDocument::new(vec![report("ex1", &[])]);
+        let entries = diff_documents(&base, &gone);
+        let e = entries.iter().find(|e| e.metric == "num_les").unwrap();
+        assert!(e.failure_detail().contains("no new value"));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Mapping reports.
 
-use nanomap_arch::PowerEstimate;
+use nanomap_arch::{PowerEstimate, WireType};
 use nanomap_observe::JsonValue;
 use nanomap_route::InterconnectUsage;
 
+use crate::explain::ExplainReport;
 use crate::folding::PlaneSharing;
 use crate::recovery::RecoveryLog;
 
@@ -40,6 +41,9 @@ pub struct MappingReport {
     pub power: PowerEstimate,
     /// Physical-design results, when the flow ran place-and-route.
     pub physical: Option<PhysicalReport>,
+    /// QoR attribution (critical paths, congestion, occupancy), when the
+    /// flow was asked to explain its results.
+    pub explain: Option<ExplainReport>,
     /// Recovery-ladder history: every failed physical-design attempt and
     /// the remedy that finally succeeded. Empty on a clean first-try run.
     pub recovery: RecoveryLog,
@@ -66,6 +70,9 @@ pub struct PhaseTimes {
     pub bitmap_ms: f64,
     /// Folded-execution verification.
     pub verify_ms: f64,
+    /// Explain-artifact generation (critical-path tracing, congestion
+    /// and occupancy grids) — the observability layer observing itself.
+    pub explain_ms: f64,
     /// End-to-end mapping time.
     pub total_ms: f64,
 }
@@ -81,6 +88,7 @@ impl PhaseTimes {
             .with("route_ms", self.route_ms)
             .with("bitmap_ms", self.bitmap_ms)
             .with("verify_ms", self.verify_ms)
+            .with("explain_ms", self.explain_ms)
             .with("total_ms", self.total_ms)
     }
 }
@@ -92,6 +100,16 @@ pub enum SharingMode {
     Shared,
     /// Each plane owns its LEs.
     PerPlane,
+}
+
+impl SharingMode {
+    /// Stable lowercase name for serialization.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Shared => "shared",
+            Self::PerPlane => "per-plane",
+        }
+    }
 }
 
 impl From<PlaneSharing> for SharingMode {
@@ -154,19 +172,23 @@ impl UsageReport {
     pub fn total(&self) -> u64 {
         self.direct + self.length1 + self.length4 + self.global
     }
-}
 
-impl SharingMode {
-    /// Stable lowercase name for serialization.
-    pub fn as_str(&self) -> &'static str {
-        match self {
-            Self::Shared => "shared",
-            Self::PerPlane => "per-plane",
+    /// Fraction of total wire usage carried by one tier (0.0 for an
+    /// unused interconnect) — the heatmap legend's per-tier shares.
+    pub fn fraction(&self, tier: WireType) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
         }
+        let count = match tier {
+            WireType::Direct => self.direct,
+            WireType::Length1 => self.length1,
+            WireType::Length4 => self.length4,
+            WireType::Global => self.global,
+        };
+        count as f64 / total as f64
     }
-}
 
-impl UsageReport {
     /// JSON object with per-tier counts.
     pub fn to_json(&self) -> JsonValue {
         JsonValue::object()
@@ -233,6 +255,7 @@ impl MappingReport {
                 "physical",
                 self.physical.as_ref().map(PhysicalReport::to_json),
             )
+            .with("explain", self.explain.as_ref().map(ExplainReport::to_json))
             .with("recovery", self.recovery.to_json())
             .with("phase_times", self.phase_times.to_json())
     }
@@ -278,6 +301,7 @@ mod tests {
                 leakage_mw: 0.03,
             },
             physical: None,
+            explain: None,
             recovery: RecoveryLog::default(),
             phase_times: PhaseTimes::default(),
         }
@@ -306,5 +330,25 @@ mod tests {
             global: 4,
         };
         assert_eq!(u.total(), 10);
+    }
+
+    #[test]
+    fn usage_fractions_sum_to_one() {
+        let u = UsageReport {
+            direct: 1,
+            length1: 2,
+            length4: 3,
+            global: 4,
+        };
+        let sum: f64 = WireType::ALL.iter().map(|&w| u.fraction(w)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((u.fraction(WireType::Global) - 0.4).abs() < 1e-12);
+        let empty = UsageReport {
+            direct: 0,
+            length1: 0,
+            length4: 0,
+            global: 0,
+        };
+        assert_eq!(empty.fraction(WireType::Direct), 0.0);
     }
 }

@@ -81,6 +81,16 @@ impl JsonValue {
         }
     }
 
+    /// The numeric content as a float, when this is a number (integers
+    /// are widened).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Float(f) => Some(*f),
+            Self::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
     /// Compact single-line serialization.
     pub fn to_compact_string(&self) -> String {
         let mut out = String::new();

@@ -36,6 +36,13 @@ impl MetricsSnapshot {
     /// Load the result in Perfetto or `chrome://tracing`: spans appear as
     /// nested slices on per-thread tracks, series as counter tracks.
     pub fn to_chrome_trace(&self) -> JsonValue {
+        self.to_chrome_trace_with_events(Vec::new())
+    }
+
+    /// [`Self::to_chrome_trace`] with caller-supplied extra trace events
+    /// appended (already in Trace Event Format — e.g. the flow's
+    /// critical-path hops as flow events).
+    pub fn to_chrome_trace_with_events(&self, extra: Vec<JsonValue>) -> JsonValue {
         let mut events: Vec<JsonValue> = Vec::new();
         events.push(meta_event(
             "process_name",
@@ -88,6 +95,7 @@ impl MetricsSnapshot {
                 );
             }
         }
+        events.extend(extra);
         JsonValue::object()
             .with("traceEvents", JsonValue::Array(events))
             .with("displayTimeUnit", "ms")

@@ -27,4 +27,7 @@ pub use cost::{flatten_nets, net_hpwl, total_cost, CostWeights, FlatNet};
 pub use delay::{estimate_delay, wire_delay_estimate, DelayEstimate};
 pub use error::PlaceError;
 pub use place::{place, place_with_defects, PlaceOptions, Placement};
-pub use routability::{estimate_routability, risa_q, RoutabilityReport, ROUTABLE_THRESHOLD};
+pub use routability::{
+    estimate_demand_grid, estimate_routability, risa_q, DemandGrid, RoutabilityReport,
+    ROUTABLE_THRESHOLD,
+};

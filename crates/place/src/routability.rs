@@ -7,8 +7,10 @@
 //! independently, so the estimate is per-slice and the report keeps the
 //! worst slice.
 
+use std::collections::BTreeMap;
+
 use nanomap_arch::{ChannelConfig, Grid, SmbPos};
-use nanomap_pack::{SliceNet, SliceNets};
+use nanomap_pack::{Slice, SliceNet, SliceNets};
 
 /// RISA pin-count multipliers (interpolated beyond the published table).
 pub fn risa_q(pins: usize) -> f64 {
@@ -39,6 +41,64 @@ pub struct RoutabilityReport {
 /// fail (kept conservative; negotiated congestion can often still close).
 pub const ROUTABLE_THRESHOLD: f64 = 1.0;
 
+/// Per-cell estimated wiring demand, keyed by folding cycle — the data
+/// behind [`estimate_routability`]'s scalar verdict, exposed so the
+/// explain layer can render it as a heatmap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandGrid {
+    /// Grid width in SMBs.
+    pub width: u16,
+    /// Grid height in SMBs.
+    pub height: u16,
+    /// Per-cell track supply the demand is measured against.
+    pub supply: f64,
+    /// Row-major per-cell demand (tracks) for each slice.
+    pub per_slice: BTreeMap<Slice, Vec<f64>>,
+}
+
+impl DemandGrid {
+    /// Per-cell worst-slice utilization (demand / supply), row-major —
+    /// the "estimated congestion" heatmap.
+    pub fn worst_cells(&self) -> Vec<f64> {
+        let cells = usize::from(self.width) * usize::from(self.height);
+        let mut out = vec![0.0f64; cells];
+        for demand in self.per_slice.values() {
+            for (slot, &d) in out.iter_mut().zip(demand) {
+                *slot = slot.max(d / self.supply);
+            }
+        }
+        out
+    }
+}
+
+/// Computes the per-cell, per-slice wiring-demand grid of a placement.
+pub fn estimate_demand_grid(
+    grid: Grid,
+    channels: &ChannelConfig,
+    nets: &SliceNets,
+    pos_of: &[SmbPos],
+) -> DemandGrid {
+    // Per-cell track supply: both orientations of segment wiring pass a
+    // cell. Direct links add dedicated neighbour capacity.
+    let supply =
+        f64::from(2 * (channels.length1 + channels.length4 + channels.global) + channels.direct);
+    let cells = grid.num_slots() as usize;
+    let mut per_slice = BTreeMap::new();
+    for (&slice, slice_nets) in &nets.nets {
+        let mut demand = vec![0.0f64; cells];
+        for net in slice_nets {
+            spread_demand(grid, net, pos_of, &mut demand);
+        }
+        per_slice.insert(slice, demand);
+    }
+    DemandGrid {
+        width: grid.width,
+        height: grid.height,
+        supply,
+        per_slice,
+    }
+}
+
 /// Estimates routability of a placement.
 pub fn estimate_routability(
     grid: Grid,
@@ -46,21 +106,13 @@ pub fn estimate_routability(
     nets: &SliceNets,
     pos_of: &[SmbPos],
 ) -> RoutabilityReport {
-    // Per-cell track supply: both orientations of segment wiring pass a
-    // cell. Direct links add dedicated neighbour capacity.
-    let supply =
-        f64::from(2 * (channels.length1 + channels.length4 + channels.global) + channels.direct);
-    let cells = grid.num_slots() as usize;
+    let demand = estimate_demand_grid(grid, channels, nets, pos_of);
     let mut peak = 0.0f64;
     let mut avg_acc = 0.0;
     let mut avg_cnt = 0usize;
-    for slice_nets in nets.nets.values() {
-        let mut demand = vec![0.0f64; cells];
-        for net in slice_nets {
-            spread_demand(grid, net, pos_of, &mut demand);
-        }
-        for &d in &demand {
-            let util = d / supply;
+    for cells in demand.per_slice.values() {
+        for &d in cells {
+            let util = d / demand.supply;
             peak = peak.max(util);
             if d > 0.0 {
                 avg_acc += util;

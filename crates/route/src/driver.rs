@@ -17,6 +17,10 @@ use crate::usage::{tally_usage, InterconnectUsage};
 /// A fully routed design.
 #[derive(Debug)]
 pub struct RoutedDesign {
+    /// The routing-resource graph the routes refer into (kept so that
+    /// downstream attribution — segment breakdowns, congestion grids —
+    /// can resolve node ids without rebuilding it).
+    pub graph: RrGraph,
     /// Per-slice routing trees.
     pub routes: HashMap<Slice, Vec<RoutedNet>>,
     /// Interconnect usage counters.
@@ -108,6 +112,7 @@ pub fn route_design_with_defects(
     };
     let bitmap_ms = bitmap_start.elapsed().as_secs_f64() * 1e3;
     Ok(RoutedDesign {
+        graph,
         routes,
         usage,
         timing,

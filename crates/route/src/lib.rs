@@ -13,6 +13,7 @@
 mod bitmap;
 mod driver;
 mod error;
+mod explain;
 mod pathfinder;
 mod timing;
 mod usage;
@@ -20,6 +21,13 @@ mod usage;
 pub use bitmap::generate_bitmap;
 pub use driver::{route_design, route_design_with_defects, RoutedDesign};
 pub use error::{describe_net, RouteError, RouteErrorKind};
+pub use explain::{
+    segment_breakdowns, trace_critical_paths, CriticalPathReport, HopSource, PathHop,
+    SegmentBreakdown, SegmentBreakdowns, TracedPath,
+};
 pub use pathfinder::{route_slice, RouteOptions, RoutedNet};
-pub use timing::{analyze, net_delays, CriticalPathNode, NetDelays, RoutedTiming};
-pub use usage::{tally_usage, InterconnectUsage};
+pub use timing::{
+    analyze, compute_arrivals, input_edges, net_delays, CriticalPathNode, EdgeSource, InputEdge,
+    NetDelays, RoutedTiming,
+};
+pub use usage::{tally_congestion, tally_usage, CongestionGrid, InterconnectUsage, TierGrid};

@@ -11,6 +11,11 @@
 # behind. The final leg re-runs the accumulator with an explicit
 # `--defect-rate 0` and diffs with `--exact`: the defect layer must be a
 # strict no-op on a clean fabric, bit for bit.
+#
+# The explain-smoke leg runs `nanomap explain` on two paper benchmarks,
+# validates each artifact with `nanomap explain --check` (per-hop delay
+# sums, the delay identity, congestion/usage reconciliation), and
+# requires a second run to be byte-identical.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,7 +28,7 @@ echo "==> build (release)"
 cargo build --release -p nanomap -p nanomap-bench
 
 echo "==> bench QoR: full physical flow over the Table 1 circuits"
-./target/release/qor --out BENCH_qor.json
+./target/release/qor --out BENCH_qor.json --explain-dir EXPLAIN_qor
 
 echo "==> accumulator QoR via the nanomap CLI"
 ./target/release/nanomap designs/accumulator.vhd --qor ACCUM_qor.json >/dev/null
@@ -43,5 +48,17 @@ else
   ./target/release/nanomap designs/accumulator.vhd --defect-rate 0 \
     --qor ACCUM_qor0.json >/dev/null
   ./target/release/nanomap qor-diff --exact results/qor/accumulator.json ACCUM_qor0.json
+  echo "==> gate: explain smoke (artifact invariants on two paper benchmarks)"
+  for circuit in ex1 FIR; do
+    ./target/release/nanomap explain --check "EXPLAIN_qor/$circuit.explain.json"
+  done
+  echo "==> gate: explain determinism (second sweep is byte-identical)"
+  ./target/release/qor --out BENCH_qor2.json --explain-dir EXPLAIN_qor2 2>/dev/null
+  for circuit in ex1 FIR; do
+    cmp "EXPLAIN_qor/$circuit.explain.json" "EXPLAIN_qor2/$circuit.explain.json"
+  done
+  ./target/release/nanomap explain designs/accumulator.vhd \
+    --out ACCUM_explain.json >/dev/null
+  ./target/release/nanomap explain --check ACCUM_explain.json
   echo "QoR gate passed."
 fi
