@@ -53,8 +53,11 @@ fn main() {
                 .validate()
                 .unwrap_or_else(|e| panic!("{}: explain invariant violated: {e}", bench.name));
             let path = format!("{dir}/{}.explain.json", bench.name);
-            std::fs::write(&path, explain.to_json().to_pretty_string())
-                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            nanomap::atomic_write_text(
+                std::path::Path::new(&path),
+                &explain.to_json().to_pretty_string(),
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
         }
         let snapshot = nanomap_observe::snapshot();
         let mut qor = QorReport::from_mapping(&report, &flow.channels, &snapshot);
@@ -75,7 +78,8 @@ fn main() {
     let text = QorDocument::new(reports).to_json().to_pretty_string();
     match out {
         Some(path) => {
-            std::fs::write(&path, text + "\n").unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            nanomap::atomic_write_text(std::path::Path::new(&path), &text)
+                .unwrap_or_else(|e| panic!("{e}"));
             eprintln!("qor document -> {path}");
         }
         None => println!("{text}"),

@@ -28,8 +28,7 @@ pub fn write_results_json(name: &str, body: JsonValue) -> PathBuf {
         .with("generator", name)
         .with("data", body);
     let path = results_dir().join(format!("{name}.json"));
-    std::fs::write(&path, doc.to_pretty_string() + "\n")
-        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    nanomap::atomic_write_text(&path, &doc.to_pretty_string()).unwrap_or_else(|e| panic!("{e}"));
     path
 }
 

@@ -18,12 +18,23 @@
 //!   --defect-rate F             inject uniform fabric defects at rate F (0..1)
 //!   --defect-seed N             seed for the defect injection (default 1)
 //!   --defect-map PATH           load an explicit defect map instead
+//!   --time-budget-ms N          wall-clock budget for the whole mapping
+//!   --anytime                   accept a budget-degraded best-so-far mapping
+//!   --checkpoint-dir PATH       write a crash-safe checkpoint after each phase
+//!   --resume PATH               resume from a checkpoint file
 //!   --progress                  echo top-level phase timings to stderr
 //!   --trace                     echo every span to stderr as it closes
 //!
 //! PATH may be `-` for stdout (at most one of
 //! --metrics/--chrome-trace/--qor/--explain; the human-readable report
 //! then moves to stderr).
+//!
+//! Exit codes:
+//!   0  mapping succeeded
+//!   1  usage, I/O or parse error, or any other hard failure
+//!   2  the recovery ladder was exhausted (attempt history on stderr)
+//!   3  the time budget expired without --anytime (partial history on stderr)
+//!   4  mapping succeeded but is budget-degraded (--anytime accepted it)
 //!
 //! nanomap explain <design.vhd | design.blif> [flow options]
 //!                 [--out PATH] [--top-k N]
@@ -44,16 +55,31 @@
 //!   determinism gate for defect-free reruns).
 //! ```
 
+// The CLI turns every failure into a diagnostic plus exit code; a panic
+// anywhere on this path is a bug.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::Path;
 use std::process::ExitCode;
 
 use nanomap::qor::{
     diff_documents, diff_documents_exact, has_regression, DiffStatus, QorDocument, QorReport,
 };
-use nanomap::{check_artifact, ExplainReport, NanoMap, Objective, DEFAULT_TOP_K};
+use nanomap::{
+    atomic_write, atomic_write_text, check_artifact, Checkpoint, ExplainReport, FlowError, NanoMap,
+    Objective, DEFAULT_TOP_K,
+};
 use nanomap_arch::{ArchParams, DefectMap};
 use nanomap_netlist::{blif, vhdl, LutNetwork};
 use nanomap_observe::{json, Echo, JsonValue};
 use nanomap_techmap::{expand, optimize, ExpandOptions};
+
+/// Exit code: the recovery ladder was exhausted.
+const EXIT_RECOVERY_EXHAUSTED: u8 = 2;
+/// Exit code: the time budget expired without `--anytime`.
+const EXIT_BUDGET_EXHAUSTED: u8 = 3;
+/// Exit code: success, but the mapping is budget-degraded.
+const EXIT_DEGRADED: u8 = 4;
 
 struct Args {
     input: String,
@@ -75,6 +101,10 @@ struct Args {
     defect_rate: Option<f64>,
     defect_seed: u64,
     defect_map_path: Option<String>,
+    time_budget_ms: Option<u64>,
+    anytime: bool,
+    checkpoint_dir: Option<String>,
+    resume: Option<String>,
     progress: bool,
     trace: bool,
 }
@@ -121,6 +151,10 @@ fn parse_args(cli: impl Iterator<Item = String>) -> Result<Args, String> {
         defect_rate: None,
         defect_seed: 1,
         defect_map_path: None,
+        time_budget_ms: None,
+        anytime: false,
+        checkpoint_dir: None,
+        resume: None,
         progress: false,
         trace: false,
     };
@@ -180,6 +214,16 @@ fn parse_args(cli: impl Iterator<Item = String>) -> Result<Args, String> {
                     .map_err(|e| format!("--defect-seed: {e}"))?
             }
             "--defect-map" => args.defect_map_path = Some(value(&mut iter, "--defect-map")?),
+            "--time-budget-ms" => {
+                args.time_budget_ms = Some(
+                    value(&mut iter, "--time-budget-ms")?
+                        .parse()
+                        .map_err(|e| format!("--time-budget-ms: {e}"))?,
+                )
+            }
+            "--anytime" => args.anytime = true,
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value(&mut iter, "--checkpoint-dir")?),
+            "--resume" => args.resume = Some(value(&mut iter, "--resume")?),
             "--optimize" => args.run_optimize = true,
             "--no-physical" => args.physical = false,
             "--verify" => args.verify = true,
@@ -235,13 +279,15 @@ fn load(path: &str, lut_inputs: u32) -> Result<LutNetwork, String> {
     }
 }
 
-/// Writes `text` to `path`, or to stdout when `path` is `-`.
+/// Writes `text` to `path`, or to stdout when `path` is `-`. File writes
+/// are atomic (temp file + rename): a killed run leaves the previous
+/// artifact intact, never a truncated one.
 fn write_sink(path: &str, text: &str) -> Result<(), String> {
     if path == "-" {
         println!("{text}");
         Ok(())
     } else {
-        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
+        atomic_write_text(Path::new(path), text).map_err(|e| e.to_string())
     }
 }
 
@@ -465,7 +511,8 @@ fn main() -> ExitCode {
             eprintln!("       [--optimize] [--no-physical] [--verify] [--bitmap PATH]");
             eprintln!("       [--metrics PATH] [--chrome-trace PATH] [--qor PATH]");
             eprintln!("       [--explain PATH] [--defect-rate F] [--defect-seed N]");
-            eprintln!("       [--defect-map PATH] [--progress] [--trace]");
+            eprintln!("       [--defect-map PATH] [--time-budget-ms N] [--anytime]");
+            eprintln!("       [--checkpoint-dir PATH] [--resume PATH] [--progress] [--trace]");
             eprintln!("       nanomap explain <design> [--out PATH] [--top-k N]");
             eprintln!("       nanomap explain --check <artifact.json>");
             eprintln!("       nanomap qor-diff [--exact] <baseline.json> <new.json>");
@@ -551,8 +598,32 @@ fn main() -> ExitCode {
     if args.verify {
         flow = flow.with_verification();
     }
+    if let Some(budget) = args.time_budget_ms {
+        flow = flow.with_budget_ms(budget);
+    }
+    if args.anytime {
+        flow = flow.with_anytime();
+    }
+    if let Some(dir) = &args.checkpoint_dir {
+        flow = flow.with_checkpoint_dir(dir);
+    }
     let channels = flow.channels;
-    match flow.map(&net, objective) {
+    let result = match &args.resume {
+        Some(path) => Checkpoint::load(Path::new(path))
+            .map_err(FlowError::from)
+            .and_then(|checkpoint| {
+                report!(
+                    "resume: {} from after {} (candidate {}, remedy {})",
+                    path,
+                    checkpoint.phase.as_str(),
+                    checkpoint.candidate_rank,
+                    checkpoint.remedy.as_str()
+                );
+                flow.map_resume(&net, objective, &checkpoint)
+            }),
+        None => flow.map(&net, objective),
+    };
+    match result {
         Ok(report) => {
             report!("{}", report.summary());
             report!(
@@ -588,6 +659,12 @@ fn main() -> ExitCode {
             if !report.recovery.attempts.is_empty() {
                 report!("  recovery: {}", report.recovery.summary());
             }
+            if report.degraded {
+                report!("  DEGRADED: time budget expired; best-so-far mapping accepted");
+                for d in &report.degradations {
+                    report!("    {}", d.summary());
+                }
+            }
             if args.verify {
                 report!("  folded-execution verification: PASSED");
             }
@@ -606,8 +683,8 @@ fn main() -> ExitCode {
             );
             if let (Some(path), Some(physical)) = (&args.bitmap_path, &report.physical) {
                 if let Some(bytes) = &physical.bitstream {
-                    if let Err(e) = std::fs::write(path, bytes) {
-                        eprintln!("error: writing {path}: {e}");
+                    if let Err(e) = atomic_write(Path::new(path), bytes) {
+                        eprintln!("error: {e}");
                         return ExitCode::FAILURE;
                     }
                     report!("  bitstream: {} bytes -> {path}", bytes.len());
@@ -668,7 +745,11 @@ fn main() -> ExitCode {
                 }
                 report!("  explain: -> {path}");
             }
-            ExitCode::SUCCESS
+            if report.degraded {
+                ExitCode::from(EXIT_DEGRADED)
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -686,7 +767,16 @@ fn main() -> ExitCode {
                     );
                 }
             }
-            ExitCode::FAILURE
+            match &e {
+                FlowError::RecoveryExhausted { .. } => ExitCode::from(EXIT_RECOVERY_EXHAUSTED),
+                FlowError::BudgetExhausted { degradations, .. } => {
+                    for d in degradations {
+                        eprintln!("  degraded: {}", d.summary());
+                    }
+                    ExitCode::from(EXIT_BUDGET_EXHAUSTED)
+                }
+                _ => ExitCode::FAILURE,
+            }
         }
     }
 }

@@ -1,0 +1,29 @@
+//! Deadline-aware anytime mapping: budgets and cooperative cancellation.
+//!
+//! The substrate lives in `nanomap-observe` (the one crate every leaf
+//! already depends on), so the scheduler, placer and router can poll the
+//! token without new dependency edges; this module re-exports it as part
+//! of the flow-facing API and documents the flow-level semantics.
+//!
+//! A [`CancelToken`] carries an optional wall-clock deadline and a
+//! cooperative cancellation flag. The flow threads one token through all
+//! phases; the FDS rounds loop, the annealing temperature loop and the
+//! PathFinder rip-up loop poll it at iteration boundaries. On expiry a
+//! phase returns its typed best-so-far result ([`Anytime::Degraded`]
+//! with a [`Degradation`] describing how far it got) instead of an
+//! error:
+//!
+//! * FDS keeps pinned items and drops the rest at their earliest
+//!   precedence-feasible stage — a valid, if unbalanced, schedule;
+//! * annealing keeps the current placement (legal at every step
+//!   boundary);
+//! * PathFinder finishes the iteration in flight, so every net has a
+//!   routing tree — possibly with unresolved congestion.
+//!
+//! The flow driver then either accepts the degraded mapping (anytime
+//! mode, [`crate::Remedy::AcceptDegraded`]) or fails with
+//! [`crate::FlowError::BudgetExhausted`]. A run with no budget uses
+//! [`CancelToken::unlimited`], which reads no clock and leaves every
+//! artifact byte-identical to the pre-budget flow.
+
+pub use nanomap_observe::{Anytime, CancelToken, Degradation};

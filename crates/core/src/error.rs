@@ -3,6 +3,10 @@
 use std::error::Error;
 use std::fmt;
 
+use nanomap_observe::Degradation;
+
+use crate::artifact::ArtifactError;
+use crate::checkpoint::CheckpointError;
 use crate::recovery::RecoveryLog;
 
 /// Errors produced by the NanoMap flow.
@@ -37,13 +41,28 @@ pub enum FlowError {
         /// Every attempt the ladder made before giving up.
         log: RecoveryLog,
     },
+    /// The wall-clock budget expired before a complete mapping was
+    /// produced and anytime mode was off (a degraded best-so-far mapping
+    /// existed but the caller asked for strict completion — rerun with
+    /// anytime enabled, or a larger budget, to accept it).
+    BudgetExhausted {
+        /// The ladder history up to the point the budget ran out.
+        log: RecoveryLog,
+        /// Which phases returned degraded best-so-far results.
+        degradations: Vec<Degradation>,
+    },
+    /// Writing or loading a checkpoint failed, or a checkpoint refused
+    /// to resume against the given netlist/objective/architecture.
+    Checkpoint(CheckpointError),
+    /// An artifact sink write failed.
+    Artifact(ArtifactError),
 }
 
 impl FlowError {
     /// The recovery-ladder history, for errors that carry one.
     pub fn recovery_log(&self) -> Option<&RecoveryLog> {
         match self {
-            Self::RecoveryExhausted { log } => Some(log),
+            Self::RecoveryExhausted { log } | Self::BudgetExhausted { log, .. } => Some(log),
             _ => None,
         }
     }
@@ -71,6 +90,19 @@ impl fmt::Display for FlowError {
                 }
                 Ok(())
             }
+            Self::BudgetExhausted { degradations, .. } => {
+                write!(
+                    f,
+                    "time budget exhausted before a complete mapping (rerun with --anytime \
+                     to accept the degraded result, or raise --time-budget-ms)"
+                )?;
+                if let Some(d) = degradations.last() {
+                    write!(f, "; deepest degraded phase: {}", d.summary())?;
+                }
+                Ok(())
+            }
+            Self::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            Self::Artifact(e) => write!(f, "artifact error: {e}"),
         }
     }
 }
@@ -84,8 +116,21 @@ impl Error for FlowError {
             Self::Pack(e) => Some(e),
             Self::Place(e) => Some(e),
             Self::Route(e) => Some(e),
+            Self::Checkpoint(e) => Some(e),
+            Self::Artifact(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<CheckpointError> for FlowError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+impl From<ArtifactError> for FlowError {
+    fn from(e: ArtifactError) -> Self {
+        Self::Artifact(e)
     }
 }
 

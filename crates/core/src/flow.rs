@@ -14,25 +14,32 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use nanomap_arch::{
-    estimate_power, ArchParams, AreaModel, ChannelConfig, DefectMap, PowerModel, TimingModel,
+    estimate_power, ArchParams, AreaModel, ChannelConfig, DefectMap, Grid, PowerModel, SmbPos,
+    TimingModel,
 };
 use nanomap_netlist::rtl::RtlCircuit;
 use nanomap_netlist::{LutNetwork, PlaneSet};
-use nanomap_pack::{extract_nets, pack, PackOptions, TemporalDesign};
-use nanomap_place::{place_with_defects, PlaceOptions};
-use nanomap_route::{route_design_with_defects, RouteOptions};
-use nanomap_sched::{schedule_fds, FdsOptions, ItemGraph, LeShape, Schedule};
+use nanomap_pack::{extract_nets, pack, PackOptions, Packing, TemporalDesign};
+use nanomap_place::{place_with_defects_budgeted, PlaceOptions, Placement};
+use nanomap_route::{route_design_budgeted, RouteOptions};
+use nanomap_sched::{schedule_fds_budgeted, FdsOptions, ItemGraph, LeShape, Schedule};
 use nanomap_techmap::{expand, ExpandOptions};
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use nanomap_observe::span;
 
+use crate::budget::{CancelToken, Degradation};
+use crate::checkpoint::{
+    netlist_fingerprint, Checkpoint, CheckpointError, CheckpointPhase, CheckpointWriter,
+    ScheduleSnapshot,
+};
 use crate::error::FlowError;
 use crate::folding::{candidate_configs, FoldingConfig, PlaneSharing};
 use crate::objective::Objective;
 use crate::recovery::{
-    PhysicalOverrides, RecoveryAttempt, RecoveryLog, LADDER, MAX_TOTAL_ATTEMPTS,
+    PhysicalOverrides, RecoveryAttempt, RecoveryLog, Remedy, LADDER, MAX_TOTAL_ATTEMPTS,
 };
 use crate::report::{MappingReport, PhaseTimes, PhysicalReport};
 use crate::verify::check_folded_execution;
@@ -101,6 +108,16 @@ pub struct NanoMap {
     pub explain: bool,
     /// Paths traced per folding cycle when `explain` is on.
     pub explain_top_k: usize,
+    /// Wall-clock budget for the whole mapping, in milliseconds.
+    /// `None` runs unbudgeted (no clock reads; artifacts stay
+    /// byte-identical to a pre-budget flow).
+    pub budget_ms: Option<u64>,
+    /// Accept a budget-degraded best-so-far mapping instead of failing
+    /// with [`FlowError::BudgetExhausted`] (anytime mode).
+    pub anytime: bool,
+    /// Directory for per-phase crash-safe checkpoints (`None` disables
+    /// checkpointing).
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl NanoMap {
@@ -129,7 +146,29 @@ impl NanoMap {
             verify_cycles: 64,
             explain: false,
             explain_top_k: crate::explain::DEFAULT_TOP_K,
+            budget_ms: None,
+            anytime: false,
+            checkpoint_dir: None,
         }
+    }
+
+    /// Bounds the whole mapping to a wall-clock budget in milliseconds.
+    pub fn with_budget_ms(mut self, budget_ms: u64) -> Self {
+        self.budget_ms = Some(budget_ms);
+        self
+    }
+
+    /// Accepts budget-degraded best-so-far mappings (anytime mode).
+    pub fn with_anytime(mut self) -> Self {
+        self.anytime = true;
+        self
+    }
+
+    /// Writes a crash-safe checkpoint into `dir` after each completed
+    /// phase.
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
     }
 
     /// Disables place-and-route (fast logic-mapping-only evaluation).
@@ -190,6 +229,24 @@ impl NanoMap {
     /// satisfies the constraints, or the first hard failure from a flow
     /// stage.
     pub fn map(&self, net: &LutNetwork, objective: Objective) -> Result<MappingReport, FlowError> {
+        let token = CancelToken::with_budget_ms(self.budget_ms);
+        self.map_with_token(net, objective, &token)
+    }
+
+    /// [`Self::map`] under an externally owned [`CancelToken`], letting
+    /// a caller share one deadline across several mappings or cancel
+    /// cooperatively from another thread.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::map`], plus [`FlowError::BudgetExhausted`] when
+    /// the token expires mid-flow and anytime mode is off.
+    pub fn map_with_token(
+        &self,
+        net: &LutNetwork,
+        objective: Objective,
+        token: &CancelToken,
+    ) -> Result<MappingReport, FlowError> {
         let total_start = Instant::now();
         let mut flow_span = span!("flow", circuit = net.name());
         let mut times = PhaseTimes::default();
@@ -199,14 +256,39 @@ impl NanoMap {
         // --- Logic mapping: evaluate candidates (steps 2-6). ---
         let select_start = Instant::now();
         let mut evaluated: Vec<(FoldingConfig, CandidateEval)> = Vec::new();
+        let mut select_degradation: Option<Degradation> = None;
         {
             let _select_span = span!("folding-select", candidates = candidates.len());
             for config in &candidates {
+                // Budget gone: stop enumerating once at least one
+                // feasible candidate exists — a truncated preference
+                // order beats no mapping at all.
+                if token.expired()
+                    && evaluated
+                        .iter()
+                        .any(|(_, e)| objective.admits(e.les, e.delay_ns))
+                {
+                    select_degradation = Some(Degradation {
+                        phase: "folding-select".into(),
+                        reason: format!(
+                            "time budget expired after {} of {} folding candidates",
+                            evaluated.len(),
+                            candidates.len()
+                        ),
+                        completed_iterations: evaluated.len() as u64,
+                        qor_estimate: (candidates.len() - evaluated.len()) as f64,
+                    });
+                    break;
+                }
                 let mut cand_span = span!("candidate", stages = config.stages);
                 cand_span.attr("level", config.level);
                 nanomap_observe::incr("flow.candidates_evaluated", 1);
-                match self.evaluate(net, &planes, *config) {
-                    Ok(eval) => evaluated.push((*config, eval)),
+                // During selection only the estimates matter, not the
+                // schedules; a budget-truncated FDS estimate is kept (its
+                // degradation resurfaces when the winning candidate is
+                // re-evaluated below).
+                match self.evaluate_budgeted(net, &planes, *config, token) {
+                    Ok((eval, _)) => evaluated.push((*config, eval)),
                     Err(FlowError::Sched(_)) => {
                         // Infeasible stage count.
                         nanomap_observe::incr("flow.candidates_rejected_sched", 1);
@@ -264,6 +346,7 @@ impl NanoMap {
         // channels, then fall back to the next folding configuration.
         // Every failed attempt lands in the RecoveryLog. ---
         let mut recovery = RecoveryLog::new();
+        let base_degradations: Vec<Degradation> = select_degradation.into_iter().collect();
         'candidates: for (cand_rank, &idx) in order.iter().enumerate() {
             let (config, cached) = &evaluated[idx];
             let config = *config;
@@ -277,20 +360,60 @@ impl NanoMap {
                 if recovery.total_attempts() >= MAX_TOTAL_ATTEMPTS {
                     break 'candidates;
                 }
+                // Budget gone: stop climbing once one physical attempt
+                // exists; anytime callers keep the degraded best-so-far,
+                // strict callers get BudgetExhausted below.
+                if token.expired() && !recovery.attempts.is_empty() {
+                    break 'candidates;
+                }
                 // Re-evaluate to own the schedules (cheap relative to
                 // P&R; finish_candidate consumes them).
                 let fds_start = Instant::now();
-                let eval = self.evaluate(net, &planes, config)?;
+                let (eval, fds_degradation) =
+                    self.evaluate_budgeted(net, &planes, config, token)?;
                 times.fds_ms = fds_start.elapsed().as_secs_f64() * 1e3;
                 let overrides = remedy.apply(self.place_options, self.route_options, self.channels);
-                match self.finish_candidate(net, &planes, config, eval, times, &overrides) {
-                    Ok(mut report) => {
+                let mut writer = self.checkpoint_writer(
+                    net,
+                    &objective,
+                    cand_rank,
+                    config,
+                    remedy,
+                    &overrides,
+                    &eval.schedules,
+                    &recovery,
+                )?;
+                if let Some(w) = writer.as_mut() {
+                    w.write_fds()?;
+                }
+                let mut attempt_degradations = base_degradations.clone();
+                attempt_degradations.extend(fds_degradation);
+                match self.finish_candidate(
+                    net,
+                    &planes,
+                    config,
+                    eval,
+                    times,
+                    &overrides,
+                    token,
+                    writer.as_mut(),
+                    ResumeProducts::default(),
+                    &mut attempt_degradations,
+                ) {
+                    Ok(report) => {
                         flow_span.attr("folding_level", config.level);
                         flow_span.attr("num_les", report.num_les);
-                        recovery.succeeded_with = Some(remedy);
-                        report.recovery = recovery;
-                        report.phase_times.total_ms = total_start.elapsed().as_secs_f64() * 1e3;
-                        return Ok(report);
+                        if !attempt_degradations.is_empty() {
+                            flow_span.attr("degraded", 1u64);
+                        }
+                        return self.finalize(
+                            report,
+                            recovery,
+                            remedy,
+                            attempt_degradations,
+                            token,
+                            total_start,
+                        );
                     }
                     Err(e @ (FlowError::Place(_) | FlowError::Route(_))) => {
                         let phase = match &e {
@@ -314,17 +437,333 @@ impl NanoMap {
             // The whole ladder failed for this candidate.
             nanomap_observe::incr("flow.candidates_rejected_physical", 1);
         }
-        Err(FlowError::RecoveryExhausted { log: recovery })
+        Err(if token.expired() {
+            nanomap_observe::incr("flow.budget_expired", 1);
+            FlowError::BudgetExhausted {
+                log: recovery,
+                degradations: base_degradations,
+            }
+        } else {
+            FlowError::RecoveryExhausted { log: recovery }
+        })
+    }
+
+    /// Resumes a mapping from a checkpoint written by a previous run with
+    /// the same netlist, objective and architecture.
+    ///
+    /// The checkpoint pins the folding candidate and recovery-ladder
+    /// rung; restored products (schedules, packing, placement) skip
+    /// their phases, and the remaining phases re-run deterministically,
+    /// reproducing the uninterrupted run's report. Should the pinned
+    /// rung still fail, the ladder climbs from there.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Checkpoint`] when the checkpoint does not match this
+    /// netlist/objective/architecture; otherwise the same errors as
+    /// [`Self::map`].
+    pub fn map_resume(
+        &self,
+        net: &LutNetwork,
+        objective: Objective,
+        checkpoint: &Checkpoint,
+    ) -> Result<MappingReport, FlowError> {
+        checkpoint.validate(net, &objective.key(), &self.arch)?;
+        let token = CancelToken::with_budget_ms(self.budget_ms);
+        let total_start = Instant::now();
+        let mut flow_span = span!("flow", circuit = net.name());
+        flow_span.attr("resumed", 1u64);
+        let mut times = PhaseTimes::default();
+        let planes = PlaneSet::extract(net)?;
+        let config = checkpoint.folding_config();
+        // Rebuild the item graphs (cheap and deterministic) and restore
+        // the checkpointed schedules onto them.
+        let level = config.level.unwrap_or_else(|| planes.depth_max().max(1));
+        let mut graphs = Vec::new();
+        for plane in planes.planes() {
+            graphs.push(ItemGraph::build(net, plane, level)?);
+        }
+        if checkpoint.schedules.len() != graphs.len() {
+            return Err(CheckpointError::Malformed {
+                detail: format!(
+                    "checkpoint has {} schedules for a {}-plane netlist",
+                    checkpoint.schedules.len(),
+                    graphs.len()
+                ),
+            }
+            .into());
+        }
+        let mut schedules = Vec::new();
+        for (plane_idx, (snapshot, graph)) in checkpoint.schedules.iter().zip(&graphs).enumerate() {
+            if snapshot.stage_of.len() != graph.len() {
+                return Err(CheckpointError::Malformed {
+                    detail: format!(
+                        "plane {plane_idx}: schedule covers {} items, plane has {}",
+                        snapshot.stage_of.len(),
+                        graph.len()
+                    ),
+                }
+                .into());
+            }
+            schedules.push(snapshot.restore());
+        }
+        let mut recovery = checkpoint.recovery.clone();
+        recovery.succeeded_with = None;
+        let start_rung = LADDER
+            .iter()
+            .position(|&r| r == checkpoint.remedy)
+            .unwrap_or(0);
+        // The first resumed rung consumes the restored products; any
+        // later rung re-runs its phases from scratch.
+        let mut restored = {
+            let (les, delay_ns) = self.assess(net, &planes, config, &graphs, &schedules);
+            let packing = checkpoint.packing.as_ref().map(|p| p.restore());
+            let placement = match checkpoint.placement.as_ref() {
+                Some(p) => Some(p.restore().map_err(FlowError::Checkpoint)?),
+                None => None,
+            };
+            Some((
+                CandidateEval {
+                    les,
+                    delay_ns,
+                    graphs,
+                    schedules,
+                },
+                ResumeProducts { packing, placement },
+            ))
+        };
+        for &remedy in &LADDER[start_rung..] {
+            if recovery.total_attempts() >= MAX_TOTAL_ATTEMPTS {
+                break;
+            }
+            if token.expired() && !recovery.attempts.is_empty() {
+                break;
+            }
+            let overrides = remedy.apply(self.place_options, self.route_options, self.channels);
+            let (eval, resume, fds_degradation) = match restored.take() {
+                Some((eval, products)) => (eval, products, None),
+                None => {
+                    let fds_start = Instant::now();
+                    let (eval, d) = self.evaluate_budgeted(net, &planes, config, &token)?;
+                    times.fds_ms = fds_start.elapsed().as_secs_f64() * 1e3;
+                    (eval, ResumeProducts::default(), d)
+                }
+            };
+            let mut writer = self.checkpoint_writer(
+                net,
+                &objective,
+                checkpoint.candidate_rank,
+                config,
+                remedy,
+                &overrides,
+                &eval.schedules,
+                &recovery,
+            )?;
+            if let Some(w) = writer.as_mut() {
+                w.write_fds()?;
+            }
+            let mut attempt_degradations: Vec<Degradation> = fds_degradation.into_iter().collect();
+            match self.finish_candidate(
+                net,
+                &planes,
+                config,
+                eval,
+                times,
+                &overrides,
+                &token,
+                writer.as_mut(),
+                resume,
+                &mut attempt_degradations,
+            ) {
+                Ok(report) => {
+                    flow_span.attr("folding_level", config.level);
+                    flow_span.attr("num_les", report.num_les);
+                    if !attempt_degradations.is_empty() {
+                        flow_span.attr("degraded", 1u64);
+                    }
+                    return self.finalize(
+                        report,
+                        recovery,
+                        remedy,
+                        attempt_degradations,
+                        &token,
+                        total_start,
+                    );
+                }
+                Err(e @ (FlowError::Place(_) | FlowError::Route(_))) => {
+                    let phase = match &e {
+                        FlowError::Place(_) => "place",
+                        _ => "route",
+                    };
+                    recovery.record(RecoveryAttempt {
+                        attempt: recovery.total_attempts(),
+                        candidate: checkpoint.candidate_rank,
+                        folding_level: config.level,
+                        stages: config.stages,
+                        remedy,
+                        phase,
+                        error: e.to_string(),
+                    });
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(if token.expired() {
+            nanomap_observe::incr("flow.budget_expired", 1);
+            FlowError::BudgetExhausted {
+                log: recovery,
+                degradations: Vec::new(),
+            }
+        } else {
+            FlowError::RecoveryExhausted { log: recovery }
+        })
+    }
+
+    /// Success bookkeeping shared by fresh and resumed runs: fold the
+    /// degradation history into the report, route strict-mode expiry to
+    /// [`FlowError::BudgetExhausted`], stamp totals.
+    fn finalize(
+        &self,
+        mut report: MappingReport,
+        mut recovery: RecoveryLog,
+        remedy: Remedy,
+        degradations: Vec<Degradation>,
+        token: &CancelToken,
+        total_start: Instant,
+    ) -> Result<MappingReport, FlowError> {
+        let degraded = !degradations.is_empty();
+        if degraded {
+            nanomap_observe::incr("flow.budget_expired", 1);
+            if !self.anytime {
+                return Err(FlowError::BudgetExhausted {
+                    log: recovery,
+                    degradations,
+                });
+            }
+            recovery.succeeded_with = Some(Remedy::AcceptDegraded);
+        } else {
+            recovery.succeeded_with = Some(remedy);
+        }
+        report.degraded = degraded;
+        report.degradations = degradations;
+        report.recovery = recovery;
+        report.phase_times.total_ms = total_start.elapsed().as_secs_f64() * 1e3;
+        report.phase_times.budget_ms_remaining = token.remaining_ms();
+        Ok(report)
+    }
+
+    /// Builds the checkpoint writer for one physical-design attempt,
+    /// when a checkpoint directory is configured.
+    #[allow(clippy::too_many_arguments)]
+    fn checkpoint_writer(
+        &self,
+        net: &LutNetwork,
+        objective: &Objective,
+        candidate_rank: usize,
+        config: FoldingConfig,
+        remedy: Remedy,
+        overrides: &PhysicalOverrides,
+        schedules: &[Schedule],
+        recovery: &RecoveryLog,
+    ) -> Result<Option<CheckpointWriter>, FlowError> {
+        let Some(dir) = &self.checkpoint_dir else {
+            return Ok(None);
+        };
+        let checkpoint = Checkpoint {
+            circuit: net.name().to_string(),
+            netlist_hash: netlist_fingerprint(net),
+            objective: objective.key(),
+            lut_inputs: self.arch.lut_inputs,
+            luts_per_le: self.arch.luts_per_le,
+            ffs_per_le: self.arch.ffs_per_le,
+            num_reconf: self.arch.num_reconf,
+            phase: CheckpointPhase::Fds,
+            candidate_rank,
+            level: config.level,
+            stages: config.stages,
+            sharing: config.sharing,
+            remedy,
+            place_seed: overrides.place.seed,
+            route_seed: overrides.route.seed,
+            schedules: schedules.iter().map(ScheduleSnapshot::capture).collect(),
+            recovery: recovery.clone(),
+            packing: None,
+            placement: None,
+        };
+        Ok(Some(CheckpointWriter::new(dir, checkpoint)?))
     }
 
     /// Logic-mapping evaluation of one folding configuration: schedules
-    /// every plane and computes LE usage and analytical delay.
-    fn evaluate(
+    /// every plane (polling the cancel token at FDS round boundaries)
+    /// and computes LE usage and analytical delay. Returns the merged
+    /// per-plane degradation when the budget truncated any FDS run.
+    fn evaluate_budgeted(
         &self,
         net: &LutNetwork,
         planes: &PlaneSet,
         config: FoldingConfig,
-    ) -> Result<CandidateEval, FlowError> {
+        token: &CancelToken,
+    ) -> Result<(CandidateEval, Option<Degradation>), FlowError> {
+        let mut graphs = Vec::new();
+        let mut schedules = Vec::new();
+        let mut degradation: Option<Degradation> = None;
+        match config.level {
+            None => {
+                // No folding: trivial single-stage schedules, nothing for
+                // the budget to truncate.
+                for plane in planes.planes() {
+                    let graph = ItemGraph::build(net, plane, planes.depth_max().max(1))?;
+                    let n = graph.len();
+                    graphs.push(graph);
+                    schedules.push(Schedule::new(vec![0; n], 1));
+                }
+            }
+            Some(p) => {
+                let stages = config.stages;
+                for plane in planes.planes() {
+                    let graph = ItemGraph::build(net, plane, p)?;
+                    let scheduled = schedule_fds_budgeted(net, &graph, stages, self.fds, token)?;
+                    let (schedule, plane_degradation) = scheduled.into_parts();
+                    if let Some(d) = plane_degradation {
+                        // Merge per-plane degradations: first reason wins,
+                        // iteration counts accumulate, worst estimate kept.
+                        match degradation.as_mut() {
+                            Some(merged) => {
+                                merged.completed_iterations += d.completed_iterations;
+                                merged.qor_estimate = merged.qor_estimate.max(d.qor_estimate);
+                            }
+                            None => degradation = Some(d),
+                        }
+                    }
+                    graphs.push(graph);
+                    schedules.push(schedule);
+                }
+            }
+        }
+        let (les, delay_ns) = self.assess(net, planes, config, &graphs, &schedules);
+        Ok((
+            CandidateEval {
+                les,
+                delay_ns,
+                graphs,
+                schedules,
+            },
+            degradation,
+        ))
+    }
+
+    /// LE usage and analytical delay of a scheduled candidate — shared
+    /// by fresh evaluation and checkpoint resume, so a restored schedule
+    /// reproduces the original estimates bit for bit.
+    fn assess(
+        &self,
+        net: &LutNetwork,
+        planes: &PlaneSet,
+        config: FoldingConfig,
+        graphs: &[ItemGraph],
+        schedules: &[Schedule],
+    ) -> (u32, f64) {
         let num_planes = planes.num_planes() as u32;
         let shape = self.fds.shape;
         let total_ff_bits = net.num_ffs() as u32;
@@ -337,32 +776,10 @@ impl NanoMap {
                 let delay_ns = self
                     .timing
                     .circuit_delay_no_folding(num_planes, planes.depth_max());
-                // Trivial single-stage schedules for downstream stages.
-                let mut graphs = Vec::new();
-                let mut schedules = Vec::new();
-                for plane in planes.planes() {
-                    let graph = ItemGraph::build(net, plane, planes.depth_max().max(1))?;
-                    let n = graph.len();
-                    graphs.push(graph);
-                    schedules.push(Schedule::new(vec![0; n], 1));
-                }
-                Ok(CandidateEval {
-                    les,
-                    delay_ns,
-                    graphs,
-                    schedules,
-                })
+                (les, delay_ns)
             }
             Some(p) => {
                 let stages = config.stages;
-                let mut graphs = Vec::new();
-                let mut schedules = Vec::new();
-                for plane in planes.planes() {
-                    let graph = ItemGraph::build(net, plane, p)?;
-                    let schedule = schedule_fds(net, &graph, stages, self.fds)?;
-                    graphs.push(graph);
-                    schedules.push(schedule);
-                }
                 let les = match config.sharing {
                     PlaneSharing::Shared => {
                         // All planes reuse the same LEs: peak over planes,
@@ -402,12 +819,7 @@ impl NanoMap {
                     }
                 };
                 let delay_ns = self.timing.circuit_delay(num_planes, stages, p);
-                Ok(CandidateEval {
-                    les,
-                    delay_ns,
-                    graphs,
-                    schedules,
-                })
+                (les, delay_ns)
             }
         }
     }
@@ -415,6 +827,13 @@ impl NanoMap {
     /// Clustering, placement, routing, bitmap and verification for the
     /// chosen candidate, with the physical-design options of one
     /// recovery-ladder rung.
+    ///
+    /// Phases poll `token` at iteration boundaries and append their
+    /// [`Degradation`] to `degradations` when it expires; `resume`
+    /// products restored from a checkpoint skip their phase entirely,
+    /// and each completed phase lands in `ckpt` when checkpointing is
+    /// on.
+    #[allow(clippy::too_many_arguments)]
     fn finish_candidate(
         &self,
         net: &LutNetwork,
@@ -423,6 +842,10 @@ impl NanoMap {
         eval: CandidateEval,
         mut times: PhaseTimes,
         overrides: &PhysicalOverrides,
+        token: &CancelToken,
+        mut ckpt: Option<&mut CheckpointWriter>,
+        mut resume: ResumeProducts,
+        degradations: &mut Vec<Degradation>,
     ) -> Result<MappingReport, FlowError> {
         let design = TemporalDesign::new(net, planes, eval.graphs, eval.schedules)?;
         {
@@ -442,32 +865,60 @@ impl NanoMap {
         let mut explain = None;
         let physical = if self.run_physical {
             let pack_start = Instant::now();
-            let packing = {
-                let _span = span!("pack", slices = design.num_slices());
-                pack(&design, &self.arch, self.pack_options)?
+            let packing = match resume.packing.take() {
+                Some(packing) => packing,
+                None => {
+                    let _span = span!("pack", slices = design.num_slices());
+                    pack(&design, &self.arch, self.pack_options)?
+                }
             };
             let nets = extract_nets(&design, &packing);
             times.pack_ms = pack_start.elapsed().as_secs_f64() * 1e3;
+            if let Some(w) = ckpt.as_deref_mut() {
+                w.write_pack(&packing)?;
+            }
             let place_start = Instant::now();
-            let placement = {
-                let mut place_span = span!("place", smbs = packing.num_smbs);
-                place_span.attr("seed", overrides.place.seed);
-                place_with_defects(
+            let placement = match resume.placement.take() {
+                Some((grid, pos_of)) => Placement::reconstruct(
                     &design,
                     &packing,
                     &nets,
                     &overrides.channels,
                     &self.timing,
-                    overrides.place,
-                    &self.defects,
-                )?
+                    overrides.place.weights,
+                    grid,
+                    pos_of,
+                ),
+                None => {
+                    let mut place_span = span!("place", smbs = packing.num_smbs);
+                    place_span.attr("seed", overrides.place.seed);
+                    let placed = place_with_defects_budgeted(
+                        &design,
+                        &packing,
+                        &nets,
+                        &overrides.channels,
+                        &self.timing,
+                        overrides.place,
+                        &self.defects,
+                        token,
+                    )?;
+                    let (placement, degradation) = placed.into_parts();
+                    if let Some(d) = degradation {
+                        place_span.attr("degraded", 1u64);
+                        degradations.push(d);
+                    }
+                    placement
+                }
             };
             times.place_ms = place_start.elapsed().as_secs_f64() * 1e3;
+            if let Some(w) = ckpt {
+                w.write_place(placement.grid, &placement.pos_of)?;
+            }
             let route_start = Instant::now();
             let routed = {
                 let mut route_span = span!("route", slices = design.num_slices());
                 route_span.attr("seed", overrides.route.seed);
-                route_design_with_defects(
+                let routed = route_design_budgeted(
                     &design,
                     &packing,
                     &nets,
@@ -477,7 +928,14 @@ impl NanoMap {
                     &self.arch,
                     overrides.route,
                     &self.defects,
-                )?
+                    token,
+                )?;
+                let (routed, degradation) = routed.into_parts();
+                if let Some(d) = degradation {
+                    route_span.attr("degraded", 1u64);
+                    degradations.push(d);
+                }
+                routed
             };
             times.bitmap_ms = routed.bitmap_ms;
             times.route_ms =
@@ -559,6 +1017,8 @@ impl NanoMap {
             physical,
             explain,
             recovery: RecoveryLog::default(),
+            degraded: false,
+            degradations: Vec::new(),
             phase_times: times,
         })
     }
@@ -570,6 +1030,14 @@ struct CandidateEval {
     delay_ns: f64,
     graphs: Vec<ItemGraph>,
     schedules: Vec<Schedule>,
+}
+
+/// Phase products restored from a checkpoint; a resumed attempt consumes
+/// them instead of re-running the corresponding phases.
+#[derive(Default)]
+struct ResumeProducts {
+    packing: Option<Packing>,
+    placement: Option<(Grid, Vec<SmbPos>)>,
 }
 
 /// Assigns every flip-flop to one plane (the plane it feeds, else the

@@ -51,6 +51,9 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
+pub mod budget;
+pub mod checkpoint;
 mod error;
 pub mod explain;
 mod flow;
@@ -61,6 +64,12 @@ pub mod recovery;
 mod report;
 mod verify;
 
+pub use artifact::{atomic_write, atomic_write_text, ArtifactError};
+pub use budget::{Anytime, CancelToken, Degradation};
+pub use checkpoint::{
+    netlist_fingerprint, Checkpoint, CheckpointError, CheckpointPhase, CheckpointWriter,
+    CHECKPOINT_SCHEMA,
+};
 pub use error::FlowError;
 pub use explain::{check_artifact, ExplainReport, DEFAULT_TOP_K, EXPLAIN_SCHEMA};
 pub use flow::NanoMap;

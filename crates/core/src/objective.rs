@@ -31,6 +31,25 @@ pub enum Objective {
 }
 
 impl Objective {
+    /// Stable serialization of the objective and its budgets, used to
+    /// verify that a checkpoint is resumed under the same optimization
+    /// target it was written under.
+    pub fn key(&self) -> String {
+        match *self {
+            Self::MinDelay { max_les: None } => "min-delay".into(),
+            Self::MinDelay { max_les: Some(a) } => format!("min-delay;les<={a}"),
+            Self::MinArea { max_delay_ns: None } => "min-area".into(),
+            Self::MinArea {
+                max_delay_ns: Some(d),
+            } => format!("min-area;delay<={d}"),
+            Self::MinAreaDelayProduct => "min-at".into(),
+            Self::Feasible {
+                max_les,
+                max_delay_ns,
+            } => format!("feasible;les<={max_les};delay<={max_delay_ns}"),
+        }
+    }
+
     /// The LE budget, when one applies.
     pub fn area_constraint(&self) -> Option<u32> {
         match *self {
@@ -79,6 +98,31 @@ fn ordered(x: f64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        let objectives = [
+            Objective::MinDelay { max_les: None },
+            Objective::MinDelay { max_les: Some(32) },
+            Objective::MinArea { max_delay_ns: None },
+            Objective::MinArea {
+                max_delay_ns: Some(20.0),
+            },
+            Objective::MinAreaDelayProduct,
+            Objective::Feasible {
+                max_les: 210,
+                max_delay_ns: 30.0,
+            },
+        ];
+        let keys: Vec<String> = objectives.iter().map(Objective::key).collect();
+        assert_eq!(keys[4], "min-at");
+        assert_eq!(keys[1], "min-delay;les<=32");
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
 
     #[test]
     fn constraints_extracted() {

@@ -72,13 +72,19 @@ impl QorReport {
             m("critical_path_delay_ns", p.routed_delay_ns);
             m("routed_wirelength", p.usage.total() as f64);
         }
+        // Budget telemetry rides along only when it happened, so
+        // unbudgeted runs stay byte-identical to pre-budget baselines.
+        if report.degraded {
+            m("degraded", 1.0);
+            m("degraded_phases", report.degradations.len() as f64);
+        }
         for (&name, series) in &snapshot.series {
             if series.count > 0 {
                 m(&format!("peak.{name}"), series.peak());
             }
         }
         let t = report.phase_times;
-        let phase_times: BTreeMap<String, f64> = [
+        let mut phase_times: BTreeMap<String, f64> = [
             ("folding_select_ms", t.folding_select_ms),
             ("fds_ms", t.fds_ms),
             ("pack_ms", t.pack_ms),
@@ -92,6 +98,9 @@ impl QorReport {
         .into_iter()
         .map(|(k, v)| (k.to_string(), v))
         .collect();
+        if let Some(remaining) = t.budget_ms_remaining {
+            phase_times.insert("budget_ms_remaining".to_string(), remaining);
+        }
         Self {
             circuit: report.circuit.clone(),
             metrics,

@@ -53,6 +53,11 @@ pub enum Remedy {
     WidenChannels,
     /// The ladder moved on to the next folding configuration.
     NextCandidate,
+    /// The time budget expired and the flow (in anytime mode) accepted a
+    /// degraded best-so-far mapping instead of climbing further. A
+    /// terminal marker, never executed as a rung: [`Remedy::apply`]
+    /// treats it as the baseline.
+    AcceptDegraded,
 }
 
 impl Remedy {
@@ -64,6 +69,20 @@ impl Remedy {
             Self::WidenGrid => "widen-grid",
             Self::WidenChannels => "widen-channels",
             Self::NextCandidate => "next-candidate",
+            Self::AcceptDegraded => "accept-degraded",
+        }
+    }
+
+    /// Inverse of [`Remedy::as_str`], for checkpoint deserialization.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "baseline" => Some(Self::Baseline),
+            "reseed" => Some(Self::Reseed),
+            "widen-grid" => Some(Self::WidenGrid),
+            "widen-channels" => Some(Self::WidenChannels),
+            "next-candidate" => Some(Self::NextCandidate),
+            "accept-degraded" => Some(Self::AcceptDegraded),
+            _ => None,
         }
     }
 
@@ -80,7 +99,7 @@ impl Remedy {
             route,
             channels,
         };
-        if self == Remedy::Baseline {
+        if self == Remedy::Baseline || self == Remedy::AcceptDegraded {
             return o;
         }
         // Reseed (rungs 2+): decorrelate, deterministically.
@@ -224,6 +243,73 @@ impl RecoveryLog {
             .with("candidate_fallbacks", self.candidate_fallbacks)
             .with("succeeded_with", self.succeeded_with.map(Remedy::as_str))
     }
+
+    /// Inverse of [`RecoveryLog::to_json`], for checkpoint resume.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural mismatch (missing
+    /// field, unknown remedy or phase name).
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let int = |v: &JsonValue, field: &str, what: &str| -> Result<i64, String> {
+            v.get(field)
+                .and_then(JsonValue::as_int)
+                .ok_or_else(|| format!("{what} missing integer `{field}`"))
+        };
+        let mut attempts = Vec::new();
+        for (i, a) in value
+            .get("attempts")
+            .and_then(JsonValue::as_array)
+            .ok_or("recovery log missing `attempts` array")?
+            .iter()
+            .enumerate()
+        {
+            let what = format!("recovery attempt {i}");
+            let remedy_name = a
+                .get("remedy")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("{what} missing string `remedy`"))?;
+            let remedy = Remedy::parse(remedy_name)
+                .ok_or_else(|| format!("{what}: unknown remedy `{remedy_name}`"))?;
+            // `phase` is a &'static str on the in-memory struct; map the
+            // serialized name back onto the interned literals.
+            let phase = match a.get("phase").and_then(JsonValue::as_str) {
+                Some("place") => "place",
+                Some("route") => "route",
+                Some(other) => return Err(format!("{what}: unknown phase `{other}`")),
+                None => return Err(format!("{what} missing string `phase`")),
+            };
+            attempts.push(RecoveryAttempt {
+                attempt: int(a, "attempt", &what)? as u32,
+                candidate: int(a, "candidate", &what)? as usize,
+                folding_level: a
+                    .get("folding_level")
+                    .and_then(JsonValue::as_int)
+                    .map(|v| v as u32),
+                stages: int(a, "stages", &what)? as u32,
+                remedy,
+                phase,
+                error: a
+                    .get("error")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            });
+        }
+        let succeeded_with = match value.get("succeeded_with").and_then(JsonValue::as_str) {
+            Some(name) => Some(
+                Remedy::parse(name)
+                    .ok_or_else(|| format!("recovery log: unknown remedy `{name}`"))?,
+            ),
+            None => None,
+        };
+        Ok(Self {
+            attempts,
+            escalations: int(value, "escalations", "recovery log")? as u32,
+            candidate_fallbacks: int(value, "candidate_fallbacks", "recovery log")? as u32,
+            succeeded_with,
+        })
+    }
 }
 
 /// Ladder height of a remedy (for the telemetry series).
@@ -234,6 +320,7 @@ fn ladder_height(remedy: Remedy) -> u32 {
         Remedy::WidenGrid => 2,
         Remedy::WidenChannels => 3,
         Remedy::NextCandidate => 4,
+        Remedy::AcceptDegraded => 5,
     }
 }
 
@@ -337,8 +424,46 @@ mod tests {
             (Remedy::WidenGrid, "widen-grid"),
             (Remedy::WidenChannels, "widen-channels"),
             (Remedy::NextCandidate, "next-candidate"),
+            (Remedy::AcceptDegraded, "accept-degraded"),
         ] {
             assert_eq!(r.as_str(), name);
+            assert_eq!(Remedy::parse(name), Some(r));
         }
+        assert_eq!(Remedy::parse("warp-drive"), None);
+    }
+
+    #[test]
+    fn accept_degraded_rung_changes_nothing() {
+        let place = PlaceOptions::default();
+        let o =
+            Remedy::AcceptDegraded.apply(place, RouteOptions::default(), ChannelConfig::nature());
+        assert_eq!(o.place.seed, place.seed);
+        assert_eq!(o.place.grid_slack, place.grid_slack);
+    }
+
+    #[test]
+    fn log_round_trips_through_json() {
+        let mut log = RecoveryLog::new();
+        log.record(RecoveryAttempt {
+            attempt: 0,
+            candidate: 1,
+            folding_level: None,
+            stages: 3,
+            remedy: Remedy::WidenChannels,
+            phase: "route",
+            error: "congestion".into(),
+        });
+        log.record_candidate_fallback();
+        log.succeeded_with = Some(Remedy::AcceptDegraded);
+        let back = RecoveryLog::from_json(&log.to_json()).unwrap();
+        assert_eq!(back, log);
+
+        let bad = nanomap_observe::json::parse(
+            r#"{"attempts":[{"attempt":0,"candidate":0,"stages":1,"remedy":"teleport","phase":"place","error":""}],"escalations":0,"candidate_fallbacks":0}"#,
+        )
+        .unwrap();
+        assert!(RecoveryLog::from_json(&bad)
+            .unwrap_err()
+            .contains("teleport"));
     }
 }

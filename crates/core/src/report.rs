@@ -1,7 +1,7 @@
 //! Mapping reports.
 
 use nanomap_arch::{PowerEstimate, WireType};
-use nanomap_observe::JsonValue;
+use nanomap_observe::{Degradation, JsonValue};
 use nanomap_route::InterconnectUsage;
 
 use crate::explain::ExplainReport;
@@ -47,6 +47,12 @@ pub struct MappingReport {
     /// Recovery-ladder history: every failed physical-design attempt and
     /// the remedy that finally succeeded. Empty on a clean first-try run.
     pub recovery: RecoveryLog,
+    /// `true` when the time budget expired mid-flow and one or more
+    /// phases returned a best-so-far result (anytime mode).
+    pub degraded: bool,
+    /// Which phases degraded and how far they got. Empty on complete
+    /// runs.
+    pub degradations: Vec<Degradation>,
     /// Wall-clock time spent in each flow phase. Always populated — the
     /// flow measures these with plain `Instant`s, independent of whether
     /// the observability collector is enabled.
@@ -75,12 +81,17 @@ pub struct PhaseTimes {
     pub explain_ms: f64,
     /// End-to-end mapping time.
     pub total_ms: f64,
+    /// Budget left when the flow finished, `None` when it ran without a
+    /// time budget (keeps unbudgeted artifacts byte-identical).
+    pub budget_ms_remaining: Option<f64>,
 }
 
 impl PhaseTimes {
-    /// JSON object with one entry per phase.
+    /// JSON object with one entry per phase. `budget_ms_remaining` is
+    /// emitted only for budgeted runs, so unbudgeted artifacts stay
+    /// byte-identical to pre-budget baselines.
     pub fn to_json(self) -> JsonValue {
-        JsonValue::object()
+        let times = JsonValue::object()
             .with("folding_select_ms", self.folding_select_ms)
             .with("fds_ms", self.fds_ms)
             .with("pack_ms", self.pack_ms)
@@ -89,7 +100,11 @@ impl PhaseTimes {
             .with("bitmap_ms", self.bitmap_ms)
             .with("verify_ms", self.verify_ms)
             .with("explain_ms", self.explain_ms)
-            .with("total_ms", self.total_ms)
+            .with("total_ms", self.total_ms);
+        match self.budget_ms_remaining {
+            Some(remaining) => times.with("budget_ms_remaining", remaining),
+            None => times,
+        }
     }
 }
 
@@ -257,6 +272,14 @@ impl MappingReport {
             )
             .with("explain", self.explain.as_ref().map(ExplainReport::to_json))
             .with("recovery", self.recovery.to_json())
+            .with("degraded", self.degraded)
+            .with(
+                "degradations",
+                self.degradations
+                    .iter()
+                    .map(Degradation::to_json)
+                    .collect::<Vec<_>>(),
+            )
             .with("phase_times", self.phase_times.to_json())
     }
 
@@ -303,8 +326,26 @@ mod tests {
             physical: None,
             explain: None,
             recovery: RecoveryLog::default(),
+            degraded: false,
+            degradations: Vec::new(),
             phase_times: PhaseTimes::default(),
         }
+    }
+
+    #[test]
+    fn budget_remaining_is_emitted_only_when_budgeted() {
+        let unbudgeted = PhaseTimes::default().to_json().to_compact_string();
+        assert!(!unbudgeted.contains("budget_ms_remaining"), "{unbudgeted}");
+        let budgeted = PhaseTimes {
+            budget_ms_remaining: Some(12.5),
+            ..PhaseTimes::default()
+        }
+        .to_json()
+        .to_compact_string();
+        assert!(
+            budgeted.contains("\"budget_ms_remaining\":12.5"),
+            "{budgeted}"
+        );
     }
 
     #[test]

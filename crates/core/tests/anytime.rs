@@ -1,0 +1,180 @@
+//! End-to-end budget, anytime and checkpoint/resume semantics.
+//!
+//! The contract under test: no budget leaves reports bit-identical to
+//! the pre-budget flow; a tiny budget degrades gracefully (never panics
+//! or hangs); a checkpointed run resumed from any post-phase snapshot
+//! reproduces the uninterrupted run's report exactly.
+
+use nanomap::{
+    Checkpoint, CheckpointPhase, FlowError, MappingReport, NanoMap, Objective, PhaseTimes, Remedy,
+};
+use nanomap_arch::ArchParams;
+use nanomap_netlist::rtl::{CombOp, RtlBuilder, RtlCircuit};
+use nanomap_netlist::LutNetwork;
+use nanomap_techmap::{expand, ExpandOptions};
+
+/// A small multiplier-accumulator: big enough to fold, pack, place and
+/// route, small enough to map in well under a second.
+fn mac_circuit() -> RtlCircuit {
+    let mut b = RtlBuilder::new("mac");
+    let a = b.input("a", 4);
+    let x = b.input("x", 4);
+    let acc = b.register("acc", 8);
+    let gnd = b.constant("gnd", 1, 0);
+    let mul = b.comb("mul", CombOp::Mul { width: 4 });
+    b.connect(a, 0, mul, 0).unwrap();
+    b.connect(x, 0, mul, 1).unwrap();
+    let add = b.comb("add", CombOp::Add { width: 8 });
+    b.connect(mul, 0, add, 0).unwrap();
+    b.connect(acc, 0, add, 1).unwrap();
+    b.connect(gnd, 0, add, 2).unwrap();
+    b.connect(add, 0, acc, 0).unwrap();
+    let y = b.output("y", 8);
+    b.connect(acc, 0, y, 0).unwrap();
+    b.finish().unwrap()
+}
+
+fn mac_net() -> LutNetwork {
+    expand(&mac_circuit(), ExpandOptions::default()).unwrap()
+}
+
+/// Reports minus wall-clock noise: phase timings differ run to run by
+/// construction, everything else must match bit for bit.
+fn normalized(report: &MappingReport) -> String {
+    let mut r = report.clone();
+    r.phase_times = PhaseTimes::default();
+    r.to_json().to_compact_string()
+}
+
+#[test]
+fn no_budget_report_matches_the_unbudgeted_flow() {
+    let flow = NanoMap::new(ArchParams::paper_unbounded());
+    let plain = flow
+        .map(&mac_net(), Objective::MinAreaDelayProduct)
+        .unwrap();
+    // Anytime mode and a checkpoint directory must not perturb the
+    // mapping itself when the budget never expires.
+    let dir = std::env::temp_dir().join(format!("nanomap-anytime-{}", std::process::id()));
+    let decorated = NanoMap::new(ArchParams::paper_unbounded())
+        .with_anytime()
+        .with_checkpoint_dir(&dir)
+        .map(&mac_net(), Objective::MinAreaDelayProduct)
+        .unwrap();
+    assert!(!plain.degraded);
+    assert!(plain.degradations.is_empty());
+    assert_eq!(plain.phase_times.budget_ms_remaining, None);
+    assert_eq!(normalized(&plain), normalized(&decorated));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generous_budget_completes_cleanly_and_reports_headroom() {
+    let report = NanoMap::new(ArchParams::paper_unbounded())
+        .with_budget_ms(600_000)
+        .map(&mac_net(), Objective::MinAreaDelayProduct)
+        .unwrap();
+    assert!(!report.degraded);
+    let remaining = report.phase_times.budget_ms_remaining.unwrap();
+    assert!(remaining > 0.0 && remaining <= 600_000.0);
+}
+
+#[test]
+fn zero_budget_strict_mode_fails_with_budget_exhausted() {
+    let err = NanoMap::new(ArchParams::paper_unbounded())
+        .with_budget_ms(0)
+        .map(&mac_net(), Objective::MinAreaDelayProduct)
+        .unwrap_err();
+    match err {
+        FlowError::BudgetExhausted { degradations, .. } => {
+            assert!(!degradations.is_empty(), "expired run recorded no phase");
+        }
+        other => panic!("expected BudgetExhausted, got {other}"),
+    }
+}
+
+#[test]
+fn zero_budget_anytime_yields_a_degraded_mapping() {
+    let report = NanoMap::new(ArchParams::paper_unbounded())
+        .with_budget_ms(0)
+        .with_anytime()
+        .map(&mac_net(), Objective::MinAreaDelayProduct)
+        .unwrap();
+    assert!(report.degraded);
+    assert!(!report.degradations.is_empty());
+    assert_eq!(report.recovery.succeeded_with, Some(Remedy::AcceptDegraded));
+    // Degraded, not broken: the physical design still exists end to end.
+    let physical = report.physical.expect("physical design still runs");
+    assert!(physical.num_smbs >= 1);
+    assert!(physical.bitmap_bits > 0);
+    for d in &report.degradations {
+        assert!(!d.phase.is_empty() && !d.reason.is_empty(), "{d:?}");
+    }
+}
+
+#[test]
+fn resume_from_each_checkpoint_phase_reproduces_the_report() {
+    let net = mac_net();
+    let dir = std::env::temp_dir().join(format!("nanomap-resume-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let flow = NanoMap::new(ArchParams::paper_unbounded()).with_checkpoint_dir(&dir);
+    let baseline = flow.map(&net, Objective::MinAreaDelayProduct).unwrap();
+    let path = dir.join("mac.ckpt.json");
+    let full = Checkpoint::load(&path).unwrap();
+    assert_eq!(full.phase, CheckpointPhase::Place);
+
+    // Resume from each phase prefix a crash could have left behind.
+    let resumer = NanoMap::new(ArchParams::paper_unbounded());
+    for phase in [
+        CheckpointPhase::Fds,
+        CheckpointPhase::Pack,
+        CheckpointPhase::Place,
+    ] {
+        let mut ckpt = full.clone();
+        if phase < CheckpointPhase::Place {
+            ckpt.placement = None;
+        }
+        if phase < CheckpointPhase::Pack {
+            ckpt.packing = None;
+        }
+        ckpt.phase = phase;
+        let resumed = resumer
+            .map_resume(&net, Objective::MinAreaDelayProduct, &ckpt)
+            .unwrap();
+        assert_eq!(
+            normalized(&baseline),
+            normalized(&resumed),
+            "resume from {} diverged",
+            phase.as_str()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_rejects_a_mismatched_netlist_or_objective() {
+    let net = mac_net();
+    let dir = std::env::temp_dir().join(format!("nanomap-mismatch-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let flow = NanoMap::new(ArchParams::paper_unbounded()).with_checkpoint_dir(&dir);
+    flow.map(&net, Objective::MinAreaDelayProduct).unwrap();
+    let ckpt = Checkpoint::load(&dir.join("mac.ckpt.json")).unwrap();
+
+    // Different netlist, same name: the fingerprint must catch it.
+    let mut b = RtlBuilder::new("mac");
+    let a = b.input("a", 4);
+    let y = b.output("y", 4);
+    let inv = b.comb("inv", CombOp::Not { width: 4 });
+    b.connect(a, 0, inv, 0).unwrap();
+    b.connect(inv, 0, y, 0).unwrap();
+    let other = expand(&b.finish().unwrap(), ExpandOptions::default()).unwrap();
+    let err = flow
+        .map_resume(&other, Objective::MinAreaDelayProduct, &ckpt)
+        .unwrap_err();
+    assert!(matches!(err, FlowError::Checkpoint(_)), "{err}");
+
+    let err = flow
+        .map_resume(&net, Objective::MinDelay { max_les: None }, &ckpt)
+        .unwrap_err();
+    assert!(matches!(err, FlowError::Checkpoint(_)), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,296 @@
+//! Deadline budgets and cooperative cancellation.
+//!
+//! The flow threads one [`CancelToken`] through every phase. Iterative
+//! phases (FDS rounds, annealing temperature steps, PathFinder
+//! iterations) poll [`CancelToken::expired`] at iteration boundaries
+//! only — never mid-move — so a run with no budget reads no clock,
+//! consumes no extra RNG draws, and stays byte-identical to a run
+//! without the token plumbed at all.
+//!
+//! On expiry a phase finishes its current iteration, snapshots a valid
+//! *best-so-far* result, and returns it as
+//! [`Anytime::Degraded`] with a [`Degradation`] record instead of an
+//! error. The flow driver decides whether a degraded mapping is
+//! acceptable (anytime mode) or a failure (strict mode).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::json::JsonValue;
+
+/// Shared cancellation state. Allocated only when a deadline or manual
+/// cancellation is actually requested.
+#[derive(Debug)]
+struct TokenInner {
+    /// Absolute wall-clock deadline, if a time budget was set.
+    deadline: Option<Instant>,
+    /// Manual cancellation flag (e.g. a server dropping a request).
+    cancelled: AtomicBool,
+}
+
+/// A cooperative cancellation token with an optional wall-clock deadline.
+///
+/// Cloning is cheap (an `Arc` bump) and every clone observes the same
+/// deadline and cancellation flag. The default token is *unlimited*:
+/// [`expired`](Self::expired) is a single `None` check with no clock
+/// read, so unbudgeted runs pay nothing.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<TokenInner>>,
+}
+
+impl CancelToken {
+    /// A token that never expires and cannot be cancelled. Polling it is
+    /// free (no clock read).
+    pub fn unlimited() -> Self {
+        Self { inner: None }
+    }
+
+    /// A token that expires `budget` from now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        Self {
+            inner: Some(Arc::new(TokenInner {
+                deadline: Some(Instant::now() + budget),
+                cancelled: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// A token from an optional millisecond budget (`None` = unlimited).
+    /// This is the shape CLI flags arrive in.
+    pub fn with_budget_ms(budget_ms: Option<u64>) -> Self {
+        match budget_ms {
+            Some(ms) => Self::with_deadline(Duration::from_millis(ms)),
+            None => Self::unlimited(),
+        }
+    }
+
+    /// A token with no deadline that can still be cancelled manually.
+    pub fn cancellable() -> Self {
+        Self {
+            inner: Some(Arc::new(TokenInner {
+                deadline: None,
+                cancelled: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// Requests cancellation. All clones observe it on their next poll.
+    /// No-op on an unlimited token.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether the deadline has passed or [`cancel`](Self::cancel) was
+    /// called. The polling point for every iterative phase.
+    pub fn expired(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.cancelled.load(Ordering::Acquire)
+                    || inner.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+
+    /// Time left before the deadline, or `None` when no deadline was set.
+    /// A cancelled or expired token reports `Duration::ZERO`.
+    pub fn remaining(&self) -> Option<Duration> {
+        let inner = self.inner.as_ref()?;
+        if inner.cancelled.load(Ordering::Acquire) {
+            return inner
+                .deadline
+                .map(|_| Duration::ZERO)
+                .or(Some(Duration::ZERO));
+        }
+        inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Milliseconds left before the deadline (`None` = no deadline).
+    pub fn remaining_ms(&self) -> Option<f64> {
+        self.remaining().map(|d| d.as_secs_f64() * 1000.0)
+    }
+
+    /// Whether this token can ever expire.
+    pub fn is_unlimited(&self) -> bool {
+        self.inner.is_none()
+    }
+}
+
+/// Record of a phase that ran out of budget and returned best-so-far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degradation {
+    /// Flow phase that degraded (`"fds"`, `"place"`, `"route"`, …).
+    pub phase: String,
+    /// Human-readable cause.
+    pub reason: String,
+    /// Iterations the phase completed before stopping.
+    pub completed_iterations: u64,
+    /// Phase-local quality estimate of the best-so-far result (peak LUT
+    /// count for FDS, placement cost for annealing, overused routing
+    /// nodes for PathFinder).
+    pub qor_estimate: f64,
+}
+
+impl Degradation {
+    /// JSON object mirroring the struct.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .with("phase", self.phase.as_str())
+            .with("reason", self.reason.as_str())
+            .with("completed_iterations", self.completed_iterations)
+            .with("qor_estimate", self.qor_estimate)
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} after {} iterations (qor estimate {:.3})",
+            self.phase, self.reason, self.completed_iterations, self.qor_estimate
+        )
+    }
+}
+
+/// Result of a budget-aware phase: either it finished, or the budget
+/// expired and it returned a valid best-so-far value plus the record of
+/// what was cut short.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Anytime<T> {
+    /// The phase ran to completion.
+    Complete(T),
+    /// The budget expired; the value is valid but best-so-far.
+    Degraded(T, Degradation),
+}
+
+impl<T> Anytime<T> {
+    /// The inner value, complete or not.
+    pub fn value(&self) -> &T {
+        match self {
+            Self::Complete(v) | Self::Degraded(v, _) => v,
+        }
+    }
+
+    /// Consumes into the inner value, discarding any degradation.
+    pub fn into_value(self) -> T {
+        match self {
+            Self::Complete(v) | Self::Degraded(v, _) => v,
+        }
+    }
+
+    /// Splits into the value and the optional degradation record.
+    pub fn into_parts(self) -> (T, Option<Degradation>) {
+        match self {
+            Self::Complete(v) => (v, None),
+            Self::Degraded(v, d) => (v, Some(d)),
+        }
+    }
+
+    /// Whether the budget cut this phase short.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Self::Degraded(..))
+    }
+
+    /// Maps the inner value, preserving the degradation record.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Anytime<U> {
+        match self {
+            Self::Complete(v) => Anytime::Complete(f(v)),
+            Self::Degraded(v, d) => Anytime::Degraded(f(v), d),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let t = CancelToken::unlimited();
+        assert!(!t.expired());
+        assert!(t.is_unlimited());
+        assert_eq!(t.remaining(), None);
+        assert_eq!(t.remaining_ms(), None);
+        t.cancel(); // no-op
+        assert!(!t.expired());
+    }
+
+    #[test]
+    fn default_is_unlimited() {
+        assert!(CancelToken::default().is_unlimited());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.expired());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_deadline_not_expired() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.expired());
+        assert!(!t.is_unlimited());
+        let ms = t.remaining_ms().expect("deadline set");
+        assert!(ms > 3_000_000.0);
+    }
+
+    #[test]
+    fn budget_ms_none_is_unlimited() {
+        assert!(CancelToken::with_budget_ms(None).is_unlimited());
+        assert!(CancelToken::with_budget_ms(Some(0)).expired());
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones() {
+        let t = CancelToken::cancellable();
+        let clone = t.clone();
+        assert!(!clone.expired());
+        t.cancel();
+        assert!(clone.expired());
+        assert_eq!(clone.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn degradation_json_round_shape() {
+        let d = Degradation {
+            phase: "route".into(),
+            reason: "time budget expired".into(),
+            completed_iterations: 7,
+            qor_estimate: 3.0,
+        };
+        let j = d.to_json();
+        assert_eq!(j.get("phase").and_then(JsonValue::as_str), Some("route"));
+        assert_eq!(
+            j.get("completed_iterations").and_then(JsonValue::as_int),
+            Some(7)
+        );
+        assert!(d.summary().contains("after 7 iterations"));
+    }
+
+    #[test]
+    fn anytime_accessors() {
+        let c: Anytime<u32> = Anytime::Complete(5);
+        assert!(!c.is_degraded());
+        assert_eq!(*c.value(), 5);
+        let d = Anytime::Degraded(
+            6u32,
+            Degradation {
+                phase: "fds".into(),
+                reason: "budget".into(),
+                completed_iterations: 1,
+                qor_estimate: 0.0,
+            },
+        );
+        assert!(d.is_degraded());
+        let mapped = d.map(|v| v * 2);
+        let (v, deg) = mapped.into_parts();
+        assert_eq!(v, 12);
+        assert_eq!(deg.expect("degraded").phase, "fds");
+    }
+}

@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod json;
 pub mod rng;
 
@@ -47,6 +48,7 @@ mod series;
 mod span;
 mod trace;
 
+pub use budget::{Anytime, CancelToken, Degradation};
 pub use collector::{
     counter, enabled, gauge, histogram, incr, reset, series, set_echo, set_enabled, snapshot,
     thread_ordinal, Echo, MetricsSnapshot,

@@ -2,6 +2,7 @@
 
 use nanomap_arch::{Grid, SmbPos};
 use nanomap_observe::rng::XorShift64Star;
+use nanomap_observe::{CancelToken, Degradation};
 
 use crate::cost::{net_hpwl, nets_of_smb, total_cost, FlatNet};
 
@@ -64,13 +65,45 @@ pub fn anneal_with_legality(
     rng: &mut XorShift64Star,
     legal: Option<&[bool]>,
 ) -> f64 {
+    anneal_budgeted(
+        grid,
+        nets,
+        pos_of,
+        schedule,
+        rng,
+        legal,
+        &CancelToken::unlimited(),
+    )
+    .0
+}
+
+/// Budget-aware [`anneal_with_legality`]: polls `token` at the top of
+/// every temperature step. On expiry the current placement (a valid
+/// permutation — moves are atomic swaps) is kept and a [`Degradation`]
+/// records the interruption, with the current cost as the QoR estimate.
+/// With an unlimited token this is byte-identical to
+/// [`anneal_with_legality`] — no extra RNG draws, same trajectory.
+///
+/// # Panics
+///
+/// Panics if a `legal` mask is shorter than the grid's slot count.
+#[allow(clippy::too_many_arguments)]
+pub fn anneal_budgeted(
+    grid: Grid,
+    nets: &[FlatNet],
+    pos_of: &mut [SmbPos],
+    schedule: AnnealSchedule,
+    rng: &mut XorShift64Star,
+    legal: Option<&[bool]>,
+    token: &CancelToken,
+) -> (f64, Option<Degradation>) {
     let n = pos_of.len();
     let cost_series = nanomap_observe::series("place.cost");
     if n <= 1 || nets.is_empty() {
         // Nothing to move: the cost trajectory is a single point.
         let cost = total_cost(nets, pos_of);
         cost_series.record(0, cost);
-        return cost;
+        return (cost, None);
     }
     let net_index = nets_of_smb(nets, n as u32);
     // Occupancy map: grid slot -> SMB.
@@ -109,7 +142,22 @@ pub fn anneal_with_legality(
     let rate_series = nanomap_observe::series("place.accept_rate");
 
     let mut step = 0u64;
+    let mut degradation = None;
     while temperature > t_min {
+        // Poll at the temperature-step boundary only: the placement is a
+        // valid permutation here (moves are atomic swaps), and an
+        // unlimited token reads no clock.
+        if token.expired() {
+            degradation = Some(Degradation {
+                phase: "place".into(),
+                reason: format!(
+                    "time budget expired at temperature {temperature:.4} (t_min {t_min:.4})"
+                ),
+                completed_iterations: step,
+                qor_estimate: cost,
+            });
+            break;
+        }
         let mut accepted = 0usize;
         for _ in 0..moves_per_t {
             let (a, slot_b) = random_move_ranged(n, grid, pos_of, range, rng);
@@ -154,7 +202,11 @@ pub fn anneal_with_legality(
         }
     }
     // Re-synchronize the cost (guards against fp drift).
-    total_cost(nets, pos_of)
+    let final_cost = total_cost(nets, pos_of);
+    if let Some(d) = &mut degradation {
+        d.qor_estimate = final_cost;
+    }
+    (final_cost, degradation)
 }
 
 fn random_move(n: usize, grid: Grid, rng: &mut XorShift64Star) -> (usize, usize) {
@@ -368,6 +420,71 @@ mod tests {
                     &mut rng,
                     None,
                 )
+            } else {
+                anneal(grid, &nets, &mut pos, AnnealSchedule::fast(), &mut rng)
+            };
+            (pos, cost)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn zero_budget_keeps_initial_placement() {
+        let grid = Grid::new(4, 4);
+        let nets: Vec<FlatNet> = (0..15)
+            .map(|i| FlatNet {
+                pins: vec![i, i + 1],
+                weight: 1.0,
+            })
+            .collect();
+        let mut pos: Vec<SmbPos> = (0..16).map(|i| grid.pos((i * 7) % 16)).collect();
+        let before = pos.clone();
+        let initial = total_cost(&nets, &pos);
+        let mut rng = XorShift64Star::new(1);
+        let token = CancelToken::with_budget_ms(Some(0));
+        let (cost, degradation) = anneal_budgeted(
+            grid,
+            &nets,
+            &mut pos,
+            AnnealSchedule::detailed(),
+            &mut rng,
+            None,
+            &token,
+        );
+        // The poll fires before the first temperature step, so the
+        // placement is untouched and still a permutation.
+        assert_eq!(pos, before);
+        assert_eq!(cost, initial);
+        let d = degradation.expect("zero budget must degrade");
+        assert_eq!(d.phase, "place");
+        assert_eq!(d.completed_iterations, 0);
+        assert_eq!(d.qor_estimate, initial);
+    }
+
+    #[test]
+    fn unlimited_token_identical_to_plain_anneal() {
+        let grid = Grid::new(3, 3);
+        let nets: Vec<FlatNet> = (0..5)
+            .map(|i| FlatNet {
+                pins: vec![i, (i + 1) % 6],
+                weight: 1.0,
+            })
+            .collect();
+        let run = |budgeted: bool| {
+            let mut pos: Vec<SmbPos> = (0..6).map(|i| grid.pos(i)).collect();
+            let mut rng = XorShift64Star::new(42);
+            let cost = if budgeted {
+                let (cost, degradation) = anneal_budgeted(
+                    grid,
+                    &nets,
+                    &mut pos,
+                    AnnealSchedule::fast(),
+                    &mut rng,
+                    None,
+                    &CancelToken::unlimited(),
+                );
+                assert!(degradation.is_none());
+                cost
             } else {
                 anneal(grid, &nets, &mut pos, AnnealSchedule::fast(), &mut rng)
             };

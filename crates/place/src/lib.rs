@@ -22,11 +22,11 @@ mod error;
 mod place;
 mod routability;
 
-pub use anneal::{anneal, anneal_with_legality, AnnealSchedule};
+pub use anneal::{anneal, anneal_budgeted, anneal_with_legality, AnnealSchedule};
 pub use cost::{flatten_nets, net_hpwl, total_cost, CostWeights, FlatNet};
 pub use delay::{estimate_delay, wire_delay_estimate, DelayEstimate};
 pub use error::PlaceError;
-pub use place::{place, place_with_defects, PlaceOptions, Placement};
+pub use place::{place, place_with_defects, place_with_defects_budgeted, PlaceOptions, Placement};
 pub use routability::{
     estimate_demand_grid, estimate_routability, risa_q, DemandGrid, RoutabilityReport,
     ROUTABLE_THRESHOLD,

@@ -11,9 +11,10 @@
 use nanomap_arch::{ChannelConfig, DefectMap, Grid, SmbPos, TimingModel};
 use nanomap_observe::rng::XorShift64Star;
 use nanomap_observe::span;
+use nanomap_observe::{Anytime, CancelToken, Degradation};
 use nanomap_pack::{Packing, SliceNets, TemporalDesign};
 
-use crate::anneal::{anneal_with_legality, AnnealSchedule};
+use crate::anneal::{anneal_budgeted, AnnealSchedule};
 use crate::cost::{flatten_nets, total_cost, CostWeights};
 use crate::delay::{estimate_delay, DelayEstimate};
 use crate::error::PlaceError;
@@ -65,6 +66,36 @@ pub struct Placement {
     pub delay: DelayEstimate,
 }
 
+impl Placement {
+    /// Rebuilds a full [`Placement`] from just the grid and positions —
+    /// the parts a checkpoint stores. Cost, routability and delay are
+    /// pure recomputations, so reconstructing a placement the annealer
+    /// produced yields bit-identical analysis results.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reconstruct(
+        design: &TemporalDesign<'_>,
+        packing: &Packing,
+        nets: &SliceNets,
+        channels: &ChannelConfig,
+        timing: &TimingModel,
+        weights: CostWeights,
+        grid: Grid,
+        pos_of: Vec<SmbPos>,
+    ) -> Self {
+        let flat = flatten_nets(nets, weights);
+        let cost = total_cost(&flat, &pos_of);
+        let routability = estimate_routability(grid, channels, nets, &pos_of);
+        let delay = estimate_delay(design, packing, &pos_of, timing);
+        Self {
+            grid,
+            pos_of,
+            cost,
+            routability,
+            delay,
+        }
+    }
+}
+
 /// Places a packed design.
 ///
 /// # Errors
@@ -113,6 +144,41 @@ pub fn place_with_defects(
     options: PlaceOptions,
     defects: &DefectMap,
 ) -> Result<Placement, PlaceError> {
+    place_with_defects_budgeted(
+        design,
+        packing,
+        nets,
+        channels,
+        timing,
+        options,
+        defects,
+        &CancelToken::unlimited(),
+    )
+    .map(Anytime::into_value)
+}
+
+/// Budget-aware [`place_with_defects`]: the fast and detailed annealing
+/// steps poll `token` at temperature-step boundaries, and grid-enlarging
+/// retries stop once the budget is gone. On expiry the current placement
+/// — always a valid permutation — is analyzed and returned as
+/// [`Anytime::Degraded`]. With an unlimited token this is byte-identical
+/// to [`place_with_defects`].
+///
+/// # Errors
+///
+/// Same as [`place_with_defects`]: impossible inputs stay hard errors
+/// regardless of the budget.
+#[allow(clippy::too_many_arguments)]
+pub fn place_with_defects_budgeted(
+    design: &TemporalDesign<'_>,
+    packing: &Packing,
+    nets: &SliceNets,
+    channels: &ChannelConfig,
+    timing: &TimingModel,
+    options: PlaceOptions,
+    defects: &DefectMap,
+    token: &CancelToken,
+) -> Result<Anytime<Placement>, PlaceError> {
     let n = packing.num_smbs.max(1);
     let required_sets = design.num_slices();
     let flat = flatten_nets(nets, options.weights);
@@ -169,42 +235,73 @@ pub fn place_with_defects(
         };
 
         // Step 1: fast placement.
-        {
-            let _span = span!("anneal", step = "fast", seed = seed, attempt = attempt);
-            anneal_with_legality(
+        let fast_degradation = {
+            let mut fast_span = span!("anneal", step = "fast", seed = seed, attempt = attempt);
+            let (_, degradation) = anneal_budgeted(
                 grid,
                 &flat,
                 &mut pos_of,
                 options.fast,
                 &mut rng,
                 legal.as_deref(),
+                token,
             );
-        }
+            if degradation.is_some() {
+                fast_span.attr("degraded", 1u64);
+            }
+            degradation
+        };
         // Step 2: low-precision analysis.
         let report = estimate_routability(grid, channels, nets, &pos_of);
-        if !report.routable && attempt < options.max_retries {
+        if !report.routable && attempt < options.max_retries && !token.expired() {
             nanomap_observe::incr("place.grid_retries", 1);
         }
-        if report.routable || attempt >= options.max_retries {
+        // An expired token also stops grid-enlarging retries: the current
+        // placement is the best-so-far we can afford.
+        if report.routable || attempt >= options.max_retries || token.expired() {
             // Step 3: detailed placement.
-            let _span = span!("anneal", step = "detailed", seed = seed, attempt = attempt);
-            let cost = anneal_with_legality(
+            let mut detailed_span =
+                span!("anneal", step = "detailed", seed = seed, attempt = attempt);
+            let (cost, detailed_degradation) = anneal_budgeted(
                 grid,
                 &flat,
                 &mut pos_of,
                 options.detailed,
                 &mut rng,
                 legal.as_deref(),
+                token,
             );
+            if detailed_degradation.is_some() {
+                detailed_span.attr("degraded", 1u64);
+            }
+            drop(detailed_span);
             let routability = estimate_routability(grid, channels, nets, &pos_of);
             let delay = estimate_delay(design, packing, &pos_of, timing);
             let _ = total_cost(&flat, &pos_of);
-            return Ok(Placement {
+            let placement = Placement {
                 grid,
                 pos_of,
                 cost,
                 routability,
                 delay,
+            };
+            // The earliest interruption names the step; the final cost is
+            // always the detailed-step resync value.
+            let degradation = match (fast_degradation, detailed_degradation) {
+                (Some(d), _) => Some(Degradation {
+                    reason: format!("fast annealing: {}", d.reason),
+                    qor_estimate: cost,
+                    ..d
+                }),
+                (None, Some(d)) => Some(Degradation {
+                    reason: format!("detailed annealing: {}", d.reason),
+                    ..d
+                }),
+                (None, None) => None,
+            };
+            return Ok(match degradation {
+                Some(d) => Anytime::Degraded(placement, d),
+                None => Anytime::Complete(placement),
             });
         }
         // Retry with a roomier grid.
@@ -375,6 +472,78 @@ mod tests {
         for &pos in &placement.pos_of {
             assert_ne!(pos, SmbPos::new(0, 0), "SMB placed on degraded slot");
         }
+    }
+
+    #[test]
+    fn zero_budget_placement_is_valid_and_degraded() {
+        let (net, planes, graphs, schedules) = multiplier_inputs();
+        let design = TemporalDesign::new(&net, &planes, graphs, schedules).unwrap();
+        let arch = ArchParams::paper();
+        let packing = pack(&design, &arch, PackOptions::default()).unwrap();
+        let nets = extract_nets(&design, &packing);
+        let token = CancelToken::with_budget_ms(Some(0));
+        let result = place_with_defects_budgeted(
+            &design,
+            &packing,
+            &nets,
+            &ChannelConfig::nature(),
+            &TimingModel::nature_100nm(),
+            PlaceOptions::default(),
+            &nanomap_arch::DefectMap::none(),
+            &token,
+        )
+        .unwrap();
+        let Anytime::Degraded(placement, degradation) = result else {
+            panic!("zero budget must degrade");
+        };
+        assert_eq!(degradation.phase, "place");
+        // Still a valid permutation with all SMBs placed.
+        assert_eq!(placement.pos_of.len(), packing.num_smbs as usize);
+        let mut slots: Vec<usize> = placement
+            .pos_of
+            .iter()
+            .map(|&p| placement.grid.index(p))
+            .collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), packing.num_smbs as usize);
+        assert!(placement.delay.cycle_period > 0.0);
+    }
+
+    #[test]
+    fn reconstruct_matches_fresh_placement() {
+        let (net, planes, graphs, schedules) = multiplier_inputs();
+        let design = TemporalDesign::new(&net, &planes, graphs, schedules).unwrap();
+        let arch = ArchParams::paper();
+        let packing = pack(&design, &arch, PackOptions::default()).unwrap();
+        let nets = extract_nets(&design, &packing);
+        let options = PlaceOptions::default();
+        let placement = place(
+            &design,
+            &packing,
+            &nets,
+            &ChannelConfig::nature(),
+            &TimingModel::nature_100nm(),
+            options,
+        )
+        .unwrap();
+        let rebuilt = Placement::reconstruct(
+            &design,
+            &packing,
+            &nets,
+            &ChannelConfig::nature(),
+            &TimingModel::nature_100nm(),
+            options.weights,
+            placement.grid,
+            placement.pos_of.clone(),
+        );
+        assert_eq!(rebuilt.pos_of, placement.pos_of);
+        assert_eq!(rebuilt.cost, placement.cost);
+        assert_eq!(
+            rebuilt.routability.peak_utilization,
+            placement.routability.peak_utilization
+        );
+        assert_eq!(rebuilt.delay.circuit_delay, placement.delay.circuit_delay);
     }
 
     #[test]

@@ -5,12 +5,13 @@ use std::collections::HashMap;
 
 use nanomap_arch::{ArchParams, ChannelConfig, ConfigBitmap, DefectMap, RrGraph, TimingModel};
 use nanomap_observe::span;
+use nanomap_observe::{Anytime, CancelToken, Degradation};
 use nanomap_pack::{Packing, Slice, SliceNets, TemporalDesign};
 use nanomap_place::Placement;
 
 use crate::bitmap::generate_bitmap;
 use crate::error::RouteError;
-use crate::pathfinder::{route_slice, RouteOptions, RoutedNet};
+use crate::pathfinder::{route_slice_budgeted, RouteOptions, RoutedNet};
 use crate::timing::{analyze, net_delays, RoutedTiming};
 use crate::usage::{tally_usage, InterconnectUsage};
 
@@ -86,14 +87,64 @@ pub fn route_design_with_defects(
     options: RouteOptions,
     defects: &DefectMap,
 ) -> Result<RoutedDesign, RouteError> {
+    route_design_budgeted(
+        design,
+        packing,
+        nets,
+        placement,
+        channels,
+        timing_model,
+        arch,
+        options,
+        defects,
+        &CancelToken::unlimited(),
+    )
+    .map(Anytime::into_value)
+}
+
+/// Budget-aware [`route_design_with_defects`]: each slice's PathFinder
+/// run polls `token` between rip-up iterations. Degraded slices keep
+/// their best-so-far (possibly congested) routes; the merged
+/// [`Degradation`] sums completed iterations and overused nodes across
+/// degraded slices. With an unlimited token this is byte-identical to
+/// [`route_design_with_defects`].
+///
+/// # Errors
+///
+/// Same as [`route_design_with_defects`]; an expired budget never
+/// surfaces as a routing error.
+#[allow(clippy::too_many_arguments)] // the flow's full context is the point
+pub fn route_design_budgeted(
+    design: &TemporalDesign<'_>,
+    packing: &Packing,
+    nets: &SliceNets,
+    placement: &Placement,
+    channels: &ChannelConfig,
+    timing_model: &TimingModel,
+    arch: &ArchParams,
+    options: RouteOptions,
+    defects: &DefectMap,
+    token: &CancelToken,
+) -> Result<Anytime<RoutedDesign>, RouteError> {
     let graph = RrGraph::build_with_defects(placement.grid, channels, defects);
     let mut routes: HashMap<Slice, Vec<RoutedNet>> = HashMap::new();
+    let mut degraded_slices = 0u32;
+    let mut degraded_iterations = 0u64;
+    let mut degraded_overuse = 0.0f64;
+    let num_slices = design.slices().len();
     for slice in design.slices() {
         let slice_nets = nets.of(slice);
         let mut slice_span = span!("route-slice", seed = options.seed);
         slice_span.attr("nets", slice_nets.len() as u64);
-        let routed = route_slice(&graph, slice_nets, &placement.pos_of, options)
+        let routed = route_slice_budgeted(&graph, slice_nets, &placement.pos_of, options, token)
             .map_err(|e| e.in_slice(slice))?;
+        let (routed, degradation) = routed.into_parts();
+        if let Some(d) = degradation {
+            slice_span.attr("degraded", 1u64);
+            degraded_slices += 1;
+            degraded_iterations += d.completed_iterations;
+            degraded_overuse += d.qor_estimate;
+        }
         routes.insert(slice, routed);
     }
     let usage = tally_usage(&graph, &routes);
@@ -111,13 +162,29 @@ pub fn route_design_with_defects(
         )
     };
     let bitmap_ms = bitmap_start.elapsed().as_secs_f64() * 1e3;
-    Ok(RoutedDesign {
+    let routed = RoutedDesign {
         graph,
         routes,
         usage,
         timing,
         bitmap,
         bitmap_ms,
+    };
+    Ok(if degraded_slices > 0 {
+        Anytime::Degraded(
+            routed,
+            Degradation {
+                phase: "route".into(),
+                reason: format!(
+                    "time budget expired: {degraded_slices} of {num_slices} slices kept \
+                     best-so-far routes ({degraded_overuse:.0} overused nodes)"
+                ),
+                completed_iterations: degraded_iterations,
+                qor_estimate: degraded_overuse,
+            },
+        )
+    } else {
+        Anytime::Complete(routed)
     })
 }
 

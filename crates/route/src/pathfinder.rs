@@ -15,6 +15,7 @@ use std::collections::BinaryHeap;
 
 use nanomap_arch::{RrGraph, RrNodeId, SmbPos};
 use nanomap_observe::rng::XorShift64Star;
+use nanomap_observe::{Anytime, CancelToken, Degradation};
 use nanomap_pack::SliceNet;
 
 use crate::error::{describe_net, RouteError};
@@ -78,6 +79,28 @@ pub fn route_slice(
     pos_of: &[SmbPos],
     options: RouteOptions,
 ) -> Result<Vec<RoutedNet>, RouteError> {
+    route_slice_budgeted(graph, nets, pos_of, options, &CancelToken::unlimited())
+        .map(Anytime::into_value)
+}
+
+/// Budget-aware [`route_slice`]: polls `token` after each full
+/// rip-up-and-reroute iteration, so even a zero budget completes one
+/// pass and every net has a routing tree. On expiry the current routes
+/// are returned as [`Anytime::Degraded`] — they may overuse nodes; the
+/// overused-node count is the QoR estimate. With an unlimited token this
+/// is byte-identical to [`route_slice`].
+///
+/// # Errors
+///
+/// Same as [`route_slice`]; an expired budget is never reported as
+/// [`RouteError::Unroutable`].
+pub fn route_slice_budgeted(
+    graph: &RrGraph,
+    nets: &[SliceNet],
+    pos_of: &[SmbPos],
+    options: RouteOptions,
+    token: &CancelToken,
+) -> Result<Anytime<Vec<RoutedNet>>, RouteError> {
     let n = graph.num_nodes();
     let mut history = vec![0.0f64; n];
     let mut occupancy = vec![0u32; n];
@@ -130,7 +153,24 @@ pub fn route_slice(
         overuse_series.record(u64::from(iteration), overused as f64);
         pres_series.record(u64::from(iteration), pres_fac);
         if overused == 0 {
-            return Ok(routes.into_iter().map(|r| r.expect("routed")).collect());
+            return Ok(Anytime::Complete(routes.into_iter().flatten().collect()));
+        }
+        // Poll after a full pass: every net has a tree (possibly sharing
+        // overused nodes), which is the best-so-far we can hand back.
+        if token.expired() {
+            return Ok(Anytime::Degraded(
+                routes.into_iter().flatten().collect(),
+                Degradation {
+                    phase: "route".into(),
+                    reason: format!(
+                        "time budget expired with {overused} overused nodes after {} of {} iterations",
+                        iteration + 1,
+                        options.max_iterations
+                    ),
+                    completed_iterations: u64::from(iteration) + 1,
+                    qor_estimate: overused as f64,
+                },
+            ));
         }
         if iteration + 1 == options.max_iterations {
             let mut err = RouteError::unroutable(overused, options.max_iterations);
@@ -155,7 +195,7 @@ pub fn route_slice(
     }
     // max_iterations == 0: vacuous success only without nets.
     if nets.is_empty() {
-        return Ok(Vec::new());
+        return Ok(Anytime::Complete(Vec::new()));
     }
     Err(RouteError::unroutable(0, 0))
 }
@@ -376,6 +416,93 @@ mod tests {
         ));
         // Congestion failures name a culprit net.
         assert_eq!(err.net.as_deref(), Some("smb0->smb1"));
+    }
+
+    #[test]
+    fn zero_budget_still_routes_every_net_once() {
+        let g = graph4();
+        let pos = positions();
+        let nets: Vec<SliceNet> = (0..16)
+            .map(|_| SliceNet {
+                driver: 0,
+                sinks: vec![1],
+                critical: false,
+            })
+            .collect();
+        let token = CancelToken::with_budget_ms(Some(0));
+        let result =
+            route_slice_budgeted(&g, &nets, &pos, RouteOptions::default(), &token).unwrap();
+        // Zero budget still completes one full pass: every net has a tree
+        // (possibly congested) or the slice happened to finish clean.
+        let routed = result.value();
+        assert_eq!(routed.len(), nets.len());
+        for r in routed {
+            assert!(!r.nodes.is_empty());
+            assert_eq!(r.sink_paths.len(), 1);
+        }
+    }
+
+    #[test]
+    fn budget_turns_unroutable_into_degraded() {
+        // The impossible-congestion fixture from above: with a budget it
+        // must degrade (overuse reported) instead of erroring.
+        let g = RrGraph::build(
+            Grid::new(2, 1),
+            &ChannelConfig {
+                direct: 1,
+                length1: 1,
+                length4: 0,
+                global: 0,
+            },
+        );
+        let pos = vec![SmbPos::new(0, 0), SmbPos::new(1, 0)];
+        let nets: Vec<SliceNet> = (0..40)
+            .map(|_| SliceNet {
+                driver: 0,
+                sinks: vec![1],
+                critical: false,
+            })
+            .collect();
+        let token = CancelToken::with_budget_ms(Some(0));
+        let result =
+            route_slice_budgeted(&g, &nets, &pos, RouteOptions::default(), &token).unwrap();
+        let Anytime::Degraded(routed, degradation) = result else {
+            panic!("hopeless congestion under a zero budget must degrade");
+        };
+        assert_eq!(routed.len(), nets.len());
+        assert_eq!(degradation.phase, "route");
+        assert_eq!(degradation.completed_iterations, 1);
+        assert!(degradation.qor_estimate > 0.0, "overuse must be reported");
+    }
+
+    #[test]
+    fn unlimited_token_identical_to_plain_route() {
+        let g = graph4();
+        let pos = positions();
+        let nets: Vec<SliceNet> = (0..16)
+            .map(|_| SliceNet {
+                driver: 0,
+                sinks: vec![1],
+                critical: false,
+            })
+            .collect();
+        let plain = route_slice(&g, &nets, &pos, RouteOptions::default()).unwrap();
+        let budgeted = route_slice_budgeted(
+            &g,
+            &nets,
+            &pos,
+            RouteOptions::default(),
+            &CancelToken::unlimited(),
+        )
+        .unwrap();
+        let Anytime::Complete(routed) = budgeted else {
+            panic!("unlimited token must complete");
+        };
+        assert_eq!(plain.len(), routed.len());
+        for (a, b) in plain.iter().zip(&routed) {
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.sink_paths, b.sink_paths);
+        }
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! lowest-force choice. The result balances LUT computation and register
 //! storage across the folding cycles, minimizing the peak LE usage.
 
+use nanomap_observe::{Anytime, CancelToken, Degradation};
+
 use crate::asap::TimeFrames;
 use crate::dg::{storage_ops, DistributionGraphs, StorageOp, StorageWeightMode};
 use crate::error::SchedError;
@@ -62,6 +64,28 @@ pub fn schedule_fds(
     stages: u32,
     options: FdsOptions,
 ) -> Result<Schedule, SchedError> {
+    schedule_fds_budgeted(net, graph, stages, options, &CancelToken::unlimited())
+        .map(Anytime::into_value)
+}
+
+/// Budget-aware [`schedule_fds`]: polls `token` at the top of every FDS
+/// round. On expiry, every still-unpinned item is committed to its ASAP
+/// cycle under the current (partially pinned) time frames — always
+/// precedence-feasible — and the schedule is returned as
+/// [`Anytime::Degraded`] with the peak LUT count as the QoR estimate.
+/// With an unlimited token this is byte-identical to [`schedule_fds`].
+///
+/// # Errors
+///
+/// Returns [`SchedError::Infeasible`] if the critical chain does not fit
+/// (budgets never turn infeasibility into a degraded success).
+pub fn schedule_fds_budgeted(
+    net: &nanomap_netlist::LutNetwork,
+    graph: &ItemGraph,
+    stages: u32,
+    options: FdsOptions,
+    token: &CancelToken,
+) -> Result<Anytime<Schedule>, SchedError> {
     let mut fds_span = nanomap_observe::span!("fds", items = graph.len(), stages = stages);
     let rounds_ctr = nanomap_observe::counter("fds.rounds");
     let force_ctr = nanomap_observe::counter("fds.force_evals");
@@ -76,7 +100,14 @@ pub fn schedule_fds(
     let mut frames = TimeFrames::compute(graph, stages, &pins)?;
 
     let mut force_evals = 0u64;
+    let mut interrupted_at: Option<u64> = None;
     for round in 0..n {
+        // Poll at the round boundary only: an unlimited token reads no
+        // clock, so unbudgeted runs stay byte-identical.
+        if token.expired() {
+            interrupted_at = Some(round as u64);
+            break;
+        }
         rounds_ctr.incr();
         let dgs = DistributionGraphs::build(graph, &frames, &ops);
         dg_ctr.incr();
@@ -115,8 +146,9 @@ pub fn schedule_fds(
         // Convergence trajectory: the committed (lowest) force per round.
         force_series.record(round as u64, force);
         pins[item] = Some(cycle);
-        frames = TimeFrames::compute(graph, stages, &pins)
-            .expect("pinning inside a valid frame keeps the schedule feasible");
+        // Pinning inside a valid frame keeps the schedule feasible, so
+        // this recompute cannot fail; propagate rather than panic anyway.
+        frames = TimeFrames::compute(graph, stages, &pins)?;
     }
     force_ctr.add(force_evals);
     fds_span.attr("force_evals", force_evals);
@@ -131,11 +163,31 @@ pub fn schedule_fds(
         }
     }
 
+    // A completed run has every item pinned; a budget-interrupted run
+    // commits the rest to their ASAP cycle under the current frames,
+    // which is always precedence-feasible.
     let stage_of: Vec<u32> = pins
         .iter()
-        .map(|pin| pin.expect("all items scheduled"))
+        .enumerate()
+        .map(|(i, pin)| pin.unwrap_or_else(|| frames.frame(i).0))
         .collect();
-    Ok(Schedule::new(stage_of, stages))
+    let schedule = Schedule::new(stage_of, stages);
+    match interrupted_at {
+        None => Ok(Anytime::Complete(schedule)),
+        Some(round) => {
+            fds_span.attr("degraded", 1u64);
+            let peak = schedule.lut_counts(graph).into_iter().max().unwrap_or(0);
+            Ok(Anytime::Degraded(
+                schedule,
+                Degradation {
+                    phase: "fds".into(),
+                    reason: format!("time budget expired after {round} of {n} FDS rounds"),
+                    completed_iterations: round,
+                    qor_estimate: f64::from(peak),
+                },
+            ))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +297,89 @@ mod tests {
         let a = schedule_fds(&net, &g, 3, FdsOptions::default()).unwrap();
         let b = schedule_fds(&net, &g, 3, FdsOptions::default()).unwrap();
         assert_eq!(a.stage_of, b.stage_of);
+    }
+
+    #[test]
+    fn zero_budget_degrades_to_feasible_asap() {
+        let mut g = chain_free_graph(&[1, 1, 1]);
+        g.edges = vec![
+            ItemEdge {
+                from: 0,
+                to: 1,
+                latency: 1,
+            },
+            ItemEdge {
+                from: 1,
+                to: 2,
+                latency: 1,
+            },
+        ];
+        g.succs = vec![vec![(1, 1)], vec![(2, 1)], vec![]];
+        g.preds = vec![vec![], vec![(0, 1)], vec![(1, 1)]];
+        let net = LutNetwork::new("t");
+        let token = CancelToken::with_budget_ms(Some(0));
+        let result = schedule_fds_budgeted(&net, &g, 3, FdsOptions::default(), &token).unwrap();
+        let Anytime::Degraded(schedule, degradation) = result else {
+            panic!("zero budget must degrade");
+        };
+        assert!(schedule.validate(&g), "best-so-far must stay feasible");
+        assert_eq!(degradation.phase, "fds");
+        assert_eq!(degradation.completed_iterations, 0);
+    }
+
+    #[test]
+    fn cancelled_token_degrades_mid_run() {
+        let g = chain_free_graph(&[2, 5, 1, 3, 3, 2, 4]);
+        let net = LutNetwork::new("t");
+        let token = CancelToken::cancellable();
+        token.cancel();
+        let result = schedule_fds_budgeted(&net, &g, 3, FdsOptions::default(), &token).unwrap();
+        assert!(result.is_degraded());
+        assert!(result.value().validate(&g));
+    }
+
+    #[test]
+    fn unlimited_token_identical_to_plain_fds() {
+        let g = chain_free_graph(&[2, 5, 1, 3, 3, 2, 4]);
+        let net = LutNetwork::new("t");
+        let plain = schedule_fds(&net, &g, 3, FdsOptions::default()).unwrap();
+        let budgeted = schedule_fds_budgeted(
+            &net,
+            &g,
+            3,
+            FdsOptions::default(),
+            &CancelToken::unlimited(),
+        )
+        .unwrap();
+        let Anytime::Complete(schedule) = budgeted else {
+            panic!("unlimited token must complete");
+        };
+        assert_eq!(plain.stage_of, schedule.stage_of);
+    }
+
+    #[test]
+    fn zero_budget_infeasible_still_errors() {
+        let mut g = chain_free_graph(&[1, 1, 1]);
+        g.edges = vec![
+            ItemEdge {
+                from: 0,
+                to: 1,
+                latency: 1,
+            },
+            ItemEdge {
+                from: 1,
+                to: 2,
+                latency: 1,
+            },
+        ];
+        g.succs = vec![vec![(1, 1)], vec![(2, 1)], vec![]];
+        g.preds = vec![vec![], vec![(0, 1)], vec![(1, 1)]];
+        let net = LutNetwork::new("t");
+        let token = CancelToken::with_budget_ms(Some(0));
+        assert!(matches!(
+            schedule_fds_budgeted(&net, &g, 2, FdsOptions::default(), &token),
+            Err(SchedError::Infeasible { .. })
+        ));
     }
 
     /// End-to-end: schedule a real mapped adder+multiplier plane and check

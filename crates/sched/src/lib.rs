@@ -33,7 +33,7 @@ mod schedule;
 pub use asap::TimeFrames;
 pub use dg::{storage_ops, DistributionGraphs, StorageOp, StorageWeightMode};
 pub use error::SchedError;
-pub use fds::{schedule_fds, FdsOptions};
+pub use fds::{schedule_fds, schedule_fds_budgeted, FdsOptions};
 pub use force::{ForceModel, LeShape};
 pub use item::{Item, ItemEdge, ItemGraph, ItemKind};
 pub use list::{schedule_asap, schedule_list};

@@ -16,6 +16,12 @@
 # validates each artifact with `nanomap explain --check` (per-hop delay
 # sums, the delay identity, congestion/usage reconciliation), and
 # requires a second run to be byte-identical.
+#
+# The timeout-smoke leg maps under a 50 ms budget with --anytime: the run
+# must degrade gracefully (exit 0 or 4, never a hang or panic) and still
+# emit a parseable QoR artifact. The kill-and-resume leg SIGKILLs a run
+# mid-flight, then resumes from the crash-safe checkpoint and requires
+# the explain artifact to match the uninterrupted baseline byte for byte.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,5 +66,33 @@ else
   ./target/release/nanomap explain designs/accumulator.vhd \
     --out ACCUM_explain.json >/dev/null
   ./target/release/nanomap explain --check ACCUM_explain.json
+  echo "==> gate: timeout smoke (50 ms budget degrades gracefully)"
+  set +e
+  ./target/release/nanomap designs/accumulator.vhd --time-budget-ms 50 --anytime \
+    --qor TIMEOUT_qor.json >/dev/null 2>&1
+  status=$?
+  set -e
+  if [[ $status -ne 0 && $status -ne 4 ]]; then
+    echo "timeout smoke: expected exit 0 (clean) or 4 (degraded), got $status" >&2
+    exit 1
+  fi
+  # Atomic sinks: the artifact is complete, valid JSON or absent — a
+  # self-diff parses it through the same reader the gate uses.
+  ./target/release/nanomap qor-diff TIMEOUT_qor.json TIMEOUT_qor.json >/dev/null
+  echo "==> gate: kill-and-resume (checkpoint reproduces the uninterrupted run)"
+  rm -rf CKPT_resume
+  ./target/release/nanomap designs/accumulator.vhd --checkpoint-dir CKPT_resume \
+    --explain BASE_explain.json >/dev/null
+  # Simulate a crash: SIGKILL a fresh run mid-flight. Atomic writes mean
+  # the checkpoint left behind is a complete earlier-phase snapshot,
+  # never a truncated file.
+  ./target/release/nanomap designs/accumulator.vhd --checkpoint-dir CKPT_resume \
+    --explain KILLED_explain.json >/dev/null 2>&1 &
+  victim=$!
+  kill -9 "$victim" 2>/dev/null || true
+  wait "$victim" 2>/dev/null || true
+  ./target/release/nanomap designs/accumulator.vhd \
+    --resume CKPT_resume/accumulator.ckpt.json --explain RESUME_explain.json >/dev/null
+  cmp BASE_explain.json RESUME_explain.json
   echo "QoR gate passed."
 fi
