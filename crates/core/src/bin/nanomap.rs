@@ -22,6 +22,10 @@
 //!   --anytime                   accept a budget-degraded best-so-far mapping
 //!   --checkpoint-dir PATH       write a crash-safe checkpoint after each phase
 //!   --resume PATH               resume from a checkpoint file
+//!   --profile DIR               sample span stacks + memory; write
+//!                               DIR/<circuit>.profile.json (nanomap-profile-v1)
+//!                               and DIR/<circuit>.collapsed (flamegraph input)
+//!   --sample-hz N               profiler sampling rate (default 997)
 //!   --progress                  echo top-level phase timings to stderr
 //!   --trace                     echo every span to stderr as it closes
 //!
@@ -53,6 +57,19 @@
 //!   tolerances; exits non-zero when any gated metric regresses.
 //!   With --exact every gated metric must match bit for bit (the
 //!   determinism gate for defect-free reruns).
+//!
+//! nanomap profile <design.vhd | design.blif> [flow options]
+//!                 [--sample-hz N] [--top-k N] [--out DIR]
+//!   Runs the flow under the sampling profiler and prints the top-K hot
+//!   span paths with each path's share of its phase. --out DIR
+//!   additionally writes the profile JSON + collapsed stacks.
+//!
+//! nanomap perf-diff [--rel F] [--abs-ms F] <baseline.json> <new.json>
+//!   Compares two nanomap-perf-v1 documents (from the bench `perf` leg).
+//!   One-sided gate: a phase median must slow down by more than BOTH the
+//!   relative tolerance (--rel, default 1.0 = 100%) and the absolute
+//!   guard band (--abs-ms, default 25 ms) to fail. p95, memory metrics
+//!   and circuits missing from the new document are informational.
 //! ```
 
 // The CLI turns every failure into a diagnostic plus exit code; a panic
@@ -62,17 +79,26 @@
 use std::path::Path;
 use std::process::ExitCode;
 
+use nanomap::perf::{DEFAULT_ABS_GUARD_MS, DEFAULT_REL_TOLERANCE};
 use nanomap::qor::{
     diff_documents, diff_documents_exact, has_regression, DiffStatus, QorDocument, QorReport,
 };
 use nanomap::{
-    atomic_write, atomic_write_text, check_artifact, Checkpoint, ExplainReport, FlowError, NanoMap,
-    Objective, DEFAULT_TOP_K,
+    atomic_write, atomic_write_text, check_artifact, diff_perf, Checkpoint, ExplainReport,
+    FlowError, NanoMap, Objective, PerfDocument, DEFAULT_TOP_K,
 };
 use nanomap_arch::{ArchParams, DefectMap};
 use nanomap_netlist::{blif, vhdl, LutNetwork};
-use nanomap_observe::{json, Echo, JsonValue};
+use nanomap_observe::{json, Echo, JsonValue, ProfileData};
 use nanomap_techmap::{expand, optimize, ExpandOptions};
+
+/// Count every heap round-trip the flow makes. Tracking is off (one
+/// relaxed load of overhead) until `--profile` turns it on.
+#[global_allocator]
+static ALLOC: nanomap_observe::CountingAllocator = nanomap_observe::CountingAllocator::system();
+
+/// Default number of hot paths the profile subcommand prints.
+const DEFAULT_PROFILE_TOP_K: usize = 15;
 
 /// Exit code: the recovery ladder was exhausted.
 const EXIT_RECOVERY_EXHAUSTED: u8 = 2;
@@ -105,6 +131,8 @@ struct Args {
     anytime: bool,
     checkpoint_dir: Option<String>,
     resume: Option<String>,
+    profile_dir: Option<String>,
+    sample_hz: u32,
     progress: bool,
     trace: bool,
 }
@@ -155,6 +183,8 @@ fn parse_args(cli: impl Iterator<Item = String>) -> Result<Args, String> {
         anytime: false,
         checkpoint_dir: None,
         resume: None,
+        profile_dir: None,
+        sample_hz: 0,
         progress: false,
         trace: false,
     };
@@ -224,6 +254,12 @@ fn parse_args(cli: impl Iterator<Item = String>) -> Result<Args, String> {
             "--anytime" => args.anytime = true,
             "--checkpoint-dir" => args.checkpoint_dir = Some(value(&mut iter, "--checkpoint-dir")?),
             "--resume" => args.resume = Some(value(&mut iter, "--resume")?),
+            "--profile" => args.profile_dir = Some(value(&mut iter, "--profile")?),
+            "--sample-hz" => {
+                args.sample_hz = value(&mut iter, "--sample-hz")?
+                    .parse()
+                    .map_err(|e| format!("--sample-hz: {e}"))?
+            }
             "--optimize" => args.run_optimize = true,
             "--no-physical" => args.physical = false,
             "--verify" => args.verify = true,
@@ -492,13 +528,204 @@ fn qor_diff_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// `nanomap perf-diff [--rel F] [--abs-ms F] <baseline.json> <new.json>`:
+/// the performance regression gate over `nanomap-perf-v1` documents.
+fn perf_diff_main(cli: Vec<String>) -> ExitCode {
+    let mut rel = DEFAULT_REL_TOLERANCE;
+    let mut abs_ms = DEFAULT_ABS_GUARD_MS;
+    let mut paths: Vec<String> = Vec::new();
+    let mut iter = cli.into_iter();
+    let usage = || {
+        eprintln!("usage: nanomap perf-diff [--rel F] [--abs-ms F] <baseline.json> <new.json>");
+        ExitCode::FAILURE
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--rel" => match value(&mut iter, "--rel")
+                .and_then(|v| v.parse::<f64>().map_err(|e| format!("--rel: {e}")))
+            {
+                Ok(v) if v >= 0.0 => rel = v,
+                _ => return usage(),
+            },
+            "--abs-ms" => match value(&mut iter, "--abs-ms")
+                .and_then(|v| v.parse::<f64>().map_err(|e| format!("--abs-ms: {e}")))
+            {
+                Ok(v) if v >= 0.0 => abs_ms = v,
+                _ => return usage(),
+            },
+            other if other.starts_with('-') => return usage(),
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, new_path] = &paths[..] else {
+        return usage();
+    };
+    let read_doc = |path: &String| -> Result<PerfDocument, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        PerfDocument::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, new) = match (read_doc(baseline_path), read_doc(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries = diff_perf(&baseline, &new, rel, abs_ms);
+    let mut failures = 0usize;
+    println!(
+        "{:<14} {:<28} {:>14} {:>14} {:>9}  status",
+        "circuit", "metric", "baseline", "new", "change"
+    );
+    for e in &entries {
+        // Show gated medians plus anything that failed; skip the
+        // info-only p95/memory rows unless they are new metrics.
+        if !(e.status.fails() || e.tolerance.is_some()) {
+            continue;
+        }
+        if e.status.fails() {
+            failures += 1;
+        }
+        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.3}"));
+        let change = e
+            .relative_change()
+            .map_or("-".to_string(), |c| format!("{:+.2}%", c * 100.0));
+        let status = match e.status {
+            DiffStatus::Ok => "ok".to_string(),
+            DiffStatus::Regression => format!("REGRESSION [{}]", e.failure_detail()),
+            DiffStatus::MissingInNew => format!("MISSING [{}]", e.failure_detail()),
+            DiffStatus::MissingInBaseline => "new metric".to_string(),
+            DiffStatus::Info => "info".to_string(),
+        };
+        println!(
+            "{:<14} {:<28} {:>14} {:>14} {:>9}  {}",
+            e.circuit,
+            e.metric,
+            fmt(e.baseline),
+            fmt(e.new),
+            change,
+            status
+        );
+    }
+    if has_regression(&entries) {
+        println!("perf gate: FAIL ({failures} regressed metrics, rel {rel}, abs {abs_ms} ms)");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "perf gate: PASS ({} metrics compared, rel {rel}, abs {abs_ms} ms)",
+            entries.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// Writes `<dir>/<circuit>.profile.json` + `<dir>/<circuit>.collapsed`
+/// and reports where they went. Failures are warnings: the mapping
+/// already succeeded and its artifacts must survive a broken profile
+/// sink.
+fn write_profile_artifacts(dir: &str, circuit: &str, profile: &ProfileData) -> Option<String> {
+    let dir_path = Path::new(dir);
+    if let Err(e) = std::fs::create_dir_all(dir_path) {
+        eprintln!("warning: --profile {dir}: {e}");
+        return None;
+    }
+    let json_path = dir_path.join(format!("{circuit}.profile.json"));
+    let collapsed_path = dir_path.join(format!("{circuit}.collapsed"));
+    let written = atomic_write_text(&json_path, &profile.to_json().to_pretty_string())
+        .and_then(|()| atomic_write_text(&collapsed_path, &profile.collapsed()));
+    match written {
+        Ok(()) => Some(json_path.display().to_string()),
+        Err(e) => {
+            eprintln!("warning: --profile {dir}: {e}");
+            None
+        }
+    }
+}
+
+/// `nanomap profile ...`: run the flow under the sampling profiler and
+/// print the top-K hot span paths.
+fn profile_main(cli: Vec<String>) -> ExitCode {
+    let args = match parse_args(cli.into_iter()) {
+        Ok(a) => a,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}\n");
+            }
+            eprintln!("usage: nanomap profile <design.vhd | design.blif> [flow options]");
+            eprintln!("       [--sample-hz N] [--top-k N] [--out DIR]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let top_k = args.explain_top_k.unwrap_or(DEFAULT_PROFILE_TOP_K);
+    let arch = ArchParams {
+        num_reconf: if args.k == 0 { u32::MAX } else { args.k },
+        ffs_per_le: args.ffs_per_le,
+        ..ArchParams::paper()
+    };
+    nanomap_observe::set_enabled(true);
+    nanomap_observe::reset_memory();
+    nanomap_observe::set_memory_tracking(true);
+    if !nanomap_observe::start_sampler(args.sample_hz) {
+        eprintln!("warning: continuing without the sampling profiler");
+    }
+    let run = || -> Result<nanomap::MappingReport, String> {
+        let mut net = load(&args.input, arch.lut_inputs)?;
+        if args.run_optimize {
+            net = optimize(&net).0;
+        }
+        let objective = parse_objective(&args)?;
+        let flow = apply_defects(NanoMap::new(arch), &args)?;
+        flow.map(&net, objective).map_err(|e| e.to_string())
+    };
+    let result = run();
+    let profile = nanomap_observe::stop_sampler();
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", report.summary());
+    match &profile {
+        Some(profile) => {
+            print!("{}", profile.render_top(top_k));
+            if let Some(dir) = &args.explain_out {
+                if let Some(path) = write_profile_artifacts(dir, &report.circuit, profile) {
+                    println!("profile: -> {path}");
+                }
+            }
+        }
+        None => eprintln!("warning: no profile collected"),
+    }
+    if let Some(memory) = &report.memory {
+        println!(
+            "memory: {} allocations, {:.1} MiB allocated, peak live {:.1} MiB{}",
+            memory.alloc_count,
+            memory.alloc_bytes as f64 / (1024.0 * 1024.0),
+            memory.peak_live_bytes as f64 / (1024.0 * 1024.0),
+            memory.peak_rss_kb.map_or(String::new(), |kb| format!(
+                ", peak RSS {:.1} MiB",
+                kb as f64 / 1024.0
+            ))
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut cli: Vec<String> = std::env::args().skip(1).collect();
     if cli.first().map(String::as_str) == Some("qor-diff") {
         return qor_diff_main(&cli.split_off(1));
     }
+    if cli.first().map(String::as_str) == Some("perf-diff") {
+        return perf_diff_main(cli.split_off(1));
+    }
     if cli.first().map(String::as_str) == Some("explain") {
         return explain_main(cli.split_off(1));
+    }
+    if cli.first().map(String::as_str) == Some("profile") {
+        return profile_main(cli.split_off(1));
     }
     let args = match parse_args(cli.into_iter()) {
         Ok(a) => a,
@@ -512,10 +739,13 @@ fn main() -> ExitCode {
             eprintln!("       [--metrics PATH] [--chrome-trace PATH] [--qor PATH]");
             eprintln!("       [--explain PATH] [--defect-rate F] [--defect-seed N]");
             eprintln!("       [--defect-map PATH] [--time-budget-ms N] [--anytime]");
-            eprintln!("       [--checkpoint-dir PATH] [--resume PATH] [--progress] [--trace]");
+            eprintln!("       [--checkpoint-dir PATH] [--resume PATH] [--profile DIR]");
+            eprintln!("       [--sample-hz N] [--progress] [--trace]");
             eprintln!("       nanomap explain <design> [--out PATH] [--top-k N]");
             eprintln!("       nanomap explain --check <artifact.json>");
+            eprintln!("       nanomap profile <design> [--sample-hz N] [--top-k N] [--out DIR]");
             eprintln!("       nanomap qor-diff [--exact] <baseline.json> <new.json>");
+            eprintln!("       nanomap perf-diff [--rel F] [--abs-ms F] <baseline.json> <new.json>");
             return ExitCode::FAILURE;
         }
     };
@@ -539,10 +769,21 @@ fn main() -> ExitCode {
     if args.metrics_path.is_some()
         || args.chrome_trace_path.is_some()
         || args.qor_path.is_some()
+        || args.profile_dir.is_some()
         || args.progress
         || args.trace
     {
         nanomap_observe::set_enabled(true);
+    }
+    // --profile: turn on memory tracking and the background sampler.
+    // Runs without the flag never touch either, keeping their artifacts
+    // byte-identical.
+    if args.profile_dir.is_some() {
+        nanomap_observe::reset_memory();
+        nanomap_observe::set_memory_tracking(true);
+        if !nanomap_observe::start_sampler(args.sample_hz) {
+            eprintln!("warning: continuing without the sampling profiler");
+        }
     }
     if args.trace {
         nanomap_observe::set_echo(Echo::Trace);
@@ -623,6 +864,13 @@ fn main() -> ExitCode {
             }),
         None => flow.map(&net, objective),
     };
+    // The sampler stops whether the flow succeeded or not; its profile
+    // only gets written on success (failures leave no partial sinks).
+    let profile = if args.profile_dir.is_some() {
+        nanomap_observe::stop_sampler()
+    } else {
+        None
+    };
     match result {
         Ok(report) => {
             report!("{}", report.summary());
@@ -681,6 +929,28 @@ fn main() -> ExitCode {
                 t.verify_ms,
                 t.explain_ms
             );
+            if let Some(memory) = &report.memory {
+                report!(
+                    "  memory: {} allocs, {:.1} MiB allocated, peak live {:.1} MiB{}",
+                    memory.alloc_count,
+                    memory.alloc_bytes as f64 / (1024.0 * 1024.0),
+                    memory.peak_live_bytes as f64 / (1024.0 * 1024.0),
+                    memory.peak_rss_kb.map_or(String::new(), |kb| format!(
+                        ", peak RSS {:.1} MiB",
+                        kb as f64 / 1024.0
+                    ))
+                );
+            }
+            if let (Some(dir), Some(profile)) = (&args.profile_dir, &profile) {
+                if let Some(path) = write_profile_artifacts(dir, &report.circuit, profile) {
+                    report!(
+                        "  profile: {} samples at {:.0} Hz effective ({:.2}% overhead) -> {path}",
+                        profile.total_samples,
+                        profile.effective_hz,
+                        profile.overhead_fraction() * 100.0
+                    );
+                }
+            }
             if let (Some(path), Some(physical)) = (&args.bitmap_path, &report.physical) {
                 if let Some(bytes) = &physical.bitstream {
                     if let Err(e) = atomic_write(Path::new(path), bytes) {
@@ -708,13 +978,17 @@ fn main() -> ExitCode {
             }
             if let Some(path) = &args.chrome_trace_path {
                 // With --explain active the worst routed path rides along
-                // as flow ("s"/"t"/"f") arrows on the trace.
-                let flows = report
+                // as flow ("s"/"t"/"f") arrows on the trace; with
+                // --profile the sampler's hits fold in as instant events.
+                let mut extra = report
                     .explain
                     .as_ref()
                     .map(ExplainReport::chrome_flow_events)
                     .unwrap_or_default();
-                let doc = snap.to_chrome_trace_with_events(flows);
+                if let Some(profile) = &profile {
+                    extra.extend(profile.chrome_events());
+                }
+                let doc = snap.to_chrome_trace_with_events(extra);
                 if let Err(e) = write_sink(path, &doc.to_pretty_string()) {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;

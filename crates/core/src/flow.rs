@@ -1020,6 +1020,16 @@ impl NanoMap {
             degraded: false,
             degradations: Vec::new(),
             phase_times: times,
+            // One RSS sample at flow end tightens the peak even when no
+            // background sampler ran; `memory_report()` stays `None`
+            // (and the artifact byte-identical) unless the driver
+            // enabled tracking.
+            memory: {
+                if nanomap_observe::memory_tracking() {
+                    nanomap_observe::sample_rss_kb();
+                }
+                nanomap_observe::memory_report()
+            },
         })
     }
 }

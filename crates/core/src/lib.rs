@@ -59,6 +59,7 @@ pub mod explain;
 mod flow;
 mod folding;
 mod objective;
+pub mod perf;
 pub mod qor;
 pub mod recovery;
 mod report;
@@ -78,6 +79,7 @@ pub use folding::{
     min_level_shared, FoldingConfig, PlaneSharing,
 };
 pub use objective::Objective;
+pub use perf::{diff_perf, PerfDocument, PerfReport, PERF_SCHEMA};
 pub use qor::{QorDocument, QorReport};
 pub use recovery::{RecoveryAttempt, RecoveryLog, Remedy};
 pub use report::{MappingReport, PhaseTimes, PhysicalReport, SharingMode, UsageReport};

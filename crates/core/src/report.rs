@@ -1,7 +1,7 @@
 //! Mapping reports.
 
 use nanomap_arch::{PowerEstimate, WireType};
-use nanomap_observe::{Degradation, JsonValue};
+use nanomap_observe::{Degradation, JsonValue, MemoryReport};
 use nanomap_route::InterconnectUsage;
 
 use crate::explain::ExplainReport;
@@ -57,6 +57,10 @@ pub struct MappingReport {
     /// flow measures these with plain `Instant`s, independent of whether
     /// the observability collector is enabled.
     pub phase_times: PhaseTimes,
+    /// Heap/RSS telemetry, populated only when the driver turned on
+    /// allocation tracking (`None` keeps untracked artifacts
+    /// byte-identical to pre-telemetry baselines).
+    pub memory: Option<MemoryReport>,
 }
 
 /// Wall-clock milliseconds per flow phase (zero when a phase did not run).
@@ -87,6 +91,39 @@ pub struct PhaseTimes {
 }
 
 impl PhaseTimes {
+    /// Sum of the per-phase wall-clock entries (everything except
+    /// `total_ms` and the budget remainder).
+    pub fn phase_sum_ms(self) -> f64 {
+        self.folding_select_ms
+            + self.fds_ms
+            + self.pack_ms
+            + self.place_ms
+            + self.route_ms
+            + self.bitmap_ms
+            + self.verify_ms
+            + self.explain_ms
+    }
+
+    /// Self-consistency check: the per-phase sum must not exceed the
+    /// reported total by more than `tol_frac` of the total plus a flat
+    /// `slack_ms` guard. One-sided on purpose — inter-phase work the
+    /// breakdown does not itemize (planes extraction, report assembly)
+    /// legitimately makes the sum *undershoot* the total, and recovery-
+    /// ladder retries overwrite per-attempt entries, but the sum ever
+    /// *overshooting* the total means a phase was double-counted.
+    pub fn reconcile(self, tol_frac: f64, slack_ms: f64) -> Result<(), String> {
+        let sum = self.phase_sum_ms();
+        let bound = self.total_ms * (1.0 + tol_frac) + slack_ms;
+        if sum > bound {
+            return Err(format!(
+                "phase_times inconsistent: per-phase sum {sum:.3} ms exceeds \
+                 total {:.3} ms (bound {bound:.3} ms)",
+                self.total_ms
+            ));
+        }
+        Ok(())
+    }
+
     /// JSON object with one entry per phase. `budget_ms_remaining` is
     /// emitted only for budgeted runs, so unbudgeted artifacts stay
     /// byte-identical to pre-budget baselines.
@@ -244,7 +281,7 @@ impl MappingReport {
     /// Serializes the full report as a JSON object (serde-free, via the
     /// observe crate's emitter).
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::object()
+        let json = JsonValue::object()
             .with("circuit", self.circuit.as_str())
             .with("num_planes", self.num_planes)
             .with("depth_max", self.depth_max)
@@ -280,7 +317,14 @@ impl MappingReport {
                     .map(Degradation::to_json)
                     .collect::<Vec<_>>(),
             )
-            .with("phase_times", self.phase_times.to_json())
+            .with("phase_times", self.phase_times.to_json());
+        // Memory telemetry is emitted only when tracking ran, so
+        // untracked artifacts stay byte-identical (same contract as
+        // `budget_ms_remaining`).
+        match &self.memory {
+            Some(memory) => json.with("memory", memory.to_json()),
+            None => json,
+        }
     }
 
     /// A one-line summary in the style of a Table 1 row.
@@ -329,7 +373,69 @@ mod tests {
             degraded: false,
             degradations: Vec::new(),
             phase_times: PhaseTimes::default(),
+            memory: None,
         }
+    }
+
+    #[test]
+    fn memory_is_emitted_only_when_tracked() {
+        let untracked = report().to_json().to_compact_string();
+        assert!(!untracked.contains("\"memory\""), "{untracked}");
+        let mut tracked = report();
+        tracked.memory = Some(MemoryReport {
+            alloc_count: 10,
+            dealloc_count: 5,
+            alloc_bytes: 2048,
+            dealloc_bytes: 1024,
+            live_bytes: 1024,
+            peak_live_bytes: 2048,
+            peak_rss_kb: Some(4096),
+            by_phase: vec![("pack", 10, 2048)],
+        });
+        let text = tracked.to_json().to_compact_string();
+        assert!(text.contains("\"memory\""), "{text}");
+        assert!(text.contains("\"peak_live_bytes\":2048"), "{text}");
+    }
+
+    #[test]
+    fn phase_sum_reconciles_within_tolerance() {
+        let times = PhaseTimes {
+            folding_select_ms: 10.0,
+            fds_ms: 5.0,
+            pack_ms: 20.0,
+            place_ms: 30.0,
+            route_ms: 25.0,
+            bitmap_ms: 2.0,
+            verify_ms: 3.0,
+            explain_ms: 0.0,
+            total_ms: 100.0,
+            budget_ms_remaining: None,
+        };
+        assert!((times.phase_sum_ms() - 95.0).abs() < 1e-12);
+        assert!(times.reconcile(0.10, 1.0).is_ok());
+        // Undershoot is always fine (unitemized inter-phase work).
+        let sparse = PhaseTimes {
+            total_ms: 100.0,
+            place_ms: 40.0,
+            ..PhaseTimes::default()
+        };
+        assert!(sparse.reconcile(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn phase_sum_overshoot_fails_reconcile() {
+        let double_counted = PhaseTimes {
+            place_ms: 80.0,
+            route_ms: 80.0,
+            total_ms: 100.0,
+            ..PhaseTimes::default()
+        };
+        let err = double_counted
+            .reconcile(0.10, 1.0)
+            .expect_err("160 ms of phases in a 100 ms flow");
+        assert!(err.contains("exceeds"), "{err}");
+        // A generous slack absorbs it (the perf harness's guard band).
+        assert!(double_counted.reconcile(0.10, 100.0).is_ok());
     }
 
     #[test]

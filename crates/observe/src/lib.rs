@@ -38,8 +38,10 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod budget;
 pub mod json;
+pub mod profile;
 pub mod rng;
 
 mod collector;
@@ -48,6 +50,10 @@ mod series;
 mod span;
 mod trace;
 
+pub use alloc::{
+    memory_report, memory_tracking, read_rss_kb, reset_memory, sample_rss_kb, set_memory_tracking,
+    CountingAllocator, MemoryReport,
+};
 pub use budget::{Anytime, CancelToken, Degradation};
 pub use collector::{
     counter, enabled, gauge, histogram, incr, reset, series, set_echo, set_enabled, snapshot,
@@ -55,5 +61,9 @@ pub use collector::{
 };
 pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, HistogramHandle, HistogramSnapshot};
+pub use profile::{
+    sampler_running, start_sampler, stop_sampler, HotPath, ProfileData, ProfilePath,
+    DEFAULT_SAMPLE_HZ, PROFILE_SCHEMA,
+};
 pub use series::{SeriesHandle, SeriesPoint, SeriesSnapshot, SERIES_CAPACITY};
 pub use span::{SpanAttr, SpanGuard, SpanRecord};

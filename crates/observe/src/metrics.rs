@@ -239,4 +239,39 @@ mod tests {
         assert_eq!(snap.percentile(99.0), 0);
         assert_eq!(snap.mean(), 0.0);
     }
+
+    #[test]
+    fn empty_histogram_every_percentile_is_zero() {
+        let h = HistogramHandle(Arc::new(Histogram::default()));
+        let snap = h.snapshot();
+        for q in [0.0, 1.0, 50.0, 95.0, 99.9, 100.0] {
+            assert_eq!(snap.percentile(q), 0, "p{q} of empty histogram");
+        }
+    }
+
+    #[test]
+    fn single_sample_histogram_is_that_sample_at_every_percentile() {
+        crate::set_enabled(true);
+        let h = HistogramHandle(Arc::new(Histogram::default()));
+        h.record(42);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        for q in [0.0, 50.0, 99.0, 100.0] {
+            // The max cap clamps the log-bucket bound to the true value.
+            assert_eq!(snap.percentile(q), 42, "p{q}");
+        }
+        assert_eq!(snap.mean(), 42.0);
+    }
+
+    #[test]
+    fn zero_valued_samples_are_counted_not_dropped() {
+        crate::set_enabled(true);
+        let h = HistogramHandle(Arc::new(Histogram::default()));
+        h.record(0);
+        h.record(0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.percentile(100.0), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
 }

@@ -231,6 +231,36 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_series_is_first_last_and_peak_at_once() {
+        let mut data = SeriesData::default();
+        data.record(7, 3.25);
+        let snap = data.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.stride, 1);
+        assert_eq!(snap.points.len(), 1);
+        assert_eq!(snap.first, snap.last);
+        assert_eq!(snap.last_y(), 3.25);
+        assert_eq!(snap.peak(), 3.25);
+        assert_eq!(snap.min_y, 3.25);
+    }
+
+    #[test]
+    fn reservoir_saturation_boundary_keeps_stride_one() {
+        // Exactly at capacity: no decimation yet.
+        let full = recorded(SERIES_CAPACITY as u64).snapshot();
+        assert_eq!(full.stride, 1);
+        assert_eq!(full.points.len(), SERIES_CAPACITY);
+        // One past capacity: the stride doubles and the kept set halves,
+        // but count, extremes, and the newest sample stay exact.
+        let over = recorded(SERIES_CAPACITY as u64 + 1).snapshot();
+        assert_eq!(over.count, SERIES_CAPACITY as u64 + 1);
+        assert_eq!(over.stride, 2);
+        assert!(over.points.len() <= SERIES_CAPACITY / 2 + 1);
+        assert_eq!(over.max_y, SERIES_CAPACITY as f64);
+        assert_eq!(over.last.unwrap().x, SERIES_CAPACITY as u64);
+    }
+
+    #[test]
     fn min_max_track_all_samples_not_just_kept_ones() {
         let mut data = SeriesData::default();
         // A spike at an index the reservoir may drop.

@@ -63,6 +63,13 @@ struct OpenSpan {
     attrs: Vec<SpanAttr>,
     depth: u32,
     started: Instant,
+    /// Whether this span pushed a frame onto the profiler's shared
+    /// path slot (so drop pops exactly what it pushed, even if the
+    /// sampler started or stopped mid-span).
+    published: bool,
+    /// Phase index to restore in the allocator's attribution slot, when
+    /// this span switched it.
+    saved_phase: Option<usize>,
 }
 
 impl SpanGuard {
@@ -79,6 +86,8 @@ impl SpanGuard {
             stack.push(id);
             (parent, depth)
         });
+        let published = crate::profile::frame_enter(name);
+        let saved_phase = crate::alloc::phase_enter(name);
         Self {
             open: Some(OpenSpan {
                 id,
@@ -87,6 +96,8 @@ impl SpanGuard {
                 attrs,
                 depth,
                 started: Instant::now(),
+                published,
+                saved_phase,
             }),
         }
     }
@@ -106,6 +117,12 @@ impl Drop for SpanGuard {
             return;
         };
         let duration = open.started.elapsed();
+        if open.published {
+            crate::profile::frame_exit();
+        }
+        if let Some(previous) = open.saved_phase {
+            crate::alloc::phase_exit(previous);
+        }
         STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             // Guards drop in LIFO order per thread; defend against

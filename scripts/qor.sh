@@ -22,6 +22,14 @@
 # emit a parseable QoR artifact. The kill-and-resume leg SIGKILLs a run
 # mid-flight, then resumes from the crash-safe checkpoint and requires
 # the explain artifact to match the uninterrupted baseline byte for byte.
+#
+# The perf leg re-measures the paper suite (bench `perf` bin, 3 runs)
+# and gates phase medians against results/perf/bench.json with
+# `nanomap perf-diff`. Thresholds are deliberately loose (2x relative
+# AND 25 ms absolute must both be exceeded) — this catches order-of-
+# magnitude regressions, not machine noise. `--rebase` also refreshes
+# the committed perf baselines (results/perf/bench.json and the repo-
+# root BENCH_perf.json trajectory point, 5 runs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,10 +48,14 @@ echo "==> accumulator QoR via the nanomap CLI"
 ./target/release/nanomap designs/accumulator.vhd --qor ACCUM_qor.json >/dev/null
 
 if [[ $REBASE -eq 1 ]]; then
-  mkdir -p results/qor
+  mkdir -p results/qor results/perf
   cp BENCH_qor.json results/qor/bench.json
   cp ACCUM_qor.json results/qor/accumulator.json
-  echo "baselines rebased -> results/qor/{bench,accumulator}.json"
+  echo "==> perf baselines: 5-run sweep of the paper suite"
+  ./target/release/perf --runs 5 --out BENCH_perf.json
+  cp BENCH_perf.json results/perf/bench.json
+  echo "baselines rebased -> results/qor/{bench,accumulator}.json,"
+  echo "  results/perf/bench.json and BENCH_perf.json"
   echo "review the diff and commit them with the change that moved the numbers"
 else
   echo "==> gate: bench circuits"
@@ -94,5 +106,9 @@ else
   ./target/release/nanomap designs/accumulator.vhd \
     --resume CKPT_resume/accumulator.ckpt.json --explain RESUME_explain.json >/dev/null
   cmp BASE_explain.json RESUME_explain.json
+  echo "==> gate: perf (phase medians vs results/perf/bench.json)"
+  ./target/release/perf --runs 3 --out BENCH_perf_new.json --profile-dir PERF_prof
+  ./target/release/nanomap perf-diff --rel 2.0 --abs-ms 25 \
+    results/perf/bench.json BENCH_perf_new.json
   echo "QoR gate passed."
 fi
