@@ -3,11 +3,13 @@
 //! `nanomap-qor-v1` document for the regression gate.
 //!
 //! Run: `cargo run -p nanomap-bench --release --bin qor -- [--out PATH]
-//! [--explain-dir DIR]`
+//! [--explain-dir DIR] [--ledger PATH]`
 //!
 //! With `--explain-dir`, one `nanomap-explain-v1` attribution artifact
 //! per benchmark lands in DIR as `<circuit>.explain.json`, next to the
-//! QoR numbers it explains.
+//! QoR numbers it explains. With `--ledger`, every benchmark mapping
+//! appends a flight-recorder line to the cross-run ledger at PATH
+//! (query with `nanomap runs`).
 //!
 //! Compare against the committed baseline with
 //! `nanomap qor-diff results/qor/bench.json <PATH>` (see `scripts/qor.sh`).
@@ -20,13 +22,17 @@ use nanomap_bench::circuits::paper_benchmarks;
 fn main() {
     let mut out = None;
     let mut explain_dir: Option<String> = None;
+    let mut ledger: Option<String> = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--out" => out = iter.next(),
             "--explain-dir" => explain_dir = iter.next(),
+            "--ledger" => ledger = iter.next(),
             other => {
-                eprintln!("usage: qor [--out PATH] [--explain-dir DIR]  (unexpected `{other}`)");
+                eprintln!(
+                    "usage: qor [--out PATH] [--explain-dir DIR] [--ledger PATH]  (unexpected `{other}`)"
+                );
                 std::process::exit(2);
             }
         }
@@ -63,6 +69,16 @@ fn main() {
         let mut qor = QorReport::from_mapping(&report, &flow.channels, &snapshot);
         // Key by the paper's circuit name, not the generator's netlist name.
         qor.circuit = bench.name.to_string();
+        if let Some(path) = &ledger {
+            let run_id = flow.run_id(&bench.network, Objective::MinAreaDelayProduct);
+            let mut record = nanomap::RunRecord::from_report(&report, run_id, 0);
+            record.circuit = bench.name.to_string();
+            record.objective = Objective::MinAreaDelayProduct.key();
+            record.place_seed = flow.place_options.seed;
+            record.route_seed = flow.route_options.seed;
+            nanomap::append_run(std::path::Path::new(path), &record)
+                .unwrap_or_else(|e| panic!("{}: ledger: {e}", bench.name));
+        }
         eprintln!(
             "{}: {} LEs, {} SMBs, {:.2} ns routed",
             bench.name,

@@ -101,6 +101,29 @@ pub fn atomic_write_text(path: &Path, text: &str) -> Result<(), ArtifactError> {
     atomic_write(path, &bytes)
 }
 
+/// The single registry of artifact schema tags.
+///
+/// Every serialized artifact family embeds exactly one of these strings
+/// so readers can reject foreign or future documents. New families add
+/// a constant here (never an inline literal at the emit site); version
+/// bumps happen here too, which keeps writer and parser in lockstep.
+/// The observe crate sits below this one, so its two tags are
+/// re-exported rather than redefined.
+pub mod versions {
+    /// QoR documents (`--qor`, committed baselines).
+    pub const QOR: &str = "nanomap-qor-v1";
+    /// Perf-gate documents (`bench/perf`, committed baselines).
+    pub const PERF: &str = "nanomap-perf-v1";
+    /// Mid-flow checkpoints (`--checkpoint-dir`).
+    pub const CHECKPOINT: &str = "nanomap-checkpoint-v1";
+    /// QoR explainability documents (`--explain`).
+    pub const EXPLAIN: &str = "nanomap-explain-v1";
+    /// Sampling-profiler documents (`--profile`).
+    pub const PROFILE: &str = nanomap_observe::PROFILE_SCHEMA;
+    /// Event-bus streams and ledger lines (`--live-status`, `runs`).
+    pub const EVENTS: &str = nanomap_observe::EVENTS_SCHEMA;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,12 +26,16 @@
 //!                               DIR/<circuit>.profile.json (nanomap-profile-v1)
 //!                               and DIR/<circuit>.collapsed (flamegraph input)
 //!   --sample-hz N               profiler sampling rate (default 997)
+//!   --live-status PATH          stream nanomap-events-v1 NDJSON (run/phase
+//!                               lifecycle + progress) to PATH as the flow runs
+//!   --ledger PATH               append a one-line flight-recorder summary of
+//!                               this run to the ledger at PATH
 //!   --progress                  echo top-level phase timings to stderr
 //!   --trace                     echo every span to stderr as it closes
 //!
 //! PATH may be `-` for stdout (at most one of
-//! --metrics/--chrome-trace/--qor/--explain; the human-readable report
-//! then moves to stderr).
+//! --metrics/--chrome-trace/--qor/--explain/--live-status; the
+//! human-readable report then moves to stderr).
 //!
 //! Exit codes:
 //!   0  mapping succeeded
@@ -70,26 +74,37 @@
 //!   relative tolerance (--rel, default 1.0 = 100%) and the absolute
 //!   guard band (--abs-ms, default 25 ms) to fail. p95, memory metrics
 //!   and circuits missing from the new document are informational.
+//!
+//! nanomap runs <list | show ID | trend | regress | check-stream FILE>
+//!              [--ledger PATH]
+//!   Flight-recorder queries over the cross-run ledger (default
+//!   results/runs/ledger.jsonl). `list` tabulates run history, `show`
+//!   prints one record by run-id prefix, `trend [--benchmark B]
+//!   [--field F]` renders per-circuit sparkline trends, `regress
+//!   [--field F] [--window N] [--k F]` flags rolling-median+MAD
+//!   outliers (exit 1 when any), and `check-stream` validates a
+//!   --live-status NDJSON capture.
 //! ```
 
 // The CLI turns every failure into a diagnostic plus exit code; a panic
 // anywhere on this path is a bug.
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+use std::io::Write as _;
 use std::path::Path;
 use std::process::ExitCode;
 
 use nanomap::perf::{DEFAULT_ABS_GUARD_MS, DEFAULT_REL_TOLERANCE};
-use nanomap::qor::{
-    diff_documents, diff_documents_exact, has_regression, DiffStatus, QorDocument, QorReport,
-};
+use nanomap::qor::{diff_documents, diff_documents_exact, QorDocument, QorReport};
+use nanomap::runs::{self, Ledger, RunRecord, DEFAULT_LEDGER_PATH};
 use nanomap::{
-    atomic_write, atomic_write_text, check_artifact, diff_perf, Checkpoint, ExplainReport,
-    FlowError, NanoMap, Objective, PerfDocument, DEFAULT_TOP_K,
+    atomic_write, atomic_write_text, check_artifact, diff_perf, has_regression, render_diff_table,
+    Checkpoint, DiffEntry, DiffStatus, ExplainReport, FlowError, MappingReport, NanoMap, Objective,
+    PerfDocument, DEFAULT_TOP_K,
 };
 use nanomap_arch::{ArchParams, DefectMap};
 use nanomap_netlist::{blif, vhdl, LutNetwork};
-use nanomap_observe::{json, Echo, JsonValue, ProfileData};
+use nanomap_observe::{json, Echo, EventStream, JsonValue, ProfileData};
 use nanomap_techmap::{expand, optimize, ExpandOptions};
 
 /// Count every heap round-trip the flow makes. Tracking is off (one
@@ -106,6 +121,37 @@ const EXIT_RECOVERY_EXHAUSTED: u8 = 2;
 const EXIT_BUDGET_EXHAUSTED: u8 = 3;
 /// Exit code: success, but the mapping is budget-degraded.
 const EXIT_DEGRADED: u8 = 4;
+
+/// Writes formatted text to stdout, tolerating a closed pipe: when the
+/// reader goes away (`nanomap --qor - | head`), the write is silently
+/// dropped and the process keeps going toward a clean exit instead of
+/// panicking the way `println!` would. Other write errors surface on
+/// stderr.
+fn stdout_write(text: std::fmt::Arguments<'_>, newline: bool) {
+    let mut out = std::io::stdout().lock();
+    let result = out.write_fmt(text).and_then(|()| {
+        if newline {
+            out.write_all(b"\n")
+        } else {
+            Ok(())
+        }
+    });
+    if let Err(e) = result {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            eprintln!("error: writing stdout: {e}");
+        }
+    }
+}
+
+/// `println!`, minus the broken-pipe panic.
+macro_rules! outln {
+    ($($t:tt)*) => { stdout_write(format_args!($($t)*), true) };
+}
+
+/// `print!`, minus the broken-pipe panic.
+macro_rules! out {
+    ($($t:tt)*) => { stdout_write(format_args!($($t)*), false) };
+}
 
 struct Args {
     input: String,
@@ -133,6 +179,8 @@ struct Args {
     resume: Option<String>,
     profile_dir: Option<String>,
     sample_hz: u32,
+    live_status: Option<String>,
+    ledger_path: Option<String>,
     progress: bool,
     trace: bool,
 }
@@ -145,6 +193,7 @@ impl Args {
             ("--chrome-trace", &self.chrome_trace_path),
             ("--qor", &self.qor_path),
             ("--explain", &self.explain_path),
+            ("--live-status", &self.live_status),
         ]
         .into_iter()
         .filter(|(_, path)| path.as_deref() == Some("-"))
@@ -185,6 +234,8 @@ fn parse_args(cli: impl Iterator<Item = String>) -> Result<Args, String> {
         resume: None,
         profile_dir: None,
         sample_hz: 0,
+        live_status: None,
+        ledger_path: None,
         progress: false,
         trace: false,
     };
@@ -255,6 +306,8 @@ fn parse_args(cli: impl Iterator<Item = String>) -> Result<Args, String> {
             "--checkpoint-dir" => args.checkpoint_dir = Some(value(&mut iter, "--checkpoint-dir")?),
             "--resume" => args.resume = Some(value(&mut iter, "--resume")?),
             "--profile" => args.profile_dir = Some(value(&mut iter, "--profile")?),
+            "--live-status" => args.live_status = Some(value(&mut iter, "--live-status")?),
+            "--ledger" => args.ledger_path = Some(value(&mut iter, "--ledger")?),
             "--sample-hz" => {
                 args.sample_hz = value(&mut iter, "--sample-hz")?
                     .parse()
@@ -320,10 +373,28 @@ fn load(path: &str, lut_inputs: u32) -> Result<LutNetwork, String> {
 /// artifact intact, never a truncated one.
 fn write_sink(path: &str, text: &str) -> Result<(), String> {
     if path == "-" {
-        println!("{text}");
+        outln!("{text}");
         Ok(())
     } else {
         atomic_write_text(Path::new(path), text).map_err(|e| e.to_string())
+    }
+}
+
+/// Opens the `--live-status` sink: stdout for `-`, otherwise a fresh
+/// file at PATH (the stream is line-oriented NDJSON, written live —
+/// a crash leaves a valid prefix, so no atomic-rename dance applies).
+fn open_live_sink(path: &str) -> Result<Box<dyn std::io::Write + Send>, String> {
+    if path == "-" {
+        Ok(Box::new(std::io::stdout()))
+    } else {
+        if let Some(parent) = Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("--live-status {path}: {e}"))?;
+            }
+        }
+        let file = std::fs::File::create(path).map_err(|e| format!("--live-status {path}: {e}"))?;
+        Ok(Box::new(file))
     }
 }
 
@@ -370,7 +441,7 @@ fn explain_main(cli: Vec<String>) -> ExitCode {
             .and_then(|doc| check_artifact(&doc).map_err(|e| format!("{path}: {e}")));
         return match checked {
             Ok(()) => {
-                println!("{path}: OK");
+                outln!("{path}: OK");
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -435,7 +506,7 @@ fn explain_main(cli: Vec<String>) -> ExitCode {
     if args.explain_out.as_deref() == Some("-") {
         eprint!("{text}");
     } else {
-        print!("{text}");
+        out!("{text}");
     }
     if let Some(path) = &args.explain_out {
         if let Err(e) = write_sink(path, &explain.to_json().to_pretty_string()) {
@@ -443,7 +514,7 @@ fn explain_main(cli: Vec<String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
         if path != "-" {
-            println!("\nartifact: -> {path}");
+            outln!("\nartifact: -> {path}");
         }
     }
     ExitCode::SUCCESS
@@ -474,56 +545,22 @@ fn qor_diff_main(args: &[String]) -> ExitCode {
     } else {
         diff_documents(&baseline, &new)
     };
-    let mut failures = 0usize;
-    println!(
-        "{:<14} {:<28} {:>14} {:>14} {:>9}  status",
-        "circuit", "metric", "baseline", "new", "change"
-    );
-    for e in &entries {
-        // Keep the table focused: silent on in-tolerance info metrics.
-        let interesting = e.status.fails()
+    // Keep the table focused: silent on in-tolerance info metrics.
+    let show = |e: &DiffEntry| {
+        e.status.fails()
             || matches!(e.status, DiffStatus::MissingInBaseline)
-            || e.tolerance.is_some();
-        if !interesting {
-            continue;
-        }
-        if e.status.fails() {
-            failures += 1;
-        }
-        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.3}"));
-        let change = e
-            .relative_change()
-            .map_or("-".to_string(), |c| format!("{:+.2}%", c * 100.0));
-        let status = match e.status {
-            DiffStatus::Ok => "ok",
-            DiffStatus::Regression => "REGRESSION",
-            DiffStatus::MissingInNew => "MISSING",
-            DiffStatus::MissingInBaseline => "new metric",
-            DiffStatus::Info => "info",
-        };
-        // Failures spell out the absolute and relative delta so the CI
-        // log alone says how far out of tolerance the run landed.
-        let status = if e.status.fails() {
-            format!("{status} [{}]", e.failure_detail())
-        } else {
-            status.to_string()
-        };
-        println!(
-            "{:<14} {:<28} {:>14} {:>14} {:>9}  {}",
-            e.circuit,
-            e.metric,
-            fmt(e.baseline),
-            fmt(e.new),
-            change,
-            status
-        );
+            || e.tolerance.is_some()
+    };
+    let (lines, failures) = render_diff_table(&entries, show);
+    for line in lines {
+        outln!("{line}");
     }
     let mode = if exact { " (exact)" } else { "" };
     if has_regression(&entries) {
-        println!("QoR gate{mode}: FAIL ({failures} regressed metrics)");
+        outln!("QoR gate{mode}: FAIL ({failures} regressed metrics)");
         ExitCode::FAILURE
     } else {
-        println!("QoR gate{mode}: PASS ({} metrics compared)", entries.len());
+        outln!("QoR gate{mode}: PASS ({} metrics compared)", entries.len());
         ExitCode::SUCCESS
     }
 }
@@ -572,46 +609,18 @@ fn perf_diff_main(cli: Vec<String>) -> ExitCode {
         }
     };
     let entries = diff_perf(&baseline, &new, rel, abs_ms);
-    let mut failures = 0usize;
-    println!(
-        "{:<14} {:<28} {:>14} {:>14} {:>9}  status",
-        "circuit", "metric", "baseline", "new", "change"
-    );
-    for e in &entries {
-        // Show gated medians plus anything that failed; skip the
-        // info-only p95/memory rows unless they are new metrics.
-        if !(e.status.fails() || e.tolerance.is_some()) {
-            continue;
-        }
-        if e.status.fails() {
-            failures += 1;
-        }
-        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.3}"));
-        let change = e
-            .relative_change()
-            .map_or("-".to_string(), |c| format!("{:+.2}%", c * 100.0));
-        let status = match e.status {
-            DiffStatus::Ok => "ok".to_string(),
-            DiffStatus::Regression => format!("REGRESSION [{}]", e.failure_detail()),
-            DiffStatus::MissingInNew => format!("MISSING [{}]", e.failure_detail()),
-            DiffStatus::MissingInBaseline => "new metric".to_string(),
-            DiffStatus::Info => "info".to_string(),
-        };
-        println!(
-            "{:<14} {:<28} {:>14} {:>14} {:>9}  {}",
-            e.circuit,
-            e.metric,
-            fmt(e.baseline),
-            fmt(e.new),
-            change,
-            status
-        );
+    // Show gated medians plus anything that failed; skip the
+    // info-only p95/memory rows unless they are new metrics.
+    let show = |e: &DiffEntry| e.status.fails() || e.tolerance.is_some();
+    let (lines, failures) = render_diff_table(&entries, show);
+    for line in lines {
+        outln!("{line}");
     }
     if has_regression(&entries) {
-        println!("perf gate: FAIL ({failures} regressed metrics, rel {rel}, abs {abs_ms} ms)");
+        outln!("perf gate: FAIL ({failures} regressed metrics, rel {rel}, abs {abs_ms} ms)");
         ExitCode::FAILURE
     } else {
-        println!(
+        outln!(
             "perf gate: PASS ({} metrics compared, rel {rel}, abs {abs_ms} ms)",
             entries.len()
         );
@@ -686,20 +695,20 @@ fn profile_main(cli: Vec<String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("{}", report.summary());
+    outln!("{}", report.summary());
     match &profile {
         Some(profile) => {
-            print!("{}", profile.render_top(top_k));
+            out!("{}", profile.render_top(top_k));
             if let Some(dir) = &args.explain_out {
                 if let Some(path) = write_profile_artifacts(dir, &report.circuit, profile) {
-                    println!("profile: -> {path}");
+                    outln!("profile: -> {path}");
                 }
             }
         }
         None => eprintln!("warning: no profile collected"),
     }
     if let Some(memory) = &report.memory {
-        println!(
+        outln!(
             "memory: {} allocations, {:.1} MiB allocated, peak live {:.1} MiB{}",
             memory.alloc_count,
             memory.alloc_bytes as f64 / (1024.0 * 1024.0),
@@ -711,6 +720,234 @@ fn profile_main(cli: Vec<String>) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// `nanomap runs ...`: flight-recorder queries over the cross-run
+/// ledger — `list`, `show <id>`, `trend`, `regress`, `check-stream`.
+fn runs_main(cli: Vec<String>) -> ExitCode {
+    let usage = || {
+        eprintln!("usage: nanomap runs <list | show ID | trend | regress | check-stream FILE>");
+        eprintln!("       [--ledger PATH] [--benchmark B] [--field F] [--window N] [--k F]");
+        ExitCode::FAILURE
+    };
+    let mut iter = cli.into_iter();
+    let mut ledger_path = DEFAULT_LEDGER_PATH.to_string();
+    let mut benchmark: Option<String> = None;
+    let mut fields: Vec<String> = Vec::new();
+    let mut window = runs::REGRESS_WINDOW;
+    let mut k = runs::REGRESS_K;
+    let mut positional: Vec<String> = Vec::new();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--ledger" => match value(&mut iter, "--ledger") {
+                Ok(v) => ledger_path = v,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            },
+            "--benchmark" => match value(&mut iter, "--benchmark") {
+                Ok(v) => benchmark = Some(v),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            },
+            "--field" => match value(&mut iter, "--field") {
+                Ok(v) => fields.push(v),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            },
+            "--window" => match value(&mut iter, "--window")
+                .and_then(|v| v.parse::<usize>().map_err(|e| format!("--window: {e}")))
+            {
+                Ok(v) => window = v,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            },
+            "--k" => match value(&mut iter, "--k")
+                .and_then(|v| v.parse::<f64>().map_err(|e| format!("--k: {e}")))
+            {
+                Ok(v) => k = v,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            },
+            other if other.starts_with('-') && other != "-" => {
+                eprintln!("error: unknown option `{other}`");
+                return usage();
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    // The verb is the first non-flag argument, so flags may come first.
+    if positional.is_empty() {
+        return usage();
+    }
+    let verb = positional.remove(0);
+    // check-stream reads an event capture, not the ledger.
+    if verb == "check-stream" {
+        let [path] = &positional[..] else {
+            return usage();
+        };
+        let text = if path == "-" {
+            let mut buf = String::new();
+            if let Err(e) = std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf) {
+                eprintln!("error: stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buf
+        } else {
+            match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        return match runs::check_stream(&text) {
+            Ok(check) => {
+                outln!(
+                    "{path}: OK ({} events, run {}, exit {}, total {:.1} ms)",
+                    check.events,
+                    check.run_id,
+                    check.exit_code,
+                    check.total_ms
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let ledger = match Ledger::load(Path::new(&ledger_path)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !ledger.skipped_lines.is_empty() {
+        eprintln!(
+            "warning: {ledger_path}: skipped {} malformed line(s): {:?}",
+            ledger.skipped_lines.len(),
+            ledger.skipped_lines
+        );
+    }
+    match verb.as_str() {
+        "list" => {
+            outln!(
+                "{:<18} {:<14} {:<10} {:>8} {:>10} {:>10} {:>9}",
+                "run",
+                "circuit",
+                "status",
+                "les",
+                "delay_ns",
+                "total_ms",
+                "Δtotal"
+            );
+            // Remember each circuit's previous total to show the delta
+            // against the run one line up in its own history.
+            let mut last_total: std::collections::BTreeMap<&str, f64> =
+                std::collections::BTreeMap::new();
+            for r in &ledger.records {
+                if benchmark.as_deref().is_some_and(|b| b != r.circuit) {
+                    continue;
+                }
+                let total = r.phase_ms.get("total_ms").copied().unwrap_or(f64::NAN);
+                let delta = last_total
+                    .insert(r.circuit.as_str(), total)
+                    .map_or("-".to_string(), |prev| format!("{:+.1}", total - prev));
+                let les = r
+                    .metrics
+                    .get("num_les")
+                    .map_or("-".to_string(), |v| format!("{v:.0}"));
+                let delay = r
+                    .metrics
+                    .get("delay_ns")
+                    .map_or("-".to_string(), |v| format!("{v:.2}"));
+                outln!(
+                    "{:<18} {:<14} {:<10} {:>8} {:>10} {:>10.1} {:>9}",
+                    &r.run_id[..r.run_id.len().min(16)],
+                    r.circuit,
+                    r.status(),
+                    les,
+                    delay,
+                    total,
+                    delta
+                );
+            }
+            outln!("{} runs in {ledger_path}", ledger.records.len());
+            ExitCode::SUCCESS
+        }
+        "show" => {
+            let [prefix] = &positional[..] else {
+                return usage();
+            };
+            match ledger.find(prefix) {
+                Some(record) => {
+                    outln!("{}", record.to_json().to_pretty_string());
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("error: no run matching `{prefix}` in {ledger_path}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "trend" => {
+            let defaults = ["num_les", "delay_ns", "total_ms"];
+            let names: Vec<&str> = if fields.is_empty() {
+                defaults.to_vec()
+            } else {
+                fields.iter().map(String::as_str).collect()
+            };
+            let rows = runs::trend(&ledger, benchmark.as_deref(), &names);
+            if rows.is_empty() {
+                outln!("no matching runs in {ledger_path}");
+                return ExitCode::SUCCESS;
+            }
+            outln!(
+                "{:<14} {:<20} {:>4} {:>12} {:>12} {:>12}  trend",
+                "circuit",
+                "field",
+                "runs",
+                "min",
+                "max",
+                "last"
+            );
+            for row in rows {
+                outln!("{}", row.render());
+            }
+            ExitCode::SUCCESS
+        }
+        "regress" => {
+            let field = fields.first().map_or("total_ms", String::as_str);
+            let outliers = runs::regress(&ledger, benchmark.as_deref(), field, window, k);
+            if outliers.is_empty() {
+                outln!("regress: OK (field {field}, window {window}, k {k})");
+                ExitCode::SUCCESS
+            } else {
+                for o in &outliers {
+                    outln!("{}", o.render());
+                }
+                outln!(
+                    "regress: {} outlier(s) flagged (field {field}, window {window}, k {k})",
+                    outliers.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
 }
 
 fn main() -> ExitCode {
@@ -727,6 +964,9 @@ fn main() -> ExitCode {
     if cli.first().map(String::as_str) == Some("profile") {
         return profile_main(cli.split_off(1));
     }
+    if cli.first().map(String::as_str) == Some("runs") {
+        return runs_main(cli.split_off(1));
+    }
     let args = match parse_args(cli.into_iter()) {
         Ok(a) => a,
         Err(message) => {
@@ -740,12 +980,14 @@ fn main() -> ExitCode {
             eprintln!("       [--explain PATH] [--defect-rate F] [--defect-seed N]");
             eprintln!("       [--defect-map PATH] [--time-budget-ms N] [--anytime]");
             eprintln!("       [--checkpoint-dir PATH] [--resume PATH] [--profile DIR]");
-            eprintln!("       [--sample-hz N] [--progress] [--trace]");
+            eprintln!("       [--sample-hz N] [--live-status PATH] [--ledger PATH]");
+            eprintln!("       [--progress] [--trace]");
             eprintln!("       nanomap explain <design> [--out PATH] [--top-k N]");
             eprintln!("       nanomap explain --check <artifact.json>");
             eprintln!("       nanomap profile <design> [--sample-hz N] [--top-k N] [--out DIR]");
             eprintln!("       nanomap qor-diff [--exact] <baseline.json> <new.json>");
             eprintln!("       nanomap perf-diff [--rel F] [--abs-ms F] <baseline.json> <new.json>");
+            eprintln!("       nanomap runs <list | show ID | trend | regress | check-stream FILE>");
             return ExitCode::FAILURE;
         }
     };
@@ -760,7 +1002,7 @@ fn main() -> ExitCode {
             if stdout_claimed {
                 eprintln!($($t)*);
             } else {
-                println!($($t)*);
+                outln!($($t)*);
             }
         };
     }
@@ -770,6 +1012,7 @@ fn main() -> ExitCode {
         || args.chrome_trace_path.is_some()
         || args.qor_path.is_some()
         || args.profile_dir.is_some()
+        || args.live_status.is_some()
         || args.progress
         || args.trace
     {
@@ -849,6 +1092,18 @@ fn main() -> ExitCode {
         flow = flow.with_checkpoint_dir(dir);
     }
     let channels = flow.channels;
+    // --live-status: start the event-bus streaming thread before the
+    // flow so run-start is the first line out. The stream never blocks
+    // or fails the mapping — a broken sink degrades to a warning.
+    let mut live: Option<EventStream> = None;
+    if let Some(path) = &args.live_status {
+        match open_live_sink(path) {
+            Ok(sink) => live = Some(EventStream::spawn(sink)),
+            Err(e) => eprintln!("warning: {e}"),
+        }
+    }
+    let run_id = (args.live_status.is_some() || args.ledger_path.is_some())
+        .then(|| flow.run_id(&net, objective));
     let result = match &args.resume {
         Some(path) => Checkpoint::load(Path::new(path))
             .map_err(FlowError::from)
@@ -1019,11 +1274,17 @@ fn main() -> ExitCode {
                 }
                 report!("  explain: -> {path}");
             }
-            if report.degraded {
-                ExitCode::from(EXIT_DEGRADED)
-            } else {
-                ExitCode::SUCCESS
-            }
+            let code = if report.degraded { EXIT_DEGRADED } else { 0 };
+            finish_run(
+                &args,
+                &flow,
+                objective,
+                run_id.as_deref(),
+                code,
+                Some(&report),
+                live,
+            );
+            ExitCode::from(code)
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -1041,16 +1302,55 @@ fn main() -> ExitCode {
                     );
                 }
             }
-            match &e {
-                FlowError::RecoveryExhausted { .. } => ExitCode::from(EXIT_RECOVERY_EXHAUSTED),
+            let code = match &e {
+                FlowError::RecoveryExhausted { .. } => EXIT_RECOVERY_EXHAUSTED,
                 FlowError::BudgetExhausted { degradations, .. } => {
                     for d in degradations {
                         eprintln!("  degraded: {}", d.summary());
                     }
-                    ExitCode::from(EXIT_BUDGET_EXHAUSTED)
+                    EXIT_BUDGET_EXHAUSTED
                 }
-                _ => ExitCode::FAILURE,
-            }
+                _ => 1,
+            };
+            finish_run(&args, &flow, objective, run_id.as_deref(), code, None, live);
+            ExitCode::from(code)
+        }
+    }
+}
+
+/// Terminal flight-recorder bookkeeping shared by every flow outcome:
+/// publish the run-end event, shut the live stream down (reporting any
+/// backpressure drops), and append the ledger line. None of it can fail
+/// the run — a broken ledger or sink is a warning.
+fn finish_run(
+    args: &Args,
+    flow: &NanoMap,
+    objective: Objective,
+    run_id: Option<&str>,
+    exit_code: u8,
+    report: Option<&MappingReport>,
+    live: Option<EventStream>,
+) {
+    let exit_code = i32::from(exit_code);
+    if let Some(run_id) = run_id {
+        runs::publish_run_end(run_id, exit_code, report);
+    }
+    if let Some(stream) = live {
+        let stats = stream.finish();
+        if stats.dropped > 0 {
+            eprintln!(
+                "warning: --live-status: {} events dropped under backpressure",
+                stats.dropped
+            );
+        }
+    }
+    if let (Some(path), Some(run_id), Some(report)) = (&args.ledger_path, run_id, report) {
+        let mut record = RunRecord::from_report(report, run_id.to_string(), exit_code);
+        record.objective = objective.key();
+        record.place_seed = flow.place_options.seed;
+        record.route_seed = flow.route_options.seed;
+        if let Err(e) = runs::append_run(Path::new(path), &record) {
+            eprintln!("warning: --ledger {path}: {e}");
         }
     }
 }

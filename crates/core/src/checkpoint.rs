@@ -42,7 +42,7 @@ use crate::folding::{FoldingConfig, PlaneSharing};
 use crate::recovery::{RecoveryLog, Remedy};
 
 /// Schema tag stamped on every checkpoint file.
-pub const CHECKPOINT_SCHEMA: &str = "nanomap-checkpoint-v1";
+pub const CHECKPOINT_SCHEMA: &str = crate::artifact::versions::CHECKPOINT;
 
 /// Errors from checkpoint save, load and validation.
 #[derive(Debug)]
@@ -858,12 +858,19 @@ impl CheckpointWriter {
     }
 
     fn flush(&self) -> Result<(), CheckpointError> {
-        atomic_write_text(&self.path, &self.checkpoint.to_json().to_pretty_string()).map_err(|e| {
-            CheckpointError::Io {
+        atomic_write_text(&self.path, &self.checkpoint.to_json().to_pretty_string()).map_err(
+            |e| CheckpointError::Io {
                 path: self.path.clone(),
                 detail: e.source.to_string(),
-            }
-        })
+            },
+        )?;
+        if nanomap_observe::events_enabled() {
+            nanomap_observe::publish(nanomap_observe::EventKind::Checkpoint {
+                phase: self.checkpoint.phase.as_str().to_string(),
+                path: self.path.display().to_string(),
+            });
+        }
+        Ok(())
     }
 
     /// Records FDS completion (schedules are already in the attempt

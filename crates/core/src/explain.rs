@@ -28,7 +28,7 @@ use nanomap_route::{
 use crate::report::UsageReport;
 
 /// Schema tag stamped into every artifact.
-pub const EXPLAIN_SCHEMA: &str = "nanomap-explain-v1";
+pub const EXPLAIN_SCHEMA: &str = crate::artifact::versions::EXPLAIN;
 
 /// Paths traced per folding cycle (and listed in the text report).
 pub const DEFAULT_TOP_K: usize = 3;

@@ -248,6 +248,7 @@ impl NanoMap {
         token: &CancelToken,
     ) -> Result<MappingReport, FlowError> {
         let total_start = Instant::now();
+        self.publish_run_start(net, objective);
         let mut flow_span = span!("flow", circuit = net.name());
         let mut times = PhaseTimes::default();
         let planes = PlaneSet::extract(net)?;
@@ -471,6 +472,7 @@ impl NanoMap {
         checkpoint.validate(net, &objective.key(), &self.arch)?;
         let token = CancelToken::with_budget_ms(self.budget_ms);
         let total_start = Instant::now();
+        self.publish_run_start(net, objective);
         let mut flow_span = span!("flow", circuit = net.name());
         flow_span.attr("resumed", 1u64);
         let mut times = PhaseTimes::default();
@@ -650,7 +652,42 @@ impl NanoMap {
         report.recovery = recovery;
         report.phase_times.total_ms = total_start.elapsed().as_secs_f64() * 1e3;
         report.phase_times.budget_ms_remaining = token.remaining_ms();
+        if nanomap_observe::events_enabled() {
+            for d in &report.degradations {
+                nanomap_observe::publish(nanomap_observe::EventKind::Degraded {
+                    phase: d.phase.clone(),
+                    reason: d.reason.clone(),
+                    completed_iterations: d.completed_iterations,
+                });
+            }
+        }
         Ok(report)
+    }
+
+    /// Stable flight-recorder id for mapping `net` under `objective`
+    /// with this flow's seeds: the same inputs always produce the same
+    /// id, so ledger history lines up across reruns.
+    pub fn run_id(&self, net: &LutNetwork, objective: Objective) -> String {
+        crate::runs::run_id(
+            netlist_fingerprint(net),
+            &objective.key(),
+            self.place_options.seed,
+            self.route_options.seed,
+        )
+    }
+
+    /// Announces the run on the event bus (first event of the stream).
+    fn publish_run_start(&self, net: &LutNetwork, objective: Objective) {
+        if !nanomap_observe::events_enabled() {
+            return;
+        }
+        nanomap_observe::publish(nanomap_observe::EventKind::RunStart {
+            run_id: self.run_id(net, objective),
+            circuit: net.name().to_string(),
+            objective: objective.key(),
+            place_seed: self.place_options.seed,
+            route_seed: self.route_options.seed,
+        });
     }
 
     /// Builds the checkpoint writer for one physical-design attempt,

@@ -54,6 +54,7 @@
 pub mod artifact;
 pub mod budget;
 pub mod checkpoint;
+pub mod diff;
 mod error;
 pub mod explain;
 mod flow;
@@ -63,6 +64,7 @@ pub mod perf;
 pub mod qor;
 pub mod recovery;
 mod report;
+pub mod runs;
 mod verify;
 
 pub use artifact::{atomic_write, atomic_write_text, ArtifactError};
@@ -71,6 +73,7 @@ pub use checkpoint::{
     netlist_fingerprint, Checkpoint, CheckpointError, CheckpointPhase, CheckpointWriter,
     CHECKPOINT_SCHEMA,
 };
+pub use diff::{has_regression, render_diff_table, DiffEntry, DiffStatus};
 pub use error::FlowError;
 pub use explain::{check_artifact, ExplainReport, DEFAULT_TOP_K, EXPLAIN_SCHEMA};
 pub use flow::NanoMap;
@@ -83,6 +86,7 @@ pub use perf::{diff_perf, PerfDocument, PerfReport, PERF_SCHEMA};
 pub use qor::{QorDocument, QorReport};
 pub use recovery::{RecoveryAttempt, RecoveryLog, Remedy};
 pub use report::{MappingReport, PhaseTimes, PhysicalReport, SharingMode, UsageReport};
+pub use runs::{append_run, Ledger, RunRecord, DEFAULT_LEDGER_PATH};
 pub use verify::{check_folded_execution, FoldedCheck};
 
 pub use nanomap_arch as arch;

@@ -29,10 +29,10 @@ use std::collections::BTreeMap;
 
 use nanomap_observe::{json, JsonValue};
 
-use crate::qor::{DiffEntry, DiffStatus};
+use crate::diff::{DiffEntry, DiffStatus};
 
 /// Schema tag stamped on every perf document.
-pub const PERF_SCHEMA: &str = "nanomap-perf-v1";
+pub const PERF_SCHEMA: &str = crate::artifact::versions::PERF;
 
 /// Default relative slowdown tolerance (100% — perf gates catch real
 /// regressions, not machine noise; tighten per call site as data
@@ -284,7 +284,7 @@ pub fn diff_perf(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::qor::has_regression;
+    use crate::diff::has_regression;
 
     fn report(circuit: &str, metrics: &[(&str, f64)]) -> PerfReport {
         PerfReport {

@@ -21,10 +21,12 @@ use std::collections::BTreeMap;
 use nanomap_arch::ChannelConfig;
 use nanomap_observe::{json, JsonValue, MetricsSnapshot};
 
+use crate::diff::number_map;
+pub use crate::diff::{has_regression, DiffEntry, DiffStatus};
 use crate::report::MappingReport;
 
 /// Schema tag stamped on every QoR document.
-pub const QOR_SCHEMA: &str = "nanomap-qor-v1";
+pub const QOR_SCHEMA: &str = crate::artifact::versions::QOR;
 
 /// Encoding of "no folding" in the `folding_level` metric.
 const NO_FOLDING: f64 = -1.0;
@@ -143,25 +145,6 @@ impl QorReport {
     }
 }
 
-/// Reads a JSON object of numbers into a sorted map. Duplicate keys keep
-/// the first occurrence (matching `JsonValue::get`).
-fn number_map(value: Option<&JsonValue>, what: &str) -> Result<BTreeMap<String, f64>, String> {
-    let JsonValue::Object(entries) = value.ok_or_else(|| format!("report missing `{what}`"))?
-    else {
-        return Err(format!("`{what}` is not an object"));
-    };
-    let mut map = BTreeMap::new();
-    for (key, v) in entries {
-        let number = match v {
-            JsonValue::Int(i) => *i as f64,
-            JsonValue::Float(f) => *f,
-            other => return Err(format!("`{what}.{key}` is not a number: {other:?}")),
-        };
-        map.entry(key.clone()).or_insert(number);
-    }
-    Ok(map)
-}
-
 /// A QoR document: one report per circuit plus the schema tag.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct QorDocument {
@@ -231,74 +214,6 @@ pub fn tolerance_for(metric: &str) -> Option<f64> {
         "routed_wirelength" => Some(0.20),
         name if name.starts_with("peak.") => Some(0.30),
         _ => None,
-    }
-}
-
-/// Outcome of comparing one metric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DiffStatus {
-    /// Within tolerance (or informational and present on both sides).
-    Ok,
-    /// Outside tolerance — fails the gate.
-    Regression,
-    /// Present in the baseline, absent in the new run — fails the gate.
-    MissingInNew,
-    /// New metric with no baseline — informational.
-    MissingInBaseline,
-    /// Report-only metric (no tolerance defined).
-    Info,
-}
-
-impl DiffStatus {
-    /// Whether this entry fails the gate.
-    pub fn fails(self) -> bool {
-        matches!(self, Self::Regression | Self::MissingInNew)
-    }
-}
-
-/// One compared metric.
-#[derive(Debug, Clone, PartialEq)]
-pub struct DiffEntry {
-    /// Circuit the metric belongs to.
-    pub circuit: String,
-    /// Metric name.
-    pub metric: String,
-    /// Baseline value, when present.
-    pub baseline: Option<f64>,
-    /// New value, when present.
-    pub new: Option<f64>,
-    /// Relative tolerance applied (`None` = report-only).
-    pub tolerance: Option<f64>,
-    /// Verdict.
-    pub status: DiffStatus,
-}
-
-impl DiffEntry {
-    /// Relative change `new/baseline - 1` when both sides are present and
-    /// the baseline is non-zero.
-    pub fn relative_change(&self) -> Option<f64> {
-        match (self.baseline, self.new) {
-            (Some(b), Some(n)) if b.abs() > 1e-12 => Some(n / b - 1.0),
-            _ => None,
-        }
-    }
-
-    /// Human-readable delta for a failure line: the absolute change and,
-    /// when the baseline is non-zero, the relative change too —
-    /// `"Δ +0.0300 (+0.18%)"`. Missing sides are named explicitly.
-    pub fn failure_detail(&self) -> String {
-        match (self.baseline, self.new) {
-            (Some(b), Some(n)) => {
-                let abs = n - b;
-                match self.relative_change() {
-                    Some(rel) => format!("Δ {abs:+.6} ({:+.4}%)", rel * 100.0),
-                    None => format!("Δ {abs:+.6}"),
-                }
-            }
-            (Some(b), None) => format!("baseline {b} has no new value"),
-            (None, Some(n)) => format!("new value {n} has no baseline"),
-            (None, None) => "absent on both sides".to_string(),
-        }
     }
 }
 
@@ -403,11 +318,6 @@ fn diff_reports(base: &QorReport, fresh: &QorReport, exact: bool) -> Vec<DiffEnt
         });
     }
     entries
-}
-
-/// Whether any entry fails the gate.
-pub fn has_regression(entries: &[DiffEntry]) -> bool {
-    entries.iter().any(|e| e.status.fails())
 }
 
 #[cfg(test)]

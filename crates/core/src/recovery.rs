@@ -196,6 +196,15 @@ impl RecoveryLog {
             u64::from(attempt.attempt),
             ladder_height(attempt.remedy) as f64,
         );
+        if nanomap_observe::events_enabled() {
+            nanomap_observe::publish(nanomap_observe::EventKind::Recovery {
+                attempt: u64::from(attempt.attempt),
+                candidate: attempt.candidate,
+                remedy: attempt.remedy.as_str().to_string(),
+                phase: attempt.phase.to_string(),
+                error: attempt.error.clone(),
+            });
+        }
         self.attempts.push(attempt);
     }
 

@@ -1,0 +1,1016 @@
+//! The flight-recorder ledger and cross-run trend analysis.
+//!
+//! Every mapping run can crash-safely append a one-line JSON summary —
+//! run id, benchmark, seeds, QoR headline numbers, per-phase wall-clock,
+//! peak RSS, degradations, exit code — to `results/runs/ledger.jsonl`
+//! ([`append_run`]). The `nanomap runs` subcommand aggregates that
+//! history: `list`/`show` browse it, `trend` renders ASCII-sparkline
+//! tables per benchmark and field, and `regress` flags outliers with a
+//! rolling median + MAD detector, turning the point-in-time QoR/perf
+//! gates into a continuous record.
+//!
+//! Appends take an advisory lock on a stable sidecar file
+//! (`<ledger>.lock`) and rewrite through the atomic-write substrate, so
+//! concurrent appenders serialize and a killed writer can never leave a
+//! torn line behind its own append. Lines torn by *external* means (a
+//! partial copy, a crashed foreign writer) are skipped — not fatal — on
+//! load, and reported in [`Ledger::skipped_lines`].
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use nanomap_observe::{json, JsonValue};
+
+use crate::artifact::{atomic_write_text, versions};
+use crate::report::MappingReport;
+
+/// Default ledger location, relative to the working directory.
+pub const DEFAULT_LEDGER_PATH: &str = "results/runs/ledger.jsonl";
+
+/// Rolling window length for the [`regress`] outlier detector.
+pub const REGRESS_WINDOW: usize = 8;
+
+/// Default MAD multiplier for [`regress`]: a value flags when it
+/// exceeds `median + K · σ` with `σ = 1.4826 · MAD` of the window.
+pub const REGRESS_K: f64 = 4.0;
+
+/// Consistency factor turning a median absolute deviation into a
+/// normal-equivalent standard deviation.
+const MAD_SIGMA: f64 = 1.4826;
+
+/// Stable run identifier: FNV-1a over the netlist fingerprint, the
+/// objective key and both physical seeds, rendered as 16 hex digits.
+/// The same netlist mapped the same way always gets the same id.
+pub fn run_id(fingerprint: u64, objective_key: &str, place_seed: u64, route_seed: u64) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        h = (h ^ 0xFF).wrapping_mul(0x100_0000_01b3); // field separator
+    };
+    eat(&fingerprint.to_le_bytes());
+    eat(objective_key.as_bytes());
+    eat(&place_seed.to_le_bytes());
+    eat(&route_seed.to_le_bytes());
+    format!("{h:016x}")
+}
+
+/// One ledger line: the flight-recorder summary of a single run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Stable id from [`run_id`].
+    pub run_id: String,
+    /// Circuit (benchmark) name.
+    pub circuit: String,
+    /// Objective key, e.g. `min-at`.
+    pub objective: String,
+    /// Placement seed.
+    pub place_seed: u64,
+    /// Routing seed.
+    pub route_seed: u64,
+    /// Unix timestamp (seconds) of the append; 0 when the clock was
+    /// unavailable.
+    pub timestamp: u64,
+    /// Process exit code the run mapped to (0 ok, 4 degraded, ...).
+    pub exit_code: i32,
+    /// Number of accepted degradations.
+    pub degradations: u64,
+    /// Recovery-ladder attempts consumed.
+    pub recovery_attempts: u64,
+    /// Peak resident set in KiB, when measured.
+    pub peak_rss_kb: Option<u64>,
+    /// QoR headline metrics (num_les, delay_ns, ...).
+    pub metrics: BTreeMap<String, f64>,
+    /// Per-phase wall-clock milliseconds, mirroring `phase_times`.
+    pub phase_ms: BTreeMap<String, f64>,
+}
+
+/// Human status word for a flow exit code.
+pub fn status_word(exit_code: i32) -> &'static str {
+    match exit_code {
+        0 => "ok",
+        2 => "recovery-exhausted",
+        3 => "budget-exhausted",
+        4 => "degraded",
+        _ => "error",
+    }
+}
+
+/// Publishes the terminal `run-end` event of a stream. `report` is
+/// `None` when the run failed before producing one (phase totals are
+/// then empty and `total_ms` zero). No-op while the bus is disabled.
+pub fn publish_run_end(run_id: &str, exit_code: i32, report: Option<&MappingReport>) {
+    if !nanomap_observe::events_enabled() {
+        return;
+    }
+    let (phase_ms, total_ms) = report.map_or_else(
+        || (Vec::new(), 0.0),
+        |r| {
+            let t = r.phase_times;
+            let phases = [
+                ("folding_select_ms", t.folding_select_ms),
+                ("fds_ms", t.fds_ms),
+                ("pack_ms", t.pack_ms),
+                ("place_ms", t.place_ms),
+                ("route_ms", t.route_ms),
+                ("bitmap_ms", t.bitmap_ms),
+                ("verify_ms", t.verify_ms),
+                ("explain_ms", t.explain_ms),
+            ]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+            (phases, t.total_ms)
+        },
+    );
+    nanomap_observe::publish(nanomap_observe::EventKind::RunEnd {
+        run_id: run_id.to_string(),
+        status: status_word(exit_code).to_string(),
+        exit_code,
+        phase_ms,
+        total_ms,
+    });
+}
+
+impl RunRecord {
+    /// Builds a ledger record from a finished mapping.
+    pub fn from_report(report: &MappingReport, run_id: String, exit_code: i32) -> Self {
+        let mut metrics = BTreeMap::new();
+        let mut m = |name: &str, value: f64| {
+            metrics.insert(name.to_string(), value);
+        };
+        m("num_les", f64::from(report.num_les));
+        m("num_luts", f64::from(report.num_luts));
+        m("delay_ns", report.delay_ns);
+        m("area_um2", report.area_um2);
+        if let Some(p) = &report.physical {
+            m("num_smbs", f64::from(p.num_smbs));
+            m("routed_delay_ns", p.routed_delay_ns);
+            m("routed_wirelength", p.usage.total() as f64);
+        }
+        let t = report.phase_times;
+        let phase_ms: BTreeMap<String, f64> = [
+            ("folding_select_ms", t.folding_select_ms),
+            ("fds_ms", t.fds_ms),
+            ("pack_ms", t.pack_ms),
+            ("place_ms", t.place_ms),
+            ("route_ms", t.route_ms),
+            ("bitmap_ms", t.bitmap_ms),
+            ("verify_ms", t.verify_ms),
+            ("explain_ms", t.explain_ms),
+            ("total_ms", t.total_ms),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+        let timestamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        Self {
+            run_id,
+            circuit: report.circuit.clone(),
+            objective: String::new(),
+            place_seed: 0,
+            route_seed: 0,
+            timestamp,
+            exit_code,
+            degradations: report.degradations.len() as u64,
+            recovery_attempts: report.recovery.attempts.len() as u64,
+            peak_rss_kb: report
+                .memory
+                .as_ref()
+                .and_then(|m| m.peak_rss_kb)
+                .or_else(nanomap_observe::read_rss_kb),
+            metrics,
+            phase_ms,
+        }
+    }
+
+    /// Human status word for the exit code.
+    pub fn status(&self) -> &'static str {
+        status_word(self.exit_code)
+    }
+
+    /// One compact JSON object — the ledger line format. Tagged with the
+    /// events-subsystem schema so the line is self-describing.
+    pub fn to_json(&self) -> JsonValue {
+        let mut metrics = JsonValue::object();
+        for (name, &value) in &self.metrics {
+            metrics.set(name, value);
+        }
+        let mut phases = JsonValue::object();
+        for (name, &value) in &self.phase_ms {
+            phases.set(name, value);
+        }
+        let mut obj = JsonValue::object()
+            .with("schema", versions::EVENTS)
+            .with("run_id", self.run_id.as_str())
+            .with("circuit", self.circuit.as_str())
+            .with("objective", self.objective.as_str())
+            .with("place_seed", self.place_seed)
+            .with("route_seed", self.route_seed)
+            .with("timestamp", self.timestamp)
+            .with("exit_code", i64::from(self.exit_code))
+            .with("degradations", self.degradations)
+            .with("recovery_attempts", self.recovery_attempts);
+        if let Some(kb) = self.peak_rss_kb {
+            obj.set("peak_rss_kb", kb);
+        }
+        obj.set("metrics", metrics);
+        obj.set("phase_ms", phases);
+        obj
+    }
+
+    /// Parses one ledger line.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first structural mismatch (malformed JSON, missing
+    /// or mistyped field).
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        match value.get("schema").and_then(JsonValue::as_str) {
+            Some(s) if s == versions::EVENTS => {}
+            Some(other) => return Err(format!("unsupported ledger schema `{other}`")),
+            None => return Err("ledger line missing `schema`".into()),
+        }
+        let text = |key: &str| -> Result<String, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("ledger line missing string `{key}`"))
+        };
+        let int = |key: &str| -> Result<i64, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_int)
+                .ok_or_else(|| format!("ledger line missing integer `{key}`"))
+        };
+        Ok(Self {
+            run_id: text("run_id")?,
+            circuit: text("circuit")?,
+            objective: text("objective")?,
+            place_seed: int("place_seed")? as u64,
+            route_seed: int("route_seed")? as u64,
+            timestamp: int("timestamp")?.max(0) as u64,
+            exit_code: int("exit_code")? as i32,
+            degradations: int("degradations")?.max(0) as u64,
+            recovery_attempts: int("recovery_attempts")?.max(0) as u64,
+            peak_rss_kb: value
+                .get("peak_rss_kb")
+                .and_then(JsonValue::as_int)
+                .map(|v| v.max(0) as u64),
+            metrics: crate::diff::number_map(value.get("metrics"), "metrics")?,
+            phase_ms: crate::diff::number_map(value.get("phase_ms"), "phase_ms")?,
+        })
+    }
+
+    /// Looks a trend/regress field up across the metric and phase maps
+    /// (`peak_rss_kb` is also addressable).
+    pub fn field(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .get(name)
+            .or_else(|| self.phase_ms.get(name))
+            .copied()
+            .or_else(|| (name == "peak_rss_kb").then(|| self.peak_rss_kb.map(|kb| kb as f64))?)
+    }
+}
+
+/// Crash-safely appends one record to the ledger at `path`.
+///
+/// Concurrent appenders serialize on an advisory lock held on a stable
+/// sidecar file (`<path>.lock` — never renamed, so the lock cannot go
+/// stale mid-append), then rewrite the ledger through the atomic-write
+/// substrate. A torn final line left by a foreign writer is preserved
+/// as its own (skippable) line, never merged into the new record.
+///
+/// # Errors
+///
+/// Returns a description of the first I/O failure.
+pub fn append_run(path: &Path, record: &RunRecord) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+    }
+    let lock_path = lock_path_for(path);
+    let lock_file = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(&lock_path)
+        .map_err(|e| format!("opening {}: {e}", lock_path.display()))?;
+    lock_file
+        .lock()
+        .map_err(|e| format!("locking {}: {e}", lock_path.display()))?;
+    // Lock held until `lock_file` drops at the end of the function.
+    let mut text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(format!("reading {}: {e}", path.display())),
+    };
+    if !text.is_empty() && !text.ends_with('\n') {
+        text.push('\n');
+    }
+    text.push_str(&record.to_json().to_compact_string());
+    text.push('\n');
+    atomic_write_text(path, &text).map_err(|e| e.to_string())
+}
+
+/// The sidecar lock file guarding appends to `path`.
+fn lock_path_for(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("ledger"),
+        std::ffi::OsStr::to_os_string,
+    );
+    name.push(".lock");
+    path.with_file_name(name)
+}
+
+/// A loaded ledger: parsed records plus the 1-based line numbers that
+/// failed to parse (torn tails, foreign garbage) and were skipped.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    /// Records in file (append) order.
+    pub records: Vec<RunRecord>,
+    /// 1-based line numbers that did not parse.
+    pub skipped_lines: Vec<usize>,
+}
+
+impl Ledger {
+    /// Parses ledger text line by line. Malformed lines — including a
+    /// final line truncated by a killed foreign writer — are skipped
+    /// and reported, never fatal.
+    pub fn parse(text: &str) -> Self {
+        let mut ledger = Ledger::default();
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match json::parse(line).and_then(|v| RunRecord::from_json(&v)) {
+                Ok(record) => ledger.records.push(record),
+                Err(_) => ledger.skipped_lines.push(idx + 1),
+            }
+        }
+        ledger
+    }
+
+    /// Loads and parses the ledger at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Only on I/O failure — parse problems are per-line skips.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Ok(Self::parse(&text))
+    }
+
+    /// Distinct circuit names in first-seen order.
+    pub fn circuits(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for r in &self.records {
+            if !seen.contains(&r.circuit.as_str()) {
+                seen.push(r.circuit.as_str());
+            }
+        }
+        seen
+    }
+
+    /// All records for one circuit, in append order.
+    pub fn runs_of(&self, circuit: &str) -> Vec<&RunRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.circuit == circuit)
+            .collect()
+    }
+
+    /// Finds a record by run-id prefix (latest match wins, so `show`
+    /// favors the most recent run of a re-executed configuration).
+    pub fn find(&self, run_id_prefix: &str) -> Option<&RunRecord> {
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.run_id.starts_with(run_id_prefix))
+    }
+}
+
+/// Eight-level ASCII sparkline of `values` (empty input → empty string;
+/// a flat series renders mid-scale).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (min, max) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                return '?';
+            }
+            if max - min < 1e-12 {
+                return BARS[3];
+            }
+            let t = (v - min) / (max - min);
+            BARS[((t * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+/// One row of the `trend` table: a circuit's history of one field.
+#[derive(Debug, Clone)]
+pub struct TrendRow {
+    /// Circuit name.
+    pub circuit: String,
+    /// Field name (metric, phase time, or `peak_rss_kb`).
+    pub field: String,
+    /// Values in append order.
+    pub values: Vec<f64>,
+}
+
+impl TrendRow {
+    /// Renders the row as one fixed-width table line with a sparkline.
+    pub fn render(&self) -> String {
+        let min = self.values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self
+            .values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let last = self.values.last().copied().unwrap_or(f64::NAN);
+        format!(
+            "{:<14} {:<20} {:>4} {:>12.3} {:>12.3} {:>12.3}  {}",
+            self.circuit,
+            self.field,
+            self.values.len(),
+            min,
+            max,
+            last,
+            sparkline(&self.values)
+        )
+    }
+}
+
+/// Builds trend rows for every (circuit, field) pair with at least one
+/// value. Output order is deterministic: circuits in first-seen ledger
+/// order, fields in the order given.
+pub fn trend(ledger: &Ledger, benchmark: Option<&str>, fields: &[&str]) -> Vec<TrendRow> {
+    let mut rows = Vec::new();
+    for circuit in ledger.circuits() {
+        if benchmark.is_some_and(|b| b != circuit) {
+            continue;
+        }
+        for &field in fields {
+            let values: Vec<f64> = ledger
+                .runs_of(circuit)
+                .iter()
+                .filter_map(|r| r.field(field))
+                .collect();
+            if !values.is_empty() {
+                rows.push(TrendRow {
+                    circuit: circuit.to_string(),
+                    field: field.to_string(),
+                    values,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// A run flagged by the rolling median + MAD detector.
+#[derive(Debug, Clone)]
+pub struct Outlier {
+    /// Circuit name.
+    pub circuit: String,
+    /// Field that regressed.
+    pub field: String,
+    /// Run id of the flagged run.
+    pub run_id: String,
+    /// 0-based index of the run within the circuit's history.
+    pub index: usize,
+    /// The offending value.
+    pub value: f64,
+    /// Rolling median of the preceding window.
+    pub median: f64,
+    /// The flag threshold (`median + K · σ`).
+    pub threshold: f64,
+}
+
+impl Outlier {
+    /// One human-readable line describing the flag.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<14} {:<20} run {} ({}): {:.3} > {:.3} (rolling median {:.3})",
+            self.circuit,
+            self.field,
+            self.index,
+            self.run_id,
+            self.value,
+            self.threshold,
+            self.median
+        )
+    }
+}
+
+fn median_of(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Flags upward outliers (all ledger fields are lower-is-better) via a
+/// rolling median + MAD over the preceding `window` runs. A value flags
+/// when it exceeds `median + k · σ`, where `σ = 1.4826 · MAD` floored at
+/// 1% of the median magnitude — so perfectly flat deterministic series
+/// (MAD = 0) tolerate float jitter but still flag a real jump. Needs at
+/// least 4 prior runs per circuit.
+pub fn regress(
+    ledger: &Ledger,
+    benchmark: Option<&str>,
+    field: &str,
+    window: usize,
+    k: f64,
+) -> Vec<Outlier> {
+    const MIN_HISTORY: usize = 4;
+    let window = window.max(MIN_HISTORY);
+    let mut outliers = Vec::new();
+    for circuit in ledger.circuits() {
+        if benchmark.is_some_and(|b| b != circuit) {
+            continue;
+        }
+        let runs = ledger.runs_of(circuit);
+        let values: Vec<Option<f64>> = runs.iter().map(|r| r.field(field)).collect();
+        for i in MIN_HISTORY..values.len() {
+            let Some(value) = values[i] else { continue };
+            let start = i.saturating_sub(window);
+            let mut history: Vec<f64> = values[start..i].iter().filter_map(|v| *v).collect();
+            if history.len() < MIN_HISTORY {
+                continue;
+            }
+            history.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let median = median_of(&history);
+            let mut deviations: Vec<f64> = history.iter().map(|v| (v - median).abs()).collect();
+            deviations.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let sigma = (MAD_SIGMA * median_of(&deviations)).max(0.01 * median.abs().max(1e-9));
+            let threshold = median + k * sigma;
+            if value > threshold {
+                outliers.push(Outlier {
+                    circuit: circuit.to_string(),
+                    field: field.to_string(),
+                    run_id: runs[i].run_id.clone(),
+                    index: i,
+                    value,
+                    median,
+                    threshold,
+                });
+            }
+        }
+    }
+    outliers
+}
+
+/// Summary returned by a successful [`check_stream`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamCheck {
+    /// Total events in the stream.
+    pub events: u64,
+    /// The run id announced by run-start.
+    pub run_id: String,
+    /// Exit code reported by run-end.
+    pub exit_code: i32,
+    /// Per-phase totals from run-end.
+    pub phase_ms: BTreeMap<String, f64>,
+    /// Total wall-clock from run-end.
+    pub total_ms: f64,
+}
+
+/// Validates a `nanomap-events-v1` NDJSON stream: every line parses,
+/// sequence numbers strictly increase, the stream opens with a
+/// schema-tagged run-start and terminates with run-end, per-thread
+/// phase-start/phase-end events nest properly, progress fractions stay
+/// in `[0, 1]`, and run-end's phase totals are consistent with its
+/// total (sequential phases cannot sum past the whole run, modulo
+/// timer slack).
+///
+/// # Errors
+///
+/// Describes the first violated invariant.
+pub fn check_stream(text: &str) -> Result<StreamCheck, String> {
+    let mut check = StreamCheck::default();
+    let mut last_seq: Option<i64> = None;
+    let mut saw_run_start = false;
+    let mut last_kind = String::new();
+    let mut stacks: BTreeMap<i64, Vec<String>> = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {lineno}: empty line inside the stream"));
+        }
+        let event = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let seq = event
+            .get("seq")
+            .and_then(JsonValue::as_int)
+            .ok_or_else(|| format!("line {lineno}: missing `seq`"))?;
+        if let Some(prev) = last_seq {
+            if seq <= prev {
+                return Err(format!(
+                    "line {lineno}: seq {seq} not greater than previous {prev}"
+                ));
+            }
+        }
+        last_seq = Some(seq);
+        let kind = event
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing `kind`"))?
+            .to_string();
+        let tid = event.get("tid").and_then(JsonValue::as_int).unwrap_or(0);
+        match kind.as_str() {
+            "run-start" => {
+                if saw_run_start {
+                    return Err(format!("line {lineno}: duplicate run-start"));
+                }
+                if check.events != 0 {
+                    return Err(format!("line {lineno}: run-start is not the first event"));
+                }
+                match event.get("schema").and_then(JsonValue::as_str) {
+                    Some(s) if s == versions::EVENTS => {}
+                    other => {
+                        return Err(format!("line {lineno}: run-start schema {other:?}"));
+                    }
+                }
+                check.run_id = event
+                    .get("run_id")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("line {lineno}: run-start missing `run_id`"))?
+                    .to_string();
+                saw_run_start = true;
+            }
+            "phase-start" => {
+                let phase = phase_of(&event, lineno)?;
+                stacks.entry(tid).or_default().push(phase);
+            }
+            "phase-end" => {
+                let phase = phase_of(&event, lineno)?;
+                let top = stacks.entry(tid).or_default().pop();
+                if top.as_deref() != Some(phase.as_str()) {
+                    return Err(format!(
+                        "line {lineno}: phase-end `{phase}` does not match open phase {top:?} on tid {tid}"
+                    ));
+                }
+            }
+            "phase-progress" => {
+                if let Some(f) = event.get("fraction").and_then(JsonValue::as_f64) {
+                    if !(0.0..=1.0).contains(&f) {
+                        return Err(format!("line {lineno}: fraction {f} outside [0, 1]"));
+                    }
+                }
+            }
+            "run-end" => {
+                check.exit_code = event
+                    .get("exit_code")
+                    .and_then(JsonValue::as_int)
+                    .ok_or_else(|| format!("line {lineno}: run-end missing `exit_code`"))?
+                    as i32;
+                check.phase_ms = crate::diff::number_map(event.get("phase_ms"), "phase_ms")
+                    .map_err(|e| format!("line {lineno}: {e}"))?;
+                check.total_ms = event
+                    .get("total_ms")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("line {lineno}: run-end missing `total_ms`"))?;
+                let phase_sum: f64 = check
+                    .phase_ms
+                    .iter()
+                    .filter(|(name, _)| *name != "total_ms" && *name != "budget_ms_remaining")
+                    .map(|(_, v)| v)
+                    .sum();
+                if phase_sum > check.total_ms * 1.05 + 50.0 {
+                    return Err(format!(
+                        "line {lineno}: phase totals {phase_sum:.1} ms exceed run total {:.1} ms",
+                        check.total_ms
+                    ));
+                }
+            }
+            "counters" | "degraded" | "recovery-attempt" | "checkpoint" => {}
+            other => return Err(format!("line {lineno}: unknown event kind `{other}`")),
+        }
+        if !saw_run_start {
+            return Err(format!("line {lineno}: `{kind}` before run-start"));
+        }
+        check.events += 1;
+        last_kind = kind;
+    }
+    if check.events == 0 {
+        return Err("empty stream".into());
+    }
+    if last_kind != "run-end" {
+        return Err(format!(
+            "stream does not terminate with run-end (last event: `{last_kind}`)"
+        ));
+    }
+    Ok(check)
+}
+
+fn phase_of(event: &JsonValue, lineno: usize) -> Result<String, String> {
+    event
+        .get("phase")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {lineno}: missing `phase`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(circuit: &str, run: &str, total_ms: f64) -> RunRecord {
+        RunRecord {
+            run_id: run.to_string(),
+            circuit: circuit.to_string(),
+            objective: "min-at".to_string(),
+            place_seed: 1,
+            route_seed: 2,
+            timestamp: 1_000,
+            exit_code: 0,
+            degradations: 0,
+            recovery_attempts: 0,
+            peak_rss_kb: Some(4_096),
+            metrics: [("num_les".to_string(), 12.0), ("delay_ns".to_string(), 3.5)]
+                .into_iter()
+                .collect(),
+            phase_ms: [
+                ("place_ms".to_string(), total_ms * 0.6),
+                ("route_ms".to_string(), total_ms * 0.4),
+                ("total_ms".to_string(), total_ms),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    #[test]
+    fn run_id_is_deterministic_and_input_sensitive() {
+        let base = run_id(0xdead_beef, "min-at", 1, 2);
+        assert_eq!(base, run_id(0xdead_beef, "min-at", 1, 2));
+        assert_eq!(base.len(), 16);
+        assert!(base.chars().all(|c| c.is_ascii_hexdigit()));
+        // Every input perturbs the id.
+        assert_ne!(base, run_id(0xdead_bee0, "min-at", 1, 2));
+        assert_ne!(base, run_id(0xdead_beef, "min-delay", 1, 2));
+        assert_ne!(base, run_id(0xdead_beef, "min-at", 7, 2));
+        assert_ne!(base, run_id(0xdead_beef, "min-at", 1, 7));
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let rec = record("mac16", "abc123", 120.0);
+        let back = RunRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(back, rec);
+        // Optional RSS absent also round-trips.
+        let mut bare = rec;
+        bare.peak_rss_kb = None;
+        assert_eq!(RunRecord::from_json(&bare.to_json()).unwrap(), bare);
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_schemas() {
+        let line = record("mac16", "abc", 1.0)
+            .to_json()
+            .to_compact_string()
+            .replace(versions::EVENTS, "other-v9");
+        let err = RunRecord::from_json(&json::parse(&line).unwrap()).unwrap_err();
+        assert!(err.contains("other-v9"), "{err}");
+    }
+
+    #[test]
+    fn append_creates_appends_and_heals_torn_tails() {
+        let dir = std::env::temp_dir().join(format!("nanomap-ledger-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep/ledger.jsonl");
+        append_run(&path, &record("mac16", "run-a", 100.0)).unwrap();
+        append_run(&path, &record("mac16", "run-b", 101.0)).unwrap();
+        // A foreign writer died mid-line: the tail has no newline.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"schema\":\"nanomap-ev");
+        std::fs::write(&path, &text).unwrap();
+        append_run(&path, &record("mac16", "run-c", 102.0)).unwrap();
+        let ledger = Ledger::load(&path).unwrap();
+        // The torn line stayed its own (skipped) line; every real record
+        // survived intact around it.
+        assert_eq!(ledger.skipped_lines, vec![3]);
+        let ids: Vec<&str> = ledger.records.iter().map(|r| r.run_id.as_str()).collect();
+        assert_eq!(ids, ["run-a", "run-b", "run-c"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_last_line_is_skipped_not_fatal() {
+        let good = record("mac16", "run-a", 100.0)
+            .to_json()
+            .to_compact_string();
+        let torn = &good[..good.len() / 2];
+        let ledger = Ledger::parse(&format!("{good}\n{torn}"));
+        assert_eq!(ledger.records.len(), 1);
+        assert_eq!(ledger.skipped_lines, vec![2]);
+    }
+
+    #[test]
+    fn find_matches_prefixes_latest_first() {
+        let ledger = Ledger::parse(&format!(
+            "{}\n{}\n",
+            record("mac16", "aabb0011", 100.0)
+                .to_json()
+                .to_compact_string(),
+            record("mac16", "aabb0022", 200.0)
+                .to_json()
+                .to_compact_string(),
+        ));
+        assert_eq!(ledger.find("aabb00").unwrap().run_id, "aabb0022");
+        assert_eq!(ledger.find("aabb0011").unwrap().run_id, "aabb0011");
+        assert!(ledger.find("ffff").is_none());
+    }
+
+    #[test]
+    fn sparkline_spans_the_range() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "▄▄▄");
+        let line = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(line, "▁▂▃▄▅▆▇█");
+        assert_eq!(sparkline(&[1.0, f64::NAN, 2.0]), "▁?█");
+    }
+
+    #[test]
+    fn trend_is_deterministic_for_a_fixed_ledger() {
+        let text: String = [
+            record("mac16", "a", 100.0),
+            record("fir8", "b", 50.0),
+            record("mac16", "c", 110.0),
+        ]
+        .iter()
+        .map(|r| r.to_json().to_compact_string() + "\n")
+        .collect();
+        let ledger = Ledger::parse(&text);
+        let rows = trend(&ledger, None, &["total_ms", "num_les"]);
+        let rendered: Vec<String> = rows.iter().map(TrendRow::render).collect();
+        assert_eq!(
+            rendered,
+            trend(&ledger, None, &["total_ms", "num_les"])
+                .iter()
+                .map(TrendRow::render)
+                .collect::<Vec<_>>()
+        );
+        // Circuits in first-seen order, fields in the order given.
+        assert_eq!(rows[0].circuit, "mac16");
+        assert_eq!(rows[0].field, "total_ms");
+        assert_eq!(rows[0].values, vec![100.0, 110.0]);
+        assert_eq!(rows[1].field, "num_les");
+        assert_eq!(rows[2].circuit, "fir8");
+        // Benchmark filter narrows to one circuit.
+        assert_eq!(trend(&ledger, Some("fir8"), &["total_ms"]).len(), 1);
+    }
+
+    #[test]
+    fn regress_flags_an_injected_regression() {
+        // Nine quiet runs around 100 ms, then a 1.6x jump.
+        let quiet = [100.0, 101.0, 99.5, 100.5, 100.2, 99.8, 100.9, 99.6, 100.3];
+        let quiet_text: String = quiet
+            .iter()
+            .enumerate()
+            .map(|(i, ms)| {
+                record("mac16", &format!("run-{i}"), *ms)
+                    .to_json()
+                    .to_compact_string()
+                    + "\n"
+            })
+            .collect();
+        // The quiet prefix alone never flags.
+        let quiet_ledger = Ledger::parse(&quiet_text);
+        assert!(regress(&quiet_ledger, None, "total_ms", REGRESS_WINDOW, REGRESS_K).is_empty());
+        let text = quiet_text
+            + &record("mac16", "run-slow", 160.0)
+                .to_json()
+                .to_compact_string()
+            + "\n";
+        let ledger = Ledger::parse(&text);
+        let outliers = regress(&ledger, None, "total_ms", REGRESS_WINDOW, REGRESS_K);
+        assert_eq!(outliers.len(), 1, "{outliers:?}");
+        assert_eq!(outliers[0].run_id, "run-slow");
+        assert_eq!(outliers[0].index, 9);
+        assert!(outliers[0].value > outliers[0].threshold);
+    }
+
+    #[test]
+    fn regress_tolerates_flat_deterministic_series() {
+        // Bit-identical reruns (MAD = 0) must not flag on float jitter.
+        let mut text = String::new();
+        for i in 0..8 {
+            let line = record(
+                "mac16",
+                &format!("run-{i}"),
+                100.0 + f64::from(i % 2) * 1e-9,
+            );
+            text.push_str(&line.to_json().to_compact_string());
+            text.push('\n');
+        }
+        let ledger = Ledger::parse(&text);
+        assert!(regress(&ledger, None, "total_ms", REGRESS_WINDOW, REGRESS_K).is_empty());
+    }
+
+    fn stream_line(seq: u64, body: &str) -> String {
+        format!("{{\"seq\":{seq},\"ts_us\":0,\"tid\":0,{body}}}\n")
+    }
+
+    fn valid_stream() -> String {
+        let mut s = String::new();
+        s.push_str(&stream_line(
+            1,
+            &format!(
+                "\"kind\":\"run-start\",\"schema\":\"{}\",\"run_id\":\"abc\",\
+                 \"circuit\":\"mac16\",\"objective\":\"min-at\",\
+                 \"place_seed\":1,\"route_seed\":2",
+                versions::EVENTS
+            ),
+        ));
+        s.push_str(&stream_line(
+            2,
+            "\"kind\":\"phase-start\",\"phase\":\"flow\",\"depth\":0",
+        ));
+        s.push_str(&stream_line(
+            3,
+            "\"kind\":\"phase-progress\",\"phase\":\"flow\",\"completed\":1,\"fraction\":0.5",
+        ));
+        s.push_str(&stream_line(
+            4,
+            "\"kind\":\"phase-end\",\"phase\":\"flow\",\"depth\":0,\"duration_us\":10",
+        ));
+        s.push_str(&stream_line(
+            5,
+            "\"kind\":\"run-end\",\"run_id\":\"abc\",\"status\":\"ok\",\"exit_code\":0,\
+             \"phase_ms\":{\"place_ms\":2.0,\"route_ms\":1.0},\"total_ms\":4.0",
+        ));
+        s
+    }
+
+    #[test]
+    fn check_stream_accepts_a_well_formed_stream() {
+        let check = check_stream(&valid_stream()).unwrap();
+        assert_eq!(check.events, 5);
+        assert_eq!(check.run_id, "abc");
+        assert_eq!(check.exit_code, 0);
+        assert_eq!(check.total_ms, 4.0);
+        assert_eq!(check.phase_ms.len(), 2);
+    }
+
+    #[test]
+    fn check_stream_rejects_broken_streams() {
+        // Sequence numbers must strictly increase.
+        let reordered = valid_stream().replace("{\"seq\":4,", "{\"seq\":2,");
+        assert!(check_stream(&reordered).unwrap_err().contains("seq"));
+        // The stream must terminate with run-end.
+        let unterminated: String = valid_stream()
+            .lines()
+            .take(4)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(check_stream(&unterminated)
+            .unwrap_err()
+            .contains("terminate"));
+        // run-start must come first.
+        let headless: String = valid_stream()
+            .lines()
+            .skip(1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(check_stream(&headless)
+            .unwrap_err()
+            .contains("before run-start"));
+        // Progress fractions stay in [0, 1].
+        let wild = valid_stream().replace("\"fraction\":0.5", "\"fraction\":1.5");
+        assert!(check_stream(&wild).unwrap_err().contains("fraction"));
+        // Phase nesting is enforced.
+        let crossed = valid_stream().replace(
+            "\"kind\":\"phase-end\",\"phase\":\"flow\"",
+            "\"kind\":\"phase-end\",\"phase\":\"other\"",
+        );
+        assert!(check_stream(&crossed).unwrap_err().contains("phase-end"));
+        // Phase totals cannot dwarf the run total.
+        let bloated = valid_stream().replace("\"place_ms\":2.0", "\"place_ms\":2000.0");
+        assert!(check_stream(&bloated).unwrap_err().contains("exceed"));
+        assert!(check_stream("").unwrap_err().contains("empty"));
+    }
+}

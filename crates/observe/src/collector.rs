@@ -160,6 +160,17 @@ pub fn incr(name: &'static str, n: u64) {
     counter(name).add(n);
 }
 
+/// Current values of every counter whose name starts with `prefix`.
+/// Feeds the event bus's per-span counter-delta events.
+pub(crate) fn counters_with_prefix(prefix: &str) -> Vec<(&'static str, u64)> {
+    lock()
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with(prefix))
+        .map(|(&name, cell)| (name, cell.load(Ordering::Relaxed)))
+        .collect()
+}
+
 /// Clears all recorded spans and metric values (registrations survive;
 /// handles held by callers keep working). Intended for tests and for
 /// multi-run drivers that emit one report per run.

@@ -40,6 +40,7 @@
 
 pub mod alloc;
 pub mod budget;
+pub mod events;
 pub mod json;
 pub mod profile;
 pub mod rng;
@@ -58,6 +59,10 @@ pub use budget::{Anytime, CancelToken, Degradation};
 pub use collector::{
     counter, enabled, gauge, histogram, incr, reset, series, set_echo, set_enabled, snapshot,
     thread_ordinal, Echo, MetricsSnapshot,
+};
+pub use events::{
+    drain_events, dropped_events, events_enabled, publish, reset_events, set_events_enabled, Event,
+    EventKind, EventStream, StreamStats, EVENTS_SCHEMA, EVENT_QUEUE_CAPACITY,
 };
 pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, HistogramHandle, HistogramSnapshot};

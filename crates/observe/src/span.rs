@@ -70,6 +70,9 @@ struct OpenSpan {
     /// Phase index to restore in the allocator's attribution slot, when
     /// this span switched it.
     saved_phase: Option<usize>,
+    /// Counter values (for counters prefixed `<name>.`) captured at
+    /// open, when the event bus was live — drop publishes the deltas.
+    counter_base: Option<Vec<(&'static str, u64)>>,
 }
 
 impl SpanGuard {
@@ -88,6 +91,12 @@ impl SpanGuard {
         });
         let published = crate::profile::frame_enter(name);
         let saved_phase = crate::alloc::phase_enter(name);
+        let counter_base = if crate::events::events_enabled() {
+            crate::events::publish(crate::events::EventKind::PhaseStart { phase: name, depth });
+            Some(collector::counters_with_prefix(&format!("{name}.")))
+        } else {
+            None
+        };
         Self {
             open: Some(OpenSpan {
                 id,
@@ -98,6 +107,7 @@ impl SpanGuard {
                 started: Instant::now(),
                 published,
                 saved_phase,
+                counter_base,
             }),
         }
     }
@@ -131,6 +141,34 @@ impl Drop for SpanGuard {
                 stack.truncate(pos);
             }
         });
+        let duration_us = duration.as_micros().min(u128::from(u64::MAX)) as u64;
+        if let Some(base) = &open.counter_base {
+            if crate::events::events_enabled() {
+                crate::events::publish(crate::events::EventKind::PhaseEnd {
+                    phase: open.name,
+                    depth: open.depth,
+                    duration_us,
+                });
+                let now = collector::counters_with_prefix(&format!("{}.", open.name));
+                let deltas: Vec<(&'static str, u64)> = now
+                    .iter()
+                    .map(|&(name, value)| {
+                        let before = base
+                            .iter()
+                            .find(|&&(b, _)| b == name)
+                            .map_or(0, |&(_, v)| v);
+                        (name, value.saturating_sub(before))
+                    })
+                    .filter(|&(_, delta)| delta > 0)
+                    .collect();
+                if !deltas.is_empty() {
+                    crate::events::publish(crate::events::EventKind::Counters {
+                        phase: open.name,
+                        deltas,
+                    });
+                }
+            }
+        }
         let start_us = collector::since_epoch_us(open.started);
         collector::record_span(SpanRecord {
             id: open.id,
@@ -140,7 +178,7 @@ impl Drop for SpanGuard {
             depth: open.depth,
             tid: collector::thread_ordinal(),
             start_us,
-            duration_us: duration.as_micros().min(u128::from(u64::MAX)) as u64,
+            duration_us,
         });
     }
 }

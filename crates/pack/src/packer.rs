@@ -149,7 +149,9 @@ pub fn pack(
     };
 
     // ---- Phase 1: LUT packing, slice by slice. ----
-    for slice in design.slices() {
+    let slices = design.slices();
+    let total_slices = slices.len() as u64;
+    for (slice_idx, slice) in slices.into_iter().enumerate() {
         let mut unassigned: Vec<LutId> = design.luts_in(slice);
         unassigned.sort();
         while !unassigned.is_empty() {
@@ -240,6 +242,13 @@ pub fn pack(
                 assign_lut(&mut packing, cand, smb, slice);
             }
         }
+        nanomap_observe::events::progress(
+            "pack",
+            slice_idx as u64 + 1,
+            Some(total_slices),
+            None,
+            f64::from(packing.num_smbs),
+        );
     }
 
     // Per-(SMB, slice) LUT fill levels feed the packing-density histogram.

@@ -125,6 +125,7 @@ pub fn anneal_budgeted(
     let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
     let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / deltas.len() as f64;
     let mut temperature = 20.0 * var.sqrt().max(1e-6);
+    let t_initial = temperature;
 
     let moves_per_t = (schedule.inner_num * (n as f64).powf(4.0 / 3.0)).ceil() as usize;
     let moves_per_t = moves_per_t.max(8);
@@ -183,6 +184,16 @@ pub fn anneal_budgeted(
         cost_series.record(step, cost);
         temp_series.record(step, temperature);
         rate_series.record(step, rate);
+        if nanomap_observe::events_enabled() {
+            // The cooling schedule is geometric, so log-temperature is
+            // the natural progress axis: 1 at t_min, 0 at the start.
+            let fraction = if t_initial > t_min && temperature > t_min {
+                1.0 - (temperature / t_min).ln() / (t_initial / t_min).ln()
+            } else {
+                1.0
+            };
+            nanomap_observe::events::progress("place", step + 1, None, Some(fraction), cost);
+        }
         step += 1;
         // VPR temperature update.
         temperature *= if rate > 0.96 {

@@ -152,6 +152,13 @@ pub fn route_slice_budgeted(
         // Negotiation trajectory: one sample per rip-up iteration.
         overuse_series.record(u64::from(iteration), overused as f64);
         pres_series.record(u64::from(iteration), pres_fac);
+        nanomap_observe::events::progress(
+            "route",
+            u64::from(iteration) + 1,
+            Some(u64::from(options.max_iterations)),
+            None,
+            overused as f64,
+        );
         if overused == 0 {
             return Ok(Anytime::Complete(routes.into_iter().flatten().collect()));
         }

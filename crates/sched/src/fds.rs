@@ -145,6 +145,7 @@ pub fn schedule_fds_budgeted(
         };
         // Convergence trajectory: the committed (lowest) force per round.
         force_series.record(round as u64, force);
+        nanomap_observe::events::progress("fds", round as u64 + 1, Some(n as u64), None, force);
         pins[item] = Some(cycle);
         // Pinning inside a valid frame keeps the schedule feasible, so
         // this recompute cannot fail; propagate rather than panic anyway.

@@ -30,6 +30,12 @@
 # magnitude regressions, not machine noise. `--rebase` also refreshes
 # the committed perf baselines (results/perf/bench.json and the repo-
 # root BENCH_perf.json trajectory point, 5 runs).
+#
+# The runs-smoke leg exercises the structured event bus end to end: two
+# accumulator runs stream `--live-status` NDJSON (to a file and to
+# stdout) that `nanomap runs check-stream` must validate, every mapping
+# appends to the flight-recorder ledger at results/runs/ledger.jsonl,
+# and `nanomap runs list/trend/regress` must aggregate the history.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -71,7 +77,9 @@ else
     ./target/release/nanomap explain --check "EXPLAIN_qor/$circuit.explain.json"
   done
   echo "==> gate: explain determinism (second sweep is byte-identical)"
-  ./target/release/qor --out BENCH_qor2.json --explain-dir EXPLAIN_qor2 2>/dev/null
+  rm -rf results/runs
+  ./target/release/qor --out BENCH_qor2.json --explain-dir EXPLAIN_qor2 \
+    --ledger results/runs/ledger.jsonl 2>/dev/null
   for circuit in ex1 FIR; do
     cmp "EXPLAIN_qor/$circuit.explain.json" "EXPLAIN_qor2/$circuit.explain.json"
   done
@@ -110,5 +118,22 @@ else
   ./target/release/perf --runs 3 --out BENCH_perf_new.json --profile-dir PERF_prof
   ./target/release/nanomap perf-diff --rel 2.0 --abs-ms 25 \
     results/perf/bench.json BENCH_perf_new.json
+  echo "==> gate: runs smoke (live NDJSON stream + flight-recorder ledger)"
+  # Stream to a file; the capture must parse, nest, and end in run-end.
+  ./target/release/nanomap designs/accumulator.vhd \
+    --live-status RUNS_events.ndjson --ledger results/runs/ledger.jsonl \
+    >/dev/null
+  ./target/release/nanomap runs check-stream RUNS_events.ndjson
+  # Stream to stdout: `-` keeps stdout pure NDJSON (report on stderr),
+  # so the live protocol composes with pipes.
+  ./target/release/nanomap designs/accumulator.vhd --live-status - \
+    --ledger results/runs/ledger.jsonl 2>/dev/null >RUNS_events_stdout.ndjson
+  ./target/release/nanomap runs check-stream RUNS_events_stdout.ndjson
+  # The ledger now holds the paper suite (appended by the explain
+  # determinism sweep) plus two accumulator runs: the history tooling
+  # must aggregate it.
+  ./target/release/nanomap runs --ledger results/runs/ledger.jsonl list
+  ./target/release/nanomap runs --ledger results/runs/ledger.jsonl trend
+  ./target/release/nanomap runs --ledger results/runs/ledger.jsonl regress
   echo "QoR gate passed."
 fi
