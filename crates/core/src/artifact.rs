@@ -54,6 +54,9 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), ArtifactError> {
         path: path.to_path_buf(),
         source,
     };
+    // Chaos harness: simulate ENOSPC/EIO before any bytes land so the
+    // destination provably keeps its previous contents.
+    nanomap_observe::failpoint::inject_io("artifact.write").map_err(err)?;
     if let Ok(meta) = std::fs::metadata(path) {
         if !meta.is_file() {
             return std::fs::write(path, bytes).map_err(err);
@@ -122,6 +125,10 @@ pub mod versions {
     pub const PROFILE: &str = nanomap_observe::PROFILE_SCHEMA;
     /// Event-bus streams and ledger lines (`--live-status`, `runs`).
     pub const EVENTS: &str = nanomap_observe::EVENTS_SCHEMA;
+    /// `nanomapd` wire protocol lines (requests and responses).
+    pub const SERVICE: &str = "nanomapd-v1";
+    /// `nanomapd` result-cache entries on disk.
+    pub const CACHE: &str = "nanomapd-cache-v1";
 }
 
 #[cfg(test)]

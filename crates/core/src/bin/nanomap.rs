@@ -84,6 +84,19 @@
 //!   [--field F] [--window N] [--k F]` flags rolling-median+MAD
 //!   outliers (exit 1 when any), and `check-stream` validates a
 //!   --live-status NDJSON capture.
+//!
+//! nanomap submit <design.vhd | design.blif> --addr HOST:PORT|SOCKET
+//!                [--objective delay|area|at] [--max-les N] [--max-delay NS]
+//!                [--time-budget-ms N] [--id STR] [--retries N]
+//!                [--backoff-ms MS] [--retry-seed N] [--report PATH|-]
+//!   Submits one mapping request to a running `nanomapd` with jittered
+//!   exponential backoff across connect failures and retryable
+//!   (`shed`/`shutdown`) rejections. Idempotent: the daemon's cache key
+//!   is the netlist fingerprint + objective + seeds, so re-submission
+//!   re-serves the same result byte for byte. The MappingReport JSON
+//!   goes to stdout (or --report PATH); lifecycle lines go to stderr.
+//!   Exit codes: 0 served, 1 transport failure or retries exhausted,
+//!   2 permanent rejection (invalid/panic/failed), 3 budget rejection.
 //! ```
 
 // The CLI turns every failure into a diagnostic plus exit code; a panic
@@ -950,6 +963,131 @@ fn runs_main(cli: Vec<String>) -> ExitCode {
     }
 }
 
+/// `nanomap submit <design> --addr ADDR [...]`: the retry/backoff
+/// client for a running `nanomapd`. Transport failures and retryable
+/// rejections back off with jitter; permanent rejections map to the
+/// same exit-code vocabulary the local flow uses.
+fn submit_main(args: Vec<String>) -> ExitCode {
+    fn usage() -> ExitCode {
+        eprintln!("usage: nanomap submit <design.vhd|design.blif> --addr HOST:PORT|SOCKET");
+        eprintln!("       [--objective delay|area|at] [--max-les N] [--max-delay NS]");
+        eprintln!("       [--time-budget-ms N] [--id STR] [--retries N] [--backoff-ms MS]");
+        eprintln!("       [--retry-seed N] [--report PATH|-]");
+        ExitCode::FAILURE
+    }
+    let mut design: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut objective = "at".to_string();
+    let mut max_les: Option<u32> = None;
+    let mut max_delay_ns: Option<f64> = None;
+    let mut time_budget_ms: Option<u64> = None;
+    let mut id: Option<String> = None;
+    let mut policy = nanomap::RetryPolicy::default();
+    let mut report_sink: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        macro_rules! val {
+            () => {
+                match it.next() {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("error: {flag} needs a value");
+                        return usage();
+                    }
+                }
+            };
+        }
+        macro_rules! num {
+            () => {
+                match val!().parse() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        eprintln!("error: {flag} needs a number");
+                        return usage();
+                    }
+                }
+            };
+        }
+        match flag.as_str() {
+            "--addr" => addr = Some(val!()),
+            "--objective" => objective = val!(),
+            "--max-les" => max_les = Some(num!()),
+            "--max-delay" => max_delay_ns = Some(num!()),
+            "--time-budget-ms" => time_budget_ms = Some(num!()),
+            "--id" => id = Some(val!()),
+            "--retries" => policy.max_attempts = num!(),
+            "--backoff-ms" => policy.base_backoff_ms = num!(),
+            "--retry-seed" => policy.seed = num!(),
+            "--report" => report_sink = Some(val!()),
+            other if !other.starts_with('-') && design.is_none() => {
+                design = Some(other.to_string());
+            }
+            other => {
+                eprintln!("error: unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    let (Some(design), Some(addr)) = (design, addr) else {
+        return usage();
+    };
+    let request = nanomap::MapRequest {
+        id: id.unwrap_or_else(|| format!("cli-{}", std::process::id())),
+        source: nanomap::DesignSource::Path(design),
+        objective,
+        max_les,
+        max_delay_ns,
+        time_budget_ms,
+    };
+    let submission = match nanomap::submit_with_retry(&addr, &request, &policy) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for event in &submission.lifecycle {
+        match event {
+            nanomap::Response::Queued { depth } => eprintln!("submit: queued (depth {depth})"),
+            nanomap::Response::Started => eprintln!("submit: started"),
+            nanomap::Response::Preempted => eprintln!("submit: preempted (checkpoint held)"),
+            nanomap::Response::Resumed => eprintln!("submit: resumed from checkpoint"),
+            _ => {}
+        }
+    }
+    let result = &submission.result;
+    if result.ok {
+        eprintln!(
+            "submit: ok run {} (cache {}, attempt {})",
+            result.run_id.as_deref().unwrap_or("-"),
+            result.cache.as_deref().unwrap_or("-"),
+            submission.attempts
+        );
+        let report = result.report_text.as_deref().unwrap_or("{}");
+        match report_sink.as_deref() {
+            None | Some("-") => outln!("{report}"),
+            Some(path) => {
+                if let Err(e) = atomic_write_text(Path::new(path), report) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("submit: report -> {path}");
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "error: request rejected ({}): {}",
+        result.code.as_deref().unwrap_or("?"),
+        result.detail.as_deref().unwrap_or("no detail")
+    );
+    match result.code.as_deref() {
+        Some(nanomap::service::code::BUDGET) => ExitCode::from(EXIT_BUDGET_EXHAUSTED),
+        Some(_) => ExitCode::from(EXIT_RECOVERY_EXHAUSTED),
+        None => ExitCode::FAILURE,
+    }
+}
+
 fn main() -> ExitCode {
     let mut cli: Vec<String> = std::env::args().skip(1).collect();
     if cli.first().map(String::as_str) == Some("qor-diff") {
@@ -966,6 +1104,9 @@ fn main() -> ExitCode {
     }
     if cli.first().map(String::as_str) == Some("runs") {
         return runs_main(cli.split_off(1));
+    }
+    if cli.first().map(String::as_str) == Some("submit") {
+        return submit_main(cli.split_off(1));
     }
     let args = match parse_args(cli.into_iter()) {
         Ok(a) => a,
@@ -988,6 +1129,7 @@ fn main() -> ExitCode {
             eprintln!("       nanomap qor-diff [--exact] <baseline.json> <new.json>");
             eprintln!("       nanomap perf-diff [--rel F] [--abs-ms F] <baseline.json> <new.json>");
             eprintln!("       nanomap runs <list | show ID | trend | regress | check-stream FILE>");
+            eprintln!("       nanomap submit <design> --addr HOST:PORT|SOCKET [options]");
             return ExitCode::FAILURE;
         }
     };
@@ -1105,9 +1247,8 @@ fn main() -> ExitCode {
     let run_id = (args.live_status.is_some() || args.ledger_path.is_some())
         .then(|| flow.run_id(&net, objective));
     let result = match &args.resume {
-        Some(path) => Checkpoint::load(Path::new(path))
-            .map_err(FlowError::from)
-            .and_then(|checkpoint| {
+        Some(path) => match Checkpoint::load(Path::new(path)) {
+            Ok(checkpoint) => {
                 report!(
                     "resume: {} from after {} (candidate {}, remedy {})",
                     path,
@@ -1116,7 +1257,16 @@ fn main() -> ExitCode {
                     checkpoint.remedy.as_str()
                 );
                 flow.map_resume(&net, objective, &checkpoint)
-            }),
+            }
+            // A torn or corrupt checkpoint is a typed error, and under
+            // --anytime it degrades to a fresh run: losing a snapshot
+            // costs time, never the result.
+            Err(err) if args.anytime => {
+                eprintln!("warning: checkpoint {path} unusable ({err}); --anytime restarts fresh");
+                flow.map(&net, objective)
+            }
+            Err(err) => Err(FlowError::from(err)),
+        },
         None => flow.map(&net, objective),
     };
     // The sampler stops whether the flow succeeded or not; its profile

@@ -732,6 +732,12 @@ impl Checkpoint {
     /// I/O failures carry the path; parse failures describe the first
     /// structural mismatch.
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        nanomap_observe::failpoint::inject_io("checkpoint.load").map_err(|e| {
+            CheckpointError::Io {
+                path: path.to_path_buf(),
+                detail: e.to_string(),
+            }
+        })?;
         let text = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io {
             path: path.to_path_buf(),
             detail: e.to_string(),
@@ -858,6 +864,12 @@ impl CheckpointWriter {
     }
 
     fn flush(&self) -> Result<(), CheckpointError> {
+        nanomap_observe::failpoint::inject_io("checkpoint.write").map_err(|e| {
+            CheckpointError::Io {
+                path: self.path.clone(),
+                detail: e.to_string(),
+            }
+        })?;
         atomic_write_text(&self.path, &self.checkpoint.to_json().to_pretty_string()).map_err(
             |e| CheckpointError::Io {
                 path: self.path.clone(),

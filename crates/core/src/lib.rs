@@ -65,13 +65,14 @@ pub mod qor;
 pub mod recovery;
 mod report;
 pub mod runs;
+pub mod service;
 mod verify;
 
 pub use artifact::{atomic_write, atomic_write_text, ArtifactError};
 pub use budget::{Anytime, CancelToken, Degradation};
 pub use checkpoint::{
-    netlist_fingerprint, Checkpoint, CheckpointError, CheckpointPhase, CheckpointWriter,
-    CHECKPOINT_SCHEMA,
+    checkpoint_file_name, netlist_fingerprint, Checkpoint, CheckpointError, CheckpointPhase,
+    CheckpointWriter, CHECKPOINT_SCHEMA,
 };
 pub use diff::{has_regression, render_diff_table, DiffEntry, DiffStatus};
 pub use error::FlowError;
@@ -87,6 +88,10 @@ pub use qor::{QorDocument, QorReport};
 pub use recovery::{RecoveryAttempt, RecoveryLog, Remedy};
 pub use report::{MappingReport, PhaseTimes, PhysicalReport, SharingMode, UsageReport};
 pub use runs::{append_run, Ledger, RunRecord, DEFAULT_LEDGER_PATH};
+pub use service::{
+    submit_with_retry, DesignSource, MapRequest, Request, Response, RetryPolicy, Submission,
+    WireResult, SERVICE_SCHEMA,
+};
 pub use verify::{check_folded_execution, FoldedCheck};
 
 pub use nanomap_arch as arch;

@@ -1,0 +1,753 @@
+//! The `nanomapd-v1` wire protocol and the retrying client.
+//!
+//! `nanomapd` (the `crates/daemon` server) speaks line-delimited JSON
+//! over TCP or a unix socket: one request line in, a short stream of
+//! lifecycle lines out, terminated by exactly one `result` line. This
+//! module owns everything both sides must agree on — request/response
+//! shapes, parsing, rendering — plus the [`submit_with_retry`] client
+//! used by `nanomap submit` (jittered exponential backoff, idempotent
+//! by construction because the daemon keys its cache on the netlist
+//! fingerprint + objective + seeds, not on the request id).
+//!
+//! ## Request
+//!
+//! ```json
+//! {"schema":"nanomapd-v1","op":"map","id":"r1",
+//!  "design_path":"designs/accumulator.vhd","objective":"at",
+//!  "time_budget_ms":2000}
+//! ```
+//!
+//! Designs arrive by path (`design_path`, resolved by the server) or
+//! inline (`design_text` + `format`). `op` is `map`, `ping` or `stats`.
+//!
+//! ## Response stream
+//!
+//! ```json
+//! {"schema":"nanomapd-v1","event":"queued","request":"r1","depth":2}
+//! {"schema":"nanomapd-v1","event":"started","request":"r1"}
+//! {"schema":"nanomapd-v1","event":"result","request":"r1","status":"ok",
+//!  "cache":"miss","run_id":"8d3…","report":{…}}
+//! ```
+//!
+//! `preempted`/`resumed` lines appear when the daemon time-slices the
+//! request through its checkpoint machinery. Rejections are `result`
+//! lines with `"status":"error"` and a typed `code` —
+//! [`code::SHED`]/[`code::SHUTDOWN`] are retryable (429-style, with a
+//! `retry_after_ms` hint), everything else is permanent.
+//!
+//! The `report` field is always the **last** field of an `ok` result
+//! line and is spliced verbatim from the daemon's cache, so a repeat
+//! submission returns a byte-identical report ([`extract_report_text`]).
+
+use std::io::{BufRead, BufReader, Write};
+use std::time::Duration;
+
+use nanomap_observe::rng::XorShift64Star;
+use nanomap_observe::{json, JsonValue};
+
+use crate::artifact::versions;
+use crate::objective::Objective;
+
+/// Schema tag on every request and response line.
+pub const SERVICE_SCHEMA: &str = versions::SERVICE;
+
+/// Typed rejection codes carried in `"status":"error"` result lines.
+pub mod code {
+    /// Admission control shed the request (queue full, or no
+    /// `time_budget_ms` while the queue is deep). Retryable.
+    pub const SHED: &str = "shed";
+    /// The daemon is draining for shutdown. Retryable (elsewhere).
+    pub const SHUTDOWN: &str = "shutdown";
+    /// Malformed request, unreadable design, or netlist errors.
+    pub const INVALID: &str = "invalid";
+    /// The worker panicked on this request; the daemon survived.
+    pub const PANIC: &str = "panic";
+    /// The per-request budget expired (strict mode).
+    pub const BUDGET: &str = "budget";
+    /// The flow failed (no feasible folding, routing failure, …).
+    pub const FAILED: &str = "failed";
+}
+
+/// How a design reaches the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignSource {
+    /// A path the *server* resolves (daemon and client share a filesystem).
+    Path(String),
+    /// Inline design text.
+    Text {
+        /// `"vhdl"` or `"blif"`.
+        format: String,
+        /// The design source itself.
+        text: String,
+    },
+}
+
+/// A `map` request as it travels on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapRequest {
+    /// Client-chosen id echoed on every response line.
+    pub id: String,
+    /// Where the design comes from.
+    pub source: DesignSource,
+    /// Objective goal: `at`, `delay` or `area`.
+    pub objective: String,
+    /// LE budget for `delay` (constraint) — `feasible` is not exposed.
+    pub max_les: Option<u32>,
+    /// Delay budget in ns for `area`.
+    pub max_delay_ns: Option<f64>,
+    /// Per-request wall-clock budget. Required by admission control
+    /// once the queue is deeper than the daemon's free-admission line.
+    pub time_budget_ms: Option<u64>,
+}
+
+impl MapRequest {
+    /// A request for a design file path with defaults everywhere else.
+    pub fn for_path(id: impl Into<String>, path: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            source: DesignSource::Path(path.into()),
+            objective: "at".into(),
+            max_les: None,
+            max_delay_ns: None,
+            time_budget_ms: None,
+        }
+    }
+
+    /// Resolves the objective fields into the flow's typed objective.
+    ///
+    /// # Errors
+    ///
+    /// Describes an unknown goal string.
+    pub fn to_objective(&self) -> Result<Objective, String> {
+        match self.objective.as_str() {
+            "at" | "" => Ok(Objective::MinAreaDelayProduct),
+            "delay" => Ok(Objective::MinDelay {
+                max_les: self.max_les,
+            }),
+            "area" => Ok(Objective::MinArea {
+                max_delay_ns: self.max_delay_ns,
+            }),
+            other => Err(format!("unknown objective {other:?} (use at|delay|area)")),
+        }
+    }
+
+    /// Renders the request as one wire line (no trailing newline).
+    pub fn to_wire(&self) -> String {
+        let mut value = JsonValue::object()
+            .with("schema", SERVICE_SCHEMA)
+            .with("op", "map")
+            .with("id", self.id.as_str());
+        match &self.source {
+            DesignSource::Path(p) => value = value.with("design_path", p.as_str()),
+            DesignSource::Text { format, text } => {
+                value = value
+                    .with("format", format.as_str())
+                    .with("design_text", text.as_str());
+            }
+        }
+        value = value.with("objective", self.objective.as_str());
+        if let Some(a) = self.max_les {
+            value = value.with("max_les", u64::from(a));
+        }
+        if let Some(d) = self.max_delay_ns {
+            value = value.with("max_delay_ns", d);
+        }
+        if let Some(b) = self.time_budget_ms {
+            value = value.with("time_budget_ms", b);
+        }
+        value.to_compact_string()
+    }
+}
+
+/// Any request line the daemon accepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Map a design.
+    Map(MapRequest),
+    /// Liveness + stats probe.
+    Ping,
+    /// Ask the daemon to begin a graceful drain (same path as SIGTERM).
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first structural problem (bad JSON, wrong schema,
+    /// missing fields) — the daemon answers these with [`code::INVALID`].
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let value = json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+        let schema = value.get("schema").and_then(JsonValue::as_str);
+        if schema != Some(SERVICE_SCHEMA) {
+            return Err(format!(
+                "schema mismatch: expected {SERVICE_SCHEMA:?}, got {schema:?}"
+            ));
+        }
+        match value.get("op").and_then(JsonValue::as_str) {
+            Some("ping") => Ok(Self::Ping),
+            Some("shutdown") => Ok(Self::Shutdown),
+            Some("map") => {
+                let text = |key: &str| {
+                    value
+                        .get(key)
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_string)
+                };
+                let uint = |key: &str| {
+                    value
+                        .get(key)
+                        .and_then(JsonValue::as_int)
+                        .filter(|&v| v >= 0)
+                        .map(|v| v as u64)
+                };
+                let source = match (text("design_path"), text("design_text")) {
+                    (Some(p), None) => DesignSource::Path(p),
+                    (None, Some(t)) => DesignSource::Text {
+                        format: text("format").unwrap_or_else(|| "vhdl".into()),
+                        text: t,
+                    },
+                    (Some(_), Some(_)) => {
+                        return Err("design_path and design_text are mutually exclusive".into())
+                    }
+                    (None, None) => return Err("missing design_path or design_text".into()),
+                };
+                Ok(Self::Map(MapRequest {
+                    id: text("id").unwrap_or_else(|| "anon".into()),
+                    source,
+                    objective: text("objective").unwrap_or_else(|| "at".into()),
+                    max_les: uint("max_les").map(|v| v as u32),
+                    max_delay_ns: value.get("max_delay_ns").and_then(JsonValue::as_f64),
+                    time_budget_ms: uint("time_budget_ms"),
+                }))
+            }
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// One parsed response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Admitted; position in the queue.
+    Queued {
+        /// Queue depth at admission.
+        depth: u64,
+    },
+    /// A worker picked the request up.
+    Started,
+    /// The daemon time-sliced the request out; a checkpoint holds its
+    /// progress.
+    Preempted,
+    /// A worker resumed the request from its checkpoint.
+    Resumed,
+    /// The terminal line (exactly one per request).
+    Result(WireResult),
+    /// Answer to `ping`.
+    Pong {
+        /// Requests currently mapping.
+        inflight: u64,
+        /// Requests waiting in the admission queue.
+        queued: u64,
+        /// Results served since startup (cache hits included).
+        served: u64,
+    },
+}
+
+/// The terminal `result` line, pre-parse of the verbatim report text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResult {
+    /// Echo of the request id.
+    pub request: String,
+    /// `true` for `"status":"ok"`.
+    pub ok: bool,
+    /// `hit`, `miss` or absent (errors).
+    pub cache: Option<String>,
+    /// Flight-recorder id of the serving run.
+    pub run_id: Option<String>,
+    /// Verbatim report JSON (ok results only), byte-identical across
+    /// cache hits of the same request.
+    pub report_text: Option<String>,
+    /// Typed error code (error results only; see [`code`]).
+    pub code: Option<String>,
+    /// Backoff hint for retryable rejections.
+    pub retry_after_ms: Option<u64>,
+    /// Human-readable diagnosis.
+    pub detail: Option<String>,
+}
+
+impl WireResult {
+    /// True when the client should back off and retry.
+    #[must_use]
+    pub fn retryable(&self) -> bool {
+        matches!(self.code.as_deref(), Some(code::SHED | code::SHUTDOWN))
+    }
+}
+
+impl Response {
+    /// Parses one response line. `result` lines keep the report text
+    /// verbatim (see [`extract_report_text`]).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first structural problem.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let value = json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+        if value.get("schema").and_then(JsonValue::as_str) != Some(SERVICE_SCHEMA) {
+            return Err("schema mismatch".into());
+        }
+        let uint = |key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_int)
+                .filter(|&v| v >= 0)
+                .map(|v| v as u64)
+        };
+        let text = |key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+        };
+        match value.get("event").and_then(JsonValue::as_str) {
+            Some("queued") => Ok(Self::Queued {
+                depth: uint("depth").unwrap_or(0),
+            }),
+            Some("started") => Ok(Self::Started),
+            Some("preempted") => Ok(Self::Preempted),
+            Some("resumed") => Ok(Self::Resumed),
+            Some("pong") => Ok(Self::Pong {
+                inflight: uint("inflight").unwrap_or(0),
+                queued: uint("queued").unwrap_or(0),
+                served: uint("served").unwrap_or(0),
+            }),
+            Some("result") => {
+                let ok = value.get("status").and_then(JsonValue::as_str) == Some("ok");
+                Ok(Self::Result(WireResult {
+                    request: text("request").unwrap_or_default(),
+                    ok,
+                    cache: text("cache"),
+                    run_id: text("run_id"),
+                    report_text: ok.then(|| extract_report_text(line)).flatten(),
+                    code: text("code"),
+                    retry_after_ms: uint("retry_after_ms"),
+                    detail: text("detail"),
+                }))
+            }
+            other => Err(format!("unknown event {other:?}")),
+        }
+    }
+}
+
+/// Renders an `ok` result line. `report_text` must be compact JSON; it
+/// is spliced in verbatim as the final field, which is what makes
+/// cache-hit responses byte-identical to the original serve.
+#[must_use]
+pub fn render_ok_result(request: &str, run_id: &str, cache: &str, report_text: &str) -> String {
+    format!(
+        "{{\"schema\":\"{SERVICE_SCHEMA}\",\"event\":\"result\",\"request\":{},\"status\":\"ok\",\"cache\":\"{cache}\",\"run_id\":\"{run_id}\",\"report\":{report_text}}}",
+        JsonValue::from(request).to_compact_string(),
+    )
+}
+
+/// Renders an error result line with a typed code.
+#[must_use]
+pub fn render_error_result(
+    request: &str,
+    error_code: &str,
+    detail: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
+    let mut value = JsonValue::object()
+        .with("schema", SERVICE_SCHEMA)
+        .with("event", "result")
+        .with("request", request)
+        .with("status", "error")
+        .with("code", error_code);
+    if let Some(ms) = retry_after_ms {
+        value = value.with("retry_after_ms", ms);
+    }
+    value.with("detail", detail).to_compact_string()
+}
+
+/// Renders a non-terminal lifecycle line (`queued`/`started`/…).
+#[must_use]
+pub fn render_lifecycle(event: &str, request: &str, depth: Option<u64>) -> String {
+    let mut value = JsonValue::object()
+        .with("schema", SERVICE_SCHEMA)
+        .with("event", event)
+        .with("request", request);
+    if let Some(d) = depth {
+        value = value.with("depth", d);
+    }
+    value.to_compact_string()
+}
+
+/// Pulls the verbatim `report` object text out of an `ok` result line.
+/// The server renders `report` as the final field, so the text is the
+/// balanced region between `"report":` and the closing brace.
+#[must_use]
+pub fn extract_report_text(line: &str) -> Option<String> {
+    let marker = "\"report\":";
+    let start = line.find(marker)? + marker.len();
+    let end = line.trim_end().len().checked_sub(1)?;
+    (end > start).then(|| line[start..end].to_string())
+}
+
+// ---------------------------------------------------------------------
+// Client.
+// ---------------------------------------------------------------------
+
+/// Retry policy for [`submit_with_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total connection/submission attempts before giving up.
+    pub max_attempts: u32,
+    /// First backoff; doubles per attempt (full jitter on top).
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling.
+    pub max_backoff_ms: u64,
+    /// Seed for the jitter PRNG — fixed seed, reproducible schedule.
+    pub seed: u64,
+    /// Read timeout while waiting for response lines (0 = none).
+    pub read_timeout_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base_backoff_ms: 50,
+            max_backoff_ms: 2_000,
+            seed: 1,
+            read_timeout_ms: 120_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay before attempt `attempt` (0-based retry count).
+    fn backoff(&self, attempt: u32, rng: &mut XorShift64Star) -> Duration {
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_backoff_ms);
+        // Full jitter in [exp/2, exp): desynchronizes a retry stampede
+        // without ever collapsing the wait to zero.
+        let half = (exp / 2).max(1);
+        Duration::from_millis(half + rng.below(half))
+    }
+}
+
+/// What one successful submission observed.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// The terminal result (ok or a permanent rejection).
+    pub result: WireResult,
+    /// Lifecycle events seen before the result, in order.
+    pub lifecycle: Vec<Response>,
+    /// 1-based attempt number that produced the result.
+    pub attempts: u32,
+}
+
+/// Connects, submits and waits out one `map` request with jittered
+/// exponential backoff across connect failures, torn connections and
+/// retryable rejections ([`code::SHED`], [`code::SHUTDOWN`]).
+/// Idempotent: the daemon's cache key is derived from the design and
+/// objective, so re-submission after an ambiguous failure re-serves the
+/// same result rather than recomputing it.
+///
+/// # Errors
+///
+/// Describes the last failure once `policy.max_attempts` is exhausted.
+/// A *permanent* rejection (invalid request, panic, flow failure) is
+/// returned as `Ok` with `result.ok == false` — it carries the typed
+/// code and will not change on retry.
+pub fn submit_with_retry(
+    addr: &str,
+    request: &MapRequest,
+    policy: &RetryPolicy,
+) -> Result<Submission, String> {
+    let mut rng = XorShift64Star::new(policy.seed);
+    let mut last_failure = String::from("no attempts made");
+    for attempt in 0..policy.max_attempts {
+        if attempt > 0 {
+            std::thread::sleep(policy.backoff(attempt - 1, &mut rng));
+        }
+        match submit_once(addr, request, policy) {
+            Ok((result, lifecycle)) => {
+                if result.retryable() {
+                    if let Some(hint) = result.retry_after_ms {
+                        std::thread::sleep(Duration::from_millis(hint.min(policy.max_backoff_ms)));
+                    }
+                    last_failure = format!(
+                        "rejected ({}): {}",
+                        result.code.as_deref().unwrap_or("?"),
+                        result.detail.as_deref().unwrap_or("")
+                    );
+                    continue;
+                }
+                return Ok(Submission {
+                    result,
+                    lifecycle,
+                    attempts: attempt + 1,
+                });
+            }
+            Err(e) => last_failure = e,
+        }
+    }
+    Err(format!(
+        "giving up after {} attempts: {last_failure}",
+        policy.max_attempts
+    ))
+}
+
+/// One connect + submit + read-to-result cycle.
+fn submit_once(
+    addr: &str,
+    request: &MapRequest,
+    policy: &RetryPolicy,
+) -> Result<(WireResult, Vec<Response>), String> {
+    let stream = connect(addr)?;
+    if policy.read_timeout_ms > 0 {
+        stream
+            .set_read_timeout(Some(Duration::from_millis(policy.read_timeout_ms)))
+            .map_err(|e| format!("set_read_timeout: {e}"))?;
+    }
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let mut line = request.to_wire();
+    line.push('\n');
+    writer
+        .write_all(line.as_bytes())
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut lifecycle = Vec::new();
+    loop {
+        let mut response_line = String::new();
+        let n = reader
+            .read_line(&mut response_line)
+            .map_err(|e| format!("read from {addr}: {e}"))?;
+        if n == 0 {
+            return Err(format!("{addr} closed the connection before a result"));
+        }
+        let response = Response::parse(response_line.trim_end())?;
+        match response {
+            Response::Result(result) => return Ok((result, lifecycle)),
+            other => lifecycle.push(other),
+        }
+    }
+}
+
+/// A connected stream: TCP for `host:port`, unix socket for paths.
+enum Conn {
+    Tcp(std::net::TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Self::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        Ok(match self {
+            Self::Tcp(s) => Self::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Self::Unix(s) => Self::Unix(s.try_clone()?),
+        })
+    }
+}
+
+impl std::io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Self::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Self::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Self::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Addresses with a `/` are unix-socket paths; everything else is TCP.
+fn connect(addr: &str) -> Result<Conn, String> {
+    if addr.contains('/') {
+        #[cfg(unix)]
+        {
+            return std::os::unix::net::UnixStream::connect(addr)
+                .map(Conn::Unix)
+                .map_err(|e| format!("connect {addr}: {e}"));
+        }
+        #[cfg(not(unix))]
+        return Err(format!("unix socket {addr} unsupported on this platform"));
+    }
+    std::net::TcpStream::connect(addr)
+        .map(Conn::Tcp)
+        .map_err(|e| format!("connect {addr}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_request_round_trips_on_the_wire() {
+        let request = MapRequest {
+            id: "r1".into(),
+            source: DesignSource::Path("designs/accumulator.vhd".into()),
+            objective: "delay".into(),
+            max_les: Some(64),
+            max_delay_ns: None,
+            time_budget_ms: Some(2_000),
+        };
+        let line = request.to_wire();
+        match Request::parse(&line).unwrap() {
+            Request::Map(back) => assert_eq!(back, request),
+            other => panic!("{other:?}"),
+        }
+        // Inline text variant too.
+        let inline = MapRequest {
+            source: DesignSource::Text {
+                format: "blif".into(),
+                text: ".model x\n.end\n".into(),
+            },
+            ..request
+        };
+        match Request::parse(&inline.to_wire()).unwrap() {
+            Request::Map(back) => assert_eq!(back, inline),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn objectives_resolve_and_reject() {
+        let mut request = MapRequest::for_path("r", "d.vhd");
+        assert_eq!(
+            request.to_objective().unwrap(),
+            Objective::MinAreaDelayProduct
+        );
+        request.objective = "delay".into();
+        request.max_les = Some(10);
+        assert_eq!(
+            request.to_objective().unwrap(),
+            Objective::MinDelay { max_les: Some(10) }
+        );
+        request.objective = "bogus".into();
+        assert!(request.to_objective().is_err());
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{\"schema\":\"other-v1\",\"op\":\"ping\"}").is_err());
+        let no_design = format!("{{\"schema\":\"{SERVICE_SCHEMA}\",\"op\":\"map\"}}");
+        assert!(Request::parse(&no_design).unwrap_err().contains("design"));
+        let both = format!(
+            "{{\"schema\":\"{SERVICE_SCHEMA}\",\"op\":\"map\",\"design_path\":\"a\",\"design_text\":\"b\"}}"
+        );
+        assert!(Request::parse(&both).is_err());
+    }
+
+    #[test]
+    fn ok_result_lines_carry_the_report_verbatim() {
+        let report = "{\"circuit\":\"acc\",\"delay_ns\":17.02}";
+        let line = render_ok_result("r1", "deadbeef00000000", "hit", report);
+        match Response::parse(&line).unwrap() {
+            Response::Result(result) => {
+                assert!(result.ok);
+                assert_eq!(result.cache.as_deref(), Some("hit"));
+                assert_eq!(result.run_id.as_deref(), Some("deadbeef00000000"));
+                assert_eq!(result.report_text.as_deref(), Some(report));
+                assert!(!result.retryable());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shed_results_are_retryable_with_hint() {
+        let line = render_error_result("r1", code::SHED, "queue full (16)", Some(120));
+        match Response::parse(&line).unwrap() {
+            Response::Result(result) => {
+                assert!(!result.ok);
+                assert!(result.retryable());
+                assert_eq!(result.retry_after_ms, Some(120));
+                assert_eq!(result.code.as_deref(), Some(code::SHED));
+            }
+            other => panic!("{other:?}"),
+        }
+        let permanent = render_error_result("r1", code::PANIC, "worker panicked", None);
+        match Response::parse(&permanent).unwrap() {
+            Response::Result(result) => assert!(!result.retryable()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lifecycle_lines_round_trip() {
+        assert_eq!(
+            Response::parse(&render_lifecycle("queued", "r1", Some(3))).unwrap(),
+            Response::Queued { depth: 3 }
+        );
+        assert_eq!(
+            Response::parse(&render_lifecycle("preempted", "r1", None)).unwrap(),
+            Response::Preempted
+        );
+    }
+
+    #[test]
+    fn backoff_is_jittered_bounded_and_deterministic() {
+        let policy = RetryPolicy::default();
+        let schedule = |seed: u64| {
+            let mut rng = XorShift64Star::new(seed);
+            (0..6)
+                .map(|a| policy.backoff(a, &mut rng).as_millis() as u64)
+                .collect::<Vec<_>>()
+        };
+        let a = schedule(7);
+        assert_eq!(a, schedule(7), "fixed seed, fixed schedule");
+        for (attempt, &ms) in a.iter().enumerate() {
+            let cap = policy
+                .base_backoff_ms
+                .saturating_mul(1 << attempt)
+                .min(policy.max_backoff_ms);
+            assert!(ms >= cap / 2 && ms < cap.max(2), "attempt {attempt}: {ms}");
+        }
+    }
+
+    #[test]
+    fn connect_refused_is_an_error_not_a_panic() {
+        // Port 1 is essentially never listening; the client must fail
+        // with a description, not unwind.
+        let err = submit_once(
+            "127.0.0.1:1",
+            &MapRequest::for_path("r", "d.vhd"),
+            &RetryPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("connect"), "{err}");
+    }
+}

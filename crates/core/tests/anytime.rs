@@ -151,6 +151,38 @@ fn resume_from_each_checkpoint_phase_reproduces_the_report() {
 }
 
 #[test]
+fn torn_or_corrupt_checkpoints_load_as_typed_errors() {
+    let net = mac_net();
+    let dir = std::env::temp_dir().join(format!("nanomap-torn-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let flow = NanoMap::new(ArchParams::paper_unbounded()).with_checkpoint_dir(&dir);
+    flow.map(&net, Objective::MinAreaDelayProduct).unwrap();
+    let path = dir.join("mac.ckpt.json");
+    let full_text = std::fs::read_to_string(&path).unwrap();
+
+    // A checkpoint truncated mid-write (torn tail), a file of garbage,
+    // and pathological deep nesting (the shape a corrupt disk or hostile
+    // client can produce) must all surface as typed errors — never a
+    // parse panic or a stack overflow.
+    let corruptions: Vec<String> = vec![
+        full_text[..full_text.len() / 2].to_string(),
+        "not json at all".to_string(),
+        "[".repeat(100_000),
+        String::new(),
+    ];
+    for (i, bad) in corruptions.iter().enumerate() {
+        std::fs::write(&path, bad).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        let _typed: FlowError = err.into();
+        assert!(
+            matches!(_typed, FlowError::Checkpoint(_)),
+            "corruption #{i} produced {_typed}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn resume_rejects_a_mismatched_netlist_or_objective() {
     let net = mac_net();
     let dir = std::env::temp_dir().join(format!("nanomap-mismatch-{}", std::process::id()));

@@ -1,0 +1,164 @@
+//! `nanomapd` — the NanoMap mapping daemon.
+//!
+//! ```text
+//! nanomapd --addr 127.0.0.1:7171 --state-dir results/daemon \
+//!          --ledger results/runs/ledger.jsonl --workers 2
+//! ```
+//!
+//! Serves `nanomapd-v1` line-delimited JSON (see `nanomap submit`).
+//! SIGTERM or a client `shutdown` op triggers a graceful drain under
+//! `--drain-deadline-ms`.
+//!
+//! Exit codes:
+//! - `0` — clean drain: every admitted request was answered.
+//! - `1` — hard error: bad flags, bind failure, unwritable state dir.
+//! - `4` — degraded drain: the deadline shed admitted requests
+//!   (each got a retryable `shutdown` rejection first).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use nanomap_daemon::{exit, start, DaemonConfig};
+
+const USAGE: &str = "usage: nanomapd [options]
+
+options:
+  --addr HOST:PORT|PATH     bind address; a path binds a unix socket
+                            (default 127.0.0.1:0, prints the bound port)
+  --workers N               mapping worker threads (default 2)
+  --queue-capacity N        admission queue bound (default 16)
+  --free-admission-depth N  depth above which time_budget_ms is required
+                            (default 4)
+  --state-dir DIR           cache/ + checkpoints/ root (default nanomapd-state)
+  --ledger PATH             append computed runs to this flight-recorder
+                            ledger (default results/runs/ledger.jsonl;
+                            --no-ledger disables)
+  --preempt-slice-ms MS     preemption time slice (default: off)
+  --read-timeout-ms MS      slow-loris guard per request line (default 10000)
+  --drain-deadline-ms MS    graceful-drain budget on shutdown (default 30000)
+  --lut-inputs K            LUT size for technology mapping (default 4)
+  -h, --help                this text
+
+exit codes: 0 clean drain, 1 hard error, 4 degraded drain (shed at deadline)";
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+/// Installs `on_term` for SIGTERM + SIGINT through the raw `signal(2)`
+/// ABI — the daemon stays dependency-free.
+fn install_signal_handlers() {
+    #[cfg(unix)]
+    unsafe {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        signal(SIGTERM, on_term as *const () as usize);
+        signal(SIGINT, on_term as *const () as usize);
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<(DaemonConfig, u64), String> {
+    let mut config = DaemonConfig {
+        ledger_path: Some(PathBuf::from("results/runs/ledger.jsonl")),
+        ..DaemonConfig::default()
+    };
+    let mut drain_deadline_ms = 30_000u64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => config.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--queue-capacity" => {
+                config.queue_capacity = parse_num(&value("--queue-capacity")?, "--queue-capacity")?;
+            }
+            "--free-admission-depth" => {
+                config.free_admission_depth =
+                    parse_num(&value("--free-admission-depth")?, "--free-admission-depth")?;
+            }
+            "--state-dir" => config.state_dir = PathBuf::from(value("--state-dir")?),
+            "--ledger" => config.ledger_path = Some(PathBuf::from(value("--ledger")?)),
+            "--no-ledger" => config.ledger_path = None,
+            "--preempt-slice-ms" => {
+                config.preempt_slice_ms = Some(parse_num(
+                    &value("--preempt-slice-ms")?,
+                    "--preempt-slice-ms",
+                )?);
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout_ms =
+                    parse_num(&value("--read-timeout-ms")?, "--read-timeout-ms")?;
+            }
+            "--drain-deadline-ms" => {
+                drain_deadline_ms =
+                    parse_num(&value("--drain-deadline-ms")?, "--drain-deadline-ms")?;
+            }
+            "--lut-inputs" => {
+                config.lut_inputs = Some(parse_num(&value("--lut-inputs")?, "--lut-inputs")?);
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+        }
+    }
+    if config.workers == 0 || config.queue_capacity == 0 {
+        return Err("--workers and --queue-capacity must be at least 1".into());
+    }
+    Ok((config, drain_deadline_ms))
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{flag}: {text:?} is not a valid number"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (config, drain_deadline_ms) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::from(exit::CLEAN);
+        }
+        Err(msg) => {
+            eprintln!("nanomapd: {msg}");
+            return ExitCode::from(exit::ERROR);
+        }
+    };
+    install_signal_handlers();
+    let handle = match start(config) {
+        Ok(handle) => handle,
+        Err(msg) => {
+            eprintln!("nanomapd: {msg}");
+            return ExitCode::from(exit::ERROR);
+        }
+    };
+    // The bound address goes to stdout first so wrappers (tests, the
+    // daemon-smoke CI job) can read the resolved port of `:0` binds.
+    println!("nanomapd listening on {}", handle.addr());
+    while !TERM.load(Ordering::SeqCst) && !handle.draining() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("nanomapd: draining (deadline {drain_deadline_ms} ms)");
+    let outcome = handle.shutdown(Duration::from_millis(drain_deadline_ms));
+    if outcome.clean {
+        eprintln!("nanomapd: clean drain");
+        ExitCode::from(exit::CLEAN)
+    } else {
+        eprintln!(
+            "nanomapd: degraded drain, {} request(s) shed at deadline",
+            outcome.shed_at_deadline
+        );
+        ExitCode::from(exit::DEGRADED)
+    }
+}

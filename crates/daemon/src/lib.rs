@@ -1,0 +1,823 @@
+//! # nanomapd
+//!
+//! The NanoMap mapping-as-a-service daemon: a hand-rolled thread pool
+//! serving concurrent mapping requests over line-delimited JSON
+//! (`nanomapd-v1`, see [`nanomap::service`]) on TCP or a unix socket,
+//! wrapped in a full robustness envelope:
+//!
+//! - **Admission control.** A bounded queue; requests arriving past
+//!   capacity are shed with a typed, retryable rejection instead of
+//!   queuing unbounded latency. Above a free-admission depth every
+//!   request must carry `time_budget_ms` so queue residence stays
+//!   bounded under load.
+//! - **Preemption.** Long requests run in exponentially growing time
+//!   slices through the flow's CancelToken + checkpoint machinery: an
+//!   expired slice re-enqueues the request at the back of the queue and
+//!   the next slice resumes from its `nanomap-checkpoint-v1` snapshot,
+//!   not from scratch.
+//! - **Crash-safe result cache.** Results land in an atomic-rename
+//!   cache keyed by netlist fingerprint + objective + seeds
+//!   ([`cache::ResultCache`]); repeat submissions are served from disk
+//!   byte-identically in microseconds, across daemon restarts and
+//!   `kill -9`.
+//! - **Request isolation.** A panicking worker converts to a typed
+//!   `panic` rejection via `catch_unwind`; the daemon never dies with
+//!   its request.
+//! - **Graceful shutdown.** SIGTERM (or the `shutdown` op) drains
+//!   in-flight and queued work under a deadline; whatever misses the
+//!   deadline is shed with a `shutdown` rejection, and slice
+//!   checkpoints persist for the next daemon's resume.
+//!
+//! Every computed run is appended to the flight-recorder ledger, so
+//! `nanomap runs` covers daemon traffic exactly like CLI traffic.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+
+use std::collections::{HashSet, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use nanomap::service::{
+    code, render_error_result, render_lifecycle, render_ok_result, DesignSource, MapRequest,
+    Request,
+};
+use nanomap::{append_run, checkpoint_file_name, Checkpoint, FlowError, NanoMap, RunRecord};
+use nanomap_arch::ArchParams;
+use nanomap_netlist::{blif, vhdl, LutNetwork};
+use nanomap_observe::failpoint;
+use nanomap_techmap::{expand, ExpandOptions};
+
+use cache::ResultCache;
+
+/// Everything a daemon instance is configured with.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address: `host:port` for TCP, a path (contains `/`) for a
+    /// unix socket. Port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads mapping requests concurrently.
+    pub workers: usize,
+    /// Admission queue capacity; arrivals past it are shed.
+    pub queue_capacity: usize,
+    /// Queue depth above which `time_budget_ms` becomes mandatory.
+    pub free_admission_depth: usize,
+    /// Root for daemon state: `cache/` and `checkpoints/` live here.
+    pub state_dir: PathBuf,
+    /// Flight-recorder ledger to append computed runs to (optional).
+    pub ledger_path: Option<PathBuf>,
+    /// Preemption time slice; `None` runs every request to completion.
+    pub preempt_slice_ms: Option<u64>,
+    /// How long a request may sit idle on the wire before the
+    /// connection is dropped (slow-loris guard).
+    pub read_timeout_ms: u64,
+    /// LUT input count override for technology mapping.
+    pub lut_inputs: Option<u32>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 16,
+            free_admission_depth: 4,
+            state_dir: PathBuf::from("nanomapd-state"),
+            ledger_path: None,
+            preempt_slice_ms: None,
+            read_timeout_ms: 10_000,
+            lut_inputs: None,
+        }
+    }
+}
+
+/// A request that passed admission, waiting for (or back in) the queue.
+struct Job {
+    request: MapRequest,
+    conn: Box<dyn Write + Send>,
+    /// Preemption count: 0 on first service, +1 per expired slice.
+    attempts: u32,
+    /// Wall-clock budget left across slices (None = unbudgeted).
+    budget_left_ms: Option<u64>,
+}
+
+/// Counters surfaced through `ping` and [`DaemonHandle::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Requests currently being mapped.
+    pub inflight: u64,
+    /// Requests waiting in the queue.
+    pub queued: u64,
+    /// Results served (cache hits included).
+    pub served: u64,
+    /// Requests shed by admission control or shutdown.
+    pub shed: u64,
+    /// Worker panics converted to typed rejections.
+    pub panics: u64,
+    /// Cache hits among served results.
+    pub cache_hits: u64,
+    /// Preemptions (expired slices re-enqueued).
+    pub preemptions: u64,
+}
+
+struct Shared {
+    config: DaemonConfig,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    /// SIGTERM/`shutdown` received: stop admitting, drain the queue.
+    draining: AtomicBool,
+    /// Drain deadline passed: stop everything now.
+    stop_now: AtomicBool,
+    inflight: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    panics: AtomicU64,
+    cache_hits: AtomicU64,
+    preemptions: AtomicU64,
+    cache: ResultCache,
+    /// Run ids currently being computed — the thundering-herd guard.
+    computing: Mutex<HashSet<String>>,
+}
+
+impl Shared {
+    fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            inflight: self.inflight.load(Ordering::Relaxed),
+            queued: self.queue.lock().unwrap().len() as u64,
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            preemptions: self.preemptions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running daemon: the listener, its workers, and control of both.
+pub struct DaemonHandle {
+    addr: String,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    unix_socket: Option<PathBuf>,
+}
+
+/// What a graceful shutdown achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainOutcome {
+    /// Every admitted request was answered before the deadline.
+    pub clean: bool,
+    /// Requests shed with `shutdown` rejections at the deadline.
+    pub shed_at_deadline: usize,
+}
+
+impl DaemonHandle {
+    /// The bound address — with TCP port 0 this is the resolved port.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> DaemonStats {
+        self.shared.stats()
+    }
+
+    /// True once a drain began — by [`Self::begin_drain`], SIGTERM, or
+    /// a client `shutdown` op. The binary polls this to know when the
+    /// protocol asked it to exit.
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begins a graceful drain (what SIGTERM triggers): admission stops
+    /// (new maps get retryable `shutdown` rejections) while workers
+    /// keep draining the queue.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Drains under a deadline, then stops: queued requests that miss
+    /// the deadline are shed with `shutdown` rejections, in-flight
+    /// slices run to their own expiry (their checkpoints persist).
+    pub fn shutdown(mut self, deadline: Duration) -> DrainOutcome {
+        self.begin_drain();
+        let start = Instant::now();
+        // Wait for the queue and in-flight work to drain.
+        while start.elapsed() < deadline {
+            let empty = self.shared.queue.lock().unwrap().is_empty();
+            if empty && self.shared.inflight.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.shared.stop_now.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        // Shed whatever is still queued — typed, retryable, honest.
+        let leftover: Vec<Job> = self.shared.queue.lock().unwrap().drain(..).collect();
+        let shed_at_deadline = leftover.len();
+        for mut job in leftover {
+            self.shared.shed.fetch_add(1, Ordering::Relaxed);
+            let line = render_error_result(
+                &job.request.id,
+                code::SHUTDOWN,
+                "daemon stopped before this request ran",
+                Some(1_000),
+            );
+            let _ = send_line(job.conn.as_mut(), &line);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.unix_socket {
+            let _ = std::fs::remove_file(path);
+        }
+        DrainOutcome {
+            clean: shed_at_deadline == 0 && self.shared.inflight.load(Ordering::SeqCst) == 0,
+            shed_at_deadline,
+        }
+    }
+}
+
+/// Binds the listener, spawns the workers, returns control.
+///
+/// # Errors
+///
+/// Describes bind/setup failures (address in use, unwritable state dir).
+pub fn start(config: DaemonConfig) -> Result<DaemonHandle, String> {
+    let cache = ResultCache::open(config.state_dir.join("cache"))?;
+    std::fs::create_dir_all(config.state_dir.join("checkpoints"))
+        .map_err(|e| format!("creating checkpoint root: {e}"))?;
+    let shared = Arc::new(Shared {
+        config: config.clone(),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        draining: AtomicBool::new(false),
+        stop_now: AtomicBool::new(false),
+        inflight: AtomicU64::new(0),
+        served: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        panics: AtomicU64::new(0),
+        cache_hits: AtomicU64::new(0),
+        preemptions: AtomicU64::new(0),
+        cache,
+        computing: Mutex::new(HashSet::new()),
+    });
+    let mut threads = Vec::new();
+    for i in 0..config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("nanomapd-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .map_err(|e| format!("spawning worker: {e}"))?,
+        );
+    }
+    let (addr, listener_thread, unix_socket) = spawn_listener(&config.addr, Arc::clone(&shared))?;
+    threads.push(listener_thread);
+    Ok(DaemonHandle {
+        addr,
+        shared,
+        threads,
+        unix_socket,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Listener + per-connection admission.
+// ---------------------------------------------------------------------
+
+fn spawn_listener(
+    addr: &str,
+    shared: Arc<Shared>,
+) -> Result<(String, std::thread::JoinHandle<()>, Option<PathBuf>), String> {
+    if addr.contains('/') {
+        #[cfg(unix)]
+        {
+            let path = PathBuf::from(addr);
+            let _ = std::fs::remove_file(&path);
+            let listener = std::os::unix::net::UnixListener::bind(&path)
+                .map_err(|e| format!("bind {addr}: {e}"))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| format!("set_nonblocking: {e}"))?;
+            let bound = addr.to_string();
+            let thread = std::thread::Builder::new()
+                .name("nanomapd-listener".into())
+                .spawn(move || loop {
+                    if shared.stop_now.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => spawn_connection(Conn::Unix(stream), &shared),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                })
+                .map_err(|e| format!("spawning listener: {e}"))?;
+            return Ok((bound, thread, Some(PathBuf::from(addr))));
+        }
+        #[cfg(not(unix))]
+        return Err(format!("unix socket {addr} unsupported on this platform"));
+    }
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    let bound = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| addr.to_string());
+    let thread = std::thread::Builder::new()
+        .name("nanomapd-listener".into())
+        .spawn(move || loop {
+            if shared.stop_now.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => spawn_connection(Conn::Tcp(stream), &shared),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        })
+        .map_err(|e| format!("spawning listener: {e}"))?;
+    Ok((bound, thread, None))
+}
+
+/// One accepted stream, TCP or unix.
+enum Conn {
+    Tcp(std::net::TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.set_read_timeout(t),
+            #[cfg(unix)]
+            Self::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn split(self) -> std::io::Result<(Box<dyn std::io::Read + Send>, Box<dyn Write + Send>)> {
+        Ok(match self {
+            Self::Tcp(s) => (Box::new(s.try_clone()?), Box::new(s)),
+            #[cfg(unix)]
+            Self::Unix(s) => (Box::new(s.try_clone()?), Box::new(s)),
+        })
+    }
+}
+
+fn spawn_connection(conn: Conn, shared: &Arc<Shared>) {
+    let shared = Arc::clone(shared);
+    // Connection threads are detached: each is bounded by the read
+    // timeout, so they cannot accumulate past the arrival rate.
+    let _ = std::thread::Builder::new()
+        .name("nanomapd-conn".into())
+        .spawn(move || handle_connection(conn, &shared));
+}
+
+fn handle_connection(conn: Conn, shared: &Arc<Shared>) {
+    let timeout = Duration::from_millis(shared.config.read_timeout_ms.max(1));
+    let _ = conn.set_read_timeout(Some(timeout));
+    let Ok((reader, mut writer)) = conn.split() else {
+        return;
+    };
+    let mut line = String::new();
+    // Slow-loris guard: a client that trickles bytes (or none) gets one
+    // read-timeout window for its whole request line, then the
+    // connection is dropped without tying up anything but this thread.
+    if BufReader::new(reader).read_line(&mut line).is_err() || line.trim().is_empty() {
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        let _ = send_line(
+            writer.as_mut(),
+            &render_error_result(
+                "-",
+                code::INVALID,
+                "request line not received in time",
+                None,
+            ),
+        );
+        return;
+    }
+    let request = match Request::parse(line.trim_end()) {
+        Ok(r) => r,
+        Err(detail) => {
+            let _ = send_line(
+                writer.as_mut(),
+                &render_error_result("-", code::INVALID, &detail, None),
+            );
+            return;
+        }
+    };
+    match request {
+        Request::Ping => {
+            let stats = shared.stats();
+            let pong = nanomap_observe::JsonValue::object()
+                .with("schema", nanomap::SERVICE_SCHEMA)
+                .with("event", "pong")
+                .with("inflight", stats.inflight)
+                .with("queued", stats.queued)
+                .with("served", stats.served)
+                .to_compact_string();
+            let _ = send_line(writer.as_mut(), &pong);
+        }
+        Request::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+            let _ = send_line(writer.as_mut(), &render_lifecycle("draining", "-", None));
+        }
+        Request::Map(map) => admit(map, writer, shared),
+    }
+}
+
+/// Admission control: shed when draining, over capacity, or unbudgeted
+/// past the free-admission line; otherwise enqueue with a `queued` echo.
+fn admit(request: MapRequest, mut writer: Box<dyn Write + Send>, shared: &Arc<Shared>) {
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        let _ = send_line(
+            writer.as_mut(),
+            &render_error_result(
+                &request.id,
+                code::SHUTDOWN,
+                "daemon is draining for shutdown",
+                Some(1_000),
+            ),
+        );
+        return;
+    }
+    let mut queue = shared.queue.lock().unwrap();
+    let depth = queue.len();
+    if depth >= shared.config.queue_capacity {
+        drop(queue);
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        let _ = send_line(
+            writer.as_mut(),
+            &render_error_result(
+                &request.id,
+                code::SHED,
+                &format!("queue full (depth {depth})"),
+                Some(retry_hint_ms(depth)),
+            ),
+        );
+        return;
+    }
+    if depth >= shared.config.free_admission_depth && request.time_budget_ms.is_none() {
+        drop(queue);
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        let _ = send_line(
+            writer.as_mut(),
+            &render_error_result(
+                &request.id,
+                code::SHED,
+                &format!("queue depth {depth} requires time_budget_ms"),
+                Some(retry_hint_ms(depth)),
+            ),
+        );
+        return;
+    }
+    // The queued echo goes out before the writer is handed to the job,
+    // while this thread still owns it; best-effort (a vanished client
+    // costs nothing but the eventual failed result write).
+    let _ = send_line(
+        writer.as_mut(),
+        &render_lifecycle("queued", &request.id, Some(depth as u64)),
+    );
+    let budget = request.time_budget_ms;
+    queue.push_back(Job {
+        request,
+        conn: writer,
+        attempts: 0,
+        budget_left_ms: budget,
+    });
+    drop(queue);
+    shared.queue_cv.notify_one();
+}
+
+/// Retry hint that grows with the depth that caused the shed.
+fn retry_hint_ms(depth: usize) -> u64 {
+    100 + 50 * depth as u64
+}
+
+// ---------------------------------------------------------------------
+// Workers.
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if shared.stop_now.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    // Inflight goes up while the queue lock is held, so
+                    // "queue empty && inflight == 0" can never observe a
+                    // job in the gap between pop and serve.
+                    shared.inflight.fetch_add(1, Ordering::SeqCst);
+                    break Some(job);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    // Draining and the queue is empty: this worker is done.
+                    return;
+                }
+                let (q, _timeout) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap();
+                queue = q;
+            }
+        };
+        if let Some(job) = job {
+            serve(job, shared);
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Serves one admitted job: cache lookup, slice-bounded mapping,
+/// preemption re-enqueue, typed rejections. Never panics the worker —
+/// the flow runs under `catch_unwind`.
+fn serve(mut job: Job, shared: &Arc<Shared>) {
+    let id = job.request.id.clone();
+    // Announced only once the job actually progresses (cache hit or
+    // compute-slot claim): a coalescing re-enqueue must stay silent or
+    // the client would count a resume with no matching preemption.
+    let first_line = if job.attempts == 0 {
+        "started"
+    } else {
+        "resumed"
+    };
+
+    // Resolve the design and objective; failures are client errors.
+    let objective = match job.request.to_objective() {
+        Ok(o) => o,
+        Err(detail) => {
+            return finish_error(job, shared, code::INVALID, &detail, None);
+        }
+    };
+    let net = match resolve_network(&job.request.source, shared.config.lut_inputs) {
+        Ok(net) => net,
+        Err(detail) => {
+            return finish_error(job, shared, code::INVALID, &detail, None);
+        }
+    };
+    let base_flow = NanoMap::new(ArchParams::paper_unbounded());
+    let run_id = base_flow.run_id(&net, objective);
+
+    // Cache: identical request (fingerprint + objective + seeds) →
+    // byte-identical replay, no mapping run.
+    if let Some(report_text) = shared.cache.load(&run_id) {
+        shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        let _ = send_line(job.conn.as_mut(), &render_lifecycle(first_line, &id, None));
+        let _ = send_line(
+            job.conn.as_mut(),
+            &render_ok_result(&id, &run_id, "hit", &report_text),
+        );
+        return;
+    }
+
+    // Thundering-herd guard: a second identical request arriving while
+    // the first is still computing waits its turn in the queue and is
+    // then served from the cache, byte-identical, instead of burning a
+    // worker on a duplicate mapping.
+    let _slot = match ComputeSlot::claim(shared, &run_id) {
+        Some(slot) => slot,
+        None => {
+            std::thread::sleep(Duration::from_millis(10));
+            let mut queue = shared.queue.lock().unwrap();
+            queue.push_back(job);
+            drop(queue);
+            shared.queue_cv.notify_one();
+            return;
+        }
+    };
+    let _ = send_line(job.conn.as_mut(), &render_lifecycle(first_line, &id, None));
+
+    // Slice sizing: exponential growth per preemption guarantees
+    // forward progress even when early slices expire inside one phase.
+    let slice_ms = shared
+        .config
+        .preempt_slice_ms
+        .map(|s| s.saturating_mul(1 << job.attempts.min(10)));
+    let effective_ms = match (slice_ms, job.budget_left_ms) {
+        (Some(s), Some(b)) => Some(s.min(b)),
+        (Some(s), None) => Some(s),
+        (None, Some(b)) => Some(b),
+        (None, None) => None,
+    };
+    let ckpt_dir = shared.config.state_dir.join("checkpoints").join(&run_id);
+    let mut flow = NanoMap::new(ArchParams::paper_unbounded()).with_checkpoint_dir(&ckpt_dir);
+    if let Some(ms) = effective_ms {
+        flow = flow.with_budget_ms(ms);
+    }
+    let ckpt_path = ckpt_dir.join(checkpoint_file_name(net.name()));
+    // Resume from a prior slice's snapshot when one loads cleanly; a
+    // torn checkpoint (killed daemon) silently falls back to fresh —
+    // the next slice rewrites it atomically.
+    let resume_from = (job.attempts > 0)
+        .then(|| Checkpoint::load(&ckpt_path).ok())
+        .flatten();
+    let slice_start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if failpoint::should_fail("daemon.worker.panic") {
+            panic!("failpoint daemon.worker.panic fired");
+        }
+        match &resume_from {
+            Some(ckpt) => match flow.map_resume(&net, objective, ckpt) {
+                // A checkpoint the validator refuses (stale run id
+                // collision, architecture drift) is discarded, not fatal.
+                Err(FlowError::Checkpoint(_)) => flow.map(&net, objective),
+                other => other,
+            },
+            None => flow.map(&net, objective),
+        }
+    }));
+    let elapsed_ms = slice_start.elapsed().as_millis() as u64;
+    match outcome {
+        Err(_) => {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+            finish_error(
+                job,
+                shared,
+                code::PANIC,
+                "worker panicked mapping this request; daemon unaffected",
+                None,
+            );
+        }
+        Ok(Ok(report)) => {
+            let degraded = report.degraded;
+            let record = shared
+                .config
+                .ledger_path
+                .as_ref()
+                .map(|_| RunRecord::from_report(&report, run_id.clone(), 0));
+            let report_text = report.to_json().to_compact_string();
+            if !degraded {
+                shared
+                    .cache
+                    .store(&run_id, net.name(), &objective.key(), &report_text);
+            }
+            if let (Some(ledger), Some(record)) = (&shared.config.ledger_path, record) {
+                if let Err(e) = append_run(ledger, &record) {
+                    eprintln!("nanomapd: ledger append for {run_id} failed: {e}");
+                }
+            }
+            shared.served.fetch_add(1, Ordering::Relaxed);
+            let _ = send_line(
+                job.conn.as_mut(),
+                &render_ok_result(&id, &run_id, "miss", &report_text),
+            );
+        }
+        Ok(Err(FlowError::BudgetExhausted { .. })) => {
+            // Spend the slice against the request budget; preempt while
+            // budget remains, reject with the typed budget code once
+            // it is gone.
+            let budget_left = job
+                .budget_left_ms
+                .map(|b| b.saturating_sub(elapsed_ms.max(1)));
+            if budget_left == Some(0) {
+                finish_error(
+                    job,
+                    shared,
+                    code::BUDGET,
+                    "time budget exhausted before a complete mapping",
+                    None,
+                );
+                return;
+            }
+            job.budget_left_ms = budget_left;
+            job.attempts += 1;
+            shared.preemptions.fetch_add(1, Ordering::Relaxed);
+            let _ = send_line(job.conn.as_mut(), &render_lifecycle("preempted", &id, None));
+            if shared.draining.load(Ordering::SeqCst) || shared.stop_now.load(Ordering::SeqCst) {
+                // Shutting down: the checkpoint persists for the next
+                // daemon; the client gets a retryable rejection.
+                finish_error(
+                    job,
+                    shared,
+                    code::SHUTDOWN,
+                    "preempted by shutdown; resume checkpoint persisted",
+                    Some(1_000),
+                );
+                return;
+            }
+            let mut queue = shared.queue.lock().unwrap();
+            queue.push_back(job);
+            drop(queue);
+            shared.queue_cv.notify_one();
+        }
+        Ok(Err(err)) => {
+            let detail = err.to_string();
+            finish_error(job, shared, code::FAILED, &detail, None);
+        }
+    }
+}
+
+/// Ownership of "this worker computes run X": claimed before a mapping
+/// run, released on every exit path by `Drop` (including panics caught
+/// by the worker's `catch_unwind`).
+struct ComputeSlot<'a> {
+    shared: &'a Shared,
+    run_id: String,
+}
+
+impl<'a> ComputeSlot<'a> {
+    fn claim(shared: &'a Shared, run_id: &str) -> Option<Self> {
+        shared
+            .computing
+            .lock()
+            .unwrap()
+            .insert(run_id.to_string())
+            .then(|| Self {
+                shared,
+                run_id: run_id.to_string(),
+            })
+    }
+}
+
+impl Drop for ComputeSlot<'_> {
+    fn drop(&mut self) {
+        self.shared.computing.lock().unwrap().remove(&self.run_id);
+    }
+}
+
+fn finish_error(
+    mut job: Job,
+    shared: &Arc<Shared>,
+    error_code: &str,
+    detail: &str,
+    retry_after_ms: Option<u64>,
+) {
+    if matches!(error_code, code::SHED | code::SHUTDOWN) {
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+    }
+    let line = render_error_result(&job.request.id, error_code, detail, retry_after_ms);
+    let _ = send_line(job.conn.as_mut(), &line);
+}
+
+/// Writes one protocol line. The `socket.write` failpoint simulates a
+/// client that vanished mid-response.
+fn send_line(conn: &mut dyn Write, line: &str) -> std::io::Result<()> {
+    failpoint::inject_io("socket.write")?;
+    conn.write_all(line.as_bytes())?;
+    conn.write_all(b"\n")?;
+    conn.flush()
+}
+
+/// Parses a design from its wire source into a LUT network.
+fn resolve_network(source: &DesignSource, lut_inputs: Option<u32>) -> Result<LutNetwork, String> {
+    let options = ExpandOptions {
+        lut_inputs: lut_inputs.unwrap_or(ExpandOptions::default().lut_inputs),
+        ..ExpandOptions::default()
+    };
+    match source {
+        DesignSource::Path(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            if path.ends_with(".blif") {
+                blif::parse(&text).map_err(|e| format!("{path}: {e}"))
+            } else if path.ends_with(".vhd") || path.ends_with(".vhdl") {
+                let circuit = vhdl::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+                expand(&circuit, options).map_err(|e| format!("{path}: {e}"))
+            } else {
+                Err(format!("{path}: unknown extension (use .vhd/.vhdl/.blif)"))
+            }
+        }
+        DesignSource::Text { format, text } => match format.as_str() {
+            "blif" => blif::parse(text).map_err(|e| format!("inline blif: {e}")),
+            "vhdl" | "vhd" => {
+                let circuit = vhdl::parse(text).map_err(|e| format!("inline vhdl: {e}"))?;
+                expand(&circuit, options).map_err(|e| format!("inline vhdl: {e}"))
+            }
+            other => Err(format!("unknown design format {other:?}")),
+        },
+    }
+}
+
+/// Exit codes the `nanomapd` binary documents and tests rely on.
+pub mod exit {
+    /// Clean shutdown: every admitted request was answered.
+    pub const CLEAN: u8 = 0;
+    /// Hard startup/runtime error (bind failure, bad flags).
+    pub const ERROR: u8 = 1;
+    /// Drained under protest: the deadline shed admitted requests.
+    pub const DEGRADED: u8 = 4;
+}
+
+/// The wire protocol, re-exported so daemon users need only this crate.
+pub use nanomap::service as protocol;

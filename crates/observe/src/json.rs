@@ -279,7 +279,7 @@ impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
 pub fn parse(text: &str) -> Result<JsonValue, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(text, bytes, &mut pos)?;
+    let value = parse_value(text, bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
@@ -293,7 +293,24 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+/// Maximum container nesting the parser accepts. Every value this
+/// workspace emits is a handful of levels deep; the cap exists so a
+/// corrupt or adversarial input (`[[[[…`) yields a typed parse error
+/// instead of exhausting the thread stack — callers like `--resume`
+/// and the daemon's cache loader treat that error as "torn file".
+pub const MAX_PARSE_DEPTH: usize = 512;
+
+fn parse_value(
+    text: &str,
+    bytes: &[u8],
+    pos: &mut usize,
+    depth: usize,
+) -> Result<JsonValue, String> {
+    if depth > MAX_PARSE_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_PARSE_DEPTH} at byte {pos}"
+        ));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".into()),
@@ -310,7 +327,7 @@ fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Result<JsonValue, S
                 return Ok(JsonValue::Array(items));
             }
             loop {
-                items.push(parse_value(text, bytes, pos)?);
+                items.push(parse_value(text, bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -338,7 +355,7 @@ fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Result<JsonValue, S
                     return Err(format!("expected : at byte {pos}"));
                 }
                 *pos += 1;
-                let value = parse_value(text, bytes, pos)?;
+                let value = parse_value(text, bytes, pos, depth + 1)?;
                 entries.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -441,6 +458,16 @@ fn parse_string(text: &str, bytes: &[u8], pos: &mut usize) -> Result<String, Str
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "got: {err}");
+        // Anything at or under the cap still parses.
+        let ok = "[".repeat(MAX_PARSE_DEPTH) + &"]".repeat(MAX_PARSE_DEPTH);
+        parse(&ok).unwrap();
+    }
 
     #[test]
     fn escaping_edge_cases_round_trip() {

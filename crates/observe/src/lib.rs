@@ -41,6 +41,7 @@
 pub mod alloc;
 pub mod budget;
 pub mod events;
+pub mod failpoint;
 pub mod json;
 pub mod profile;
 pub mod rng;
@@ -60,6 +61,8 @@ pub use collector::{
     counter, enabled, gauge, histogram, incr, reset, series, set_echo, set_enabled, snapshot,
     thread_ordinal, Echo, MetricsSnapshot,
 };
+pub use failpoint::{FailMode, FAILPOINTS_ENV, FAILPOINT_SEED_ENV};
+
 pub use events::{
     drain_events, dropped_events, events_enabled, publish, reset_events, set_events_enabled, Event,
     EventKind, EventStream, StreamStats, EVENTS_SCHEMA, EVENT_QUEUE_CAPACITY,

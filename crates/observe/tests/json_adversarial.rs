@@ -55,8 +55,8 @@ fn unicode_escapes_parse() {
 #[test]
 fn deep_nesting_round_trips() {
     // 200 levels of arrays wrapping one object — deep enough to catch an
-    // accidental depth limit, shallow enough to stay off stack-overflow
-    // territory in debug builds.
+    // accidentally tight depth limit, comfortably under the deliberate
+    // MAX_PARSE_DEPTH cap that guards against corrupt `[[[[…` inputs.
     let mut v = JsonValue::object().with("leaf", true);
     for _ in 0..200 {
         v = JsonValue::Array(vec![v]);

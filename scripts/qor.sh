@@ -36,6 +36,19 @@
 # stdout) that `nanomap runs check-stream` must validate, every mapping
 # appends to the flight-recorder ledger at results/runs/ledger.jsonl,
 # and `nanomap runs list/trend/regress` must aggregate the history.
+#
+# The failpoints leg proves the fault-injection registry costs nothing
+# disarmed (an explicitly-empty NANOMAP_FAILPOINTS run is bit-identical
+# to the baseline) and fails typed when armed (artifact.write=always →
+# exit 1, no torn artifact). The kill-and-resume leg additionally feeds
+# `--resume` a torn checkpoint: strict mode must fail typed, `--anytime`
+# must fall back to a fresh run matching the uninterrupted artifact.
+#
+# The daemon leg boots `nanomapd`, proves repeat submissions replay from
+# the crash-safe cache byte for byte, SIGKILLs the daemon and requires
+# the restarted instance to serve the same bytes from disk, checks the
+# ledger recorded exactly the computed run, and finishes with a SIGTERM
+# drain that must exit 0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,7 +58,7 @@ if [[ "${1:-}" == "--rebase" ]]; then
 fi
 
 echo "==> build (release)"
-cargo build --release -p nanomap -p nanomap-bench
+cargo build --release -p nanomap -p nanomap-bench -p nanomap-daemon
 
 echo "==> bench QoR: full physical flow over the Table 1 circuits"
 ./target/release/qor --out BENCH_qor.json --explain-dir EXPLAIN_qor
@@ -114,6 +127,23 @@ else
   ./target/release/nanomap designs/accumulator.vhd \
     --resume CKPT_resume/accumulator.ckpt.json --explain RESUME_explain.json >/dev/null
   cmp BASE_explain.json RESUME_explain.json
+  # Torn checkpoint: strict --resume must fail with a typed error (never
+  # a panic), and --anytime must fall back to a fresh run that still
+  # reproduces the uninterrupted artifact.
+  head -c 64 CKPT_resume/accumulator.ckpt.json > CKPT_torn.json
+  set +e
+  ./target/release/nanomap designs/accumulator.vhd \
+    --resume CKPT_torn.json >/dev/null 2>TORN_err.log
+  torn_status=$?
+  set -e
+  if [[ $torn_status -eq 0 || $torn_status -gt 4 ]]; then
+    echo "torn resume: expected a typed failure (1-4), got $torn_status" >&2
+    cat TORN_err.log >&2
+    exit 1
+  fi
+  ./target/release/nanomap designs/accumulator.vhd --resume CKPT_torn.json \
+    --anytime --explain TORN_resume_explain.json >/dev/null 2>&1
+  cmp BASE_explain.json TORN_resume_explain.json
   echo "==> gate: perf (phase medians vs results/perf/bench.json)"
   ./target/release/perf --runs 3 --out BENCH_perf_new.json --profile-dir PERF_prof
   ./target/release/nanomap perf-diff --rel 2.0 --abs-ms 25 \
@@ -135,5 +165,76 @@ else
   ./target/release/nanomap runs --ledger results/runs/ledger.jsonl list
   ./target/release/nanomap runs --ledger results/runs/ledger.jsonl trend
   ./target/release/nanomap runs --ledger results/runs/ledger.jsonl regress
+  echo "==> gate: failpoints (disarmed = zero drift, armed = typed failure)"
+  # The fault-injection registry must be a strict no-op when disarmed:
+  # an explicitly-empty NANOMAP_FAILPOINTS run is bit-identical to the
+  # committed baseline.
+  NANOMAP_FAILPOINTS="" ./target/release/nanomap designs/accumulator.vhd \
+    --defect-rate 0 --qor FP_disarmed_qor.json >/dev/null
+  ./target/release/nanomap qor-diff --exact results/qor/accumulator.json \
+    FP_disarmed_qor.json
+  # Armed, the same binary fails the artifact write with a typed error —
+  # exit 1, no panic, and the atomic sink leaves no torn file behind.
+  set +e
+  NANOMAP_FAILPOINTS="artifact.write=always" ./target/release/nanomap \
+    designs/accumulator.vhd --qor FP_armed_qor.json >/dev/null 2>FP_err.log
+  fp_status=$?
+  set -e
+  if [[ $fp_status -ne 1 ]]; then
+    echo "armed failpoint: expected exit 1, got $fp_status" >&2
+    cat FP_err.log >&2
+    exit 1
+  fi
+  if [[ -e FP_armed_qor.json ]]; then
+    echo "armed failpoint: torn artifact FP_armed_qor.json left behind" >&2
+    exit 1
+  fi
+  echo "==> gate: daemon (cache replay, kill -9 survival, graceful drain)"
+  rm -rf DAEMON_state DAEMON_ledger.jsonl
+  start_daemon() {
+    : > DAEMON_out.log
+    ./target/release/nanomapd --addr 127.0.0.1:0 --state-dir DAEMON_state \
+      --ledger DAEMON_ledger.jsonl > DAEMON_out.log 2>DAEMON_err.log &
+    DAEMON_PID=$!
+    for _ in $(seq 1 100); do
+      grep -q 'listening on' DAEMON_out.log && break
+      sleep 0.1
+    done
+    DAEMON_ADDR=$(sed -n 's/.*listening on //p' DAEMON_out.log | head -1)
+    if [[ -z "$DAEMON_ADDR" ]]; then
+      echo "nanomapd did not announce an address" >&2
+      cat DAEMON_err.log >&2
+      exit 1
+    fi
+  }
+  start_daemon
+  ./target/release/nanomap submit designs/accumulator.vhd \
+    --addr "$DAEMON_ADDR" --report DAEMON_first.json 2>/dev/null
+  ./target/release/nanomap submit designs/accumulator.vhd \
+    --addr "$DAEMON_ADDR" --report DAEMON_hit.json 2>/dev/null
+  cmp DAEMON_first.json DAEMON_hit.json
+  # kill -9: no drain, no cleanup. Durable state must survive intact.
+  kill -9 "$DAEMON_PID" 2>/dev/null || true
+  wait "$DAEMON_PID" 2>/dev/null || true
+  start_daemon
+  ./target/release/nanomap submit designs/accumulator.vhd \
+    --addr "$DAEMON_ADDR" --report DAEMON_replay.json 2>DAEMON_replay.log
+  cmp DAEMON_first.json DAEMON_replay.json
+  grep -q 'cache hit' DAEMON_replay.log
+  # Exactly one computed run reached the ledger (hits are replays), and
+  # the history tooling reads it like any CLI traffic.
+  [[ $(wc -l < DAEMON_ledger.jsonl) -eq 1 ]]
+  ./target/release/nanomap runs --ledger DAEMON_ledger.jsonl list >/dev/null
+  # SIGTERM with nothing in flight: clean drain, exit 0.
+  kill -TERM "$DAEMON_PID"
+  set +e
+  wait "$DAEMON_PID"
+  drain_status=$?
+  set -e
+  if [[ $drain_status -ne 0 ]]; then
+    echo "nanomapd drain: expected exit 0, got $drain_status" >&2
+    cat DAEMON_err.log >&2
+    exit 1
+  fi
   echo "QoR gate passed."
 fi
