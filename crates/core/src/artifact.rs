@@ -129,6 +129,8 @@ pub mod versions {
     pub const SERVICE: &str = "nanomapd-v1";
     /// `nanomapd` result-cache entries on disk.
     pub const CACHE: &str = "nanomapd-cache-v1";
+    /// `nanomapd` stats snapshots (the `stats` op and persisted file).
+    pub const STATS: &str = "nanomapd-stats-v1";
 }
 
 #[cfg(test)]

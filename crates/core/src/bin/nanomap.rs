@@ -85,18 +85,35 @@
 //!   outliers (exit 1 when any), and `check-stream` validates a
 //!   --live-status NDJSON capture.
 //!
+//! nanomap runs show --trace ID [--events PATH] [--ledger PATH]
+//!   Reconstructs one service request end to end: the `service` events
+//!   in a `nanomapd --events` NDJSON capture become a millisecond
+//!   timeline (queued/started/preempted/coalesced/completed), and the
+//!   ledger record stamped with the same trace id is printed after it.
+//!
 //! nanomap submit <design.vhd | design.blif> --addr HOST:PORT|SOCKET
 //!                [--objective delay|area|at] [--max-les N] [--max-delay NS]
 //!                [--time-budget-ms N] [--id STR] [--retries N]
 //!                [--backoff-ms MS] [--retry-seed N] [--report PATH|-]
+//!                [--trace-id STR]
 //!   Submits one mapping request to a running `nanomapd` with jittered
 //!   exponential backoff across connect failures and retryable
 //!   (`shed`/`shutdown`) rejections. Idempotent: the daemon's cache key
 //!   is the netlist fingerprint + objective + seeds, so re-submission
 //!   re-serves the same result byte for byte. The MappingReport JSON
 //!   goes to stdout (or --report PATH); lifecycle lines go to stderr.
+//!   Every attempt's server-assigned trace id is echoed on stderr (and
+//!   written into the --report error document on permanent rejection);
+//!   --trace-id propagates a caller-chosen id instead.
 //!   Exit codes: 0 served, 1 transport failure or retries exhausted,
 //!   2 permanent rejection (invalid/panic/failed), 3 budget rejection.
+//!
+//! nanomap top --addr HOST:PORT|SOCKET [--interval-ms N] [--once]
+//!   Live operator console for a running `nanomapd`: polls the `stats`
+//!   op and redraws counters, gauges, shed/cache-hit rates, per-class
+//!   latency percentiles, request-segment means and utilization
+//!   sparklines. With --once (or stdout not a terminal) it prints one
+//!   compact `nanomapd-stats-v1` JSON line and exits.
 //! ```
 
 // The CLI turns every failure into a diagnostic plus exit code; a panic
@@ -741,6 +758,8 @@ fn runs_main(cli: Vec<String>) -> ExitCode {
     let usage = || {
         eprintln!("usage: nanomap runs <list | show ID | trend | regress | check-stream FILE>");
         eprintln!("       [--ledger PATH] [--benchmark B] [--field F] [--window N] [--k F]");
+        eprintln!("       runs show --trace ID [--events PATH] reconstructs one service");
+        eprintln!("       request's timeline from an event capture plus its ledger record");
         ExitCode::FAILURE
     };
     let mut iter = cli.into_iter();
@@ -749,11 +768,27 @@ fn runs_main(cli: Vec<String>) -> ExitCode {
     let mut fields: Vec<String> = Vec::new();
     let mut window = runs::REGRESS_WINDOW;
     let mut k = runs::REGRESS_K;
+    let mut trace: Option<String> = None;
+    let mut events_path: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--ledger" => match value(&mut iter, "--ledger") {
                 Ok(v) => ledger_path = v,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            },
+            "--trace" => match value(&mut iter, "--trace") {
+                Ok(v) => trace = Some(v),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            },
+            "--events" => match value(&mut iter, "--events") {
+                Ok(v) => events_path = Some(v),
                 Err(e) => {
                     eprintln!("error: {e}");
                     return usage();
@@ -902,17 +937,59 @@ fn runs_main(cli: Vec<String>) -> ExitCode {
             ExitCode::SUCCESS
         }
         "show" => {
-            let [prefix] = &positional[..] else {
-                return usage();
-            };
-            match ledger.find(prefix) {
-                Some(record) => {
-                    outln!("{}", record.to_json().to_pretty_string());
-                    ExitCode::SUCCESS
+            // --trace flips show from run-id lookup to service-request
+            // reconstruction: the event capture gives the timeline
+            // (queue/slice/coalesce stages), the ledger the run record.
+            if let Some(trace) = &trace {
+                let mut found = false;
+                if let Some(path) = &events_path {
+                    let text = match std::fs::read_to_string(path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("error: {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let timeline = runs::trace_timeline(&text, trace);
+                    if timeline.is_empty() {
+                        eprintln!("warning: no service events for trace {trace} in {path}");
+                    } else {
+                        found = true;
+                        outln!("trace {trace} ({} events):", timeline.len());
+                        for line in runs::render_trace_timeline(&timeline) {
+                            outln!("{line}");
+                        }
+                    }
                 }
-                None => {
-                    eprintln!("error: no run matching `{prefix}` in {ledger_path}");
-                    ExitCode::FAILURE
+                match ledger.find_by_trace(trace) {
+                    Some(record) => {
+                        outln!("{}", record.to_json().to_pretty_string());
+                        ExitCode::SUCCESS
+                    }
+                    None if found => {
+                        eprintln!(
+                            "note: no ledger record stamped with trace {trace} in {ledger_path}"
+                        );
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!("error: trace {trace} not found in {ledger_path}");
+                        ExitCode::FAILURE
+                    }
+                }
+            } else {
+                let [prefix] = &positional[..] else {
+                    return usage();
+                };
+                match ledger.find(prefix) {
+                    Some(record) => {
+                        outln!("{}", record.to_json().to_pretty_string());
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!("error: no run matching `{prefix}` in {ledger_path}");
+                        ExitCode::FAILURE
+                    }
                 }
             }
         }
@@ -972,7 +1049,7 @@ fn submit_main(args: Vec<String>) -> ExitCode {
         eprintln!("usage: nanomap submit <design.vhd|design.blif> --addr HOST:PORT|SOCKET");
         eprintln!("       [--objective delay|area|at] [--max-les N] [--max-delay NS]");
         eprintln!("       [--time-budget-ms N] [--id STR] [--retries N] [--backoff-ms MS]");
-        eprintln!("       [--retry-seed N] [--report PATH|-]");
+        eprintln!("       [--retry-seed N] [--report PATH|-] [--trace-id STR]");
         ExitCode::FAILURE
     }
     let mut design: Option<String> = None;
@@ -982,6 +1059,7 @@ fn submit_main(args: Vec<String>) -> ExitCode {
     let mut max_delay_ns: Option<f64> = None;
     let mut time_budget_ms: Option<u64> = None;
     let mut id: Option<String> = None;
+    let mut trace_id: Option<String> = None;
     let mut policy = nanomap::RetryPolicy::default();
     let mut report_sink: Option<String> = None;
     let mut it = args.into_iter();
@@ -1015,6 +1093,7 @@ fn submit_main(args: Vec<String>) -> ExitCode {
             "--max-delay" => max_delay_ns = Some(num!()),
             "--time-budget-ms" => time_budget_ms = Some(num!()),
             "--id" => id = Some(val!()),
+            "--trace-id" => trace_id = Some(val!()),
             "--retries" => policy.max_attempts = num!(),
             "--backoff-ms" => policy.base_backoff_ms = num!(),
             "--retry-seed" => policy.seed = num!(),
@@ -1038,6 +1117,7 @@ fn submit_main(args: Vec<String>) -> ExitCode {
         max_les,
         max_delay_ns,
         time_budget_ms,
+        trace_id,
     };
     let submission = match nanomap::submit_with_retry(&addr, &request, &policy) {
         Ok(s) => s,
@@ -1046,6 +1126,15 @@ fn submit_main(args: Vec<String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Retryable rejections absorbed along the way each carry the
+    // server-assigned trace, so shed attempts stay attributable.
+    for rejection in &submission.rejections {
+        eprintln!(
+            "submit: retried after {} rejection (trace {})",
+            rejection.code.as_deref().unwrap_or("?"),
+            rejection.trace_id.as_deref().unwrap_or("-")
+        );
+    }
     for event in &submission.lifecycle {
         match event {
             nanomap::Response::Queued { depth } => eprintln!("submit: queued (depth {depth})"),
@@ -1058,10 +1147,11 @@ fn submit_main(args: Vec<String>) -> ExitCode {
     let result = &submission.result;
     if result.ok {
         eprintln!(
-            "submit: ok run {} (cache {}, attempt {})",
+            "submit: ok run {} (cache {}, attempt {}, trace {})",
             result.run_id.as_deref().unwrap_or("-"),
             result.cache.as_deref().unwrap_or("-"),
-            submission.attempts
+            submission.attempts,
+            result.trace_id.as_deref().unwrap_or("-")
         );
         let report = result.report_text.as_deref().unwrap_or("{}");
         match report_sink.as_deref() {
@@ -1077,14 +1167,262 @@ fn submit_main(args: Vec<String>) -> ExitCode {
         return ExitCode::SUCCESS;
     }
     eprintln!(
-        "error: request rejected ({}): {}",
+        "error: request rejected ({}): {} (trace {})",
         result.code.as_deref().unwrap_or("?"),
-        result.detail.as_deref().unwrap_or("no detail")
+        result.detail.as_deref().unwrap_or("no detail"),
+        result.trace_id.as_deref().unwrap_or("-")
     );
+    // A rejection with --report still writes a small typed document so
+    // scripted callers get the trace id without scraping stderr.
+    if let Some(path) = report_sink.as_deref().filter(|p| *p != "-") {
+        let mut doc = JsonValue::object()
+            .with("schema", nanomap::SERVICE_SCHEMA)
+            .with("status", "error")
+            .with("request", result.request.as_str())
+            .with("code", result.code.as_deref().unwrap_or("?"));
+        if let Some(trace) = &result.trace_id {
+            doc.set("trace_id", trace.as_str());
+        }
+        if let Some(detail) = &result.detail {
+            doc.set("detail", detail.as_str());
+        }
+        if let Err(e) = atomic_write_text(Path::new(path), &doc.to_compact_string()) {
+            eprintln!("error: {e}");
+        }
+    }
     match result.code.as_deref() {
         Some(nanomap::service::code::BUDGET) => ExitCode::from(EXIT_BUDGET_EXHAUSTED),
         Some(_) => ExitCode::from(EXIT_RECOVERY_EXHAUSTED),
         None => ExitCode::FAILURE,
+    }
+}
+
+/// Latency classes `top` tabulates, in the daemon's fixed schema order.
+const TOP_CLASSES: [&str; 7] = [
+    "ok", "shed", "shutdown", "invalid", "panic", "budget", "failed",
+];
+
+/// How many poll samples each `top` sparkline keeps.
+const TOP_HISTORY: usize = 60;
+
+/// Reads an integer counter/gauge out of a nested stats object.
+fn stat_int(doc: &JsonValue, group: &str, name: &str) -> i64 {
+    doc.get(group)
+        .and_then(|g| g.get(name))
+        .and_then(JsonValue::as_int)
+        .unwrap_or(0)
+}
+
+/// Renders one polled stats document as the live console frame.
+fn render_top_frame(addr: &str, doc: &JsonValue, histories: &[(&str, &[f64])]) -> String {
+    use std::fmt::Write as _;
+    let mut frame = String::new();
+    let uptime_s = doc
+        .get("uptime_ms")
+        .and_then(JsonValue::as_int)
+        .unwrap_or(0) as f64
+        / 1000.0;
+    let version = doc
+        .get("version")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("?");
+    let draining = doc
+        .get("draining")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
+    let _ = writeln!(
+        frame,
+        "{version} @ {addr} — up {uptime_s:.1} s{}",
+        if draining { "  [DRAINING]" } else { "" }
+    );
+    let served = stat_int(doc, "counters", "served");
+    let shed = stat_int(doc, "counters", "shed");
+    let cache_hits = stat_int(doc, "counters", "cache_hits");
+    let _ = writeln!(
+        frame,
+        "counters  served {served}  shed {shed}  panics {}  failures {}  cache_hits {cache_hits}  preemptions {}",
+        stat_int(doc, "counters", "panics"),
+        stat_int(doc, "counters", "failures"),
+        stat_int(doc, "counters", "preemptions"),
+    );
+    let _ = writeln!(
+        frame,
+        "gauges    queue {}  inflight {}/{} workers  cache {} entries / {} bytes",
+        stat_int(doc, "gauges", "queue_depth"),
+        stat_int(doc, "gauges", "inflight"),
+        stat_int(doc, "gauges", "workers"),
+        stat_int(doc, "gauges", "cache_entries"),
+        stat_int(doc, "gauges", "cache_bytes"),
+    );
+    let admitted = served + shed;
+    let shed_pct = if admitted > 0 {
+        100.0 * shed as f64 / admitted as f64
+    } else {
+        0.0
+    };
+    let hit_pct = if served > 0 {
+        100.0 * cache_hits as f64 / served as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        frame,
+        "rates     shed {shed_pct:.1}%  cache hit {hit_pct:.1}%"
+    );
+    let _ = writeln!(
+        frame,
+        "\n{:<10} {:>8} {:>10} {:>10} {:>10}  (latency, ms)",
+        "class", "count", "p50", "p95", "p99"
+    );
+    for class in TOP_CLASSES {
+        let Some(hist) = doc.get("latency_us").and_then(|l| l.get(class)) else {
+            continue;
+        };
+        let count = hist.get("count").and_then(JsonValue::as_int).unwrap_or(0);
+        if count == 0 {
+            continue;
+        }
+        let ms = |name: &str| hist.get(name).and_then(JsonValue::as_f64).unwrap_or(0.0) / 1000.0;
+        let _ = writeln!(
+            frame,
+            "{class:<10} {count:>8} {:>10.3} {:>10.3} {:>10.3}",
+            ms("p50"),
+            ms("p95"),
+            ms("p99")
+        );
+    }
+    let seg_mean = |name: &str| {
+        doc.get("segments_us")
+            .and_then(|s| s.get(name))
+            .and_then(|h| h.get("mean"))
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0)
+            / 1000.0
+    };
+    let _ = writeln!(
+        frame,
+        "\nsegments  queue {:.3} ms  compute {:.3} ms  cache {:.3} ms  serialize {:.3} ms  (mean)",
+        seg_mean("queue"),
+        seg_mean("compute"),
+        seg_mean("cache"),
+        seg_mean("serialize"),
+    );
+    for (label, history) in histories {
+        if history.iter().any(|v| *v > 0.0) {
+            let _ = writeln!(frame, "{:<10} {}", label, runs::sparkline(history));
+        }
+    }
+    frame
+}
+
+/// `nanomap top --addr ADDR [...]`: the live operator console. Polls
+/// the daemon's `stats` op and redraws; `--once` (or a non-terminal
+/// stdout, so `nanomap top | head` just works) prints a single compact
+/// `nanomapd-stats-v1` line instead.
+fn top_main(args: Vec<String>) -> ExitCode {
+    fn usage() -> ExitCode {
+        eprintln!("usage: nanomap top --addr HOST:PORT|SOCKET [--interval-ms N] [--once]");
+        ExitCode::FAILURE
+    }
+    let mut addr: Option<String> = None;
+    let mut interval_ms: u64 = 1_000;
+    let mut once = false;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v),
+                None => {
+                    eprintln!("error: --addr needs a value");
+                    return usage();
+                }
+            },
+            "--interval-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => interval_ms = v,
+                None => {
+                    eprintln!("error: --interval-ms needs a number");
+                    return usage();
+                }
+            },
+            "--once" => once = true,
+            other => {
+                eprintln!("error: unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        return usage();
+    };
+    // A pipe or file on stdout degrades to single-snapshot NDJSON: the
+    // ANSI dashboard is for humans at a terminal only.
+    let live = !once && std::io::IsTerminal::is_terminal(&std::io::stdout());
+    if !live {
+        return match nanomap::query_stats(&addr, 5_000) {
+            Ok(doc) => {
+                outln!("{}", doc.to_compact_string());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let mut util_history: Vec<f64> = Vec::new();
+    let mut queue_history: Vec<f64> = Vec::new();
+    let mut served_history: Vec<f64> = Vec::new();
+    let mut last_served: Option<i64> = None;
+    let mut failures = 0u32;
+    loop {
+        match nanomap::query_stats(&addr, 5_000) {
+            Ok(doc) => {
+                failures = 0;
+                let workers = stat_int(&doc, "gauges", "workers").max(1);
+                let push = |history: &mut Vec<f64>, v: f64| {
+                    history.push(v);
+                    if history.len() > TOP_HISTORY {
+                        history.remove(0);
+                    }
+                };
+                push(
+                    &mut util_history,
+                    stat_int(&doc, "gauges", "inflight") as f64 / workers as f64,
+                );
+                push(
+                    &mut queue_history,
+                    stat_int(&doc, "gauges", "queue_depth") as f64,
+                );
+                let served = stat_int(&doc, "counters", "served");
+                push(
+                    &mut served_history,
+                    (served - last_served.unwrap_or(served)) as f64,
+                );
+                last_served = Some(served);
+                let frame = render_top_frame(
+                    &addr,
+                    &doc,
+                    &[
+                        ("util", &util_history),
+                        ("queue", &queue_history),
+                        ("served/s", &served_history),
+                    ],
+                );
+                // Clear + home, then the frame in one write to keep
+                // redraws flicker-free.
+                out!("\u{1b}[2J\u{1b}[H{frame}");
+            }
+            Err(e) => {
+                // One missed poll is a blip (daemon restarting, socket
+                // backlog); three in a row means it is gone.
+                failures += 1;
+                eprintln!("top: {e} ({failures}/3)");
+                if failures >= 3 {
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(100)));
     }
 }
 
@@ -1108,6 +1446,9 @@ fn main() -> ExitCode {
     if cli.first().map(String::as_str) == Some("submit") {
         return submit_main(cli.split_off(1));
     }
+    if cli.first().map(String::as_str) == Some("top") {
+        return top_main(cli.split_off(1));
+    }
     let args = match parse_args(cli.into_iter()) {
         Ok(a) => a,
         Err(message) => {
@@ -1129,7 +1470,9 @@ fn main() -> ExitCode {
             eprintln!("       nanomap qor-diff [--exact] <baseline.json> <new.json>");
             eprintln!("       nanomap perf-diff [--rel F] [--abs-ms F] <baseline.json> <new.json>");
             eprintln!("       nanomap runs <list | show ID | trend | regress | check-stream FILE>");
+            eprintln!("       nanomap runs show --trace ID [--events PATH]");
             eprintln!("       nanomap submit <design> --addr HOST:PORT|SOCKET [options]");
+            eprintln!("       nanomap top --addr HOST:PORT|SOCKET [--interval-ms N] [--once]");
             return ExitCode::FAILURE;
         }
     };

@@ -89,8 +89,8 @@ pub use recovery::{RecoveryAttempt, RecoveryLog, Remedy};
 pub use report::{MappingReport, PhaseTimes, PhysicalReport, SharingMode, UsageReport};
 pub use runs::{append_run, Ledger, RunRecord, DEFAULT_LEDGER_PATH};
 pub use service::{
-    submit_with_retry, DesignSource, MapRequest, Request, Response, RetryPolicy, Submission,
-    WireResult, SERVICE_SCHEMA,
+    query_stats, submit_with_retry, DesignSource, MapRequest, Request, Response, RetryPolicy,
+    Submission, WireResult, SERVICE_SCHEMA,
 };
 pub use verify::{check_folded_execution, FoldedCheck};
 

@@ -80,6 +80,9 @@ pub struct RunRecord {
     pub recovery_attempts: u64,
     /// Peak resident set in KiB, when measured.
     pub peak_rss_kb: Option<u64>,
+    /// Service trace id when the run was produced by `nanomapd` on
+    /// behalf of a traced request; `None` for local CLI runs.
+    pub trace_id: Option<String>,
     /// QoR headline metrics (num_les, delay_ns, ...).
     pub metrics: BTreeMap<String, f64>,
     /// Per-phase wall-clock milliseconds, mirroring `phase_times`.
@@ -182,6 +185,7 @@ impl RunRecord {
                 .as_ref()
                 .and_then(|m| m.peak_rss_kb)
                 .or_else(nanomap_observe::read_rss_kb),
+            trace_id: None,
             metrics,
             phase_ms,
         }
@@ -216,6 +220,9 @@ impl RunRecord {
             .with("recovery_attempts", self.recovery_attempts);
         if let Some(kb) = self.peak_rss_kb {
             obj.set("peak_rss_kb", kb);
+        }
+        if let Some(trace) = &self.trace_id {
+            obj.set("trace_id", trace.as_str());
         }
         obj.set("metrics", metrics);
         obj.set("phase_ms", phases);
@@ -261,6 +268,10 @@ impl RunRecord {
                 .get("peak_rss_kb")
                 .and_then(JsonValue::as_int)
                 .map(|v| v.max(0) as u64),
+            trace_id: value
+                .get("trace_id")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
             metrics: crate::diff::number_map(value.get("metrics"), "metrics")?,
             phase_ms: crate::diff::number_map(value.get("phase_ms"), "phase_ms")?,
         })
@@ -534,6 +545,16 @@ impl Ledger {
             .iter()
             .rev()
             .find(|r| r.run_id.starts_with(run_id_prefix))
+    }
+
+    /// Finds the record stamped with a service trace id (latest match
+    /// wins). Cache hits replay without a new ledger line, so only the
+    /// original miss is addressable this way.
+    pub fn find_by_trace(&self, trace_id: &str) -> Option<&RunRecord> {
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.trace_id.as_deref() == Some(trace_id))
     }
 }
 
@@ -846,7 +867,7 @@ pub fn check_stream(text: &str) -> Result<StreamCheck, String> {
                     ));
                 }
             }
-            "counters" | "degraded" | "recovery-attempt" | "checkpoint" => {}
+            "counters" | "degraded" | "recovery-attempt" | "checkpoint" | "service" => {}
             other => return Err(format!("line {lineno}: unknown event kind `{other}`")),
         }
         if !saw_run_start {
@@ -874,6 +895,98 @@ fn phase_of(event: &JsonValue, lineno: usize) -> Result<String, String> {
         .ok_or_else(|| format!("line {lineno}: missing `phase`"))
 }
 
+/// One service lifecycle event of a traced request, parsed from a
+/// `nanomap-events-v1` capture written by `nanomapd --events`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Microseconds since the capture's epoch (the bus `t_us` stamp).
+    pub t_us: u64,
+    /// Lifecycle stage: `queued`, `shed`, `started`, `resumed`,
+    /// `cache-hit`, `coalesced`, `preempted`, `completed`.
+    pub stage: String,
+    /// Client request id.
+    pub request: String,
+    /// Run id, once known (compute and cache stages).
+    pub run_id: Option<String>,
+    /// Terminal result code (`completed` and `shed` stages).
+    pub code: Option<String>,
+    /// Free-form stage detail.
+    pub detail: Option<String>,
+    /// Stage duration in microseconds, when the stage measures one.
+    pub us: Option<u64>,
+}
+
+/// Extracts the timeline of one trace id from an event-capture NDJSON
+/// text: every `service` event stamped with `trace_id`, in stream
+/// order. Malformed lines and other event kinds are skipped, so the
+/// parser works on live captures that interleave many requests.
+pub fn trace_timeline(text: &str, trace_id: &str) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    for line in text.lines() {
+        let Ok(value) = json::parse(line) else {
+            continue;
+        };
+        if value.get("kind").and_then(JsonValue::as_str) != Some("service")
+            || value.get("trace_id").and_then(JsonValue::as_str) != Some(trace_id)
+        {
+            continue;
+        }
+        let text_of = |key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+        };
+        events.push(TraceEvent {
+            t_us: value
+                .get("t_us")
+                .and_then(JsonValue::as_int)
+                .unwrap_or(0)
+                .max(0) as u64,
+            stage: text_of("stage").unwrap_or_default(),
+            request: text_of("request").unwrap_or_default(),
+            run_id: text_of("run_id"),
+            code: text_of("code"),
+            detail: text_of("detail"),
+            us: value
+                .get("us")
+                .and_then(JsonValue::as_int)
+                .map(|v| v.max(0) as u64),
+        });
+    }
+    events
+}
+
+/// Renders a trace timeline as fixed-width table lines, one per event,
+/// with times relative to the first event.
+pub fn render_trace_timeline(events: &[TraceEvent]) -> Vec<String> {
+    let epoch = events.first().map_or(0, |e| e.t_us);
+    events
+        .iter()
+        .map(|e| {
+            let mut line = format!(
+                "+{:>9.3} ms  {:<10} {}",
+                (e.t_us.saturating_sub(epoch)) as f64 / 1_000.0,
+                e.stage,
+                e.request
+            );
+            if let Some(run) = &e.run_id {
+                line.push_str(&format!("  run {run}"));
+            }
+            if let Some(code) = &e.code {
+                line.push_str(&format!("  code {code}"));
+            }
+            if let Some(us) = e.us {
+                line.push_str(&format!("  {:.3} ms", us as f64 / 1_000.0));
+            }
+            if let Some(detail) = &e.detail {
+                line.push_str(&format!("  ({detail})"));
+            }
+            line
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -890,6 +1003,7 @@ mod tests {
             degradations: 0,
             recovery_attempts: 0,
             peak_rss_kb: Some(4_096),
+            trace_id: Some("feedbeef00000001".to_string()),
             metrics: [("num_les".to_string(), 12.0), ("delay_ns".to_string(), 3.5)]
                 .into_iter()
                 .collect(),
@@ -921,10 +1035,51 @@ mod tests {
         let rec = record("mac16", "abc123", 120.0);
         let back = RunRecord::from_json(&rec.to_json()).unwrap();
         assert_eq!(back, rec);
-        // Optional RSS absent also round-trips.
+        // Optional RSS and trace id absent also round-trip.
         let mut bare = rec;
         bare.peak_rss_kb = None;
+        bare.trace_id = None;
         assert_eq!(RunRecord::from_json(&bare.to_json()).unwrap(), bare);
+    }
+
+    #[test]
+    fn find_by_trace_returns_latest_stamped_record() {
+        let mut a = record("mac16", "run-a", 100.0);
+        a.trace_id = Some("trace-one".to_string());
+        let mut b = record("mac16", "run-b", 101.0);
+        b.trace_id = Some("trace-one".to_string());
+        let mut c = record("mac16", "run-c", 102.0);
+        c.trace_id = None;
+        let ledger = Ledger {
+            records: vec![a, b, c],
+            skipped_lines: Vec::new(),
+        };
+        assert_eq!(ledger.find_by_trace("trace-one").unwrap().run_id, "run-b");
+        assert!(ledger.find_by_trace("trace-two").is_none());
+    }
+
+    #[test]
+    fn trace_timeline_filters_by_id_and_skips_noise() {
+        let capture = concat!(
+            "{\"schema\":\"nanomap-events-v1\",\"seq\":1,\"t_us\":100,\"kind\":\"service\",\"trace_id\":\"aa\",\"request\":\"r1\",\"stage\":\"queued\"}\n",
+            "{\"schema\":\"nanomap-events-v1\",\"seq\":2,\"t_us\":150,\"kind\":\"counters\"}\n",
+            "not json at all\n",
+            "{\"schema\":\"nanomap-events-v1\",\"seq\":3,\"t_us\":200,\"kind\":\"service\",\"trace_id\":\"bb\",\"request\":\"r2\",\"stage\":\"queued\"}\n",
+            "{\"schema\":\"nanomap-events-v1\",\"seq\":4,\"t_us\":900,\"kind\":\"service\",\"trace_id\":\"aa\",\"request\":\"r1\",\"stage\":\"completed\",\"run_id\":\"rid\",\"code\":\"OK\",\"us\":800}\n",
+        );
+        let timeline = trace_timeline(capture, "aa");
+        assert_eq!(timeline.len(), 2);
+        assert_eq!(timeline[0].stage, "queued");
+        assert_eq!(timeline[1].stage, "completed");
+        assert_eq!(timeline[1].run_id.as_deref(), Some("rid"));
+        assert_eq!(timeline[1].code.as_deref(), Some("OK"));
+        assert_eq!(timeline[1].us, Some(800));
+        let rendered = render_trace_timeline(&timeline);
+        assert_eq!(rendered.len(), 2);
+        assert!(rendered[0].starts_with("+    0.000 ms"), "{}", rendered[0]);
+        assert!(rendered[1].contains("completed"), "{}", rendered[1]);
+        assert!(rendered[1].contains("code OK"), "{}", rendered[1]);
+        assert!(trace_timeline(capture, "zz").is_empty());
     }
 
     #[test]

@@ -98,6 +98,10 @@ pub struct MapRequest {
     /// Per-request wall-clock budget. Required by admission control
     /// once the queue is deeper than the daemon's free-admission line.
     pub time_budget_ms: Option<u64>,
+    /// Client-propagated trace id. When absent the daemon assigns one
+    /// and echoes it on every lifecycle and result line, so shed
+    /// requests stay attributable across backoff retries.
+    pub trace_id: Option<String>,
 }
 
 impl MapRequest {
@@ -110,6 +114,7 @@ impl MapRequest {
             max_les: None,
             max_delay_ns: None,
             time_budget_ms: None,
+            trace_id: None,
         }
     }
 
@@ -155,6 +160,9 @@ impl MapRequest {
         if let Some(b) = self.time_budget_ms {
             value = value.with("time_budget_ms", b);
         }
+        if let Some(t) = &self.trace_id {
+            value = value.with("trace_id", t.as_str());
+        }
         value.to_compact_string()
     }
 }
@@ -164,8 +172,10 @@ impl MapRequest {
 pub enum Request {
     /// Map a design.
     Map(MapRequest),
-    /// Liveness + stats probe.
+    /// Liveness + health probe (uptime, version, drain state).
     Ping,
+    /// Full telemetry snapshot (`nanomapd-stats-v1` document).
+    Stats,
     /// Ask the daemon to begin a graceful drain (same path as SIGTERM).
     Shutdown,
 }
@@ -187,6 +197,7 @@ impl Request {
         }
         match value.get("op").and_then(JsonValue::as_str) {
             Some("ping") => Ok(Self::Ping),
+            Some("stats") => Ok(Self::Stats),
             Some("shutdown") => Ok(Self::Shutdown),
             Some("map") => {
                 let text = |key: &str| {
@@ -220,6 +231,7 @@ impl Request {
                     max_les: uint("max_les").map(|v| v as u32),
                     max_delay_ns: value.get("max_delay_ns").and_then(JsonValue::as_f64),
                     time_budget_ms: uint("time_budget_ms"),
+                    trace_id: text("trace_id"),
                 }))
             }
             other => Err(format!("unknown op {other:?}")),
@@ -244,7 +256,7 @@ pub enum Response {
     Resumed,
     /// The terminal line (exactly one per request).
     Result(WireResult),
-    /// Answer to `ping`.
+    /// Answer to `ping` — a health check load balancers can act on.
     Pong {
         /// Requests currently mapping.
         inflight: u64,
@@ -252,7 +264,18 @@ pub enum Response {
         queued: u64,
         /// Results served since startup (cache hits included).
         served: u64,
+        /// Milliseconds since the daemon started.
+        uptime_ms: u64,
+        /// Protocol version string ([`crate::artifact::versions::SERVICE`]).
+        version: String,
+        /// True once a graceful drain began: alive but not admitting.
+        draining: bool,
+        /// Age of the last persisted stats snapshot; `None` when the
+        /// ticker has not written one yet (or is disabled).
+        snapshot_age_ms: Option<u64>,
     },
+    /// Answer to `stats`: the inner `nanomapd-stats-v1` document.
+    Stats(JsonValue),
 }
 
 /// The terminal `result` line, pre-parse of the verbatim report text.
@@ -273,6 +296,10 @@ pub struct WireResult {
     pub code: Option<String>,
     /// Backoff hint for retryable rejections.
     pub retry_after_ms: Option<u64>,
+    /// Server-echoed trace id (assigned by the daemon when the client
+    /// did not propagate one). Present on every daemon-rendered result,
+    /// including sheds, so rejected work stays attributable.
+    pub trace_id: Option<String>,
     /// Human-readable diagnosis.
     pub detail: Option<String>,
 }
@@ -321,7 +348,19 @@ impl Response {
                 inflight: uint("inflight").unwrap_or(0),
                 queued: uint("queued").unwrap_or(0),
                 served: uint("served").unwrap_or(0),
+                uptime_ms: uint("uptime_ms").unwrap_or(0),
+                version: text("version").unwrap_or_default(),
+                draining: value
+                    .get("draining")
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(false),
+                snapshot_age_ms: uint("snapshot_age_ms"),
             }),
+            Some("stats") => value
+                .get("stats")
+                .cloned()
+                .map(Self::Stats)
+                .ok_or_else(|| "stats response missing `stats`".into()),
             Some("result") => {
                 let ok = value.get("status").and_then(JsonValue::as_str) == Some("ok");
                 Ok(Self::Result(WireResult {
@@ -332,6 +371,7 @@ impl Response {
                     report_text: ok.then(|| extract_report_text(line)).flatten(),
                     code: text("code"),
                     retry_after_ms: uint("retry_after_ms"),
+                    trace_id: text("trace_id"),
                     detail: text("detail"),
                 }))
             }
@@ -342,11 +382,18 @@ impl Response {
 
 /// Renders an `ok` result line. `report_text` must be compact JSON; it
 /// is spliced in verbatim as the final field, which is what makes
-/// cache-hit responses byte-identical to the original serve.
+/// cache-hit responses byte-identical to the original serve. The trace
+/// id sits *before* the report so [`extract_report_text`] stays exact.
 #[must_use]
-pub fn render_ok_result(request: &str, run_id: &str, cache: &str, report_text: &str) -> String {
+pub fn render_ok_result(
+    request: &str,
+    run_id: &str,
+    cache: &str,
+    trace: &str,
+    report_text: &str,
+) -> String {
     format!(
-        "{{\"schema\":\"{SERVICE_SCHEMA}\",\"event\":\"result\",\"request\":{},\"status\":\"ok\",\"cache\":\"{cache}\",\"run_id\":\"{run_id}\",\"report\":{report_text}}}",
+        "{{\"schema\":\"{SERVICE_SCHEMA}\",\"event\":\"result\",\"request\":{},\"status\":\"ok\",\"cache\":\"{cache}\",\"run_id\":\"{run_id}\",\"trace_id\":\"{trace}\",\"report\":{report_text}}}",
         JsonValue::from(request).to_compact_string(),
     )
 }
@@ -358,6 +405,7 @@ pub fn render_error_result(
     error_code: &str,
     detail: &str,
     retry_after_ms: Option<u64>,
+    trace: Option<&str>,
 ) -> String {
     let mut value = JsonValue::object()
         .with("schema", SERVICE_SCHEMA)
@@ -368,18 +416,29 @@ pub fn render_error_result(
     if let Some(ms) = retry_after_ms {
         value = value.with("retry_after_ms", ms);
     }
+    if let Some(t) = trace {
+        value = value.with("trace_id", t);
+    }
     value.with("detail", detail).to_compact_string()
 }
 
 /// Renders a non-terminal lifecycle line (`queued`/`started`/…).
 #[must_use]
-pub fn render_lifecycle(event: &str, request: &str, depth: Option<u64>) -> String {
+pub fn render_lifecycle(
+    event: &str,
+    request: &str,
+    depth: Option<u64>,
+    trace: Option<&str>,
+) -> String {
     let mut value = JsonValue::object()
         .with("schema", SERVICE_SCHEMA)
         .with("event", event)
         .with("request", request);
     if let Some(d) = depth {
         value = value.with("depth", d);
+    }
+    if let Some(t) = trace {
+        value = value.with("trace_id", t);
     }
     value.to_compact_string()
 }
@@ -449,6 +508,10 @@ pub struct Submission {
     pub lifecycle: Vec<Response>,
     /// 1-based attempt number that produced the result.
     pub attempts: u32,
+    /// Retryable rejections absorbed along the way (shed/shutdown),
+    /// in order — each carries the server-echoed trace id so shed
+    /// attempts remain attributable after the eventual success.
+    pub rejections: Vec<WireResult>,
 }
 
 /// Connects, submits and waits out one `map` request with jittered
@@ -471,6 +534,7 @@ pub fn submit_with_retry(
 ) -> Result<Submission, String> {
     let mut rng = XorShift64Star::new(policy.seed);
     let mut last_failure = String::from("no attempts made");
+    let mut rejections = Vec::new();
     for attempt in 0..policy.max_attempts {
         if attempt > 0 {
             std::thread::sleep(policy.backoff(attempt - 1, &mut rng));
@@ -486,12 +550,14 @@ pub fn submit_with_retry(
                         result.code.as_deref().unwrap_or("?"),
                         result.detail.as_deref().unwrap_or("")
                     );
+                    rejections.push(result);
                     continue;
                 }
                 return Ok(Submission {
                     result,
                     lifecycle,
                     attempts: attempt + 1,
+                    rejections,
                 });
             }
             Err(e) => last_failure = e,
@@ -536,6 +602,47 @@ fn submit_once(
             Response::Result(result) => return Ok((result, lifecycle)),
             other => lifecycle.push(other),
         }
+    }
+}
+
+/// Connects and performs one single-line op exchange (`ping`/`stats`):
+/// send the request line, read exactly one response line.
+fn query_once(addr: &str, request_line: &str, timeout_ms: u64) -> Result<Response, String> {
+    let stream = connect(addr)?;
+    if timeout_ms > 0 {
+        stream
+            .set_read_timeout(Some(Duration::from_millis(timeout_ms)))
+            .map_err(|e| format!("set_read_timeout: {e}"))?;
+    }
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    writer
+        .write_all(format!("{request_line}\n").as_bytes())
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read from {addr}: {e}"))?;
+    if n == 0 {
+        return Err(format!("{addr} closed the connection before a response"));
+    }
+    Response::parse(line.trim_end())
+}
+
+/// Fetches one `nanomapd-stats-v1` snapshot via the `stats` op and
+/// returns the inner stats document.
+///
+/// # Errors
+///
+/// On connect/read failure or a non-stats response.
+pub fn query_stats(addr: &str, timeout_ms: u64) -> Result<JsonValue, String> {
+    let request = JsonValue::object()
+        .with("schema", SERVICE_SCHEMA)
+        .with("op", "stats")
+        .to_compact_string();
+    match query_once(addr, &request, timeout_ms)? {
+        Response::Stats(doc) => Ok(doc),
+        other => Err(format!("expected a stats response, got {other:?}")),
     }
 }
 
@@ -622,6 +729,7 @@ mod tests {
             max_les: Some(64),
             max_delay_ns: None,
             time_budget_ms: Some(2_000),
+            trace_id: Some("feedface01020304".into()),
         };
         let line = request.to_wire();
         match Request::parse(&line).unwrap() {
@@ -674,12 +782,13 @@ mod tests {
     #[test]
     fn ok_result_lines_carry_the_report_verbatim() {
         let report = "{\"circuit\":\"acc\",\"delay_ns\":17.02}";
-        let line = render_ok_result("r1", "deadbeef00000000", "hit", report);
+        let line = render_ok_result("r1", "deadbeef00000000", "hit", "feedface01020304", report);
         match Response::parse(&line).unwrap() {
             Response::Result(result) => {
                 assert!(result.ok);
                 assert_eq!(result.cache.as_deref(), Some("hit"));
                 assert_eq!(result.run_id.as_deref(), Some("deadbeef00000000"));
+                assert_eq!(result.trace_id.as_deref(), Some("feedface01020304"));
                 assert_eq!(result.report_text.as_deref(), Some(report));
                 assert!(!result.retryable());
             }
@@ -689,17 +798,24 @@ mod tests {
 
     #[test]
     fn shed_results_are_retryable_with_hint() {
-        let line = render_error_result("r1", code::SHED, "queue full (16)", Some(120));
+        let line = render_error_result(
+            "r1",
+            code::SHED,
+            "queue full (16)",
+            Some(120),
+            Some("aa55aa5500000000"),
+        );
         match Response::parse(&line).unwrap() {
             Response::Result(result) => {
                 assert!(!result.ok);
                 assert!(result.retryable());
                 assert_eq!(result.retry_after_ms, Some(120));
                 assert_eq!(result.code.as_deref(), Some(code::SHED));
+                assert_eq!(result.trace_id.as_deref(), Some("aa55aa5500000000"));
             }
             other => panic!("{other:?}"),
         }
-        let permanent = render_error_result("r1", code::PANIC, "worker panicked", None);
+        let permanent = render_error_result("r1", code::PANIC, "worker panicked", None, None);
         match Response::parse(&permanent).unwrap() {
             Response::Result(result) => assert!(!result.retryable()),
             other => panic!("{other:?}"),
@@ -709,13 +825,81 @@ mod tests {
     #[test]
     fn lifecycle_lines_round_trip() {
         assert_eq!(
-            Response::parse(&render_lifecycle("queued", "r1", Some(3))).unwrap(),
+            Response::parse(&render_lifecycle("queued", "r1", Some(3), Some("ab"))).unwrap(),
             Response::Queued { depth: 3 }
         );
         assert_eq!(
-            Response::parse(&render_lifecycle("preempted", "r1", None)).unwrap(),
+            Response::parse(&render_lifecycle("preempted", "r1", None, None)).unwrap(),
             Response::Preempted
         );
+    }
+
+    #[test]
+    fn stats_op_and_response_round_trip() {
+        assert_eq!(
+            Request::parse(&format!(
+                "{{\"schema\":\"{SERVICE_SCHEMA}\",\"op\":\"stats\"}}"
+            ))
+            .unwrap(),
+            Request::Stats
+        );
+        let line = format!(
+            "{{\"schema\":\"{SERVICE_SCHEMA}\",\"event\":\"stats\",\"stats\":{{\"schema\":\"nanomapd-stats-v1\",\"uptime_ms\":12}}}}"
+        );
+        match Response::parse(&line).unwrap() {
+            Response::Stats(doc) => {
+                assert_eq!(
+                    doc.get("schema").and_then(JsonValue::as_str),
+                    Some("nanomapd-stats-v1")
+                );
+                assert_eq!(doc.get("uptime_ms").and_then(JsonValue::as_int), Some(12));
+            }
+            other => panic!("{other:?}"),
+        }
+        let missing = format!("{{\"schema\":\"{SERVICE_SCHEMA}\",\"event\":\"stats\"}}");
+        assert!(Response::parse(&missing).is_err());
+    }
+
+    #[test]
+    fn pong_health_fields_round_trip() {
+        let line = format!(
+            "{{\"schema\":\"{SERVICE_SCHEMA}\",\"event\":\"pong\",\"inflight\":1,\"queued\":2,\"served\":3,\"uptime_ms\":4500,\"version\":\"nanomapd-v1\",\"draining\":true,\"snapshot_age_ms\":90}}"
+        );
+        match Response::parse(&line).unwrap() {
+            Response::Pong {
+                inflight,
+                queued,
+                served,
+                uptime_ms,
+                version,
+                draining,
+                snapshot_age_ms,
+            } => {
+                assert_eq!((inflight, queued, served), (1, 2, 3));
+                assert_eq!(uptime_ms, 4_500);
+                assert_eq!(version, "nanomapd-v1");
+                assert!(draining);
+                assert_eq!(snapshot_age_ms, Some(90));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Legacy pongs without health fields still parse.
+        let legacy = format!(
+            "{{\"schema\":\"{SERVICE_SCHEMA}\",\"event\":\"pong\",\"inflight\":0,\"queued\":0,\"served\":7}}"
+        );
+        match Response::parse(&legacy).unwrap() {
+            Response::Pong {
+                served,
+                draining,
+                snapshot_age_ms,
+                ..
+            } => {
+                assert_eq!(served, 7);
+                assert!(!draining);
+                assert_eq!(snapshot_age_ms, None);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -36,6 +36,10 @@ options:
                             ledger (default results/runs/ledger.jsonl;
                             --no-ledger disables)
   --preempt-slice-ms MS     preemption time slice (default: off)
+  --events PATH             capture nanomap-events-v1 NDJSON (service
+                            lifecycle + per-run events) to PATH
+  --stats-interval-ms MS    nanomapd-stats-v1 snapshot cadence next to
+                            the ledger (default 2000; 0 disables)
   --read-timeout-ms MS      slow-loris guard per request line (default 10000)
   --drain-deadline-ms MS    graceful-drain budget on shutdown (default 30000)
   --lut-inputs K            LUT size for technology mapping (default 4)
@@ -95,6 +99,11 @@ fn parse_args(args: &[String]) -> Result<(DaemonConfig, u64), String> {
                     &value("--preempt-slice-ms")?,
                     "--preempt-slice-ms",
                 )?);
+            }
+            "--events" => config.events_path = Some(PathBuf::from(value("--events")?)),
+            "--stats-interval-ms" => {
+                config.stats_interval_ms =
+                    parse_num(&value("--stats-interval-ms")?, "--stats-interval-ms")?;
             }
             "--read-timeout-ms" => {
                 config.read_timeout_ms =

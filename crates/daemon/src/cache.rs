@@ -124,6 +124,18 @@ impl ResultCache {
         std::fs::read_dir(&self.dir).map_or(0, |entries| entries.flatten().count())
     }
 
+    /// Total bytes of entries on disk — the `cache_bytes` gauge.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        std::fs::read_dir(&self.dir).map_or(0, |entries| {
+            entries
+                .flatten()
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+    }
+
     /// True when the cache directory holds no entries.
     #[must_use]
     pub fn is_empty(&self) -> bool {

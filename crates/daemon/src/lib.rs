@@ -28,6 +28,15 @@
 //!   deadline is shed with a `shutdown` rejection, and slice
 //!   checkpoints persist for the next daemon's resume.
 //!
+//! - **Service telemetry.** Every request carries a trace id (client
+//!   propagated or daemon assigned) echoed on each lifecycle/result
+//!   line, stamped into `service` events on the `nanomap-events-v1`
+//!   bus, and recorded on the ledger line of the computing run. Per-
+//!   request latency splits into queue-wait / compute / cache-lookup /
+//!   serialize segments aggregated in always-on histograms per result
+//!   code, exported as a `nanomapd-stats-v1` document via the `stats`
+//!   op and persisted crash-safe next to the ledger by a ticker.
+//!
 //! Every computed run is appended to the flight-recorder ledger, so
 //! `nanomap runs` covers daemon traffic exactly like CLI traffic.
 
@@ -43,14 +52,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use nanomap::artifact::versions;
 use nanomap::service::{
     code, render_error_result, render_lifecycle, render_ok_result, DesignSource, MapRequest,
     Request,
 };
-use nanomap::{append_run, checkpoint_file_name, Checkpoint, FlowError, NanoMap, RunRecord};
+use nanomap::{
+    append_run, atomic_write_text, checkpoint_file_name, Checkpoint, FlowError, NanoMap, RunRecord,
+};
 use nanomap_arch::ArchParams;
 use nanomap_netlist::{blif, vhdl, LutNetwork};
-use nanomap_observe::failpoint;
+use nanomap_observe::{failpoint, EventKind, EventStream, HistogramHandle, JsonValue};
 use nanomap_techmap::{expand, ExpandOptions};
 
 use cache::ResultCache;
@@ -78,6 +90,14 @@ pub struct DaemonConfig {
     pub read_timeout_ms: u64,
     /// LUT input count override for technology mapping.
     pub lut_inputs: Option<u32>,
+    /// NDJSON file capturing `nanomap-events-v1` events (`service`
+    /// lifecycle lines included) for the daemon's lifetime. `None`
+    /// keeps the event bus disabled — serving stays byte-identical.
+    pub events_path: Option<PathBuf>,
+    /// Period of the stats ticker that persists `nanomapd-stats-v1`
+    /// snapshots next to the ledger; 0 disables the ticker (the
+    /// `stats` op still answers live).
+    pub stats_interval_ms: u64,
 }
 
 impl Default for DaemonConfig {
@@ -92,6 +112,8 @@ impl Default for DaemonConfig {
             preempt_slice_ms: None,
             read_timeout_ms: 10_000,
             lut_inputs: None,
+            events_path: None,
+            stats_interval_ms: 2_000,
         }
     }
 }
@@ -104,6 +126,19 @@ struct Job {
     attempts: u32,
     /// Wall-clock budget left across slices (None = unbudgeted).
     budget_left_ms: Option<u64>,
+    /// Trace id: client propagated or daemon assigned at admission.
+    trace: String,
+    /// When the request line arrived — anchors end-to-end latency.
+    arrived: Instant,
+    /// When the job last entered the queue; queue-wait accrues from
+    /// here on every pop (admission, coalescing, preemption).
+    enqueued_at: Instant,
+    /// Accrued queue-wait across all enqueues, microseconds.
+    queue_us: u64,
+    /// Accrued compute (parse/resolve + mapping slices), microseconds.
+    compute_us: u64,
+    /// Accrued cache-lookup time, microseconds.
+    cache_us: u64,
 }
 
 /// Counters surfaced through `ping` and [`DaemonHandle::stats`].
@@ -119,11 +154,92 @@ pub struct DaemonStats {
     pub shed: u64,
     /// Worker panics converted to typed rejections.
     pub panics: u64,
+    /// Permanent non-panic rejections (invalid, budget, failed).
+    pub failures: u64,
     /// Cache hits among served results.
     pub cache_hits: u64,
     /// Preemptions (expired slices re-enqueued).
     pub preemptions: u64,
 }
+
+/// Always-on latency accounting: standalone log₂ histograms detached
+/// from the observe registry's enable gate, so serving accounts even
+/// while flow observability is off. None of this alters response bytes
+/// — unobserved serving stays byte-identical.
+struct ServiceLatency {
+    /// End-to-end latency per accounting class, microseconds.
+    ok: HistogramHandle,
+    shed: HistogramHandle,
+    shutdown: HistogramHandle,
+    invalid: HistogramHandle,
+    panic: HistogramHandle,
+    budget: HistogramHandle,
+    failed: HistogramHandle,
+    /// Lifecycle segments across all requests, microseconds.
+    queue: HistogramHandle,
+    compute: HistogramHandle,
+    cache: HistogramHandle,
+    serialize: HistogramHandle,
+}
+
+impl ServiceLatency {
+    fn new() -> Self {
+        Self {
+            ok: HistogramHandle::standalone(),
+            shed: HistogramHandle::standalone(),
+            shutdown: HistogramHandle::standalone(),
+            invalid: HistogramHandle::standalone(),
+            panic: HistogramHandle::standalone(),
+            budget: HistogramHandle::standalone(),
+            failed: HistogramHandle::standalone(),
+            queue: HistogramHandle::standalone(),
+            compute: HistogramHandle::standalone(),
+            cache: HistogramHandle::standalone(),
+            serialize: HistogramHandle::standalone(),
+        }
+    }
+
+    /// The end-to-end histogram for an accounting class (`"ok"` or a
+    /// typed rejection code). Unknown codes land in `failed` rather
+    /// than losing the sample — reconciliation stays exact.
+    fn class(&self, class: &str) -> &HistogramHandle {
+        match class {
+            "ok" => &self.ok,
+            code::SHED => &self.shed,
+            code::SHUTDOWN => &self.shutdown,
+            code::INVALID => &self.invalid,
+            code::PANIC => &self.panic,
+            code::BUDGET => &self.budget,
+            _ => &self.failed,
+        }
+    }
+
+    /// Every class in the deterministic export order.
+    fn classes(&self) -> [(&'static str, &HistogramHandle); 7] {
+        [
+            ("ok", &self.ok),
+            (code::SHED, &self.shed),
+            (code::SHUTDOWN, &self.shutdown),
+            (code::INVALID, &self.invalid),
+            (code::PANIC, &self.panic),
+            (code::BUDGET, &self.budget),
+            (code::FAILED, &self.failed),
+        ]
+    }
+
+    /// Every segment in the deterministic export order.
+    fn segments(&self) -> [(&'static str, &HistogramHandle); 4] {
+        [
+            ("queue", &self.queue),
+            ("compute", &self.compute),
+            ("cache", &self.cache),
+            ("serialize", &self.serialize),
+        ]
+    }
+}
+
+/// Sentinel in `last_snapshot_ms`: no snapshot persisted yet.
+const SNAPSHOT_NEVER: u64 = u64::MAX;
 
 struct Shared {
     config: DaemonConfig,
@@ -137,11 +253,21 @@ struct Shared {
     served: AtomicU64,
     shed: AtomicU64,
     panics: AtomicU64,
+    failures: AtomicU64,
     cache_hits: AtomicU64,
     preemptions: AtomicU64,
     cache: ResultCache,
     /// Run ids currently being computed — the thundering-herd guard.
     computing: Mutex<HashSet<String>>,
+    /// Daemon start — the epoch of uptime and snapshot ages.
+    start_at: Instant,
+    /// Always-on latency histograms behind `stats`.
+    latency: ServiceLatency,
+    /// Uptime ms at the last persisted snapshot ([`SNAPSHOT_NEVER`] =
+    /// none yet).
+    last_snapshot_ms: AtomicU64,
+    /// Monotone feed for daemon-assigned trace ids.
+    trace_seq: AtomicU64,
 }
 
 impl Shared {
@@ -152,10 +278,154 @@ impl Shared {
             served: self.served.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             preemptions: self.preemptions.load(Ordering::Relaxed),
         }
     }
+
+    /// The `nanomapd-stats-v1` document: fixed key order, every class
+    /// and segment always present (zeroed histograms included), so
+    /// consumers can diff snapshots structurally.
+    fn stats_json(&self) -> JsonValue {
+        let stats = self.stats();
+        let counters = JsonValue::object()
+            .with("served", stats.served)
+            .with("shed", stats.shed)
+            .with("panics", stats.panics)
+            .with("failures", stats.failures)
+            .with("cache_hits", stats.cache_hits)
+            .with("preemptions", stats.preemptions);
+        let gauges = JsonValue::object()
+            .with("queue_depth", stats.queued)
+            .with("inflight", stats.inflight)
+            .with("workers", self.config.workers.max(1) as u64)
+            .with("cache_entries", self.cache.len() as u64)
+            .with("cache_bytes", self.cache.bytes());
+        let mut latency = JsonValue::object();
+        for (name, hist) in self.latency.classes() {
+            latency.set(name, hist_json(hist));
+        }
+        let mut segments = JsonValue::object();
+        for (name, hist) in self.latency.segments() {
+            segments.set(name, hist_json(hist));
+        }
+        JsonValue::object()
+            .with("schema", versions::STATS)
+            .with("uptime_ms", self.uptime_ms())
+            .with("version", versions::SERVICE)
+            .with("draining", self.draining.load(Ordering::SeqCst))
+            .with("counters", counters)
+            .with("gauges", gauges)
+            .with("latency_us", latency)
+            .with("segments_us", segments)
+    }
+
+    fn uptime_ms(&self) -> u64 {
+        self.start_at.elapsed().as_millis() as u64
+    }
+
+    /// Age of the last persisted snapshot, `None` before the first.
+    fn snapshot_age_ms(&self) -> Option<u64> {
+        let last = self.last_snapshot_ms.load(Ordering::Relaxed);
+        (last != SNAPSHOT_NEVER).then(|| self.uptime_ms().saturating_sub(last))
+    }
+
+    /// Records one finished request: lifecycle segments plus the
+    /// end-to-end sample in its accounting class.
+    fn record_request(&self, class: &str, job: &Job, serialize_us: u64) {
+        self.latency.queue.record_always(job.queue_us);
+        self.latency.compute.record_always(job.compute_us);
+        self.latency.cache.record_always(job.cache_us);
+        self.latency.serialize.record_always(serialize_us);
+        self.latency
+            .class(class)
+            .record_always(job.arrived.elapsed().as_micros() as u64);
+    }
+}
+
+/// One histogram readout: counts, bounds and SLO percentiles.
+fn hist_json(hist: &HistogramHandle) -> JsonValue {
+    let snap = hist.snapshot();
+    JsonValue::object()
+        .with("count", snap.count)
+        .with("sum", snap.sum)
+        .with("max", snap.max)
+        .with("mean", snap.mean())
+        .with("p50", snap.percentile(50.0))
+        .with("p90", snap.percentile(90.0))
+        .with("p95", snap.percentile(95.0))
+        .with("p99", snap.percentile(99.0))
+}
+
+/// Where the ticker persists snapshots: next to the ledger when one is
+/// configured, inside the state dir otherwise.
+fn stats_path(config: &DaemonConfig) -> PathBuf {
+    config.ledger_path.as_ref().map_or_else(
+        || config.state_dir.join("nanomapd-stats.json"),
+        |ledger| {
+            ledger.parent().map_or_else(
+                || PathBuf::from("nanomapd-stats.json"),
+                |dir| dir.join("nanomapd-stats.json"),
+            )
+        },
+    )
+}
+
+/// Persists one crash-safe (atomic rename) snapshot and stamps its age.
+fn persist_stats(shared: &Shared) {
+    let doc = shared.stats_json().to_compact_string();
+    if atomic_write_text(&stats_path(&shared.config), &doc).is_ok() {
+        shared
+            .last_snapshot_ms
+            .store(shared.uptime_ms(), Ordering::Relaxed);
+    }
+}
+
+/// Assigns a fresh 16-hex-digit trace id: FNV-1a over the process id,
+/// a monotone counter and the wall clock, unique across restarts that
+/// share a ledger.
+fn next_trace_id(shared: &Shared) -> String {
+    let seq = shared.trace_seq.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| (d.as_secs() << 30) ^ u64::from(d.subsec_nanos()));
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for bytes in [
+        u64::from(std::process::id()).to_le_bytes(),
+        seq.to_le_bytes(),
+        nanos.to_le_bytes(),
+    ] {
+        for b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// Publishes one `service` lifecycle event. Guarded here so disabled
+/// runs pay one relaxed load, not the event's string allocations.
+fn publish_service(
+    trace: &str,
+    request: &str,
+    stage: &str,
+    run_id: Option<&str>,
+    code_name: Option<&str>,
+    detail: Option<&str>,
+    us: Option<u64>,
+) {
+    if !nanomap_observe::events_enabled() {
+        return;
+    }
+    nanomap_observe::publish(EventKind::Service {
+        trace_id: trace.to_string(),
+        request: request.to_string(),
+        stage: stage.to_string(),
+        run_id: run_id.map(str::to_string),
+        code: code_name.map(str::to_string),
+        detail: detail.map(str::to_string),
+        us,
+    });
 }
 
 /// A running daemon: the listener, its workers, and control of both.
@@ -164,6 +434,9 @@ pub struct DaemonHandle {
     shared: Arc<Shared>,
     threads: Vec<std::thread::JoinHandle<()>>,
     unix_socket: Option<PathBuf>,
+    /// Live event capture when `events_path` is set; finished (and the
+    /// bus disabled again) on shutdown.
+    events: Option<EventStream>,
 }
 
 /// What a graceful shutdown achieved.
@@ -224,17 +497,27 @@ impl DaemonHandle {
         let leftover: Vec<Job> = self.shared.queue.lock().unwrap().drain(..).collect();
         let shed_at_deadline = leftover.len();
         for mut job in leftover {
-            self.shared.shed.fetch_add(1, Ordering::Relaxed);
-            let line = render_error_result(
-                &job.request.id,
+            // Queue-wait accrues up to the moment of the shed, so the
+            // deadline sheds stay visible in the segment histograms.
+            job.queue_us += job.enqueued_at.elapsed().as_micros() as u64;
+            finish_error(
+                job,
+                &self.shared,
                 code::SHUTDOWN,
                 "daemon stopped before this request ran",
                 Some(1_000),
             );
-            let _ = send_line(job.conn.as_mut(), &line);
         }
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        if self.shared.config.stats_interval_ms > 0 {
+            // Final crash-safe snapshot so post-mortems see the last
+            // counters even when the interval never elapsed.
+            persist_stats(&self.shared);
+        }
+        if let Some(events) = self.events.take() {
+            let _ = events.finish();
         }
         if let Some(path) = &self.unix_socket {
             let _ = std::fs::remove_file(path);
@@ -255,6 +538,14 @@ pub fn start(config: DaemonConfig) -> Result<DaemonHandle, String> {
     let cache = ResultCache::open(config.state_dir.join("cache"))?;
     std::fs::create_dir_all(config.state_dir.join("checkpoints"))
         .map_err(|e| format!("creating checkpoint root: {e}"))?;
+    let events = match &config.events_path {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("creating event capture {}: {e}", path.display()))?;
+            Some(EventStream::spawn(Box::new(file)))
+        }
+        None => None,
+    };
     let shared = Arc::new(Shared {
         config: config.clone(),
         queue: Mutex::new(VecDeque::new()),
@@ -265,10 +556,15 @@ pub fn start(config: DaemonConfig) -> Result<DaemonHandle, String> {
         served: AtomicU64::new(0),
         shed: AtomicU64::new(0),
         panics: AtomicU64::new(0),
+        failures: AtomicU64::new(0),
         cache_hits: AtomicU64::new(0),
         preemptions: AtomicU64::new(0),
         cache,
         computing: Mutex::new(HashSet::new()),
+        start_at: Instant::now(),
+        latency: ServiceLatency::new(),
+        last_snapshot_ms: AtomicU64::new(SNAPSHOT_NEVER),
+        trace_seq: AtomicU64::new(0),
     });
     let mut threads = Vec::new();
     for i in 0..config.workers.max(1) {
@@ -280,6 +576,15 @@ pub fn start(config: DaemonConfig) -> Result<DaemonHandle, String> {
                 .map_err(|e| format!("spawning worker: {e}"))?,
         );
     }
+    if config.stats_interval_ms > 0 {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("nanomapd-ticker".into())
+                .spawn(move || ticker_loop(&shared))
+                .map_err(|e| format!("spawning ticker: {e}"))?,
+        );
+    }
     let (addr, listener_thread, unix_socket) = spawn_listener(&config.addr, Arc::clone(&shared))?;
     threads.push(listener_thread);
     Ok(DaemonHandle {
@@ -287,7 +592,26 @@ pub fn start(config: DaemonConfig) -> Result<DaemonHandle, String> {
         shared,
         threads,
         unix_socket,
+        events,
     })
+}
+
+/// The lightweight sampling ticker: persists a `nanomapd-stats-v1`
+/// snapshot every `stats_interval_ms`, sleeping in short hops so
+/// shutdown is never blocked behind a long interval.
+fn ticker_loop(shared: &Arc<Shared>) {
+    let interval = Duration::from_millis(shared.config.stats_interval_ms.max(1));
+    let mut next = Instant::now() + interval;
+    loop {
+        if shared.stop_now.load(Ordering::SeqCst) {
+            return;
+        }
+        if Instant::now() >= next {
+            persist_stats(shared);
+            next = Instant::now() + interval;
+        }
+        std::thread::sleep(Duration::from_millis(interval.as_millis().min(50) as u64));
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -390,6 +714,7 @@ fn spawn_connection(conn: Conn, shared: &Arc<Shared>) {
 }
 
 fn handle_connection(conn: Conn, shared: &Arc<Shared>) {
+    let arrived = Instant::now();
     let timeout = Duration::from_millis(shared.config.read_timeout_ms.max(1));
     let _ = conn.set_read_timeout(Some(timeout));
     let Ok((reader, mut writer)) = conn.split() else {
@@ -399,8 +724,21 @@ fn handle_connection(conn: Conn, shared: &Arc<Shared>) {
     // Slow-loris guard: a client that trickles bytes (or none) gets one
     // read-timeout window for its whole request line, then the
     // connection is dropped without tying up anything but this thread.
+    // This path bumps the shed counter (and records under the `shed`
+    // latency class) while answering with an `invalid` wire code — the
+    // client never sent a valid request to reject more precisely.
     if BufReader::new(reader).read_line(&mut line).is_err() || line.trim().is_empty() {
         shared.shed.fetch_add(1, Ordering::Relaxed);
+        let trace = next_trace_id(shared);
+        publish_service(
+            &trace,
+            "-",
+            "shed",
+            None,
+            Some(code::INVALID),
+            Some("request line not received in time"),
+            Some(arrived.elapsed().as_micros() as u64),
+        );
         let _ = send_line(
             writer.as_mut(),
             &render_error_result(
@@ -408,54 +746,132 @@ fn handle_connection(conn: Conn, shared: &Arc<Shared>) {
                 code::INVALID,
                 "request line not received in time",
                 None,
+                Some(&trace),
             ),
         );
+        shared
+            .latency
+            .class(code::SHED)
+            .record_always(arrived.elapsed().as_micros() as u64);
         return;
     }
     let request = match Request::parse(line.trim_end()) {
         Ok(r) => r,
         Err(detail) => {
+            shared.failures.fetch_add(1, Ordering::Relaxed);
+            let trace = next_trace_id(shared);
+            publish_service(
+                &trace,
+                "-",
+                "completed",
+                None,
+                Some(code::INVALID),
+                Some(&detail),
+                Some(arrived.elapsed().as_micros() as u64),
+            );
             let _ = send_line(
                 writer.as_mut(),
-                &render_error_result("-", code::INVALID, &detail, None),
+                &render_error_result("-", code::INVALID, &detail, None, Some(&trace)),
             );
+            shared
+                .latency
+                .class(code::INVALID)
+                .record_always(arrived.elapsed().as_micros() as u64);
             return;
         }
     };
     match request {
         Request::Ping => {
             let stats = shared.stats();
-            let pong = nanomap_observe::JsonValue::object()
+            let mut pong = JsonValue::object()
                 .with("schema", nanomap::SERVICE_SCHEMA)
                 .with("event", "pong")
                 .with("inflight", stats.inflight)
                 .with("queued", stats.queued)
                 .with("served", stats.served)
+                .with("uptime_ms", shared.uptime_ms())
+                .with("version", versions::SERVICE)
+                .with("draining", shared.draining.load(Ordering::SeqCst));
+            if let Some(age) = shared.snapshot_age_ms() {
+                pong.set("snapshot_age_ms", age);
+            }
+            let _ = send_line(writer.as_mut(), &pong.to_compact_string());
+        }
+        Request::Stats => {
+            let line = JsonValue::object()
+                .with("schema", nanomap::SERVICE_SCHEMA)
+                .with("event", "stats")
+                .with("stats", shared.stats_json())
                 .to_compact_string();
-            let _ = send_line(writer.as_mut(), &pong);
+            let _ = send_line(writer.as_mut(), &line);
         }
         Request::Shutdown => {
             shared.draining.store(true, Ordering::SeqCst);
             shared.queue_cv.notify_all();
-            let _ = send_line(writer.as_mut(), &render_lifecycle("draining", "-", None));
+            let _ = send_line(
+                writer.as_mut(),
+                &render_lifecycle("draining", "-", None, None),
+            );
         }
-        Request::Map(map) => admit(map, writer, shared),
+        Request::Map(map) => admit(map, arrived, writer, shared),
     }
+}
+
+/// Sheds a request at admission: counter, latency class, `service`
+/// event and the typed wire rejection — all stamped with the trace.
+#[allow(clippy::too_many_arguments)] // one call per admission outcome
+fn shed_at_admission(
+    writer: &mut dyn Write,
+    shared: &Shared,
+    request_id: &str,
+    trace: &str,
+    arrived: Instant,
+    error_code: &str,
+    detail: &str,
+    retry_after_ms: Option<u64>,
+) {
+    shared.shed.fetch_add(1, Ordering::Relaxed);
+    publish_service(
+        trace,
+        request_id,
+        "shed",
+        None,
+        Some(error_code),
+        Some(detail),
+        Some(arrived.elapsed().as_micros() as u64),
+    );
+    let _ = send_line(
+        writer,
+        &render_error_result(request_id, error_code, detail, retry_after_ms, Some(trace)),
+    );
+    shared
+        .latency
+        .class(error_code)
+        .record_always(arrived.elapsed().as_micros() as u64);
 }
 
 /// Admission control: shed when draining, over capacity, or unbudgeted
 /// past the free-admission line; otherwise enqueue with a `queued` echo.
-fn admit(request: MapRequest, mut writer: Box<dyn Write + Send>, shared: &Arc<Shared>) {
+fn admit(
+    request: MapRequest,
+    arrived: Instant,
+    mut writer: Box<dyn Write + Send>,
+    shared: &Arc<Shared>,
+) {
+    let trace = request
+        .trace_id
+        .clone()
+        .unwrap_or_else(|| next_trace_id(shared));
     if shared.draining.load(Ordering::SeqCst) {
-        shared.shed.fetch_add(1, Ordering::Relaxed);
-        let _ = send_line(
+        shed_at_admission(
             writer.as_mut(),
-            &render_error_result(
-                &request.id,
-                code::SHUTDOWN,
-                "daemon is draining for shutdown",
-                Some(1_000),
-            ),
+            shared,
+            &request.id,
+            &trace,
+            arrived,
+            code::SHUTDOWN,
+            "daemon is draining for shutdown",
+            Some(1_000),
         );
         return;
     }
@@ -463,29 +879,29 @@ fn admit(request: MapRequest, mut writer: Box<dyn Write + Send>, shared: &Arc<Sh
     let depth = queue.len();
     if depth >= shared.config.queue_capacity {
         drop(queue);
-        shared.shed.fetch_add(1, Ordering::Relaxed);
-        let _ = send_line(
+        shed_at_admission(
             writer.as_mut(),
-            &render_error_result(
-                &request.id,
-                code::SHED,
-                &format!("queue full (depth {depth})"),
-                Some(retry_hint_ms(depth)),
-            ),
+            shared,
+            &request.id,
+            &trace,
+            arrived,
+            code::SHED,
+            &format!("queue full (depth {depth})"),
+            Some(retry_hint_ms(depth)),
         );
         return;
     }
     if depth >= shared.config.free_admission_depth && request.time_budget_ms.is_none() {
         drop(queue);
-        shared.shed.fetch_add(1, Ordering::Relaxed);
-        let _ = send_line(
+        shed_at_admission(
             writer.as_mut(),
-            &render_error_result(
-                &request.id,
-                code::SHED,
-                &format!("queue depth {depth} requires time_budget_ms"),
-                Some(retry_hint_ms(depth)),
-            ),
+            shared,
+            &request.id,
+            &trace,
+            arrived,
+            code::SHED,
+            &format!("queue depth {depth} requires time_budget_ms"),
+            Some(retry_hint_ms(depth)),
         );
         return;
     }
@@ -494,14 +910,21 @@ fn admit(request: MapRequest, mut writer: Box<dyn Write + Send>, shared: &Arc<Sh
     // costs nothing but the eventual failed result write).
     let _ = send_line(
         writer.as_mut(),
-        &render_lifecycle("queued", &request.id, Some(depth as u64)),
+        &render_lifecycle("queued", &request.id, Some(depth as u64), Some(&trace)),
     );
+    publish_service(&trace, &request.id, "queued", None, None, None, None);
     let budget = request.time_budget_ms;
     queue.push_back(Job {
         request,
         conn: writer,
         attempts: 0,
         budget_left_ms: budget,
+        trace,
+        arrived,
+        enqueued_at: Instant::now(),
+        queue_us: 0,
+        compute_us: 0,
+        cache_us: 0,
     });
     drop(queue);
     shared.queue_cv.notify_one();
@@ -542,7 +965,10 @@ fn worker_loop(shared: &Arc<Shared>) {
                 queue = q;
             }
         };
-        if let Some(job) = job {
+        if let Some(mut job) = job {
+            // Queue-wait accrues per residence: admission, coalescing
+            // backoffs and preemption re-enqueues all count.
+            job.queue_us += job.enqueued_at.elapsed().as_micros() as u64;
             serve(job, shared);
             shared.inflight.fetch_sub(1, Ordering::SeqCst);
         }
@@ -554,6 +980,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// the flow runs under `catch_unwind`.
 fn serve(mut job: Job, shared: &Arc<Shared>) {
     let id = job.request.id.clone();
+    let trace = job.trace.clone();
     // Announced only once the job actually progresses (cache hit or
     // compute-slot claim): a coalescing re-enqueue must stay silent or
     // the client would count a resume with no matching preemption.
@@ -564,6 +991,7 @@ fn serve(mut job: Job, shared: &Arc<Shared>) {
     };
 
     // Resolve the design and objective; failures are client errors.
+    let resolve_start = Instant::now();
     let objective = match job.request.to_objective() {
         Ok(o) => o,
         Err(detail) => {
@@ -573,21 +1001,42 @@ fn serve(mut job: Job, shared: &Arc<Shared>) {
     let net = match resolve_network(&job.request.source, shared.config.lut_inputs) {
         Ok(net) => net,
         Err(detail) => {
+            job.compute_us += resolve_start.elapsed().as_micros() as u64;
             return finish_error(job, shared, code::INVALID, &detail, None);
         }
     };
     let base_flow = NanoMap::new(ArchParams::paper_unbounded());
     let run_id = base_flow.run_id(&net, objective);
+    job.compute_us += resolve_start.elapsed().as_micros() as u64;
 
     // Cache: identical request (fingerprint + objective + seeds) →
     // byte-identical replay, no mapping run.
-    if let Some(report_text) = shared.cache.load(&run_id) {
+    let cache_start = Instant::now();
+    let cached = shared.cache.load(&run_id);
+    job.cache_us += cache_start.elapsed().as_micros() as u64;
+    if let Some(report_text) = cached {
         shared.cache_hits.fetch_add(1, Ordering::Relaxed);
         shared.served.fetch_add(1, Ordering::Relaxed);
-        let _ = send_line(job.conn.as_mut(), &render_lifecycle(first_line, &id, None));
+        publish_service(&trace, &id, "cache-hit", Some(&run_id), None, None, None);
         let _ = send_line(
             job.conn.as_mut(),
-            &render_ok_result(&id, &run_id, "hit", &report_text),
+            &render_lifecycle(first_line, &id, None, Some(&trace)),
+        );
+        let serialize_start = Instant::now();
+        let _ = send_line(
+            job.conn.as_mut(),
+            &render_ok_result(&id, &run_id, "hit", &trace, &report_text),
+        );
+        let serialize_us = serialize_start.elapsed().as_micros() as u64;
+        shared.record_request("ok", &job, serialize_us);
+        publish_service(
+            &trace,
+            &id,
+            "completed",
+            Some(&run_id),
+            Some("ok"),
+            Some("cache hit"),
+            Some(job.arrived.elapsed().as_micros() as u64),
         );
         return;
     }
@@ -599,6 +1048,10 @@ fn serve(mut job: Job, shared: &Arc<Shared>) {
     let _slot = match ComputeSlot::claim(shared, &run_id) {
         Some(slot) => slot,
         None => {
+            publish_service(&trace, &id, "coalesced", Some(&run_id), None, None, None);
+            // The coalescing backoff counts as queue-wait: the clock
+            // starts before the sleep, so the sleep is attributed.
+            job.enqueued_at = Instant::now();
             std::thread::sleep(Duration::from_millis(10));
             let mut queue = shared.queue.lock().unwrap();
             queue.push_back(job);
@@ -607,7 +1060,11 @@ fn serve(mut job: Job, shared: &Arc<Shared>) {
             return;
         }
     };
-    let _ = send_line(job.conn.as_mut(), &render_lifecycle(first_line, &id, None));
+    publish_service(&trace, &id, first_line, Some(&run_id), None, None, None);
+    let _ = send_line(
+        job.conn.as_mut(),
+        &render_lifecycle(first_line, &id, None, Some(&trace)),
+    );
 
     // Slice sizing: exponential growth per preemption guarantees
     // forward progress even when early slices expire inside one phase.
@@ -649,6 +1106,7 @@ fn serve(mut job: Job, shared: &Arc<Shared>) {
         }
     }));
     let elapsed_ms = slice_start.elapsed().as_millis() as u64;
+    job.compute_us += slice_start.elapsed().as_micros() as u64;
     match outcome {
         Err(_) => {
             shared.panics.fetch_add(1, Ordering::Relaxed);
@@ -662,16 +1120,18 @@ fn serve(mut job: Job, shared: &Arc<Shared>) {
         }
         Ok(Ok(report)) => {
             let degraded = report.degraded;
-            let record = shared
-                .config
-                .ledger_path
-                .as_ref()
-                .map(|_| RunRecord::from_report(&report, run_id.clone(), 0));
+            let record = shared.config.ledger_path.as_ref().map(|_| {
+                let mut record = RunRecord::from_report(&report, run_id.clone(), 0);
+                record.trace_id = Some(trace.clone());
+                record
+            });
             let report_text = report.to_json().to_compact_string();
             if !degraded {
+                let cache_start = Instant::now();
                 shared
                     .cache
                     .store(&run_id, net.name(), &objective.key(), &report_text);
+                job.cache_us += cache_start.elapsed().as_micros() as u64;
             }
             if let (Some(ledger), Some(record)) = (&shared.config.ledger_path, record) {
                 if let Err(e) = append_run(ledger, &record) {
@@ -679,9 +1139,21 @@ fn serve(mut job: Job, shared: &Arc<Shared>) {
                 }
             }
             shared.served.fetch_add(1, Ordering::Relaxed);
+            let serialize_start = Instant::now();
             let _ = send_line(
                 job.conn.as_mut(),
-                &render_ok_result(&id, &run_id, "miss", &report_text),
+                &render_ok_result(&id, &run_id, "miss", &trace, &report_text),
+            );
+            let serialize_us = serialize_start.elapsed().as_micros() as u64;
+            shared.record_request("ok", &job, serialize_us);
+            publish_service(
+                &trace,
+                &id,
+                "completed",
+                Some(&run_id),
+                Some("ok"),
+                None,
+                Some(job.arrived.elapsed().as_micros() as u64),
             );
         }
         Ok(Err(FlowError::BudgetExhausted { .. })) => {
@@ -704,7 +1176,19 @@ fn serve(mut job: Job, shared: &Arc<Shared>) {
             job.budget_left_ms = budget_left;
             job.attempts += 1;
             shared.preemptions.fetch_add(1, Ordering::Relaxed);
-            let _ = send_line(job.conn.as_mut(), &render_lifecycle("preempted", &id, None));
+            publish_service(
+                &trace,
+                &id,
+                "preempted",
+                Some(&run_id),
+                None,
+                None,
+                Some(elapsed_ms.saturating_mul(1_000)),
+            );
+            let _ = send_line(
+                job.conn.as_mut(),
+                &render_lifecycle("preempted", &id, None, Some(&trace)),
+            );
             if shared.draining.load(Ordering::SeqCst) || shared.stop_now.load(Ordering::SeqCst) {
                 // Shutting down: the checkpoint persists for the next
                 // daemon; the client gets a retryable rejection.
@@ -717,6 +1201,7 @@ fn serve(mut job: Job, shared: &Arc<Shared>) {
                 );
                 return;
             }
+            job.enqueued_at = Instant::now();
             let mut queue = shared.queue.lock().unwrap();
             queue.push_back(job);
             drop(queue);
@@ -757,6 +1242,10 @@ impl Drop for ComputeSlot<'_> {
     }
 }
 
+/// Terminates a job with a typed rejection: counters (shed for the
+/// retryable codes, failures for permanent non-panic ones — panics
+/// count at the panic site), segment + per-class latency accounting,
+/// a `completed` service event, and the wire line.
 fn finish_error(
     mut job: Job,
     shared: &Arc<Shared>,
@@ -764,11 +1253,35 @@ fn finish_error(
     detail: &str,
     retry_after_ms: Option<u64>,
 ) {
-    if matches!(error_code, code::SHED | code::SHUTDOWN) {
-        shared.shed.fetch_add(1, Ordering::Relaxed);
+    match error_code {
+        code::SHED | code::SHUTDOWN => {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        code::PANIC => {}
+        _ => {
+            shared.failures.fetch_add(1, Ordering::Relaxed);
+        }
     }
-    let line = render_error_result(&job.request.id, error_code, detail, retry_after_ms);
+    let line = render_error_result(
+        &job.request.id,
+        error_code,
+        detail,
+        retry_after_ms,
+        Some(&job.trace),
+    );
+    let serialize_start = Instant::now();
     let _ = send_line(job.conn.as_mut(), &line);
+    let serialize_us = serialize_start.elapsed().as_micros() as u64;
+    shared.record_request(error_code, &job, serialize_us);
+    publish_service(
+        &job.trace,
+        &job.request.id,
+        "completed",
+        None,
+        Some(error_code),
+        Some(detail),
+        Some(job.arrived.elapsed().as_micros() as u64),
+    );
 }
 
 /// Writes one protocol line. The `socket.write` failpoint simulates a

@@ -695,6 +695,240 @@ fn shutdown_op_over_the_wire_drains_the_binary() {
 // Deterministic fault injection end to end.
 // ---------------------------------------------------------------------
 
+// ---------------------------------------------------------------------
+// Service telemetry: stats reconciliation, segment tiling, tracing.
+// ---------------------------------------------------------------------
+
+/// Integer leaf of a nested stats object (`counters.served`,
+/// `latency_us.ok.count`, ...), by path.
+fn stat_at(stats: &JsonValue, path: &[&str]) -> i64 {
+    let mut node = stats;
+    for key in path {
+        node = node
+            .get(key)
+            .unwrap_or_else(|| panic!("stats missing {path:?}"));
+    }
+    node.as_int()
+        .unwrap_or_else(|| panic!("{path:?} not an int"))
+}
+
+#[test]
+fn stats_histograms_reconcile_exactly_with_lifetime_counters() {
+    let _guard = suite_lock();
+    let (handle, dir) = daemon("statsrec", |c| {
+        c.workers = 1;
+        c.queue_capacity = 2;
+        c.free_admission_depth = 0;
+    });
+    let addr = handle.addr().to_string();
+    // A flood against one worker: some served, the rest typed-shed.
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut req = request(&format!("st-{i}"));
+                req.time_budget_ms = Some(120_000);
+                final_result(&raw_exchange(&addr, &req.to_wire()))
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    // One typed client error lands in the failure accounting classes.
+    // (Budgeted, so depth-0 admission control lets it through to the
+    // objective validation that rejects it.)
+    let mut bad = request("st-bad");
+    bad.objective = "warp-speed".into();
+    bad.time_budget_ms = Some(120_000);
+    let rejected = submit(&addr, &bad);
+    assert_eq!(rejected.result.code.as_deref(), Some(code::INVALID));
+
+    let stats = nanomap::query_stats(&addr, 10_000).unwrap();
+    assert_eq!(
+        stats.get("schema").and_then(JsonValue::as_str),
+        Some("nanomapd-stats-v1")
+    );
+    let class_count = |class: &str| stat_at(&stats, &["latency_us", class, "count"]);
+    let counter = |name: &str| stat_at(&stats, &["counters", name]);
+    // The SLO invariant: every admitted-or-refused request shows up in
+    // exactly one latency class, and the classes partition the lifetime
+    // counters with nothing lost and nothing double-counted.
+    assert_eq!(class_count("ok"), counter("served"));
+    assert_eq!(
+        class_count("shed") + class_count("shutdown"),
+        counter("shed")
+    );
+    assert_eq!(class_count("panic"), counter("panics"));
+    assert_eq!(
+        class_count("invalid") + class_count("budget") + class_count("failed"),
+        counter("failures")
+    );
+    assert!(counter("served") >= 1, "the flood must serve at least one");
+    assert!(counter("shed") >= 1, "a 2-deep queue must shed some of 8");
+    assert_eq!(counter("failures"), 1, "exactly the bad objective");
+    let total: i64 = [
+        "ok", "shed", "shutdown", "invalid", "panic", "budget", "failed",
+    ]
+    .iter()
+    .map(|c| class_count(c))
+    .sum();
+    assert_eq!(
+        total,
+        counter("served") + counter("shed") + counter("panics") + counter("failures"),
+        "histograms and counters must reconcile exactly"
+    );
+    // Latency percentiles are well-formed: p50 <= p95 <= p99 <= max.
+    let ok = |f: &str| stat_at(&stats, &["latency_us", "ok", f]);
+    assert!(ok("p50") <= ok("p95") && ok("p95") <= ok("p99") && ok("p99") <= ok("max"));
+    handle.shutdown(Duration::from_secs(30));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn preempted_request_segments_tile_its_end_to_end_latency() {
+    let _guard = suite_lock();
+    // A 10 ms slice carves the ~1 s heavy design into several
+    // preempt/re-queue/resume cycles, so every segment class accrues.
+    let (handle, dir) = daemon("segtile", |c| c.preempt_slice_ms = Some(10));
+    let sub = submit(
+        handle.addr(),
+        &MapRequest::for_path("seg", heavy_design_path()),
+    );
+    assert!(sub.result.ok, "sliced run failed: {:?}", sub.result);
+    assert!(handle.stats().preemptions >= 1, "slice must preempt");
+
+    let stats = nanomap::query_stats(handle.addr(), 10_000).unwrap();
+    assert_eq!(stat_at(&stats, &["latency_us", "ok", "count"]), 1);
+    assert_eq!(
+        stat_at(&stats, &["counters", "preemptions"]),
+        handle.stats().preemptions as i64
+    );
+    let e2e = stat_at(&stats, &["latency_us", "ok", "sum"]);
+    let segments: i64 = ["queue", "compute", "cache", "serialize"]
+        .iter()
+        .map(|s| stat_at(&stats, &["segments_us", s, "sum"]))
+        .sum();
+    // Queue residence (including every preemption re-queue), compute
+    // slices, cache traffic and serialization are disjoint slices of
+    // one request's wall clock: they can never exceed it, and the
+    // untimed gaps (parse, admission checks, ledger append) are small
+    // against a ~1 s compute.
+    assert!(
+        segments <= e2e,
+        "segments {segments} us overlap: exceed e2e {e2e} us"
+    );
+    assert!(
+        segments * 10 >= e2e * 7,
+        "segments {segments} us cover under 70% of e2e {e2e} us"
+    );
+    assert!(
+        stat_at(&stats, &["segments_us", "compute", "sum"]) > 0
+            && stat_at(&stats, &["segments_us", "queue", "sum"]) > 0,
+        "a preempted compute accrues both compute and re-queue time"
+    );
+    handle.shutdown(Duration::from_secs(10));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn one_trace_id_links_submit_service_events_and_the_ledger() {
+    let _guard = suite_lock();
+    let (handle, dir) = daemon("tracelink", |c| {
+        let root = c.state_dir.parent().unwrap().to_path_buf();
+        c.events_path = Some(root.join("events.ndjson"));
+    });
+    // Client-propagated trace on a cache-missing compute.
+    let mut req = request("traced");
+    req.trace_id = Some("feedfacecafebeef".into());
+    let sub = submit(handle.addr(), &req);
+    assert!(sub.result.ok);
+    assert_eq!(sub.result.cache.as_deref(), Some("miss"));
+    assert_eq!(
+        sub.result.trace_id.as_deref(),
+        Some("feedfacecafebeef"),
+        "the daemon must echo a propagated trace id"
+    );
+    // An untraced submit gets a server-assigned 16-hex id.
+    let assigned = submit(handle.addr(), &request("untraced"));
+    let assigned_id = assigned.result.trace_id.clone().expect("assigned trace");
+    assert_eq!(assigned_id.len(), 16);
+    assert!(assigned_id.chars().all(|c| c.is_ascii_hexdigit()));
+    assert_ne!(assigned_id, "feedfacecafebeef");
+    // Shutdown flushes and closes the event capture.
+    handle.shutdown(Duration::from_secs(10));
+
+    let text = std::fs::read_to_string(dir.join("events.ndjson")).unwrap();
+    let timeline = nanomap::runs::trace_timeline(&text, "feedfacecafebeef");
+    assert!(!timeline.is_empty(), "no service events for the trace");
+    let stages: Vec<&str> = timeline.iter().map(|e| e.stage.as_str()).collect();
+    assert!(stages.contains(&"queued"), "stages: {stages:?}");
+    assert!(stages.contains(&"completed"), "stages: {stages:?}");
+    let done = timeline.iter().find(|e| e.stage == "completed").unwrap();
+    assert_eq!(done.code.as_deref(), Some("ok"));
+    assert_eq!(done.request, "traced");
+    // The cache-hit follower is traceable too, under its own id.
+    assert!(!nanomap::runs::trace_timeline(&text, &assigned_id).is_empty());
+    // And the computed run's ledger record carries the same trace.
+    let ledger = nanomap::Ledger::load(&dir.join("ledger.jsonl")).unwrap();
+    let record = ledger
+        .find_by_trace("feedfacecafebeef")
+        .expect("ledger record stamped with the trace id");
+    assert_eq!(Some(record.run_id.as_str()), sub.result.run_id.as_deref());
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn ping_reports_uptime_version_drain_state_and_snapshot_age() {
+    let _guard = suite_lock();
+    let (handle, dir) = daemon("health", |c| c.stats_interval_ms = 50);
+    let ping = format!(
+        "{{\"schema\":\"{}\",\"op\":\"ping\"}}",
+        nanomap::SERVICE_SCHEMA
+    );
+    // Give the ticker time to persist at least one snapshot.
+    std::thread::sleep(Duration::from_millis(250));
+    let lines = raw_exchange(handle.addr(), &ping);
+    let parsed = Response::parse(lines.last().unwrap()).unwrap();
+    let Response::Pong {
+        version,
+        draining,
+        snapshot_age_ms,
+        ..
+    } = parsed
+    else {
+        panic!("expected a pong, got {parsed:?}");
+    };
+    assert_eq!(version, "nanomapd-v1");
+    assert!(!draining);
+    let age = snapshot_age_ms.expect("ticker should have persisted a snapshot");
+    assert!(age < 10_000, "snapshot age {age} ms is stale");
+    // The persisted snapshot sits next to the ledger and is valid JSON
+    // with the stats schema tag.
+    let persisted = std::fs::read_to_string(dir.join("nanomapd-stats.json")).unwrap();
+    let doc = json::parse(&persisted).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some("nanomapd-stats-v1")
+    );
+    // Draining flips the health bit while ping keeps answering.
+    handle.begin_drain();
+    let lines = raw_exchange(handle.addr(), &ping);
+    match Response::parse(lines.last().unwrap()).unwrap() {
+        Response::Pong {
+            draining,
+            uptime_ms,
+            ..
+        } => {
+            assert!(draining, "drain state must be visible in pong");
+            assert!(uptime_ms < 120_000);
+        }
+        other => panic!("expected a pong, got {other:?}"),
+    }
+    handle.shutdown(Duration::from_secs(5));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 #[test]
 fn env_armed_failpoints_fire_deterministically_in_the_spawned_binary() {
     let _guard = suite_lock();

@@ -177,6 +177,30 @@ pub enum EventKind {
         /// Path the checkpoint landed at.
         path: String,
     },
+    /// A daemon request-lifecycle transition (`nanomapd` tracing): one
+    /// event per admission/queue/slice/cache/response stage, all stamped
+    /// with the request-scoped trace id so a single request's timeline —
+    /// preemption slices and coalesced followers included — can be
+    /// reconstructed from the stream.
+    Service {
+        /// Request-scoped trace id (client-propagated or server-assigned).
+        trace_id: String,
+        /// Client request id echoed from the wire.
+        request: String,
+        /// Lifecycle stage: `queued`, `shed`, `started`, `resumed`,
+        /// `cache-hit`, `coalesced`, `preempted` or `completed`.
+        stage: String,
+        /// Flight-recorder id of the serving run, once resolved.
+        run_id: Option<String>,
+        /// Terminal result code (`ok` or a typed rejection), on
+        /// `completed`/`shed` stages.
+        code: Option<String>,
+        /// Human-readable detail (queue depth, rejection reason, …).
+        detail: Option<String>,
+        /// Stage duration — or end-to-end latency on `completed` —
+        /// in microseconds.
+        us: Option<u64>,
+    },
     /// The run finished (successfully or not).
     RunEnd {
         /// Same id the run-start carried.
@@ -206,6 +230,7 @@ impl EventKind {
             EventKind::Degraded { .. } => "degraded",
             EventKind::Recovery { .. } => "recovery-attempt",
             EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::Service { .. } => "service",
             EventKind::RunEnd { .. } => "run-end",
         }
     }
@@ -307,6 +332,31 @@ impl Event {
             EventKind::Checkpoint { phase, path } => {
                 obj.set("phase", phase.as_str());
                 obj.set("path", path.as_str());
+            }
+            EventKind::Service {
+                trace_id,
+                request,
+                stage,
+                run_id,
+                code,
+                detail,
+                us,
+            } => {
+                obj.set("trace_id", trace_id.as_str());
+                obj.set("request", request.as_str());
+                obj.set("stage", stage.as_str());
+                if let Some(run_id) = run_id {
+                    obj.set("run_id", run_id.as_str());
+                }
+                if let Some(code) = code {
+                    obj.set("code", code.as_str());
+                }
+                if let Some(detail) = detail {
+                    obj.set("detail", detail.as_str());
+                }
+                if let Some(us) = us {
+                    obj.set("us", *us);
+                }
             }
             EventKind::RunEnd {
                 run_id,

@@ -73,6 +73,14 @@ impl JsonValue {
         }
     }
 
+    /// The boolean content, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The integer content, when this is an integer.
     pub fn as_int(&self) -> Option<i64> {
         match self {

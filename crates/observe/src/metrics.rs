@@ -113,12 +113,30 @@ impl Histogram {
 pub struct HistogramHandle(pub(crate) Arc<Histogram>);
 
 impl HistogramHandle {
+    /// A standalone histogram detached from the global registry and its
+    /// enabled gate. Subsystems that must account unconditionally (the
+    /// serving daemon's latency accounting) use this with
+    /// [`Self::record_always`], so their bookkeeping runs even while
+    /// flow observability stays off and artifacts stay byte-identical.
+    #[must_use]
+    pub fn standalone() -> Self {
+        Self(Arc::new(Histogram::default()))
+    }
+
     /// Records one sample (no-op while observability is disabled).
     #[inline]
     pub fn record(&self, value: u64) {
         if enabled() {
             self.0.record_raw(value);
         }
+    }
+
+    /// Records one sample unconditionally, bypassing the global enable
+    /// gate — for [standalone](Self::standalone) histograms that must
+    /// count regardless of whether flow observability is on.
+    #[inline]
+    pub fn record_always(&self, value: u64) {
+        self.0.record_raw(value);
     }
 
     /// Records `|value| * scale` rounded down — the idiom for signed or
@@ -261,6 +279,19 @@ mod tests {
             assert_eq!(snap.percentile(q), 42, "p{q}");
         }
         assert_eq!(snap.mean(), 42.0);
+    }
+
+    #[test]
+    fn standalone_histograms_record_unconditionally() {
+        // No set_enabled here: record_always must count regardless of
+        // the global gate (shared with concurrently running tests).
+        let h = HistogramHandle::standalone();
+        h.record_always(7);
+        h.record_always(9);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 16);
+        assert_eq!(snap.percentile(100.0), 9);
     }
 
     #[test]

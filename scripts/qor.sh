@@ -49,6 +49,13 @@
 # the restarted instance to serve the same bytes from disk, checks the
 # ledger recorded exactly the computed run, and finishes with a SIGTERM
 # drain that must exit 0.
+#
+# The stats-smoke leg (inside the daemon leg, against the restarted
+# instance) submits a traced request, validates the `stats` op's
+# nanomapd-stats-v1 document (schema + histogram/counter
+# reconciliation), requires `nanomap top --once` to stay EPIPE-safe
+# under `| head`, and reconstructs the traced request's timeline with
+# `nanomap runs show --trace` from the daemon's --events capture.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -190,11 +197,11 @@ else
     exit 1
   fi
   echo "==> gate: daemon (cache replay, kill -9 survival, graceful drain)"
-  rm -rf DAEMON_state DAEMON_ledger.jsonl
+  rm -rf DAEMON_state DAEMON_ledger.jsonl nanomapd-stats.json
   start_daemon() {
     : > DAEMON_out.log
     ./target/release/nanomapd --addr 127.0.0.1:0 --state-dir DAEMON_state \
-      --ledger DAEMON_ledger.jsonl > DAEMON_out.log 2>DAEMON_err.log &
+      --ledger DAEMON_ledger.jsonl "$@" > DAEMON_out.log 2>DAEMON_err.log &
     DAEMON_PID=$!
     for _ in $(seq 1 100); do
       grep -q 'listening on' DAEMON_out.log && break
@@ -216,7 +223,7 @@ else
   # kill -9: no drain, no cleanup. Durable state must survive intact.
   kill -9 "$DAEMON_PID" 2>/dev/null || true
   wait "$DAEMON_PID" 2>/dev/null || true
-  start_daemon
+  start_daemon --events DAEMON_events.ndjson --stats-interval-ms 200
   ./target/release/nanomap submit designs/accumulator.vhd \
     --addr "$DAEMON_ADDR" --report DAEMON_replay.json 2>DAEMON_replay.log
   cmp DAEMON_first.json DAEMON_replay.json
@@ -225,6 +232,46 @@ else
   # the history tooling reads it like any CLI traffic.
   [[ $(wc -l < DAEMON_ledger.jsonl) -eq 1 ]]
   ./target/release/nanomap runs --ledger DAEMON_ledger.jsonl list >/dev/null
+  echo "==> gate: stats smoke (stats op, nanomap top, trace reconstruction)"
+  # A traced submit under a fresh objective: a cache miss, so the trace
+  # id must reach the ledger record as well as the service events. The
+  # client echoes the propagated id on stderr.
+  ./target/release/nanomap submit designs/accumulator.vhd \
+    --addr "$DAEMON_ADDR" --objective delay --trace-id feedfacecafebeef \
+    --report DAEMON_traced.json 2>DAEMON_traced.log
+  grep -q 'trace feedfacecafebeef' DAEMON_traced.log
+  # `top --once` emits one nanomapd-stats-v1 line; the histogram counts
+  # must reconcile exactly with the lifetime counters.
+  ./target/release/nanomap top --addr "$DAEMON_ADDR" --once > DAEMON_stats.json
+  python3 - <<'PYEOF'
+import json
+doc = json.load(open('DAEMON_stats.json'))
+assert doc['schema'] == 'nanomapd-stats-v1', doc['schema']
+c, lat = doc['counters'], doc['latency_us']
+assert lat['ok']['count'] == c['served'], (lat, c)
+assert lat['shed']['count'] + lat['shutdown']['count'] == c['shed'], (lat, c)
+assert lat['panic']['count'] == c['panics'], (lat, c)
+assert (lat['invalid']['count'] + lat['budget']['count']
+        + lat['failed']['count']) == c['failures'], (lat, c)
+assert c['served'] >= 2 and c['cache_hits'] >= 1, c
+for seg in ('queue', 'compute', 'cache', 'serialize'):
+    assert seg in doc['segments_us'], doc['segments_us']
+for field in ('uptime_ms', 'version', 'draining', 'gauges'):
+    assert field in doc, field
+print('stats smoke: schema + reconciliation OK')
+PYEOF
+  # `top --once | head` must stay EPIPE-safe: exit 0 on a closed pipe.
+  ./target/release/nanomap top --addr "$DAEMON_ADDR" --once | head -c 64 >/dev/null
+  # The ticker persisted a crash-safe snapshot next to the ledger (one
+  # cadence of slack for the first tick), and the events capture had
+  # time to drain.
+  sleep 0.5
+  grep -q 'nanomapd-stats-v1' nanomapd-stats.json
+  # Trace reconstruction: the --events capture and the ledger agree.
+  ./target/release/nanomap runs show --trace feedfacecafebeef \
+    --events DAEMON_events.ndjson --ledger DAEMON_ledger.jsonl > DAEMON_trace.log
+  grep -q 'completed' DAEMON_trace.log
+  grep -q 'feedfacecafebeef' DAEMON_trace.log
   # SIGTERM with nothing in flight: clean drain, exit 0.
   kill -TERM "$DAEMON_PID"
   set +e
