@@ -18,10 +18,13 @@
 //!
 //! * **slots** — the whole SMB at a position is dead (placement treats it
 //!   as illegal);
-//! * **NRAM sets** — one configuration set of a slot's NRAM is dead; the
-//!   slot remains usable by designs that need fewer configuration sets
-//!   than the dead one's index (graceful degradation under shallow
-//!   folding);
+//! * **NRAM sets** — a single configuration set of a slot's NRAM is dead.
+//!   Each set is a physically separate nanotube array, so under the
+//!   random model every set fails *independently* with probability
+//!   `rate`; a slot needing `s` configuration sets survives with
+//!   probability `(1 - rate)^(1 + s)`. The slot remains usable by any
+//!   design whose active sets all miss the dead ones (graceful
+//!   degradation under shallow folding);
 //! * **wires** — an interconnect segment (direct link, length-1/4 track
 //!   or global line) is broken and is pruned from the routing-resource
 //!   graph;
@@ -143,10 +146,15 @@ impl DefectMap {
         Self::default()
     }
 
-    /// A uniform random defect model: every slot, wire and switch is
-    /// independently defective with probability `rate`; every slot
-    /// additionally loses one random NRAM configuration set with
-    /// probability `rate`. Out-of-range rates are clamped to `[0, 1]`.
+    /// A uniform random defect model: every slot, wire, switch and
+    /// per-slot NRAM configuration set is independently defective with
+    /// probability `rate`. NRAM sets are separate nanotube arrays, so
+    /// they fail independently — a slot at rate `r` survives a design
+    /// needing `s` configuration sets with probability `(1-r)^(1+s)`,
+    /// which is what makes deep folding fragile on high-defect fabrics
+    /// (and per-cluster exact assignment worthwhile: clusters active in
+    /// few slices keep far more usable slots than the whole-design
+    /// worst case). Out-of-range rates are clamped to `[0, 1]`.
     pub fn uniform(rate: f64, seed: u64) -> Self {
         Self {
             rate: rate.clamp(0.0, 1.0),
@@ -202,39 +210,75 @@ impl DefectMap {
             || self.random_hit(Class::Slot, u64::from(pos.x) << 16 | u64::from(pos.y))
     }
 
+    /// Whether one NRAM configuration set of the slot at `pos` is dead
+    /// (independently of the slot itself). Sets beyond the modeled
+    /// storage depth (`>= 64`) never fail randomly.
+    pub fn nram_set_defective(&self, pos: SmbPos, set: u32) -> bool {
+        if self
+            .nram
+            .get(&(pos.x, pos.y))
+            .is_some_and(|sets| sets.contains(&set))
+        {
+            return true;
+        }
+        if u64::from(set) >= MAX_NRAM_SET {
+            return false;
+        }
+        let key = u64::from(set) << 32 | u64::from(pos.x) << 16 | u64::from(pos.y);
+        self.random_hit(Class::Nram, key)
+    }
+
     /// The lowest dead NRAM configuration set index at `pos`, if any.
-    ///
-    /// The random model kills at most one set per slot (index uniform in
-    /// `0..64`); the explicit file may kill arbitrarily many.
     pub fn first_dead_nram_set(&self, pos: SmbPos) -> Option<u32> {
-        let key = u64::from(pos.x) << 16 | u64::from(pos.y);
         let explicit = self
             .nram
             .get(&(pos.x, pos.y))
             .and_then(|sets| sets.iter().next().copied());
-        let random = if self.random_hit(Class::Nram, key) {
-            let stream = mix(self.seed ^ mix((Class::Nram as u64) << 56 | key | 1 << 55));
-            let mut rng = nanomap_observe::rng::XorShift64Star::new(stream);
-            Some(rng.below(MAX_NRAM_SET) as u32)
-        } else {
-            None
-        };
-        match (explicit, random) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
+        let bound = explicit.map_or(MAX_NRAM_SET, u64::from).min(MAX_NRAM_SET);
+        for set in 0..bound {
+            let key = set << 32 | u64::from(pos.x) << 16 | u64::from(pos.y);
+            if self.random_hit(Class::Nram, key) {
+                return Some(set as u32);
+            }
         }
+        explicit
     }
 
     /// Whether the slot at `pos` can host a design needing
     /// `required_sets` NRAM configuration sets: the slot itself is alive
-    /// and no dead NRAM set index falls below `required_sets`.
+    /// and no dead NRAM set index falls below `required_sets`. This is
+    /// the *conservative prefix view* the heuristic placer uses — every
+    /// cluster is assumed to need all sets up to the design's folding
+    /// depth.
     pub fn slot_usable(&self, pos: SmbPos, required_sets: u32) -> bool {
         if self.slot_defective(pos) {
             return false;
         }
-        match self.first_dead_nram_set(pos) {
-            Some(dead) => dead >= required_sets,
-            None => true,
+        (0..required_sets).all(|set| !self.nram_set_defective(pos, set))
+    }
+
+    /// Whether the slot at `pos` can host a cluster that is active in
+    /// exactly the NRAM configuration sets `sets`: the slot is alive and
+    /// every listed set survives. This is the *precise per-cluster view*
+    /// the exact-assignment encoder uses — a cluster idle in a slice
+    /// tolerates that slice's set being dead.
+    pub fn slot_usable_for_sets(&self, pos: SmbPos, sets: &[u32]) -> bool {
+        if self.slot_defective(pos) {
+            return false;
+        }
+        sets.iter().all(|&set| !self.nram_set_defective(pos, set))
+    }
+
+    /// Classifies a slot against a per-cluster required set list — the
+    /// raw material for unsatisfiable-core summaries ("which defect
+    /// class made the instance infeasible").
+    pub fn classify_slot(&self, pos: SmbPos, sets: &[u32]) -> SlotClass {
+        if self.slot_defective(pos) {
+            return SlotClass::DeadSlot;
+        }
+        match sets.iter().find(|&&s| self.nram_set_defective(pos, s)) {
+            Some(&set) => SlotClass::DeadNramSet(set),
+            None => SlotClass::Usable,
         }
     }
 
@@ -282,12 +326,23 @@ impl DefectMap {
     }
 
     /// Parses the line-oriented defect file format. See [`Self::to_text`]
-    /// for the grammar; `#` starts a comment, blank lines are skipped.
+    /// for the grammar; `#` starts a comment, blank lines are skipped,
+    /// and `\r\n` line endings (fabric testers love them) are accepted.
+    ///
+    /// The parser is strict about data it cannot faithfully represent:
+    /// slot coordinates beyond `u16`, wire-key fields beyond 15 bits and
+    /// NRAM set indices beyond the modeled storage depth are typed
+    /// errors (they used to truncate silently, aliasing onto unrelated
+    /// resources), and a resource killed twice is a typed error too — a
+    /// duplicate kill line in tester output almost always means a
+    /// miscollated file rather than a doubly-dead slot.
     ///
     /// # Errors
     ///
     /// Returns the first malformed line with its 1-based number.
     pub fn parse(text: &str) -> Result<Self, DefectParseError> {
+        /// Largest value a 15-bit wire-key field can carry.
+        const WIRE_FIELD_MAX: u64 = 0x7FFF;
         let mut map = Self::default();
         for (idx, raw) in text.lines().enumerate() {
             let line = idx + 1;
@@ -307,6 +362,20 @@ impl DefectMap {
                     message: format!("`{record}` {what}: `{field}` is not a number"),
                 })
             };
+            let bounded = |value: u64, what: &str, max: u64| -> Result<u64, DefectParseError> {
+                if value > max {
+                    Err(DefectParseError {
+                        line,
+                        message: format!("`{record}` {what}: {value} exceeds the maximum {max}"),
+                    })
+                } else {
+                    Ok(value)
+                }
+            };
+            let duplicate = |what: String| DefectParseError {
+                line,
+                message: format!("duplicate kill record for {what}"),
+            };
             match record {
                 "rate" => {
                     let field = fields.next().ok_or_else(|| DefectParseError {
@@ -323,46 +392,62 @@ impl DefectMap {
                 }
                 "seed" => map.seed = num("seed")?,
                 "slot" => {
-                    let (x, y) = (num("x")? as u16, num("y")? as u16);
-                    map.slots.insert((x, y));
+                    let x = bounded(num("x")?, "x", u64::from(u16::MAX))? as u16;
+                    let y = bounded(num("y")?, "y", u64::from(u16::MAX))? as u16;
+                    if !map.slots.insert((x, y)) {
+                        return Err(duplicate(format!("slot ({x}, {y})")));
+                    }
                 }
                 "nram" => {
-                    let (x, y, set) = (num("x")? as u16, num("y")? as u16, num("set")? as u32);
-                    map.nram.entry((x, y)).or_default().insert(set);
+                    let x = bounded(num("x")?, "x", u64::from(u16::MAX))? as u16;
+                    let y = bounded(num("y")?, "y", u64::from(u16::MAX))? as u16;
+                    let set = bounded(num("set")?, "set", MAX_NRAM_SET - 1)? as u32;
+                    if !map.nram.entry((x, y)).or_default().insert(set) {
+                        return Err(duplicate(format!("nram set {set} of slot ({x}, {y})")));
+                    }
                 }
                 "direct" => {
-                    let (x, y, dir, track) = (num("x")?, num("y")?, num("dir")?, num("track")?);
+                    let x = bounded(num("x")?, "x", WIRE_FIELD_MAX)?;
+                    let y = bounded(num("y")?, "y", WIRE_FIELD_MAX)?;
+                    let dir = num("dir")?;
+                    let track = bounded(num("track")?, "track", WIRE_FIELD_MAX)?;
                     if dir > 3 {
                         return Err(DefectParseError {
                             line,
                             message: format!("`direct` dir must be 0-3 (got {dir})"),
                         });
                     }
-                    map.wires
-                        .insert((3 << 60) | (x << 45) | (y << 30) | (track << 15) | dir);
+                    let key = (3 << 60) | (x << 45) | (y << 30) | (track << 15) | dir;
+                    if !map.wires.insert(key) {
+                        return Err(duplicate(format!("direct link at ({x}, {y})")));
+                    }
                 }
-                "hwire" => {
-                    let (x, y, track) = (num("x")?, num("y")?, num("track")?);
-                    map.wires
-                        .insert((1 << 60) | (x << 45) | (y << 30) | (track << 15));
+                "hwire" | "vwire" => {
+                    let x = bounded(num("x")?, "x", WIRE_FIELD_MAX)?;
+                    let y = bounded(num("y")?, "y", WIRE_FIELD_MAX)?;
+                    let track = bounded(num("track")?, "track", WIRE_FIELD_MAX)?;
+                    let tag: u64 = if record == "hwire" { 1 } else { 2 };
+                    let key = (tag << 60) | (x << 45) | (y << 30) | (track << 15);
+                    if !map.wires.insert(key) {
+                        return Err(duplicate(format!("{record} at ({x}, {y}) track {track}")));
+                    }
                 }
-                "vwire" => {
-                    let (x, y, track) = (num("x")?, num("y")?, num("track")?);
-                    map.wires
-                        .insert((2 << 60) | (x << 45) | (y << 30) | (track << 15));
-                }
-                "grow" => {
-                    let (y, track) = (num("y")?, num("track")?);
-                    map.wires.insert((4 << 60) | (y << 45) | (track << 30));
-                }
-                "gcol" => {
-                    let (x, track) = (num("x")?, num("track")?);
-                    map.wires.insert((5 << 60) | (x << 45) | (track << 30));
+                "grow" | "gcol" => {
+                    let (axis, tag): (&str, u64) =
+                        if record == "grow" { ("y", 4) } else { ("x", 5) };
+                    let at = bounded(num(axis)?, axis, WIRE_FIELD_MAX)?;
+                    let track = bounded(num("track")?, "track", WIRE_FIELD_MAX)?;
+                    let key = (tag << 60) | (at << 45) | (track << 30);
+                    if !map.wires.insert(key) {
+                        return Err(duplicate(format!("{record} {at} track {track}")));
+                    }
                 }
                 "switch" => {
                     let (a, b) = (num("key_a")?, num("key_b")?);
                     let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-                    map.switches.insert((lo, hi));
+                    if !map.switches.insert((lo, hi)) {
+                        return Err(duplicate(format!("switch ({lo}, {hi})")));
+                    }
                 }
                 other => {
                     return Err(DefectParseError {
@@ -475,6 +560,28 @@ fn enumerate_wires(grid: Grid, channels: &ChannelConfig) -> Vec<RrNodeKind> {
         }
     }
     out
+}
+
+/// Why a slot can or cannot host a specific cluster (see
+/// [`DefectMap::classify_slot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotClass {
+    /// Alive, all required NRAM sets survive.
+    Usable,
+    /// The whole SMB is dead.
+    DeadSlot,
+    /// The SMB is alive but the named required NRAM set is dead.
+    DeadNramSet(u32),
+}
+
+impl fmt::Display for SlotClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Usable => write!(f, "usable"),
+            Self::DeadSlot => write!(f, "dead slot"),
+            Self::DeadNramSet(set) => write!(f, "dead NRAM set {set}"),
+        }
+    }
 }
 
 /// Defect totals over a concrete grid (see [`DefectMap::tally`]).
@@ -603,7 +710,12 @@ mod tests {
         assert!((map.rate() - 0.25).abs() < 1e-12);
         assert_eq!(map.seed(), 3);
         assert!(map.slot_defective(SmbPos::new(0, 1)));
-        assert_eq!(map.first_dead_nram_set(SmbPos::new(2, 2)), Some(7));
+        // The explicit kill is visible regardless of what the random
+        // model (rate 0.25) layers on top of the same slot.
+        assert!(map.nram_set_defective(SmbPos::new(2, 2), 7));
+        assert!(map
+            .first_dead_nram_set(SmbPos::new(2, 2))
+            .is_some_and(|s| s <= 7));
     }
 
     #[test]
@@ -621,6 +733,120 @@ mod tests {
             assert_eq!(err.line, line, "{text:?}: {err}");
             assert!(!err.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_kill_lines() {
+        for (text, line) in [
+            ("slot 1 2\nslot 1 2", 2),
+            ("nram 0 0 4\nnram 0 0 4", 2),
+            ("hwire 1 1 0\nhwire 1 1 0", 2),
+            ("vwire 0 3 1\n# fine\nvwire 0 3 1", 3),
+            ("direct 1 1 0 2\ndirect 1 1 0 2", 2),
+            ("grow 2 0\ngrow 2 0", 2),
+            ("gcol 1 1\ngcol 1 1", 2),
+            // Switches are symmetric: the swapped pair is the same switch.
+            ("switch 9 4\nswitch 4 9", 2),
+        ] {
+            let err = DefectMap::parse(text).unwrap_err();
+            assert_eq!(err.line, line, "{text:?}: {err}");
+            assert!(err.to_string().contains("duplicate"), "{text:?}: {err}");
+        }
+        // Distinct resources sharing coordinates are not duplicates.
+        let map = DefectMap::parse("slot 1 2\nnram 1 2 0\nnram 1 2 1\nhwire 1 2 0\n").unwrap();
+        assert!(map.slot_defective(SmbPos::new(1, 2)));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_fields() {
+        for text in [
+            "slot 65536 0",       // x beyond u16 (would truncate to 0)
+            "slot 0 70000",       // y beyond u16
+            "nram 99999 0 0",     // coordinate beyond u16
+            "nram 0 0 64",        // set index beyond modeled storage depth
+            "hwire 32768 0 0",    // 15-bit wire-key field overflow
+            "vwire 0 0 40000",    // track overflow
+            "direct 0 32768 0 0", // y overflow
+            "grow 32768 0",       // row overflow
+            "gcol 0 32768",       // track overflow
+        ] {
+            let err = DefectMap::parse(text).unwrap_err();
+            assert_eq!(err.line, 1, "{text:?}");
+            assert!(err.to_string().contains("exceeds"), "{text:?}: {err}");
+        }
+        // The boundary values themselves are accepted.
+        DefectMap::parse("slot 65535 65535\nnram 0 0 63\nhwire 32767 0 32767\n").unwrap();
+    }
+
+    #[test]
+    fn parse_accepts_mixed_crlf_line_endings() {
+        let text = "rate 0.1\r\nseed 9\nslot 3 4\r\nnram 1 1 2\n# comment\r\nswitch 2 8\r\n";
+        let map = DefectMap::parse(text).unwrap();
+        assert!((map.rate() - 0.1).abs() < 1e-12);
+        assert!(map.slot_defective(SmbPos::new(3, 4)));
+        assert!(map.nram_set_defective(SmbPos::new(1, 1), 2));
+        // And errors on CRLF lines still carry the right line number.
+        let err = DefectMap::parse("slot 1 1\r\nslot 1 1\r\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn nram_sets_fail_independently_under_the_random_model() {
+        // Each configuration set is a separate nanotube array: at a
+        // given slot, different sets must reach independent verdicts,
+        // and a set's verdict must be stable.
+        let map = DefectMap::uniform(0.3, 77);
+        let pos = SmbPos::new(5, 5);
+        let verdicts: Vec<bool> = (0..64).map(|s| map.nram_set_defective(pos, s)).collect();
+        let dead = verdicts.iter().filter(|&&d| d).count();
+        // At rate 0.3 over 64 sets, all-alive or all-dead would each be
+        // astronomically unlikely; either means the sets are coupled.
+        assert!(dead > 0 && dead < 64, "dead sets: {dead}/64");
+        for (s, &was) in verdicts.iter().enumerate() {
+            assert_eq!(map.nram_set_defective(pos, s as u32), was);
+        }
+        // Sets at or beyond the modeled depth never fail randomly.
+        assert!(!map.nram_set_defective(pos, 64));
+        assert!(!map.nram_set_defective(pos, 1000));
+    }
+
+    #[test]
+    fn precise_set_view_is_weaker_than_the_prefix_view() {
+        // `slot_usable` asks for a contiguous prefix of sets; a cluster
+        // that is only active in specific slices needs only those.
+        let mut map = DefectMap::none();
+        map.kill_nram_set(SmbPos::new(4, 4), 2);
+        // Prefix view: any design needing 3+ sets rejects the slot.
+        assert!(!map.slot_usable(SmbPos::new(4, 4), 3));
+        // Precise view: a cluster active in sets {0, 1, 5} dodges it.
+        assert!(map.slot_usable_for_sets(SmbPos::new(4, 4), &[0, 1, 5]));
+        assert!(!map.slot_usable_for_sets(SmbPos::new(4, 4), &[0, 2]));
+        // Both views agree a dead slot is dead.
+        map.kill_slot(SmbPos::new(4, 4));
+        assert!(!map.slot_usable_for_sets(SmbPos::new(4, 4), &[0]));
+    }
+
+    #[test]
+    fn classify_slot_names_the_failing_resource() {
+        let mut map = DefectMap::none();
+        map.kill_nram_set(SmbPos::new(1, 0), 3);
+        map.kill_slot(SmbPos::new(2, 0));
+        assert_eq!(
+            map.classify_slot(SmbPos::new(0, 0), &[0, 1]),
+            SlotClass::Usable
+        );
+        assert_eq!(
+            map.classify_slot(SmbPos::new(1, 0), &[1, 3]),
+            SlotClass::DeadNramSet(3)
+        );
+        assert_eq!(
+            map.classify_slot(SmbPos::new(1, 0), &[0, 1]),
+            SlotClass::Usable
+        );
+        assert_eq!(
+            map.classify_slot(SmbPos::new(2, 0), &[0]),
+            SlotClass::DeadSlot
+        );
     }
 
     #[test]

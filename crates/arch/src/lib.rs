@@ -53,7 +53,7 @@ pub use bitstream::{
     pack_bitstream, unpack_bitstream, BitstreamError, BITSTREAM_MAGIC, BITSTREAM_VERSION,
 };
 pub use config::{bits_per_le, ConfigBitmap, CycleConfig, LeConfig, RoutingConfig, SmbConfig};
-pub use defects::{DefectCounts, DefectMap, DefectParseError};
+pub use defects::{DefectCounts, DefectMap, DefectParseError, SlotClass};
 pub use grid::{Grid, SmbPos};
 pub use interconnect::{ChannelConfig, WireType};
 pub use nram::{NramSpec, ReconfigCounter};

@@ -3,11 +3,20 @@
 //! whether the mapping succeeded, how hard the recovery ladder had to
 //! work (failed attempts, rung escalations, candidate fallbacks, the
 //! winning remedy) and the QoR price paid relative to the defect-free
-//! run. The aggregate per-rate yield — fraction of benchmarks that still
-//! map — lands in `results/yield.json` alongside the per-run detail.
+//! run. The exact SAT rung is enabled, so every outcome is attributed:
+//! mapped by a heuristic rung, rescued by `exact-assign`, *proven*
+//! unmappable (typed UNSAT), or failed otherwise. The aggregate
+//! per-rate yield — fraction of benchmarks that still map — lands in
+//! `results/yield.json` alongside the per-run detail.
 //!
 //! Run: `cargo run -p nanomap-bench --release --bin yield`
-//!      `[-- --rates 0,0.02,0.05,0.1] [--seed 1] [--circuit NAME]`
+//!      `[-- --rates 0,0.05,0.1,0.2,0.3] [--seed 1] [--circuit NAME]`
+//!      `[--no-exact] [--sat-conflicts N]`
+//!
+//! Each SAT solve is bounded by a conflict budget (default 200k,
+//! `--sat-conflicts`, 0 = unbounded) so the sweep's wall time stays
+//! finite even on adversarial near-pigeonhole instances; an interrupted
+//! solve records a plain failure, never a fake UNSAT.
 
 use nanomap::{MappingReport, NanoMap, Objective};
 use nanomap_arch::{ArchParams, DefectMap};
@@ -16,12 +25,20 @@ use nanomap_bench::results::write_results_json;
 use nanomap_bench::table::render;
 use nanomap_observe::JsonValue;
 
-const DEFAULT_RATES: [f64; 4] = [0.0, 0.02, 0.05, 0.10];
+const DEFAULT_RATES: [f64; 8] = [0.0, 0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30];
+
+/// Default per-solve SAT conflict budget. The sweep is a harness, not a
+/// prover of last resort: a hard near-pigeonhole instance must cost
+/// seconds, not hours. Interrupted solves count as plain failures — an
+/// UNSAT row is still only ever a *completed* proof.
+const DEFAULT_SAT_CONFLICTS: u64 = 200_000;
 
 struct Cli {
     rates: Vec<f64>,
     seed: u64,
     circuit: Option<String>,
+    exact: bool,
+    sat_conflicts: u64,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -29,6 +46,8 @@ fn parse_cli() -> Result<Cli, String> {
         rates: DEFAULT_RATES.to_vec(),
         seed: 1,
         circuit: None,
+        exact: true,
+        sat_conflicts: DEFAULT_SAT_CONFLICTS,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +68,12 @@ fn parse_cli() -> Result<Cli, String> {
                     .map_err(|e| format!("--seed: {e}"))?
             }
             "--circuit" => cli.circuit = Some(value("--circuit")?),
+            "--no-exact" => cli.exact = false,
+            "--sat-conflicts" => {
+                cli.sat_conflicts = value("--sat-conflicts")?
+                    .parse()
+                    .map_err(|e| format!("--sat-conflicts: {e}"))?
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -56,10 +81,22 @@ fn parse_cli() -> Result<Cli, String> {
 }
 
 /// One benchmark mapped at one defect rate.
-fn map_at_rate(network: &nanomap_netlist::LutNetwork, rate: f64, seed: u64) -> MappingResult {
+fn map_at_rate(
+    network: &nanomap_netlist::LutNetwork,
+    rate: f64,
+    seed: u64,
+    exact: bool,
+    sat_conflicts: u64,
+) -> MappingResult {
     let mut flow = NanoMap::new(ArchParams::paper());
     if rate > 0.0 {
         flow = flow.with_defects(DefectMap::uniform(rate, seed));
+    }
+    if exact {
+        flow = flow.with_exact_recovery();
+        if sat_conflicts > 0 {
+            flow = flow.with_sat_conflict_budget(sat_conflicts);
+        }
     }
     match flow.map(network, Objective::MinAreaDelayProduct) {
         Ok(report) => MappingResult::Mapped(Box::new(report)),
@@ -67,6 +104,7 @@ fn map_at_rate(network: &nanomap_netlist::LutNetwork, rate: f64, seed: u64) -> M
             let attempts = e.recovery_log().map_or(0, |l| l.total_attempts());
             MappingResult::Failed {
                 attempts,
+                unsat: matches!(e, nanomap::FlowError::ExactAssignUnsat { .. }),
                 error: e.to_string(),
             }
         }
@@ -75,7 +113,25 @@ fn map_at_rate(network: &nanomap_netlist::LutNetwork, rate: f64, seed: u64) -> M
 
 enum MappingResult {
     Mapped(Box<MappingReport>),
-    Failed { attempts: u32, error: String },
+    Failed {
+        attempts: u32,
+        /// The exact rung *proved* the fabric unmappable.
+        unsat: bool,
+        error: String,
+    },
+}
+
+/// Per-rate outcome attribution.
+#[derive(Default)]
+struct RateTally {
+    /// Mapped via a heuristic ladder rung (or no recovery at all).
+    heuristic: u32,
+    /// Rescued by the exact SAT rung after every heuristic rung failed.
+    exact: u32,
+    /// Proven infeasible (typed UNSAT).
+    unsat: u32,
+    /// Benchmarks attempted.
+    total: u32,
 }
 
 fn main() {
@@ -83,7 +139,10 @@ fn main() {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: yield [--rates 0,0.02,0.05,0.1] [--seed N] [--circuit NAME]");
+            eprintln!(
+                "usage: yield [--rates 0,0.02,0.05,0.1] [--seed N] [--circuit NAME] \
+                 [--no-exact] [--sat-conflicts N]"
+            );
             std::process::exit(1);
         }
     };
@@ -105,12 +164,12 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut json_runs = Vec::new();
-    // mapped/total per rate, in rate order.
-    let mut per_rate: Vec<(f64, u32, u32)> = cli.rates.iter().map(|&r| (r, 0, 0)).collect();
+    // Outcome attribution per rate, in rate order.
+    let mut per_rate: Vec<RateTally> = cli.rates.iter().map(|_| RateTally::default()).collect();
 
     for bench in &benches {
         // The defect-free run anchors the QoR deltas.
-        let clean = match map_at_rate(&bench.network, 0.0, cli.seed) {
+        let clean = match map_at_rate(&bench.network, 0.0, cli.seed, cli.exact, cli.sat_conflicts) {
             MappingResult::Mapped(r) => r,
             MappingResult::Failed { error, .. } => {
                 panic!(
@@ -121,15 +180,33 @@ fn main() {
         };
         let clean_delay = clean.physical.as_ref().map_or(0.0, |p| p.routed_delay_ns);
         for (slot, &rate) in cli.rates.iter().enumerate() {
-            per_rate[slot].2 += 1;
-            let result = map_at_rate(&bench.network, rate, cli.seed);
+            per_rate[slot].total += 1;
+            let result = map_at_rate(&bench.network, rate, cli.seed, cli.exact, cli.sat_conflicts);
+            // Live progress on stderr: stdout is the (buffered) report.
+            eprintln!(
+                "  {} @ {:>4.1}%: {}",
+                bench.name,
+                rate * 100.0,
+                match &result {
+                    MappingResult::Mapped(r)
+                        if r.recovery.succeeded_with == Some(nanomap::Remedy::ExactAssign) =>
+                        "rescued by exact-assign",
+                    MappingResult::Mapped(_) => "ok",
+                    MappingResult::Failed { unsat: true, .. } => "proven UNSAT",
+                    MappingResult::Failed { .. } => "failed",
+                }
+            );
             let mut json = JsonValue::object()
                 .with("circuit", bench.name)
                 .with("rate", rate)
                 .with("seed", cli.seed);
             match result {
                 MappingResult::Mapped(r) => {
-                    per_rate[slot].1 += 1;
+                    if r.recovery.succeeded_with == Some(nanomap::Remedy::ExactAssign) {
+                        per_rate[slot].exact += 1;
+                    } else {
+                        per_rate[slot].heuristic += 1;
+                    }
                     let delay = r.physical.as_ref().map_or(0.0, |p| p.routed_delay_ns);
                     let delay_overhead = if clean_delay > 0.0 {
                         delay / clean_delay - 1.0
@@ -144,6 +221,7 @@ fn main() {
                         .with("escalations", r.recovery.escalations)
                         .with("candidate_fallbacks", r.recovery.candidate_fallbacks)
                         .with("succeeded_with", remedy)
+                        .with("recovery_ms", r.recovery.wall_ms())
                         .with("num_les", r.num_les)
                         .with("routed_delay_ns", delay)
                         .with("delay_overhead", delay_overhead)
@@ -161,15 +239,23 @@ fn main() {
                         format!("{:+.1}%", delay_overhead * 100.0),
                     ]);
                 }
-                MappingResult::Failed { attempts, error } => {
+                MappingResult::Failed {
+                    attempts,
+                    unsat,
+                    error,
+                } => {
+                    if unsat {
+                        per_rate[slot].unsat += 1;
+                    }
                     json = json
                         .with("success", false)
+                        .with("unsat", unsat)
                         .with("attempts", attempts)
                         .with("error", error.as_str());
                     rows.push(vec![
                         bench.name.to_string(),
                         format!("{:.0}%", rate * 100.0),
-                        "FAIL".into(),
+                        if unsat { "UNSAT" } else { "FAIL" }.into(),
                         attempts.to_string(),
                         "-".into(),
                         "-".into(),
@@ -198,20 +284,30 @@ fn main() {
     ];
     println!("{}", render(&header, &rows));
 
-    println!("Yield per defect rate:");
-    let json_rates: Vec<JsonValue> = per_rate
+    println!("Yield per defect rate (heuristic rungs / exact-assign rescues / proven UNSAT):");
+    let json_rates: Vec<JsonValue> = cli
+        .rates
         .iter()
-        .map(|&(rate, mapped, total)| {
-            let y = f64::from(mapped) / f64::from(total.max(1));
+        .zip(&per_rate)
+        .map(|(&rate, tally)| {
+            let mapped = tally.heuristic + tally.exact;
+            let y = f64::from(mapped) / f64::from(tally.total.max(1));
             println!(
-                "  {:>5.1}%: {mapped}/{total} mapped ({:.0}% yield)",
+                "  {:>5.1}%: {mapped}/{} mapped ({:.0}% yield) — {} heuristic, {} exact-assign, {} UNSAT",
                 rate * 100.0,
-                y * 100.0
+                tally.total,
+                y * 100.0,
+                tally.heuristic,
+                tally.exact,
+                tally.unsat,
             );
             JsonValue::object()
                 .with("rate", rate)
                 .with("mapped", mapped)
-                .with("total", total)
+                .with("heuristic", tally.heuristic)
+                .with("exact_assign", tally.exact)
+                .with("unsat", tally.unsat)
+                .with("total", tally.total)
                 .with("yield", y)
         })
         .collect();
@@ -220,6 +316,7 @@ fn main() {
         "yield",
         JsonValue::object()
             .with("seed", cli.seed)
+            .with("exact_recovery", cli.exact)
             .with("rates", JsonValue::Array(json_rates))
             .with("runs", JsonValue::Array(json_runs)),
     );

@@ -20,6 +20,10 @@
 //!   --defect-map PATH           load an explicit defect map instead
 //!   --time-budget-ms N          wall-clock budget for the whole mapping
 //!   --anytime                   accept a budget-degraded best-so-far mapping
+//!   --exact-recovery            after the heuristic recovery ladder fails, run
+//!                               the complete SAT-based slot-assignment rung
+//!   --sat-conflict-budget N     cap the SAT solver at N conflicts (default
+//!                               unbounded; the time budget still applies)
 //!   --checkpoint-dir PATH       write a crash-safe checkpoint after each phase
 //!   --resume PATH               resume from a checkpoint file
 //!   --profile DIR               sample span stacks + memory; write
@@ -43,6 +47,8 @@
 //!   2  the recovery ladder was exhausted (attempt history on stderr)
 //!   3  the time budget expired without --anytime (partial history on stderr)
 //!   4  mapping succeeded but is budget-degraded (--anytime accepted it)
+//!   5  --exact-recovery proved no defect-legal assignment exists (the
+//!      fabric, not the heuristics, is the limit; summary on stderr)
 //!
 //! nanomap explain <design.vhd | design.blif> [flow options]
 //!                 [--out PATH] [--top-k N]
@@ -151,6 +157,8 @@ const EXIT_RECOVERY_EXHAUSTED: u8 = 2;
 const EXIT_BUDGET_EXHAUSTED: u8 = 3;
 /// Exit code: success, but the mapping is budget-degraded.
 const EXIT_DEGRADED: u8 = 4;
+/// Exit code: the exact rung proved the fabric unmappable.
+const EXIT_INFEASIBLE: u8 = 5;
 
 /// Writes formatted text to stdout, tolerating a closed pipe: when the
 /// reader goes away (`nanomap --qor - | head`), the write is silently
@@ -205,6 +213,8 @@ struct Args {
     defect_map_path: Option<String>,
     time_budget_ms: Option<u64>,
     anytime: bool,
+    exact_recovery: bool,
+    sat_conflict_budget: Option<u64>,
     checkpoint_dir: Option<String>,
     resume: Option<String>,
     profile_dir: Option<String>,
@@ -260,6 +270,8 @@ fn parse_args(cli: impl Iterator<Item = String>) -> Result<Args, String> {
         defect_map_path: None,
         time_budget_ms: None,
         anytime: false,
+        exact_recovery: false,
+        sat_conflict_budget: None,
         checkpoint_dir: None,
         resume: None,
         profile_dir: None,
@@ -333,6 +345,14 @@ fn parse_args(cli: impl Iterator<Item = String>) -> Result<Args, String> {
                 )
             }
             "--anytime" => args.anytime = true,
+            "--exact-recovery" => args.exact_recovery = true,
+            "--sat-conflict-budget" => {
+                args.sat_conflict_budget = Some(
+                    value(&mut iter, "--sat-conflict-budget")?
+                        .parse()
+                        .map_err(|e| format!("--sat-conflict-budget: {e}"))?,
+                )
+            }
             "--checkpoint-dir" => args.checkpoint_dir = Some(value(&mut iter, "--checkpoint-dir")?),
             "--resume" => args.resume = Some(value(&mut iter, "--resume")?),
             "--profile" => args.profile_dir = Some(value(&mut iter, "--profile")?),
@@ -1461,6 +1481,7 @@ fn main() -> ExitCode {
             eprintln!("       [--metrics PATH] [--chrome-trace PATH] [--qor PATH]");
             eprintln!("       [--explain PATH] [--defect-rate F] [--defect-seed N]");
             eprintln!("       [--defect-map PATH] [--time-budget-ms N] [--anytime]");
+            eprintln!("       [--exact-recovery] [--sat-conflict-budget N]");
             eprintln!("       [--checkpoint-dir PATH] [--resume PATH] [--profile DIR]");
             eprintln!("       [--sample-hz N] [--live-status PATH] [--ledger PATH]");
             eprintln!("       [--progress] [--trace]");
@@ -1572,6 +1593,12 @@ fn main() -> ExitCode {
     }
     if args.anytime {
         flow = flow.with_anytime();
+    }
+    if args.exact_recovery {
+        flow = flow.with_exact_recovery();
+    }
+    if let Some(budget) = args.sat_conflict_budget {
+        flow = flow.with_sat_conflict_budget(budget);
     }
     if let Some(dir) = &args.checkpoint_dir {
         flow = flow.with_checkpoint_dir(dir);
@@ -1786,17 +1813,25 @@ fn main() -> ExitCode {
             if let Some(log) = e.recovery_log() {
                 for a in &log.attempts {
                     eprintln!(
-                        "  attempt {} [candidate {}, {}] {} failed: {}",
+                        "  attempt {} [candidate {}, {}] {} failed after {:.1} ms: {}",
                         a.attempt,
                         a.candidate,
                         a.remedy.as_str(),
                         a.phase,
+                        a.wall_us as f64 / 1e3,
                         a.error
                     );
                 }
             }
             let code = match &e {
                 FlowError::RecoveryExhausted { .. } => EXIT_RECOVERY_EXHAUSTED,
+                FlowError::ExactAssignUnsat { summary, .. } => {
+                    eprintln!(
+                        "  infeasibility proof: {} open slot(s) for {} SMBs; dominant defect class: {}",
+                        summary.open_slots, summary.smbs, summary.dominant_class
+                    );
+                    EXIT_INFEASIBLE
+                }
                 FlowError::BudgetExhausted { degradations, .. } => {
                     for d in degradations {
                         eprintln!("  degraded: {}", d.summary());

@@ -51,6 +51,24 @@ pub enum FlowError {
         /// Which phases returned degraded best-so-far results.
         degradations: Vec<Degradation>,
     },
+    /// The exact SAT-based recovery rung *proved* no defect-legal slot
+    /// assignment exists on the most generous grid the ladder grants —
+    /// the fabric, not the heuristics, is the limit. The summary names
+    /// the defect class responsible; the log holds the heuristic
+    /// attempts that preceded the proof.
+    ExactAssignUnsat {
+        /// Every attempt made before (and during) the exact rung.
+        log: RecoveryLog,
+        /// Unsatisfiable-core summary: slot census and dominant defect
+        /// class.
+        summary: crate::exact::ExactUnsatSummary,
+    },
+    /// An internal invariant was violated — a bug in the flow, not a
+    /// property of the input or the fabric.
+    Internal {
+        /// What broke.
+        detail: String,
+    },
     /// Writing or loading a checkpoint failed, or a checkpoint refused
     /// to resume against the given netlist/objective/architecture.
     Checkpoint(CheckpointError),
@@ -62,7 +80,9 @@ impl FlowError {
     /// The recovery-ladder history, for errors that carry one.
     pub fn recovery_log(&self) -> Option<&RecoveryLog> {
         match self {
-            Self::RecoveryExhausted { log } | Self::BudgetExhausted { log, .. } => Some(log),
+            Self::RecoveryExhausted { log }
+            | Self::BudgetExhausted { log, .. }
+            | Self::ExactAssignUnsat { log, .. } => Some(log),
             _ => None,
         }
     }
@@ -101,6 +121,10 @@ impl fmt::Display for FlowError {
                 }
                 Ok(())
             }
+            Self::ExactAssignUnsat { summary, .. } => {
+                write!(f, "mapping proven infeasible on this fabric: {summary}")
+            }
+            Self::Internal { detail } => write!(f, "internal flow invariant violated: {detail}"),
             Self::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             Self::Artifact(e) => write!(f, "artifact error: {e}"),
         }

@@ -36,6 +36,7 @@ use crate::checkpoint::{
     ScheduleSnapshot,
 };
 use crate::error::FlowError;
+use crate::exact::ExactRungResult;
 use crate::folding::{candidate_configs, FoldingConfig, PlaneSharing};
 use crate::objective::Objective;
 use crate::recovery::{
@@ -118,6 +119,13 @@ pub struct NanoMap {
     /// Directory for per-phase crash-safe checkpoints (`None` disables
     /// checkpointing).
     pub checkpoint_dir: Option<PathBuf>,
+    /// Run the exact SAT-based assignment rung when the heuristic
+    /// ladder exhausts (`--exact-recovery`).
+    pub exact_recovery: bool,
+    /// Conflict budget per SAT solve of the exact rung
+    /// (`--sat-conflict-budget`); `None` bounds it only by the
+    /// wall-clock token.
+    pub sat_conflict_budget: Option<u64>,
 }
 
 impl NanoMap {
@@ -149,6 +157,8 @@ impl NanoMap {
             budget_ms: None,
             anytime: false,
             checkpoint_dir: None,
+            exact_recovery: false,
+            sat_conflict_budget: None,
         }
     }
 
@@ -198,6 +208,19 @@ impl NanoMap {
     /// Builds the QoR attribution artifact into the report.
     pub fn with_explain(mut self) -> Self {
         self.explain = true;
+        self
+    }
+
+    /// Enables the exact SAT-based assignment rung as the complete
+    /// final fallback of the recovery ladder.
+    pub fn with_exact_recovery(mut self) -> Self {
+        self.exact_recovery = true;
+        self
+    }
+
+    /// Bounds each SAT solve of the exact rung to a conflict budget.
+    pub fn with_sat_conflict_budget(mut self, conflicts: u64) -> Self {
+        self.sat_conflict_budget = Some(conflicts);
         self
     }
 
@@ -369,10 +392,10 @@ impl NanoMap {
                 }
                 // Re-evaluate to own the schedules (cheap relative to
                 // P&R; finish_candidate consumes them).
-                let fds_start = Instant::now();
+                let attempt_start = Instant::now();
                 let (eval, fds_degradation) =
                     self.evaluate_budgeted(net, &planes, config, token)?;
-                times.fds_ms = fds_start.elapsed().as_secs_f64() * 1e3;
+                times.fds_ms = attempt_start.elapsed().as_secs_f64() * 1e3;
                 let overrides = remedy.apply(self.place_options, self.route_options, self.channels);
                 let mut writer = self.checkpoint_writer(
                     net,
@@ -429,6 +452,7 @@ impl NanoMap {
                             remedy,
                             phase,
                             error: e.to_string(),
+                            wall_us: attempt_start.elapsed().as_micros() as u64,
                         });
                         continue;
                     }
@@ -437,6 +461,71 @@ impl NanoMap {
             }
             // The whole ladder failed for this candidate.
             nanomap_observe::incr("flow.candidates_rejected_physical", 1);
+        }
+        // --- The complete final rung: exact SAT-based slot assignment,
+        // opt-in, run only once every heuristic rung of every candidate
+        // has failed and time remains. The rung walks the *whole*
+        // admitted candidate ladder in preference order — a shallow
+        // folding with fewer NRAM sets may be solvable where the best
+        // candidate is not — and claims infeasibility only when every
+        // candidate is proven unsatisfiable. ---
+        if self.exact_recovery && !token.expired() && !recovery.attempts.is_empty() {
+            let mut best_unsat = None;
+            let mut all_proven = true;
+            for (cand_rank, &idx) in order.iter().enumerate() {
+                let (config, cached) = &evaluated[idx];
+                if !objective.admits(cached.les, cached.delay_ns) {
+                    break; // remaining candidates violate constraints
+                }
+                if token.expired() {
+                    all_proven = false;
+                    break;
+                }
+                match self.exact_assign_rung(
+                    net,
+                    &planes,
+                    *config,
+                    cand_rank,
+                    times,
+                    &base_degradations,
+                    &mut recovery,
+                    token,
+                ) {
+                    ExactRungResult::Success(report, degradations) => {
+                        flow_span.attr("folding_level", config.level);
+                        flow_span.attr("num_les", report.num_les);
+                        flow_span.attr("exact_recovery", 1u64);
+                        return self.finalize(
+                            *report,
+                            recovery,
+                            Remedy::ExactAssign,
+                            degradations,
+                            token,
+                            total_start,
+                        );
+                    }
+                    ExactRungResult::Infeasible(summary) => {
+                        // Keep the preferred candidate's proof for the
+                        // error; later candidates still must be tried.
+                        if best_unsat.is_none() {
+                            best_unsat = Some(summary);
+                        }
+                    }
+                    ExactRungResult::Exhausted => all_proven = false,
+                    ExactRungResult::Fatal(e) => return Err(e),
+                }
+            }
+            // An interrupted or routing-starved candidate means the
+            // infeasibility claim would be unsound; fall through to the
+            // generic exhaustion errors instead.
+            if all_proven {
+                if let Some(summary) = best_unsat {
+                    return Err(FlowError::ExactAssignUnsat {
+                        log: recovery,
+                        summary,
+                    });
+                }
+            }
         }
         Err(if token.expired() {
             nanomap_observe::incr("flow.budget_expired", 1);
@@ -541,6 +630,7 @@ impl NanoMap {
             if token.expired() && !recovery.attempts.is_empty() {
                 break;
             }
+            let attempt_start = Instant::now();
             let overrides = remedy.apply(self.place_options, self.route_options, self.channels);
             let (eval, resume, fds_degradation) = match restored.take() {
                 Some((eval, products)) => (eval, products, None),
@@ -605,10 +695,46 @@ impl NanoMap {
                         remedy,
                         phase,
                         error: e.to_string(),
+                        wall_us: attempt_start.elapsed().as_micros() as u64,
                     });
                     continue;
                 }
                 Err(e) => return Err(e),
+            }
+        }
+        // A resumed run earns the same final rung as a fresh one.
+        if self.exact_recovery && !token.expired() && !recovery.attempts.is_empty() {
+            match self.exact_assign_rung(
+                net,
+                &planes,
+                config,
+                checkpoint.candidate_rank,
+                times,
+                &[],
+                &mut recovery,
+                &token,
+            ) {
+                ExactRungResult::Success(report, degradations) => {
+                    flow_span.attr("folding_level", config.level);
+                    flow_span.attr("num_les", report.num_les);
+                    flow_span.attr("exact_recovery", 1u64);
+                    return self.finalize(
+                        *report,
+                        recovery,
+                        Remedy::ExactAssign,
+                        degradations,
+                        &token,
+                        total_start,
+                    );
+                }
+                ExactRungResult::Infeasible(summary) => {
+                    return Err(FlowError::ExactAssignUnsat {
+                        log: recovery,
+                        summary,
+                    });
+                }
+                ExactRungResult::Exhausted => {}
+                ExactRungResult::Fatal(e) => return Err(e),
             }
         }
         Err(if token.expired() {
@@ -735,7 +861,7 @@ impl NanoMap {
     /// every plane (polling the cancel token at FDS round boundaries)
     /// and computes LE usage and analytical delay. Returns the merged
     /// per-plane degradation when the budget truncated any FDS run.
-    fn evaluate_budgeted(
+    pub(crate) fn evaluate_budgeted(
         &self,
         net: &LutNetwork,
         planes: &PlaneSet,
@@ -871,7 +997,7 @@ impl NanoMap {
     /// and each completed phase lands in `ckpt` when checkpointing is
     /// on.
     #[allow(clippy::too_many_arguments)]
-    fn finish_candidate(
+    pub(crate) fn finish_candidate(
         &self,
         net: &LutNetwork,
         planes: &PlaneSet,
@@ -1072,19 +1198,19 @@ impl NanoMap {
 }
 
 /// Per-candidate logic-mapping result.
-struct CandidateEval {
-    les: u32,
-    delay_ns: f64,
-    graphs: Vec<ItemGraph>,
-    schedules: Vec<Schedule>,
+pub(crate) struct CandidateEval {
+    pub(crate) les: u32,
+    pub(crate) delay_ns: f64,
+    pub(crate) graphs: Vec<ItemGraph>,
+    pub(crate) schedules: Vec<Schedule>,
 }
 
 /// Phase products restored from a checkpoint; a resumed attempt consumes
 /// them instead of re-running the corresponding phases.
 #[derive(Default)]
-struct ResumeProducts {
-    packing: Option<Packing>,
-    placement: Option<(Grid, Vec<SmbPos>)>,
+pub(crate) struct ResumeProducts {
+    pub(crate) packing: Option<Packing>,
+    pub(crate) placement: Option<(Grid, Vec<SmbPos>)>,
 }
 
 /// Assigns every flip-flop to one plane (the plane it feeds, else the

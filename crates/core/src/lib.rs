@@ -56,6 +56,7 @@ pub mod budget;
 pub mod checkpoint;
 pub mod diff;
 mod error;
+pub mod exact;
 pub mod explain;
 mod flow;
 mod folding;
@@ -76,6 +77,7 @@ pub use checkpoint::{
 };
 pub use diff::{has_regression, render_diff_table, DiffEntry, DiffStatus};
 pub use error::FlowError;
+pub use exact::ExactUnsatSummary;
 pub use explain::{check_artifact, ExplainReport, DEFAULT_TOP_K, EXPLAIN_SCHEMA};
 pub use flow::NanoMap;
 pub use folding::{

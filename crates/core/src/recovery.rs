@@ -53,6 +53,13 @@ pub enum Remedy {
     WidenChannels,
     /// The ladder moved on to the next folding configuration.
     NextCandidate,
+    /// Exact SAT-based slot assignment: the complete final rung, run
+    /// only when every heuristic rung of every candidate has failed
+    /// (and only when `--exact-recovery` is enabled). Placement becomes
+    /// a CNF instance over the *precise* per-cluster defect view; a
+    /// model is adopted as a placement and re-validated by the normal
+    /// route/timing path, UNSAT becomes a typed infeasibility.
+    ExactAssign,
     /// The time budget expired and the flow (in anytime mode) accepted a
     /// degraded best-so-far mapping instead of climbing further. A
     /// terminal marker, never executed as a rung: [`Remedy::apply`]
@@ -69,6 +76,7 @@ impl Remedy {
             Self::WidenGrid => "widen-grid",
             Self::WidenChannels => "widen-channels",
             Self::NextCandidate => "next-candidate",
+            Self::ExactAssign => "exact-assign",
             Self::AcceptDegraded => "accept-degraded",
         }
     }
@@ -81,6 +89,7 @@ impl Remedy {
             "widen-grid" => Some(Self::WidenGrid),
             "widen-channels" => Some(Self::WidenChannels),
             "next-candidate" => Some(Self::NextCandidate),
+            "exact-assign" => Some(Self::ExactAssign),
             "accept-degraded" => Some(Self::AcceptDegraded),
             _ => None,
         }
@@ -113,8 +122,11 @@ impl Remedy {
         if self == Remedy::WidenGrid {
             return o;
         }
-        // Widen channels (rung 4): half again as many segment tracks and
-        // global lines. Direct links are fixed point-to-point wiring.
+        // Widen channels (rung 4, and the exact-assign terminal rung,
+        // which re-routes a solver placement under the most generous
+        // interconnect the ladder ever grants): half again as many
+        // segment tracks and global lines. Direct links are fixed
+        // point-to-point wiring.
         o.channels.length1 = (channels.length1 * 3).div_ceil(2);
         o.channels.length4 = (channels.length4 * 3).div_ceil(2);
         o.channels.global = (channels.global * 3).div_ceil(2);
@@ -134,7 +146,7 @@ pub struct PhysicalOverrides {
 }
 
 /// One failed physical-design attempt.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct RecoveryAttempt {
     /// Global attempt index (0-based, across all candidates).
     pub attempt: u32,
@@ -146,10 +158,28 @@ pub struct RecoveryAttempt {
     pub stages: u32,
     /// The rung that was being tried.
     pub remedy: Remedy,
-    /// The flow phase that failed (`place` or `route`).
+    /// The flow phase that failed (`place`, `route` or `exact-assign`).
     pub phase: &'static str,
     /// Display of the failure.
     pub error: String,
+    /// Wall-clock time the attempt consumed, in microseconds.
+    pub wall_us: u64,
+}
+
+/// Equality ignores [`RecoveryAttempt::wall_us`]: two runs of the same
+/// seed take different wall-clock time but must compare as the *same*
+/// recovery history, which is what the determinism tests (and
+/// `qor-diff --exact`) assert.
+impl PartialEq for RecoveryAttempt {
+    fn eq(&self, other: &Self) -> bool {
+        self.attempt == other.attempt
+            && self.candidate == other.candidate
+            && self.folding_level == other.folding_level
+            && self.stages == other.stages
+            && self.remedy == other.remedy
+            && self.phase == other.phase
+            && self.error == other.error
+    }
 }
 
 /// The full history of the recovery ladder for one mapping run.
@@ -203,6 +233,7 @@ impl RecoveryLog {
                 remedy: attempt.remedy.as_str().to_string(),
                 phase: attempt.phase.to_string(),
                 error: attempt.error.clone(),
+                wall_ms: attempt.wall_us as f64 / 1e3,
             });
         }
         self.attempts.push(attempt);
@@ -214,16 +245,22 @@ impl RecoveryLog {
         self.candidate_fallbacks += 1;
     }
 
-    /// One-line human summary (`3 attempts, 2 escalations, recovered via
-    /// widen-grid`).
+    /// Total wall-clock burned by failed attempts, in milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.attempts.iter().map(|a| a.wall_us).sum::<u64>() as f64 / 1e3
+    }
+
+    /// One-line human summary (`3 failed attempt(s) in 12.0 ms, 2
+    /// escalation(s), ..., recovered via widen-grid`).
     pub fn summary(&self) -> String {
         let outcome = match self.succeeded_with {
             Some(r) => format!("recovered via {}", r.as_str()),
             None => "exhausted".to_string(),
         };
         format!(
-            "{} failed attempt(s), {} escalation(s), {} candidate fallback(s), {}",
+            "{} failed attempt(s) in {:.1} ms, {} escalation(s), {} candidate fallback(s), {}",
             self.attempts.len(),
+            self.wall_ms(),
             self.escalations,
             self.candidate_fallbacks,
             outcome
@@ -244,6 +281,7 @@ impl RecoveryLog {
                     .with("remedy", a.remedy.as_str())
                     .with("phase", a.phase)
                     .with("error", a.error.as_str())
+                    .with("wall_us", a.wall_us)
             })
             .collect();
         JsonValue::object()
@@ -285,6 +323,7 @@ impl RecoveryLog {
             let phase = match a.get("phase").and_then(JsonValue::as_str) {
                 Some("place") => "place",
                 Some("route") => "route",
+                Some("exact-assign") => "exact-assign",
                 Some(other) => return Err(format!("{what}: unknown phase `{other}`")),
                 None => return Err(format!("{what} missing string `phase`")),
             };
@@ -303,6 +342,12 @@ impl RecoveryLog {
                     .and_then(JsonValue::as_str)
                     .unwrap_or_default()
                     .to_string(),
+                // Absent in pre-timing checkpoints; 0 is an honest
+                // "unknown" and is excluded from equality anyway.
+                wall_us: a
+                    .get("wall_us")
+                    .and_then(JsonValue::as_int)
+                    .unwrap_or_default() as u64,
             });
         }
         let succeeded_with = match value.get("succeeded_with").and_then(JsonValue::as_str) {
@@ -329,7 +374,8 @@ fn ladder_height(remedy: Remedy) -> u32 {
         Remedy::WidenGrid => 2,
         Remedy::WidenChannels => 3,
         Remedy::NextCandidate => 4,
-        Remedy::AcceptDegraded => 5,
+        Remedy::ExactAssign => 5,
+        Remedy::AcceptDegraded => 6,
     }
 }
 
@@ -403,6 +449,7 @@ mod tests {
             remedy: Remedy::Baseline,
             phase: "place",
             error: "too many defects".into(),
+            wall_us: 1_250,
         });
         log.record(RecoveryAttempt {
             attempt: 1,
@@ -412,6 +459,7 @@ mod tests {
             remedy: Remedy::Reseed,
             phase: "route",
             error: "congestion".into(),
+            wall_us: 9_000,
         });
         log.succeeded_with = Some(Remedy::WidenGrid);
         assert_eq!(log.total_attempts(), 2);
@@ -461,6 +509,7 @@ mod tests {
             remedy: Remedy::WidenChannels,
             phase: "route",
             error: "congestion".into(),
+            wall_us: 777,
         });
         log.record_candidate_fallback();
         log.succeeded_with = Some(Remedy::AcceptDegraded);

@@ -78,6 +78,8 @@ pub struct RunRecord {
     pub degradations: u64,
     /// Recovery-ladder attempts consumed.
     pub recovery_attempts: u64,
+    /// Wall-clock the failed recovery attempts burned, in milliseconds.
+    pub recovery_ms: f64,
     /// Peak resident set in KiB, when measured.
     pub peak_rss_kb: Option<u64>,
     /// Service trace id when the run was produced by `nanomapd` on
@@ -96,6 +98,7 @@ pub fn status_word(exit_code: i32) -> &'static str {
         2 => "recovery-exhausted",
         3 => "budget-exhausted",
         4 => "degraded",
+        5 => "infeasible",
         _ => "error",
     }
 }
@@ -180,6 +183,7 @@ impl RunRecord {
             exit_code,
             degradations: report.degradations.len() as u64,
             recovery_attempts: report.recovery.attempts.len() as u64,
+            recovery_ms: report.recovery.wall_ms(),
             peak_rss_kb: report
                 .memory
                 .as_ref()
@@ -217,7 +221,8 @@ impl RunRecord {
             .with("timestamp", self.timestamp)
             .with("exit_code", i64::from(self.exit_code))
             .with("degradations", self.degradations)
-            .with("recovery_attempts", self.recovery_attempts);
+            .with("recovery_attempts", self.recovery_attempts)
+            .with("recovery_ms", self.recovery_ms);
         if let Some(kb) = self.peak_rss_kb {
             obj.set("peak_rss_kb", kb);
         }
@@ -264,6 +269,11 @@ impl RunRecord {
             exit_code: int("exit_code")? as i32,
             degradations: int("degradations")?.max(0) as u64,
             recovery_attempts: int("recovery_attempts")?.max(0) as u64,
+            // Absent in ledgers written before the exact-recovery work.
+            recovery_ms: value
+                .get("recovery_ms")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
             peak_rss_kb: value
                 .get("peak_rss_kb")
                 .and_then(JsonValue::as_int)
@@ -1002,6 +1012,7 @@ mod tests {
             exit_code: 0,
             degradations: 0,
             recovery_attempts: 0,
+            recovery_ms: 0.0,
             peak_rss_kb: Some(4_096),
             trace_id: Some("feedbeef00000001".to_string()),
             metrics: [("num_les".to_string(), 12.0), ("delay_ns".to_string(), 3.5)]

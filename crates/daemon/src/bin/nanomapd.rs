@@ -43,6 +43,9 @@ options:
   --read-timeout-ms MS      slow-loris guard per request line (default 10000)
   --drain-deadline-ms MS    graceful-drain budget on shutdown (default 30000)
   --lut-inputs K            LUT size for technology mapping (default 4)
+  --defect-map PATH         fabric defect map every request maps around
+  --exact-recovery          run the complete SAT assignment rung after
+                            the heuristic recovery ladder fails
   -h, --help                this text
 
 exit codes: 0 clean drain, 1 hard error, 4 degraded drain (shed at deadline)";
@@ -116,6 +119,10 @@ fn parse_args(args: &[String]) -> Result<(DaemonConfig, u64), String> {
             "--lut-inputs" => {
                 config.lut_inputs = Some(parse_num(&value("--lut-inputs")?, "--lut-inputs")?);
             }
+            "--defect-map" => {
+                config.defect_map_path = Some(PathBuf::from(value("--defect-map")?));
+            }
+            "--exact-recovery" => config.exact_recovery = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
         }

@@ -60,7 +60,7 @@ use nanomap::service::{
 use nanomap::{
     append_run, atomic_write_text, checkpoint_file_name, Checkpoint, FlowError, NanoMap, RunRecord,
 };
-use nanomap_arch::ArchParams;
+use nanomap_arch::{ArchParams, DefectMap};
 use nanomap_netlist::{blif, vhdl, LutNetwork};
 use nanomap_observe::{failpoint, EventKind, EventStream, HistogramHandle, JsonValue};
 use nanomap_techmap::{expand, ExpandOptions};
@@ -98,6 +98,14 @@ pub struct DaemonConfig {
     /// snapshots next to the ledger; 0 disables the ticker (the
     /// `stats` op still answers live).
     pub stats_interval_ms: u64,
+    /// Fabric defect map every request maps around — the daemon serves
+    /// one physical fabric, so its defects are daemon state, not
+    /// request state. `None` serves a pristine fabric.
+    pub defect_map_path: Option<PathBuf>,
+    /// After the heuristic recovery ladder fails a request, run the
+    /// complete SAT-based assignment rung (the exact rung polls the
+    /// slice budget, so preemption still works inside it).
+    pub exact_recovery: bool,
 }
 
 impl Default for DaemonConfig {
@@ -114,6 +122,8 @@ impl Default for DaemonConfig {
             lut_inputs: None,
             events_path: None,
             stats_interval_ms: 2_000,
+            defect_map_path: None,
+            exact_recovery: false,
         }
     }
 }
@@ -268,6 +278,8 @@ struct Shared {
     last_snapshot_ms: AtomicU64,
     /// Monotone feed for daemon-assigned trace ids.
     trace_seq: AtomicU64,
+    /// Parsed fabric defect map (see [`DaemonConfig::defect_map_path`]).
+    defects: Option<DefectMap>,
 }
 
 impl Shared {
@@ -546,6 +558,17 @@ pub fn start(config: DaemonConfig) -> Result<DaemonHandle, String> {
         }
         None => None,
     };
+    let defects = match &config.defect_map_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading defect map {}: {e}", path.display()))?;
+            Some(
+                DefectMap::parse(&text)
+                    .map_err(|e| format!("defect map {}: {e}", path.display()))?,
+            )
+        }
+        None => None,
+    };
     let shared = Arc::new(Shared {
         config: config.clone(),
         queue: Mutex::new(VecDeque::new()),
@@ -565,6 +588,7 @@ pub fn start(config: DaemonConfig) -> Result<DaemonHandle, String> {
         latency: ServiceLatency::new(),
         last_snapshot_ms: AtomicU64::new(SNAPSHOT_NEVER),
         trace_seq: AtomicU64::new(0),
+        defects,
     });
     let mut threads = Vec::new();
     for i in 0..config.workers.max(1) {
@@ -1082,6 +1106,12 @@ fn serve(mut job: Job, shared: &Arc<Shared>) {
     let mut flow = NanoMap::new(ArchParams::paper_unbounded()).with_checkpoint_dir(&ckpt_dir);
     if let Some(ms) = effective_ms {
         flow = flow.with_budget_ms(ms);
+    }
+    if let Some(map) = &shared.defects {
+        flow = flow.with_defects(map.clone());
+    }
+    if shared.config.exact_recovery {
+        flow = flow.with_exact_recovery();
     }
     let ckpt_path = ckpt_dir.join(checkpoint_file_name(net.name()));
     // Resume from a prior slice's snapshot when one loads cleanly; a

@@ -965,3 +965,64 @@ fn env_armed_failpoints_fire_deterministically_in_the_spawned_binary() {
     child.wait().unwrap();
     let _ = std::fs::remove_dir_all(dir);
 }
+
+// ---------------------------------------------------------------------
+// Exact recovery (SAT rung) under daemon control.
+// ---------------------------------------------------------------------
+
+/// A daemon serving a dead fabric with `--exact-recovery`: the request
+/// climbs the whole heuristic ladder, enters the exact SAT rung, and is
+/// *proven* unmappable — a typed, retry-free failure naming the defect
+/// class, not a hang, panic or generic exhaustion. A budgeted request
+/// against the same fabric is budget-rejected cleanly instead. The
+/// daemon stays healthy throughout.
+#[test]
+fn exact_rung_unsat_and_budget_reject_cleanly_under_the_daemon() {
+    let _guard = suite_lock();
+    let dir = temp_dir("exactunsat");
+    // Every slot dead: heuristics fail fast, the exact rung's precheck
+    // proves emptiness on the widest grid the ladder grants.
+    let map_path = dir.join("fabric.defects");
+    std::fs::write(&map_path, "rate 1.0\nseed 1\n").unwrap();
+    let (handle, _) = daemon("exactunsat-d", |c| {
+        c.state_dir = dir.join("state");
+        c.ledger_path = None;
+        c.defect_map_path = Some(map_path.clone());
+        c.exact_recovery = true;
+        // A slice bound keeps even a pathological solve preemptible.
+        c.preempt_slice_ms = Some(2_000);
+    });
+
+    // Unbudgeted request: typed infeasibility, not a panic or timeout.
+    let unsat = submit(handle.addr(), &request("unsat-1"));
+    assert!(!unsat.result.ok, "nothing maps on a dead fabric");
+    assert_eq!(unsat.result.code.as_deref(), Some(code::FAILED));
+    let detail = unsat.result.detail.clone().unwrap_or_default();
+    assert!(
+        detail.contains("infeasible"),
+        "the rejection must carry the infeasibility proof, got: {detail}"
+    );
+    assert!(
+        detail.contains("dead slots") || detail.contains("NRAM"),
+        "the proof must name the dominant defect class, got: {detail}"
+    );
+
+    // Budgeted request: the slice/budget machinery rejects with the
+    // typed budget code (or proves UNSAT first if the ladder is quick);
+    // either way the connection sees a clean typed terminal response.
+    let mut budgeted = request("unsat-2");
+    budgeted.time_budget_ms = Some(1);
+    let rejected = submit(handle.addr(), &budgeted);
+    assert!(!rejected.result.ok);
+    let rcode = rejected.result.code.as_deref();
+    assert!(
+        rcode == Some(code::BUDGET) || rcode == Some(code::FAILED),
+        "expected a typed budget/failed rejection, got {rcode:?}"
+    );
+
+    // The daemon survived both and still answers stats.
+    let stats = handle.stats();
+    assert!(stats.failures >= 1, "the UNSAT rejection is accounted");
+    handle.shutdown(Duration::from_secs(30));
+    let _ = std::fs::remove_dir_all(dir);
+}

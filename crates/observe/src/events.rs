@@ -169,6 +169,8 @@ pub enum EventKind {
         phase: String,
         /// The error that triggered the retry.
         error: String,
+        /// Wall-clock the attempt burned, in milliseconds.
+        wall_ms: f64,
     },
     /// A crash-safe checkpoint was written.
     Checkpoint {
@@ -322,12 +324,14 @@ impl Event {
                 remedy,
                 phase,
                 error,
+                wall_ms,
             } => {
                 obj.set("attempt", *attempt);
                 obj.set("candidate", *candidate);
                 obj.set("remedy", remedy.as_str());
                 obj.set("phase", phase.as_str());
                 obj.set("error", error.as_str());
+                obj.set("wall_ms", *wall_ms);
             }
             EventKind::Checkpoint { phase, path } => {
                 obj.set("phase", phase.as_str());

@@ -114,6 +114,13 @@ impl<'a> TemporalDesign<'a> {
         self.planes.num_planes() as u32 * self.stages
     }
 
+    /// NRAM configuration-set index of a slice: its position in
+    /// execution order. Slot assignment uses this to ask the defect map
+    /// about exactly the sets an SMB's occupants exercise.
+    pub fn set_index(&self, slice: Slice) -> u32 {
+        slice.plane as u32 * self.stages + slice.stage
+    }
+
     /// LUTs of one slice.
     pub fn luts_in(&self, slice: Slice) -> Vec<LutId> {
         let g = &self.graphs[slice.plane];

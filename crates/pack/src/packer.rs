@@ -86,6 +86,27 @@ impl Packing {
             .max()
             .unwrap_or(0)
     }
+
+    /// Per-SMB NRAM configuration sets the cluster actually exercises:
+    /// the sorted [`TemporalDesign::set_index`] of every slice where the
+    /// SMB holds a LUT, a stored value or a flip-flop bit. Stored values
+    /// and architectural flip-flops are already expanded into
+    /// [`Self::ff_occupancy`] over their full hold intervals, so the
+    /// occupancy maps are a complete activity record.
+    ///
+    /// This is the *precise* legality view: the heuristic placer asks
+    /// the defect map for the conservative prefix `0..num_slices`, while
+    /// exact recovery asks only for these sets — a slot with a dead set
+    /// outside an SMB's active list is still a legal home for it.
+    pub fn required_sets(&self, design: &TemporalDesign<'_>) -> Vec<Vec<u32>> {
+        let mut sets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); self.num_smbs as usize];
+        for (&(smb, slice), &occ) in self.lut_occupancy.iter().chain(self.ff_occupancy.iter()) {
+            if occ > 0 {
+                sets[smb as usize].insert(design.set_index(slice));
+            }
+        }
+        sets.into_iter().map(|s| s.into_iter().collect()).collect()
+    }
 }
 
 /// Runs temporal clustering.
@@ -514,5 +535,64 @@ mod tests {
         let (_, _, b, _) = packed_adder(2);
         assert_eq!(a.lut_smb, b.lut_smb);
         assert_eq!(a.num_smbs, b.num_smbs);
+    }
+
+    #[test]
+    fn required_sets_are_precise_and_sorted() {
+        // Two planes of very different widths: the wide comparator in
+        // plane 0 opens several SMBs, the single-LUT plane 1 touches
+        // one — the others are idle across plane 1's slices, which is
+        // the precision this helper captures over the placer's
+        // conservative `0..num_slices` prefix.
+        let mut b = RtlBuilder::new("t");
+        let a = b.input("a", 64);
+        let c = b.input("b", 64);
+        let en = b.input("en", 1);
+        let eq = b.comb("eq", CombOp::Eq { width: 64 });
+        b.connect(a, 0, eq, 0).unwrap();
+        b.connect(c, 0, eq, 1).unwrap();
+        let r = b.register("r", 1);
+        b.connect(eq, 0, r, 0).unwrap();
+        let gate = b.comb("gate", CombOp::And { width: 1 });
+        b.connect(r, 0, gate, 0).unwrap();
+        b.connect(en, 0, gate, 1).unwrap();
+        let y = b.output("y", 1);
+        b.connect(gate, 0, y, 0).unwrap();
+        let net = expand(&b.finish().unwrap(), ExpandOptions::default()).unwrap();
+        let planes = PlaneSet::extract(&net).unwrap();
+        let depth = planes.planes().iter().map(|p| p.depth).max().unwrap();
+        let (graphs, schedules): (Vec<_>, Vec<_>) = planes
+            .planes()
+            .iter()
+            .map(|plane| {
+                let graph = ItemGraph::build(&net, plane, 1).unwrap();
+                let schedule = schedule_fds(&net, &graph, depth, FdsOptions::default()).unwrap();
+                (graph, schedule)
+            })
+            .unzip();
+        let design = TemporalDesign::new(&net, &planes, graphs, schedules).unwrap();
+        let packing = pack(&design, &ArchParams::paper(), PackOptions::default()).unwrap();
+
+        let sets = packing.required_sets(&design);
+        assert_eq!(sets.len(), packing.num_smbs as usize);
+        let total = design.num_slices();
+        for (smb, list) in sets.iter().enumerate() {
+            assert!(!list.is_empty(), "SMB {smb} has no active sets");
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "SMB {smb} unsorted");
+            assert!(*list.last().unwrap() < total);
+        }
+        // The precise view must agree with the occupancy maps exactly.
+        for (&(smb, slice), &occ) in packing.lut_occupancy.iter().chain(&packing.ff_occupancy) {
+            if occ > 0 {
+                assert!(sets[smb as usize].contains(&design.set_index(slice)));
+            }
+        }
+        // Under deep folding at least one SMB is idle in some slice —
+        // that gap is what exact recovery exploits over the placer's
+        // conservative `num_slices` prefix.
+        assert!(
+            sets.iter().any(|l| (l.len() as u32) < total),
+            "every SMB active in all {total} slices: no precision gap"
+        );
     }
 }

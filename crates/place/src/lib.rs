@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+mod adopt;
 mod anneal;
 mod cost;
 mod delay;
@@ -22,6 +23,7 @@ mod error;
 mod place;
 mod routability;
 
+pub use adopt::{adopt_assignment, AdoptError};
 pub use anneal::{anneal, anneal_budgeted, anneal_with_legality, AnnealSchedule};
 pub use cost::{flatten_nets, net_hpwl, total_cost, CostWeights, FlatNet};
 pub use delay::{estimate_delay, wire_delay_estimate, DelayEstimate};

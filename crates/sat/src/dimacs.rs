@@ -1,0 +1,166 @@
+//! DIMACS CNF reading and writing, for interoperability and for
+//! archiving the exact instances the recovery ladder hands the solver.
+
+use std::fmt::Write as _;
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// A malformed DIMACS document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimacs line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses a DIMACS CNF document. Comments (`c ...`) are skipped; the
+/// `p cnf <vars> <clauses>` header is required before any clause;
+/// clauses are zero-terminated integer lists and may span lines.
+pub fn parse(text: &str) -> Result<Cnf, DimacsError> {
+    let mut cnf = Cnf::new();
+    let mut declared_vars: Option<u32> = None;
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        if trimmed.starts_with('p') {
+            if declared_vars.is_some() {
+                return Err(DimacsError {
+                    line,
+                    message: "duplicate problem header".into(),
+                });
+            }
+            let mut parts = trimmed.split_whitespace();
+            let (_, fmt) = (parts.next(), parts.next());
+            if fmt != Some("cnf") {
+                return Err(DimacsError {
+                    line,
+                    message: format!("unsupported format {fmt:?} (want cnf)"),
+                });
+            }
+            let vars: u32 =
+                parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| DimacsError {
+                        line,
+                        message: "bad variable count".into(),
+                    })?;
+            let _clauses: u64 =
+                parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| DimacsError {
+                        line,
+                        message: "bad clause count".into(),
+                    })?;
+            declared_vars = Some(vars);
+            cnf.reserve_vars(vars);
+            continue;
+        }
+        let Some(max_var) = declared_vars else {
+            return Err(DimacsError {
+                line,
+                message: "clause before the problem header".into(),
+            });
+        };
+        for tok in trimmed.split_whitespace() {
+            let val: i64 = tok.parse().map_err(|_| DimacsError {
+                line,
+                message: format!("bad literal {tok:?}"),
+            })?;
+            if val == 0 {
+                cnf.add_clause(std::mem::take(&mut current));
+                continue;
+            }
+            let var = val.unsigned_abs() - 1;
+            if var >= u64::from(max_var) {
+                return Err(DimacsError {
+                    line,
+                    message: format!("literal {val} exceeds declared {max_var} variables"),
+                });
+            }
+            current.push(Lit::new(Var(var as u32), val > 0));
+        }
+    }
+    if !current.is_empty() {
+        return Err(DimacsError {
+            line: text.lines().count(),
+            message: "unterminated clause (missing trailing 0)".into(),
+        });
+    }
+    Ok(cnf)
+}
+
+/// Writes a formula as DIMACS CNF.
+pub fn emit(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses());
+    for clause in cnf.clauses() {
+        for lit in clause {
+            let _ = write!(out, "{} ", lit.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SolveOutcome, Solver, SolverOptions};
+
+    #[test]
+    fn round_trip_preserves_the_formula() {
+        let text = "c a comment\np cnf 3 4\n1 2 0\n-1 3 0\n-2 -3 0\n1 -3 0\n";
+        let cnf = parse(text).expect("parses");
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 4);
+        let emitted = emit(&cnf);
+        let reparsed = parse(&emitted).expect("emitted text parses");
+        assert_eq!(cnf.clauses(), reparsed.clauses());
+        assert_eq!(cnf.num_vars(), reparsed.num_vars());
+        // And both solve identically.
+        let a = Solver::from_cnf(&cnf, SolverOptions::default()).solve();
+        let b = Solver::from_cnf(&reparsed, SolverOptions::default()).solve();
+        assert_eq!(a, b);
+        assert!(matches!(a, SolveOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn clauses_may_span_lines() {
+        let cnf = parse("p cnf 2 1\n1\n2\n0\n").expect("parses");
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 2);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = parse("1 2 0\n").expect_err("no header");
+        assert!(err.message.contains("header"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_literal_is_an_error() {
+        let err = parse("p cnf 2 1\n3 0\n").expect_err("var 3 undeclared");
+        assert!(err.message.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_clause_is_an_error() {
+        let err = parse("p cnf 2 1\n1 2\n").expect_err("missing 0");
+        assert!(err.message.contains("unterminated"), "{err}");
+    }
+}

@@ -44,6 +44,13 @@
 # `--resume` a torn checkpoint: strict mode must fail typed, `--anytime`
 # must fall back to a fresh run matching the uninterrupted artifact.
 #
+# The yield-deep leg drives a hopeless high-defect fabric through the
+# exact SAT recovery rung under a time budget: the run must exit 5
+# (typed infeasibility proof naming the dominant defect class), never
+# hang or fall back to the untyped recovery-exhausted error. A second
+# pair of runs asserts `--exact-recovery` determinism: same seed, same
+# fabric => byte-identical QoR artifacts under `qor-diff --exact`.
+#
 # The daemon leg boots `nanomapd`, proves repeat submissions replay from
 # the crash-safe cache byte for byte, SIGKILLs the daemon and requires
 # the restarted instance to serve the same bytes from disk, checks the
@@ -196,6 +203,24 @@ else
     echo "armed failpoint: torn artifact FP_armed_qor.json left behind" >&2
     exit 1
   fi
+  echo "==> gate: yield-deep (exact rung proves infeasibility, typed exit 5)"
+  set +e
+  ./target/release/nanomap designs/accumulator.vhd --defect-rate 1.0 \
+    --exact-recovery --time-budget-ms 10000 >/dev/null 2>YIELD_deep_err.log
+  deep_status=$?
+  set -e
+  if [[ $deep_status -ne 5 ]]; then
+    echo "yield-deep: expected exit 5 (proven infeasible), got $deep_status" >&2
+    cat YIELD_deep_err.log >&2
+    exit 1
+  fi
+  grep -q 'infeasibility proof' YIELD_deep_err.log
+  echo "==> gate: exact-recovery determinism (same seed is byte-identical)"
+  ./target/release/nanomap designs/accumulator.vhd --defect-rate 0.2 \
+    --defect-seed 1 --exact-recovery --qor EXACT_a_qor.json >/dev/null
+  ./target/release/nanomap designs/accumulator.vhd --defect-rate 0.2 \
+    --defect-seed 1 --exact-recovery --qor EXACT_b_qor.json >/dev/null
+  ./target/release/nanomap qor-diff --exact EXACT_a_qor.json EXACT_b_qor.json
   echo "==> gate: daemon (cache replay, kill -9 survival, graceful drain)"
   rm -rf DAEMON_state DAEMON_ledger.jsonl nanomapd-stats.json
   start_daemon() {
